@@ -1,0 +1,129 @@
+(* Wall-clock benchmarks (bechamel): one Test.make per table and figure of
+   the paper, plus ablation benches for the design choices called out in
+   DESIGN.md.
+
+   Each benchmark body runs one representative measurement cell of the
+   corresponding experiment — the workload of the table's first row at the
+   table's largest processor count, optimization on — so the numbers here
+   track the cost of *regenerating* the paper's results.  (The simulated
+   cycle counts that the tables themselves report are deterministic and do
+   not depend on this host; run `ace_experiments` for those.)
+
+     dune exec bench/main.exe
+*)
+
+open Bechamel
+open Toolkit
+
+module Config = Ace_machine.Config
+module Cost = Ace_machine.Cost
+module Engine = Ace_core.Engine
+module Programs = Ace_benchmarks.Programs
+module Experiment = Ace_harness.Experiment
+
+(* Bench sizes are scaled down from the experiment defaults so a single
+   iteration stays in the tens of milliseconds. *)
+let bench_size name =
+  let b = Programs.find name in
+  max b.Programs.small_size (b.Programs.default_size / 4)
+
+let run_benchmark ?(config = Config.default) name size =
+  let b = Programs.find name in
+  let program = b.Programs.program size and query = b.Programs.query size in
+  Engine.solve_program b.Programs.kind config ~program ~query
+
+(* One cell of a paper experiment: first workload, largest P, opt on. *)
+let experiment_cell (e : Experiment.t) =
+  let w = List.hd e.Experiment.workloads in
+  let agents = List.fold_left max 1 e.Experiment.processors in
+  let config =
+    Experiment.apply_optimization { Config.default with agents }
+      e.Experiment.optimization
+  in
+  let b = Programs.find w.Experiment.w_benchmark in
+  let size = max b.Programs.small_size (w.Experiment.w_size / 4) in
+  fun () -> ignore (run_benchmark ~config w.Experiment.w_benchmark size)
+
+let paper_tests =
+  List.map
+    (fun (e : Experiment.t) ->
+      Test.make ~name:e.Experiment.id (Staged.stage (experiment_cell e)))
+    Experiment.all
+
+(* X1/X2: the unnumbered claims. *)
+let extra_tests =
+  [ Test.make ~name:"overhead"
+      (Staged.stage (fun () ->
+           ignore
+             (Ace_harness.Extras.run_overhead ~benchmarks:[ "map2"; "occur" ]
+                ~size_of:(fun b -> max b.Programs.small_size (b.Programs.default_size / 8))
+                ())));
+    Test.make ~name:"memory"
+      (Staged.stage (fun () ->
+           ignore (Ace_harness.Extras.run_memory ~benchmarks:[ "occur" ] ~agents:3 ()))) ]
+
+(* Ablations (DESIGN.md §5):
+   - lao-copy-cost: LAO's profit depends on the stack-copy cost; double it
+     and the LAO benefit at 8 workers should grow.
+   - lpco-vs-unopt: the flattened and nested runs side by side.
+   - engine substrate microbenches: parser and sequential resolution. *)
+let ablation_tests =
+  let queen_size = 5 in
+  let copy2 = { Cost.default with Cost.copy_cell = 2 * Cost.default.Cost.copy_cell } in
+  [ Test.make ~name:"ablate:lao-copy-cost"
+      (Staged.stage (fun () ->
+           ignore
+             (run_benchmark
+                ~config:{ Config.default with agents = 8; lao = true; cost = copy2 }
+                "queen2" queen_size)));
+    Test.make ~name:"ablate:lpco-on"
+      (Staged.stage (fun () ->
+           ignore
+             (run_benchmark
+                ~config:{ Config.default with agents = 4; lpco = true }
+                "map2" (bench_size "map2"))));
+    Test.make ~name:"ablate:lpco-off"
+      (Staged.stage (fun () ->
+           ignore
+             (run_benchmark ~config:{ Config.default with agents = 4 } "map2"
+                (bench_size "map2"))));
+    Test.make ~name:"ablate:granularity-ctl"
+      (Staged.stage (fun () ->
+           ignore
+             (run_benchmark
+                ~config:{ Config.default with agents = 4; seq_threshold = 24 }
+                "takeuchi" 10)));
+    (let source = (Programs.find "annotator").Programs.program 0 in
+     Test.make ~name:"substrate:parse"
+       (Staged.stage (fun () ->
+            ignore (Ace_lang.Program.consult_string source))));
+    (let b = Programs.find "quick_sort" in
+     let program = b.Programs.program 0 and query = b.Programs.query 40 in
+     Test.make ~name:"substrate:seq-resolution"
+       (Staged.stage (fun () ->
+            ignore (Engine.solve_program Engine.Sequential Config.default ~program ~query)))) ]
+
+let benchmark tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.8) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"ace" tests) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  results
+
+let () =
+  let tests = paper_tests @ extra_tests @ ablation_tests in
+  Format.printf "benchmarking %d targets (wall-clock per regeneration run)@."
+    (List.length tests);
+  let results = benchmark tests in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns ] -> Format.printf "%-28s %12.3f ms/run@." name (ns /. 1e6)
+      | Some _ | None -> Format.printf "%-28s (no estimate)@." name)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)

@@ -1,0 +1,1 @@
+bin/ace_experiments.ml: Ace_harness Arg Cmd Cmdliner Format List Term

@@ -1,0 +1,1 @@
+bin/ace_run.ml: Ace_analysis Ace_core Ace_lang Ace_machine Ace_term Arg Buffer Cmd Cmdliner Format In_channel List Printf String Term

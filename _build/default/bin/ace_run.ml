@@ -1,0 +1,122 @@
+(* ace_run: consult a Prolog program and run a query on one of the three
+   engines, printing solutions and execution statistics.
+
+     ace_run --engine and --agents 4 --lpco --spo program.pl 'map2([1,2],X)'
+     echo 'app([],L,L). ...' | ace_run - 'app(X,Y,[1,2,3])'
+*)
+
+module Config = Ace_machine.Config
+module Engine = Ace_core.Engine
+module Program = Ace_lang.Program
+
+let read_stdin () =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf stdin 1
+     done
+   with End_of_file -> ());
+  Buffer.contents buf
+
+let engine_of_string = function
+  | "seq" -> Ok Engine.Sequential
+  | "and" -> Ok Engine.And_parallel
+  | "or" -> Ok Engine.Or_parallel
+  | s -> Error (`Msg (Printf.sprintf "unknown engine %S (seq|and|or)" s))
+
+let run source query engine agents lpco lao spo pdo all gc limit show_stats
+    annotate =
+  let program_text =
+    if String.equal source "-" then read_stdin ()
+    else In_channel.with_open_bin source In_channel.input_all
+  in
+  match engine_of_string engine with
+  | Error (`Msg m) ->
+    prerr_endline m;
+    2
+  | Ok kind -> (
+    try
+      let program = Program.consult_string program_text in
+      let db =
+        if annotate then Ace_analysis.Independence.annotate_program program
+        else Program.db program
+      in
+      let q = Program.parse_query query in
+      let config =
+        {
+          Config.default with
+          agents;
+          lpco = lpco || all;
+          lao = lao || all;
+          spo = spo || all;
+          pdo = pdo || all;
+          seq_threshold = gc;
+          max_solutions = limit;
+        }
+      in
+      let result = Engine.solve kind config db q.Program.goal in
+      List.iteri
+        (fun i solution ->
+          Format.printf "solution %d: %a@." (i + 1) Ace_term.Pp.pp solution)
+        result.Engine.solutions;
+      Format.printf "%d solution(s) in %d simulated cycles (%s, %a)@."
+        (List.length result.Engine.solutions)
+        result.Engine.time
+        (Engine.kind_to_string kind)
+        Config.pp config;
+      if show_stats then
+        Format.printf "@[<v>%a@]@." Ace_machine.Stats.pp result.Engine.stats;
+      0
+    with
+    | Program.Error msg | Ace_core.Errors.Engine_error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+    | Ace_term.Arith.Error msg ->
+      Format.eprintf "arithmetic error: %s@." msg;
+      1)
+
+open Cmdliner
+
+let source =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM"
+         ~doc:"Prolog source file ('-' for stdin).")
+
+let query =
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY"
+         ~doc:"Goal to solve (final '.' optional).")
+
+let engine =
+  Arg.(value & opt string "seq" & info [ "engine"; "e" ] ~docv:"ENGINE"
+         ~doc:"Engine: seq, and (\\&ACE and-parallel), or (MUSE or-parallel).")
+
+let agents =
+  Arg.(value & opt int 1 & info [ "agents"; "p" ] ~docv:"N"
+         ~doc:"Number of simulated processors.")
+
+let flag names doc = Arg.(value & flag & info names ~doc)
+
+let limit =
+  Arg.(value & opt (some int) None & info [ "limit"; "n" ] ~docv:"N"
+         ~doc:"Stop after N solutions.")
+
+let cmd =
+  let doc = "run a query on the ACE engines" in
+  Cmd.v
+    (Cmd.info "ace_run" ~doc)
+    Term.(
+      const run $ source $ query $ engine $ agents
+      $ flag [ "lpco" ] "Enable the last parallel call optimization."
+      $ flag [ "lao" ] "Enable the last alternative optimization."
+      $ flag [ "spo" ] "Enable the shallow parallelism optimization."
+      $ flag [ "pdo" ] "Enable the processor determinacy optimization."
+      $ flag [ "all-opts"; "O" ] "Enable all optimizations."
+      $ Arg.(value & opt int 0 & info [ "granularity" ] ~docv:"CELLS"
+               ~doc:"Sequentialize parallel calls whose estimated work is \
+                     below CELLS term cells (granularity control; 0 = off).")
+      $ limit
+      $ flag [ "stats" ] "Print execution statistics."
+      $ flag [ "annotate" ]
+          "Run the strict-independence annotator before execution (uses \
+           mode/1 directives).")
+
+let () = exit (Cmd.eval' cmd)

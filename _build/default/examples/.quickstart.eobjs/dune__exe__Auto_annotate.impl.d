@@ -1,0 +1,1 @@
+examples/auto_annotate.ml: Ace_analysis Ace_core Ace_lang Ace_machine Ace_term Format List Printf

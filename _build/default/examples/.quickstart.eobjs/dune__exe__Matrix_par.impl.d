@@ -1,0 +1,1 @@
+examples/matrix_par.ml: Ace_benchmarks Ace_core Ace_machine Array Format List Printf Sys

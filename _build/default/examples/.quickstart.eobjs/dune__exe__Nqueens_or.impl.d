@@ -1,0 +1,1 @@
+examples/nqueens_or.ml: Ace_benchmarks Ace_core Ace_machine Array Format List Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ace_core Ace_machine Ace_term Format List

@@ -1,0 +1,1 @@
+lib/analysis/determinacy.ml: Ace_core Ace_lang Ace_term List Set String

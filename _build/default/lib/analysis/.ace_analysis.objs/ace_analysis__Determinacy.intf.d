@@ -1,0 +1,1 @@
+lib/analysis/determinacy.mli: Ace_lang Set

@@ -1,0 +1,1 @@
+lib/analysis/independence.ml: Ace_core Ace_lang Ace_term Array Fun Hashtbl Int List Set

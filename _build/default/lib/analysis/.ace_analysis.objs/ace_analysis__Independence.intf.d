@@ -1,0 +1,1 @@
+lib/analysis/independence.mli: Ace_lang Ace_term Set

@@ -1,0 +1,67 @@
+(* Static determinacy analysis.
+
+   A predicate is *determinate* when any call to it can match at most one
+   clause (after first-argument indexing) and its body cannot leave choice
+   points behind.  This is the compile-time approximation of the property
+   the runtime optimizations (LPCO, SPO) trigger on; as the paper notes,
+   the runtime always knows determinacy exactly, while this analysis
+   "discovers some of the cases" — the test suite checks the analysis is
+   sound with respect to the runtime (never claims determinate for a
+   predicate that creates choice points). *)
+
+module Term = Ace_term.Term
+module Clause = Ace_lang.Clause
+module Database = Ace_lang.Database
+
+module Pred_set = Set.Make (struct
+  type t = string * int
+
+  let compare = compare
+end)
+
+let builtins_are_determinate = true
+
+let goal_functor g =
+  match Term.functor_of (Term.deref g) with
+  | Some na -> Some na
+  | None -> None
+
+(* Greatest fixpoint: start by assuming every first-arg-exclusive predicate
+   is determinate, then repeatedly demote predicates whose bodies call a
+   non-determinate predicate. *)
+let analyze db =
+  let preds = Database.predicates db in
+  let candidate (name, arity) = Database.first_arg_exclusive db name arity in
+  let det = ref (Pred_set.of_list (List.filter candidate preds)) in
+  let goal_det g =
+    match goal_functor g with
+    | None -> false
+    | Some (name, arity) ->
+      if Ace_core.Builtins.is_builtin name arity then builtins_are_determinate
+      else if String.equal name "," || String.equal name "&" then
+        (* compiled away; handled structurally *)
+        true
+      else Pred_set.mem (name, arity) !det
+  in
+  let clause_det clause =
+    List.for_all goal_det (Clause.body_goals clause.Clause.body)
+  in
+  let pred_det (name, arity) =
+    List.for_all clause_det (Database.clauses_of db name arity)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Pred_set.iter
+      (fun p ->
+        if not (pred_det p) then begin
+          det := Pred_set.remove p !det;
+          changed := true
+        end)
+      !det
+  done;
+  !det
+
+let is_determinate det name arity = Pred_set.mem (name, arity) det
+
+let to_list det = Pred_set.elements det

@@ -1,0 +1,13 @@
+(** Static determinacy analysis: which predicates can never leave a choice
+    point behind (first-argument exclusivity closed under the call graph).
+    The runtime optimizations detect determinacy exactly; this is the
+    compile-time approximation the paper contrasts them with. *)
+
+module Pred_set : Set.S with type elt = string * int
+
+(** Greatest-fixpoint analysis over the database. *)
+val analyze : Ace_lang.Database.t -> Pred_set.t
+
+val is_determinate : Pred_set.t -> string -> int -> bool
+
+val to_list : Pred_set.t -> (string * int) list

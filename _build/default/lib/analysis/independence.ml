@@ -1,0 +1,218 @@
+(* Strict-independence annotation.
+
+   Stands in for the sharing+freeness parallelizing compiler the paper's
+   &ACE uses [Muthukumar & Hermenegildo 91]: conjunctive goals that cannot
+   share an unbound variable at runtime are rewritten into parallel
+   conjunctions ('&').
+
+   Groundness is tracked per variable with a simple forward pass seeded by
+   mode declarations ([:- mode(p(+,-,?))] directives: '+' arguments are
+   ground at call, '-' arguments are ground after success).  Two adjacent
+   goals are strictly independent when every variable they share is ground
+   at that program point.  Maximal runs of pairwise-independent goals
+   become one parallel conjunction. *)
+
+module Term = Ace_term.Term
+module Clause = Ace_lang.Clause
+module Database = Ace_lang.Database
+
+module Var_set = Set.Make (Int)
+
+type mode = Input | Output | Unknown
+
+type modes = (string * int, mode array) Hashtbl.t
+
+let no_modes () : modes = Hashtbl.create 16
+
+(* Parses a [mode(p(+,-,?))] directive term. *)
+let add_mode_directive (modes : modes) t =
+  match Term.deref t with
+  | Term.Struct ("mode", [| spec |]) -> (
+    match Term.deref spec with
+    | Term.Struct (name, args) ->
+      let parse_arg a =
+        match Term.deref a with
+        | Term.Atom "+" -> Input
+        | Term.Atom "-" -> Output
+        | Term.Atom "?" -> Unknown
+        | _ -> Unknown
+      in
+      Hashtbl.replace modes (name, Array.length args) (Array.map parse_arg args);
+      true
+    | Term.Atom name ->
+      Hashtbl.replace modes (name, 0) [||];
+      true
+    | _ -> false)
+  | _ -> false
+
+let modes_of_directives directives =
+  let modes = no_modes () in
+  List.iter (fun d -> ignore (add_mode_directive modes d)) directives;
+  modes
+
+let vars_of_term t =
+  List.fold_left
+    (fun acc v -> Var_set.add v.Term.vid acc)
+    Var_set.empty (Term.variables t)
+
+let goal_args g =
+  match Term.deref g with
+  | Term.Struct (_, args) -> args
+  | Term.Atom _ | Term.Int _ | Term.Var _ -> [||]
+
+(* Variables of [g] made ground by success of [g], assuming [ground] holds
+   before the call. *)
+let grounded_after (modes : modes) ground g =
+  let add_args ground args positions =
+    Array.to_list args
+    |> List.mapi (fun i a -> (i, a))
+    |> List.fold_left
+         (fun acc (i, a) -> if positions i then Var_set.union acc (vars_of_term a) else acc)
+         ground
+  in
+  match Term.functor_of (Term.deref g) with
+  | None -> ground
+  | Some (name, arity) -> (
+    let args = goal_args g in
+    match name, arity with
+    | "is", 2 ->
+      (* left becomes ground when the right side is *)
+      let rhs_ground = Var_set.subset (vars_of_term args.(1)) ground in
+      if rhs_ground then Var_set.union ground (vars_of_term args.(0)) else ground
+    | ("<" | ">" | "=<" | ">=" | "=:=" | "=\\="), 2 -> ground
+    | "=", 2 ->
+      (* each side becomes ground if the other already is *)
+      let l = vars_of_term args.(0) and r = vars_of_term args.(1) in
+      let ground = if Var_set.subset l ground then Var_set.union ground r else ground in
+      if Var_set.subset r ground then Var_set.union ground l else ground
+    | _, _ -> (
+      match Hashtbl.find_opt modes (name, arity) with
+      | None -> ground
+      | Some mode_array ->
+        (* inputs must be ground for the mode to apply; then outputs are
+           ground on success *)
+        let inputs_ground =
+          Array.for_all Fun.id
+            (Array.mapi
+               (fun i m ->
+                 m <> Input || Var_set.subset (vars_of_term args.(i)) ground)
+               mode_array)
+        in
+        if inputs_ground then
+          add_args ground args (fun i ->
+              i < Array.length mode_array && mode_array.(i) = Output)
+        else ground))
+
+(* Unbound-at-this-point variables of a goal: its variables minus the
+   ground set. *)
+let free_vars ground g = Var_set.diff (vars_of_term g) ground
+
+let independent ground g1 g2 =
+  Var_set.is_empty (Var_set.inter (free_vars ground g1) (free_vars ground g2))
+
+(* Greedily groups maximal runs of consecutive, pairwise-independent,
+   non-builtin goals into parallel conjunctions.  Builtins stay sequential:
+   they are cheap and usually bind shared arithmetic variables. *)
+let annotate_body (modes : modes) ~head_ground body =
+  let is_par_candidate g =
+    match Term.functor_of (Term.deref g) with
+    | Some (name, arity) -> not (Ace_core.Builtins.is_builtin name arity)
+    | None -> false
+  in
+  let flush group acc =
+    match group with
+    | [] -> acc
+    | [ g ] -> Clause.Call g :: acc
+    | gs -> Clause.Par (List.rev_map (fun g -> [ Clause.Call g ]) gs) :: acc
+  in
+  let rec go ground group acc = function
+    | [] -> List.rev (flush group acc)
+    | item :: rest -> (
+      match item with
+      | Clause.Par _ ->
+        (* already annotated by hand: keep as is *)
+        go ground [] (item :: flush group acc) rest
+      | Clause.Call g ->
+        let ground' = grounded_after modes ground g in
+        if
+          is_par_candidate g
+          && List.for_all (fun g' -> independent ground g g') group
+        then go ground' (g :: group) acc rest
+        else go ground' [ g ] (flush group acc) rest)
+  in
+  match go head_ground [] [] body with
+  | [ Clause.Call _ ] as simple -> simple
+  | annotated -> annotated
+
+(* Head variables known ground at call time, per the predicate's mode. *)
+let head_ground_of (modes : modes) head =
+  match Term.functor_of (Term.deref head) with
+  | None -> Var_set.empty
+  | Some (name, arity) -> (
+    match Hashtbl.find_opt modes (name, arity) with
+    | None -> Var_set.empty
+    | Some mode_array ->
+      let args = goal_args head in
+      Array.to_list mode_array
+      |> List.mapi (fun i m -> (i, m))
+      |> List.fold_left
+           (fun acc (i, m) ->
+             if m = Input && i < Array.length args then
+               Var_set.union acc (vars_of_term args.(i))
+             else acc)
+           Var_set.empty)
+
+let annotate_clause (modes : modes) clause =
+  let head_ground = head_ground_of modes clause.Clause.head in
+  { clause with Clause.body = annotate_body modes ~head_ground clause.Clause.body }
+
+(* Annotates a whole program: returns a new database with every clause
+   body re-annotated.  Mode directives are read from the program's
+   directive list. *)
+let annotate_program program =
+  let modes = modes_of_directives (Ace_lang.Program.directives program) in
+  let db = Ace_lang.Program.db program in
+  let out = Database.create () in
+  List.iter
+    (fun (name, arity) ->
+      List.iter
+        (fun clause -> Database.assertz out (annotate_clause modes clause))
+        (Database.clauses_of db name arity))
+    (Database.predicates db);
+  out
+
+(* A body is well-annotated when every parallel conjunction's branches are
+   pairwise syntactically disjoint on non-ground variables; used as a
+   sanity check for hand-annotated benchmarks. *)
+let check_annotation (modes : modes) ~head_ground body =
+  let rec goals_of_body b =
+    List.concat_map
+      (function Clause.Call g -> [ g ] | Clause.Par bs -> List.concat_map goals_of_body bs)
+      b
+  in
+  let rec go ground = function
+    | [] -> true
+    | Clause.Call g :: rest -> go (grounded_after modes ground g) rest
+    | Clause.Par bodies :: rest ->
+      let branch_vars =
+        List.map
+          (fun b ->
+            List.fold_left
+              (fun acc g -> Var_set.union acc (free_vars ground g))
+              Var_set.empty (goals_of_body b))
+          bodies
+      in
+      let rec pairwise = function
+        | [] -> true
+        | vs :: more ->
+          List.for_all (fun vs' -> Var_set.is_empty (Var_set.inter vs vs')) more
+          && pairwise more
+      in
+      let ground' =
+        List.fold_left
+          (fun acc b -> List.fold_left (grounded_after modes) acc (goals_of_body b))
+          ground bodies
+      in
+      pairwise branch_vars && go ground' rest
+  in
+  go head_ground body

@@ -1,0 +1,39 @@
+(** Strict-independence annotation: rewrites conjunctions of goals that
+    cannot share an unbound variable into parallel conjunctions ('&'),
+    standing in for &ACE's sharing+freeness parallelizing compiler.
+    Groundness is seeded by [:- mode(p(+,-,?))] directives. *)
+
+module Var_set : Set.S with type elt = int
+
+type mode = Input | Output | Unknown
+
+type modes
+
+val no_modes : unit -> modes
+
+(** Records a [mode(...)] directive; false when the term is not one. *)
+val add_mode_directive : modes -> Ace_term.Term.t -> bool
+
+val modes_of_directives : Ace_term.Term.t list -> modes
+
+(** Ground variable ids after success of a goal, given those ground
+    before. *)
+val grounded_after : modes -> Var_set.t -> Ace_term.Term.t -> Var_set.t
+
+(** Are two goals strictly independent at a point where [ground] holds? *)
+val independent : Var_set.t -> Ace_term.Term.t -> Ace_term.Term.t -> bool
+
+(** Head variables ground at call time, according to the predicate's
+    declared mode. *)
+val head_ground_of : modes -> Ace_term.Term.t -> Var_set.t
+
+val annotate_clause : modes -> Ace_lang.Clause.t -> Ace_lang.Clause.t
+
+(** New database with every clause re-annotated; modes come from the
+    program's directives. *)
+val annotate_program : Ace_lang.Program.t -> Ace_lang.Database.t
+
+(** Checks that every parallel conjunction in the body has pairwise
+    disjoint non-ground variables (sanity check for hand annotations). *)
+val check_annotation :
+  modes -> head_ground:Var_set.t -> Ace_lang.Clause.body -> bool

@@ -1,0 +1,1 @@
+lib/benchmarks/gen.ml: Ace_lang Ace_sched Ace_term Buffer List Printf String

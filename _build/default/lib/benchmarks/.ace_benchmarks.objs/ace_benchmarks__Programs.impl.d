@@ -1,0 +1,1 @@
+lib/benchmarks/programs.ml: Ace_core Ace_sched Gen List Printf String

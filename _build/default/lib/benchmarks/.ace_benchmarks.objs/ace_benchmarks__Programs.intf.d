@@ -1,0 +1,1 @@
+lib/benchmarks/programs.mli: Ace_core

@@ -1,0 +1,90 @@
+(* Deterministic workload-data generators.  Everything is rendered to
+   Prolog source text so the benchmarks exercise the full pipeline (lexer,
+   parser, database) exactly as a user program would. *)
+
+module Rng = Ace_sched.Rng
+
+let int_list ~seed ~n ~bound =
+  let rng = Rng.create seed in
+  Rng.int_list rng ~n ~bound
+
+let pp_int_list xs =
+  "[" ^ String.concat "," (List.map string_of_int xs) ^ "]"
+
+(* An n×n integer matrix as a Prolog list of row lists. *)
+let matrix ~seed ~n ~bound =
+  let rng = Rng.create seed in
+  List.init n (fun _ -> Rng.int_list rng ~n ~bound)
+
+let transpose rows =
+  match rows with
+  | [] -> []
+  | first :: _ ->
+    List.init (List.length first) (fun i -> List.map (fun row -> List.nth row i) rows)
+
+let pp_matrix rows =
+  "[" ^ String.concat "," (List.map pp_int_list rows) ^ "]"
+
+(* Random arithmetic expression over constructors num/1, x/0, plus/2,
+   times/2, rendered as a term.  [size] is the number of internal nodes. *)
+let expression ~seed ~size =
+  let rng = Rng.create seed in
+  let buf = Buffer.create 256 in
+  let rec emit size =
+    if size <= 0 then
+      if Rng.bool rng then Buffer.add_string buf "x"
+      else Buffer.add_string buf (Printf.sprintf "num(%d)" (Rng.int rng 10))
+    else begin
+      let op = if Rng.bool rng then "plus" else "times" in
+      let left = Rng.int rng size in
+      Buffer.add_string buf op;
+      Buffer.add_char buf '(';
+      emit left;
+      Buffer.add_char buf ',';
+      emit (size - 1 - left);
+      Buffer.add_char buf ')'
+    end
+  in
+  emit size;
+  Buffer.contents buf
+
+(* Points for the clustering benchmark, as p(X,Y) terms. *)
+let points ~seed ~n ~bound =
+  let rng = Rng.create seed in
+  List.init n (fun _ ->
+      Printf.sprintf "p(%d,%d)" (Rng.int rng bound) (Rng.int rng bound))
+
+let pp_term_list ts = "[" ^ String.concat "," ts ^ "]"
+
+(* Peano numeral s(s(...0)) of n. *)
+let peano n =
+  let rec go n acc = if n = 0 then acc else go (n - 1) ("s(" ^ acc ^ ")") in
+  go n "0"
+
+(* A balanced binary ancestry: parent(i, 2i) and parent(i, 2i+1) for
+   i in [1, 2^depth). *)
+let ancestry_facts ~depth =
+  let buf = Buffer.create 256 in
+  let limit = (1 lsl depth) - 1 in
+  for i = 1 to limit do
+    Buffer.add_string buf (Printf.sprintf "parent(%d,%d).\n" i (2 * i));
+    Buffer.add_string buf (Printf.sprintf "parent(%d,%d).\n" i ((2 * i) + 1))
+  done;
+  Buffer.contents buf
+
+(* The symbolic derivative of an expression produced by {!expression},
+   mirroring the Prolog [d/2] so workload generators can compute exact
+   acceptance targets.  Returned as source text. *)
+let derivative expr_src =
+  let module Term = Ace_term.Term in
+  let term = Ace_lang.Parser.term_of_string (expr_src ^ " .") in
+  let rec d t =
+    match Term.deref t with
+    | Term.Atom "x" -> Term.app "num" [ Term.Int 1 ]
+    | Term.Struct ("num", _) -> Term.app "num" [ Term.Int 0 ]
+    | Term.Struct ("plus", [| a; b |]) -> Term.app "plus" [ d a; d b ]
+    | Term.Struct ("times", [| a; b |]) ->
+      Term.app "plus" [ Term.app "times" [ d a; b ]; Term.app "times" [ a; d b ] ]
+    | _ -> invalid_arg "derivative: unexpected expression"
+  in
+  Ace_term.Pp.to_string (d term)

@@ -1,0 +1,32 @@
+(** Deterministic workload-data generators, rendered as Prolog source text
+    so benchmarks exercise the full pipeline (lexer, parser, database). *)
+
+val int_list : seed:int -> n:int -> bound:int -> int list
+
+val pp_int_list : int list -> string
+
+(** n×n integer matrix as row lists. *)
+val matrix : seed:int -> n:int -> bound:int -> int list list
+
+val transpose : 'a list list -> 'a list list
+
+val pp_matrix : int list list -> string
+
+(** Random arithmetic expression over num/1, x/0, plus/2, times/2 with
+    [size] internal nodes, as source text. *)
+val expression : seed:int -> size:int -> string
+
+(** Points for the clustering benchmark, as [p(X,Y)] source terms. *)
+val points : seed:int -> n:int -> bound:int -> string list
+
+val pp_term_list : string list -> string
+
+(** Peano numeral [s(s(...0))]. *)
+val peano : int -> string
+
+(** Balanced binary ancestry facts [parent(i, 2i).] for i in [1, 2^depth). *)
+val ancestry_facts : depth:int -> string
+
+(** Source text of the symbolic derivative of an {!expression}, mirroring
+    the Prolog [d/2] so generators can compute exact acceptance targets. *)
+val derivative : string -> string

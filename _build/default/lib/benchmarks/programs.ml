@@ -1,0 +1,554 @@
+(* The paper's benchmark programs, written in the engine's Prolog subset.
+
+   Conventions forced by the engines:
+   - no cut: mutually exclusive clauses are selected by first-argument
+     indexing; data-dependent guards are compiled into an index argument
+     with branch-free arithmetic (e.g. [C is min(1, max(0, X - Y))] selects
+     clause [0] when X =< Y and clause [1] otherwise) — the standard trick
+     for making determinacy visible to the indexer, which is what the
+     runtime optimizations key on;
+   - '&' marks strictly independent conjunctions (checked by
+     [Ace_analysis.Independence] in the test suite);
+   - [:- mode(...)]. directives document groundness for the annotator.
+
+   Each benchmark carries a program generator and a query generator so
+   workload sizes can be swept. *)
+
+type t = {
+  name : string;
+  kind : Ace_core.Engine.kind; (* engine family the paper used it with *)
+  description : string;
+  program : int -> string;
+  query : int -> string;
+  default_size : int; (* size used by the paper-table experiments *)
+  small_size : int;   (* size used by the test suite *)
+}
+
+let shared_list_library =
+  {|
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+len([], 0).
+len([_|T], N) :- len(T, M), N is M + 1.
+|}
+
+(* ------------------------------------------------------------------ *)
+(* And-parallel benchmarks                                             *)
+(* ------------------------------------------------------------------ *)
+
+let spin_library =
+  {|
+spin(N) :- C is min(1, N), spin1(C, N).
+spin1(0, _).
+spin1(1, N) :- _X is ((N * 17 + 5) * (N + 3)) mod 997, N1 is N - 1, spin(N1).
+|}
+
+
+(* map2: deterministic map, forward execution only (Table 1). *)
+let map2_program _n =
+  {|
+:- mode(work(+, -)).
+:- mode(triple(+, -)).
+:- mode(map2(+, -)).
+work(X, Y) :- spin(5), Y is ((X * 3 + 1) * (X + 7)) mod 1009.
+triple(X, Y) :- work(X, A), work(A, B), work(B, Y).
+map2([], []).
+map2([H|T], [H2|T2]) :- triple(H, H2) & map2(T, T2).
+|}
+  ^ spin_library
+
+let map2_query n =
+  Printf.sprintf "map2(%s, Out)" (Gen.pp_int_list (Gen.int_list ~seed:11 ~n ~bound:1000))
+
+(* occur(k): occurrence counting of keys 1..k over a chunked ground list
+   (Tables 1 and 4; "poccur" in Table 5 and Figure 8).  Each chunk is
+   counted in parallel via a tail parallel call (so LPCO flattens the
+   chunk chain), keys are processed in a determinate recursion (indexed on
+   the key argument), and the occurrence test is branch-free so the whole
+   computation is determinate. *)
+let occur_program _n =
+  {|
+:- mode(occ(+, +, -)).
+:- mode(occ_chunks(+, +, -)).
+:- mode(sum(+, -)).
+:- mode(poccur(+, +, -)).
+occ([], _, 0).
+occ([H|T], K, N) :- occ(T, K, M), N is M + 1 - min(1, abs(H - K)).
+occ_chunks([], _, []).
+occ_chunks([C|Cs], K, [N|Ns]) :- occ(C, K, N) & occ_chunks(Cs, K, Ns).
+sum([], 0).
+sum([N|Ns], S) :- sum(Ns, T), S is N + T.
+poccur(0, _, []).
+poccur(K, Chunks, [C|Cs]) :-
+  K > 0,
+  occ_chunks(Chunks, K, Ns), sum(Ns, C),
+  K1 is K - 1, poccur(K1, Chunks, Cs).
+|}
+
+let chunked ~seed ~n ~bound ~chunk =
+  let xs = Gen.int_list ~seed ~n ~bound in
+  let rec split xs =
+    if List.length xs <= chunk then [ xs ]
+    else
+      let rec take k = function
+        | x :: rest when k > 0 ->
+          let first, more = take (k - 1) rest in
+          (x :: first, more)
+        | rest -> ([], rest)
+      in
+      let first, more = take chunk xs in
+      first :: split more
+  in
+  "["
+  ^ String.concat "," (List.map Gen.pp_int_list (split xs))
+  ^ "]"
+
+let occur_query ?(keys = 5) n =
+  Printf.sprintf "poccur(%d, %s, Counts)" keys
+    (chunked ~seed:23 ~n ~bound:(keys + 3) ~chunk:12)
+
+(* matrix multiplication: rows in parallel, dot products nested-parallel
+   (Tables 4 and 5 "matrix mult"). *)
+let matrix_program _n =
+  {|
+:- mode(dot(+, +, -)).
+:- mode(rowmul(+, +, -)).    % rowmul(Cols, Row, Es): indexed on the column list
+:- mode(mmul(+, +, -)).
+dot([], [], 0).
+dot([A|As], [B|Bs], S) :- dot(As, Bs, T), S is T + A * B.
+rowmul([], _, []).
+rowmul([Col|Cols], Row, [E|Es]) :- dot(Row, Col, E) & rowmul(Cols, Row, Es).
+mmul([], _, []).
+mmul([Row|Rows], Cols, [R|Rs]) :- rowmul(Cols, Row, R) & mmul(Rows, Cols, Rs).
+|}
+
+let matrix_query n =
+  let a = Gen.matrix ~seed:31 ~n ~bound:10 in
+  let b = Gen.matrix ~seed:37 ~n ~bound:10 in
+  Printf.sprintf "mmul(%s, %s, R)" (Gen.pp_matrix a) (Gen.pp_matrix (Gen.transpose b))
+
+(* matrix with backward execution (Table 2 "matrix", Figure 5 "Matrix
+   Mult."): a nondeterministic generator picks a candidate scalar, the
+   (parallel) matrix computation runs, and a trace test rejects all but the
+   last candidate — every rejection backtracks over the whole parcall
+   tree. *)
+let matrix_bt_program n =
+  let base = matrix_program n in
+  base
+  ^ {|
+:- mode(scale_row(+, +, -)).
+:- mode(scale(+, +, -)).
+:- mode(trace_sum(+, +, -)).
+scale_row(_, [], []).
+scale_row(S, [X|Xs], [Y|Ys]) :- Y is X * S, scale_row(S, Xs, Ys).
+scale(_, [], []).
+scale(S, [R|Rs], [SR|SRs]) :- scale_row(S, R, SR) & scale(S, Rs, SRs).
+trace_sum([], _, 0).
+trace_sum([Row|Rows], I, S) :- nth(I, Row, E), I1 is I + 1, trace_sum(Rows, I1, T), S is T + E.
+nth(0, [X|_], X).
+nth(I, [_|T], X) :- I > 0, I1 is I - 1, nth(I1, T, X).
+matrix_search(A, B, Ss, S, V) :-
+  member(S, Ss), scale(S, A, SA), mmul(SA, B, C), trace_sum(C, 0, V0), V =:= V0.
+|}
+  ^ shared_list_library
+
+let matrix_bt_query n =
+  (* the accepted scalar is the last candidate: full backtracking sweep *)
+  let a = Gen.matrix ~seed:31 ~n ~bound:10 in
+  let b = Gen.matrix ~seed:37 ~n ~bound:10 in
+  let scalars = List.init 12 (fun i -> i + 1) in
+  (* compute the trace of (6*A) * B^T(cols given) to make the test accept
+     exactly the last scalar *)
+  let bt = Gen.transpose b in
+  let dot r c = List.fold_left2 (fun acc x y -> acc + (x * y)) 0 r c in
+  let accepted = 12 in
+  let trace =
+    List.mapi (fun i row -> dot (List.map (( * ) accepted) row) (List.nth bt i)) a
+    |> List.fold_left ( + ) 0
+  in
+  Printf.sprintf "matrix_search(%s, %s, %s, S, %d)" (Gen.pp_matrix a)
+    (Gen.pp_matrix bt) (Gen.pp_int_list scalars) trace
+
+(* pderiv: parallel symbolic differentiation (Table 2, Figure 5).  The
+   backward-execution variant differentiates each expression of a
+   nondeterministically chosen candidate list and rejects on a size test
+   until the last one. *)
+let pderiv_program _n =
+  {|
+:- mode(d(+, -)).
+:- mode(esize(+, -)).
+d(x, num(1)).
+d(num(_), num(0)).
+d(plus(A, B), plus(DA, DB)) :- d(A, DA) & d(B, DB).
+d(times(A, B), plus(times(DA, B), times(A, DB))) :- d(A, DA) & d(B, DB).
+pderiv_search(Es, E, Target) :- member(E, Es), d(E, D), D = Target.
+|}
+  ^ shared_list_library
+
+let pderiv_query n =
+  Printf.sprintf "d(%s, D)" (Gen.expression ~seed:41 ~size:n)
+
+(* number of candidate expressions in the backward variant *)
+let pderiv_bt_candidates = 16
+
+let pderiv_bt_query n =
+  let exprs =
+    List.init pderiv_bt_candidates (fun i ->
+        Gen.expression ~seed:(100 + i) ~size:n)
+  in
+  (* the target is the last candidate's derivative: every earlier
+     candidate is rejected after its full parallel differentiation *)
+  let target = Gen.derivative (List.nth exprs (pderiv_bt_candidates - 1)) in
+  Printf.sprintf "pderiv_search(%s, E, %s)" (Gen.pp_term_list exprs) target
+
+(* map1: the paper's backward-execution map (Table 2 "map1", Figure 5
+   "Map").  A generator picks a candidate parameter; the parallel map over
+   the list *fails inside* the parcall for every candidate but the last
+   (one element's check fails), so each rejected candidate tears the whole
+   parallel-call structure down — through the chain of nested frames
+   without LPCO, in a single flat step with it. *)
+let map1_program _n =
+  {|
+:- mode(chk(+, +, -)).
+:- mode(mapt(+, +, -)).
+chk(H, P, V) :- spin(20), V is (H * P + H + P) mod 13, V =\= 5.
+mapt([], _, []).
+mapt([H|T], P, [V|Vs]) :- chk(H, P, V) & mapt(T, P, Vs).
+map1(L, Ps, Vs) :- member(P, Ps), mapt(L, P, Vs).
+|}
+  ^ shared_list_library ^ spin_library
+
+(* Candidate parameters: all but the last make some list element fail. *)
+let map1_candidates = 8
+
+let map1_query n =
+  let rng = Ace_sched.Rng.create 53 in
+  let xs = Ace_sched.Rng.int_list rng ~n ~bound:100 in
+  let fails p = List.exists (fun h -> ((h * p) + h + p) mod 13 = 5) xs in
+  let rec collect p bad good =
+    if p > 2000 then (bad, good)
+    else if List.length bad >= map1_candidates - 1 && good <> None then
+      (bad, good)
+    else if fails p then collect (p + 1) (if List.length bad < map1_candidates - 1 then p :: bad else bad) good
+    else collect (p + 1) bad (match good with None -> Some p | some -> some)
+  in
+  let bad, good = collect 1 [] None in
+  let good = match good with Some p -> p | None -> invalid_arg "map1_query: no accepting candidate" in
+  Printf.sprintf "map1(%s, %s, Vs)" (Gen.pp_int_list xs)
+    (Gen.pp_int_list (List.rev bad @ [ good ]))
+
+(* annotator: a Prolog implementation of independence annotation itself —
+   clauses are processed in parallel; per clause, goals (var-id lists) are
+   grouped into independent runs (Tables 2, 4, 5; Figure 8).  Fully
+   deterministic: branch-free share test. *)
+let annotator_program _n =
+  {|
+:- mode(memb01(+, +, -)).
+:- mode(inter01(+, +, -)).
+:- mode(grp(+, +, -)).
+:- mode(ann_clause(+, -)).
+:- mode(annotate(+, -)).
+memb01([], _, 0).
+memb01([Y|Ys], X, C) :- memb01(Ys, X, T), C is max(T, 1 - min(1, abs(X - Y))).
+inter01([], _, 0).
+inter01([X|Xs], Ys, R) :- memb01(Ys, X, C), inter01(Xs, Ys, T), R is max(C, T).
+share_any([], _, 0).
+share_any([g(_, Ws)|Gs], Vs, R) :- inter01(Vs, Ws, C), share_any(Gs, Vs, T), R is max(C, T).
+grp([], Grp, [Grp]).
+grp([g(I, Vs)|Gs], Grp, Out) :-
+  share_any(Grp, Vs, C),
+  grp1(C, g(I, Vs), Gs, Grp, Out).
+grp1(0, G, Gs, Grp, Out) :- app1(Grp, G, Grp2), grp(Gs, Grp2, Out).
+grp1(1, G, Gs, Grp, [Grp|Out]) :- grp(Gs, [G], Out).
+app1([], G, [G]).
+app1([H|T], G, [H|R]) :- app1(T, G, R).
+ann_clause(c(Goals), a(Groups)) :- grp(Goals, [], Groups).
+annotate([], []).
+annotate([C|Cs], [A|As]) :- ann_clause(C, A) & annotate(Cs, As).
+|}
+
+let annotator_query n =
+  (* n clauses, each with 4 goals over small var-id sets *)
+  let rng = Ace_sched.Rng.create 61 in
+  let clause _ =
+    let goal i =
+      let vars = Ace_sched.Rng.int_list rng ~n:2 ~bound:10 in
+      Printf.sprintf "g(%d,%s)" i (Gen.pp_int_list vars)
+    in
+    Printf.sprintf "c([%s])" (String.concat "," (List.init 4 goal))
+  in
+  Printf.sprintf "annotate(%s, As)" (Gen.pp_term_list (List.init n clause))
+
+(* takeuchi: tak with the three recursive calls in parallel (Tables 4, 5).
+   The guard is compiled into an index argument so every call is
+   determinate. *)
+let takeuchi_program _n =
+  {|
+:- mode(tak(+, +, +, -)).
+:- mode(tak1(+, +, +, +, -)).
+tak(X, Y, Z, A) :- C is min(1, max(0, X - Y)), tak1(C, X, Y, Z, A).
+tak1(0, _, _, Z, Z).
+tak1(1, X, Y, Z, A) :-
+  X1 is X - 1, Y1 is Y - 1, Z1 is Z - 1,
+  ( tak(X1, Y, Z, A1) & tak(Y1, Z, X, A2) & tak(Z1, X, Y, A3) ),
+  tak(A1, A2, A3, A).
+|}
+
+let takeuchi_query n = Printf.sprintf "tak(%d, %d, %d, A)" n (n * 2 / 3) (n / 3)
+
+(* hanoi: the two half-towers in parallel (Table 4, Figure 8).  Depth is a
+   Peano numeral so first-argument indexing sees the base case. *)
+let hanoi_program _n =
+  {|
+:- mode(hanoi(+, +, +, +, -)).
+hanoi(0, _, _, _, []).
+hanoi(s(N), F, T, V, Ms) :-
+  ( hanoi(N, F, V, T, M1) & hanoi(N, V, T, F, M2) ),
+  app(M1, [mv(F, T)|M2], Ms).
+|}
+  ^ shared_list_library
+
+let hanoi_query n = Printf.sprintf "hanoi(%s, a, b, c, Ms)" (Gen.peano n)
+
+(* bt_cluster: assign points to the nearest of k centroids, points in
+   parallel (Tables 4 and 5).  Branch-free nearest-centroid fold. *)
+let bt_cluster_program _n =
+  {|
+:- mode(dist2(+, +, -)).
+:- mode(near(+, +, +, +, -)).
+:- mode(assign(+, +, -)).
+:- mode(cluster(+, +, -)).
+dist2(p(X, Y), c(CX, CY), D) :- DX is X - CX, DY is Y - CY, D is DX * DX + DY * DY.
+near([], _, _, b(_, BI), BI).
+near([C|Cs], P, I, b(BD, BI), B) :-
+  dist2(P, C, D),
+  S is min(1, max(0, D - BD)),
+  upd(S, D, I, BD, BI, ND, NI),
+  I1 is I + 1,
+  near(Cs, P, I1, b(ND, NI), B).
+upd(0, D, I, _, _, D, I).
+upd(1, _, _, BD, BI, BD, BI).
+assign(P, Cs, A) :- near(Cs, P, 0, b(99999999, -1), A).
+cluster([], _, []).
+cluster([P|Ps], Cs, [A|As]) :- assign(P, Cs, A) & cluster(Ps, Cs, As).
+|}
+
+let bt_cluster_query n =
+  let pts = Gen.points ~seed:71 ~n ~bound:100 in
+  let cents = [ "c(10,10)"; "c(50,50)"; "c(90,20)"; "c(20,80)"; "c(70,70)" ] in
+  Printf.sprintf "cluster(%s, %s, As)" (Gen.pp_term_list pts) (Gen.pp_term_list cents)
+
+(* quicksort with parallel recursive sorts; partition selects clauses by a
+   branch-free comparison index (Table 5 "quick sort"). *)
+let quicksort_program _n =
+  {|
+:- mode(qsort(+, -)).
+part([], _, [], []).
+part([H|T], P, Sm, Lg) :- C is min(1, max(0, H - P)), part1(C, H, T, P, Sm, Lg).
+part1(0, H, T, P, [H|Sm], Lg) :- part(T, P, Sm, Lg).
+part1(1, H, T, P, Sm, [H|Lg]) :- part(T, P, Sm, Lg).
+qsort([], []).
+qsort([H|T], S) :- part(T, H, Sm, Lg), ( qsort(Sm, S1) & qsort(Lg, S2) ), app(S1, [H|S2], S).
+|}
+  ^ shared_list_library
+
+let quicksort_query n =
+  Printf.sprintf "qsort(%s, S)" (Gen.pp_int_list (Gen.int_list ~seed:83 ~n ~bound:10000))
+
+(* ------------------------------------------------------------------ *)
+(* Or-parallel benchmarks (Table 3)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* queen1: naive permutation generate-and-test. *)
+let queen1_program _n =
+  {|
+sel(X, [X|T], T).
+sel(X, [H|T], [H|R]) :- sel(X, T, R).
+perm([], []).
+perm(L, [H|T]) :- sel(H, L, R), perm(R, T).
+noatt(_, [], _).
+noatt(Q, [Q2|Qs], D) :- Q2 =\= Q + D, Q2 =\= Q - D, D1 is D + 1, noatt(Q, Qs, D1).
+safe([]).
+safe([Q|Qs]) :- noatt(Q, Qs, 1), safe(Qs).
+queen1(Ns, Qs) :- perm(Ns, Qs), safe(Qs).
+|}
+
+let upto n = List.init n (fun i -> i + 1)
+
+let queen1_query n = Printf.sprintf "queen1(%s, Qs)" (Gen.pp_int_list (upto n))
+
+(* queen2: incremental placement with pruning. *)
+let queen2_program _n =
+  {|
+sel(X, [X|T], T).
+sel(X, [H|T], [H|R]) :- sel(X, T, R).
+noatt(_, [], _).
+noatt(Q, [Q2|Qs], D) :- Q2 =\= Q + D, Q2 =\= Q - D, D1 is D + 1, noatt(Q, Qs, D1).
+place([], Placed, Placed).
+place(Un, Placed, Qs) :- sel(Q, Un, Rest), noatt(Q, Placed, 1), place(Rest, [Q|Placed], Qs).
+queen2(Ns, Qs) :- place(Ns, [], Qs).
+|}
+
+let queen2_query n = Printf.sprintf "queen2(%s, Qs)" (Gen.pp_int_list (upto n))
+
+(* puzzle: 3×3 magic square by incremental pruned search. *)
+let puzzle_program _n =
+  {|
+sel(X, [X|T], T).
+sel(X, [H|T], [H|R]) :- sel(X, T, R).
+magic(S, [A,B,C,D,E,F,G,H,I]) :-
+  sel(A, [1,2,3,4,5,6,7,8,9], R1), sel(B, R1, R2), sel(C, R2, R3),
+  S =:= A + B + C,
+  sel(D, R3, R4), sel(G, R4, R5),
+  S =:= A + D + G,
+  sel(E, R5, R6),
+  S =:= C + E + G,
+  I is S - A - E, sel(I, R6, R7),
+  sel(F, R7, R8),
+  S =:= D + E + F,
+  sel(H, R8, []),
+  S =:= B + E + H,
+  S =:= C + F + I,
+  S =:= G + H + I.
+|}
+
+let puzzle_query _n = "magic(15, Cells)"
+
+(* ancestors: all descendants reachable in a balanced ancestry. *)
+let ancestors_program n =
+  {|
+anc(X, Y) :- parent(X, Y).
+anc(X, Y) :- parent(X, Z), anc(Z, Y).
+|}
+  ^ Gen.ancestry_facts ~depth:n
+
+let ancestors_query _n = "anc(1, D)"
+
+(* members: constrained cross-product search. *)
+let members_program _n =
+  {|
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+members(L1, L2, L3, K, t(X, Y, Z)) :-
+  member(X, L1), member(Y, L2), member(Z, L3),
+  K =:= X + Y + Z.
+|}
+
+let members_query n =
+  let l ~seed = Gen.pp_int_list (Gen.int_list ~seed ~n ~bound:50) in
+  Printf.sprintf "members(%s, %s, %s, 75, T)" (l ~seed:91) (l ~seed:92) (l ~seed:93)
+
+(* maps: 4-colouring of a 13-region map (the classic or-parallel map
+   benchmark); colour choices interleaved with disequalities for
+   pruning. *)
+let maps_program _n =
+  {|
+color(red). color(green). color(blue). color(yellow).
+maps([A,B,C,D,E,F,G,H,I,J,K,L,M]) :-
+  color(A), color(B), A \= B,
+  color(C), C \= A, C \= B,
+  color(D), D \= B, D \= C,
+  color(E), E \= A, E \= C, E \= D,
+  color(F), F \= D, F \= E,
+  color(G), G \= E, G \= F, G \= A,
+  color(H), H \= F, H \= G, H \= B,
+  color(I), I \= G, I \= H, I \= C,
+  color(J), J \= H, J \= I, J \= D,
+  color(K), K \= I, K \= J, K \= E,
+  color(L), L \= J, L \= K, L \= F,
+  color(M), M \= K, M \= L, M \= G, M \= A.
+|}
+
+let maps_query _n = "maps(Regions)"
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let and_par = Ace_core.Engine.And_parallel
+let or_par = Ace_core.Engine.Or_parallel
+
+let all =
+  [
+    { name = "map2"; kind = and_par;
+      description = "deterministic parallel map (forward execution only)";
+      program = map2_program; query = map2_query;
+      default_size = 320; small_size = 12 };
+    { name = "occur"; kind = and_par;
+      description = "parallel occurrence counting, occur(5)";
+      program = occur_program; query = occur_query ?keys:None;
+      default_size = 240; small_size = 10 };
+    { name = "matrix"; kind = and_par;
+      description = "parallel matrix multiplication";
+      program = matrix_program; query = matrix_query;
+      default_size = 12; small_size = 4 };
+    { name = "matrix_bt"; kind = and_par;
+      description = "matrix multiplication under a rejecting generate-and-test (backward execution)";
+      program = matrix_bt_program; query = matrix_bt_query;
+      default_size = 10; small_size = 3 };
+    { name = "pderiv"; kind = and_par;
+      description = "parallel symbolic differentiation";
+      program = pderiv_program; query = pderiv_query;
+      default_size = 220; small_size = 12 };
+    { name = "pderiv_bt"; kind = and_par;
+      description = "differentiation under a rejecting size test (backward execution)";
+      program = pderiv_program; query = pderiv_bt_query;
+      default_size = 56; small_size = 6 };
+    { name = "map1"; kind = and_par;
+      description = "map under a rejecting candidate generator (backward execution)";
+      program = map1_program; query = map1_query;
+      default_size = 48; small_size = 6 };
+    { name = "annotator"; kind = and_par;
+      description = "parallel clause annotator (independence grouping)";
+      program = annotator_program; query = annotator_query;
+      default_size = 64; small_size = 3 };
+    { name = "takeuchi"; kind = and_par;
+      description = "tak with parallel recursive calls";
+      program = takeuchi_program; query = takeuchi_query;
+      default_size = 14; small_size = 6 };
+    { name = "hanoi"; kind = and_par;
+      description = "towers of hanoi with parallel half-towers";
+      program = hanoi_program; query = hanoi_query;
+      default_size = 10; small_size = 4 };
+    { name = "bt_cluster"; kind = and_par;
+      description = "nearest-centroid clustering, points in parallel";
+      program = bt_cluster_program; query = bt_cluster_query;
+      default_size = 120; small_size = 8 };
+    { name = "quick_sort"; kind = and_par;
+      description = "quicksort with parallel recursive sorts";
+      program = quicksort_program; query = quicksort_query;
+      default_size = 300; small_size = 12 };
+    { name = "queen1"; kind = or_par;
+      description = "n-queens, naive permutation generate-and-test";
+      program = queen1_program; query = queen1_query;
+      default_size = 6; small_size = 4 };
+    { name = "queen2"; kind = or_par;
+      description = "n-queens, incremental placement with pruning";
+      program = queen2_program; query = queen2_query;
+      default_size = 7; small_size = 4 };
+    { name = "puzzle"; kind = or_par;
+      description = "3x3 magic square by pruned permutation search";
+      program = puzzle_program; query = puzzle_query;
+      default_size = 1; small_size = 1 };
+    { name = "ancestors"; kind = or_par;
+      description = "all descendants in a balanced ancestry";
+      program = ancestors_program; query = ancestors_query;
+      default_size = 9; small_size = 4 };
+    { name = "members"; kind = or_par;
+      description = "constrained triple search over three lists";
+      program = members_program; query = members_query;
+      default_size = 18; small_size = 5 };
+    { name = "maps"; kind = or_par;
+      description = "4-colouring of a 13-region map";
+      program = maps_program; query = maps_query;
+      default_size = 1; small_size = 1 };
+  ]
+
+let find name =
+  match List.find_opt (fun b -> String.equal b.name name) all with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Programs.find: unknown benchmark %s" name)
+
+let names = List.map (fun b -> b.name) all

@@ -1,0 +1,29 @@
+(** The paper's benchmark programs, written in the engine's Prolog subset,
+    with parameterized program and query generators.  See the
+    implementation header for the encoding conventions (no cut,
+    first-argument indexing for determinacy, strict-independence '&'
+    annotations, mode directives). *)
+
+type t = {
+  name : string;
+  kind : Ace_core.Engine.kind;  (** engine family the paper used it with *)
+  description : string;
+  program : int -> string;      (** size -> program source *)
+  query : int -> string;        (** size -> query text *)
+  default_size : int;           (** size used by the paper-table experiments *)
+  small_size : int;             (** size used by the test suite *)
+}
+
+(** All benchmarks of the paper's evaluation. *)
+val all : t list
+
+(** Raises [Invalid_argument] on unknown names. *)
+val find : string -> t
+
+val names : string list
+
+(** Number of candidate expressions in the pderiv backward variant. *)
+val pderiv_bt_candidates : int
+
+(** Candidate parameters in the map1 backward workload. *)
+val map1_candidates : int

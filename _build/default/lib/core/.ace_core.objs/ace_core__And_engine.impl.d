@@ -1,0 +1,1 @@
+lib/core/and_engine.ml: Ace_lang Ace_machine Ace_sched Ace_term Array Buffer Builtins Errors Format List Option Printf

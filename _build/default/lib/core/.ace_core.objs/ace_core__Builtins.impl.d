@@ -1,0 +1,1 @@
+lib/core/builtins.ml: Ace_term Array Buffer Errors Format List

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Ace_lang Ace_machine Ace_term And_engine List Or_engine Seq_engine

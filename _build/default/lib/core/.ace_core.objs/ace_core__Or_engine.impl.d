@@ -1,0 +1,1 @@
+lib/core/or_engine.ml: Ace_lang Ace_machine Ace_sched Ace_term Array Buffer Builtins Errors Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/or_engine.mli: Ace_lang Ace_machine Ace_term Buffer

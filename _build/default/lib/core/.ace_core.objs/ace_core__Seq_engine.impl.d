@@ -1,0 +1,1 @@
+lib/core/seq_engine.ml: Ace_lang Ace_machine Ace_term Builtins Errors List

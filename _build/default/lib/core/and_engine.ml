@@ -1,0 +1,868 @@
+(* The and-parallel engine (&ACE).
+
+   Mirrors the abstract machine of the paper's Figure 2: a parallel
+   conjunction allocates a *parcall frame* with one slot per subgoal; idle
+   agents steal slots; a stolen subgoal is delimited by an *input marker*
+   and an *end marker* on the executing agent's stack.  Local
+   nondeterminism inside a subgoal is handled by ordinary backtracking over
+   choice points private to that subgoal's execution.
+
+   Execution records ("execs").  Every subgoal execution owns a private
+   trail and a private backtrack stack, so undoing one subgoal never has to
+   skip over another agent's bindings — this plays the structural role of
+   the paper's stack sections delimited by markers, while the *costs* of
+   markers and of traversing them are charged explicitly from the cost
+   model (and skipped when an optimization removes them).
+
+   Independence semantics.  Subgoals of a parcall are assumed strictly
+   independent (the paper's &ACE condition, established by annotation):
+   - inside failure: if a subgoal fails outright, the whole parcall fails
+     (siblings are killed) — re-trying a left sibling could not revive it;
+   - outside backtracking: retry the rightmost slot with alternatives and
+     *recompute* the slots to its right in parallel.
+
+   Optimizations (all runtime-triggered, per the paper):
+   - LPCO (§3.1): a determinate slot whose body *ends* in a parallel
+     conjunction splices the nested subgoals into the enclosing frame as
+     fresh slots inserted right after it, instead of allocating a nested
+     frame.
+   - SPO (§4.1): the input marker of a stolen subgoal is procrastinated
+     until the subgoal is about to create a choice point; a subgoal that
+     completes deterministically allocates no markers at all (only its
+     trail section, recorded in the slot, is kept for later undoing).
+   - PDO (§4.2): when the scheduler hands an agent the sequentially-next
+     slot of the frame it just finished a slot of, no markers are placed
+     between the two computations. *)
+
+module Term = Ace_term.Term
+module Trail = Ace_term.Trail
+module Unify = Ace_term.Unify
+module Clause = Ace_lang.Clause
+module Database = Ace_lang.Database
+module Cost = Ace_machine.Cost
+module Stats = Ace_machine.Stats
+module Config = Ace_machine.Config
+module Sim = Ace_sched.Sim
+
+type acp = {
+  a_goal : Term.t;
+  mutable a_alts : Clause.t list;
+  a_cont : Clause.item list;
+  a_trail : int;
+}
+
+type entry =
+  | Ecp of acp
+  | Eframe of frame * int
+    (* the int is the trail mark of the enclosing exec at the moment the
+       frame completed: bindings made by the continuation after the parcall
+       must be undone before outside-backtracking into the frame *)
+
+and exec = {
+  x_trail : Trail.t;
+  mutable x_stack : entry list; (* newest first *)
+  x_slot : slot option;         (* the slot this exec runs; None for root *)
+  mutable x_input_marker : bool;
+  mutable x_end_marker : bool;
+  mutable x_marker_pending : bool; (* SPO: input marker procrastinated *)
+  mutable x_det : bool;
+    (* no choice point was created and no nested frame retains
+       alternatives: backtracking over this execution is pure untrailing,
+       so SPO may omit its markers *)
+}
+
+and frame = {
+  f_id : int;
+  mutable f_nondet : bool; (* some slot execution retains alternatives *)
+  f_depth : int; (* 1 = outermost parcall *)
+  f_parent : exec;
+  f_owner : int; (* agent that allocated the frame *)
+  mutable f_slots : slot array;
+  mutable f_nslots : int;
+  mutable f_pending : int; (* slots not yet Sdone *)
+  mutable f_failing : bool;
+  mutable f_cont : Clause.item list; (* continuation after the parcall *)
+}
+
+and slot = {
+  sl_frame : frame;
+  mutable sl_index : int;
+  sl_body : Clause.body;
+  mutable sl_state : slot_state;
+  mutable sl_exec : exec option;
+  mutable sl_no_input : bool; (* slot 0 run in place by the owner *)
+  mutable sl_spliced : slot list;
+    (* LPCO: slots this (delegated) slot spliced into the frame; they leave
+       the frame with it when it is reset for recomputation, and reappear
+       when its re-execution splices again *)
+}
+
+and slot_state = Sfree | Srunning of int | Sdone | Sfailed | Skilled
+
+exception Killed
+(* Raised inside an agent when the frame of the slot it is executing (or an
+   ancestor frame) starts failing; unwinds to [run_slot]. *)
+
+type agent_state = {
+  ag_id : int;
+  mutable ag_last_done : slot option; (* for the PDO contiguity check *)
+  mutable ag_pending_end : slot option; (* PDO: procrastinated end marker *)
+}
+
+type t = {
+  db : Database.t;
+  config : Config.t;
+  cost : Cost.t;
+  stats : Stats.t;
+  sim : Sim.t;
+  ctx : Builtins.ctx; (* trail field is unused; per-exec trails are passed *)
+  agents : agent_state array;
+  mutable pool : frame list; (* frames that may have free slots, oldest first *)
+  mutable frame_counter : int;
+  mutable finished : bool;
+  mutable solutions : Term.t list; (* newest first *)
+  goal : Term.t;
+  output : Buffer.t option;
+}
+
+let debug = ref false
+
+let dbg fmt =
+  if !debug then Format.eprintf fmt
+  else Format.ifprintf Format.err_formatter fmt
+
+(* ------------------------------------------------------------------ *)
+(* Charging helpers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let charge (_st : t) n = Sim.tick n
+
+let charge_cp_alloc st =
+  charge st st.cost.Cost.cp_alloc;
+  st.stats.Stats.cp_allocs <- st.stats.Stats.cp_allocs + 1;
+  st.stats.Stats.stack_words <-
+    st.stats.Stats.stack_words + Cost.words_choice_point
+
+let charge_marker st ~input =
+  charge st st.cost.Cost.marker_alloc;
+  st.stats.Stats.stack_words <- st.stats.Stats.stack_words + Cost.words_marker;
+  if input then st.stats.Stats.input_markers <- st.stats.Stats.input_markers + 1
+  else st.stats.Stats.end_markers <- st.stats.Stats.end_markers + 1
+
+let charge_untrail st n =
+  if n > 0 then begin
+    charge st (n * st.cost.Cost.untrail);
+    st.stats.Stats.untrails <- st.stats.Stats.untrails + n
+  end
+
+let charge_bt_node st =
+  charge st st.cost.Cost.backtrack_node;
+  st.stats.Stats.bt_nodes_visited <- st.stats.Stats.bt_nodes_visited + 1
+
+(* ------------------------------------------------------------------ *)
+(* Exec and frame bookkeeping                                          *)
+(* ------------------------------------------------------------------ *)
+
+let make_exec ?slot () =
+  {
+    x_trail = Trail.create ();
+    x_stack = [];
+    x_slot = slot;
+    x_input_marker = false;
+    x_end_marker = false;
+    x_marker_pending = false;
+    x_det = true;
+  }
+
+(* Fully undoes an execution: its own bindings plus, recursively, every
+   nested frame still hanging on its backtrack stack.  Charges traversal
+   per node crossed — this is the overhead LPCO's flattening removes. *)
+let rec undo_exec st exec =
+  List.iter
+    (fun entry ->
+      charge_bt_node st;
+      match entry with
+      | Ecp _ -> ()
+      | Eframe (f, _) -> undo_frame st f)
+    exec.x_stack;
+  exec.x_stack <- [];
+  let undone = Trail.undo_to exec.x_trail 0 in
+  charge_untrail st undone;
+  (* crossing this exec's markers (if it has any) costs a node each *)
+  if exec.x_input_marker then charge_bt_node st;
+  if exec.x_end_marker then charge_bt_node st
+
+and undo_frame st frame =
+  charge st st.cost.Cost.frame_unwind;
+  for i = 0 to frame.f_nslots - 1 do
+    let slot = frame.f_slots.(i) in
+    (match slot.sl_exec with
+     | Some exec -> undo_exec st exec
+     | None -> ());
+    slot.sl_exec <- None;
+    slot.sl_state <- Sfree
+  done;
+  frame.f_pending <- frame.f_nslots
+
+let unregister_frame st frame =
+  st.pool <- List.filter (fun f -> f.f_id <> frame.f_id) st.pool
+
+let register_frame st frame =
+  if not (List.exists (fun f -> f.f_id = frame.f_id) st.pool) then
+    st.pool <- st.pool @ [ frame ]
+
+let take_free_slot frame =
+  let rec go i =
+    if i >= frame.f_nslots then None
+    else
+      match frame.f_slots.(i).sl_state with
+      | Sfree -> Some frame.f_slots.(i)
+      | Srunning _ | Sdone | Sfailed | Skilled -> go (i + 1)
+  in
+  go 0
+
+(* True when some frame on the path from [exec] to the root is failing:
+   the current computation is doomed and should abort. *)
+let rec aborting exec =
+  match exec.x_slot with
+  | None -> false
+  | Some slot -> slot.sl_frame.f_failing || aborting slot.sl_frame.f_parent
+
+(* ------------------------------------------------------------------ *)
+(* Resolution within one exec                                          *)
+(* ------------------------------------------------------------------ *)
+
+let call_builtin st exec goal =
+  let ctx =
+    { st.ctx with Builtins.trail = exec.x_trail }
+  in
+  let steps0 = !(ctx.Builtins.steps) and arith0 = !(ctx.Builtins.arith_nodes) in
+  let trail0 = Trail.size exec.x_trail in
+  let outcome = Builtins.call ctx goal in
+  let steps = !(ctx.Builtins.steps) - steps0 in
+  let arith = !(ctx.Builtins.arith_nodes) - arith0 in
+  let pushed = Trail.size exec.x_trail - trail0 in
+  charge st st.cost.Cost.builtin;
+  st.stats.Stats.builtin_calls <- st.stats.Stats.builtin_calls + 1;
+  charge st ((steps * st.cost.Cost.unify_step) + (arith * st.cost.Cost.arith_op));
+  charge st (max 0 pushed * st.cost.Cost.trail_push);
+  st.stats.Stats.unify_steps <- st.stats.Stats.unify_steps + steps;
+  st.stats.Stats.trail_pushes <- st.stats.Stats.trail_pushes + max 0 pushed;
+  outcome
+
+let try_clause st exec goal clause =
+  charge st st.cost.Cost.clause_try;
+  st.stats.Stats.clause_tries <- st.stats.Stats.clause_tries + 1;
+  let { Clause.head; body } = Clause.rename clause in
+  let steps = ref 0 in
+  let trail0 = Trail.size exec.x_trail in
+  let mark = Trail.mark exec.x_trail in
+  let ok = Unify.unify ~trail:exec.x_trail ~steps head goal in
+  charge st (!steps * st.cost.Cost.unify_step);
+  st.stats.Stats.unify_steps <- st.stats.Stats.unify_steps + !steps;
+  let pushed = Trail.size exec.x_trail - trail0 in
+  charge st (pushed * st.cost.Cost.trail_push);
+  st.stats.Stats.trail_pushes <- st.stats.Stats.trail_pushes + pushed;
+  if ok then Some body
+  else begin
+    let undone = Trail.undo_to exec.x_trail mark in
+    charge_untrail st undone;
+    None
+  end
+
+(* SPO: the procrastinated input marker materialises just before the first
+   choice point of the slot. *)
+let materialize_input_marker st exec =
+  if exec.x_marker_pending then begin
+    exec.x_marker_pending <- false;
+    exec.x_input_marker <- true;
+    charge_marker st ~input:true
+  end
+
+let push_cp st exec ~goal ~alts ~cont =
+  materialize_input_marker st exec;
+  exec.x_det <- false;
+  charge_cp_alloc st;
+  exec.x_stack <-
+    Ecp { a_goal = goal; a_alts = alts; a_cont = cont; a_trail = Trail.mark exec.x_trail }
+    :: exec.x_stack
+
+(* Forward execution inside [exec].  Returns true on success of the whole
+   continuation.  May recursively create and wait on parcall frames.
+   Raises [Killed] if an ancestor frame starts failing. *)
+let rec exec_run st (agent : agent_state) exec (cont : Clause.item list) : bool =
+  if aborting exec then raise Killed;
+  match cont with
+  | [] -> true
+  | Clause.Par bodies :: rest -> exec_parcall st agent exec bodies rest
+  | Clause.Call g :: rest -> dispatch st agent exec g rest
+
+and dispatch st agent exec g cont =
+  match Term.deref g with
+  | Term.Atom "!" ->
+    Errors.error "cut is not supported inside the and-parallel engine"
+  | Term.Struct ((";" | "->" | "\\+"), _) ->
+    Errors.error
+      "control construct %s not supported inside the and-parallel engine"
+      (Ace_term.Pp.to_string g)
+  | Term.Struct (",", [| _; _ |]) ->
+    exec_run st agent exec (Clause.compile_body g @ cont)
+  | Term.Struct ("&", [| _; _ |]) ->
+    exec_run st agent exec (Clause.compile_body g @ cont)
+  | Term.Struct ("call", [| g |]) -> dispatch st agent exec g cont
+  | g -> (
+    match call_builtin st exec g with
+    | Builtins.Ok -> exec_run st agent exec cont
+    | Builtins.Fail -> exec_backtrack st agent exec
+    | Builtins.Not_builtin -> user_call st agent exec g cont)
+
+and user_call st agent exec g cont =
+  charge st st.cost.Cost.index_lookup;
+  match Database.lookup st.db g with
+  | None ->
+    let name, arity =
+      match Term.functor_of g with Some na -> na | None -> ("?", 0)
+    in
+    Errors.existence_error name arity
+  | Some [] -> exec_backtrack st agent exec
+  | Some [ clause ] -> (
+    match try_clause st exec g clause with
+    | Some body -> exec_run st agent exec (body @ cont)
+    | None -> exec_backtrack st agent exec)
+  | Some (clause :: rest) -> (
+    push_cp st exec ~goal:g ~alts:rest ~cont;
+    match try_clause st exec g clause with
+    | Some body -> exec_run st agent exec (body @ cont)
+    | None -> exec_backtrack st agent exec)
+
+(* Backtracking inside one exec.  Walks the private stack: choice points
+   are retried; completed parcall frames get outside backtracking. *)
+and exec_backtrack st agent exec : bool =
+  st.stats.Stats.backtracks <- st.stats.Stats.backtracks + 1;
+  match exec.x_stack with
+  | [] -> false
+  | Ecp cp :: below -> (
+    charge_bt_node st;
+    match cp.a_alts with
+    | [] ->
+      exec.x_stack <- below;
+      exec_backtrack st agent exec
+    | clause :: alts ->
+      let undone = Trail.undo_to exec.x_trail cp.a_trail in
+      charge_untrail st undone;
+      charge st st.cost.Cost.cp_restore;
+      if alts = [] then exec.x_stack <- below else cp.a_alts <- alts;
+      (match try_clause st exec cp.a_goal clause with
+       | Some body -> exec_run st agent exec (body @ cp.a_cont)
+       | None -> exec_backtrack st agent exec))
+  | Eframe (frame, mark) :: below ->
+    charge st st.cost.Cost.frame_unwind;
+    st.stats.Stats.bt_nodes_visited <- st.stats.Stats.bt_nodes_visited + 1;
+    let undone = Trail.undo_to exec.x_trail mark in
+    charge_untrail st undone;
+    if retry_frame st agent frame then exec_run st agent exec frame.f_cont
+    else begin
+      exec.x_stack <- below;
+      exec_backtrack st agent exec
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Parcall frames                                                      *)
+(* ------------------------------------------------------------------ *)
+
+and make_slot frame index body =
+  {
+    sl_frame = frame;
+    sl_index = index;
+    sl_body = body;
+    sl_state = Sfree;
+    sl_exec = None;
+    sl_no_input = false;
+    sl_spliced = [];
+  }
+
+and exec_parcall st agent exec bodies rest =
+  (* Granularity control (sequentialization schema, §4): a parallel
+     conjunction whose estimated work is too small to amortize a frame runs
+     as a plain conjunction in the current execution.  The estimate is the
+     bounded term size of the branch goals — for list recursions this is
+     proportional to the remaining input, so the top of a computation
+     forks and the fine-grained bottom stays sequential. *)
+  let sequentialize =
+    st.config.Config.seq_threshold > 0
+    &&
+    (charge st st.cost.Cost.runtime_check;
+     let limit = st.config.Config.seq_threshold in
+     let goal_estimate g = Term.size_at_most g ~limit in
+     let rec body_estimate budget = function
+       | [] -> budget
+       | Clause.Call g :: rest ->
+         let budget = budget - goal_estimate g in
+         if budget <= 0 then 0 else body_estimate budget rest
+       | Clause.Par inner :: rest ->
+         let budget =
+           List.fold_left
+             (fun b body -> if b <= 0 then 0 else body_estimate b body)
+             budget inner
+         in
+         if budget <= 0 then 0 else body_estimate budget rest
+     in
+     let remaining =
+       List.fold_left
+         (fun b body -> if b <= 0 then 0 else body_estimate b body)
+         limit bodies
+     in
+     remaining > 0)
+  in
+  if sequentialize then begin
+    st.stats.Stats.seq_hits <- st.stats.Stats.seq_hits + 1;
+    exec_run st agent exec (List.concat bodies @ rest)
+  end
+  else begin
+  (* LPCO: determinate slot whose body ends in a parcall — splice into the
+     enclosing frame instead of nesting. *)
+  let lpco_applicable =
+    st.config.Config.lpco && rest = [] && exec.x_stack = []
+    &&
+    match exec.x_slot with
+    | Some slot -> not slot.sl_frame.f_failing
+    | None -> false
+  in
+  if st.config.Config.lpco then charge st st.cost.Cost.runtime_check;
+  if lpco_applicable then begin
+    let slot = Option.get exec.x_slot in
+    let frame = slot.sl_frame in
+    st.stats.Stats.lpco_hits <- st.stats.Stats.lpco_hits + 1;
+    st.stats.Stats.frames_avoided <- st.stats.Stats.frames_avoided + 1;
+    slot.sl_spliced <- splice_slots st frame ~after_slot:slot bodies;
+    register_frame st frame;
+    (* this slot is done: its residual work now lives in the new slots *)
+    true
+  end
+  else begin
+    let frame = alloc_frame st agent exec bodies rest in
+    register_frame st frame;
+    if run_frame st agent frame then begin
+      exec.x_stack <- Eframe (frame, Trail.mark exec.x_trail) :: exec.x_stack;
+      if frame.f_nondet then exec.x_det <- false;
+      exec_run st agent exec rest
+    end
+    else
+      (* inside failure: the parcall as a whole fails; continue backtracking
+         at older entries of this exec — this is the level-by-level failure
+         propagation that LPCO's flattening short-circuits. *)
+      exec_backtrack st agent exec
+  end
+  end
+
+and alloc_frame st agent exec bodies rest =
+  let n = List.length bodies in
+  dbg "[a%d] alloc_frame n=%d depth_slot=%s@." agent.ag_id n
+    (match exec.x_slot with None -> "root" | Some s -> Printf.sprintf "f%d.%d" s.sl_frame.f_id s.sl_index);
+  charge st (st.cost.Cost.frame_alloc + (n * st.cost.Cost.slot_init));
+  st.stats.Stats.frames <- st.stats.Stats.frames + 1;
+  st.stats.Stats.slots <- st.stats.Stats.slots + n;
+  st.stats.Stats.stack_words <-
+    st.stats.Stats.stack_words + Cost.words_frame_base + (n * Cost.words_per_slot);
+  let depth =
+    match exec.x_slot with
+    | None -> 1
+    | Some slot -> slot.sl_frame.f_depth + 1
+  in
+  if depth > st.stats.Stats.max_frame_nesting then
+    st.stats.Stats.max_frame_nesting <- depth;
+  st.frame_counter <- st.frame_counter + 1;
+  let frame =
+    {
+      f_id = st.frame_counter;
+      f_nondet = false;
+      f_depth = depth;
+      f_parent = exec;
+      f_owner = agent.ag_id;
+      f_slots = [||];
+      f_nslots = 0;
+      f_pending = n;
+      f_failing = false;
+      f_cont = rest;
+    }
+  in
+  let slots = List.mapi (fun i body -> make_slot frame i body) bodies in
+  frame.f_slots <- Array.of_list slots;
+  frame.f_nslots <- n;
+  (match slots with
+   | first :: _ -> first.sl_no_input <- true
+   | [] -> ());
+  frame
+
+(* LPCO splice: insert the nested parcall's subgoals as fresh slots right
+   after [after], preserving sequential order for backward execution. *)
+and splice_slots st frame ~after_slot bodies =
+  let k = List.length bodies in
+  charge st (k * st.cost.Cost.slot_init);
+  st.stats.Stats.slots <- st.stats.Stats.slots + k;
+  st.stats.Stats.stack_words <-
+    st.stats.Stats.stack_words + (k * Cost.words_per_slot);
+  (* the delegator's index is read *after* the tick above: a concurrent
+     splice by another agent may have shifted it, and inserting at a stale
+     position would break the delegator-before-children invariant that
+     outside backtracking relies on *)
+  let after = after_slot.sl_index in
+  let n = frame.f_nslots in
+  let slots = Array.make (n + k) frame.f_slots.(0) in
+  Array.blit frame.f_slots 0 slots 0 (after + 1);
+  let fresh = List.mapi (fun i body -> make_slot frame (after + 1 + i) body) bodies in
+  List.iteri (fun i slot -> slots.(after + 1 + i) <- slot) fresh;
+  Array.blit frame.f_slots (after + 1) slots (after + 1 + k) (n - after - 1);
+  for i = after + 1 + k to n + k - 1 do
+    slots.(i).sl_index <- i
+  done;
+  frame.f_slots <- slots;
+  frame.f_nslots <- n + k;
+  frame.f_pending <- frame.f_pending + k;
+  fresh
+
+(* Removes [dead] slots (by physical identity) from the frame, re-indexing
+   the survivors.  Does not touch [f_pending]; callers recount. *)
+and remove_slots frame dead =
+  if dead <> [] then begin
+    let keep =
+      Array.to_list frame.f_slots
+      |> List.filter (fun s -> not (List.memq s dead))
+    in
+    frame.f_slots <- Array.of_list keep;
+    frame.f_nslots <- Array.length frame.f_slots;
+    Array.iteri (fun i s -> s.sl_index <- i) frame.f_slots
+  end
+
+(* Fully frees a slot for recomputation.  A delegated slot removes its
+   spliced products from the frame (recursively): its re-execution will
+   splice fresh ones, so leaving the old ones would duplicate work. *)
+and reset_slot st frame slot =
+  List.iter (fun child -> reset_slot st frame child) slot.sl_spliced;
+  remove_slots frame slot.sl_spliced;
+  slot.sl_spliced <- [];
+  (match slot.sl_exec with
+   | Some exec -> undo_exec st exec
+   | None -> ());
+  slot.sl_exec <- None;
+  slot.sl_state <- Sfree
+
+(* The owner's wait loop: execute free slots (preferring this frame), help
+   other frames, or idle until the frame completes or fails. *)
+and run_frame st agent frame : bool =
+  let rec loop () =
+    if aborting frame.f_parent then begin
+      (* an ancestor failed: take this frame down, then unwind *)
+      frame.f_failing <- true;
+      drain_and_cleanup st frame;
+      raise Killed
+    end
+    else if frame.f_failing then begin
+      drain_and_cleanup st frame;
+      false
+    end
+    else if frame.f_pending = 0 then begin
+      unregister_frame st frame;
+      dbg "[a%d] frame f%d complete@." agent.ag_id frame.f_id;
+      true
+    end
+    else
+      match take_free_slot frame with
+      | Some slot ->
+        claim_slot agent slot;
+        run_slot st agent slot;
+        loop ()
+      | None -> (
+        match steal st agent with
+        | Some slot ->
+          run_slot st agent slot;
+          loop ()
+        | None -> loop ())
+  in
+  loop ()
+
+(* Waits until no slot is still running on another agent, then undoes all
+   slot executions.  Used on the failure paths. *)
+and drain_and_cleanup st frame =
+  let someone_running () =
+    let rec go i =
+      if i >= frame.f_nslots then false
+      else
+        match frame.f_slots.(i).sl_state with
+        | Srunning _ -> true
+        | Sfree | Sdone | Sfailed | Skilled -> go (i + 1)
+    in
+    go 0
+  in
+  while someone_running () do
+    charge st st.cost.Cost.steal_poll;
+    st.stats.Stats.polls <- st.stats.Stats.polls + 1
+  done;
+  undo_frame st frame;
+  unregister_frame st frame
+
+(* Claims a slot for [agent].  The state change happens before any tick,
+   so acquisition is atomic in the simulation: no other agent can claim the
+   same slot. *)
+and claim_slot agent slot = slot.sl_state <- Srunning agent.ag_id
+
+(* Picks and claims a stealable slot from any registered frame.  Frames
+   found with no free slot are dropped from the pool as we go: a slot can
+   only become free again through outside backtracking, which re-registers
+   the frame — keeping exhausted frames around would make every steal scan
+   the entire history of the computation (and did, before this pruning). *)
+and steal st agent =
+  let visited = ref 0 in
+  let rec scan = function
+    | [] ->
+      st.pool <- [];
+      None
+    | frame :: rest ->
+      incr visited;
+      if frame.f_failing then scan rest
+      else (
+        match take_free_slot frame with
+        | Some slot ->
+          claim_slot agent slot;
+          st.pool <- frame :: rest;
+          Some slot
+        | None -> scan rest)
+  in
+  let result = scan st.pool in
+  st.stats.Stats.polls <- st.stats.Stats.polls + max 1 !visited;
+  (match result with
+   | Some _ ->
+     charge st ((!visited * st.cost.Cost.steal_poll) + st.cost.Cost.steal_grab);
+     st.stats.Stats.steals <- st.stats.Stats.steals + 1
+   | None -> charge st (max 1 !visited * st.cost.Cost.steal_poll));
+  result
+
+(* Executes one slot to completion (or failure/kill).  All marker
+   bookkeeping — including the SPO and PDO variants — lives here. *)
+and run_slot st agent slot =
+  let frame = slot.sl_frame in
+  dbg "[a%d] run_slot f%d.%d@." agent.ag_id frame.f_id slot.sl_index;
+  assert (match slot.sl_state with Srunning id -> id = agent.ag_id | _ -> false);
+  let exec = make_exec ~slot () in
+  slot.sl_exec <- Some exec;
+  (* PDO contiguity check: did this agent just finish the sequentially
+     preceding slot of the same frame? *)
+  let contiguous =
+    st.config.Config.pdo
+    && (charge st st.cost.Cost.runtime_check;
+        match agent.ag_last_done with
+        | Some prev ->
+          prev.sl_frame.f_id = frame.f_id && prev.sl_index + 1 = slot.sl_index
+        | None -> false)
+  in
+  (* Settle the procrastinated end marker of the previous slot. *)
+  (match agent.ag_pending_end with
+   | Some prev_slot when not contiguous ->
+     (match prev_slot.sl_exec with
+      | Some prev_exec when not prev_exec.x_end_marker ->
+        prev_exec.x_end_marker <- true;
+        charge_marker st ~input:false
+      | Some _ | None -> ())
+   | Some _ | None -> ());
+  agent.ag_pending_end <- None;
+  if contiguous then begin
+    st.stats.Stats.pdo_hits <- st.stats.Stats.pdo_hits + 1;
+    st.stats.Stats.markers_avoided <- st.stats.Stats.markers_avoided + 2
+  end
+  else if slot.sl_no_input && agent.ag_id = frame.f_owner then
+    (* first subgoal run in place by the owner: the parcall frame itself
+       marks its beginning (paper, Figure 2) *)
+    ()
+  else if st.config.Config.spo then begin
+    charge st st.cost.Cost.runtime_check;
+    exec.x_marker_pending <- true
+  end
+  else begin
+    exec.x_input_marker <- true;
+    charge_marker st ~input:true
+  end;
+  agent.ag_last_done <- None;
+  charge st st.cost.Cost.task_switch;
+  st.stats.Stats.task_switches <- st.stats.Stats.task_switches + 1;
+  match exec_run st agent exec slot.sl_body with
+  | true ->
+    if not exec.x_det then frame.f_nondet <- true;
+    (* completion markers *)
+    let deterministic = exec.x_det in
+    if contiguous then
+      (* part of a contiguous section: no end marker here either; the next
+         scheduling decision settles the section's final end marker *)
+      agent.ag_pending_end <- Some slot
+    else if st.config.Config.spo && exec.x_marker_pending && deterministic
+    then begin
+      (* SPO payoff: subgoal finished without ever creating a choice point;
+         neither marker is needed — only the trail section survives. *)
+      exec.x_marker_pending <- false;
+      st.stats.Stats.spo_hits <- st.stats.Stats.spo_hits + 1;
+      st.stats.Stats.markers_avoided <- st.stats.Stats.markers_avoided + 2
+    end
+    else if st.config.Config.pdo then
+      (* defer the end marker: the next scheduling decision may merge *)
+      agent.ag_pending_end <- Some slot
+    else begin
+      exec.x_end_marker <- true;
+      charge_marker st ~input:false
+    end;
+    slot.sl_state <- Sdone;
+    frame.f_pending <- frame.f_pending - 1;
+    dbg "[a%d] done f%d.%d pending=%d@." agent.ag_id frame.f_id slot.sl_index frame.f_pending;
+    agent.ag_last_done <- Some slot
+  | false ->
+    (* inside failure: the whole parcall fails *)
+    st.stats.Stats.kills <- st.stats.Stats.kills + 1;
+    charge st st.cost.Cost.kill_signal;
+    undo_exec st exec;
+    slot.sl_state <- Sfailed;
+    frame.f_failing <- true
+  | exception Killed ->
+    charge st st.cost.Cost.kill_signal;
+    st.stats.Stats.kills <- st.stats.Stats.kills + 1;
+    undo_exec st exec;
+    slot.sl_state <- Skilled
+
+(* ------------------------------------------------------------------ *)
+(* Outside backtracking: retrying a completed frame                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Advances [slot]'s execution to its next solution; false when the slot is
+   exhausted (in which case it is fully undone and reset). *)
+and retry_slot st agent slot =
+  match slot.sl_exec with
+  | None -> false
+  | Some exec ->
+    charge st st.cost.Cost.task_switch;
+    st.stats.Stats.task_switches <- st.stats.Stats.task_switches + 1;
+    (* crossing the slot's end marker to get into it *)
+    if exec.x_end_marker then charge_bt_node st;
+    if exec_backtrack st agent exec then true
+    else begin
+      reset_slot st slot.sl_frame slot;
+      false
+    end
+
+(* Outside backtracking into a completed frame: retry the rightmost slot
+   owning alternatives, then recompute the slots to its right in parallel
+   (sound under strict independence).  Returns false when the frame is
+   exhausted (all slots then reset and the frame is dead). *)
+and retry_frame st agent frame : bool =
+  dbg "[a%d] retry_frame f%d nslots=%d@." agent.ag_id frame.f_id frame.f_nslots;
+  let rec scan j =
+    if j < 0 then false
+    else begin
+      charge st st.cost.Cost.frame_linear_scan;
+      assert (j < frame.f_nslots);
+      let slot = frame.f_slots.(j) in
+      dbg "[a%d] retry scan f%d.%d state=%s@." agent.ag_id frame.f_id j
+        (match slot.sl_state with Sdone -> "done" | Sfree -> "free" | Srunning _ -> "running" | Sfailed -> "failed" | Skilled -> "killed");
+      if retry_slot st agent slot then begin
+        (* recompute everything to the right, in parallel; spliced slots
+           leave the frame with their delegators and will be re-spliced *)
+        for k = frame.f_nslots - 1 downto j + 1 do
+          if k < frame.f_nslots then reset_slot st frame frame.f_slots.(k)
+        done;
+        let to_recompute = ref 0 in
+        for k = j + 1 to frame.f_nslots - 1 do
+          if frame.f_slots.(k).sl_state = Sfree then incr to_recompute
+        done;
+        frame.f_pending <- !to_recompute;
+        frame.f_failing <- false;
+        dbg "[a%d] retry ok f%d.%d recompute=%d@." agent.ag_id frame.f_id j !to_recompute;
+        if !to_recompute > 0 then begin
+          register_frame st frame;
+          if run_frame st agent frame then true
+          else
+            (* recomputation failed: only possible when the annotation was
+               not strictly independent; treat as frame failure *)
+            false
+        end
+        else true
+      end
+      else scan (j - 1)
+    end
+  in
+  st.stats.Stats.backtracks <- st.stats.Stats.backtracks + 1;
+  scan (frame.f_nslots - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Agents and the top-level query                                      *)
+(* ------------------------------------------------------------------ *)
+
+let worker_body st agent () =
+  let rec loop () =
+    if st.finished then ()
+    else begin
+      (match steal st agent with
+       | Some slot -> run_slot st agent slot
+       | None -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let root_body st () =
+  let agent = st.agents.(0) in
+  let exec = make_exec () in
+  let record () =
+    st.stats.Stats.solutions <- st.stats.Stats.solutions + 1;
+    st.solutions <- Term.copy_resolved st.goal :: st.solutions
+  in
+  let want_more () =
+    match st.config.Config.max_solutions with
+    | None -> true
+    | Some limit -> st.stats.Stats.solutions < limit
+  in
+  let rec drive ok =
+    if ok then begin
+      record ();
+      if want_more () then drive (exec_backtrack st agent exec) else ()
+    end
+    else ()
+  in
+  (try drive (exec_run st agent exec (Clause.compile_body st.goal))
+   with Killed -> assert false (* the root exec has no ancestor frames *));
+  st.finished <- true;
+  Sim.stop st.sim
+
+let create ?output (config : Config.t) db goal =
+  let config = Config.validate config in
+  let sim = Sim.create ~max_steps:3_000_000 () in
+  let agents =
+    Array.init config.Config.agents (fun i ->
+        { ag_id = i; ag_last_done = None; ag_pending_end = None })
+  in
+  {
+    db;
+    config;
+    cost = config.Config.cost;
+    stats = Stats.create ();
+    sim;
+    ctx = Builtins.make_ctx ?output ~trail:(Trail.create ()) ();
+    agents;
+    pool = [];
+    frame_counter = 0;
+    finished = false;
+    solutions = [];
+    goal;
+    output;
+  }
+
+type result = {
+  solutions : Term.t list;
+  stats : Stats.t;
+  time : int; (* simulated completion time in abstract cycles *)
+}
+
+let run st =
+  Sim.spawn st.sim ~agent:0 (root_body st);
+  for i = 1 to st.config.Config.agents - 1 do
+    Sim.spawn st.sim ~agent:i (worker_body st st.agents.(i))
+  done;
+  Sim.run st.sim;
+  { solutions = List.rev st.solutions; stats = st.stats; time = Sim.stop_time st.sim }
+
+let solve ?output config db goal = run (create ?output config db goal)

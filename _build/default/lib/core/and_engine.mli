@@ -1,0 +1,39 @@
+(** The and-parallel engine (&ACE): parcall frames, input/end markers, work
+    stealing over simulated agents, inside/outside backtracking with
+    recomputation, and the LPCO, SPO and PDO optimizations of the paper
+    (switched from {!Ace_machine.Config}).
+
+    Subgoals of a parallel conjunction must be strictly independent (share
+    no unbound variables at call time) — the standard &ACE condition.  Cut
+    and control constructs other than [call/1] are rejected. *)
+
+type t
+
+type result = {
+  solutions : Ace_term.Term.t list;
+      (** snapshots of the instantiated goal, in discovery order *)
+  stats : Ace_machine.Stats.t;
+  time : int;  (** simulated completion time, abstract cycles *)
+}
+
+val create :
+  ?output:Buffer.t ->
+  Ace_machine.Config.t ->
+  Ace_lang.Database.t ->
+  Ace_term.Term.t ->
+  t
+
+(** Runs the query to exhaustion (or [config.max_solutions]). *)
+val run : t -> result
+
+val solve :
+  ?output:Buffer.t ->
+  Ace_machine.Config.t ->
+  Ace_lang.Database.t ->
+  Ace_term.Term.t ->
+  result
+
+(**/**)
+
+(** Debug tracing. *)
+val debug : bool ref

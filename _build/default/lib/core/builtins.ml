@@ -1,0 +1,194 @@
+(* Deterministic builtin predicates, shared by all engines.
+
+   Control constructs (cut, negation, if-then-else, disjunction) are engine
+   business and are not here.  Each builtin either succeeds (possibly
+   binding variables through the caller's trail), fails, or reports that the
+   call is not a builtin at all. *)
+
+module Term = Ace_term.Term
+module Trail = Ace_term.Trail
+module Unify = Ace_term.Unify
+module Arith = Ace_term.Arith
+
+type outcome =
+  | Ok
+  | Fail
+  | Not_builtin
+
+type ctx = {
+  trail : Trail.t;
+  steps : int ref;      (* unification steps performed, for cost charging *)
+  arith_nodes : int ref;(* arithmetic nodes evaluated *)
+  output : Buffer.t option; (* destination of write/1, nl/0; None = stdout *)
+}
+
+let make_ctx ?output ~trail () = { trail; steps = ref 0; arith_nodes = ref 0; output }
+
+let names =
+  [ ("true", 0); ("fail", 0); ("false", 0);
+    ("=", 2); ("\\=", 2); ("==", 2); ("\\==", 2);
+    ("@<", 2); ("@>", 2); ("@=<", 2); ("@>=", 2);
+    ("compare", 3);
+    ("is", 2); ("<", 2); (">", 2); ("=<", 2); (">=", 2); ("=:=", 2); ("=\\=", 2);
+    ("var", 1); ("nonvar", 1); ("atom", 1); ("number", 1); ("integer", 1);
+    ("atomic", 1); ("compound", 1); ("callable", 1); ("is_list", 1); ("ground", 1);
+    ("functor", 3); ("arg", 3); ("=..", 2);
+    ("write", 1); ("print", 1); ("nl", 0); ("write_canonical", 1);
+    ("halt", 0) ]
+
+let is_builtin name arity = List.mem (name, arity) names
+
+let arith ctx t =
+  ctx.arith_nodes := !(ctx.arith_nodes) + Term.size t;
+  Arith.eval t
+
+let bool_outcome b = if b then Ok else Fail
+
+let type_check name t =
+  match name, Term.deref t with
+  | "var", Term.Var _ -> true
+  | "var", _ -> false
+  | "nonvar", Term.Var _ -> false
+  | "nonvar", _ -> true
+  | "atom", Term.Atom _ -> true
+  | "atom", _ -> false
+  | ("number" | "integer"), Term.Int _ -> true
+  | ("number" | "integer"), _ -> false
+  | "atomic", (Term.Atom _ | Term.Int _) -> true
+  | "atomic", _ -> false
+  | "compound", Term.Struct _ -> true
+  | "compound", _ -> false
+  | "callable", (Term.Atom _ | Term.Struct _) -> true
+  | "callable", _ -> false
+  | "is_list", t -> Term.to_list t <> None
+  | "ground", t -> Term.is_ground t
+  | _ -> assert false
+
+let emit ctx s =
+  match ctx.output with
+  | Some buf -> Buffer.add_string buf s
+  | None -> print_string s
+
+let univ ctx a b =
+  (* X =.. [f, Args...] in both directions *)
+  match Term.deref a with
+  | Term.Var _ -> (
+    match Term.to_list b with
+    | Some (f :: args) -> (
+      match Term.deref f, args with
+      | Term.Atom name, args ->
+        bool_outcome
+          (Unify.unify_or_undo ~trail:ctx.trail ~steps:ctx.steps a
+             (Term.struct_ name (Array.of_list args)))
+      | Term.Int _, [] ->
+        bool_outcome (Unify.unify_or_undo ~trail:ctx.trail ~steps:ctx.steps a f)
+      | _ -> Errors.error "=../2: invalid functor list")
+    | Some [] -> Errors.error "=../2: empty list"
+    | None -> Errors.error "=../2: unbound arguments")
+  | Term.Atom name ->
+    bool_outcome
+      (Unify.unify_or_undo ~trail:ctx.trail ~steps:ctx.steps b
+         (Term.of_list [ Term.Atom name ]))
+  | Term.Int n ->
+    bool_outcome
+      (Unify.unify_or_undo ~trail:ctx.trail ~steps:ctx.steps b
+         (Term.of_list [ Term.Int n ]))
+  | Term.Struct (name, args) ->
+    bool_outcome
+      (Unify.unify_or_undo ~trail:ctx.trail ~steps:ctx.steps b
+         (Term.of_list (Term.Atom name :: Array.to_list args)))
+
+let functor3 ctx t f a =
+  match Term.deref t with
+  | Term.Var _ -> (
+    match Term.deref f, Term.deref a with
+    | f', Term.Int 0 ->
+      bool_outcome (Unify.unify_or_undo ~trail:ctx.trail ~steps:ctx.steps t f')
+    | Term.Atom name, Term.Int n when n > 0 ->
+      let args = Array.init n (fun _ -> Term.var ()) in
+      bool_outcome
+        (Unify.unify_or_undo ~trail:ctx.trail ~steps:ctx.steps t
+           (Term.Struct (name, args)))
+    | _ -> Errors.error "functor/3: insufficiently instantiated"
+  )
+  | Term.Atom name ->
+    bool_outcome
+      (Unify.unify_or_undo ~trail:ctx.trail ~steps:ctx.steps
+         (Term.app "fa" [ f; a ])
+         (Term.app "fa" [ Term.Atom name; Term.Int 0 ]))
+  | Term.Int n ->
+    bool_outcome
+      (Unify.unify_or_undo ~trail:ctx.trail ~steps:ctx.steps
+         (Term.app "fa" [ f; a ])
+         (Term.app "fa" [ Term.Int n; Term.Int 0 ]))
+  | Term.Struct (name, args) ->
+    bool_outcome
+      (Unify.unify_or_undo ~trail:ctx.trail ~steps:ctx.steps
+         (Term.app "fa" [ f; a ])
+         (Term.app "fa" [ Term.Atom name; Term.Int (Array.length args) ]))
+
+let arg3 ctx n t a =
+  match Term.deref n, Term.deref t with
+  | Term.Int i, Term.Struct (_, args) ->
+    if i >= 1 && i <= Array.length args then
+      bool_outcome
+        (Unify.unify_or_undo ~trail:ctx.trail ~steps:ctx.steps a args.(i - 1))
+    else Fail
+  | _ -> Errors.error "arg/3: insufficiently instantiated"
+
+(* Executes a builtin call; [Not_builtin] lets the engine fall back to the
+   clause database. *)
+let rec call ctx goal =
+  try call_unchecked ctx goal
+  with Arith.Error msg ->
+    raise
+      (Arith.Error
+         (Format.asprintf "%s in %a" msg Ace_term.Pp.pp (Term.deref goal)))
+
+and call_unchecked ctx goal =
+  let g = Term.deref goal in
+  match g with
+  | Term.Atom "true" -> Ok
+  | Term.Atom ("fail" | "false") -> Fail
+  | Term.Atom "nl" ->
+    emit ctx "\n";
+    Ok
+  | Term.Atom "halt" -> Errors.error "halt/0: not allowed in embedded engine"
+  | Term.Struct ("=", [| a; b |]) ->
+    bool_outcome (Unify.unify_or_undo ~trail:ctx.trail ~steps:ctx.steps a b)
+  | Term.Struct ("\\=", [| a; b |]) ->
+    let mark = Trail.mark ctx.trail in
+    let unified = Unify.unify ~trail:ctx.trail ~steps:ctx.steps a b in
+    ignore (Trail.undo_to ctx.trail mark);
+    bool_outcome (not unified)
+  | Term.Struct ("==", [| a; b |]) -> bool_outcome (Term.equal a b)
+  | Term.Struct ("\\==", [| a; b |]) -> bool_outcome (not (Term.equal a b))
+  | Term.Struct ("@<", [| a; b |]) -> bool_outcome (Term.compare a b < 0)
+  | Term.Struct ("@>", [| a; b |]) -> bool_outcome (Term.compare a b > 0)
+  | Term.Struct ("@=<", [| a; b |]) -> bool_outcome (Term.compare a b <= 0)
+  | Term.Struct ("@>=", [| a; b |]) -> bool_outcome (Term.compare a b >= 0)
+  | Term.Struct ("compare", [| order; a; b |]) ->
+    let c = Term.compare a b in
+    let sym = if c < 0 then "<" else if c > 0 then ">" else "=" in
+    bool_outcome
+      (Unify.unify_or_undo ~trail:ctx.trail ~steps:ctx.steps order (Term.Atom sym))
+  | Term.Struct ("is", [| result; expr |]) ->
+    let n = arith ctx expr in
+    bool_outcome
+      (Unify.unify_or_undo ~trail:ctx.trail ~steps:ctx.steps result (Term.Int n))
+  | Term.Struct (("<" | ">" | "=<" | ">=" | "=:=" | "=\\=") as op, [| a; b |]) ->
+    bool_outcome (Arith.compare_op op (arith ctx a) (arith ctx b))
+  | Term.Struct
+      ( (("var" | "nonvar" | "atom" | "number" | "integer" | "atomic"
+         | "compound" | "callable" | "is_list" | "ground") as name),
+        [| t |] ) ->
+    bool_outcome (type_check name t)
+  | Term.Struct ("functor", [| t; f; a |]) -> functor3 ctx t f a
+  | Term.Struct ("arg", [| n; t; a |]) -> arg3 ctx n t a
+  | Term.Struct ("=..", [| a; b |]) -> univ ctx a b
+  | Term.Struct (("write" | "print" | "write_canonical"), [| t |]) ->
+    emit ctx (Ace_term.Pp.to_string t);
+    Ok
+  | Term.Atom _ | Term.Struct _ -> Not_builtin
+  | Term.Int _ -> Errors.error "callable expected, got integer"
+  | Term.Var _ -> Errors.error "unbound goal"

@@ -1,0 +1,23 @@
+(** Deterministic builtin predicates shared by the engines.  Control
+    constructs (cut, [\+], [;], [->]) are handled by each engine, not
+    here. *)
+
+type outcome =
+  | Ok
+  | Fail
+  | Not_builtin
+
+type ctx = {
+  trail : Ace_term.Trail.t;
+  steps : int ref;        (** unification steps, reset/read by the engine *)
+  arith_nodes : int ref;  (** arithmetic nodes evaluated *)
+  output : Buffer.t option;
+}
+
+val make_ctx : ?output:Buffer.t -> trail:Ace_term.Trail.t -> unit -> ctx
+
+val is_builtin : string -> int -> bool
+
+(** Runs [goal] if it is a builtin.  May bind variables (trailed); raises
+    {!Errors.Engine_error} on type errors. *)
+val call : ctx -> Ace_term.Term.t -> outcome

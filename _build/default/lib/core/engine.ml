@@ -1,0 +1,57 @@
+(* Facade over the three engines, exposing one result type so that the
+   harness, tests and examples can sweep engine × configuration
+   uniformly. *)
+
+module Term = Ace_term.Term
+module Stats = Ace_machine.Stats
+module Config = Ace_machine.Config
+module Database = Ace_lang.Database
+
+type kind =
+  | Sequential   (* baseline; '&' runs as ',' *)
+  | And_parallel (* &ACE: LPCO / SPO / PDO *)
+  | Or_parallel  (* MUSE-style: LAO *)
+
+let kind_to_string = function
+  | Sequential -> "seq"
+  | And_parallel -> "and"
+  | Or_parallel -> "or"
+
+type result = {
+  solutions : Term.t list;
+  stats : Stats.t;
+  time : int; (* abstract cycles: charged total (seq) or simulated makespan *)
+}
+
+let solve ?output kind (config : Config.t) db goal =
+  match kind with
+  | Sequential ->
+    let solutions, m =
+      Seq_engine.solve ?output ~cost:config.Config.cost
+        ?limit:config.Config.max_solutions db goal
+    in
+    { solutions; stats = Seq_engine.stats m; time = Seq_engine.time m }
+  | And_parallel ->
+    let r = And_engine.solve ?output config db goal in
+    {
+      solutions = r.And_engine.solutions;
+      stats = r.And_engine.stats;
+      time = r.And_engine.time;
+    }
+  | Or_parallel ->
+    let r = Or_engine.solve ?output config db goal in
+    {
+      solutions = r.Or_engine.solutions;
+      stats = r.Or_engine.stats;
+      time = r.Or_engine.time;
+    }
+
+(* Convenience: consult a program and run a query in one call. *)
+let solve_program ?output kind config ~program ~query =
+  let p = Ace_lang.Program.consult_string program in
+  let q = Ace_lang.Program.parse_query query in
+  solve ?output kind config (Ace_lang.Program.db p) q.Ace_lang.Program.goal
+
+(* Solutions as a sorted list (for multiset comparison between engines,
+   since or-parallel discovery order is interleaved). *)
+let sorted_solutions result = List.sort Term.compare result.solutions

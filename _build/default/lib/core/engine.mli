@@ -1,0 +1,37 @@
+(** Facade over the sequential, and-parallel and or-parallel engines. *)
+
+type kind =
+  | Sequential
+  | And_parallel
+  | Or_parallel
+
+val kind_to_string : kind -> string
+
+type result = {
+  solutions : Ace_term.Term.t list;
+  stats : Ace_machine.Stats.t;
+  time : int;
+      (** abstract cycles: total charge (sequential) or simulated makespan
+          (parallel engines) *)
+}
+
+val solve :
+  ?output:Buffer.t ->
+  kind ->
+  Ace_machine.Config.t ->
+  Ace_lang.Database.t ->
+  Ace_term.Term.t ->
+  result
+
+(** Consults [program] source and runs [query]. *)
+val solve_program :
+  ?output:Buffer.t ->
+  kind ->
+  Ace_machine.Config.t ->
+  program:string ->
+  query:string ->
+  result
+
+(** Solutions in the standard order of terms, for engine-to-engine multiset
+    comparison. *)
+val sorted_solutions : result -> Ace_term.Term.t list

@@ -1,0 +1,10 @@
+(* Runtime errors shared by the engines. *)
+
+exception Engine_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Engine_error s)) fmt
+
+(* Calling an undefined predicate is an error (not a silent failure): the
+   benchmarks are closed programs and a typo must not masquerade as a
+   legitimate failure. *)
+let existence_error name arity = error "undefined predicate %s/%d" name arity

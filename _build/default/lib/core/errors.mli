@@ -1,0 +1,11 @@
+(** Runtime errors shared by the engines. *)
+
+exception Engine_error of string
+
+(** Raises {!Engine_error} with a formatted message. *)
+val error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** Calling an undefined predicate is an error, not a failure: benchmark
+    programs are closed and a typo must not masquerade as a legitimate
+    failure. *)
+val existence_error : string -> int -> 'a

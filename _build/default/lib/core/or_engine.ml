@@ -1,0 +1,466 @@
+(* The or-parallel engine (MUSE-style, as in the ACE or-parallel
+   component).
+
+   Every worker owns a complete private machine state (choice-point stack,
+   trail, bindings).  An idle worker picks a victim, scans the victim's
+   choice-point stack bottom-up for a node with untried alternatives
+   (charged per node visited — dead, exhausted nodes on the way cost real
+   scan time), then *copies* the victim's machine state, backtracks the
+   copy to the stolen node, and takes the next alternative.  The
+   alternative lists of copied choice points are shared (behind a ref), so
+   every alternative is explored exactly once globally — the MUSE
+   public-region discipline.
+
+   Because a shared (copied) node may back branches of other workers, an
+   exhausted node cannot be trust-popped at its last alternative the way a
+   sequential engine would: it stays on the stack until backtracking pops
+   it, and scans and copies keep paying for it.  This is precisely the
+   behaviour the Last Alternative Optimization (LAO, paper §3.2) attacks:
+   with LAO, creating a choice point while the current top node is
+   exhausted *updates that node in place* instead of allocating a new one,
+   so member/2-style generators keep a single live node holding all
+   remaining alternatives (paper's Figures 6 and 7).  The in-place update
+   of a potentially shared node needs synchronization, so it is charged
+   *more* than a private allocation — which is why LAO loses a little at 1
+   worker (the negative first column of the paper's Table 3) and wins once
+   scans and copies matter.
+
+   Solutions: the root continuation ends in a sentinel goal ['$solution']
+   that records the current bindings and then fails, driving exploration of
+   the entire search tree (or until [max_solutions]). *)
+
+module Term = Ace_term.Term
+module Trail = Ace_term.Trail
+module Unify = Ace_term.Unify
+module Clause = Ace_lang.Clause
+module Database = Ace_lang.Database
+module Cost = Ace_machine.Cost
+module Stats = Ace_machine.Stats
+module Config = Ace_machine.Config
+module Sim = Ace_sched.Sim
+
+type ocp = {
+  mutable o_goal : Term.t;
+  mutable o_alts : Clause.t list ref; (* shared with copies of this node *)
+  mutable o_cont : Clause.item list;
+  mutable o_trail : int;
+}
+
+type worker = {
+  w_id : int;
+  mutable w_cps : ocp list; (* newest first *)
+  mutable w_trail : Trail.t;
+  mutable w_idle : bool;
+}
+
+type t = {
+  db : Database.t;
+  config : Config.t;
+  cost : Cost.t;
+  stats : Stats.t;
+  sim : Sim.t;
+  workers : worker array;
+  goal : Term.t;
+  output : Buffer.t option;
+  mutable finished : bool;
+  mutable idle_count : int;
+  mutable solutions : Term.t list; (* newest first *)
+}
+
+let charge (_st : t) n = Sim.tick n
+
+let charge_untrail st n =
+  if n > 0 then begin
+    charge st (n * st.cost.Cost.untrail);
+    st.stats.Stats.untrails <- st.stats.Stats.untrails + n
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Raw state copying (the MUSE stack copy)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Copies a term *without* dereferencing: bound variables are copied as
+   bound variables so that the thief's trail can undo them independently.
+   [cells] counts copied cells for cost charging. *)
+let rec copy_raw table cells t =
+  incr cells;
+  match t with
+  | Term.Atom _ | Term.Int _ -> t
+  | Term.Struct (f, args) -> Term.Struct (f, Array.map (copy_raw table cells) args)
+  | Term.Var v -> (
+    match Hashtbl.find_opt table v.Term.vid with
+    | Some v' -> Term.Var v'
+    | None ->
+      let v' = Term.fresh_var () in
+      Hashtbl.add table v.Term.vid v';
+      (match v.Term.binding with
+       | Some b -> v'.Term.binding <- Some (copy_raw table cells b)
+       | None -> ());
+      Term.Var v')
+
+let rec copy_items table cells items =
+  List.map
+    (function
+      | Clause.Call g -> Clause.Call (copy_raw table cells g)
+      | Clause.Par bodies -> Clause.Par (List.map (copy_items table cells) bodies))
+    items
+
+let copy_var table cells v =
+  match copy_raw table cells (Term.Var v) with
+  | Term.Var v' -> v'
+  | Term.Atom _ | Term.Int _ | Term.Struct _ -> assert false
+
+(* Copies the victim's entire machine state into the thief (full stack +
+   full trail, exactly like a MUSE stack copy); the caller then backtracks
+   the copy to the stolen node.  The alternative refs stay shared. *)
+let copy_state st ~victim ~thief =
+  let table = Hashtbl.create 256 in
+  let cells = ref 0 in
+  let cps =
+    List.map
+      (fun cp ->
+        {
+          o_goal = copy_raw table cells cp.o_goal;
+          o_alts = cp.o_alts; (* shared *)
+          o_cont = copy_items table cells cp.o_cont;
+          o_trail = cp.o_trail;
+        })
+      victim.w_cps
+  in
+  let trail = Trail.create () in
+  let n = Trail.size victim.w_trail in
+  let entries = Trail.segment victim.w_trail ~lo:0 ~hi:n in
+  Array.iter (fun v -> Trail.push trail (copy_var table cells v)) entries;
+  thief.w_cps <- cps;
+  thief.w_trail <- trail;
+  charge st (st.cost.Cost.copy_setup + (!cells * st.cost.Cost.copy_cell));
+  st.stats.Stats.copies <- st.stats.Stats.copies + 1;
+  st.stats.Stats.copied_cells <- st.stats.Stats.copied_cells + !cells
+
+(* ------------------------------------------------------------------ *)
+(* Resolution                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let solution_goal st =
+  Clause.Call (Term.Struct ("$solution", [| st.goal |]))
+
+let call_builtin st w goal =
+  let ctx = Builtins.make_ctx ?output:st.output ~trail:w.w_trail () in
+  let trail0 = Trail.size w.w_trail in
+  let outcome = Builtins.call ctx goal in
+  let steps = !(ctx.Builtins.steps) and arith = !(ctx.Builtins.arith_nodes) in
+  let pushed = Trail.size w.w_trail - trail0 in
+  charge st st.cost.Cost.builtin;
+  st.stats.Stats.builtin_calls <- st.stats.Stats.builtin_calls + 1;
+  charge st ((steps * st.cost.Cost.unify_step) + (arith * st.cost.Cost.arith_op));
+  charge st (max 0 pushed * st.cost.Cost.trail_push);
+  st.stats.Stats.unify_steps <- st.stats.Stats.unify_steps + steps;
+  st.stats.Stats.trail_pushes <- st.stats.Stats.trail_pushes + max 0 pushed;
+  outcome
+
+let try_clause st w goal clause =
+  charge st st.cost.Cost.clause_try;
+  st.stats.Stats.clause_tries <- st.stats.Stats.clause_tries + 1;
+  let { Clause.head; body } = Clause.rename clause in
+  let steps = ref 0 in
+  let mark = Trail.mark w.w_trail in
+  let ok = Unify.unify ~trail:w.w_trail ~steps head goal in
+  charge st (!steps * st.cost.Cost.unify_step);
+  st.stats.Stats.unify_steps <- st.stats.Stats.unify_steps + !steps;
+  let pushed = Trail.size w.w_trail - mark in
+  charge st (pushed * st.cost.Cost.trail_push);
+  st.stats.Stats.trail_pushes <- st.stats.Stats.trail_pushes + pushed;
+  if ok then Some body
+  else begin
+    charge_untrail st (Trail.undo_to w.w_trail mark);
+    None
+  end
+
+(* Choice-point creation, with the LAO check: if the current top node is
+   exhausted, refurbish it in place instead of allocating a new node. *)
+let debug = ref false
+
+let push_cp st w ~goal ~alts ~cont =
+  if !debug then Format.eprintf "[w%d] push_cp %s alts=%d@." w.w_id (Ace_term.Pp.to_string goal) (List.length alts);
+  if st.config.Config.lao then charge st st.cost.Cost.runtime_check;
+  match w.w_cps with
+  | top :: _ when st.config.Config.lao && !(top.o_alts) = [] ->
+    charge st st.cost.Cost.lao_update;
+    st.stats.Stats.cp_updates <- st.stats.Stats.cp_updates + 1;
+    st.stats.Stats.lao_hits <- st.stats.Stats.lao_hits + 1;
+    top.o_goal <- goal;
+    top.o_alts <- ref alts; (* fresh ref: old copies keep their dead ref *)
+    top.o_cont <- cont;
+    top.o_trail <- Trail.mark w.w_trail
+  | _ ->
+    charge st st.cost.Cost.cp_alloc;
+    st.stats.Stats.cp_allocs <- st.stats.Stats.cp_allocs + 1;
+    st.stats.Stats.stack_words <-
+      st.stats.Stats.stack_words + Cost.words_choice_point;
+    w.w_cps <-
+      { o_goal = goal; o_alts = ref alts; o_cont = cont; o_trail = Trail.mark w.w_trail }
+      :: w.w_cps
+
+let record_solution st =
+  st.stats.Stats.solutions <- st.stats.Stats.solutions + 1
+
+(* Forward execution until a failure (solutions report-and-fail via the
+   sentinel) or engine shutdown.  Returns when the worker has no local
+   alternatives left. *)
+let rec run_worker st w (cont : Clause.item list) : unit =
+  if st.finished then ()
+  else
+    match cont with
+    | [] ->
+      (* only reachable for a goal without the sentinel; treat as done *)
+      backtrack st w
+    | Clause.Par bodies :: rest ->
+      (* the or-engine runs '&' sequentially *)
+      run_worker st w (List.concat bodies @ rest)
+    | Clause.Call g :: rest -> dispatch st w g rest
+
+and dispatch st w g cont =
+  match Term.deref g with
+  | Term.Struct ("$solution", [| goal |]) ->
+    if !debug then Format.eprintf "[w%d] solution %s@." w.w_id (Ace_term.Pp.to_string goal);
+    record_solution st;
+    st.solutions <- Term.copy_resolved goal :: st.solutions;
+    let enough =
+      match st.config.Config.max_solutions with
+      | Some limit -> st.stats.Stats.solutions >= limit
+      | None -> false
+    in
+    if enough then begin
+      st.finished <- true;
+      Sim.stop st.sim
+    end
+    else backtrack st w (* report-and-fail drives the full search *)
+  | Term.Atom "!" | Term.Struct ((";" | "->" | "\\+"), _) ->
+    Errors.error "control construct %s not supported inside the or-parallel engine"
+      (Ace_term.Pp.to_string g)
+  | Term.Struct (",", [| _; _ |]) | Term.Struct ("&", [| _; _ |]) ->
+    run_worker st w (Clause.compile_body g @ cont)
+  | Term.Struct ("call", [| g |]) -> dispatch st w g cont
+  | g -> (
+    match call_builtin st w g with
+    | Builtins.Ok -> run_worker st w cont
+    | Builtins.Fail -> backtrack st w
+    | Builtins.Not_builtin -> user_call st w g cont)
+
+and user_call st w g cont =
+  charge st st.cost.Cost.index_lookup;
+  match Database.lookup st.db g with
+  | None ->
+    let name, arity =
+      match Term.functor_of g with Some na -> na | None -> ("?", 0)
+    in
+    Errors.existence_error name arity
+  | Some [] -> backtrack st w
+  | Some [ clause ] -> (
+    match try_clause st w g clause with
+    | Some body -> run_worker st w (body @ cont)
+    | None -> backtrack st w)
+  | Some (clause :: rest) -> (
+    push_cp st w ~goal:g ~alts:rest ~cont;
+    match try_clause st w g clause with
+    | Some body -> run_worker st w (body @ cont)
+    | None -> backtrack st w)
+
+(* Local backtracking: exhausted nodes are popped (each visit charged); a
+   node with remaining shared alternatives yields the next one. *)
+and backtrack st w =
+  if !debug then
+    Format.eprintf "[w%d] backtrack stack=%d top_alts=%s@." w.w_id (List.length w.w_cps)
+      (match w.w_cps with [] -> "-" | cp :: _ -> string_of_int (List.length !(cp.o_alts)));
+  st.stats.Stats.backtracks <- st.stats.Stats.backtracks + 1;
+  if st.finished then ()
+  else
+    match w.w_cps with
+    | [] -> () (* no local work left: the worker loop will go stealing *)
+    | cp :: below -> (
+      charge st st.cost.Cost.backtrack_node;
+      st.stats.Stats.bt_nodes_visited <- st.stats.Stats.bt_nodes_visited + 1;
+      match !(cp.o_alts) with
+      | [] ->
+        w.w_cps <- below;
+        backtrack st w
+      | clause :: alts ->
+        if !debug then Format.eprintf "[w%d] retry %s@." w.w_id (Ace_term.Pp.to_string cp.o_goal);
+        cp.o_alts := alts;
+        charge_untrail st (Trail.undo_to w.w_trail cp.o_trail);
+        charge st st.cost.Cost.cp_restore;
+        (match try_clause st w cp.o_goal clause with
+         | Some body -> run_worker st w (body @ cp.o_cont)
+         | None -> backtrack st w))
+
+(* ------------------------------------------------------------------ *)
+(* Or-scheduler: scanning and stealing                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Scans [victim]'s stack bottom-up for the first node with untried
+   alternatives; charges per node visited (dead nodes on the way cost real
+   scan time).  The scan itself does not tick, so the result is consistent
+   with the claim that follows; the accumulated cost is charged in one
+   step. *)
+let find_work st victim =
+  let visited = ref 0 in
+  let rec scan = function
+    | [] -> None
+    | cp :: above ->
+      incr visited;
+      if !(cp.o_alts) <> [] then Some cp else scan above
+  in
+  let result = scan (List.rev victim.w_cps) in
+  st.stats.Stats.or_scans <- st.stats.Stats.or_scans + !visited;
+  (result, !visited * st.cost.Cost.or_scan_node)
+
+(* Steals from the first victim (in id order after the thief) that has
+   work: copy the whole state, backtrack the copy to the stolen node, pop
+   one alternative.  Returns the goal/continuation to resume with. *)
+let try_steal st (w : worker) =
+  let p = Array.length st.workers in
+  let rec attempt k =
+    if k >= p then None
+    else
+      let victim = st.workers.((w.w_id + 1 + k) mod p) in
+      if victim.w_id = w.w_id || victim.w_cps = [] then attempt (k + 1)
+      else begin
+        (* scan, claim and copy happen without an intervening tick: a live
+           node (non-empty alternatives) is guaranteed to still be on the
+           victim's stack, so the copied stack contains the target *)
+        let target, scan_cost = find_work st victim in
+        match target with
+        | None ->
+          charge st scan_cost;
+          attempt (k + 1)
+        | Some target -> (
+          match !(target.o_alts) with
+          | [] ->
+            charge st scan_cost;
+            attempt (k + 1)
+          | clause :: alts ->
+            if !debug then Format.eprintf "[w%d] steal claim %s (left %d)@." w.w_id (Ace_term.Pp.to_string target.o_goal) (List.length alts);
+            (* claim, remember the claimed ref, and copy — all before the
+               first tick, so the victim cannot mutate underneath.  Leaving
+               the idle set must be atomic with the claim, or another
+               worker could observe "everyone idle" while this one holds
+               claimed work and declare premature exhaustion. *)
+            let claimed_ref = target.o_alts in
+            claimed_ref := alts;
+            if w.w_idle then begin
+              w.w_idle <- false;
+              st.idle_count <- st.idle_count - 1
+            end;
+            copy_state st ~victim ~thief:w;
+            charge st scan_cost;
+            (* backtrack the copy to the stolen node *)
+            let rec pop_to popped = function
+              | [] -> assert false
+              | cp :: below ->
+                if cp.o_alts == claimed_ref then (cp, popped + 1)
+                else pop_to (popped + 1) below
+            in
+            let cp, visited = pop_to 0 w.w_cps in
+            let rec drop = function
+              | cp' :: below when not (cp'.o_alts == claimed_ref) -> drop below
+              | rest -> rest
+            in
+            w.w_cps <- drop w.w_cps;
+            charge st (visited * st.cost.Cost.backtrack_node);
+            st.stats.Stats.bt_nodes_visited <-
+              st.stats.Stats.bt_nodes_visited + visited;
+            charge_untrail st (Trail.undo_to w.w_trail cp.o_trail);
+            charge st (st.cost.Cost.cp_restore + st.cost.Cost.steal_grab);
+            st.stats.Stats.steals <- st.stats.Stats.steals + 1;
+            Some (cp, clause))
+      end
+  in
+  attempt 0
+
+let worker_body st w ~initial () =
+  let resume (cp, clause) =
+    match try_clause st w cp.o_goal clause with
+    | Some body -> run_worker st w (body @ cp.o_cont)
+    | None -> backtrack st w
+  in
+  (match initial with
+   | Some cont -> run_worker st w cont
+   | None -> ());
+  (* steal loop with distributed termination detection: a worker that finds
+     nothing to steal while every other worker is idle declares global
+     exhaustion *)
+  let rec idle_loop () =
+    if st.finished then ()
+    else begin
+      w.w_idle <- true;
+      st.idle_count <- st.idle_count + 1;
+      let rec poll () =
+        if st.finished then ()
+        else
+          match try_steal st w with
+          | Some work ->
+            (* the idle set was left at claim time, inside try_steal *)
+            resume work;
+            idle_loop ()
+          | None ->
+            if st.idle_count = Array.length st.workers then begin
+              st.finished <- true;
+              Sim.stop st.sim
+            end
+            else begin
+              charge st st.cost.Cost.steal_poll;
+              st.stats.Stats.polls <- st.stats.Stats.polls + 1;
+              poll ()
+            end
+      in
+      poll ()
+    end
+  in
+  idle_loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Public interface                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type result = {
+  solutions : Term.t list; (* in discovery order (nondeterministic for P>1) *)
+  stats : Stats.t;
+  time : int;
+}
+
+let create ?output (config : Config.t) db goal =
+  let config = Config.validate config in
+  let sim = Sim.create ~max_steps:3_000_000 () in
+  let workers =
+    Array.init config.Config.agents (fun i ->
+        { w_id = i; w_cps = []; w_trail = Trail.create (); w_idle = false })
+  in
+  {
+    db;
+    config;
+    cost = config.Config.cost;
+    stats = Stats.create ();
+    sim;
+    workers;
+    goal;
+    output;
+    finished = false;
+    idle_count = 0;
+    solutions = [];
+  }
+
+let run st =
+  let init = Clause.compile_body st.goal @ [ solution_goal st ] in
+  Array.iter
+    (fun w ->
+      let initial = if w.w_id = 0 then Some init else None in
+      Sim.spawn st.sim ~agent:w.w_id (worker_body st w ~initial))
+    st.workers;
+  Sim.run st.sim;
+  {
+    solutions = List.rev st.solutions;
+    stats = st.stats;
+    time = Sim.stop_time st.sim;
+  }
+
+let solve ?output config db goal = run (create ?output config db goal)

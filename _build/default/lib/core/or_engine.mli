@@ -1,0 +1,37 @@
+(** The or-parallel engine (MUSE-style stack-copying workers) with the Last
+    Alternative Optimization of the paper's §3.2.
+
+    Finds all solutions (or [config.max_solutions]) by exploring the or-tree
+    with [config.agents] simulated workers.  Parallel conjunctions run
+    sequentially; cut and other control constructs are rejected. *)
+
+type t
+
+type result = {
+  solutions : Ace_term.Term.t list;
+      (** discovery order; deterministic but interleaved for P > 1 —
+          compare as multisets against the sequential engine *)
+  stats : Ace_machine.Stats.t;
+  time : int;
+}
+
+val create :
+  ?output:Buffer.t ->
+  Ace_machine.Config.t ->
+  Ace_lang.Database.t ->
+  Ace_term.Term.t ->
+  t
+
+val run : t -> result
+
+val solve :
+  ?output:Buffer.t ->
+  Ace_machine.Config.t ->
+  Ace_lang.Database.t ->
+  Ace_term.Term.t ->
+  result
+
+(**/**)
+
+(** Temporary debug tracing. *)
+val debug : bool ref

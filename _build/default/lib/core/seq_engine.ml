@@ -1,0 +1,306 @@
+(* Sequential Prolog engine: the "state-of-the-art sequential system"
+   baseline of the paper (its SICStus stand-in).
+
+   An explicit machine with a continuation stack and a choice-point stack.
+   Parallel conjunctions ('&') are executed as ordinary sequential
+   conjunctions, so annotated benchmark programs run unchanged and the
+   parallel engines' 1-agent overhead can be measured against this engine
+   on identical programs.
+
+   The engine charges every operation to an abstract-cycle accumulator
+   using the same {!Ace_machine.Cost} table as the simulated parallel
+   engines; the resulting total is the T_seq that parallel overhead is
+   computed against. *)
+
+module Term = Ace_term.Term
+module Trail = Ace_term.Trail
+module Unify = Ace_term.Unify
+module Clause = Ace_lang.Clause
+module Database = Ace_lang.Database
+module Cost = Ace_machine.Cost
+module Stats = Ace_machine.Stats
+
+type alt =
+  | Aclause of Clause.t
+  | Agoal of Clause.body (* right branch of a disjunction *)
+
+type seg = { items : Clause.item list; barrier : int }
+(* [barrier] is the choice-point stack height a cut in these items
+   restores. *)
+
+type cp = {
+  cp_goal : Term.t option; (* None for disjunction choice points *)
+  mutable cp_alts : alt list;
+  cp_cont : seg list;
+  cp_trail : int;
+  cp_height : int; (* stack height below this choice point *)
+}
+
+type t = {
+  db : Database.t;
+  trail : Trail.t;
+  stats : Stats.t;
+  cost : Cost.t;
+  ctx : Builtins.ctx;
+  goal : Term.t;
+  mutable cps : cp list;
+  mutable height : int;
+  mutable charge : int; (* accumulated abstract cycles *)
+  mutable started : bool;
+  mutable exhausted : bool;
+}
+
+let create ?(cost = Cost.default) ?output db goal =
+  let trail = Trail.create () in
+  {
+    db;
+    trail;
+    stats = Stats.create ();
+    cost;
+    ctx = Builtins.make_ctx ?output ~trail ();
+    goal;
+    cps = [];
+    height = 0;
+    charge = 0;
+    started = false;
+    exhausted = false;
+  }
+
+let spend m n = m.charge <- m.charge + n
+
+let spend_builtin m =
+  spend m m.cost.Cost.builtin;
+  m.stats.Stats.builtin_calls <- m.stats.Stats.builtin_calls + 1
+
+(* Runs a builtin, translating its unification/arithmetic work into
+   charges. *)
+let call_builtin m goal =
+  let steps0 = !(m.ctx.Builtins.steps) and arith0 = !(m.ctx.Builtins.arith_nodes) in
+  let trail0 = Trail.size m.trail in
+  let outcome = Builtins.call m.ctx goal in
+  let steps = !(m.ctx.Builtins.steps) - steps0 in
+  let arith = !(m.ctx.Builtins.arith_nodes) - arith0 in
+  let pushed = Trail.size m.trail - trail0 in
+  spend_builtin m;
+  spend m ((steps * m.cost.Cost.unify_step) + (arith * m.cost.Cost.arith_op));
+  spend m (pushed * m.cost.Cost.trail_push);
+  m.stats.Stats.unify_steps <- m.stats.Stats.unify_steps + steps;
+  m.stats.Stats.trail_pushes <- m.stats.Stats.trail_pushes + max 0 pushed;
+  outcome
+
+let push_cp m ~goal ~alts ~cont =
+  spend m m.cost.Cost.cp_alloc;
+  m.stats.Stats.cp_allocs <- m.stats.Stats.cp_allocs + 1;
+  m.stats.Stats.stack_words <- m.stats.Stats.stack_words + Cost.words_choice_point;
+  let cp =
+    {
+      cp_goal = goal;
+      cp_alts = alts;
+      cp_cont = cont;
+      cp_trail = Trail.mark m.trail;
+      cp_height = m.height;
+    }
+  in
+  m.cps <- cp :: m.cps;
+  m.height <- m.height + 1
+
+let undo_to m mark =
+  let undone = Trail.undo_to m.trail mark in
+  spend m (undone * m.cost.Cost.untrail);
+  m.stats.Stats.untrails <- m.stats.Stats.untrails + undone
+
+(* Unifies a renamed clause head against the goal; on success returns the
+   body segment to execute. *)
+let try_clause m goal clause ~barrier =
+  spend m m.cost.Cost.clause_try;
+  m.stats.Stats.clause_tries <- m.stats.Stats.clause_tries + 1;
+  let { Clause.head; body } = Clause.rename clause in
+  let steps = ref 0 in
+  let trail0 = Trail.size m.trail in
+  let ok = Unify.unify ~trail:m.trail ~steps head goal in
+  spend m (!steps * m.cost.Cost.unify_step);
+  m.stats.Stats.unify_steps <- m.stats.Stats.unify_steps + !steps;
+  let pushed = Trail.size m.trail - trail0 in
+  spend m (pushed * m.cost.Cost.trail_push);
+  m.stats.Stats.trail_pushes <- m.stats.Stats.trail_pushes + pushed;
+  if ok then Some { items = body; barrier } else None
+
+let cut m barrier =
+  while m.height > barrier do
+    match m.cps with
+    | [] -> assert false
+    | _ :: below ->
+      m.cps <- below;
+      m.height <- m.height - 1
+  done
+
+(* [run] drives forward execution; [backtrack] resumes at the newest choice
+   point.  Both return [true] when a solution is reached (the machine state
+   is then frozen until the caller asks for the next solution). *)
+let rec run m (cont : seg list) : bool =
+  match cont with
+  | [] -> true
+  | { items = []; _ } :: rest -> run m rest
+  | ({ items = item :: items; barrier } as seg) :: rest -> (
+    let cont' = { seg with items } :: rest in
+    match item with
+    | Clause.Par bodies ->
+      (* Sequential semantics of '&': plain conjunction. *)
+      run m (List.map (fun body -> { items = body; barrier }) bodies @ cont')
+    | Clause.Call g -> dispatch m g ~barrier cont')
+
+and dispatch m g ~barrier cont =
+  match Term.deref g with
+  | Term.Atom "!" ->
+    cut m barrier;
+    run m cont
+  | Term.Struct (",", [| _; _ |]) ->
+    run m ({ items = Clause.compile_body g; barrier } :: cont)
+  | Term.Struct (";", [| cond_then; else_ |]) -> (
+    match Term.deref cond_then with
+    | Term.Struct ("->", [| cond; then_ |]) -> if_then_else m cond then_ else_ ~barrier cont
+    | _ ->
+      push_cp m ~goal:None ~alts:[ Agoal (Clause.compile_body else_) ] ~cont;
+      run m ({ items = Clause.compile_body cond_then; barrier } :: cont))
+  | Term.Struct ("->", [| cond; then_ |]) ->
+    if_then_else m cond then_ (Term.Atom "fail") ~barrier cont
+  | Term.Struct ("\\+", [| g |]) ->
+    let mark = Trail.mark m.trail in
+    let proved = solve_once m g in
+    undo_to m mark;
+    if proved then backtrack m else run m cont
+  | Term.Struct ("call", [| g |]) ->
+    (* call/1 is transparent to everything but cut: the cut barrier becomes
+       the current height, making the inner cut local. *)
+    dispatch m g ~barrier:m.height cont
+  | g -> (
+    match call_builtin m g with
+    | Builtins.Ok -> run m cont
+    | Builtins.Fail -> backtrack m
+    | Builtins.Not_builtin -> user_call m g cont)
+
+and if_then_else m cond then_ else_ ~barrier cont =
+  let mark = Trail.mark m.trail in
+  if solve_once m cond then
+    (* commit to the condition's first solution (bindings kept) *)
+    run m ({ items = Clause.compile_body then_; barrier } :: cont)
+  else begin
+    undo_to m mark;
+    run m ({ items = Clause.compile_body else_; barrier } :: cont)
+  end
+
+(* Proves [g] once on a private choice-point stack, keeping bindings.  Used
+   by negation and if-then-else. *)
+and solve_once m g =
+  let saved_cps = m.cps and saved_height = m.height in
+  m.cps <- [];
+  m.height <- 0;
+  let found = dispatch m g ~barrier:0 [] in
+  m.cps <- saved_cps;
+  m.height <- saved_height;
+  found
+
+and user_call m g cont =
+  spend m m.cost.Cost.index_lookup;
+  match Database.lookup m.db g with
+  | None ->
+    let name, arity =
+      match Term.functor_of g with Some na -> na | None -> ("?", 0)
+    in
+    Errors.existence_error name arity
+  | Some [] -> backtrack m
+  | Some [ clause ] -> (
+    (* Determinate after indexing: no choice point (the property LPCO and
+       SPO key on in the parallel engines). *)
+    match try_clause m g clause ~barrier:m.height with
+    | Some seg -> run m (seg :: cont)
+    | None -> backtrack m)
+  | Some (clause :: rest) -> (
+    push_cp m ~goal:(Some g) ~alts:(List.map (fun c -> Aclause c) rest) ~cont;
+    let barrier = m.height - 1 in
+    match try_clause m g clause ~barrier with
+    | Some seg -> run m (seg :: cont)
+    | None -> backtrack m)
+
+and backtrack m =
+  m.stats.Stats.backtracks <- m.stats.Stats.backtracks + 1;
+  match m.cps with
+  | [] -> false
+  | cp :: below -> (
+    spend m m.cost.Cost.backtrack_node;
+    m.stats.Stats.bt_nodes_visited <- m.stats.Stats.bt_nodes_visited + 1;
+    match cp.cp_alts with
+    | [] ->
+      m.cps <- below;
+      m.height <- m.height - 1;
+      backtrack m
+    | alt :: alts ->
+      undo_to m cp.cp_trail;
+      spend m m.cost.Cost.cp_restore;
+      (* Last alternative: pop the choice point now (WAM "trust"). *)
+      let barrier =
+        if alts = [] then begin
+          m.cps <- below;
+          m.height <- m.height - 1;
+          m.height
+        end
+        else begin
+          cp.cp_alts <- alts;
+          cp.cp_height
+        end
+      in
+      (match alt with
+       | Aclause clause -> (
+         let goal = match cp.cp_goal with Some g -> g | None -> assert false in
+         match try_clause m goal clause ~barrier with
+         | Some seg -> run m (seg :: cp.cp_cont)
+         | None -> backtrack m)
+       | Agoal body -> run m ({ items = body; barrier } :: cp.cp_cont)))
+
+(* ------------------------------------------------------------------ *)
+(* Public interface                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let next m =
+  if m.exhausted then None
+  else begin
+    let found =
+      if not m.started then begin
+        m.started <- true;
+        run m [ { items = Clause.compile_body m.goal; barrier = 0 } ]
+      end
+      else backtrack m
+    in
+    if found then begin
+      m.stats.Stats.solutions <- m.stats.Stats.solutions + 1;
+      Some (Term.copy_resolved m.goal)
+    end
+    else begin
+      m.exhausted <- true;
+      None
+    end
+  end
+
+let all_solutions ?limit m =
+  let rec go acc n =
+    match limit with
+    | Some l when n >= l -> List.rev acc
+    | Some _ | None -> (
+      match next m with
+      | Some s -> go (s :: acc) (n + 1)
+      | None -> List.rev acc)
+  in
+  go [] 0
+
+(* Named query-variable bindings, snapshotted against backtracking. *)
+let bindings _m vars =
+  List.map (fun (name, v) -> (name, Term.copy_resolved (Term.Var v))) vars
+
+let stats m = m.stats
+
+let time m = m.charge
+
+let solve ?cost ?output ?limit db goal =
+  let m = create ?cost ?output db goal in
+  let solutions = all_solutions ?limit m in
+  (solutions, m)

@@ -1,0 +1,39 @@
+(** Sequential Prolog engine — the paper's "state-of-the-art sequential
+    system" baseline.  Parallel conjunctions ('&') run as ordinary
+    conjunctions.  Supports cut, negation-as-failure, if-then-else and
+    disjunction; charges abstract cycles from the shared cost model so the
+    parallel engines' overhead can be measured against it. *)
+
+type t
+
+val create :
+  ?cost:Ace_machine.Cost.t ->
+  ?output:Buffer.t ->
+  Ace_lang.Database.t ->
+  Ace_term.Term.t ->
+  t
+
+(** Next solution: a snapshot of the instantiated goal, or [None] when
+    exhausted. *)
+val next : t -> Ace_term.Term.t option
+
+val all_solutions : ?limit:int -> t -> Ace_term.Term.t list
+
+(** Snapshot of named query variables (take before asking for the next
+    solution). *)
+val bindings :
+  t -> (string * Ace_term.Term.var) list -> (string * Ace_term.Term.t) list
+
+val stats : t -> Ace_machine.Stats.t
+
+(** Abstract cycles consumed so far (the sequential execution time). *)
+val time : t -> int
+
+(** Convenience: run to exhaustion (or [limit] solutions). *)
+val solve :
+  ?cost:Ace_machine.Cost.t ->
+  ?output:Buffer.t ->
+  ?limit:int ->
+  Ace_lang.Database.t ->
+  Ace_term.Term.t ->
+  Ace_term.Term.t list * t

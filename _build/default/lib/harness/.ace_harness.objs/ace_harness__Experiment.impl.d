@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Ace_benchmarks Ace_core Ace_machine List Option Printf String

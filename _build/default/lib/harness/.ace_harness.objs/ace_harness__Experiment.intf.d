@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Ace_core Ace_machine

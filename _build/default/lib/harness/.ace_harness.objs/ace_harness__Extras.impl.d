@@ -1,0 +1,1 @@
+lib/harness/extras.ml: Ace_benchmarks Ace_core Ace_machine Format List

@@ -1,0 +1,1 @@
+lib/harness/report.ml: Ace_machine Experiment Format List Printf String

@@ -1,0 +1,63 @@
+(** Experiment descriptors and sweep runner for every table and figure of
+    the paper's evaluation. *)
+
+type optimization = Lpco | Lao | Spo | Pdo | All
+
+val optimization_to_string : optimization -> string
+
+val apply_optimization :
+  Ace_machine.Config.t -> optimization -> Ace_machine.Config.t
+
+type workload = { w_label : string; w_benchmark : string; w_size : int }
+
+(** Workload over a registered benchmark; size defaults to the benchmark's
+    paper-experiment size. *)
+val workload : ?label:string -> ?size:int -> string -> workload
+
+type t = {
+  id : string;
+  title : string;
+  paper_ref : string;
+  optimization : optimization;
+  workloads : workload list;
+  processors : int list;
+}
+
+type cell = {
+  unopt : int;
+  opt : int;
+  unopt_stats : Ace_machine.Stats.t;
+  opt_stats : Ace_machine.Stats.t;
+}
+
+(** Percent time saved by the optimization (negative = slowdown). *)
+val improvement_percent : cell -> float
+
+type row = { label : string; cells : cell list }
+
+type results = { experiment : t; rows : row list }
+
+(** Runs a single measurement point. *)
+val run_point :
+  workload:workload ->
+  agents:int ->
+  config:Ace_machine.Config.t ->
+  Ace_core.Engine.result
+
+val run_cell :
+  workload:workload -> agents:int -> optimization:optimization -> cell
+
+(** Runs the full sweep; [progress] is called per row label. *)
+val run : ?progress:(string -> unit) -> t -> results
+
+val table1 : t
+val table2 : t
+val figure5 : t
+val table3 : t
+val table4 : t
+val figure8 : t
+val table5 : t
+
+val all : t list
+
+val find : string -> t

@@ -1,0 +1,35 @@
+(** Unnumbered evaluation claims of the paper: X1 (1-processor parallel
+    overhead, §1/§2.3/§5) and X2 (LPCO control-stack savings, §3.1). *)
+
+type overhead_row = {
+  o_label : string;
+  seq_time : int;
+  unopt_time : int;
+  opt_time : int;
+  gc_time : int;  (** all optimizations plus granularity control *)
+  unopt_overhead : float;
+  opt_overhead : float;
+  gc_overhead : float;
+}
+
+val overhead_benchmarks : string list
+
+val run_overhead :
+  ?benchmarks:string list ->
+  ?size_of:(Ace_benchmarks.Programs.t -> int) ->
+  unit ->
+  overhead_row list
+
+val pp_overhead : Format.formatter -> overhead_row list -> unit
+
+type memory_row = {
+  m_label : string;
+  unopt_words : int;
+  opt_words : int;
+  saving : float;
+}
+
+val run_memory :
+  ?benchmarks:string list -> ?agents:int -> unit -> memory_row list
+
+val pp_memory : Format.formatter -> memory_row list -> unit

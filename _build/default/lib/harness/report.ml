@@ -1,0 +1,114 @@
+(* Rendering experiment results in the paper's format:
+   "unopt/opt (±x%)" cells for tables, per-processor series for figures. *)
+
+module Stats = Ace_machine.Stats
+
+let pp_cell ppf (cell : Experiment.cell) =
+  Format.fprintf ppf "%d/%d (%+.0f%%)" cell.Experiment.unopt cell.Experiment.opt
+    (Experiment.improvement_percent cell)
+
+let pp_table ppf (results : Experiment.results) =
+  let e = results.Experiment.experiment in
+  Format.fprintf ppf "== %s: %s ==@," e.Experiment.paper_ref e.Experiment.title;
+  Format.fprintf ppf "(simulated kilocycles are reported as unopt/opt (improvement))@,";
+  let header =
+    Format.asprintf "%-14s %s" "benchmark"
+      (String.concat "  "
+         (List.map (fun p -> Printf.sprintf "%21s" (Printf.sprintf "P=%d" p))
+            e.Experiment.processors))
+  in
+  Format.fprintf ppf "%s@," header;
+  List.iter
+    (fun (row : Experiment.row) ->
+      Format.fprintf ppf "%-14s " row.Experiment.label;
+      List.iter
+        (fun (cell : Experiment.cell) ->
+          let text =
+            Format.asprintf "%d/%d (%+.0f%%)"
+              ((cell.Experiment.unopt + 500) / 1000)
+              ((cell.Experiment.opt + 500) / 1000)
+              (Experiment.improvement_percent cell)
+          in
+          Format.fprintf ppf "%21s  " text)
+        row.Experiment.cells;
+      Format.fprintf ppf "@,")
+    results.Experiment.rows;
+  Format.fprintf ppf "@,"
+
+(* Figures are emitted as series: one line per (workload, variant) with the
+   per-processor values, plus speedup relative to the variant's own P=1
+   point (the paper's Figure 5 plots speedups, Figure 8 raw times). *)
+let pp_figure ~speedup ppf (results : Experiment.results) =
+  let e = results.Experiment.experiment in
+  Format.fprintf ppf "== %s: %s ==@," e.Experiment.paper_ref e.Experiment.title;
+  Format.fprintf ppf "%-24s %s@," "series"
+    (String.concat " "
+       (List.map (fun p -> Printf.sprintf "%8s" (Printf.sprintf "P=%d" p))
+          e.Experiment.processors));
+  let series label values =
+    Format.fprintf ppf "%-24s %s@," label
+      (String.concat " " (List.map (fun v -> Printf.sprintf "%8s" v) values))
+  in
+  List.iter
+    (fun (row : Experiment.row) ->
+      let unopts = List.map (fun c -> c.Experiment.unopt) row.Experiment.cells in
+      let opts = List.map (fun c -> c.Experiment.opt) row.Experiment.cells in
+      if speedup then begin
+        let base_u = match unopts with [] -> 1 | v :: _ -> max v 1 in
+        let base_o = match opts with [] -> 1 | v :: _ -> max v 1 in
+        series
+          (row.Experiment.label ^ " (no opt)")
+          (List.map
+             (fun v -> Printf.sprintf "%.2f" (float_of_int base_u /. float_of_int (max v 1)))
+             unopts);
+        series
+          (row.Experiment.label ^ " (opt)")
+          (List.map
+             (fun v -> Printf.sprintf "%.2f" (float_of_int base_o /. float_of_int (max v 1)))
+             opts)
+      end
+      else begin
+        series
+          (row.Experiment.label ^ " (no opt)")
+          (List.map (fun v -> Printf.sprintf "%d" ((v + 500) / 1000)) unopts);
+        series
+          (row.Experiment.label ^ " (opt)")
+          (List.map (fun v -> Printf.sprintf "%d" ((v + 500) / 1000)) opts)
+      end)
+    results.Experiment.rows;
+  Format.fprintf ppf "@,"
+
+let is_figure (e : Experiment.t) =
+  String.length e.Experiment.id >= 6 && String.sub e.Experiment.id 0 6 = "figure"
+
+let pp_results ppf (results : Experiment.results) =
+  let e = results.Experiment.experiment in
+  if is_figure e then
+    pp_figure ~speedup:(String.equal e.Experiment.id "figure5") ppf results
+  else pp_table ppf results
+
+let to_string results = Format.asprintf "@[<v>%a@]" pp_results results
+
+(* Structural summary used by EXPERIMENTS.md: optimization-hit counters and
+   the allocation savings that explain the timing shape. *)
+let pp_structural ppf (results : Experiment.results) =
+  let e = results.Experiment.experiment in
+  Format.fprintf ppf "-- structural counters (%s, optimized run, max P) --@,"
+    e.Experiment.paper_ref;
+  List.iter
+    (fun (row : Experiment.row) ->
+      match List.rev row.Experiment.cells with
+      | [] -> ()
+      | last :: _ ->
+        let s = last.Experiment.opt_stats and u = last.Experiment.unopt_stats in
+        Format.fprintf ppf
+          "%-14s frames %d->%d  markers %d->%d (avoided %d)  cp_allocs %d->%d  \
+           scans %d->%d  copied_cells %d->%d  nesting %d->%d@,"
+          row.Experiment.label u.Stats.frames s.Stats.frames
+          (u.Stats.input_markers + u.Stats.end_markers)
+          (s.Stats.input_markers + s.Stats.end_markers)
+          s.Stats.markers_avoided u.Stats.cp_allocs s.Stats.cp_allocs
+          u.Stats.or_scans s.Stats.or_scans u.Stats.copied_cells
+          s.Stats.copied_cells u.Stats.max_frame_nesting s.Stats.max_frame_nesting)
+    results.Experiment.rows;
+  Format.fprintf ppf "@,"

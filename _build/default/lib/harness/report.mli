@@ -1,0 +1,18 @@
+(** Paper-format rendering of experiment results. *)
+
+val pp_cell : Format.formatter -> Experiment.cell -> unit
+
+(** Table in the paper's "unopt/opt (±x%)" row format. *)
+val pp_table : Format.formatter -> Experiment.results -> unit
+
+(** Figure as per-processor series; [speedup] normalises each variant to
+    its own 1-processor point (Figure 5), otherwise raw times (Figure 8). *)
+val pp_figure : speedup:bool -> Format.formatter -> Experiment.results -> unit
+
+(** Dispatches on the experiment id. *)
+val pp_results : Format.formatter -> Experiment.results -> unit
+
+val to_string : Experiment.results -> string
+
+(** Structural-counter summary explaining the timing shape. *)
+val pp_structural : Format.formatter -> Experiment.results -> unit

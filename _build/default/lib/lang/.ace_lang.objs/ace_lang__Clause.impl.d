@@ -1,0 +1,1 @@
+lib/lang/clause.ml: Ace_term Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/lang/clause.mli: Ace_term Format

@@ -1,0 +1,1 @@
+lib/lang/database.ml: Ace_term Array Clause Hashtbl List String

@@ -1,0 +1,1 @@
+lib/lang/database.mli: Ace_term Clause

@@ -1,0 +1,1 @@
+lib/lang/lexer.ml: Buffer Char Format List Option String

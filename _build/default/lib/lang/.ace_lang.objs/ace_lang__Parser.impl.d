@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Ace_term Array Char Format Hashtbl Lexer List Ops String

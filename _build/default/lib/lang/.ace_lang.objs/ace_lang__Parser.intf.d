@@ -1,0 +1,1 @@
+lib/lang/parser.mli: Ace_term Lexer

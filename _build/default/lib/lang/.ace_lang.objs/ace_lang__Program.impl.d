@@ -1,0 +1,1 @@
+lib/lang/program.ml: Ace_term Clause Database Format Lexer List Parser String

@@ -1,0 +1,1 @@
+lib/lang/program.mli: Ace_term Database

@@ -1,0 +1,97 @@
+(* Compiled clauses.
+
+   A clause body is compiled once at consult time into a list of items;
+   sequential conjunction is flattened, and each parallel conjunction
+   ('&'/2, as in &ACE) becomes a [Par] node holding one compiled body per
+   parallel branch.  Engines interpret this structure directly. *)
+
+module Term = Ace_term.Term
+
+type body = item list
+
+and item =
+  | Call of Term.t
+  | Par of body list
+
+type t = { head : Term.t; body : body }
+
+exception Malformed of string
+
+let rec compile_body t : body = conj t []
+
+and conj t rest =
+  match Term.deref t with
+  | Term.Struct (",", [| a; b |]) -> conj a (conj b rest)
+  | Term.Atom "true" -> rest
+  | Term.Struct ("&", [| _; _ |]) as t -> Par (branches t) :: rest
+  | g -> Call g :: rest
+
+and branches t =
+  match Term.deref t with
+  | Term.Struct ("&", [| a; b |]) -> compile_body a :: branches b
+  | g -> [ compile_body g ]
+
+(* Re-assembles a body into a goal term (for printing and analysis). *)
+let rec term_of_body = function
+  | [] -> Term.Atom "true"
+  | [ item ] -> term_of_item item
+  | item :: rest -> Term.Struct (",", [| term_of_item item; term_of_body rest |])
+
+and term_of_item = function
+  | Call g -> g
+  | Par bodies ->
+    (match List.rev_map term_of_body bodies with
+     | [] -> Term.Atom "true"
+     | last :: before ->
+       List.fold_left (fun acc b -> Term.Struct ("&", [| b; acc |])) last before)
+
+let check_head head =
+  match Term.deref head with
+  | Term.Atom _ | Term.Struct _ -> ()
+  | Term.Int _ | Term.Var _ ->
+    raise (Malformed (Format.asprintf "invalid clause head: %a" Ace_term.Pp.pp head))
+
+let of_term t =
+  match Term.deref t with
+  | Term.Struct (":-", [| head; body |]) ->
+    check_head head;
+    { head; body = compile_body body }
+  | head ->
+    check_head head;
+    { head; body = [] }
+
+let to_term { head; body } =
+  match body with
+  | [] -> head
+  | _ -> Term.Struct (":-", [| head; term_of_body body |])
+
+let name_arity { head; _ } =
+  match Term.functor_of head with
+  | Some na -> na
+  | None -> assert false (* checked at construction *)
+
+(* Fresh instance of the clause: head and body share the renaming table so
+   variable identity between them is preserved. *)
+let rename { head; body } =
+  let table = Hashtbl.create 16 in
+  let head = Term.rename_with table head in
+  let rec rename_body body = List.map rename_item body
+  and rename_item = function
+    | Call g -> Call (Term.rename_with table g)
+    | Par bodies -> Par (List.map rename_body bodies)
+  in
+  { head; body = rename_body body }
+
+let rec body_goals body =
+  List.concat_map
+    (function Call g -> [ g ] | Par bodies -> List.concat_map body_goals bodies)
+    body
+
+(* True when the body contains a parallel conjunction at any depth. *)
+let rec has_par body =
+  List.exists (function Call _ -> false | Par _ -> true) body
+  || List.exists
+       (function Call _ -> false | Par bodies -> List.exists has_par bodies)
+       body
+
+let pp ppf c = Ace_term.Pp.pp ppf (to_term c)

@@ -1,0 +1,36 @@
+(** Compiled clauses: flattened sequential conjunctions with explicit
+    parallel-conjunction ([Par]) nodes. *)
+
+type body = item list
+
+and item =
+  | Call of Ace_term.Term.t
+  | Par of body list  (** one compiled body per '&' branch *)
+
+type t = { head : Ace_term.Term.t; body : body }
+
+exception Malformed of string
+
+(** Compiles a goal term (','/2, '&'/2, [true]) into a body. *)
+val compile_body : Ace_term.Term.t -> body
+
+(** Inverse of {!compile_body} (round-trips up to [true] elimination). *)
+val term_of_body : body -> Ace_term.Term.t
+
+(** From a [H :- B] or fact term; raises {!Malformed} on invalid heads. *)
+val of_term : Ace_term.Term.t -> t
+
+val to_term : t -> Ace_term.Term.t
+
+val name_arity : t -> string * int
+
+(** Fresh instance with consistently renamed variables. *)
+val rename : t -> t
+
+(** All [Call] goals, left-to-right, descending into [Par]. *)
+val body_goals : body -> Ace_term.Term.t list
+
+(** Whether a parallel conjunction occurs anywhere in the body. *)
+val has_par : body -> bool
+
+val pp : Format.formatter -> t -> unit

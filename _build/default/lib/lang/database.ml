@@ -1,0 +1,116 @@
+(* Clause database with first-argument indexing.
+
+   First-argument indexing matters beyond speed: the engines create a
+   choice point only when more than one clause survives indexing, so the
+   index is what makes *runtime determinacy* observable — the property the
+   LPCO and shallow-parallelism optimizations of the paper are driven by. *)
+
+module Term = Ace_term.Term
+
+type key =
+  | Kany                      (* head first argument is a variable *)
+  | Kint of int
+  | Katom of string
+  | Kstruct of string * int
+
+let key_of_term t =
+  match Term.deref t with
+  | Term.Var _ -> Kany
+  | Term.Int n -> Kint n
+  | Term.Atom a -> Katom a
+  | Term.Struct (f, args) -> Kstruct (f, Array.length args)
+
+let key_compatible ~head ~call =
+  match head, call with
+  | Kany, _ | _, Kany -> true
+  | Kint a, Kint b -> a = b
+  | Katom a, Katom b -> String.equal a b
+  | Kstruct (f, n), Kstruct (g, m) -> n = m && String.equal f g
+  | (Kint _ | Katom _ | Kstruct _), _ -> false
+
+type pred = { mutable clauses : (key * Clause.t) list (* source order *) }
+
+type t = { preds : (string * int, pred) Hashtbl.t }
+
+let create () = { preds = Hashtbl.create 64 }
+
+let clause_key clause =
+  match Term.deref clause.Clause.head with
+  | Term.Struct (_, args) when Array.length args > 0 -> key_of_term args.(0)
+  | Term.Struct _ | Term.Atom _ -> Kany
+  | Term.Int _ | Term.Var _ -> assert false
+
+let find_pred db name arity = Hashtbl.find_opt db.preds (name, arity)
+
+let get_pred db name arity =
+  match find_pred db name arity with
+  | Some p -> p
+  | None ->
+    let p = { clauses = [] } in
+    Hashtbl.add db.preds (name, arity) p;
+    p
+
+let assertz db clause =
+  let name, arity = Clause.name_arity clause in
+  let p = get_pred db name arity in
+  p.clauses <- p.clauses @ [ (clause_key clause, clause) ]
+
+let asserta db clause =
+  let name, arity = Clause.name_arity clause in
+  let p = get_pred db name arity in
+  p.clauses <- (clause_key clause, clause) :: p.clauses
+
+let mem db name arity = find_pred db name arity <> None
+
+let clauses_of db name arity =
+  match find_pred db name arity with
+  | None -> []
+  | Some p -> List.map snd p.clauses
+
+(* Candidate clauses for a call, filtered by first-argument indexing.
+   Returns [None] when the predicate is undefined (distinct from defined
+   with no matching clause). *)
+let lookup db call =
+  match Term.functor_of (Term.deref call) with
+  | None -> invalid_arg "Database.lookup: callable expected"
+  | Some (name, arity) ->
+    (match find_pred db name arity with
+     | None -> None
+     | Some p ->
+       if arity = 0 then Some (List.map snd p.clauses)
+       else
+         let call_key =
+           match Term.deref call with
+           | Term.Struct (_, args) -> key_of_term args.(0)
+           | Term.Atom _ | Term.Int _ | Term.Var _ -> Kany
+         in
+         Some
+           (List.filter_map
+              (fun (k, c) ->
+                if key_compatible ~head:k ~call:call_key then Some c else None)
+              p.clauses))
+
+let predicates db =
+  Hashtbl.fold (fun na _ acc -> na :: acc) db.preds []
+  |> List.sort compare
+
+let total_clauses db =
+  Hashtbl.fold (fun _ p acc -> acc + List.length p.clauses) db.preds 0
+
+(* A predicate is statically determinate-on-first-arg when no two of its
+   clauses can match the same (non-variable) first argument.  Used by the
+   analysis library and by LPCO's applicability conditions. *)
+let first_arg_exclusive db name arity =
+  match find_pred db name arity with
+  | None -> false
+  | Some p ->
+    let keys = List.map fst p.clauses in
+    let rec pairwise = function
+      | [] -> true
+      | k :: rest ->
+        (not (List.exists (fun k' -> key_compatible ~head:k ~call:k') rest))
+        && pairwise rest
+    in
+    (match keys with
+     | [] | [ _ ] -> true
+     | _ -> (not (List.mem Kany keys)) && pairwise keys)

@@ -1,0 +1,31 @@
+(** Clause database with first-argument indexing.
+
+    Indexing is what makes runtime determinacy observable to the engines:
+    a call with a single surviving clause allocates no choice point, which
+    is the trigger condition for the paper's LPCO and shallow-parallelism
+    optimizations. *)
+
+type t
+
+val create : unit -> t
+
+val assertz : t -> Clause.t -> unit
+val asserta : t -> Clause.t -> unit
+
+val mem : t -> string -> int -> bool
+
+(** Clauses of a predicate in source order (no indexing). *)
+val clauses_of : t -> string -> int -> Clause.t list
+
+(** Candidate clauses for a call after first-argument indexing; [None] when
+    the predicate is undefined. *)
+val lookup : t -> Ace_term.Term.t -> Clause.t list option
+
+(** Defined predicates, sorted. *)
+val predicates : t -> (string * int) list
+
+val total_clauses : t -> int
+
+(** No two clauses of the predicate can match the same non-variable first
+    argument (static determinacy). *)
+val first_arg_exclusive : t -> string -> int -> bool

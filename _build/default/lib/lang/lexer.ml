@@ -1,0 +1,226 @@
+(* Hand-rolled lexer for the Prolog subset.
+
+   The token stream distinguishes a '(' that immediately follows an atom
+   (function application) from a standalone '(' (grouping), as ISO Prolog
+   requires.  An end-of-clause dot is a '.' followed by layout or EOF;
+   otherwise '.' is an ordinary symbol character. *)
+
+type token =
+  | Atom of string
+  | Var of string
+  | Int of int
+  | Str of string            (* "..." double-quoted: list of codes at parse *)
+  | Punct of string          (* ( ) [ ] { } , | and the functor-( "((" *)
+  | Dot
+  | Eof
+
+type position = { line : int; col : int }
+
+type lexeme = { token : token; pos : position }
+
+exception Error of string * position
+
+let error pos fmt = Format.kasprintf (fun s -> raise (Error (s, pos))) fmt
+
+type state = {
+  src : string;
+  mutable off : int;
+  mutable line : int;
+  mutable bol : int; (* offset of beginning of current line *)
+}
+
+let make src = { src; off = 0; line = 1; bol = 0 }
+
+let position st = { line = st.line; col = st.off - st.bol + 1 }
+
+let peek st = if st.off < String.length st.src then Some st.src.[st.off] else None
+
+let peek2 st =
+  if st.off + 1 < String.length st.src then Some st.src.[st.off + 1] else None
+
+let advance st =
+  (match peek st with
+   | Some '\n' ->
+     st.line <- st.line + 1;
+     st.bol <- st.off + 1
+   | Some _ | None -> ());
+  st.off <- st.off + 1
+
+let is_layout = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+let is_digit = function '0' .. '9' -> true | _ -> false
+let is_lower = function 'a' .. 'z' -> true | _ -> false
+let is_upper = function 'A' .. 'Z' | '_' -> true | _ -> false
+let is_alnum c = is_digit c || is_lower c || is_upper c
+let is_symbol_char c = String.contains "+-*/\\^<>=~:.?@#&$" c
+
+let rec skip_layout st =
+  match peek st with
+  | Some c when is_layout c ->
+    advance st;
+    skip_layout st
+  | Some '%' ->
+    let rec to_eol () =
+      match peek st with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance st;
+        to_eol ()
+    in
+    to_eol ();
+    skip_layout st
+  | Some '/' when peek2 st = Some '*' ->
+    let start = position st in
+    advance st;
+    advance st;
+    let rec to_close () =
+      match peek st with
+      | None -> error start "unterminated block comment"
+      | Some '*' when peek2 st = Some '/' ->
+        advance st;
+        advance st
+      | Some _ ->
+        advance st;
+        to_close ()
+    in
+    to_close ();
+    skip_layout st
+  | Some _ | None -> ()
+
+let take_while st pred =
+  let start = st.off in
+  let rec go () =
+    match peek st with
+    | Some c when pred c ->
+      advance st;
+      go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  String.sub st.src start (st.off - start)
+
+let escape_char st pos =
+  match peek st with
+  | None -> error pos "unterminated escape"
+  | Some c ->
+    advance st;
+    (match c with
+     | 'n' -> '\n'
+     | 't' -> '\t'
+     | 'r' -> '\r'
+     | 'a' -> '\007'
+     | 'b' -> '\b'
+     | 'f' -> '\012'
+     | 'v' -> '\011'
+     | '\\' -> '\\'
+     | '\'' -> '\''
+     | '"' -> '"'
+     | '`' -> '`'
+     | c -> error pos "unknown escape \\%c" c)
+
+let quoted st ~quote pos =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error pos "unterminated quoted token"
+    | Some c when c = quote ->
+      advance st;
+      (* doubled quote is an escaped quote *)
+      (match peek st with
+       | Some c' when c' = quote ->
+         advance st;
+         Buffer.add_char buf quote;
+         go ()
+       | Some _ | None -> Buffer.contents buf)
+    | Some '\\' ->
+      advance st;
+      (* \<newline> is a line continuation *)
+      (match peek st with
+       | Some '\n' ->
+         advance st;
+         go ()
+       | Some _ | None ->
+         Buffer.add_char buf (escape_char st pos);
+         go ())
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ()
+
+(* [prev_was_name] tells whether the immediately preceding character belongs
+   to an atom/var token, to classify a following '(' as functor
+   application. *)
+let next st =
+  let followed_name =
+    st.off > 0
+    &&
+    let c = st.src.[st.off - 1] in
+    is_alnum c || c = '\'' || is_symbol_char c || c = '!'
+  in
+  let no_gap = followed_name in
+  skip_layout st;
+  let gapless = no_gap && st.off > 0 &&
+                (st.off >= String.length st.src || true) &&
+                (* any layout skipped breaks adjacency *)
+                (let c = st.src.[st.off - 1] in
+                 is_alnum c || c = '\'' || is_symbol_char c || c = '!')
+  in
+  let pos = position st in
+  match peek st with
+  | None -> { token = Eof; pos }
+  | Some c when is_digit c ->
+    let digits = take_while st is_digit in
+    (* 0'c character code *)
+    if String.equal digits "0" && peek st = Some '\'' then begin
+      advance st;
+      match peek st with
+      | None -> error pos "unterminated character code"
+      | Some '\\' ->
+        advance st;
+        { token = Int (Char.code (escape_char st pos)); pos }
+      | Some c ->
+        advance st;
+        { token = Int (Char.code c); pos }
+    end
+    else { token = Int (int_of_string digits); pos }
+  | Some c when is_lower c ->
+    let name = take_while st is_alnum in
+    { token = Atom name; pos }
+  | Some c when is_upper c ->
+    let name = take_while st is_alnum in
+    { token = Var name; pos }
+  | Some '\'' ->
+    advance st;
+    { token = Atom (quoted st ~quote:'\'' pos); pos }
+  | Some '"' ->
+    advance st;
+    { token = Str (quoted st ~quote:'"' pos); pos }
+  | Some '(' ->
+    advance st;
+    { token = Punct (if gapless then "((" else "("); pos }
+  | Some (')' | '[' | ']' | '{' | '}' | ',' | '|') ->
+    let c = Option.get (peek st) in
+    advance st;
+    { token = Punct (String.make 1 c); pos }
+  | Some '!' ->
+    advance st;
+    { token = Atom "!"; pos }
+  | Some ';' ->
+    advance st;
+    { token = Atom ";"; pos }
+  | Some c when is_symbol_char c ->
+    let sym = take_while st is_symbol_char in
+    (* A lone '.' followed by layout/EOF was consumed by take_while; split
+       the end-of-clause dot back out. *)
+    if String.equal sym "." then { token = Dot; pos }
+    else { token = Atom sym; pos }
+  | Some c -> error pos "unexpected character %C" c
+
+let tokenize src =
+  let st = make src in
+  let rec go acc =
+    let lx = next st in
+    match lx.token with Eof -> List.rev (lx :: acc) | _ -> go (lx :: acc)
+  in
+  go []

@@ -1,0 +1,32 @@
+(** Lexer for the Prolog subset.
+
+    Handles unquoted/quoted/symbolic atoms, variables, integers (including
+    [0'c] character codes), double-quoted strings, [%] and [/* */] comments,
+    and the ISO end-of-clause dot.  A ['('] immediately following an atom is
+    emitted as the functor-paren [Punct "(("] so the parser can distinguish
+    [f(x)] from [f (x)]. *)
+
+type token =
+  | Atom of string
+  | Var of string
+  | Int of int
+  | Str of string
+  | Punct of string
+  | Dot
+  | Eof
+
+type position = { line : int; col : int }
+
+type lexeme = { token : token; pos : position }
+
+exception Error of string * position
+
+type state
+
+val make : string -> state
+
+(** Next lexeme; returns [Eof] at end of input (and forever after). *)
+val next : state -> lexeme
+
+(** Whole input as a lexeme list ending with [Eof]. *)
+val tokenize : string -> lexeme list

@@ -1,0 +1,70 @@
+(* The operator table.  This is the parsing-side twin of the printing table
+   in [Ace_term.Pp]; the round-trip property test keeps them consistent. *)
+
+type assoc = Xfx | Xfy | Yfx
+
+type infix = { prio : int; assoc : assoc }
+
+let infix_table : (string, infix) Hashtbl.t = Hashtbl.create 64
+
+let prefix_table : (string, int * bool) Hashtbl.t = Hashtbl.create 16
+(* bool: argument must have strictly smaller priority (fy = false) *)
+
+let declare_infix name prio assoc =
+  Hashtbl.replace infix_table name { prio; assoc }
+
+let declare_prefix ?(strict = true) name prio =
+  Hashtbl.replace prefix_table name (prio, strict)
+
+let () =
+  List.iter
+    (fun (name, prio, assoc) -> declare_infix name prio assoc)
+    [ (":-", 1200, Xfx);
+      ("-->", 1200, Xfx);
+      (";", 1100, Xfy);
+      ("->", 1050, Xfy);
+      (",", 1000, Xfy);
+      ("&", 950, Xfy);
+      ("=", 700, Xfx);
+      ("\\=", 700, Xfx);
+      ("==", 700, Xfx);
+      ("\\==", 700, Xfx);
+      ("is", 700, Xfx);
+      ("<", 700, Xfx);
+      (">", 700, Xfx);
+      ("=<", 700, Xfx);
+      (">=", 700, Xfx);
+      ("=:=", 700, Xfx);
+      ("=\\=", 700, Xfx);
+      ("@<", 700, Xfx);
+      ("@>", 700, Xfx);
+      ("@=<", 700, Xfx);
+      ("@>=", 700, Xfx);
+      ("=..", 700, Xfx);
+      ("+", 500, Yfx);
+      ("-", 500, Yfx);
+      ("/\\", 500, Yfx);
+      ("\\/", 500, Yfx);
+      ("xor", 500, Yfx);
+      ("*", 400, Yfx);
+      ("/", 400, Yfx);
+      ("//", 400, Yfx);
+      ("mod", 400, Yfx);
+      ("rem", 400, Yfx);
+      ("div", 400, Yfx);
+      (">>", 400, Yfx);
+      ("<<", 400, Yfx);
+      ("^", 200, Xfy) ];
+  List.iter
+    (fun (name, prio) -> declare_prefix ~strict:false name prio)
+    [ (":-", 1200); ("?-", 1200) ];
+  declare_prefix "\\+" 900 ~strict:false;
+  declare_prefix "-" 200 ~strict:true;
+  declare_prefix "+" 200 ~strict:true
+
+let infix name = Hashtbl.find_opt infix_table name
+
+let prefix name = Hashtbl.find_opt prefix_table name
+
+let is_operator name =
+  Hashtbl.mem infix_table name || Hashtbl.mem prefix_table name

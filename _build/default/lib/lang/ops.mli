@@ -1,0 +1,17 @@
+(** Operator table for the parser (standard ISO core operators plus the
+    ['&'/2] parallel-conjunction operator at priority 1000, as in ACE). *)
+
+type assoc = Xfx | Xfy | Yfx
+
+type infix = { prio : int; assoc : assoc }
+
+val infix : string -> infix option
+
+(** [prefix name] is [Some (prio, strict)]; [strict] means the argument must
+    have strictly smaller priority ([fy] operators are non-strict). *)
+val prefix : string -> (int * bool) option
+
+val is_operator : string -> bool
+
+val declare_infix : string -> int -> assoc -> unit
+val declare_prefix : ?strict:bool -> string -> int -> unit

@@ -1,0 +1,235 @@
+(* Operator-precedence parser producing {!Ace_term.Term.t}.
+
+   The algorithm is the classical Prolog reader: parse a primary (literal,
+   variable, compound, list, parenthesised term, or prefix-operator
+   application), then repeatedly absorb infix operators whose priority fits
+   the current maximum. *)
+
+module Term = Ace_term.Term
+
+exception Error of string * Lexer.position
+
+let error pos fmt = Format.kasprintf (fun s -> raise (Error (s, pos))) fmt
+
+type state = {
+  lex : Lexer.state;
+  mutable la : Lexer.lexeme; (* one-token lookahead *)
+  vars : (string, Term.var) Hashtbl.t;
+  mutable var_names : (string * Term.var) list; (* first-occurrence order *)
+}
+
+let make src =
+  let lex = Lexer.make src in
+  { lex; la = Lexer.next lex; vars = Hashtbl.create 16; var_names = [] }
+
+let shift st = st.la <- Lexer.next st.lex
+
+let reset_vars st =
+  Hashtbl.reset st.vars;
+  st.var_names <- []
+
+let lookup_var st name =
+  if String.equal name "_" then Term.fresh_var ()
+  else
+    match Hashtbl.find_opt st.vars name with
+    | Some v -> v
+    | None ->
+      let v = Term.fresh_var () in
+      Hashtbl.add st.vars name v;
+      st.var_names <- (name, v) :: st.var_names;
+      v
+
+(* Can the lookahead begin a term?  Used to decide whether an atom that is
+   also a prefix operator is being applied or stands alone. *)
+let starts_term (lx : Lexer.lexeme) =
+  match lx.token with
+  | Lexer.Int _ | Lexer.Var _ | Lexer.Str _ -> true
+  | Lexer.Atom name ->
+    (* an infix-only operator cannot start a term *)
+    not (Ops.infix name <> None && Ops.prefix name = None)
+  | Lexer.Punct ("(" | "((" | "[" | "{") -> true
+  | Lexer.Punct _ | Lexer.Dot | Lexer.Eof -> false
+
+let string_to_codes s =
+  Term.of_list (List.map (fun c -> Term.Int (Char.code c)) (List.init (String.length s) (String.get s)))
+
+let rec parse st max_prio =
+  let left, left_prio = parse_primary st max_prio in
+  parse_infix st max_prio left left_prio
+
+and parse_infix st max_prio left left_prio =
+  let continue_with name prio assoc =
+    let left_max, right_max =
+      match assoc with
+      | Ops.Xfx -> (prio - 1, prio - 1)
+      | Ops.Xfy -> (prio - 1, prio)
+      | Ops.Yfx -> (prio, prio - 1)
+    in
+    if prio > max_prio || left_prio > left_max then None
+    else begin
+      shift st;
+      let right, _ = parse st right_max in
+      Some (Term.Struct (name, [| left; right |]), prio)
+    end
+  in
+  let attempt name =
+    match Ops.infix name with
+    | None -> None
+    | Some { Ops.prio; assoc } -> continue_with name prio assoc
+  in
+  let result =
+    match st.la.Lexer.token with
+    | Lexer.Atom name -> attempt name
+    | Lexer.Punct "," -> attempt ","
+    | Lexer.Punct "|" ->
+      (* '|' at priority 1100 is an alternative spelling of ';' in bodies *)
+      (match Ops.infix ";" with
+       | Some { Ops.prio; assoc } when prio <= max_prio ->
+         continue_with ";" prio assoc
+       | Some _ | None -> None)
+    | Lexer.Int _ | Lexer.Var _ | Lexer.Str _ | Lexer.Punct _ | Lexer.Dot
+    | Lexer.Eof ->
+      None
+  in
+  match result with
+  | Some (t, prio) -> parse_infix st max_prio t prio
+  | None -> (left, left_prio)
+
+and parse_primary st max_prio =
+  let pos = st.la.Lexer.pos in
+  match st.la.Lexer.token with
+  | Lexer.Int n ->
+    shift st;
+    (Term.Int n, 0)
+  | Lexer.Str s ->
+    shift st;
+    (string_to_codes s, 0)
+  | Lexer.Var name ->
+    shift st;
+    (Term.Var (lookup_var st name), 0)
+  | Lexer.Punct ("(" | "((") ->
+    shift st;
+    let t = parse st 1200 in
+    expect_punct st ")";
+    (fst t, 0)
+  | Lexer.Punct "[" ->
+    shift st;
+    parse_list st
+  | Lexer.Punct "{" ->
+    shift st;
+    (match st.la.Lexer.token with
+     | Lexer.Punct "}" ->
+       shift st;
+       (Term.Atom "{}", 0)
+     | _ ->
+       let t, _ = parse st 1200 in
+       expect_punct st "}";
+       (Term.Struct ("{}", [| t |]), 0))
+  | Lexer.Atom name -> (
+    shift st;
+    match st.la.Lexer.token with
+    | Lexer.Punct "((" ->
+      shift st;
+      let args = parse_args st in
+      expect_punct st ")";
+      (Term.struct_ name (Array.of_list args), 0)
+    | _ -> (
+      match Ops.prefix name with
+      | Some _ when String.equal name "-" && is_int st.la ->
+        let n = take_int st in
+        (Term.Int (-n), 0)
+      | Some _ when String.equal name "+" && is_int st.la ->
+        let n = take_int st in
+        (Term.Int n, 0)
+      | Some (prio, strict) when prio <= max_prio && starts_term st.la ->
+        let arg_max = if strict then prio - 1 else prio in
+        let arg, _ = parse st arg_max in
+        (Term.Struct (name, [| arg |]), prio)
+      | Some _ | None ->
+        (* A bare atom; operators used as operands keep their priority so
+           that e.g. [X = (:-)] needs the parentheses it was given. *)
+        (Term.Atom name, if Ops.is_operator name then 1201 else 0)))
+  | Lexer.Punct p -> error pos "unexpected %s" p
+  | Lexer.Dot -> error pos "unexpected end of clause"
+  | Lexer.Eof -> error pos "unexpected end of input"
+
+and is_int (lx : Lexer.lexeme) =
+  match lx.Lexer.token with Lexer.Int _ -> true | _ -> false
+
+and take_int st =
+  match st.la.Lexer.token with
+  | Lexer.Int n ->
+    shift st;
+    n
+  | _ -> error st.la.Lexer.pos "expected integer"
+
+and parse_args st =
+  let arg, _ = parse st 999 in
+  match st.la.Lexer.token with
+  | Lexer.Punct "," ->
+    shift st;
+    arg :: parse_args st
+  | _ -> [ arg ]
+
+and parse_list st =
+  match st.la.Lexer.token with
+  | Lexer.Punct "]" ->
+    shift st;
+    (Term.nil, 0)
+  | _ ->
+    let elements = parse_args st in
+    let tail =
+      match st.la.Lexer.token with
+      | Lexer.Punct "|" ->
+        shift st;
+        let t, _ = parse st 999 in
+        t
+      | _ -> Term.nil
+    in
+    expect_punct st "]";
+    (List.fold_right Term.cons elements tail, 0)
+
+and expect_punct st p =
+  match st.la.Lexer.token with
+  | Lexer.Punct q when String.equal p q -> shift st
+  | Lexer.Punct "((" when String.equal p "(" -> shift st
+  | _ -> error st.la.Lexer.pos "expected %s" p
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type read_term = {
+  term : Term.t;
+  var_names : (string * Term.var) list; (* user variables, textual order *)
+}
+
+(* Reads the next clause/directive (a term terminated by '.'), or [None] at
+   end of input.  Variable scoping is per clause. *)
+let next_term st =
+  reset_vars st;
+  match st.la.Lexer.token with
+  | Lexer.Eof -> None
+  | _ ->
+    let t, _ = parse st 1200 in
+    (match st.la.Lexer.token with
+     | Lexer.Dot ->
+       shift st;
+       Some { term = t; var_names = List.rev st.var_names }
+     | _ -> error st.la.Lexer.pos "expected end of clause '.'")
+
+let term_of_string src =
+  let st = make src in
+  match next_term st with
+  | None -> invalid_arg "Parser.term_of_string: empty input"
+  | Some { term; _ } ->
+    (match st.la.Lexer.token with
+     | Lexer.Eof -> term
+     | _ -> error st.la.Lexer.pos "trailing input after term")
+
+let read_all src =
+  let st = make src in
+  let rec go acc =
+    match next_term st with None -> List.rev acc | Some rt -> go (rt :: acc)
+  in
+  go []

@@ -1,0 +1,24 @@
+(** Operator-precedence Prolog reader. *)
+
+exception Error of string * Lexer.position
+
+type state
+
+val make : string -> state
+
+type read_term = {
+  term : Ace_term.Term.t;
+  var_names : (string * Ace_term.Term.var) list;
+      (** named user variables of the clause in textual order (for
+          displaying query solutions) *)
+}
+
+(** Next ['.']-terminated term, or [None] at end of input.  Variable names
+    scope over a single term. *)
+val next_term : state -> read_term option
+
+(** Parses exactly one term (ending in ['.']); raises on trailing input. *)
+val term_of_string : string -> Ace_term.Term.t
+
+(** All terms in the source. *)
+val read_all : string -> read_term list

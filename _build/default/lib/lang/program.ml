@@ -1,0 +1,64 @@
+(* Consulting: turning Prolog source text into a clause database. *)
+
+module Term = Ace_term.Term
+
+type t = { db : Database.t; mutable directives : Term.t list }
+
+let create () = { db = Database.create (); directives = [] }
+
+exception Error of string
+
+let add_term program t =
+  match Term.deref t with
+  | Term.Struct (":-", [| d |]) | Term.Struct ("?-", [| d |]) ->
+    program.directives <- program.directives @ [ d ]
+  | _ -> (
+    match Clause.of_term t with
+    | clause -> Database.assertz program.db clause
+    | exception Clause.Malformed msg -> raise (Error msg))
+
+let consult_string ?(program = create ()) src =
+  (match Parser.read_all src with
+   | terms -> List.iter (fun rt -> add_term program rt.Parser.term) terms
+   | exception Parser.Error (msg, pos) ->
+     raise (Error (Format.sprintf "parse error at %d:%d: %s" pos.Lexer.line pos.Lexer.col msg))
+   | exception Lexer.Error (msg, pos) ->
+     raise (Error (Format.sprintf "lex error at %d:%d: %s" pos.Lexer.line pos.Lexer.col msg)));
+  program
+
+let consult_file ?program path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  consult_string ?program src
+
+(* A query is a goal term optionally prefixed by [?-]; the named variables
+   are reported so callers can display solutions. *)
+type query = { goal : Term.t; query_vars : (string * Term.var) list }
+
+let parse_query src =
+  let src =
+    let trimmed = String.trim src in
+    if String.length trimmed > 0 && trimmed.[String.length trimmed - 1] = '.'
+    then src
+    else src ^ " ."
+  in
+  match Parser.read_all src with
+  | [ { Parser.term; var_names } ] ->
+    let goal =
+      match Term.deref term with
+      | Term.Struct ("?-", [| g |]) -> g
+      | g -> g
+    in
+    { goal; query_vars = var_names }
+  | [] -> raise (Error "empty query")
+  | _ :: _ :: _ -> raise (Error "query must be a single term")
+  | exception Parser.Error (msg, pos) ->
+    raise (Error (Format.sprintf "parse error at %d:%d: %s" pos.Lexer.line pos.Lexer.col msg))
+  | exception Lexer.Error (msg, pos) ->
+    raise (Error (Format.sprintf "lex error at %d:%d: %s" pos.Lexer.line pos.Lexer.col msg))
+
+let db program = program.db
+
+let directives program = program.directives

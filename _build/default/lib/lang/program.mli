@@ -1,0 +1,26 @@
+(** Consulting Prolog source into a {!Database.t}. *)
+
+type t
+
+exception Error of string
+
+val create : unit -> t
+
+(** Parses clauses and [:-] directives from source text; clauses are
+    asserted, directives collected. *)
+val consult_string : ?program:t -> string -> t
+
+val consult_file : ?program:t -> string -> t
+
+type query = {
+  goal : Ace_term.Term.t;
+  query_vars : (string * Ace_term.Term.var) list;
+}
+
+(** Parses a goal (optionally [?-]-prefixed; the final ['.'] may be
+    omitted). *)
+val parse_query : string -> query
+
+val db : t -> Database.t
+
+val directives : t -> Ace_term.Term.t list

@@ -1,0 +1,50 @@
+(* Engine configuration: number of simulated agents plus one switch per
+   optimization of the paper. *)
+
+type t = {
+  agents : int;
+  lpco : bool; (* last parallel call optimization   (flattening, §3.1) *)
+  lao : bool;  (* last alternative optimization     (flattening, §3.2) *)
+  spo : bool;  (* shallow parallelism optimization  (procrastination, §4.1) *)
+  pdo : bool;  (* processor determinacy optimization (sequentialization, §4.2) *)
+  seq_threshold : int;
+    (* granularity control (an instance of the sequentialization schema the
+       paper names in §4): parallel conjunctions whose estimated work is
+       below this many term cells run sequentially, without a frame.
+       0 disables it. *)
+  cost : Cost.t;
+  max_solutions : int option; (* stop after this many solutions; None = all *)
+}
+
+let default =
+  {
+    agents = 1;
+    lpco = false;
+    lao = false;
+    spo = false;
+    pdo = false;
+    seq_threshold = 0;
+    cost = Cost.default;
+    max_solutions = None;
+  }
+
+let unoptimized ?(agents = 1) () = { default with agents }
+
+let all_optimizations ?(agents = 1) () =
+  { default with agents; lpco = true; lao = true; spo = true; pdo = true }
+
+let validate t =
+  if t.agents < 1 then invalid_arg "Config: agents must be >= 1";
+  if t.seq_threshold < 0 then invalid_arg "Config: seq_threshold must be >= 0";
+  (match t.max_solutions with
+   | Some n when n < 1 -> invalid_arg "Config: max_solutions must be >= 1"
+   | Some _ | None -> ());
+  t
+
+let pp ppf t =
+  let flag name b = if b then [ name ] else [] in
+  let opts =
+    flag "lpco" t.lpco @ flag "lao" t.lao @ flag "spo" t.spo @ flag "pdo" t.pdo
+    @ (if t.seq_threshold > 0 then [ Printf.sprintf "gc=%d" t.seq_threshold ] else [])
+  in
+  Format.fprintf ppf "agents=%d opts={%s}" t.agents (String.concat "," opts)

@@ -1,0 +1,28 @@
+(** Engine configuration: agent count and the four optimization switches
+    (LPCO, LAO, SPO, PDO). *)
+
+type t = {
+  agents : int;
+  lpco : bool;
+  lao : bool;
+  spo : bool;
+  pdo : bool;
+  seq_threshold : int;
+      (** granularity control: sequentialize parallel conjunctions whose
+          estimated work is below this many term cells (0 = off) *)
+  cost : Cost.t;
+  max_solutions : int option;
+}
+
+(** One agent, all optimizations off, default cost model, all solutions. *)
+val default : t
+
+val unoptimized : ?agents:int -> unit -> t
+
+val all_optimizations : ?agents:int -> unit -> t
+
+(** Checks invariants, returning the configuration; raises
+    [Invalid_argument] otherwise. *)
+val validate : t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,85 @@
+(* The abstract cost model.
+
+   The discrete-event simulator charges each engine operation a number of
+   abstract cycles from this table.  The paper's experiments compare times
+   with and without each optimization at equal processor counts, so what
+   matters is the *relative* weight of the operations the optimizations
+   remove (frame/marker allocation, tree traversal, scheduler work), not
+   absolute magnitudes.  Weights are loosely calibrated to a WAM-style
+   engine where a unification step is the unit.
+
+   One deliberate modelling choice (documented in DESIGN.md): the LAO
+   in-place choice-point update is *more* expensive than a plain private
+   allocation because in a MUSE-style system the updated node may be shared
+   and needs synchronization.  This is the "characteristic of the MUSE
+   implementation" the paper blames for LAO's 1-processor slowdowns, and it
+   reproduces the negative entries of Table 3's first column. *)
+
+type t = {
+  (* resolution *)
+  unify_step : int;          (* per unification node visited *)
+  index_lookup : int;        (* per call: first-argument index consultation *)
+  clause_try : int;          (* per candidate clause attempted *)
+  builtin : int;             (* base cost of a builtin call *)
+  arith_op : int;            (* per arithmetic node evaluated *)
+  trail_push : int;
+  untrail : int;             (* per binding undone *)
+  (* nondeterminism *)
+  cp_alloc : int;            (* allocate a choice point *)
+  cp_restore : int;          (* restore machine state from a choice point *)
+  backtrack_node : int;      (* visit one node while walking back the tree *)
+  (* and-parallelism *)
+  frame_alloc : int;         (* allocate a parcall frame *)
+  slot_init : int;           (* initialise one subgoal slot *)
+  marker_alloc : int;        (* allocate an input or end marker *)
+  frame_linear_scan : int;   (* per slot scanned inside one frame *)
+  frame_unwind : int;        (* backtracking across one parcall frame:
+                                deallocation + scheduler synchronization *)
+  kill_signal : int;         (* signal a sibling subgoal to abort *)
+  (* or-parallelism *)
+  copy_cell : int;           (* per machine cell copied when sharing work *)
+  copy_setup : int;          (* fixed part of a stack copy *)
+  or_scan_node : int;        (* per choice point scanned looking for work *)
+  lao_update : int;          (* LAO in-place update of a (shared) node *)
+  (* scheduling *)
+  steal_poll : int;          (* one unsuccessful look at the work pool *)
+  steal_grab : int;          (* successful acquisition of work *)
+  task_switch : int;         (* agent switches to a different computation *)
+  runtime_check : int;       (* the "very simple runtime checks" that
+                                trigger the optimizations *)
+}
+
+let default =
+  {
+    unify_step = 1;
+    index_lookup = 2;
+    clause_try = 2;
+    builtin = 3;
+    arith_op = 1;
+    trail_push = 1;
+    untrail = 1;
+    cp_alloc = 12;
+    cp_restore = 6;
+    backtrack_node = 5;
+    frame_alloc = 40;
+    slot_init = 4;
+    marker_alloc = 25;
+    frame_linear_scan = 1;
+    frame_unwind = 45;
+    kill_signal = 6;
+    copy_cell = 1;
+    copy_setup = 40;
+    or_scan_node = 3;
+    lao_update = 16;
+    steal_poll = 8;
+    steal_grab = 12;
+    task_switch = 8;
+    runtime_check = 1;
+  }
+
+(* Control-stack sizes in words, used for the memory-consumption
+   measurements (paper section 3.1: LPCO halves control-stack usage). *)
+let words_choice_point = 8
+let words_frame_base = 20
+let words_per_slot = 4
+let words_marker = 6

@@ -1,0 +1,36 @@
+(** Abstract cost model charged by the discrete-event simulator.  See the
+    implementation header and DESIGN.md for the calibration rationale. *)
+
+type t = {
+  unify_step : int;
+  index_lookup : int;
+  clause_try : int;
+  builtin : int;
+  arith_op : int;
+  trail_push : int;
+  untrail : int;
+  cp_alloc : int;
+  cp_restore : int;
+  backtrack_node : int;
+  frame_alloc : int;
+  slot_init : int;
+  marker_alloc : int;
+  frame_linear_scan : int;
+  frame_unwind : int;
+  kill_signal : int;
+  copy_cell : int;
+  copy_setup : int;
+  or_scan_node : int;
+  lao_update : int;
+  steal_poll : int;
+  steal_grab : int;
+  task_switch : int;
+  runtime_check : int;
+}
+
+val default : t
+
+val words_choice_point : int
+val words_frame_base : int
+val words_per_slot : int
+val words_marker : int

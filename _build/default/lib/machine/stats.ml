@@ -1,0 +1,150 @@
+(* Execution statistics.
+
+   Engines update one record per run; the harness reads both the simulated
+   completion time and the structural counters (allocations, traversals)
+   that explain it.  [merge] folds per-agent records into a run total. *)
+
+type t = {
+  mutable unify_steps : int;
+  mutable clause_tries : int;
+  mutable builtin_calls : int;
+  mutable trail_pushes : int;
+  mutable untrails : int;
+  (* nondeterminism *)
+  mutable cp_allocs : int;
+  mutable cp_updates : int;       (* LAO in-place updates *)
+  mutable backtracks : int;
+  mutable bt_nodes_visited : int; (* nodes walked during backtracking *)
+  (* and-parallelism *)
+  mutable frames : int;           (* parcall frames allocated *)
+  mutable slots : int;            (* subgoal slots initialised *)
+  mutable input_markers : int;
+  mutable end_markers : int;
+  mutable markers_avoided : int;  (* by SPO and PDO *)
+  mutable frames_avoided : int;   (* by LPCO *)
+  mutable max_frame_nesting : int;
+  mutable kills : int;
+  (* or-parallelism *)
+  mutable copies : int;           (* stack-copy operations *)
+  mutable copied_cells : int;
+  mutable or_scans : int;         (* choice points scanned for work *)
+  (* scheduling *)
+  mutable steals : int;
+  mutable polls : int;
+  mutable task_switches : int;
+  (* optimization hits *)
+  mutable lpco_hits : int;
+  mutable lao_hits : int;
+  mutable spo_hits : int;
+  mutable pdo_hits : int;
+  mutable seq_hits : int; (* granularity control: parcalls sequentialized *)
+  (* outcomes *)
+  mutable solutions : int;
+  mutable stack_words : int;      (* cumulative control-stack allocation *)
+}
+
+let create () =
+  {
+    unify_steps = 0;
+    clause_tries = 0;
+    builtin_calls = 0;
+    trail_pushes = 0;
+    untrails = 0;
+    cp_allocs = 0;
+    cp_updates = 0;
+    backtracks = 0;
+    bt_nodes_visited = 0;
+    frames = 0;
+    slots = 0;
+    input_markers = 0;
+    end_markers = 0;
+    markers_avoided = 0;
+    frames_avoided = 0;
+    max_frame_nesting = 0;
+    kills = 0;
+    copies = 0;
+    copied_cells = 0;
+    or_scans = 0;
+    steals = 0;
+    polls = 0;
+    task_switches = 0;
+    lpco_hits = 0;
+    lao_hits = 0;
+    spo_hits = 0;
+    pdo_hits = 0;
+    seq_hits = 0;
+    solutions = 0;
+    stack_words = 0;
+  }
+
+let merge_into ~into:a b =
+  a.unify_steps <- a.unify_steps + b.unify_steps;
+  a.clause_tries <- a.clause_tries + b.clause_tries;
+  a.builtin_calls <- a.builtin_calls + b.builtin_calls;
+  a.trail_pushes <- a.trail_pushes + b.trail_pushes;
+  a.untrails <- a.untrails + b.untrails;
+  a.cp_allocs <- a.cp_allocs + b.cp_allocs;
+  a.cp_updates <- a.cp_updates + b.cp_updates;
+  a.backtracks <- a.backtracks + b.backtracks;
+  a.bt_nodes_visited <- a.bt_nodes_visited + b.bt_nodes_visited;
+  a.frames <- a.frames + b.frames;
+  a.slots <- a.slots + b.slots;
+  a.input_markers <- a.input_markers + b.input_markers;
+  a.end_markers <- a.end_markers + b.end_markers;
+  a.markers_avoided <- a.markers_avoided + b.markers_avoided;
+  a.frames_avoided <- a.frames_avoided + b.frames_avoided;
+  a.max_frame_nesting <- max a.max_frame_nesting b.max_frame_nesting;
+  a.kills <- a.kills + b.kills;
+  a.copies <- a.copies + b.copies;
+  a.copied_cells <- a.copied_cells + b.copied_cells;
+  a.or_scans <- a.or_scans + b.or_scans;
+  a.steals <- a.steals + b.steals;
+  a.polls <- a.polls + b.polls;
+  a.task_switches <- a.task_switches + b.task_switches;
+  a.lpco_hits <- a.lpco_hits + b.lpco_hits;
+  a.lao_hits <- a.lao_hits + b.lao_hits;
+  a.spo_hits <- a.spo_hits + b.spo_hits;
+  a.pdo_hits <- a.pdo_hits + b.pdo_hits;
+  a.seq_hits <- a.seq_hits + b.seq_hits;
+  a.solutions <- a.solutions + b.solutions;
+  a.stack_words <- a.stack_words + b.stack_words
+
+let fields t =
+  [ ("unify_steps", t.unify_steps);
+    ("clause_tries", t.clause_tries);
+    ("builtin_calls", t.builtin_calls);
+    ("trail_pushes", t.trail_pushes);
+    ("untrails", t.untrails);
+    ("cp_allocs", t.cp_allocs);
+    ("cp_updates", t.cp_updates);
+    ("backtracks", t.backtracks);
+    ("bt_nodes_visited", t.bt_nodes_visited);
+    ("frames", t.frames);
+    ("slots", t.slots);
+    ("input_markers", t.input_markers);
+    ("end_markers", t.end_markers);
+    ("markers_avoided", t.markers_avoided);
+    ("frames_avoided", t.frames_avoided);
+    ("max_frame_nesting", t.max_frame_nesting);
+    ("kills", t.kills);
+    ("copies", t.copies);
+    ("copied_cells", t.copied_cells);
+    ("or_scans", t.or_scans);
+    ("steals", t.steals);
+    ("polls", t.polls);
+    ("task_switches", t.task_switches);
+    ("lpco_hits", t.lpco_hits);
+    ("lao_hits", t.lao_hits);
+    ("spo_hits", t.spo_hits);
+    ("pdo_hits", t.pdo_hits);
+    ("seq_hits", t.seq_hits);
+    ("solutions", t.solutions);
+    ("stack_words", t.stack_words) ]
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (name, value) ->
+      if value <> 0 then Format.fprintf ppf "%-18s %d@," name value)
+    (fields t);
+  Format.fprintf ppf "@]"

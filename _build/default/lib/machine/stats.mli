@@ -1,0 +1,44 @@
+(** Structural execution counters collected by the engines. *)
+
+type t = {
+  mutable unify_steps : int;
+  mutable clause_tries : int;
+  mutable builtin_calls : int;
+  mutable trail_pushes : int;
+  mutable untrails : int;
+  mutable cp_allocs : int;
+  mutable cp_updates : int;
+  mutable backtracks : int;
+  mutable bt_nodes_visited : int;
+  mutable frames : int;
+  mutable slots : int;
+  mutable input_markers : int;
+  mutable end_markers : int;
+  mutable markers_avoided : int;
+  mutable frames_avoided : int;
+  mutable max_frame_nesting : int;
+  mutable kills : int;
+  mutable copies : int;
+  mutable copied_cells : int;
+  mutable or_scans : int;
+  mutable steals : int;
+  mutable polls : int;
+  mutable task_switches : int;
+  mutable lpco_hits : int;
+  mutable lao_hits : int;
+  mutable spo_hits : int;
+  mutable pdo_hits : int;
+  mutable seq_hits : int;
+  mutable solutions : int;
+  mutable stack_words : int;
+}
+
+val create : unit -> t
+
+(** Accumulates [b] into [into] (max for nesting depth, sum elsewhere). *)
+val merge_into : into:t -> t -> unit
+
+(** Field names and values, for tabular output. *)
+val fields : t -> (string * int) list
+
+val pp : Format.formatter -> t -> unit

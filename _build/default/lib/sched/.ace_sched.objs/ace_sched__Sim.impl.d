@@ -1,0 +1,1 @@
+lib/sched/sim.ml: Array Effect Heap Printexc Printf

@@ -1,0 +1,69 @@
+(* Binary min-heap keyed by (priority, sequence), the sequence number giving
+   deterministic FIFO tie-breaking. *)
+
+type 'a entry = { prio : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable entries : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { entries = [||]; size = 0; next_seq = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.entries.(i) in
+  t.entries.(i) <- t.entries.(j);
+  t.entries.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t.entries.(i) t.entries.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && less t.entries.(l) t.entries.(!smallest) then smallest := l;
+  if r < t.size && less t.entries.(r) t.entries.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t prio value =
+  let entry = { prio; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  if t.size = Array.length t.entries then begin
+    let capacity = max 8 (2 * Array.length t.entries) in
+    let entries = Array.make capacity entry in
+    Array.blit t.entries 0 entries 0 t.size;
+    t.entries <- entries
+  end;
+  t.entries.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.entries.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.entries.(0) <- t.entries.(t.size);
+      sift_down t 0
+    end;
+    Some (top.prio, top.value)
+  end
+
+let peek t = if t.size = 0 then None else Some (t.entries.(0).prio, t.entries.(0).value)

@@ -1,0 +1,11 @@
+(** Deterministic binary min-heap: equal priorities pop in insertion
+    order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> int -> 'a -> unit
+val pop : 'a t -> (int * 'a) option
+val peek : 'a t -> (int * 'a) option

@@ -1,0 +1,39 @@
+(* Deterministic splitmix64 generator for workload generation and
+   benchmarks.  The standard library's [Random] is avoided so runs are
+   reproducible across OCaml versions. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* land max_int clears the sign bit lost in the Int64 -> int truncation *)
+  let v = Int64.to_int (next_int64 t) land max_int in
+  v mod bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* A list of [n] integers in [0, bound). *)
+let int_list t ~n ~bound = List.init n (fun _ -> int t bound)
+
+(* Deterministic shuffle (Fisher-Yates). *)
+let shuffle t list =
+  let a = Array.of_list list in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a

@@ -1,0 +1,15 @@
+(** Deterministic splitmix64 pseudo-random numbers (reproducible
+    workloads). *)
+
+type t
+
+val create : int -> t
+
+(** Uniform in [0, bound); raises on non-positive bound. *)
+val int : t -> int -> int
+
+val bool : t -> bool
+
+val int_list : t -> n:int -> bound:int -> int list
+
+val shuffle : t -> 'a list -> 'a list

@@ -1,0 +1,132 @@
+(* Deterministic discrete-event multiprocessor simulator.
+
+   Agents (simulated processors) are effect-handler coroutines.  An agent
+   charges virtual time by performing [tick cost]; the scheduler always
+   resumes the agent with the smallest virtual clock (FIFO on ties), so a
+   run is a deterministic interleaving in which shared mutable state is
+   only touched between ticks — no data races, by construction.
+
+   The simulated completion time of a computation is the virtual clock at
+   the moment the driving agent declares completion via [stop]. *)
+
+type _ Effect.t += Tick : int -> unit Effect.t
+
+exception Not_in_simulation
+
+let tick cost =
+  if cost < 0 then invalid_arg "Sim.tick: negative cost";
+  Effect.perform (Tick cost)
+
+type step =
+  | Done
+  | Yield of int * (unit, step) Effect.Deep.continuation
+
+type pending =
+  | Start of (unit -> unit)
+  | Resume of (unit, step) Effect.Deep.continuation
+
+type t = {
+  queue : (int * pending) Heap.t; (* value = (agent id, work) *)
+  mutable clocks : int array;     (* last known virtual clock per agent *)
+  mutable now : int;
+  mutable current : int;          (* agent being stepped *)
+  mutable stopped : bool;
+  mutable stop_time : int;        (* now at the moment of stop *)
+  mutable live : int;             (* agents not yet Done *)
+  mutable steps : int;            (* scheduler iterations, for tracing *)
+  max_steps : int;                (* runaway guard *)
+}
+
+let create ?(max_steps = 2_000_000_000) () =
+  {
+    queue = Heap.create ();
+    clocks = [||];
+    now = 0;
+    current = -1;
+    stopped = false;
+    stop_time = 0;
+    live = 0;
+    steps = 0;
+    max_steps;
+  }
+
+let ensure_agent t id =
+  let n = Array.length t.clocks in
+  if id >= n then begin
+    let clocks = Array.make (max (id + 1) (max 4 (2 * n))) 0 in
+    Array.blit t.clocks 0 clocks 0 n;
+    t.clocks <- clocks
+  end
+
+let spawn ?(at = 0) t ~agent body =
+  ensure_agent t agent;
+  t.live <- t.live + 1;
+  Heap.push t.queue at (agent, Start body)
+
+let now t = t.now
+
+let current_agent t = t.current
+
+let stopped t = t.stopped
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    t.stop_time <- t.now
+  end
+
+let stop_time t = if t.stopped then t.stop_time else t.now
+
+let handler : (unit, step) Effect.Deep.handler =
+  {
+    retc = (fun () -> Done);
+    exnc =
+      (fun e ->
+        if Printexc.backtrace_status () then
+          Printf.eprintf "agent raised %s\n%s\n%!" (Printexc.to_string e)
+            (Printexc.get_backtrace ());
+        raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Tick cost ->
+          Some
+            (fun (k : (a, step) Effect.Deep.continuation) -> Yield (cost, k))
+        | _ -> None);
+  }
+
+let run_step pending =
+  match pending with
+  | Start body -> Effect.Deep.match_with body () handler
+  | Resume k -> Effect.Deep.continue k ()
+
+(* Runs until [stop] is called or all agents finish.  Pending continuations
+   of other agents are discarded at stop (their computations are abandoned
+   mid-flight, as when a real query completes). *)
+let run t =
+  let rec loop () =
+    if t.stopped then ()
+    else
+      match Heap.pop t.queue with
+      | None -> ()
+      | Some (clock, (agent, pending)) ->
+        t.steps <- t.steps + 1;
+        if t.steps > t.max_steps then
+          failwith "Sim.run: max_steps exceeded (livelock?)";
+        t.now <- max t.now clock;
+        t.current <- agent;
+        t.clocks.(agent) <- clock;
+        (match run_step pending with
+         | Done -> t.live <- t.live - 1
+         | Yield (cost, k) ->
+           Heap.push t.queue (clock + cost) (agent, Resume k));
+        loop ()
+  in
+  loop ()
+
+let agent_clock t agent =
+  if agent < 0 || agent >= Array.length t.clocks then
+    invalid_arg "Sim.agent_clock: unknown agent";
+  t.clocks.(agent)
+
+let scheduler_steps t = t.steps

@@ -1,0 +1,46 @@
+(** Deterministic discrete-event multiprocessor simulator.
+
+    Agents are effect-handler coroutines that charge virtual time with
+    {!tick}; the scheduler always resumes the agent with the smallest
+    virtual clock (insertion order on ties).  Because everything runs on a
+    single OS thread and interleaving points are exactly the ticks, agents
+    may freely share mutable OCaml state. *)
+
+type t
+
+exception Not_in_simulation
+
+val create : ?max_steps:int -> unit -> t
+
+(** Registers an agent coroutine, runnable from virtual time [at]
+    (default 0).  Must be called before {!run}. *)
+val spawn : ?at:int -> t -> agent:int -> (unit -> unit) -> unit
+
+(** Charges [cost] virtual cycles to the calling agent and yields to the
+    scheduler.  Must be called from inside an agent body. *)
+val tick : int -> unit
+
+(** Runs until {!stop} is called or every agent body returns. *)
+val run : t -> unit
+
+(** Current virtual time (max event time seen so far). *)
+val now : t -> int
+
+(** Agent currently (or last) being stepped. *)
+val current_agent : t -> int
+
+(** Declares the simulated computation complete: {!run} returns after the
+    current step, and {!stop_time} records the current virtual time. *)
+val stop : t -> unit
+
+val stopped : t -> bool
+
+(** Virtual time at the moment {!stop} was called (or [now] if never
+    stopped). *)
+val stop_time : t -> int
+
+(** Last virtual clock of one agent. *)
+val agent_clock : t -> int -> int
+
+(** Scheduler iterations executed (tracing/tests). *)
+val scheduler_steps : t -> int

@@ -1,0 +1,1 @@
+lib/term/arith.ml: Array Format Stdlib Term

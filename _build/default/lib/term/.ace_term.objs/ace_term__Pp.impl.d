@@ -1,0 +1,1 @@
+lib/term/pp.ml: Buffer Format Hashtbl List String Term

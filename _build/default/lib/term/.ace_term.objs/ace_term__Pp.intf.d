@@ -1,0 +1,1 @@
+lib/term/pp.mli: Format Term

@@ -1,0 +1,1 @@
+lib/term/term.ml: Array Hashtbl List Stdlib String

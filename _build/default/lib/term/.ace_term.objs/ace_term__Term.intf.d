@@ -1,0 +1,1 @@
+lib/term/term.mli: Hashtbl

@@ -1,0 +1,1 @@
+lib/term/trail.ml: Array Term

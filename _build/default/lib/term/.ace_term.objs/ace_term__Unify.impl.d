@@ -1,0 +1,1 @@
+lib/term/unify.ml: Array String Term Trail

@@ -1,0 +1,1 @@
+lib/term/unify.mli: Term Trail

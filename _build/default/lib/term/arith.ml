@@ -1,0 +1,70 @@
+(* Evaluation of Prolog arithmetic expressions (the right-hand side of
+   [is/2] and the operands of arithmetic comparisons). *)
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let rec eval t =
+  match Term.deref t with
+  | Term.Int n -> n
+  | Term.Var _ -> error "arithmetic: unbound variable"
+  | Term.Atom "random" -> error "arithmetic: random/0 unsupported (nondeterministic)"
+  | Term.Atom a -> error "arithmetic: unknown constant %s" a
+  | Term.Struct (op, [| x |]) ->
+    let x = eval x in
+    (match op with
+     | "-" -> -x
+     | "+" -> x
+     | "abs" -> abs x
+     | "sign" -> Stdlib.compare x 0
+     | "msb" -> if x <= 0 then error "msb: argument must be positive" else
+         (let rec go n acc = if n = 1 then acc else go (n lsr 1) (acc + 1) in
+          go x 0)
+     | _ -> error "arithmetic: unknown operator %s/1" op)
+  | Term.Struct (op, [| x; y |]) ->
+    let x = eval x and y = eval y in
+    (match op with
+     | "+" -> x + y
+     | "-" -> x - y
+     | "*" -> x * y
+     | "//" | "div" ->
+       if y = 0 then error "division by zero" else x / y
+     | "/" ->
+       if y = 0 then error "division by zero"
+       else if x mod y <> 0 then error "(/)/2: non-integral result %d/%d" x y
+       else x / y
+     | "mod" ->
+       if y = 0 then error "mod by zero"
+       else
+         let r = x mod y in
+         if (r < 0 && y > 0) || (r > 0 && y < 0) then r + y else r
+     | "rem" -> if y = 0 then error "rem by zero" else x mod y
+     | "min" -> min x y
+     | "max" -> max x y
+     | ">>" -> x asr y
+     | "<<" -> x lsl y
+     | "gcd" ->
+       let rec gcd a b = if b = 0 then abs a else gcd b (a mod b) in
+       gcd x y
+     | "^" ->
+       if y < 0 then error "(^)/2: negative exponent"
+       else
+         let rec pow b e acc =
+           if e = 0 then acc
+           else pow (b * b) (e / 2) (if e land 1 = 1 then acc * b else acc)
+         in
+         pow x y 1
+     | _ -> error "arithmetic: unknown operator %s/2" op)
+  | Term.Struct (op, args) ->
+    error "arithmetic: unknown operator %s/%d" op (Array.length args)
+
+let compare_op op x y =
+  match op with
+  | "<" -> x < y
+  | ">" -> x > y
+  | "=<" -> x <= y
+  | ">=" -> x >= y
+  | "=:=" -> x = y
+  | "=\\=" -> x <> y
+  | _ -> error "arithmetic: unknown comparison %s" op

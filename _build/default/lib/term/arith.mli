@@ -1,0 +1,12 @@
+(** Integer arithmetic over terms, as used by [is/2] and the comparison
+    builtins. *)
+
+exception Error of string
+
+(** Evaluates an arithmetic expression; raises {!Error} on unbound
+    variables, unknown functors, division by zero, or non-integral
+    division. *)
+val eval : Term.t -> int
+
+(** [compare_op op x y] applies one of [< > =< >= =:= =\=]. *)
+val compare_op : string -> int -> int -> bool

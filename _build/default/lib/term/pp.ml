@@ -1,0 +1,154 @@
+(* Operator-aware pretty-printing of terms.
+
+   The printer carries its own table of the standard operators (mirroring
+   the parser's table in [ace_lang]); printing an operator term emits infix
+   syntax with parentheses driven by priorities, so that printed terms
+   re-parse to the same term. *)
+
+type assoc = Xfx | Xfy | Yfx
+
+let infix_ops : (string, int * assoc) Hashtbl.t =
+  let t = Hashtbl.create 32 in
+  List.iter
+    (fun (name, prio, assoc) -> Hashtbl.replace t name (prio, assoc))
+    [ (":-", 1200, Xfx);
+      ("-->", 1200, Xfx);
+      (";", 1100, Xfy);
+      ("->", 1050, Xfy);
+      (",", 1000, Xfy);
+      ("&", 950, Xfy);
+      ("=", 700, Xfx);
+      ("\\=", 700, Xfx);
+      ("==", 700, Xfx);
+      ("\\==", 700, Xfx);
+      ("is", 700, Xfx);
+      ("<", 700, Xfx);
+      (">", 700, Xfx);
+      ("=<", 700, Xfx);
+      (">=", 700, Xfx);
+      ("=:=", 700, Xfx);
+      ("=\\=", 700, Xfx);
+      ("@<", 700, Xfx);
+      ("@>", 700, Xfx);
+      ("@=<", 700, Xfx);
+      ("@>=", 700, Xfx);
+      ("+", 500, Yfx);
+      ("-", 500, Yfx);
+      ("*", 400, Yfx);
+      ("/", 400, Yfx);
+      ("//", 400, Yfx);
+      ("mod", 400, Yfx);
+      ("rem", 400, Yfx);
+      ("div", 400, Yfx);
+      (">>", 400, Yfx);
+      ("<<", 400, Yfx);
+      ("^", 200, Xfy) ];
+  t
+
+let prefix_ops : (string, int) Hashtbl.t =
+  let t = Hashtbl.create 4 in
+  List.iter (fun (name, prio) -> Hashtbl.replace t name prio)
+    [ ("-", 200); ("\\+", 900); ("?-", 1200); (":-", 1200) ];
+  t
+
+let is_letter_atom name =
+  String.length name > 0
+  && (match name.[0] with 'a' .. 'z' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       name
+
+let is_symbolic_atom name =
+  String.length name > 0
+  && String.for_all
+       (fun c -> String.contains "+-*/\\^<>=~:.?@#&$" c)
+       name
+
+let atom_needs_quotes name =
+  (* "." alone would lex as the end-of-clause dot *)
+  String.equal name "."
+  || (not (is_letter_atom name || is_symbolic_atom name)
+      && not (List.mem name [ "[]"; "!"; ";"; "{}" ]))
+
+let pp_atom ppf name =
+  if atom_needs_quotes name then begin
+    let buf = Buffer.create (String.length name + 2) in
+    Buffer.add_char buf '\'';
+    String.iter
+      (fun c ->
+        match c with
+        | '\'' -> Buffer.add_string buf "\\'"
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      name;
+    Buffer.add_char buf '\'';
+    Format.pp_print_string ppf (Buffer.contents buf)
+  end
+  else Format.pp_print_string ppf name
+
+let pp_var ppf (v : Term.var) = Format.fprintf ppf "_G%d" v.Term.vid
+
+(* [max_prio] is the highest operator priority printable without
+   parentheses in the current context. *)
+let rec pp_prio max_prio ppf t =
+  match Term.deref t with
+  | Term.Var v -> pp_var ppf v
+  | Term.Int n ->
+    if n < 0 && max_prio < 200 then Format.fprintf ppf "(%d)" n
+    else Format.pp_print_int ppf n
+  | Term.Atom name -> pp_atom ppf name
+  | Term.Struct (".", [| _; _ |]) as t -> pp_list ppf t
+  | Term.Struct (name, [| x; y |]) when Hashtbl.mem infix_ops name ->
+    let prio, assoc = Hashtbl.find infix_ops name in
+    let lp, rp =
+      match assoc with
+      | Xfx -> (prio - 1, prio - 1)
+      | Xfy -> (prio - 1, prio)
+      | Yfx -> (prio, prio - 1)
+    in
+    let body ppf () =
+      if String.equal name "," then
+        Format.fprintf ppf "%a%s@ %a" (pp_prio lp) x name (pp_prio rp) y
+      else
+        Format.fprintf ppf "%a %s@ %a" (pp_prio lp) x name (pp_prio rp) y
+    in
+    if prio > max_prio then Format.fprintf ppf "@[<hov 1>(%a)@]" body ()
+    else Format.fprintf ppf "@[<hov 2>%a@]" body ()
+  | Term.Struct (name, [| x |]) when Hashtbl.mem prefix_ops name ->
+    let prio = Hashtbl.find prefix_ops name in
+    let body ppf () = Format.fprintf ppf "%s %a" name (pp_prio prio) x in
+    if prio > max_prio then Format.fprintf ppf "(%a)" body ()
+    else body ppf ()
+  | Term.Struct (name, args) ->
+    Format.fprintf ppf "@[<hov 2>%a(%a)@]" pp_atom name
+      (Format.pp_print_array
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@,")
+         (pp_prio 999))
+      args
+
+and pp_list ppf t =
+  let rec tail ppf t =
+    match Term.deref t with
+    | Term.Atom "[]" -> ()
+    | Term.Struct (".", [| h; tl |]) ->
+      Format.fprintf ppf ",%a%a" (pp_prio 999) h tail tl
+    | rest -> Format.fprintf ppf "|%a" (pp_prio 999) rest
+  in
+  match Term.deref t with
+  | Term.Struct (".", [| h; tl |]) ->
+    Format.fprintf ppf "@[<hov 1>[%a%a]@]" (pp_prio 999) h tail tl
+  | t -> pp_prio 1200 ppf t
+
+let pp ppf t = pp_prio 1200 ppf t
+
+(* Single-line rendering: [to_string] output is used for comparisons and
+   re-parsing, where the pretty-printer's line breaks would only get in
+   the way. *)
+let to_string t =
+  let buf = Buffer.create 64 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.pp_set_margin ppf 1_000_000;
+  pp ppf t;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf

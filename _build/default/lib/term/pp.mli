@@ -1,0 +1,13 @@
+(** Operator-aware term printing.  Printed output re-parses (via
+    [ace_lang]) to an equal term, which the test suite checks by
+    property. *)
+
+val pp : Format.formatter -> Term.t -> unit
+
+val to_string : Term.t -> string
+
+(** Prints a single atom, quoting when lexically required. *)
+val pp_atom : Format.formatter -> string -> unit
+
+(** Canonical display name of an unbound variable ([_G<id>]). *)
+val pp_var : Format.formatter -> Term.var -> unit

@@ -1,0 +1,176 @@
+(* First-order terms with mutable variable bindings.
+
+   Variables are bound destructively during unification and unbound by the
+   trail (see {!Trail}).  All structural traversals must dereference through
+   bindings first; [deref] is the single entry point for that. *)
+
+type t =
+  | Atom of string
+  | Int of int
+  | Var of var
+  | Struct of string * t array
+
+and var = { vid : int; mutable binding : t option }
+
+let counter = ref 0
+
+let reset_gensym () = counter := 0
+
+let fresh_var () =
+  incr counter;
+  { vid = !counter; binding = None }
+
+let var () = Var (fresh_var ())
+
+let atom name = Atom name
+
+let int n = Int n
+
+let struct_ name args =
+  if Array.length args = 0 then Atom name else Struct (name, args)
+
+let app name args = struct_ name (Array.of_list args)
+
+let rec deref t =
+  match t with
+  | Var { binding = Some t'; _ } -> deref t'
+  | Var _ | Atom _ | Int _ | Struct _ -> t
+
+let nil = Atom "[]"
+
+let cons h t = Struct (".", [| h; t |])
+
+let rec of_list = function
+  | [] -> nil
+  | x :: rest -> cons x (of_list rest)
+
+(* Converts a Prolog list term to an OCaml list; [None] if not a proper
+   list. *)
+let to_list t =
+  let rec go acc t =
+    match deref t with
+    | Atom "[]" -> Some (List.rev acc)
+    | Struct (".", [| h; tl |]) -> go (h :: acc) tl
+    | Atom _ | Int _ | Var _ | Struct _ -> None
+  in
+  go [] t
+
+let is_nil t = match deref t with Atom "[]" -> true | _ -> false
+
+let true_ = Atom "true"
+
+let rec is_ground t =
+  match deref t with
+  | Atom _ | Int _ -> true
+  | Var _ -> false
+  | Struct (_, args) -> Array.for_all is_ground args
+
+(* Free (unbound, after dereferencing) variables, in first-occurrence
+   order. *)
+let variables t =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec go t =
+    match deref t with
+    | Atom _ | Int _ -> ()
+    | Var v ->
+      if not (Hashtbl.mem seen v.vid) then begin
+        Hashtbl.add seen v.vid ();
+        acc := v :: !acc
+      end
+    | Struct (_, args) -> Array.iter go args
+  in
+  go t;
+  List.rev !acc
+
+let rec size t =
+  match deref t with
+  | Atom _ | Int _ | Var _ -> 1
+  | Struct (_, args) -> Array.fold_left (fun n a -> n + size a) 1 args
+
+(* Bounded size: counts cells up to [limit] then stops — cheap enough to
+   use as a runtime granularity estimate. *)
+let size_at_most t ~limit =
+  let rec go budget t =
+    if budget <= 0 then 0
+    else
+      match deref t with
+      | Atom _ | Int _ | Var _ -> budget - 1
+      | Struct (_, args) ->
+        Array.fold_left (fun b a -> if b <= 0 then 0 else go b a) (budget - 1) args
+  in
+  limit - go limit t
+
+let rec depth t =
+  match deref t with
+  | Atom _ | Int _ | Var _ -> 1
+  | Struct (_, args) -> 1 + Array.fold_left (fun n a -> max n (depth a)) 0 args
+
+(* Structural equality modulo dereferencing.  Unbound variables are equal
+   only to themselves. *)
+let rec equal a b =
+  match deref a, deref b with
+  | Atom x, Atom y -> String.equal x y
+  | Int x, Int y -> x = y
+  | Var x, Var y -> x.vid = y.vid
+  | Struct (f, xs), Struct (g, ys) ->
+    String.equal f g
+    && Array.length xs = Array.length ys
+    && (let rec all i = i >= Array.length xs || (equal xs.(i) ys.(i) && all (i + 1)) in
+        all 0)
+  | (Atom _ | Int _ | Var _ | Struct _), _ -> false
+
+(* Standard order of terms: Var < Int < Atom < Struct; structs by arity,
+   then name, then arguments left to right. *)
+let rec compare a b =
+  let rank = function Var _ -> 0 | Int _ -> 1 | Atom _ -> 2 | Struct _ -> 3 in
+  match deref a, deref b with
+  | Var x, Var y -> Stdlib.compare x.vid y.vid
+  | Int x, Int y -> Stdlib.compare x y
+  | Atom x, Atom y -> String.compare x y
+  | Struct (f, xs), Struct (g, ys) ->
+    let c = Stdlib.compare (Array.length xs) (Array.length ys) in
+    if c <> 0 then c
+    else
+      let c = String.compare f g in
+      if c <> 0 then c
+      else
+        let rec go i =
+          if i >= Array.length xs then 0
+          else
+            let c = compare xs.(i) ys.(i) in
+            if c <> 0 then c else go (i + 1)
+        in
+        go 0
+  | a, b -> Stdlib.compare (rank a) (rank b)
+
+(* Copies a term, producing fresh variables for the unbound variables; the
+   mapping table is shared across calls so several terms can be renamed
+   consistently (e.g. a clause head and body). *)
+let rename_with table t =
+  let rec go t =
+    match deref t with
+    | (Atom _ | Int _) as t' -> t'
+    | Var v ->
+      (match Hashtbl.find_opt table v.vid with
+       | Some v' -> Var v'
+       | None ->
+         let v' = fresh_var () in
+         Hashtbl.add table v.vid v';
+         Var v')
+    | Struct (f, args) -> Struct (f, Array.map go args)
+  in
+  go t
+
+let rename t = rename_with (Hashtbl.create 16) t
+
+(* Snapshots a term into a binding-free value: bound variables are resolved
+   away, unbound variables become fresh.  Used when a solution must survive
+   subsequent backtracking. *)
+let copy_resolved t = rename t
+
+let functor_of t =
+  match deref t with
+  | Atom name -> Some (name, 0)
+  | Struct (name, args) -> Some (name, Array.length args)
+  | Int _ | Var _ -> None

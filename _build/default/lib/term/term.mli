@@ -1,0 +1,81 @@
+(** First-order terms with destructive variable bindings.
+
+    This is the shared term representation for every engine in the
+    repository.  Variables carry a mutable [binding] slot; unification binds
+    them in place and the {!Trail} records the bindings so backtracking can
+    undo them. *)
+
+type t =
+  | Atom of string
+  | Int of int
+  | Var of var
+  | Struct of string * t array
+
+and var = { vid : int; mutable binding : t option }
+
+(** Resets the fresh-variable counter (tests only; keeps runs
+    deterministic). *)
+val reset_gensym : unit -> unit
+
+(** A fresh unbound variable. *)
+val fresh_var : unit -> var
+
+(** [var ()] is [Var (fresh_var ())]. *)
+val var : unit -> t
+
+val atom : string -> t
+val int : int -> t
+
+(** [struct_ name args] is [Atom name] when [args] is empty. *)
+val struct_ : string -> t array -> t
+
+(** [app name args] is {!struct_} on a list. *)
+val app : string -> t list -> t
+
+(** Follows variable bindings to the representative term.  Every structural
+    inspection must go through [deref]. *)
+val deref : t -> t
+
+val nil : t
+val cons : t -> t -> t
+val of_list : t list -> t
+
+(** [to_list t] is the elements of the proper list [t], or [None]. *)
+val to_list : t -> t list option
+
+val is_nil : t -> bool
+val true_ : t
+
+val is_ground : t -> bool
+
+(** Free variables in first-occurrence order. *)
+val variables : t -> var list
+
+(** Number of term cells (after dereferencing). *)
+val size : t -> int
+
+(** [size_at_most t ~limit] is [min (size t) limit], computed in
+    O(limit). *)
+val size_at_most : t -> limit:int -> int
+
+val depth : t -> int
+
+(** Structural equality modulo dereferencing. *)
+val equal : t -> t -> bool
+
+(** Standard order of terms: Var < Int < Atom < Struct. *)
+val compare : t -> t -> int
+
+(** [rename_with table t] copies [t] with fresh variables; [table] maps old
+    variable ids to their replacements and may be shared between calls to
+    rename several terms consistently. *)
+val rename_with : (int, var) Hashtbl.t -> t -> t
+
+val rename : t -> t
+
+(** Snapshot of a term that survives backtracking: bindings are resolved
+    away, remaining variables are fresh. *)
+val copy_resolved : t -> t
+
+(** Name and arity of an atom or structure. *)
+val functor_of : t -> (string * int) option

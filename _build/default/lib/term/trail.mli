@@ -1,0 +1,26 @@
+(** Binding trail: records variables bound since a mark so backtracking can
+    restore them. *)
+
+type t
+
+val create : unit -> t
+
+(** Current position, to be passed to {!undo_to}. *)
+val mark : t -> int
+
+val size : t -> int
+
+(** Records that [v] was just bound. *)
+val push : t -> Term.var -> unit
+
+(** Unbinds everything trailed after the mark; returns the count undone. *)
+val undo_to : t -> int -> int
+
+(** [segment t ~lo ~hi] captures the trailed variables in [lo, hi) so they
+    can be undone later out of order (used by the shallow-parallelism
+    optimization, which records a deterministic subgoal's trail section in
+    its parcall slot instead of allocating markers). *)
+val segment : t -> lo:int -> hi:int -> Term.var array
+
+(** Unbinds a captured segment; returns the count undone. *)
+val undo_segment : Term.var array -> int

@@ -1,0 +1,63 @@
+(* Unification with trailing.  [steps] counts visited term pairs so engines
+   can charge a proportional cost. *)
+
+let bind trail (v : Term.var) t =
+  v.Term.binding <- Some t;
+  Trail.push trail v
+
+let rec occurs (v : Term.var) t =
+  match Term.deref t with
+  | Term.Var w -> w.Term.vid = v.Term.vid
+  | Term.Atom _ | Term.Int _ -> false
+  | Term.Struct (_, args) -> Array.exists (occurs v) args
+
+let unify ?(occurs_check = false) ~trail ~steps a b =
+  let rec go a b =
+    incr steps;
+    let a = Term.deref a and b = Term.deref b in
+    match a, b with
+    | Term.Var x, Term.Var y ->
+      if x.Term.vid = y.Term.vid then true
+      else begin
+        (* Bind the younger variable to the older one: keeps bindings
+           pointing "downward" which shortens dereference chains. *)
+        if x.Term.vid > y.Term.vid then bind trail x b else bind trail y a;
+        true
+      end
+    | Term.Var x, t | t, Term.Var x ->
+      if occurs_check && occurs x t then false
+      else begin
+        bind trail x t;
+        true
+      end
+    | Term.Atom x, Term.Atom y -> String.equal x y
+    | Term.Int x, Term.Int y -> x = y
+    | Term.Struct (f, xs), Term.Struct (g, ys) ->
+      String.equal f g
+      && Array.length xs = Array.length ys
+      && (let rec all i = i >= Array.length xs || (go xs.(i) ys.(i) && all (i + 1)) in
+          all 0)
+    | (Term.Atom _ | Term.Int _ | Term.Struct _), _ -> false
+  in
+  go a b
+
+(* Unification that undoes its own bindings on failure, leaving the trail
+   as it was.  On success bindings remain (still trailed above the caller's
+   own mark). *)
+let unify_or_undo ?occurs_check ~trail ~steps a b =
+  let mark = Trail.mark trail in
+  if unify ?occurs_check ~trail ~steps a b then true
+  else begin
+    let undone = Trail.undo_to trail mark in
+    steps := !steps + undone;
+    false
+  end
+
+(* [matches a b] checks satisfiability of unification without leaving any
+   binding behind; used for clause filtering and analysis. *)
+let matches ?occurs_check a b =
+  let trail = Trail.create () in
+  let steps = ref 0 in
+  let ok = unify ?occurs_check ~trail ~steps a b in
+  ignore (Trail.undo_to trail 0);
+  ok

@@ -1,0 +1,18 @@
+(** Unification over {!Term.t} with trailing and step counting. *)
+
+(** [unify ~trail ~steps a b] unifies destructively, trailing each binding.
+    [steps] is incremented per visited pair (engines charge time
+    proportionally).  On failure, bindings made so far are NOT undone —
+    callers undo to their own trail mark (or use {!unify_or_undo}). *)
+val unify :
+  ?occurs_check:bool -> trail:Trail.t -> steps:int ref -> Term.t -> Term.t -> bool
+
+(** Like {!unify} but restores the trail on failure. *)
+val unify_or_undo :
+  ?occurs_check:bool -> trail:Trail.t -> steps:int ref -> Term.t -> Term.t -> bool
+
+(** Satisfiability check that leaves no bindings behind. *)
+val matches : ?occurs_check:bool -> Term.t -> Term.t -> bool
+
+(** [occurs v t] is the occurs check used by [unify ~occurs_check:true]. *)
+val occurs : Term.var -> Term.t -> bool

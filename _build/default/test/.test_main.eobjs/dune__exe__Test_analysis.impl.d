@@ -1,0 +1,1 @@
+test/test_analysis.ml: Ace_analysis Ace_benchmarks Ace_core Ace_lang Ace_machine Ace_term Alcotest Config List Printf Test_util

@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Ace_benchmarks Ace_core Ace_lang Ace_machine Ace_term Alcotest Format List Printf QCheck2 Test_util

@@ -1,0 +1,1 @@
+test/test_builtins.ml: Ace_core Ace_lang Ace_term Alcotest Buffer List String Test_util

@@ -1,0 +1,1 @@
+test/test_harness.ml: Ace_harness Ace_machine Alcotest List String

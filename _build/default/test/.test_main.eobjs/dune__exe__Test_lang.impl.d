@@ -1,0 +1,1 @@
+test/test_lang.ml: Ace_lang Ace_term Alcotest List Option String Test_util

@@ -1,0 +1,1 @@
+test/test_machine.ml: Ace_core Ace_machine Ace_term Alcotest Format List Test_util

@@ -1,0 +1,1 @@
+test/test_or_engine.ml: Ace_core Ace_machine Ace_term Alcotest List Printf QCheck2 String Test_util

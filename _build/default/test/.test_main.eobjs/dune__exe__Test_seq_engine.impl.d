@@ -1,0 +1,1 @@
+test/test_seq_engine.ml: Ace_benchmarks Ace_core Ace_lang Ace_machine Alcotest List Printf QCheck2 Test_util

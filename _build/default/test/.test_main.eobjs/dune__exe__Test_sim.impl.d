@@ -1,0 +1,1 @@
+test/test_sim.ml: Ace_sched Alcotest List Option QCheck2 Test_util

@@ -1,0 +1,1 @@
+test/test_term.ml: Ace_term Alcotest Hashtbl List QCheck2 Test_util

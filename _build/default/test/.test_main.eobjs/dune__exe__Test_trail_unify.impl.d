@@ -1,0 +1,1 @@
+test/test_trail_unify.ml: Ace_term Alcotest Array List QCheck2 String Test_util

@@ -1,0 +1,1 @@
+test/test_util.ml: Ace_core Ace_lang Ace_machine Ace_term Alcotest Array List QCheck2 QCheck_alcotest String

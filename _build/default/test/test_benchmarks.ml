@@ -1,0 +1,140 @@
+(* Benchmark registry: every benchmark parses, runs, and agrees across
+   engines and optimization sets at its test size. *)
+
+module Config = Ace_machine.Config
+module Engine = Ace_core.Engine
+module Programs = Ace_benchmarks.Programs
+module Gen = Ace_benchmarks.Gen
+open Test_util
+
+let test_registry () =
+  Alcotest.(check bool) "all benchmarks present" true
+    (List.for_all
+       (fun name -> List.mem name Programs.names)
+       [ "map2"; "occur"; "matrix"; "matrix_bt"; "pderiv"; "pderiv_bt"; "map1";
+         "annotator"; "takeuchi"; "hanoi"; "bt_cluster"; "quick_sort";
+         "queen1"; "queen2"; "puzzle"; "ancestors"; "members"; "maps" ]);
+  Alcotest.(check bool) "find raises on unknown" true
+    (match Programs.find "nonexistent" with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_sources_parse () =
+  List.iter
+    (fun (b : Programs.t) ->
+      let source = b.Programs.program b.Programs.small_size in
+      let p = Ace_lang.Program.consult_string source in
+      Alcotest.(check bool)
+        (b.Programs.name ^ " has clauses")
+        true
+        (Ace_lang.Database.total_clauses (Ace_lang.Program.db p) > 0);
+      let q = Ace_lang.Program.parse_query (b.Programs.query b.Programs.small_size) in
+      Alcotest.(check bool) (b.Programs.name ^ " query callable") true
+        (Ace_term.Term.functor_of q.Ace_lang.Program.goal <> None))
+    Programs.all
+
+(* The central correctness experiment: each benchmark computes the same
+   solution multiset on its parallel engine (several agent counts and
+   optimization sets) as on the sequential engine. *)
+let test_engines_agree () =
+  List.iter
+    (fun (b : Programs.t) ->
+      let n = b.Programs.small_size in
+      let program = b.Programs.program n and query = b.Programs.query n in
+      let reference = solutions program query in
+      Alcotest.(check bool)
+        (b.Programs.name ^ " produces solutions or legitimately none")
+        true
+        (reference <> [] || List.mem b.Programs.name [ "members" ]);
+      List.iter
+        (fun config ->
+          let got = solutions ~config ~kind:b.Programs.kind program query in
+          check_same_solutions
+            (Printf.sprintf "%s %s" b.Programs.name
+               (Format.asprintf "%a" Config.pp config))
+            reference got)
+        [ { Config.default with agents = 1 };
+          { Config.default with agents = 3 };
+          Config.all_optimizations ~agents:1 ();
+          Config.all_optimizations ~agents:4 () ])
+    Programs.all
+
+let test_expected_answer_counts () =
+  let count name =
+    let b = Programs.find name in
+    let n = b.Programs.small_size in
+    List.length (solutions (b.Programs.program n) (b.Programs.query n))
+  in
+  Alcotest.(check int) "queen1(4) has 2 solutions" 2 (count "queen1");
+  Alcotest.(check int) "queen2(4) has 2 solutions" 2 (count "queen2");
+  Alcotest.(check int) "magic square has 8 solutions" 8 (count "puzzle");
+  (* ancestry of depth 4: every node except the root is a descendant *)
+  Alcotest.(check int) "ancestors(4)" 30 (count "ancestors");
+  Alcotest.(check int) "map2 determinate" 1 (count "map2");
+  Alcotest.(check int) "quick_sort determinate" 1 (count "quick_sort")
+
+let test_quick_sort_really_sorts () =
+  let b = Programs.find "quick_sort" in
+  let xs = Gen.int_list ~seed:83 ~n:12 ~bound:10000 in
+  let program = b.Programs.program 12 in
+  let query = b.Programs.query 12 in
+  match solutions program query with
+  | [ s ] ->
+    let sorted = Gen.pp_int_list (List.sort compare xs) in
+    Alcotest.(check string) "sorted output"
+      (Printf.sprintf "qsort(%s,%s)" (Gen.pp_int_list xs) sorted)
+      s
+  | other -> Alcotest.failf "expected one solution, got %d" (List.length other)
+
+let test_workload_generators () =
+  Alcotest.(check int) "int_list length" 10
+    (List.length (Gen.int_list ~seed:1 ~n:10 ~bound:5));
+  Alcotest.(check bool) "int_list bounds" true
+    (List.for_all (fun x -> x >= 0 && x < 5) (Gen.int_list ~seed:1 ~n:100 ~bound:5));
+  let m = Gen.matrix ~seed:2 ~n:4 ~bound:10 in
+  Alcotest.(check int) "matrix rows" 4 (List.length m);
+  Alcotest.(check bool) "matrix square" true
+    (List.for_all (fun r -> List.length r = 4) m);
+  let t = Gen.transpose m in
+  Alcotest.(check (list (list int))) "transpose involutive" m
+    (Gen.transpose t);
+  Alcotest.(check string) "peano" "s(s(s(0)))" (Gen.peano 3);
+  (* expression generator emits parseable terms of bounded size *)
+  let e = Gen.expression ~seed:3 ~size:20 in
+  let t = Ace_lang.Parser.term_of_string (e ^ " .") in
+  Alcotest.(check bool) "expression parses" true (Ace_term.Term.size t > 1)
+
+let test_derivative_matches_prolog () =
+  let b = Programs.find "pderiv" in
+  let e = Gen.expression ~seed:5 ~size:12 in
+  let program = b.Programs.program 0 in
+  match solutions program (Printf.sprintf "d(%s, D)" e) with
+  | [ s ] ->
+    let expected = Printf.sprintf "d(%s,%s)" e (Gen.derivative e) in
+    Alcotest.(check string) "OCaml mirror of d/2 agrees" expected s
+  | other -> Alcotest.failf "expected one derivative, got %d" (List.length other)
+
+(* property: occurrence counts from the occur benchmark match OCaml *)
+let prop_occur_counts =
+  let b = Programs.find "occur" in
+  let program = b.Programs.program 0 in
+  qcheck ~count:30 "occ counts match reference"
+    QCheck2.Gen.(pair (list_size (int_range 0 10) (int_range 0 5)) (int_range 0 5))
+    (fun (xs, k) ->
+      let expected = List.length (List.filter (fun x -> x = k) xs) in
+      match
+        solutions program
+          (Printf.sprintf "occ(%s, %d, N), N =:= %d" (Gen.pp_int_list xs) k expected)
+      with
+      | [ _ ] -> true
+      | _ -> false)
+
+let suite =
+  [ Alcotest.test_case "registry" `Quick test_registry;
+    Alcotest.test_case "sources parse" `Quick test_sources_parse;
+    Alcotest.test_case "engines agree on all benchmarks" `Slow test_engines_agree;
+    Alcotest.test_case "expected answer counts" `Quick test_expected_answer_counts;
+    Alcotest.test_case "quick_sort sorts" `Quick test_quick_sort_really_sorts;
+    Alcotest.test_case "workload generators" `Quick test_workload_generators;
+    Alcotest.test_case "derivative mirror" `Quick test_derivative_matches_prolog;
+    prop_occur_counts ]

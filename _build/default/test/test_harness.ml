@@ -1,0 +1,117 @@
+(* Experiment harness: registry completeness, sweep mechanics, report
+   rendering and the extra (overhead/memory) measurements. *)
+
+module Experiment = Ace_harness.Experiment
+module Report = Ace_harness.Report
+module Extras = Ace_harness.Extras
+
+let test_registry_covers_paper () =
+  let ids = List.map (fun e -> e.Experiment.id) Experiment.all in
+  Alcotest.(check (list string)) "every table and figure present"
+    [ "table1"; "table2"; "figure5"; "table3"; "table4"; "figure8"; "table5" ]
+    ids;
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) (e.Experiment.id ^ " has workloads") true
+        (e.Experiment.workloads <> []);
+      Alcotest.(check bool) (e.Experiment.id ^ " has processors") true
+        (e.Experiment.processors <> []))
+    Experiment.all
+
+let test_paper_processor_axes () =
+  Alcotest.(check (list int)) "tables 1/2/4/5 axis" [ 1; 3; 5; 10 ]
+    Experiment.table1.Experiment.processors;
+  Alcotest.(check (list int)) "table 3 axis" [ 1; 2; 4; 8; 10 ]
+    Experiment.table3.Experiment.processors;
+  Alcotest.(check int) "figures sweep 1..10" 10
+    (List.length Experiment.figure5.Experiment.processors)
+
+let tiny_experiment =
+  {
+    Experiment.id = "tiny";
+    title = "tiny sweep for tests";
+    paper_ref = "none";
+    optimization = Experiment.Lpco;
+    workloads = [ Experiment.workload ~size:6 "map2" ];
+    processors = [ 1; 2 ];
+  }
+
+let test_run_sweep () =
+  let results = Experiment.run tiny_experiment in
+  match results.Experiment.rows with
+  | [ row ] ->
+    Alcotest.(check int) "one cell per processor count" 2
+      (List.length row.Experiment.cells);
+    List.iter
+      (fun cell ->
+        Alcotest.(check bool) "times positive" true
+          (cell.Experiment.unopt > 0 && cell.Experiment.opt > 0))
+      row.Experiment.cells
+  | _ -> Alcotest.fail "expected one row"
+
+let test_improvement_percent () =
+  let stats () = Ace_machine.Stats.create () in
+  let cell unopt opt =
+    { Experiment.unopt; opt; unopt_stats = stats (); opt_stats = stats () }
+  in
+  Alcotest.(check (float 0.001)) "50% faster" 50.0
+    (Experiment.improvement_percent (cell 100 50));
+  Alcotest.(check (float 0.001)) "10% slower" (-10.0)
+    (Experiment.improvement_percent (cell 100 110));
+  Alcotest.(check (float 0.001)) "zero base" 0.0
+    (Experiment.improvement_percent (cell 0 10))
+
+let test_apply_optimization () =
+  let base = Ace_machine.Config.default in
+  let lpco = Experiment.apply_optimization base Experiment.Lpco in
+  Alcotest.(check bool) "lpco only" true
+    (lpco.Ace_machine.Config.lpco && not lpco.Ace_machine.Config.lao);
+  let all = Experiment.apply_optimization base Experiment.All in
+  Alcotest.(check bool) "all on" true
+    (all.Ace_machine.Config.lpco && all.Ace_machine.Config.lao
+     && all.Ace_machine.Config.spo && all.Ace_machine.Config.pdo)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_report_renders () =
+  let results = Experiment.run tiny_experiment in
+  let text = Report.to_string results in
+  Alcotest.(check bool) "mentions workload" true
+    (String.length text > 0 && contains text "map2" && contains text "P=2")
+
+let test_overhead_direction () =
+  (* on a tiny deterministic workload, the optimized engine must be
+     at least as close to sequential as the unoptimized one *)
+  let rows =
+    Extras.run_overhead ~benchmarks:[ "map2"; "occur" ]
+      ~size_of:(fun _ -> 8) ()
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) (r.Extras.o_label ^ " overhead reduced") true
+        (r.Extras.opt_overhead <= r.Extras.unopt_overhead);
+      Alcotest.(check bool) (r.Extras.o_label ^ " parallel slower than seq at P=1")
+        true
+        (r.Extras.unopt_time >= r.Extras.seq_time))
+    rows
+
+let test_memory_direction () =
+  let rows = Extras.run_memory ~benchmarks:[ "map2" ] ~agents:3 () in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "LPCO reduces stack words" true
+        (r.Extras.opt_words < r.Extras.unopt_words))
+    rows
+
+let suite =
+  [ Alcotest.test_case "registry covers paper" `Quick test_registry_covers_paper;
+    Alcotest.test_case "processor axes" `Quick test_paper_processor_axes;
+    Alcotest.test_case "run sweep" `Quick test_run_sweep;
+    Alcotest.test_case "improvement percent" `Quick test_improvement_percent;
+    Alcotest.test_case "apply optimization" `Quick test_apply_optimization;
+    Alcotest.test_case "report renders" `Quick test_report_renders;
+    Alcotest.test_case "overhead direction" `Quick test_overhead_direction;
+    Alcotest.test_case "memory direction" `Quick test_memory_direction ]

@@ -1,0 +1,16 @@
+(* Aggregated test runner for the whole repository. *)
+
+let () =
+  Alcotest.run "ace"
+    [ ("term", Test_term.suite);
+      ("trail-unify", Test_trail_unify.suite);
+      ("lang", Test_lang.suite);
+      ("machine", Test_machine.suite);
+      ("builtins", Test_builtins.suite);
+      ("seq-engine", Test_seq_engine.suite);
+      ("sim", Test_sim.suite);
+      ("and-engine", Test_and_engine.suite);
+      ("or-engine", Test_or_engine.suite);
+      ("analysis", Test_analysis.suite);
+      ("benchmarks", Test_benchmarks.suite);
+      ("harness", Test_harness.suite) ]

@@ -1,0 +1,142 @@
+(* Simulator substrate: heap, rng, discrete-event scheduler. *)
+
+module Heap = Ace_sched.Heap
+module Rng = Ace_sched.Rng
+module Sim = Ace_sched.Sim
+open Test_util
+
+let test_heap_order () =
+  let h = Heap.create () in
+  List.iter (fun (p, v) -> Heap.push h p v) [ (5, "e"); (1, "a"); (3, "c"); (2, "b") ];
+  let popped = List.init 4 (fun _ -> Option.get (Heap.pop h)) in
+  Alcotest.(check (list (pair int string))) "min-heap order"
+    [ (1, "a"); (2, "b"); (3, "c"); (5, "e") ]
+    popped;
+  Alcotest.(check bool) "empty" true (Heap.pop h = None)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.push h 7 v) [ "first"; "second"; "third" ];
+  let popped = List.init 3 (fun _ -> snd (Option.get (Heap.pop h))) in
+  Alcotest.(check (list string)) "insertion order on ties"
+    [ "first"; "second"; "third" ] popped
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  let xs = List.init 50 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 50 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys;
+  let c = Rng.create 43 in
+  let zs = List.init 50 (fun _ -> Rng.int c 1000) in
+  Alcotest.(check bool) "different seed differs" true (xs <> zs)
+
+let test_rng_bounds () =
+  let rng = Rng.create 7 in
+  let xs = Rng.int_list rng ~n:2000 ~bound:17 in
+  Alcotest.(check bool) "all within [0, bound)" true
+    (List.for_all (fun x -> x >= 0 && x < 17) xs)
+
+let test_rng_shuffle () =
+  let rng = Rng.create 9 in
+  let xs = List.init 20 (fun i -> i) in
+  let ys = Rng.shuffle rng xs in
+  Alcotest.(check (list int)) "permutation" xs (List.sort compare ys)
+
+let test_sim_single_agent () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.spawn sim ~agent:0 (fun () ->
+      log := "a" :: !log;
+      Sim.tick 10;
+      log := "b" :: !log;
+      Sim.tick 5;
+      log := "c" :: !log);
+  Sim.run sim;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check int) "final time" 15 (Sim.now sim)
+
+let test_sim_interleaving () =
+  (* the smallest clock always runs next: agent 1's cheap steps interleave
+     between agent 0's expensive ones deterministically *)
+  let sim = Sim.create () in
+  let log = ref [] in
+  let emit tag = log := tag :: !log in
+  Sim.spawn sim ~agent:0 (fun () ->
+      emit "A0";
+      Sim.tick 10;
+      emit "A1";
+      Sim.tick 10;
+      emit "A2");
+  Sim.spawn sim ~agent:1 (fun () ->
+      emit "B0";
+      Sim.tick 4;
+      emit "B1";
+      Sim.tick 4;
+      emit "B2";
+      Sim.tick 20;
+      emit "B3");
+  Sim.run sim;
+  Alcotest.(check (list string)) "deterministic interleaving"
+    [ "A0"; "B0"; "B1"; "B2"; "A1"; "A2"; "B3" ]
+    (List.rev !log)
+
+let test_sim_stop () =
+  let sim = Sim.create () in
+  let after_stop = ref false in
+  Sim.spawn sim ~agent:0 (fun () ->
+      Sim.tick 3;
+      Sim.stop sim);
+  Sim.spawn sim ~agent:1 (fun () ->
+      Sim.tick 100;
+      after_stop := true);
+  Sim.run sim;
+  Alcotest.(check bool) "late agent abandoned" false !after_stop;
+  Alcotest.(check int) "stop time" 3 (Sim.stop_time sim)
+
+let test_sim_shared_state () =
+  (* agents communicate through shared refs; single-threaded determinism
+     makes the final count exact *)
+  let sim = Sim.create () in
+  let counter = ref 0 in
+  for agent = 0 to 3 do
+    Sim.spawn sim ~agent (fun () ->
+        for _ = 1 to 25 do
+          incr counter;
+          Sim.tick 1
+        done)
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "all increments" 100 !counter
+
+let test_sim_max_steps_guard () =
+  let sim = Sim.create ~max_steps:100 () in
+  Sim.spawn sim ~agent:0 (fun () ->
+      while true do
+        Sim.tick 1
+      done);
+  Alcotest.(check bool) "livelock detected" true
+    (match Sim.run sim with exception Failure _ -> true | () -> false)
+
+let prop_heap_sorts =
+  qcheck ~count:100 "heap pops sorted"
+    QCheck2.Gen.(list_size (int_range 0 40) (int_range 0 1000))
+    (fun xs ->
+      let h = Heap.create () in
+      List.iter (fun x -> Heap.push h x x) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some (p, _) -> drain (p :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+let suite =
+  [ Alcotest.test_case "heap order" `Quick test_heap_order;
+    Alcotest.test_case "heap FIFO ties" `Quick test_heap_fifo_ties;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle;
+    Alcotest.test_case "single agent" `Quick test_sim_single_agent;
+    Alcotest.test_case "interleaving" `Quick test_sim_interleaving;
+    Alcotest.test_case "stop" `Quick test_sim_stop;
+    Alcotest.test_case "shared state" `Quick test_sim_shared_state;
+    Alcotest.test_case "max_steps guard" `Quick test_sim_max_steps_guard;
+    prop_heap_sorts ]

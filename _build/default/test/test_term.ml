@@ -1,0 +1,155 @@
+(* Unit and property tests for the term representation. *)
+
+module Term = Ace_term.Term
+module Trail = Ace_term.Trail
+module Unify = Ace_term.Unify
+open Test_util
+
+let test_constructors () =
+  check_term "atom" "foo" (Term.atom "foo");
+  check_term "int" "42" (Term.int 42);
+  check_term "struct" "f(1,2)" (Term.app "f" [ Term.int 1; Term.int 2 ]);
+  check_term "zero-arity struct collapses to atom" "g" (Term.struct_ "g" [||]);
+  check_term "list" "[1,2,3]"
+    (Term.of_list [ Term.int 1; Term.int 2; Term.int 3 ])
+
+let test_deref () =
+  let v = Term.fresh_var () in
+  let w = Term.fresh_var () in
+  v.Term.binding <- Some (Term.Var w);
+  w.Term.binding <- Some (Term.int 7);
+  check_term "deref follows chains" "7" (Term.deref (Term.Var v))
+
+let test_to_list () =
+  let t = term "[1,2,3]" in
+  (match Term.to_list t with
+   | Some [ a; b; c ] ->
+     check_term "first" "1" a;
+     check_term "second" "2" b;
+     check_term "third" "3" c
+   | Some _ | None -> Alcotest.fail "expected a 3-element list");
+  Alcotest.(check bool) "improper list" true (Term.to_list (term "[1|X]") = None);
+  Alcotest.(check bool) "non-list" true (Term.to_list (term "f(x)") = None)
+
+let test_ground_and_variables () =
+  Alcotest.(check bool) "ground" true (Term.is_ground (term "f(g(1),[a,b])"));
+  Alcotest.(check bool) "open" false (Term.is_ground (term "f(X)"));
+  let t = term "f(X, g(Y, X), Z)" in
+  Alcotest.(check int) "three distinct variables" 3
+    (List.length (Term.variables t))
+
+let test_size_depth () =
+  Alcotest.(check int) "size of atom" 1 (Term.size (term "a"));
+  Alcotest.(check int) "size of f(1,g(2))" 4 (Term.size (term "f(1,g(2))"));
+  Alcotest.(check int) "depth of f(1,g(2))" 3 (Term.depth (term "f(1,g(2))"))
+
+let test_equal () =
+  Alcotest.(check bool) "structural equal" true
+    (Term.equal (term "f(1,[a])") (term "f(1,[a])"));
+  Alcotest.(check bool) "different" false (Term.equal (term "f(1)") (term "f(2)"));
+  let v = Term.fresh_var () in
+  Alcotest.(check bool) "var equal to itself" true
+    (Term.equal (Term.Var v) (Term.Var v));
+  Alcotest.(check bool) "distinct vars differ" false
+    (Term.equal (Term.var ()) (Term.var ()))
+
+let test_standard_order () =
+  let le a b = Term.compare (term a) (term b) <= 0 in
+  Alcotest.(check bool) "Int < Atom" true (le "42" "a");
+  Alcotest.(check bool) "Atom < Struct" true (le "zzz" "f(1)");
+  Alcotest.(check bool) "structs by arity first" true (le "z(1)" "a(1,2)");
+  Alcotest.(check bool) "then by name" true (le "a(1)" "b(0)");
+  Alcotest.(check bool) "then by args" true (le "f(1)" "f(2)");
+  Alcotest.(check bool) "Var smallest" true
+    (Term.compare (Term.var ()) (term "0") < 0)
+
+(* Regression: a snapshot must not share mutable cells with the live term
+   (a bound variable dereferencing to an atom used to leak through). *)
+let test_copy_resolved_immutable () =
+  let trail = Trail.create () in
+  let steps = ref 0 in
+  let x = Term.var () in
+  let t = Term.app "f" [ x; Term.int 1 ] in
+  assert (Unify.unify ~trail ~steps x (Term.atom "hello"));
+  let snapshot = Term.copy_resolved t in
+  ignore (Trail.undo_to trail 0);
+  assert (Unify.unify ~trail ~steps x (Term.int 99));
+  check_term "snapshot unaffected by rebinding" "f(hello,1)" snapshot
+
+let test_rename_shares_table () =
+  let table = Hashtbl.create 8 in
+  let x = Term.var () in
+  let head = Term.app "p" [ x ] in
+  let body = Term.app "q" [ x ] in
+  let head' = Term.rename_with table head in
+  let body' = Term.rename_with table body in
+  match Term.deref head', Term.deref body' with
+  | Term.Struct (_, [| Term.Var a |]), Term.Struct (_, [| Term.Var b |]) ->
+    Alcotest.(check bool) "renamed consistently" true (a.Term.vid = b.Term.vid);
+    Alcotest.(check bool) "fresh variable" true
+      (match Term.deref x with Term.Var v -> v.Term.vid <> a.Term.vid | _ -> false)
+  | _ -> Alcotest.fail "unexpected shapes"
+
+let test_functor_of () =
+  Alcotest.(check (option (pair string int))) "atom" (Some ("foo", 0))
+    (Term.functor_of (term "foo"));
+  Alcotest.(check (option (pair string int))) "struct" (Some ("f", 2))
+    (Term.functor_of (term "f(1,2)"));
+  Alcotest.(check (option (pair string int))) "int" None
+    (Term.functor_of (term "42"))
+
+(* properties *)
+
+let prop_equal_reflexive =
+  qcheck "equal reflexive" ground_term_gen (fun t -> Term.equal t t)
+
+let prop_compare_reflexive =
+  qcheck "compare t t = 0" ground_term_gen (fun t -> Term.compare t t = 0)
+
+let prop_compare_antisymmetric =
+  qcheck "compare antisymmetric"
+    QCheck2.Gen.(pair ground_term_gen ground_term_gen)
+    (fun (a, b) ->
+      let c = Term.compare a b and c' = Term.compare b a in
+      (c = 0 && c' = 0) || (c > 0 && c' < 0) || (c < 0 && c' > 0))
+
+let prop_compare_equal_consistent =
+  qcheck "compare = 0 iff equal"
+    QCheck2.Gen.(pair ground_term_gen ground_term_gen)
+    (fun (a, b) -> Term.equal a b = (Term.compare a b = 0))
+
+let prop_rename_preserves_ground =
+  qcheck "rename of ground term is equal" ground_term_gen (fun t ->
+      Term.equal t (Term.rename t))
+
+let prop_size_positive =
+  qcheck "size >= 1, depth >= 1" open_term_gen (fun t ->
+      Term.size t >= 1 && Term.depth t >= 1)
+
+let prop_of_to_list =
+  qcheck "of_list/to_list round-trip"
+    QCheck2.Gen.(list_size (int_range 0 8) ground_term_gen)
+    (fun xs ->
+      match Term.to_list (Term.of_list xs) with
+      | Some ys -> List.length xs = List.length ys && List.for_all2 Term.equal xs ys
+      | None -> false)
+
+let suite =
+  [ Alcotest.test_case "constructors" `Quick test_constructors;
+    Alcotest.test_case "deref" `Quick test_deref;
+    Alcotest.test_case "to_list" `Quick test_to_list;
+    Alcotest.test_case "ground and variables" `Quick test_ground_and_variables;
+    Alcotest.test_case "size and depth" `Quick test_size_depth;
+    Alcotest.test_case "equal" `Quick test_equal;
+    Alcotest.test_case "standard order" `Quick test_standard_order;
+    Alcotest.test_case "copy_resolved immutability" `Quick
+      test_copy_resolved_immutable;
+    Alcotest.test_case "rename shares table" `Quick test_rename_shares_table;
+    Alcotest.test_case "functor_of" `Quick test_functor_of;
+    prop_equal_reflexive;
+    prop_compare_reflexive;
+    prop_compare_antisymmetric;
+    prop_compare_equal_consistent;
+    prop_rename_preserves_ground;
+    prop_size_positive;
+    prop_of_to_list ]
