@@ -9,7 +9,11 @@
    cycle counts that the tables themselves report are deterministic and do
    not depend on this host; run `ace_experiments` for those.)
 
-     dune exec bench/main.exe
+     dune exec bench/main.exe             # bechamel suite + par-or sweep
+     dune exec bench/main.exe -- par_or   # only the domain sweep (CI smoke)
+
+   Both forms write BENCH_par_or.json (wall-clock runs of the hardware
+   or-parallel engine at 1, 2 and 4 domains) to the current directory.
 *)
 
 open Bechamel
@@ -115,15 +119,37 @@ let benchmark tests =
   let results = Analyze.all ols Instance.monotonic_clock raw in
   results
 
+(* The hardware or-parallel sweep is measured directly (min of repeats)
+   rather than through bechamel: each row is a multi-domain run whose
+   set-up/tear-down (Domain.spawn/join) is part of the measured cost. *)
+let par_or_sweep () =
+  let rows = Ace_harness.Extras.run_par_or () in
+  Format.printf "@[<v>%a@]@." Ace_harness.Extras.pp_par_or rows;
+  let json = Ace_harness.Extras.par_or_json rows in
+  Out_channel.with_open_text "BENCH_par_or.json" (fun oc ->
+      Out_channel.output_string oc json);
+  Format.printf "wrote BENCH_par_or.json (%d rows)@." (List.length rows);
+  if not (List.for_all (fun r -> r.Ace_harness.Extras.p_matches_seq) rows)
+  then begin
+    Format.eprintf "par-or solution set diverged from the sequential engine@.";
+    exit 1
+  end
+
 let () =
-  let tests = paper_tests @ extra_tests @ ablation_tests in
-  Format.printf "benchmarking %d targets (wall-clock per regeneration run)@."
-    (List.length tests);
-  let results = benchmark tests in
-  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
-  List.iter
-    (fun (name, ols) ->
-      match Analyze.OLS.estimates ols with
-      | Some [ ns ] -> Format.printf "%-28s %12.3f ms/run@." name (ns /. 1e6)
-      | Some _ | None -> Format.printf "%-28s (no estimate)@." name)
-    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+  let par_or_only =
+    Array.length Sys.argv > 1 && Array.mem "par_or" Sys.argv
+  in
+  if not par_or_only then begin
+    let tests = paper_tests @ extra_tests @ ablation_tests in
+    Format.printf "benchmarking %d targets (wall-clock per regeneration run)@."
+      (List.length tests);
+    let results = benchmark tests in
+    let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+    List.iter
+      (fun (name, ols) ->
+        match Analyze.OLS.estimates ols with
+        | Some [ ns ] -> Format.printf "%-28s %12.3f ms/run@." name (ns /. 1e6)
+        | Some _ | None -> Format.printf "%-28s (no estimate)@." name)
+      (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+  end;
+  par_or_sweep ()

@@ -22,7 +22,8 @@ let engine_of_string = function
   | "seq" -> Ok Engine.Sequential
   | "and" -> Ok Engine.And_parallel
   | "or" -> Ok Engine.Or_parallel
-  | s -> Error (`Msg (Printf.sprintf "unknown engine %S (seq|and|or)" s))
+  | "par" -> Ok Engine.Par_or
+  | s -> Error (`Msg (Printf.sprintf "unknown engine %S (seq|and|or|par)" s))
 
 let run source query engine agents lpco lao spo pdo all gc limit show_stats
     annotate =
@@ -59,11 +60,19 @@ let run source query engine agents lpco lao spo pdo all gc limit show_stats
         (fun i solution ->
           Format.printf "solution %d: %a@." (i + 1) Ace_term.Pp.pp solution)
         result.Engine.solutions;
-      Format.printf "%d solution(s) in %d simulated cycles (%s, %a)@."
-        (List.length result.Engine.solutions)
-        result.Engine.time
-        (Engine.kind_to_string kind)
-        Config.pp config;
+      (match kind with
+       | Engine.Par_or ->
+         Format.printf "%d solution(s) in %.3f wall-clock ms (%s, %a)@."
+           (List.length result.Engine.solutions)
+           (float_of_int result.Engine.time /. 1e6)
+           (Engine.kind_to_string kind)
+           Config.pp config
+       | Engine.Sequential | Engine.And_parallel | Engine.Or_parallel ->
+         Format.printf "%d solution(s) in %d simulated cycles (%s, %a)@."
+           (List.length result.Engine.solutions)
+           result.Engine.time
+           (Engine.kind_to_string kind)
+           Config.pp config);
       if show_stats then
         Format.printf "@[<v>%a@]@." Ace_machine.Stats.pp result.Engine.stats;
       0
@@ -87,7 +96,9 @@ let query =
 
 let engine =
   Arg.(value & opt string "seq" & info [ "engine"; "e" ] ~docv:"ENGINE"
-         ~doc:"Engine: seq, and (\\&ACE and-parallel), or (MUSE or-parallel).")
+         ~doc:"Engine: seq, and (\\&ACE and-parallel), or (simulated MUSE \
+               or-parallel), par (hardware or-parallel on OCaml domains; \
+               --agents = domains).")
 
 let agents =
   Arg.(value & opt int 1 & info [ "agents"; "p" ] ~docv:"N"

@@ -10,17 +10,21 @@ module Database = Ace_lang.Database
 type kind =
   | Sequential   (* baseline; '&' runs as ',' *)
   | And_parallel (* &ACE: LPCO / SPO / PDO *)
-  | Or_parallel  (* MUSE-style: LAO *)
+  | Or_parallel  (* MUSE-style: LAO, on the deterministic simulator *)
+  | Par_or       (* MUSE-style on real OCaml domains (wall clock) *)
 
 let kind_to_string = function
   | Sequential -> "seq"
   | And_parallel -> "and"
   | Or_parallel -> "or"
+  | Par_or -> "par"
 
 type result = {
   solutions : Term.t list;
   stats : Stats.t;
-  time : int; (* abstract cycles: charged total (seq) or simulated makespan *)
+  time : int;
+    (* abstract cycles: charged total (seq) or simulated makespan; for
+       [Par_or] this is measured wall-clock nanoseconds instead *)
 }
 
 let solve ?output kind (config : Config.t) db goal =
@@ -44,6 +48,13 @@ let solve ?output kind (config : Config.t) db goal =
       solutions = r.Or_engine.solutions;
       stats = r.Or_engine.stats;
       time = r.Or_engine.time;
+    }
+  | Par_or ->
+    let r = Par_or_engine.solve ?output config db goal in
+    {
+      solutions = r.Par_or_engine.solutions;
+      stats = r.Par_or_engine.stats;
+      time = r.Par_or_engine.wall_ns;
     }
 
 (* Convenience: consult a program and run a query in one call. *)

@@ -4,6 +4,10 @@ type kind =
   | Sequential
   | And_parallel
   | Or_parallel
+      (** MUSE-style or-parallelism on the deterministic simulator *)
+  | Par_or
+      (** MUSE-style or-parallelism on real OCaml 5 domains
+          ({!Par_or_engine}); [config.agents] = number of domains *)
 
 val kind_to_string : kind -> string
 
@@ -12,7 +16,8 @@ type result = {
   stats : Ace_machine.Stats.t;
   time : int;
       (** abstract cycles: total charge (sequential) or simulated makespan
-          (parallel engines) *)
+          (parallel engines); measured wall-clock nanoseconds for
+          [Par_or] *)
 }
 
 val solve :

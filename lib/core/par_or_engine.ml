@@ -1,0 +1,445 @@
+(* Hardware or-parallel engine: the wall-clock twin of {!Or_engine}.
+
+   {!Or_engine} reproduces the paper's LAO numbers on a deterministic
+   discrete-event simulator; this engine runs the same search on real
+   silicon using OCaml 5 domains.  The design is the MUSE environment-
+   copying model mapped onto a work-stealing scheduler:
+
+   - Every worker (one per domain) owns a complete private machine state:
+     choice-point stack, trail, and its own copies of every term it binds.
+     Workers share only the clause database (read-only after consult) and
+     the atomic fresh-variable counter, so forward execution and local
+     backtracking never synchronize — the property that makes or-parallel
+     Prolog scale on shared-memory multicores (Vieira, Rocha & Silva).
+
+   - Unexplored alternatives are published on demand.  When another worker
+     is hungry (idle and looking for work), a running worker snapshots its
+     *bottom-most* choice point that still has untried alternatives — the
+     node nearest the root, i.e. the biggest unexplored subtree — into a
+     self-contained task (goal + continuation copied with bindings
+     resolved; this is the environment copy, charged to the publisher) and
+     pushes it onto its work-stealing deque.  The snapshot is taken at the
+     choice point's creation state by temporarily unwinding the trail
+     segment above its mark, exactly the incremental-copy discipline of
+     MUSE.  Publishing is throttled: a worker publishes only while its
+     deque holds fewer tasks than there are hungry workers, so a saturated
+     machine runs at private-backtracking speed with zero copies.
+
+   - The paper's LAO / sequentialization schema (§3.2) appears here
+     structurally rather than as a flag: a worker taking the last
+     alternative of a node it owns trust-pops the node and continues in
+     place — no re-dispatch, no copy, no synchronization (counted as
+     [lao_hits]).  Only published (shared) nodes ever pay the copy, which
+     is the simulated engine's account of why LAO converts member/2-style
+     generators from O(nodes) shared overhead into in-place iteration.
+
+   - Thieves steal from the top of a victim's deque (oldest task, biggest
+     subtree); an owner re-acquiring its own published work pops from the
+     bottom (deepest, cache-warm) with no further copying.
+
+   Termination uses an outstanding-task counter: the root task counts one,
+   every published task one more, and a worker decrements when a task's
+   subtree is exhausted.  Idle workers spin (with [Domain.cpu_relax])
+   until the counter reaches zero or a solution limit stops the run.
+
+   Like {!Or_engine}, parallel conjunctions run sequentially and cut /
+   if-then-else / negation are rejected.  Solutions are collected through
+   a mutex-guarded channel in nondeterministic discovery order for P > 1;
+   with one domain the engine is exactly a sequential backtracker and
+   reproduces the sequential solution order. *)
+
+module Term = Ace_term.Term
+module Trail = Ace_term.Trail
+module Unify = Ace_term.Unify
+module Clause = Ace_lang.Clause
+module Database = Ace_lang.Database
+module Stats = Ace_machine.Stats
+module Config = Ace_machine.Config
+module Deque = Ace_sched.Deque
+
+(* A task is a self-contained unit of or-work: its terms are private
+   copies, so the receiving worker needs no further setup. *)
+type task =
+  | Root of Clause.body
+  | Node of {
+      n_goal : Term.t;          (* snapshot of the choice point's goal *)
+      n_alts : Clause.t list;   (* the untried alternatives, >= 1 *)
+      n_cont : Clause.body;     (* snapshot of its continuation *)
+    }
+
+type cp = {
+  cp_goal : Term.t;
+  mutable cp_alts : Clause.t list;
+  cp_cont : Clause.body;
+  cp_trail : int;
+}
+
+type shared = {
+  db : Database.t;
+  config : Config.t;
+  deques : task Deque.t array;
+  hungry : int Atomic.t;      (* workers currently idle and stealing *)
+  outstanding : int Atomic.t; (* tasks created but not yet exhausted *)
+  stop : bool Atomic.t;
+  failure : exn option Atomic.t; (* first worker exception, re-raised *)
+  sol_mutex : Mutex.t;
+  mutable sols_rev : Term.t list; (* guarded by [sol_mutex] *)
+  mutable sol_count : int;        (* guarded by [sol_mutex] *)
+}
+
+type worker = {
+  w_id : int;
+  sh : shared;
+  trail : Trail.t;
+  stats : Stats.t; (* worker-private; merged after the join *)
+  ctx : Builtins.ctx;
+  out : Buffer.t option; (* worker-private output, appended after the join *)
+  mutable cps : cp list; (* newest first *)
+  mutable live_alts : int; (* choice points with untried alternatives *)
+}
+
+let stopped w = Atomic.get w.sh.stop
+
+(* ------------------------------------------------------------------ *)
+(* Publishing (the MUSE environment copy)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Copies a term with bindings resolved away and unbound variables made
+   fresh through [table]; [cells] counts copied cells for the stats. *)
+let rec snapshot_term table cells t =
+  incr cells;
+  match Term.deref t with
+  | (Term.Atom _ | Term.Int _) as t' -> t'
+  | Term.Var v -> (
+    match Hashtbl.find_opt table v.Term.vid with
+    | Some v' -> Term.Var v'
+    | None ->
+      let v' = Term.fresh_var () in
+      Hashtbl.add table v.Term.vid v';
+      Term.Var v')
+  | Term.Struct (f, args) ->
+    Term.Struct (f, Array.map (snapshot_term table cells) args)
+
+let rec snapshot_body table cells body =
+  List.map
+    (function
+      | Clause.Call g -> Clause.Call (snapshot_term table cells g)
+      | Clause.Par bodies ->
+        Clause.Par (List.map (snapshot_body table cells) bodies))
+    body
+
+(* A worker publishes only while someone is hungry and its deque is not
+   already stocked for them: bounded copying, zero when saturated. *)
+let should_publish w =
+  w.live_alts > 0
+  &&
+  let h = Atomic.get w.sh.hungry in
+  h > 0 && Deque.length w.sh.deques.(w.w_id) < h
+
+(* Snapshots the bottom-most choice point with untried alternatives at its
+   creation state (trail segment above its mark temporarily unwound — the
+   incremental copy) and pushes it as one task carrying all its
+   alternatives; the node itself becomes exhausted for the owner. *)
+let publish w =
+  let rec last_live acc = function
+    | [] -> acc
+    | cp :: rest -> last_live (if cp.cp_alts <> [] then Some cp else acc) rest
+  in
+  match last_live None w.cps with
+  | None -> ()
+  | Some cp ->
+    let seg = Trail.segment w.trail ~lo:cp.cp_trail ~hi:(Trail.size w.trail) in
+    let saved = Array.map (fun (v : Term.var) -> v.Term.binding) seg in
+    Array.iter (fun (v : Term.var) -> v.Term.binding <- None) seg;
+    let table = Hashtbl.create 64 in
+    let cells = ref 0 in
+    let goal = snapshot_term table cells cp.cp_goal in
+    let cont = snapshot_body table cells cp.cp_cont in
+    Array.iteri (fun i (v : Term.var) -> v.Term.binding <- saved.(i)) seg;
+    let n_alts = cp.cp_alts in
+    cp.cp_alts <- [];
+    w.live_alts <- w.live_alts - 1;
+    w.stats.Stats.copies <- w.stats.Stats.copies + 1;
+    w.stats.Stats.copied_cells <- w.stats.Stats.copied_cells + !cells;
+    Atomic.incr w.sh.outstanding;
+    Deque.push_bottom w.sh.deques.(w.w_id)
+      (Node { n_goal = goal; n_alts; n_cont = cont })
+
+(* ------------------------------------------------------------------ *)
+(* Resolution (private, no synchronization)                            *)
+(* ------------------------------------------------------------------ *)
+
+let call_builtin w goal =
+  let steps0 = !(w.ctx.Builtins.steps) in
+  let trail0 = Trail.size w.trail in
+  let outcome = Builtins.call w.ctx goal in
+  w.stats.Stats.builtin_calls <- w.stats.Stats.builtin_calls + 1;
+  w.stats.Stats.unify_steps <-
+    w.stats.Stats.unify_steps + !(w.ctx.Builtins.steps) - steps0;
+  w.stats.Stats.trail_pushes <-
+    w.stats.Stats.trail_pushes + max 0 (Trail.size w.trail - trail0);
+  outcome
+
+let try_clause w goal clause =
+  w.stats.Stats.clause_tries <- w.stats.Stats.clause_tries + 1;
+  let { Clause.head; body } = Clause.rename clause in
+  let steps = ref 0 in
+  let mark = Trail.mark w.trail in
+  let ok = Unify.unify ~trail:w.trail ~steps head goal in
+  w.stats.Stats.unify_steps <- w.stats.Stats.unify_steps + !steps;
+  w.stats.Stats.trail_pushes <-
+    w.stats.Stats.trail_pushes + (Trail.size w.trail - mark);
+  if ok then Some body
+  else begin
+    w.stats.Stats.untrails <-
+      w.stats.Stats.untrails + Trail.undo_to w.trail mark;
+    None
+  end
+
+let push_cp w ~goal ~alts ~cont =
+  w.stats.Stats.cp_allocs <- w.stats.Stats.cp_allocs + 1;
+  w.stats.Stats.stack_words <-
+    w.stats.Stats.stack_words + Ace_machine.Cost.words_choice_point;
+  w.cps <-
+    { cp_goal = goal; cp_alts = alts; cp_cont = cont; cp_trail = Trail.mark w.trail }
+    :: w.cps;
+  if alts <> [] then w.live_alts <- w.live_alts + 1
+
+let record_solution w goal =
+  let s = Term.copy_resolved goal in
+  let sh = w.sh in
+  Mutex.lock sh.sol_mutex;
+  let accepted =
+    match sh.config.Config.max_solutions with
+    | Some limit when sh.sol_count >= limit -> false
+    | Some limit ->
+      sh.sols_rev <- s :: sh.sols_rev;
+      sh.sol_count <- sh.sol_count + 1;
+      if sh.sol_count >= limit then Atomic.set sh.stop true;
+      true
+    | None ->
+      sh.sols_rev <- s :: sh.sols_rev;
+      sh.sol_count <- sh.sol_count + 1;
+      true
+  in
+  Mutex.unlock sh.sol_mutex;
+  if accepted then w.stats.Stats.solutions <- w.stats.Stats.solutions + 1
+
+let rec run_worker w (cont : Clause.body) : unit =
+  if stopped w then ()
+  else
+    match cont with
+    | [] -> backtrack w
+    | Clause.Par bodies :: rest ->
+      (* the or-engines run '&' sequentially *)
+      run_worker w (List.concat bodies @ rest)
+    | Clause.Call g :: rest -> dispatch w g rest
+
+and dispatch w g cont =
+  match Term.deref g with
+  | Term.Struct ("$solution", [| goal |]) ->
+    record_solution w goal;
+    backtrack w (* report-and-fail drives the full search *)
+  | Term.Atom "!" | Term.Struct ((";" | "->" | "\\+"), _) ->
+    Errors.error "control construct %s not supported inside the or-parallel engine"
+      (Ace_term.Pp.to_string g)
+  | Term.Struct (",", [| _; _ |]) | Term.Struct ("&", [| _; _ |]) ->
+    run_worker w (Clause.compile_body g @ cont)
+  | Term.Struct ("call", [| g |]) -> dispatch w g cont
+  | g -> (
+    match call_builtin w g with
+    | Builtins.Ok -> run_worker w cont
+    | Builtins.Fail -> backtrack w
+    | Builtins.Not_builtin -> user_call w g cont)
+
+and user_call w g cont =
+  match Database.lookup w.sh.db g with
+  | None ->
+    let name, arity =
+      match Term.functor_of g with Some na -> na | None -> ("?", 0)
+    in
+    Errors.existence_error name arity
+  | Some [] -> backtrack w
+  | Some [ clause ] -> (
+    (* determinate after indexing: no choice point *)
+    match try_clause w g clause with
+    | Some body -> run_worker w (body @ cont)
+    | None -> backtrack w)
+  | Some (clause :: rest) -> (
+    push_cp w ~goal:g ~alts:rest ~cont;
+    if should_publish w then publish w;
+    match try_clause w g clause with
+    | Some body -> run_worker w (body @ cont)
+    | None -> backtrack w)
+
+(* Private backtracking.  Taking the last alternative of an owned node
+   trust-pops it and continues in place — the engine's structural LAO. *)
+and backtrack w =
+  w.stats.Stats.backtracks <- w.stats.Stats.backtracks + 1;
+  if stopped w then ()
+  else begin
+    if should_publish w then publish w;
+    match w.cps with
+    | [] -> () (* task exhausted; the worker loop takes over *)
+    | cp :: below -> (
+      w.stats.Stats.bt_nodes_visited <- w.stats.Stats.bt_nodes_visited + 1;
+      match cp.cp_alts with
+      | [] ->
+        (* published or spent node: pop and keep unwinding *)
+        w.cps <- below;
+        backtrack w
+      | clause :: rest ->
+        w.stats.Stats.untrails <-
+          w.stats.Stats.untrails + Trail.undo_to w.trail cp.cp_trail;
+        if rest = [] then begin
+          w.cps <- below;
+          w.live_alts <- w.live_alts - 1;
+          w.stats.Stats.lao_hits <- w.stats.Stats.lao_hits + 1
+        end
+        else cp.cp_alts <- rest;
+        (match try_clause w cp.cp_goal clause with
+         | Some body -> run_worker w (body @ cp.cp_cont)
+         | None -> backtrack w))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Worker loop: run, pop own deque, steal                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_task w task =
+  (match task with
+   | Root body -> run_worker w body
+   | Node { n_goal; n_alts; n_cont } -> (
+     match n_alts with
+     | [] -> ()
+     | first :: rest ->
+       if rest <> [] then push_cp w ~goal:n_goal ~alts:rest ~cont:n_cont;
+       (match try_clause w n_goal first with
+        | Some body -> run_worker w (body @ n_cont)
+        | None -> backtrack w)));
+  (* reset private state (relevant after an early stop) *)
+  ignore (Trail.undo_to w.trail 0);
+  w.cps <- [];
+  w.live_alts <- 0;
+  Atomic.decr w.sh.outstanding
+
+let rec main_loop w =
+  if stopped w then ()
+  else
+    match Deque.pop_bottom w.sh.deques.(w.w_id) with
+    | Some task ->
+      (* re-acquiring own published work: no re-dispatch, no copy *)
+      run_task w task;
+      main_loop w
+    | None -> steal_loop w
+
+and steal_loop w =
+  let sh = w.sh in
+  Atomic.incr sh.hungry;
+  let p = Array.length sh.deques in
+  let rec poll misses =
+    if stopped w || Atomic.get sh.outstanding = 0 then Atomic.decr sh.hungry
+    else begin
+      let rec try_victims k =
+        if k >= p then None
+        else
+          match Deque.steal_top sh.deques.((w.w_id + 1 + k) mod p) with
+          | Some task -> Some task
+          | None -> try_victims (k + 1)
+      in
+      match try_victims 0 with
+      | Some task ->
+        Atomic.decr sh.hungry;
+        w.stats.Stats.steals <- w.stats.Stats.steals + 1;
+        run_task w task;
+        main_loop w
+      | None ->
+        w.stats.Stats.polls <- w.stats.Stats.polls + 1;
+        (* spin briefly, then sleep: on an oversubscribed host a spinning
+           thief would steal timeslices from the worker producing its
+           food *)
+        if misses < 64 then Domain.cpu_relax ()
+        else Unix.sleepf (if misses < 256 then 5e-5 else 5e-4);
+        poll (misses + 1)
+    end
+  in
+  poll 0
+
+let worker_main w =
+  try main_loop w
+  with e ->
+    (* first failure wins; stop the others and re-raise after the join *)
+    ignore (Atomic.compare_and_set w.sh.failure None (Some e));
+    Atomic.set w.sh.stop true
+
+(* ------------------------------------------------------------------ *)
+(* Public interface                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type result = {
+  solutions : Term.t list; (* discovery order; nondeterministic for P > 1 *)
+  stats : Stats.t;
+  wall_ns : int; (* wall-clock nanoseconds, whole run including the join *)
+  domains : int;
+}
+
+let solve ?output (config : Config.t) db goal =
+  let config = Config.validate config in
+  let p = config.Config.agents in
+  let sh =
+    {
+      db;
+      config;
+      deques = Array.init p (fun _ -> Deque.create ());
+      hungry = Atomic.make 0;
+      outstanding = Atomic.make 1;
+      stop = Atomic.make false;
+      failure = Atomic.make None;
+      sol_mutex = Mutex.create ();
+      sols_rev = [];
+      sol_count = 0;
+    }
+  in
+  let workers =
+    Array.init p (fun i ->
+        let trail = Trail.create () in
+        let out =
+          match output with None -> None | Some _ -> Some (Buffer.create 64)
+        in
+        {
+          w_id = i;
+          sh;
+          trail;
+          stats = Stats.create ();
+          ctx = Builtins.make_ctx ?output:out ~trail ();
+          out;
+          cps = [];
+          live_alts = 0;
+        })
+  in
+  let init =
+    Clause.compile_body goal @ [ Clause.Call (Term.Struct ("$solution", [| goal |])) ]
+  in
+  Deque.push_bottom sh.deques.(0) (Root init);
+  let t0 = Unix.gettimeofday () in
+  let domains =
+    Array.init (p - 1) (fun i -> Domain.spawn (fun () -> worker_main workers.(i + 1)))
+  in
+  worker_main workers.(0);
+  Array.iter Domain.join domains;
+  let wall_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+  (match Atomic.get sh.failure with Some e -> raise e | None -> ());
+  let stats = Stats.create () in
+  Array.iter (fun (w : worker) -> Stats.merge_into ~into:stats w.stats) workers;
+  (* solutions were counted per worker and merged; keep the shared total *)
+  stats.Stats.solutions <- sh.sol_count;
+  (match output with
+   | None -> ()
+   | Some buf ->
+     Array.iter
+       (fun w ->
+         match w.out with
+         | Some b -> Buffer.add_buffer buf b
+         | None -> ())
+       workers);
+  { solutions = List.rev sh.sols_rev; stats; wall_ns; domains = p }

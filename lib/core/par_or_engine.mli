@@ -1,0 +1,33 @@
+(** Hardware or-parallel engine: MUSE-style environment-copying workers on
+    OCaml 5 domains, with demand-driven publishing into work-stealing
+    deques and the paper's LAO / sequentialization schema applied
+    structurally (the last alternative of an owned node continues in place
+    with no re-dispatch or copy).
+
+    [config.agents] is the number of domains.  Finds all solutions (or
+    [config.max_solutions]).  Parallel conjunctions run sequentially; cut
+    and other control constructs are rejected, and calling an undefined
+    predicate raises {!Errors.Engine_error} (worker exceptions are
+    re-raised in the calling domain).
+
+    With one domain the engine is a plain sequential backtracker and
+    reproduces the sequential solution order; with more, solutions arrive
+    in nondeterministic discovery order — compare solution {e sets}
+    against {!Seq_engine}. *)
+
+type result = {
+  solutions : Ace_term.Term.t list;
+      (** discovery order; nondeterministic for more than one domain *)
+  stats : Ace_machine.Stats.t;
+      (** merged over all workers; wall-clock runs have real (not
+          simulated) counter values *)
+  wall_ns : int;  (** wall-clock nanoseconds for the whole run *)
+  domains : int;  (** domains actually used ([config.agents]) *)
+}
+
+val solve :
+  ?output:Buffer.t ->
+  Ace_machine.Config.t ->
+  Ace_lang.Database.t ->
+  Ace_term.Term.t ->
+  result

@@ -124,6 +124,109 @@ let run_memory ?(benchmarks = [ "map2"; "occur"; "bt_cluster" ]) ?(agents = 5) (
       })
     benchmarks
 
+(* ------------------------------------------------------------------ *)
+(* Hardware or-parallelism: wall-clock runs on OCaml domains            *)
+(* ------------------------------------------------------------------ *)
+
+type par_or_row = {
+  p_label : string;
+  p_domains : int;
+  p_wall_ms : float;   (* best of [repeat] runs *)
+  p_solutions : int;
+  p_speedup : float;   (* vs the 1-domain row of the same benchmark *)
+  p_matches_seq : bool; (* same solution set as the sequential engine *)
+}
+
+(* Or-parallel benchmarks where the sequential engine computes the
+   identical solution set. *)
+let par_or_benchmarks = [ "queen1"; "queen2"; "puzzle"; "members"; "maps" ]
+
+let canonical_set solutions =
+  List.sort String.compare (List.map Ace_term.Pp.to_canonical_string solutions)
+
+(* Runs each benchmark on the hardware engine across [domains], comparing
+   every run's solution set against the sequential engine and reporting
+   the best wall time of [repeat] runs (wall-clock measurements on a
+   shared host are noisy; the minimum is the standard robust estimate). *)
+let run_par_or ?(benchmarks = par_or_benchmarks) ?(domains = [ 1; 2; 4 ])
+    ?(repeat = 3) ?size_of () =
+  List.concat_map
+    (fun name ->
+      let b = Programs.find name in
+      let size =
+        match size_of with Some f -> f b | None -> b.Programs.default_size
+      in
+      let program = b.Programs.program size and query = b.Programs.query size in
+      let seq =
+        Engine.solve_program Engine.Sequential Config.default ~program ~query
+      in
+      let reference = canonical_set seq.Engine.solutions in
+      let base_ms = ref 0.0 in
+      List.map
+        (fun agents ->
+          let config = { Config.default with Config.agents } in
+          let runs =
+            List.init (max 1 repeat) (fun _ ->
+                Engine.solve_program Engine.Par_or config ~program ~query)
+          in
+          let best =
+            List.fold_left
+              (fun acc r -> if r.Engine.time < acc.Engine.time then r else acc)
+              (List.hd runs) (List.tl runs)
+          in
+          let wall_ms = float_of_int best.Engine.time /. 1e6 in
+          if agents = 1 then base_ms := wall_ms;
+          {
+            p_label = name;
+            p_domains = agents;
+            p_wall_ms = wall_ms;
+            p_solutions = List.length best.Engine.solutions;
+            p_speedup = (if wall_ms > 0.0 then !base_ms /. wall_ms else 0.0);
+            p_matches_seq =
+              List.for_all
+                (fun r -> canonical_set r.Engine.solutions = reference)
+                runs;
+          })
+        domains)
+    benchmarks
+
+let pp_par_or ppf rows =
+  Format.fprintf ppf
+    "== hardware or-parallelism: wall-clock on OCaml domains ==@,";
+  Format.fprintf ppf "%-12s %8s %12s %10s %9s %8s@," "benchmark" "domains"
+    "wall-ms" "solutions" "speedup" "matches";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-12s %8d %12.2f %10d %8.2fx %8s@," r.p_label
+        r.p_domains r.p_wall_ms r.p_solutions r.p_speedup
+        (if r.p_matches_seq then "yes" else "NO"))
+    rows;
+  Format.fprintf ppf "@,"
+
+(* JSON for BENCH_par_or.json: hand-rolled (no JSON dependency in the
+   container), schema {host: {...}, rows: [...]}. *)
+let par_or_json rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"host\": {\"recommended_domains\": %d, \"ocaml\": \"%s\"},\n"
+       (Domain.recommended_domain_count ())
+       Sys.ocaml_version);
+  Buffer.add_string buf "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"benchmark\": \"%s\", \"domains\": %d, \"wall_ms\": %.3f, \
+            \"solutions\": %d, \"speedup\": %.3f, \"matches_seq\": %b}%s\n"
+           r.p_label r.p_domains r.p_wall_ms r.p_solutions r.p_speedup
+           r.p_matches_seq
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
 let pp_memory ppf rows =
   Format.fprintf ppf
     "== X2: control-stack allocation with/without LPCO (words) ==@,";

@@ -33,3 +33,32 @@ val run_memory :
   ?benchmarks:string list -> ?agents:int -> unit -> memory_row list
 
 val pp_memory : Format.formatter -> memory_row list -> unit
+
+(** One wall-clock measurement of the hardware or-parallel engine. *)
+type par_or_row = {
+  p_label : string;
+  p_domains : int;
+  p_wall_ms : float;    (** best of the repeated runs *)
+  p_solutions : int;
+  p_speedup : float;    (** vs the 1-domain row of the same benchmark *)
+  p_matches_seq : bool; (** solution set equals the sequential engine's *)
+}
+
+val par_or_benchmarks : string list
+
+(** Runs the or-parallel benchmarks on {!Ace_core.Par_or_engine} across
+    [domains] (default [[1; 2; 4]]), checking every run's solution set
+    against the sequential engine; reports the best wall time of [repeat]
+    runs (default 3). *)
+val run_par_or :
+  ?benchmarks:string list ->
+  ?domains:int list ->
+  ?repeat:int ->
+  ?size_of:(Ace_benchmarks.Programs.t -> int) ->
+  unit ->
+  par_or_row list
+
+val pp_par_or : Format.formatter -> par_or_row list -> unit
+
+(** Serializes rows for [BENCH_par_or.json]. *)
+val par_or_json : par_or_row list -> string

@@ -3,7 +3,21 @@
    First-argument indexing matters beyond speed: the engines create a
    choice point only when more than one clause survives indexing, so the
    index is what makes *runtime determinacy* observable — the property the
-   LPCO and shallow-parallelism optimizations of the paper are driven by. *)
+   LPCO and shallow-parallelism optimizations of the paper are driven by.
+
+   Representation.  Each predicate keeps its clauses in per-key hash
+   buckets plus a separate list for variable-headed (Kany) clauses, so a
+   lookup touches only the clauses that survive indexing instead of
+   scanning the whole predicate.  Source order is reconstructed from
+   per-clause sequence numbers: [assertz] counts up, [asserta] counts
+   down, and a lookup merges the (sequence-sorted) bucket and Kany lists.
+   Both assert directions prepend to lists, so asserting N clauses costs
+   O(N) total — the old representation appended to a plain list, making
+   [assertz] of N clauses O(N²).
+
+   The structure is mutated only at assert time; lookups are read-only, so
+   a consulted program can be shared by concurrently running engine
+   workers (the hardware or-parallel engine relies on this). *)
 
 module Term = Ace_term.Term
 
@@ -20,15 +34,24 @@ let key_of_term t =
   | Term.Atom a -> Katom a
   | Term.Struct (f, args) -> Kstruct (f, Array.length args)
 
-let key_compatible ~head ~call =
-  match head, call with
-  | Kany, _ | _, Kany -> true
-  | Kint a, Kint b -> a = b
-  | Katom a, Katom b -> String.equal a b
-  | Kstruct (f, n), Kstruct (g, m) -> n = m && String.equal f g
-  | (Kint _ | Katom _ | Kstruct _), _ -> false
+(* Key compatibility (the old per-clause filter) is structural equality
+   between non-Kany keys, and always true when either side is Kany; the
+   bucket map below encodes exactly that relation. *)
 
-type pred = { mutable clauses : (key * Clause.t) list (* source order *) }
+type entry = { seq : int; e_key : key; e_clause : Clause.t }
+
+type pred = {
+  mutable front : entry list;
+    (* asserta'd clauses, ascending [seq] (all negative) *)
+  mutable back_rev : entry list;
+    (* assertz'd clauses, descending [seq] (newest first) *)
+  mutable count : int;
+  mutable next_seq : int; (* next assertz sequence number (counts up) *)
+  mutable prev_seq : int; (* next asserta sequence number (counts down) *)
+  buckets : (key, entry list) Hashtbl.t;
+    (* non-Kany clauses by key, descending [seq] *)
+  mutable anys : entry list; (* Kany clauses, descending [seq] *)
+}
 
 type t = { preds : (string * int, pred) Hashtbl.t }
 
@@ -46,26 +69,77 @@ let get_pred db name arity =
   match find_pred db name arity with
   | Some p -> p
   | None ->
-    let p = { clauses = [] } in
+    let p =
+      {
+        front = [];
+        back_rev = [];
+        count = 0;
+        next_seq = 0;
+        prev_seq = -1;
+        buckets = Hashtbl.create 8;
+        anys = [];
+      }
+    in
     Hashtbl.add db.preds (name, arity) p;
     p
+
+(* Files an entry under its index key.  [at_front] distinguishes the
+   asserta direction, whose (descending-sorted) bucket position is the
+   tail — an O(bucket) insertion, acceptable because asserta is rare and
+   the cost is bounded by the matching clauses, not the predicate. *)
+let index_entry p entry ~at_front =
+  match entry.e_key with
+  | Kany ->
+    if at_front then p.anys <- p.anys @ [ entry ]
+    else p.anys <- entry :: p.anys
+  | key ->
+    let bucket = Option.value ~default:[] (Hashtbl.find_opt p.buckets key) in
+    let bucket = if at_front then bucket @ [ entry ] else entry :: bucket in
+    Hashtbl.replace p.buckets key bucket
 
 let assertz db clause =
   let name, arity = Clause.name_arity clause in
   let p = get_pred db name arity in
-  p.clauses <- p.clauses @ [ (clause_key clause, clause) ]
+  let entry = { seq = p.next_seq; e_key = clause_key clause; e_clause = clause } in
+  p.next_seq <- p.next_seq + 1;
+  p.back_rev <- entry :: p.back_rev;
+  p.count <- p.count + 1;
+  index_entry p entry ~at_front:false
 
 let asserta db clause =
   let name, arity = Clause.name_arity clause in
   let p = get_pred db name arity in
-  p.clauses <- (clause_key clause, clause) :: p.clauses
+  let entry = { seq = p.prev_seq; e_key = clause_key clause; e_clause = clause } in
+  p.prev_seq <- p.prev_seq - 1;
+  p.front <- entry :: p.front;
+  p.count <- p.count + 1;
+  index_entry p entry ~at_front:true
 
 let mem db name arity = find_pred db name arity <> None
+
+(* All clauses in source order: the ascending front then the reversed
+   back. *)
+let all_entries p = p.front @ List.rev p.back_rev
 
 let clauses_of db name arity =
   match find_pred db name arity with
   | None -> []
-  | Some p -> List.map snd p.clauses
+  | Some p -> List.map (fun e -> e.e_clause) (all_entries p)
+
+(* Merges two descending-[seq] entry lists into one ascending clause list:
+   source order, O(length of the inputs) — i.e. proportional to the
+   clauses that survive indexing, never to the whole predicate. *)
+let merge_desc a b =
+  let rec go a b acc =
+    match a, b with
+    | [], [] -> acc
+    | x :: xs, [] -> go xs [] (x.e_clause :: acc)
+    | [], y :: ys -> go [] ys (y.e_clause :: acc)
+    | x :: xs, y :: ys ->
+      if x.seq > y.seq then go xs b (x.e_clause :: acc)
+      else go a ys (y.e_clause :: acc)
+  in
+  go a b []
 
 (* Candidate clauses for a call, filtered by first-argument indexing.
    Returns [None] when the predicate is undefined (distinct from defined
@@ -77,40 +151,43 @@ let lookup db call =
     (match find_pred db name arity with
      | None -> None
      | Some p ->
-       if arity = 0 then Some (List.map snd p.clauses)
+       if arity = 0 then Some (List.map (fun e -> e.e_clause) (all_entries p))
        else
          let call_key =
            match Term.deref call with
            | Term.Struct (_, args) -> key_of_term args.(0)
            | Term.Atom _ | Term.Int _ | Term.Var _ -> Kany
          in
-         Some
-           (List.filter_map
-              (fun (k, c) ->
-                if key_compatible ~head:k ~call:call_key then Some c else None)
-              p.clauses))
+         (match call_key with
+          | Kany -> Some (List.map (fun e -> e.e_clause) (all_entries p))
+          | key ->
+            let bucket =
+              Option.value ~default:[] (Hashtbl.find_opt p.buckets key)
+            in
+            Some (merge_desc bucket p.anys)))
 
 let predicates db =
   Hashtbl.fold (fun na _ acc -> na :: acc) db.preds []
   |> List.sort compare
 
 let total_clauses db =
-  Hashtbl.fold (fun _ p acc -> acc + List.length p.clauses) db.preds 0
+  Hashtbl.fold (fun _ p acc -> acc + p.count) db.preds 0
 
 (* A predicate is statically determinate-on-first-arg when no two of its
    clauses can match the same (non-variable) first argument.  Used by the
-   analysis library and by LPCO's applicability conditions. *)
+   analysis library and by LPCO's applicability conditions.
+
+   Two non-Kany keys are compatible exactly when they are equal, i.e. when
+   they share a bucket — so with two or more clauses the predicate is
+   exclusive iff no clause is variable-headed and every bucket is a
+   singleton. *)
 let first_arg_exclusive db name arity =
   match find_pred db name arity with
   | None -> false
   | Some p ->
-    let keys = List.map fst p.clauses in
-    let rec pairwise = function
-      | [] -> true
-      | k :: rest ->
-        (not (List.exists (fun k' -> key_compatible ~head:k ~call:k') rest))
-        && pairwise rest
-    in
-    (match keys with
-     | [] | [ _ ] -> true
-     | _ -> (not (List.mem Kany keys)) && pairwise keys)
+    p.count <= 1
+    || (p.anys = []
+        && Hashtbl.fold
+             (fun _ bucket ok ->
+               ok && match bucket with [ _ ] -> true | _ -> false)
+             p.buckets true)

@@ -1,0 +1,82 @@
+(* Work-stealing deque for the hardware or-parallel engine.
+
+   The owner pushes and pops at the bottom (LIFO: the most recently
+   published work is the deepest node, cache-warm and closest to the
+   owner's current position in the search tree); thieves steal from the
+   top (FIFO: the oldest entry is the node nearest the root, i.e. the
+   biggest unexplored subtree — the classic granularity argument of
+   work-stealing schedulers, and the or-scheduler discipline of MUSE-style
+   systems which also dispatch the bottom-most live choice point).
+
+   This is the lock-protected variant (a single mutex around a growable
+   ring buffer).  The operations and their ends match the Chase-Lev deque,
+   so a lock-free implementation can be dropped in behind the same
+   interface later; at the engine's publish rates (publishing is throttled
+   by worker hunger) the mutex is uncontended in practice.
+
+   Because every operation takes the lock, any thread may safely call any
+   operation — the owner/thief distinction above is a scheduling policy,
+   not a safety requirement. *)
+
+type 'a t = {
+  mutable buf : 'a option array;
+  mutable head : int; (* next slot to steal from (top, oldest) *)
+  mutable tail : int; (* next slot to push into (bottom, newest) *)
+  lock : Mutex.t;
+}
+(* [head] and [tail] grow monotonically; slot [i] lives at
+   [i mod Array.length buf].  The deque holds [tail - head] items. *)
+
+let create ?(capacity = 16) () =
+  let capacity = max 1 capacity in
+  { buf = Array.make capacity None; head = 0; tail = 0; lock = Mutex.create () }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
+
+let slot t i = i mod Array.length t.buf
+
+let grow t =
+  let old = t.buf in
+  let buf = Array.make (2 * Array.length old) None in
+  for i = t.head to t.tail - 1 do
+    buf.(i mod Array.length buf) <- old.(i mod Array.length old)
+  done;
+  t.buf <- buf
+
+let push_bottom t x =
+  with_lock t (fun () ->
+      if t.tail - t.head = Array.length t.buf then grow t;
+      t.buf.(slot t t.tail) <- Some x;
+      t.tail <- t.tail + 1)
+
+let pop_bottom t =
+  with_lock t (fun () ->
+      if t.tail = t.head then None
+      else begin
+        t.tail <- t.tail - 1;
+        let x = t.buf.(slot t t.tail) in
+        t.buf.(slot t t.tail) <- None;
+        x
+      end)
+
+let steal_top t =
+  with_lock t (fun () ->
+      if t.tail = t.head then None
+      else begin
+        let x = t.buf.(slot t t.head) in
+        t.buf.(slot t t.head) <- None;
+        t.head <- t.head + 1;
+        x
+      end)
+
+let length t = with_lock t (fun () -> t.tail - t.head)
+
+let is_empty t = length t = 0

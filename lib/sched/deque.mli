@@ -1,0 +1,24 @@
+(** Work-stealing deque (lock-protected) for the hardware or-parallel
+    engine.
+
+    The owner pushes and pops at the {e bottom} (LIFO: deepest, most
+    recently published work); thieves steal from the {e top} (FIFO: the
+    node nearest the root, hence the biggest unexplored subtree).  All
+    operations are thread-safe, so the owner/thief split is a scheduling
+    policy rather than a safety precondition. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+
+(** Owner end: push newest work. *)
+val push_bottom : 'a t -> 'a -> unit
+
+(** Owner end: take back the most recently pushed item. *)
+val pop_bottom : 'a t -> 'a option
+
+(** Thief end: take the oldest item. *)
+val steal_top : 'a t -> 'a option
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool

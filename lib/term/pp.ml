@@ -152,3 +152,20 @@ let to_string t =
   pp ppf t;
   Format.pp_print_flush ppf ();
   Buffer.contents buf
+
+(* Alpha-invariant rendering: unbound variables are numbered by first
+   occurrence, so two alpha-equivalent terms print identically regardless
+   of their variable ids.  Engines produce solution copies with fresh
+   (engine-dependent) variables; this is the form to compare across
+   engines.  Implemented by temporarily binding each variable to a marker
+   atom, so it must not run concurrently with other users of the term. *)
+let to_canonical_string t =
+  let vars = Term.variables t in
+  List.iteri
+    (fun i (v : Term.var) ->
+      v.Term.binding <- Some (Term.Atom (Printf.sprintf "_V%d" i)))
+    vars;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun (v : Term.var) -> v.Term.binding <- None) vars)
+    (fun () -> to_string t)

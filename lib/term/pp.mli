@@ -6,6 +6,12 @@ val pp : Format.formatter -> Term.t -> unit
 
 val to_string : Term.t -> string
 
+(** Alpha-invariant rendering: unbound variables are numbered by first
+    occurrence, so alpha-equivalent terms (e.g. the same solution copied by
+    different engines) print identically.  Temporarily mutates the term's
+    variable bindings — not safe concurrently with other users of [t]. *)
+val to_canonical_string : Term.t -> string
+
 (** Prints a single atom, quoting when lexically required. *)
 val pp_atom : Format.formatter -> string -> unit
 

@@ -12,13 +12,15 @@ type t =
 
 and var = { vid : int; mutable binding : t option }
 
-let counter = ref 0
+(* The id counter is atomic so that engines running on several OCaml
+   domains (the hardware or-parallel engine) can create fresh variables
+   concurrently without ties or torn reads.  On a single domain the
+   fetch-and-add costs the same as the old [incr]. *)
+let counter = Atomic.make 0
 
-let reset_gensym () = counter := 0
+let reset_gensym () = Atomic.set counter 0
 
-let fresh_var () =
-  incr counter;
-  { vid = !counter; binding = None }
+let fresh_var () = { vid = 1 + Atomic.fetch_and_add counter 1; binding = None }
 
 let var () = Var (fresh_var ())
 

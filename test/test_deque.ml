@@ -1,0 +1,104 @@
+(* Work-stealing deque: LIFO/FIFO discipline, ring growth, and a
+   two-domain stress run checking that no item is lost or duplicated. *)
+
+module Deque = Ace_sched.Deque
+
+let drain_bottom d =
+  let rec go acc =
+    match Deque.pop_bottom d with Some v -> go (v :: acc) | None -> List.rev acc
+  in
+  go []
+
+let test_owner_lifo () =
+  let d = Deque.create () in
+  Alcotest.(check bool) "fresh deque empty" true (Deque.is_empty d);
+  Alcotest.(check (option int)) "pop on empty" None (Deque.pop_bottom d);
+  List.iter (Deque.push_bottom d) [ 1; 2; 3 ];
+  Alcotest.(check int) "length" 3 (Deque.length d);
+  Alcotest.(check (option int)) "newest first" (Some 3) (Deque.pop_bottom d);
+  Alcotest.(check (option int)) "then middle" (Some 2) (Deque.pop_bottom d);
+  Alcotest.(check (option int)) "then oldest" (Some 1) (Deque.pop_bottom d);
+  Alcotest.(check (option int)) "now empty" None (Deque.pop_bottom d)
+
+let test_thief_fifo () =
+  let d = Deque.create () in
+  Alcotest.(check (option int)) "steal on empty" None (Deque.steal_top d);
+  List.iter (Deque.push_bottom d) [ 1; 2; 3 ];
+  Alcotest.(check (option int)) "oldest first" (Some 1) (Deque.steal_top d);
+  Alcotest.(check (option int)) "then next" (Some 2) (Deque.steal_top d);
+  Alcotest.(check (option int)) "then newest" (Some 3) (Deque.steal_top d);
+  Alcotest.(check (option int)) "now empty" None (Deque.steal_top d)
+
+let test_mixed_ends () =
+  (* owner and thief interleaved: the two ends stay consistent *)
+  let d = Deque.create () in
+  List.iter (Deque.push_bottom d) [ 1; 2; 3; 4 ];
+  Alcotest.(check (option int)) "steal oldest" (Some 1) (Deque.steal_top d);
+  Alcotest.(check (option int)) "pop newest" (Some 4) (Deque.pop_bottom d);
+  Deque.push_bottom d 5;
+  Alcotest.(check (option int)) "steal next oldest" (Some 2) (Deque.steal_top d);
+  Alcotest.(check (list int)) "remainder pops newest-first" [ 5; 3 ]
+    (drain_bottom d)
+
+let test_growth () =
+  (* push far beyond the initial capacity; nothing is lost or reordered *)
+  let d = Deque.create ~capacity:4 () in
+  let n = 1000 in
+  for i = 1 to n do
+    Deque.push_bottom d i
+  done;
+  Alcotest.(check int) "all present" n (Deque.length d);
+  Alcotest.(check (list int)) "FIFO order across growth"
+    (List.init n (fun i -> i + 1))
+    (let rec go acc =
+       match Deque.steal_top d with Some v -> go (v :: acc) | None -> List.rev acc
+     in
+     go [])
+
+let test_concurrent_no_loss_no_dup () =
+  (* One owner pushing/popping at the bottom while a thief domain steals
+     from the top: every pushed item must be seen exactly once. *)
+  let n = 20_000 in
+  let d = Deque.create () in
+  let stop = Atomic.make false in
+  let thief =
+    Domain.spawn (fun () ->
+        let got = ref [] in
+        while not (Atomic.get stop) do
+          match Deque.steal_top d with
+          | Some v -> got := v :: !got
+          | None -> Domain.cpu_relax ()
+        done;
+        let rec drain () =
+          match Deque.steal_top d with
+          | Some v ->
+            got := v :: !got;
+            drain ()
+          | None -> ()
+        in
+        drain ();
+        !got)
+  in
+  let owner_got = ref [] in
+  for i = 1 to n do
+    Deque.push_bottom d i;
+    if i mod 3 = 0 then
+      match Deque.pop_bottom d with
+      | Some v -> owner_got := v :: !owner_got
+      | None -> ()
+  done;
+  Atomic.set stop true;
+  let thief_got = Domain.join thief in
+  let all = drain_bottom d @ !owner_got @ thief_got in
+  Alcotest.(check int) "every item seen exactly once" n (List.length all);
+  Alcotest.(check (list int)) "no loss, no duplication"
+    (List.init n (fun i -> i + 1))
+    (List.sort compare all)
+
+let suite =
+  [ Alcotest.test_case "owner end is LIFO" `Quick test_owner_lifo;
+    Alcotest.test_case "thief end is FIFO" `Quick test_thief_fifo;
+    Alcotest.test_case "mixed ends" `Quick test_mixed_ends;
+    Alcotest.test_case "ring growth" `Quick test_growth;
+    Alcotest.test_case "concurrent no-loss/no-dup" `Quick
+      test_concurrent_no_loss_no_dup ]

@@ -162,6 +162,65 @@ let test_database_order () =
   Alcotest.(check (list string)) "asserta/assertz order" [ "p(0)"; "p(1)"; "p(2)" ]
     heads
 
+let test_database_bucket_order () =
+  (* keyed and variable-headed clauses interleaved: the bucketed index
+     must still return candidates in source order *)
+  let db = Database.create () in
+  List.iter
+    (fun s -> Database.assertz db (Clause.of_term (term s)))
+    [ "m(1, a)"; "m(X, any1)"; "m(1, b)"; "m(2, c)"; "m(X, any2)"; "m(1, d)" ];
+  let snd_args cs =
+    List.map
+      (fun c ->
+        match c.Clause.head with
+        | Term.Struct (_, [| _; a |]) -> Ace_term.Pp.to_string a
+        | _ -> "?")
+      cs
+  in
+  let lookup s = Option.value ~default:[] (Database.lookup db (term s)) in
+  Alcotest.(check (list string)) "key 1 in source order"
+    [ "a"; "any1"; "b"; "any2"; "d" ]
+    (snd_args (lookup "m(1, R)"));
+  Alcotest.(check (list string)) "key 2 in source order" [ "any1"; "c"; "any2" ]
+    (snd_args (lookup "m(2, R)"));
+  Alcotest.(check (list string)) "unbound key sees everything"
+    [ "a"; "any1"; "b"; "c"; "any2"; "d" ]
+    (snd_args (lookup "m(K, R)"));
+  Alcotest.(check (list string)) "unmatched key still sees var clauses"
+    [ "any1"; "any2" ]
+    (snd_args (lookup "m(9, R)"));
+  Database.asserta db (Clause.of_term (term "m(1, front)"));
+  Alcotest.(check (list string)) "asserta lands first in its bucket"
+    [ "front"; "a"; "any1"; "b"; "any2"; "d" ]
+    (snd_args (lookup "m(1, R)"));
+  Alcotest.(check bool) "duplicate keys not exclusive" false
+    (Database.first_arg_exclusive db "m" 2);
+  let db2 = Database.create () in
+  List.iter
+    (fun s -> Database.assertz db2 (Clause.of_term (term s)))
+    [ "k(1, a)"; "k(1, b)"; "k(2, c)" ];
+  Alcotest.(check bool) "duplicate keys, no var heads: not exclusive" false
+    (Database.first_arg_exclusive db2 "k" 2)
+
+let test_database_assertz_bulk () =
+  (* assertz of N clauses is linear: a quadratic append would make this
+     test hang rather than fail, but the count and order checks also pin
+     the bucket bookkeeping under load *)
+  let db = Database.create () in
+  let n = 10_000 in
+  for i = 1 to n do
+    Database.assertz db (Clause.of_term (term (Printf.sprintf "big(%d)" i)))
+  done;
+  Alcotest.(check int) "all clauses present" n
+    (List.length (Database.clauses_of db "big" 1));
+  let first_of s =
+    match Database.lookup db (term s) with
+    | Some [ c ] -> Ace_term.Pp.to_string c.Clause.head
+    | _ -> "?"
+  in
+  Alcotest.(check string) "indexed lookup finds one" "big(7777)"
+    (first_of "big(7777)")
+
 let test_program_directives () =
   let p = Program.consult_string ":- mode(f(+, -)). f(X, X)." in
   Alcotest.(check int) "one directive" 1 (List.length (Program.directives p));
@@ -193,6 +252,8 @@ let suite =
     Alcotest.test_case "body round-trip" `Quick test_body_roundtrip;
     Alcotest.test_case "database indexing" `Quick test_database_indexing;
     Alcotest.test_case "database order" `Quick test_database_order;
+    Alcotest.test_case "database bucket order" `Quick test_database_bucket_order;
+    Alcotest.test_case "database bulk assertz" `Quick test_database_assertz_bulk;
     Alcotest.test_case "program directives" `Quick test_program_directives;
     Alcotest.test_case "parse query" `Quick test_parse_query;
     prop_print_parse_roundtrip ]

@@ -11,6 +11,8 @@ let () =
       ("sim", Test_sim.suite);
       ("and-engine", Test_and_engine.suite);
       ("or-engine", Test_or_engine.suite);
+      ("deque", Test_deque.suite);
+      ("par-or-engine", Test_par_or_engine.suite);
       ("analysis", Test_analysis.suite);
       ("benchmarks", Test_benchmarks.suite);
       ("harness", Test_harness.suite) ]
