@@ -135,10 +135,43 @@ let par_or_sweep () =
     exit 1
   end
 
+(* The sequential-core smoke: wall clock of the hot path per engine, plus a
+   canonical-solution-set digest compared against the seed recording in
+   bench/seq_core_expected.txt (guards core refactors against semantic
+   drift).  `record` regenerates the expected file. *)
+let seq_core_run ~record () =
+  let rows = Ace_harness.Extras.run_seq_core () in
+  Format.printf "@[<v>%a@]@." Ace_harness.Extras.pp_seq_core rows;
+  let json = Ace_harness.Extras.seq_core_json rows in
+  Out_channel.with_open_text "BENCH_seq_core.json" (fun oc ->
+      Out_channel.output_string oc json);
+  Format.printf "wrote BENCH_seq_core.json (%d rows)@." (List.length rows);
+  let expected_file = "bench/seq_core_expected.txt" in
+  if record then begin
+    Out_channel.with_open_text expected_file (fun oc ->
+        Out_channel.output_string oc
+          (Ace_harness.Extras.expected_of_rows rows));
+    Format.printf "recorded %s@." expected_file
+  end
+  else
+    match In_channel.with_open_text expected_file In_channel.input_all with
+    | exception Sys_error _ ->
+      Format.eprintf "missing %s (run `seq_core record` once)@." expected_file;
+      exit 1
+    | expected ->
+      (match Ace_harness.Extras.check_seq_core ~expected rows with
+       | [] -> Format.printf "solution sets match the seed recording@."
+       | diffs ->
+         List.iter (fun d -> Format.eprintf "seq-core drift: %s@." d) diffs;
+         exit 1)
+
 let () =
-  let par_or_only =
-    Array.length Sys.argv > 1 && Array.mem "par_or" Sys.argv
-  in
+  let has a = Array.length Sys.argv > 1 && Array.mem a Sys.argv in
+  if has "seq_core" then begin
+    seq_core_run ~record:(has "record") ();
+    exit 0
+  end;
+  let par_or_only = has "par_or" in
   if not par_or_only then begin
     let tests = paper_tests @ extra_tests @ ablation_tests in
     Format.printf "benchmarking %d targets (wall-clock per regeneration run)@."

@@ -25,8 +25,8 @@ let engine_of_string = function
   | "par" -> Ok Engine.Par_or
   | s -> Error (`Msg (Printf.sprintf "unknown engine %S (seq|and|or|par)" s))
 
-let run source query engine agents lpco lao spo pdo all gc limit show_stats
-    annotate =
+let run source query engine agents lpco lao spo pdo all gc grain chunk limit
+    show_stats annotate =
   let program_text =
     if String.equal source "-" then read_stdin ()
     else In_channel.with_open_bin source In_channel.input_all
@@ -52,10 +52,14 @@ let run source query engine agents lpco lao spo pdo all gc limit show_stats
           spo = spo || all;
           pdo = pdo || all;
           seq_threshold = gc;
+          grain;
+          chunk;
           max_solutions = limit;
         }
       in
+      let t0 = Unix.gettimeofday () in
       let result = Engine.solve kind config db q.Program.goal in
+      let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
       List.iteri
         (fun i solution ->
           Format.printf "solution %d: %a@." (i + 1) Ace_term.Pp.pp solution)
@@ -68,9 +72,10 @@ let run source query engine agents lpco lao spo pdo all gc limit show_stats
            (Engine.kind_to_string kind)
            Config.pp config
        | Engine.Sequential | Engine.And_parallel | Engine.Or_parallel ->
-         Format.printf "%d solution(s) in %d simulated cycles (%s, %a)@."
+         Format.printf
+           "%d solution(s) in %d simulated cycles, %.3f wall-clock ms (%s, %a)@."
            (List.length result.Engine.solutions)
-           result.Engine.time
+           result.Engine.time wall_ms
            (Engine.kind_to_string kind)
            Config.pp config);
       if show_stats then
@@ -124,6 +129,15 @@ let cmd =
       $ Arg.(value & opt int 0 & info [ "granularity" ] ~docv:"CELLS"
                ~doc:"Sequentialize parallel calls whose estimated work is \
                      below CELLS term cells (granularity control; 0 = off).")
+      $ Arg.(value & opt int 1 & info [ "grain" ] ~docv:"N"
+               ~doc:"Or-parallel granularity (par engine): publish a choice \
+                     point only if it still has at least N untried \
+                     alternatives; smaller nodes stay private (1 = publish \
+                     anything).")
+      $ Arg.(value & opt int 0 & info [ "chunk" ] ~docv:"N"
+               ~doc:"Or-parallel chunking (par engine): ship a published \
+                     node's alternatives in tasks of at most N alternatives \
+                     each (0 = whole node in one task).")
       $ limit
       $ flag [ "stats" ] "Print execution statistics."
       $ flag [ "annotate" ]

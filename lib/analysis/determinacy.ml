@@ -21,8 +21,10 @@ end)
 
 let builtins_are_determinate = true
 
+(* Analysis is a cold path: it works on resolved (string) names so its
+   sets print and compare naturally. *)
 let goal_functor g =
-  match Term.functor_of (Term.deref g) with
+  match Term.functor_name_of (Term.deref g) with
   | Some na -> Some na
   | None -> None
 

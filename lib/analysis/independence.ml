@@ -13,10 +13,16 @@
    become one parallel conjunction. *)
 
 module Term = Ace_term.Term
+module Symbol = Ace_term.Symbol
 module Clause = Ace_lang.Clause
 module Database = Ace_lang.Database
 
 module Var_set = Set.Make (Int)
+
+let sym_mode = Symbol.intern "mode"
+let sym_in = Symbol.intern "+"
+let sym_out = Symbol.intern "-"
+let sym_unknown = Symbol.intern "?"
 
 type mode = Input | Output | Unknown
 
@@ -27,20 +33,22 @@ let no_modes () : modes = Hashtbl.create 16
 (* Parses a [mode(p(+,-,?))] directive term. *)
 let add_mode_directive (modes : modes) t =
   match Term.deref t with
-  | Term.Struct ("mode", [| spec |]) -> (
+  | Term.Struct (s, [| spec |]) when Symbol.equal s sym_mode -> (
     match Term.deref spec with
     | Term.Struct (name, args) ->
       let parse_arg a =
         match Term.deref a with
-        | Term.Atom "+" -> Input
-        | Term.Atom "-" -> Output
-        | Term.Atom "?" -> Unknown
+        | Term.Atom s when Symbol.equal s sym_in -> Input
+        | Term.Atom s when Symbol.equal s sym_out -> Output
+        | Term.Atom s when Symbol.equal s sym_unknown -> Unknown
         | _ -> Unknown
       in
-      Hashtbl.replace modes (name, Array.length args) (Array.map parse_arg args);
+      Hashtbl.replace modes
+        (Symbol.name name, Array.length args)
+        (Array.map parse_arg args);
       true
     | Term.Atom name ->
-      Hashtbl.replace modes (name, 0) [||];
+      Hashtbl.replace modes (Symbol.name name, 0) [||];
       true
     | _ -> false)
   | _ -> false
@@ -70,7 +78,7 @@ let grounded_after (modes : modes) ground g =
          (fun acc (i, a) -> if positions i then Var_set.union acc (vars_of_term a) else acc)
          ground
   in
-  match Term.functor_of (Term.deref g) with
+  match Term.functor_name_of (Term.deref g) with
   | None -> ground
   | Some (name, arity) -> (
     let args = goal_args g in
@@ -115,7 +123,7 @@ let independent ground g1 g2 =
    they are cheap and usually bind shared arithmetic variables. *)
 let annotate_body (modes : modes) ~head_ground body =
   let is_par_candidate g =
-    match Term.functor_of (Term.deref g) with
+    match Term.functor_name_of (Term.deref g) with
     | Some (name, arity) -> not (Ace_core.Builtins.is_builtin name arity)
     | None -> false
   in
@@ -146,7 +154,7 @@ let annotate_body (modes : modes) ~head_ground body =
 
 (* Head variables known ground at call time, per the predicate's mode. *)
 let head_ground_of (modes : modes) head =
-  match Term.functor_of (Term.deref head) with
+  match Term.functor_name_of (Term.deref head) with
   | None -> Var_set.empty
   | Some (name, arity) -> (
     match Hashtbl.find_opt modes (name, arity) with

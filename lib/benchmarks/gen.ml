@@ -77,13 +77,20 @@ let ancestry_facts ~depth =
    acceptance targets.  Returned as source text. *)
 let derivative expr_src =
   let module Term = Ace_term.Term in
+  let module Symbol = Ace_term.Symbol in
+  let sym_x = Symbol.intern "x"
+  and sym_num = Symbol.intern "num"
+  and sym_plus = Symbol.intern "plus"
+  and sym_times = Symbol.intern "times" in
   let term = Ace_lang.Parser.term_of_string (expr_src ^ " .") in
   let rec d t =
     match Term.deref t with
-    | Term.Atom "x" -> Term.app "num" [ Term.Int 1 ]
-    | Term.Struct ("num", _) -> Term.app "num" [ Term.Int 0 ]
-    | Term.Struct ("plus", [| a; b |]) -> Term.app "plus" [ d a; d b ]
-    | Term.Struct ("times", [| a; b |]) ->
+    | Term.Atom s when Symbol.equal s sym_x -> Term.app "num" [ Term.Int 1 ]
+    | Term.Struct (s, _) when Symbol.equal s sym_num ->
+      Term.app "num" [ Term.Int 0 ]
+    | Term.Struct (s, [| a; b |]) when Symbol.equal s sym_plus ->
+      Term.app "plus" [ d a; d b ]
+    | Term.Struct (s, [| a; b |]) when Symbol.equal s sym_times ->
       Term.app "plus" [ Term.app "times" [ d a; b ]; Term.app "times" [ a; d b ] ]
     | _ -> invalid_arg "derivative: unexpected expression"
   in

@@ -35,6 +35,7 @@
      between the two computations. *)
 
 module Term = Ace_term.Term
+module Symbol = Ace_term.Symbol
 module Trail = Ace_term.Trail
 module Unify = Ace_term.Unify
 module Clause = Ace_lang.Clause
@@ -253,7 +254,7 @@ let call_builtin st exec goal =
 let try_clause st exec goal clause =
   charge st st.cost.Cost.clause_try;
   st.stats.Stats.clause_tries <- st.stats.Stats.clause_tries + 1;
-  let { Clause.head; body } = Clause.rename clause in
+  let head, fresh = Clause.rename_head clause in
   let steps = ref 0 in
   let trail0 = Trail.size exec.x_trail in
   let mark = Trail.mark exec.x_trail in
@@ -263,7 +264,7 @@ let try_clause st exec goal clause =
   let pushed = Trail.size exec.x_trail - trail0 in
   charge st (pushed * st.cost.Cost.trail_push);
   st.stats.Stats.trail_pushes <- st.stats.Stats.trail_pushes + pushed;
-  if ok then Some body
+  if ok then Some (Clause.rename_body clause fresh)
   else begin
     let undone = Trail.undo_to exec.x_trail mark in
     charge_untrail st undone;
@@ -299,17 +300,20 @@ let rec exec_run st (agent : agent_state) exec (cont : Clause.item list) : bool 
 
 and dispatch st agent exec g cont =
   match Term.deref g with
-  | Term.Atom "!" ->
+  | Term.Atom s when Symbol.equal s Symbol.cut ->
     Errors.error "cut is not supported inside the and-parallel engine"
-  | Term.Struct ((";" | "->" | "\\+"), _) ->
+  | Term.Struct (s, _)
+    when Symbol.equal s Symbol.semicolon
+         || Symbol.equal s Symbol.arrow
+         || Symbol.equal s Symbol.naf ->
     Errors.error
       "control construct %s not supported inside the and-parallel engine"
       (Ace_term.Pp.to_string g)
-  | Term.Struct (",", [| _; _ |]) ->
+  | Term.Struct (s, [| _; _ |])
+    when Symbol.equal s Symbol.comma || Symbol.equal s Symbol.amp ->
     exec_run st agent exec (Clause.compile_body g @ cont)
-  | Term.Struct ("&", [| _; _ |]) ->
-    exec_run st agent exec (Clause.compile_body g @ cont)
-  | Term.Struct ("call", [| g |]) -> dispatch st agent exec g cont
+  | Term.Struct (s, [| g |]) when Symbol.equal s Symbol.call ->
+    dispatch st agent exec g cont
   | g -> (
     match call_builtin st exec g with
     | Builtins.Ok -> exec_run st agent exec cont
@@ -321,7 +325,7 @@ and user_call st agent exec g cont =
   match Database.lookup st.db g with
   | None ->
     let name, arity =
-      match Term.functor_of g with Some na -> na | None -> ("?", 0)
+      match Term.functor_name_of g with Some na -> na | None -> ("?", 0)
     in
     Errors.existence_error name arity
   | Some [] -> exec_backtrack st agent exec

@@ -3,9 +3,16 @@
    Control constructs (cut, negation, if-then-else, disjunction) are engine
    business and are not here.  Each builtin either succeeds (possibly
    binding variables through the caller's trail), fails, or reports that the
-   call is not a builtin at all. *)
+   call is not a builtin at all.
+
+   Dispatch is a single integer-keyed hash lookup: the key packs the
+   goal's interned functor id with its arity (all builtins have arity
+   <= 3, so two bits suffice).  No string is touched on the call path —
+   the giant string-match this replaces compared the functor name
+   character by character on every goal. *)
 
 module Term = Ace_term.Term
+module Symbol = Ace_term.Symbol
 module Trail = Ace_term.Trail
 module Unify = Ace_term.Unify
 module Arith = Ace_term.Arith
@@ -44,26 +51,6 @@ let arith ctx t =
 
 let bool_outcome b = if b then Ok else Fail
 
-let type_check name t =
-  match name, Term.deref t with
-  | "var", Term.Var _ -> true
-  | "var", _ -> false
-  | "nonvar", Term.Var _ -> false
-  | "nonvar", _ -> true
-  | "atom", Term.Atom _ -> true
-  | "atom", _ -> false
-  | ("number" | "integer"), Term.Int _ -> true
-  | ("number" | "integer"), _ -> false
-  | "atomic", (Term.Atom _ | Term.Int _) -> true
-  | "atomic", _ -> false
-  | "compound", Term.Struct _ -> true
-  | "compound", _ -> false
-  | "callable", (Term.Atom _ | Term.Struct _) -> true
-  | "callable", _ -> false
-  | "is_list", t -> Term.to_list t <> None
-  | "ground", t -> Term.is_ground t
-  | _ -> assert false
-
 let emit ctx s =
   match ctx.output with
   | Some buf -> Buffer.add_string buf s
@@ -76,27 +63,29 @@ let univ ctx a b =
     match Term.to_list b with
     | Some (f :: args) -> (
       match Term.deref f, args with
-      | Term.Atom name, args ->
+      | Term.Atom sym, args ->
         bool_outcome
           (Unify.unify_or_undo ~trail:ctx.trail ~steps:ctx.steps a
-             (Term.struct_ name (Array.of_list args)))
+             (Term.struct_sym sym (Array.of_list args)))
       | Term.Int _, [] ->
         bool_outcome (Unify.unify_or_undo ~trail:ctx.trail ~steps:ctx.steps a f)
       | _ -> Errors.error "=../2: invalid functor list")
     | Some [] -> Errors.error "=../2: empty list"
     | None -> Errors.error "=../2: unbound arguments")
-  | Term.Atom name ->
+  | Term.Atom sym ->
     bool_outcome
       (Unify.unify_or_undo ~trail:ctx.trail ~steps:ctx.steps b
-         (Term.of_list [ Term.Atom name ]))
+         (Term.of_list [ Term.Atom sym ]))
   | Term.Int n ->
     bool_outcome
       (Unify.unify_or_undo ~trail:ctx.trail ~steps:ctx.steps b
          (Term.of_list [ Term.Int n ]))
-  | Term.Struct (name, args) ->
+  | Term.Struct (sym, args) ->
     bool_outcome
       (Unify.unify_or_undo ~trail:ctx.trail ~steps:ctx.steps b
-         (Term.of_list (Term.Atom name :: Array.to_list args)))
+         (Term.of_list (Term.Atom sym :: Array.to_list args)))
+
+let fa = Symbol.intern "fa"
 
 let functor3 ctx t f a =
   match Term.deref t with
@@ -104,28 +93,28 @@ let functor3 ctx t f a =
     match Term.deref f, Term.deref a with
     | f', Term.Int 0 ->
       bool_outcome (Unify.unify_or_undo ~trail:ctx.trail ~steps:ctx.steps t f')
-    | Term.Atom name, Term.Int n when n > 0 ->
+    | Term.Atom sym, Term.Int n when n > 0 ->
       let args = Array.init n (fun _ -> Term.var ()) in
       bool_outcome
         (Unify.unify_or_undo ~trail:ctx.trail ~steps:ctx.steps t
-           (Term.Struct (name, args)))
+           (Term.Struct (sym, args)))
     | _ -> Errors.error "functor/3: insufficiently instantiated"
   )
-  | Term.Atom name ->
+  | Term.Atom sym ->
     bool_outcome
       (Unify.unify_or_undo ~trail:ctx.trail ~steps:ctx.steps
-         (Term.app "fa" [ f; a ])
-         (Term.app "fa" [ Term.Atom name; Term.Int 0 ]))
+         (Term.Struct (fa, [| f; a |]))
+         (Term.Struct (fa, [| Term.Atom sym; Term.Int 0 |])))
   | Term.Int n ->
     bool_outcome
       (Unify.unify_or_undo ~trail:ctx.trail ~steps:ctx.steps
-         (Term.app "fa" [ f; a ])
-         (Term.app "fa" [ Term.Int n; Term.Int 0 ]))
-  | Term.Struct (name, args) ->
+         (Term.Struct (fa, [| f; a |]))
+         (Term.Struct (fa, [| Term.Int n; Term.Int 0 |])))
+  | Term.Struct (sym, args) ->
     bool_outcome
       (Unify.unify_or_undo ~trail:ctx.trail ~steps:ctx.steps
-         (Term.app "fa" [ f; a ])
-         (Term.app "fa" [ Term.Atom name; Term.Int (Array.length args) ]))
+         (Term.Struct (fa, [| f; a |]))
+         (Term.Struct (fa, [| Term.Atom sym; Term.Int (Array.length args) |])))
 
 let arg3 ctx n t a =
   match Term.deref n, Term.deref t with
@@ -135,6 +124,93 @@ let arg3 ctx n t a =
         (Unify.unify_or_undo ~trail:ctx.trail ~steps:ctx.steps a args.(i - 1))
     else Fail
   | _ -> Errors.error "arg/3: insufficiently instantiated"
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch table                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Key: functor id shifted past a 2-bit arity field (all builtins have
+   arity <= 3). *)
+let key_of id arity = (id lsl 2) lor arity
+
+type impl = ctx -> Term.t array -> outcome
+
+let dispatch : (int, impl) Hashtbl.t = Hashtbl.create 64
+
+let def name arity (f : impl) =
+  Hashtbl.replace dispatch (key_of (Symbol.id (Symbol.intern name)) arity) f
+
+let unify2 ctx a b =
+  bool_outcome (Unify.unify_or_undo ~trail:ctx.trail ~steps:ctx.steps a b)
+
+let sym_lt = Symbol.intern "<"
+let sym_gt = Symbol.intern ">"
+let sym_eq = Symbol.intern "="
+
+let def_type_check name (p : Term.t -> bool) =
+  def name 1 (fun _ctx args -> bool_outcome (p (Term.deref args.(0))))
+
+let def_arith_cmp name =
+  let op = Symbol.intern name in
+  def name 2 (fun ctx args ->
+      bool_outcome (Arith.compare_op op (arith ctx args.(0)) (arith ctx args.(1))))
+
+let () =
+  def "true" 0 (fun _ _ -> Ok);
+  def "fail" 0 (fun _ _ -> Fail);
+  def "false" 0 (fun _ _ -> Fail);
+  def "nl" 0 (fun ctx _ ->
+      emit ctx "\n";
+      Ok);
+  def "halt" 0 (fun _ _ -> Errors.error "halt/0: not allowed in embedded engine");
+  def "=" 2 (fun ctx args -> unify2 ctx args.(0) args.(1));
+  def "\\=" 2 (fun ctx args ->
+      let mark = Trail.mark ctx.trail in
+      let unified =
+        Unify.unify ~trail:ctx.trail ~steps:ctx.steps args.(0) args.(1)
+      in
+      ignore (Trail.undo_to ctx.trail mark);
+      bool_outcome (not unified));
+  def "==" 2 (fun _ args -> bool_outcome (Term.equal args.(0) args.(1)));
+  def "\\==" 2 (fun _ args -> bool_outcome (not (Term.equal args.(0) args.(1))));
+  def "@<" 2 (fun _ args -> bool_outcome (Term.compare args.(0) args.(1) < 0));
+  def "@>" 2 (fun _ args -> bool_outcome (Term.compare args.(0) args.(1) > 0));
+  def "@=<" 2 (fun _ args -> bool_outcome (Term.compare args.(0) args.(1) <= 0));
+  def "@>=" 2 (fun _ args -> bool_outcome (Term.compare args.(0) args.(1) >= 0));
+  def "compare" 3 (fun ctx args ->
+      let c = Term.compare args.(1) args.(2) in
+      let sym = if c < 0 then sym_lt else if c > 0 then sym_gt else sym_eq in
+      unify2 ctx args.(0) (Term.Atom sym));
+  def "is" 2 (fun ctx args ->
+      let n = arith ctx args.(1) in
+      unify2 ctx args.(0) (Term.Int n));
+  List.iter def_arith_cmp [ "<"; ">"; "=<"; ">="; "=:="; "=\\=" ];
+  def_type_check "var" (function Term.Var _ -> true | _ -> false);
+  def_type_check "nonvar" (function Term.Var _ -> false | _ -> true);
+  def_type_check "atom" (function Term.Atom _ -> true | _ -> false);
+  def_type_check "number" (function Term.Int _ -> true | _ -> false);
+  def_type_check "integer" (function Term.Int _ -> true | _ -> false);
+  def_type_check "atomic" (function
+    | Term.Atom _ | Term.Int _ -> true
+    | _ -> false);
+  def_type_check "compound" (function Term.Struct _ -> true | _ -> false);
+  def_type_check "callable" (function
+    | Term.Atom _ | Term.Struct _ -> true
+    | _ -> false);
+  def_type_check "is_list" (fun t -> Term.to_list t <> None);
+  def_type_check "ground" Term.is_ground;
+  def "functor" 3 (fun ctx args -> functor3 ctx args.(0) args.(1) args.(2));
+  def "arg" 3 (fun ctx args -> arg3 ctx args.(0) args.(1) args.(2));
+  def "=.." 2 (fun ctx args -> univ ctx args.(0) args.(1));
+  let write ctx args =
+    emit ctx (Ace_term.Pp.to_string args.(0));
+    Ok
+  in
+  def "write" 1 write;
+  def "print" 1 write;
+  def "write_canonical" 1 write
+
+let no_args = [||]
 
 (* Executes a builtin call; [Not_builtin] lets the engine fall back to the
    clause database. *)
@@ -146,49 +222,15 @@ let rec call ctx goal =
          (Format.asprintf "%s in %a" msg Ace_term.Pp.pp (Term.deref goal)))
 
 and call_unchecked ctx goal =
-  let g = Term.deref goal in
-  match g with
-  | Term.Atom "true" -> Ok
-  | Term.Atom ("fail" | "false") -> Fail
-  | Term.Atom "nl" ->
-    emit ctx "\n";
-    Ok
-  | Term.Atom "halt" -> Errors.error "halt/0: not allowed in embedded engine"
-  | Term.Struct ("=", [| a; b |]) ->
-    bool_outcome (Unify.unify_or_undo ~trail:ctx.trail ~steps:ctx.steps a b)
-  | Term.Struct ("\\=", [| a; b |]) ->
-    let mark = Trail.mark ctx.trail in
-    let unified = Unify.unify ~trail:ctx.trail ~steps:ctx.steps a b in
-    ignore (Trail.undo_to ctx.trail mark);
-    bool_outcome (not unified)
-  | Term.Struct ("==", [| a; b |]) -> bool_outcome (Term.equal a b)
-  | Term.Struct ("\\==", [| a; b |]) -> bool_outcome (not (Term.equal a b))
-  | Term.Struct ("@<", [| a; b |]) -> bool_outcome (Term.compare a b < 0)
-  | Term.Struct ("@>", [| a; b |]) -> bool_outcome (Term.compare a b > 0)
-  | Term.Struct ("@=<", [| a; b |]) -> bool_outcome (Term.compare a b <= 0)
-  | Term.Struct ("@>=", [| a; b |]) -> bool_outcome (Term.compare a b >= 0)
-  | Term.Struct ("compare", [| order; a; b |]) ->
-    let c = Term.compare a b in
-    let sym = if c < 0 then "<" else if c > 0 then ">" else "=" in
-    bool_outcome
-      (Unify.unify_or_undo ~trail:ctx.trail ~steps:ctx.steps order (Term.Atom sym))
-  | Term.Struct ("is", [| result; expr |]) ->
-    let n = arith ctx expr in
-    bool_outcome
-      (Unify.unify_or_undo ~trail:ctx.trail ~steps:ctx.steps result (Term.Int n))
-  | Term.Struct (("<" | ">" | "=<" | ">=" | "=:=" | "=\\=") as op, [| a; b |]) ->
-    bool_outcome (Arith.compare_op op (arith ctx a) (arith ctx b))
-  | Term.Struct
-      ( (("var" | "nonvar" | "atom" | "number" | "integer" | "atomic"
-         | "compound" | "callable" | "is_list" | "ground") as name),
-        [| t |] ) ->
-    bool_outcome (type_check name t)
-  | Term.Struct ("functor", [| t; f; a |]) -> functor3 ctx t f a
-  | Term.Struct ("arg", [| n; t; a |]) -> arg3 ctx n t a
-  | Term.Struct ("=..", [| a; b |]) -> univ ctx a b
-  | Term.Struct (("write" | "print" | "write_canonical"), [| t |]) ->
-    emit ctx (Ace_term.Pp.to_string t);
-    Ok
-  | Term.Atom _ | Term.Struct _ -> Not_builtin
+  match Term.deref goal with
+  | Term.Atom s -> (
+    match Hashtbl.find_opt dispatch (key_of (Symbol.id s) 0) with
+    | Some f -> f ctx no_args
+    | None -> Not_builtin)
+  | Term.Struct (s, args) when Array.length args <= 3 -> (
+    match Hashtbl.find_opt dispatch (key_of (Symbol.id s) (Array.length args)) with
+    | Some f -> f ctx args
+    | None -> Not_builtin)
+  | Term.Struct _ -> Not_builtin
   | Term.Int _ -> Errors.error "callable expected, got integer"
   | Term.Var _ -> Errors.error "unbound goal"

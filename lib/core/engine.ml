@@ -28,6 +28,9 @@ type result = {
 }
 
 let solve ?output kind (config : Config.t) db goal =
+  (* warm the lookup caches once; the run itself then reads the database
+     without mutating it (required by the multi-domain engine) *)
+  Database.freeze db;
   match kind with
   | Sequential ->
     let solutions, m =

@@ -30,6 +30,7 @@
    the entire search tree (or until [max_solutions]). *)
 
 module Term = Ace_term.Term
+module Symbol = Ace_term.Symbol
 module Trail = Ace_term.Trail
 module Unify = Ace_term.Unify
 module Clause = Ace_lang.Clause
@@ -142,7 +143,7 @@ let copy_state st ~victim ~thief =
 (* ------------------------------------------------------------------ *)
 
 let solution_goal st =
-  Clause.Call (Term.Struct ("$solution", [| st.goal |]))
+  Clause.Call (Term.Struct (Symbol.solution, [| st.goal |]))
 
 let call_builtin st w goal =
   let ctx = Builtins.make_ctx ?output:st.output ~trail:w.w_trail () in
@@ -161,7 +162,7 @@ let call_builtin st w goal =
 let try_clause st w goal clause =
   charge st st.cost.Cost.clause_try;
   st.stats.Stats.clause_tries <- st.stats.Stats.clause_tries + 1;
-  let { Clause.head; body } = Clause.rename clause in
+  let head, fresh = Clause.rename_head clause in
   let steps = ref 0 in
   let mark = Trail.mark w.w_trail in
   let ok = Unify.unify ~trail:w.w_trail ~steps head goal in
@@ -170,7 +171,7 @@ let try_clause st w goal clause =
   let pushed = Trail.size w.w_trail - mark in
   charge st (pushed * st.cost.Cost.trail_push);
   st.stats.Stats.trail_pushes <- st.stats.Stats.trail_pushes + pushed;
-  if ok then Some body
+  if ok then Some (Clause.rename_body clause fresh)
   else begin
     charge_untrail st (Trail.undo_to w.w_trail mark);
     None
@@ -221,7 +222,7 @@ let rec run_worker st w (cont : Clause.item list) : unit =
 
 and dispatch st w g cont =
   match Term.deref g with
-  | Term.Struct ("$solution", [| goal |]) ->
+  | Term.Struct (s, [| goal |]) when Symbol.equal s Symbol.solution ->
     if !debug then Format.eprintf "[w%d] solution %s@." w.w_id (Ace_term.Pp.to_string goal);
     record_solution st;
     st.solutions <- Term.copy_resolved goal :: st.solutions;
@@ -235,12 +236,20 @@ and dispatch st w g cont =
       Sim.stop st.sim
     end
     else backtrack st w (* report-and-fail drives the full search *)
-  | Term.Atom "!" | Term.Struct ((";" | "->" | "\\+"), _) ->
+  | Term.Atom s when Symbol.equal s Symbol.cut ->
     Errors.error "control construct %s not supported inside the or-parallel engine"
       (Ace_term.Pp.to_string g)
-  | Term.Struct (",", [| _; _ |]) | Term.Struct ("&", [| _; _ |]) ->
+  | Term.Struct (s, _)
+    when Symbol.equal s Symbol.semicolon
+         || Symbol.equal s Symbol.arrow
+         || Symbol.equal s Symbol.naf ->
+    Errors.error "control construct %s not supported inside the or-parallel engine"
+      (Ace_term.Pp.to_string g)
+  | Term.Struct (s, [| _; _ |])
+    when Symbol.equal s Symbol.comma || Symbol.equal s Symbol.amp ->
     run_worker st w (Clause.compile_body g @ cont)
-  | Term.Struct ("call", [| g |]) -> dispatch st w g cont
+  | Term.Struct (s, [| g |]) when Symbol.equal s Symbol.call ->
+    dispatch st w g cont
   | g -> (
     match call_builtin st w g with
     | Builtins.Ok -> run_worker st w cont
@@ -252,7 +261,7 @@ and user_call st w g cont =
   match Database.lookup st.db g with
   | None ->
     let name, arity =
-      match Term.functor_of g with Some na -> na | None -> ("?", 0)
+      match Term.functor_name_of g with Some na -> na | None -> ("?", 0)
     in
     Errors.existence_error name arity
   | Some [] -> backtrack st w

@@ -49,6 +49,7 @@
    reproduces the sequential solution order. *)
 
 module Term = Ace_term.Term
+module Symbol = Ace_term.Symbol
 module Trail = Ace_term.Trail
 module Unify = Ace_term.Unify
 module Clause = Ace_lang.Clause
@@ -136,34 +137,66 @@ let should_publish w =
   let h = Atomic.get w.sh.hungry in
   h > 0 && Deque.length w.sh.deques.(w.w_id) < h
 
-(* Snapshots the bottom-most choice point with untried alternatives at its
-   creation state (trail segment above its mark temporarily unwound — the
-   incremental copy) and pushes it as one task carrying all its
-   alternatives; the node itself becomes exhausted for the owner. *)
+(* Splits [alts] into runs of at most [chunk] alternatives (0 = one run). *)
+let chunk_alts chunk alts =
+  if chunk <= 0 then [ alts ]
+  else begin
+    let rec go acc run n = function
+      | [] -> List.rev (List.rev run :: acc)
+      | a :: rest ->
+        if n = chunk then go (List.rev run :: acc) [ a ] 1 rest
+        else go acc (a :: run) (n + 1) rest
+    in
+    go [] [] 0 alts
+  end
+
+(* Snapshots the bottom-most choice point whose untried-alternative count
+   reaches the configured grain, at its creation state (trail segment above
+   its mark temporarily unwound — the incremental copy), and pushes its
+   alternatives as tasks of at most [chunk] alternatives each; every chunk
+   gets its own snapshot inside the unwind window so tasks stay fully
+   private to whichever worker takes them.  The node itself becomes
+   exhausted for the owner.  Nodes below the grain are skipped — they stay
+   reserved for private (cheap) backtracking. *)
 let publish w =
-  let rec last_live acc = function
-    | [] -> acc
-    | cp :: rest -> last_live (if cp.cp_alts <> [] then Some cp else acc) rest
+  let grain = w.sh.config.Config.grain in
+  let rec last_live skipped acc = function
+    | [] -> (skipped, acc)
+    | cp :: rest ->
+      if cp.cp_alts = [] then last_live skipped acc rest
+      else if List.length cp.cp_alts >= grain then last_live skipped (Some cp) rest
+      else last_live (skipped + 1) acc rest
   in
-  match last_live None w.cps with
-  | None -> ()
-  | Some cp ->
+  match last_live 0 None w.cps with
+  | skipped, None ->
+    if skipped > 0 then
+      w.stats.Stats.publish_skipped_small <-
+        w.stats.Stats.publish_skipped_small + 1
+  | _, Some cp ->
     let seg = Trail.segment w.trail ~lo:cp.cp_trail ~hi:(Trail.size w.trail) in
     let saved = Array.map (fun (v : Term.var) -> v.Term.binding) seg in
     Array.iter (fun (v : Term.var) -> v.Term.binding <- None) seg;
-    let table = Hashtbl.create 64 in
-    let cells = ref 0 in
-    let goal = snapshot_term table cells cp.cp_goal in
-    let cont = snapshot_body table cells cp.cp_cont in
+    let chunks = chunk_alts w.sh.config.Config.chunk cp.cp_alts in
+    let tasks =
+      List.map
+        (fun n_alts ->
+          let table = Hashtbl.create 64 in
+          let cells = ref 0 in
+          let goal = snapshot_term table cells cp.cp_goal in
+          let cont = snapshot_body table cells cp.cp_cont in
+          w.stats.Stats.copies <- w.stats.Stats.copies + 1;
+          w.stats.Stats.copied_cells <- w.stats.Stats.copied_cells + !cells;
+          Node { n_goal = goal; n_alts; n_cont = cont })
+        chunks
+    in
     Array.iteri (fun i (v : Term.var) -> v.Term.binding <- saved.(i)) seg;
-    let n_alts = cp.cp_alts in
     cp.cp_alts <- [];
     w.live_alts <- w.live_alts - 1;
-    w.stats.Stats.copies <- w.stats.Stats.copies + 1;
-    w.stats.Stats.copied_cells <- w.stats.Stats.copied_cells + !cells;
-    Atomic.incr w.sh.outstanding;
-    Deque.push_bottom w.sh.deques.(w.w_id)
-      (Node { n_goal = goal; n_alts; n_cont = cont })
+    List.iter
+      (fun task ->
+        Atomic.incr w.sh.outstanding;
+        Deque.push_bottom w.sh.deques.(w.w_id) task)
+      tasks
 
 (* ------------------------------------------------------------------ *)
 (* Resolution (private, no synchronization)                            *)
@@ -182,14 +215,14 @@ let call_builtin w goal =
 
 let try_clause w goal clause =
   w.stats.Stats.clause_tries <- w.stats.Stats.clause_tries + 1;
-  let { Clause.head; body } = Clause.rename clause in
+  let head, fresh = Clause.rename_head clause in
   let steps = ref 0 in
   let mark = Trail.mark w.trail in
   let ok = Unify.unify ~trail:w.trail ~steps head goal in
   w.stats.Stats.unify_steps <- w.stats.Stats.unify_steps + !steps;
   w.stats.Stats.trail_pushes <-
     w.stats.Stats.trail_pushes + (Trail.size w.trail - mark);
-  if ok then Some body
+  if ok then Some (Clause.rename_body clause fresh)
   else begin
     w.stats.Stats.untrails <-
       w.stats.Stats.untrails + Trail.undo_to w.trail mark;
@@ -237,15 +270,23 @@ let rec run_worker w (cont : Clause.body) : unit =
 
 and dispatch w g cont =
   match Term.deref g with
-  | Term.Struct ("$solution", [| goal |]) ->
+  | Term.Struct (s, [| goal |]) when Symbol.equal s Symbol.solution ->
     record_solution w goal;
     backtrack w (* report-and-fail drives the full search *)
-  | Term.Atom "!" | Term.Struct ((";" | "->" | "\\+"), _) ->
+  | Term.Atom s when Symbol.equal s Symbol.cut ->
     Errors.error "control construct %s not supported inside the or-parallel engine"
       (Ace_term.Pp.to_string g)
-  | Term.Struct (",", [| _; _ |]) | Term.Struct ("&", [| _; _ |]) ->
+  | Term.Struct (s, _)
+    when Symbol.equal s Symbol.semicolon
+         || Symbol.equal s Symbol.arrow
+         || Symbol.equal s Symbol.naf ->
+    Errors.error "control construct %s not supported inside the or-parallel engine"
+      (Ace_term.Pp.to_string g)
+  | Term.Struct (s, [| _; _ |])
+    when Symbol.equal s Symbol.comma || Symbol.equal s Symbol.amp ->
     run_worker w (Clause.compile_body g @ cont)
-  | Term.Struct ("call", [| g |]) -> dispatch w g cont
+  | Term.Struct (s, [| g |]) when Symbol.equal s Symbol.call ->
+    dispatch w g cont
   | g -> (
     match call_builtin w g with
     | Builtins.Ok -> run_worker w cont
@@ -256,7 +297,7 @@ and user_call w g cont =
   match Database.lookup w.sh.db g with
   | None ->
     let name, arity =
-      match Term.functor_of g with Some na -> na | None -> ("?", 0)
+      match Term.functor_name_of g with Some na -> na | None -> ("?", 0)
     in
     Errors.existence_error name arity
   | Some [] -> backtrack w
@@ -418,7 +459,8 @@ let solve ?output (config : Config.t) db goal =
         })
   in
   let init =
-    Clause.compile_body goal @ [ Clause.Call (Term.Struct ("$solution", [| goal |])) ]
+    Clause.compile_body goal
+    @ [ Clause.Call (Term.Struct (Symbol.solution, [| goal |])) ]
   in
   Deque.push_bottom sh.deques.(0) (Root init);
   let t0 = Unix.gettimeofday () in

@@ -13,6 +13,7 @@
    computed against. *)
 
 module Term = Ace_term.Term
+module Symbol = Ace_term.Symbol
 module Trail = Ace_term.Trail
 module Unify = Ace_term.Unify
 module Clause = Ace_lang.Clause
@@ -114,7 +115,7 @@ let undo_to m mark =
 let try_clause m goal clause ~barrier =
   spend m m.cost.Cost.clause_try;
   m.stats.Stats.clause_tries <- m.stats.Stats.clause_tries + 1;
-  let { Clause.head; body } = Clause.rename clause in
+  let head, fresh = Clause.rename_head clause in
   let steps = ref 0 in
   let trail0 = Trail.size m.trail in
   let ok = Unify.unify ~trail:m.trail ~steps head goal in
@@ -123,7 +124,7 @@ let try_clause m goal clause ~barrier =
   let pushed = Trail.size m.trail - trail0 in
   spend m (pushed * m.cost.Cost.trail_push);
   m.stats.Stats.trail_pushes <- m.stats.Stats.trail_pushes + pushed;
-  if ok then Some { items = body; barrier } else None
+  if ok then Some { items = Clause.rename_body clause fresh; barrier } else None
 
 let cut m barrier =
   while m.height > barrier do
@@ -151,25 +152,27 @@ let rec run m (cont : seg list) : bool =
 
 and dispatch m g ~barrier cont =
   match Term.deref g with
-  | Term.Atom "!" ->
+  | Term.Atom s when Symbol.equal s Symbol.cut ->
     cut m barrier;
     run m cont
-  | Term.Struct (",", [| _; _ |]) ->
+  | Term.Struct (s, [| _; _ |]) when Symbol.equal s Symbol.comma ->
     run m ({ items = Clause.compile_body g; barrier } :: cont)
-  | Term.Struct (";", [| cond_then; else_ |]) -> (
+  | Term.Struct (s, [| cond_then; else_ |]) when Symbol.equal s Symbol.semicolon
+    -> (
     match Term.deref cond_then with
-    | Term.Struct ("->", [| cond; then_ |]) -> if_then_else m cond then_ else_ ~barrier cont
+    | Term.Struct (s', [| cond; then_ |]) when Symbol.equal s' Symbol.arrow ->
+      if_then_else m cond then_ else_ ~barrier cont
     | _ ->
       push_cp m ~goal:None ~alts:[ Agoal (Clause.compile_body else_) ] ~cont;
       run m ({ items = Clause.compile_body cond_then; barrier } :: cont))
-  | Term.Struct ("->", [| cond; then_ |]) ->
-    if_then_else m cond then_ (Term.Atom "fail") ~barrier cont
-  | Term.Struct ("\\+", [| g |]) ->
+  | Term.Struct (s, [| cond; then_ |]) when Symbol.equal s Symbol.arrow ->
+    if_then_else m cond then_ (Term.Atom Symbol.fail) ~barrier cont
+  | Term.Struct (s, [| g |]) when Symbol.equal s Symbol.naf ->
     let mark = Trail.mark m.trail in
     let proved = solve_once m g in
     undo_to m mark;
     if proved then backtrack m else run m cont
-  | Term.Struct ("call", [| g |]) ->
+  | Term.Struct (s, [| g |]) when Symbol.equal s Symbol.call ->
     (* call/1 is transparent to everything but cut: the cut barrier becomes
        the current height, making the inner cut local. *)
     dispatch m g ~barrier:m.height cont
@@ -205,7 +208,7 @@ and user_call m g cont =
   match Database.lookup m.db g with
   | None ->
     let name, arity =
-      match Term.functor_of g with Some na -> na | None -> ("?", 0)
+      match Term.functor_name_of g with Some na -> na | None -> ("?", 0)
     in
     Errors.existence_error name arity
   | Some [] -> backtrack m

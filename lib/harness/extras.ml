@@ -131,6 +131,7 @@ let run_memory ?(benchmarks = [ "map2"; "occur"; "bt_cluster" ]) ?(agents = 5) (
 type par_or_row = {
   p_label : string;
   p_domains : int;
+  p_grain : int;       (* publish only nodes with >= this many alternatives *)
   p_wall_ms : float;   (* best of [repeat] runs *)
   p_solutions : int;
   p_speedup : float;   (* vs the 1-domain row of the same benchmark *)
@@ -144,12 +145,15 @@ let par_or_benchmarks = [ "queen1"; "queen2"; "puzzle"; "members"; "maps" ]
 let canonical_set solutions =
   List.sort String.compare (List.map Ace_term.Pp.to_canonical_string solutions)
 
-(* Runs each benchmark on the hardware engine across [domains], comparing
-   every run's solution set against the sequential engine and reporting
-   the best wall time of [repeat] runs (wall-clock measurements on a
-   shared host are noisy; the minimum is the standard robust estimate). *)
+(* Runs each benchmark on the hardware engine across [domains] × [grains],
+   comparing every run's solution set against the sequential engine and
+   reporting the best wall time of [repeat] runs (wall-clock measurements
+   on a shared host are noisy; the minimum is the standard robust
+   estimate).  With one domain no worker is ever hungry, so grain cannot
+   matter there: the sweep measures one 1-domain baseline per benchmark and
+   crosses grains only with the multi-domain counts. *)
 let run_par_or ?(benchmarks = par_or_benchmarks) ?(domains = [ 1; 2; 4 ])
-    ?(repeat = 3) ?size_of () =
+    ?(grains = [ 1; 2; 4 ]) ?(repeat = 3) ?size_of () =
   List.concat_map
     (fun name ->
       let b = Programs.find name in
@@ -162,43 +166,48 @@ let run_par_or ?(benchmarks = par_or_benchmarks) ?(domains = [ 1; 2; 4 ])
       in
       let reference = canonical_set seq.Engine.solutions in
       let base_ms = ref 0.0 in
-      List.map
-        (fun agents ->
-          let config = { Config.default with Config.agents } in
-          let runs =
-            List.init (max 1 repeat) (fun _ ->
-                Engine.solve_program Engine.Par_or config ~program ~query)
-          in
-          let best =
-            List.fold_left
-              (fun acc r -> if r.Engine.time < acc.Engine.time then r else acc)
-              (List.hd runs) (List.tl runs)
-          in
-          let wall_ms = float_of_int best.Engine.time /. 1e6 in
-          if agents = 1 then base_ms := wall_ms;
-          {
-            p_label = name;
-            p_domains = agents;
-            p_wall_ms = wall_ms;
-            p_solutions = List.length best.Engine.solutions;
-            p_speedup = (if wall_ms > 0.0 then !base_ms /. wall_ms else 0.0);
-            p_matches_seq =
-              List.for_all
-                (fun r -> canonical_set r.Engine.solutions = reference)
-                runs;
-          })
-        domains)
+      let cell agents grain =
+        let config = { Config.default with Config.agents; grain } in
+        let runs =
+          List.init (max 1 repeat) (fun _ ->
+              Engine.solve_program Engine.Par_or config ~program ~query)
+        in
+        let best =
+          List.fold_left
+            (fun acc r -> if r.Engine.time < acc.Engine.time then r else acc)
+            (List.hd runs) (List.tl runs)
+        in
+        let wall_ms = float_of_int best.Engine.time /. 1e6 in
+        if agents = 1 then base_ms := wall_ms;
+        {
+          p_label = name;
+          p_domains = agents;
+          p_grain = grain;
+          p_wall_ms = wall_ms;
+          p_solutions = List.length best.Engine.solutions;
+          p_speedup = (if wall_ms > 0.0 then !base_ms /. wall_ms else 0.0);
+          p_matches_seq =
+            List.for_all
+              (fun r -> canonical_set r.Engine.solutions = reference)
+              runs;
+        }
+      in
+      let multi = List.filter (fun d -> d > 1) domains in
+      (* bind the baseline first: it must run before the multi-domain
+         cells that divide by its time *)
+      let base = cell 1 1 in
+      base :: List.concat_map (fun agents -> List.map (cell agents) grains) multi)
     benchmarks
 
 let pp_par_or ppf rows =
   Format.fprintf ppf
     "== hardware or-parallelism: wall-clock on OCaml domains ==@,";
-  Format.fprintf ppf "%-12s %8s %12s %10s %9s %8s@," "benchmark" "domains"
-    "wall-ms" "solutions" "speedup" "matches";
+  Format.fprintf ppf "%-12s %8s %6s %12s %10s %9s %8s@," "benchmark" "domains"
+    "grain" "wall-ms" "solutions" "speedup" "matches";
   List.iter
     (fun r ->
-      Format.fprintf ppf "%-12s %8d %12.2f %10d %8.2fx %8s@," r.p_label
-        r.p_domains r.p_wall_ms r.p_solutions r.p_speedup
+      Format.fprintf ppf "%-12s %8d %6d %12.2f %10d %8.2fx %8s@," r.p_label
+        r.p_domains r.p_grain r.p_wall_ms r.p_solutions r.p_speedup
         (if r.p_matches_seq then "yes" else "NO"))
     rows;
   Format.fprintf ppf "@,"
@@ -218,14 +227,142 @@ let par_or_json rows =
     (fun i r ->
       Buffer.add_string buf
         (Printf.sprintf
-           "    {\"benchmark\": \"%s\", \"domains\": %d, \"wall_ms\": %.3f, \
-            \"solutions\": %d, \"speedup\": %.3f, \"matches_seq\": %b}%s\n"
-           r.p_label r.p_domains r.p_wall_ms r.p_solutions r.p_speedup
-           r.p_matches_seq
+           "    {\"benchmark\": \"%s\", \"domains\": %d, \"grain\": %d, \
+            \"wall_ms\": %.3f, \"solutions\": %d, \"speedup\": %.3f, \
+            \"matches_seq\": %b}%s\n"
+           r.p_label r.p_domains r.p_grain r.p_wall_ms r.p_solutions
+           r.p_speedup r.p_matches_seq
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string buf "  ]\n}\n";
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Sequential-core benchmark: wall clock of the engine hot path         *)
+(* ------------------------------------------------------------------ *)
+
+(* One row per benchmark × engine: wall-clock time of a whole
+   consult+solve run, plus a digest of the alpha-canonical solution set so
+   a refactor of the term representation can be checked for semantic
+   drift against seed-recorded digests. *)
+type seq_core_row = {
+  c_label : string;
+  c_engine : string;    (* "seq" | "and" | "or" | "par" *)
+  c_wall_ms : float;    (* best of the repeated runs *)
+  c_solutions : int;
+  c_digest : string;    (* MD5 of the sorted canonical solution set *)
+}
+
+let seq_core_benchmarks = par_or_benchmarks
+
+let seq_core_engines =
+  [ Engine.Sequential; Engine.And_parallel; Engine.Or_parallel; Engine.Par_or ]
+
+let canonical_digest solutions =
+  Digest.to_hex (Digest.string (String.concat "\n" (canonical_set solutions)))
+
+(* Runs every benchmark on every engine at one agent/domain, reporting the
+   best wall time of [repeat] runs.  All four engines execute the same
+   programs, so the rows double as a cross-engine semantic check. *)
+let run_seq_core ?(benchmarks = seq_core_benchmarks)
+    ?(engines = seq_core_engines) ?(repeat = 3) ?size_of () =
+  List.concat_map
+    (fun name ->
+      let b = Programs.find name in
+      let size =
+        match size_of with Some f -> f b | None -> b.Programs.default_size
+      in
+      let program = b.Programs.program size and query = b.Programs.query size in
+      List.map
+        (fun kind ->
+          let config = { Config.default with Config.agents = 1 } in
+          let measure () =
+            let t0 = Unix.gettimeofday () in
+            let r = Engine.solve_program kind config ~program ~query in
+            let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+            (ms, r)
+          in
+          let runs = List.init (max 1 repeat) (fun _ -> measure ()) in
+          let best_ms, best =
+            List.fold_left
+              (fun (am, ar) (m, r) -> if m < am then (m, r) else (am, ar))
+              (List.hd runs) (List.tl runs)
+          in
+          {
+            c_label = name;
+            c_engine = Engine.kind_to_string kind;
+            c_wall_ms = best_ms;
+            c_solutions = List.length best.Engine.solutions;
+            c_digest = canonical_digest best.Engine.solutions;
+          })
+        engines)
+    benchmarks
+
+let pp_seq_core ppf rows =
+  Format.fprintf ppf "== sequential-core hot path: wall-clock per run ==@,";
+  Format.fprintf ppf "%-12s %6s %12s %10s  %s@," "benchmark" "engine" "wall-ms"
+    "solutions" "digest";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-12s %6s %12.2f %10d  %s@," r.c_label r.c_engine
+        r.c_wall_ms r.c_solutions r.c_digest)
+    rows;
+  Format.fprintf ppf "@,"
+
+let seq_core_json rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"host\": {\"ocaml\": \"%s\"},\n" Sys.ocaml_version);
+  Buffer.add_string buf "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"benchmark\": \"%s\", \"engine\": \"%s\", \"wall_ms\": \
+            %.3f, \"solutions\": %d, \"digest\": \"%s\"}%s\n"
+           r.c_label r.c_engine r.c_wall_ms r.c_solutions r.c_digest
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+(* Expected-digest files: one "benchmark engine solutions digest" line per
+   row (seed-recorded; see bench/seq_core_expected.txt). *)
+let parse_expected text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         match String.split_on_char ' ' (String.trim line) with
+         | [ bench; engine; sols; digest ] ->
+           Some ((bench, engine), (int_of_string sols, digest))
+         | _ -> None)
+
+let expected_of_rows rows =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s %d %s\n" r.c_label r.c_engine r.c_solutions
+           r.c_digest))
+    rows;
+  Buffer.contents buf
+
+(* Checks rows against a seed-recorded expected file; returns the list of
+   divergences (empty = all solution sets match the seed). *)
+let check_seq_core ~expected rows =
+  let table = parse_expected expected in
+  List.filter_map
+    (fun r ->
+      match List.assoc_opt (r.c_label, r.c_engine) table with
+      | None -> None (* benchmark added after the seed recording *)
+      | Some (sols, digest) ->
+        if sols = r.c_solutions && String.equal digest r.c_digest then None
+        else
+          Some
+            (Printf.sprintf
+               "%s/%s: expected %d solutions (digest %s), got %d (digest %s)"
+               r.c_label r.c_engine sols digest r.c_solutions r.c_digest))
+    rows
 
 let pp_memory ppf rows =
   Format.fprintf ppf

@@ -38,6 +38,7 @@ val pp_memory : Format.formatter -> memory_row list -> unit
 type par_or_row = {
   p_label : string;
   p_domains : int;
+  p_grain : int;        (** publish only nodes with >= this many alternatives *)
   p_wall_ms : float;    (** best of the repeated runs *)
   p_solutions : int;
   p_speedup : float;    (** vs the 1-domain row of the same benchmark *)
@@ -46,13 +47,16 @@ type par_or_row = {
 
 val par_or_benchmarks : string list
 
-(** Runs the or-parallel benchmarks on {!Ace_core.Par_or_engine} across
-    [domains] (default [[1; 2; 4]]), checking every run's solution set
+(** Runs the or-parallel benchmarks on {!Ace_core.Par_or_engine}: one
+    1-domain baseline per benchmark, then every multi-domain count in
+    [domains] (default [[1; 2; 4]]) crossed with every publish grain in
+    [grains] (default [[1; 2; 4]]), checking every run's solution set
     against the sequential engine; reports the best wall time of [repeat]
     runs (default 3). *)
 val run_par_or :
   ?benchmarks:string list ->
   ?domains:int list ->
+  ?grains:int list ->
   ?repeat:int ->
   ?size_of:(Ace_benchmarks.Programs.t -> int) ->
   unit ->
@@ -62,3 +66,39 @@ val pp_par_or : Format.formatter -> par_or_row list -> unit
 
 (** Serializes rows for [BENCH_par_or.json]. *)
 val par_or_json : par_or_row list -> string
+
+(** One wall-clock measurement of the engine hot path (consult + solve). *)
+type seq_core_row = {
+  c_label : string;
+  c_engine : string;    (** "seq" | "and" | "or" | "par" *)
+  c_wall_ms : float;    (** best of the repeated runs *)
+  c_solutions : int;
+  c_digest : string;    (** MD5 of the sorted canonical solution set *)
+}
+
+val seq_core_benchmarks : string list
+
+(** Runs every benchmark on every engine at one agent/domain; reports the
+    best wall time of [repeat] runs (default 3) and a digest of the
+    alpha-canonical solution set for semantic-drift checks. *)
+val run_seq_core :
+  ?benchmarks:string list ->
+  ?engines:Ace_core.Engine.kind list ->
+  ?repeat:int ->
+  ?size_of:(Ace_benchmarks.Programs.t -> int) ->
+  unit ->
+  seq_core_row list
+
+val pp_seq_core : Format.formatter -> seq_core_row list -> unit
+
+(** Serializes rows for [BENCH_seq_core.json]. *)
+val seq_core_json : seq_core_row list -> string
+
+(** Renders rows in the "benchmark engine solutions digest" line format of
+    [bench/seq_core_expected.txt]. *)
+val expected_of_rows : seq_core_row list -> string
+
+(** Compares rows against a seed-recorded expected file (one
+    "benchmark engine solutions digest" line per row); returns the list of
+    divergence messages, empty when every solution set matches. *)
+val check_seq_core : expected:string -> seq_core_row list -> string list

@@ -6,6 +6,7 @@
    parallel branch.  Engines interpret this structure directly. *)
 
 module Term = Ace_term.Term
+module Symbol = Ace_term.Symbol
 
 type body = item list
 
@@ -13,7 +14,17 @@ and item =
   | Call of Term.t
   | Par of body list
 
-type t = { head : Term.t; body : body }
+(* How a fresh instance maps template variables to slots of a fresh-var
+   array.  [Closed] clauses (no variables — fact tables, mostly) rename to
+   themselves; [Dense] covers the normal case where canonicalization
+   allocated the template's variable ids consecutively, so the slot is an
+   offset subtraction; [Sparse] is the fallback mapping. *)
+type renamer =
+  | Closed
+  | Dense of int (* slot = vid - base *)
+  | Sparse of (int, int) Hashtbl.t (* vid -> slot *)
+
+type t = { head : Term.t; body : body; nvars : int; renamer : renamer }
 
 exception Malformed of string
 
@@ -21,29 +32,35 @@ let rec compile_body t : body = conj t []
 
 and conj t rest =
   match Term.deref t with
-  | Term.Struct (",", [| a; b |]) -> conj a (conj b rest)
-  | Term.Atom "true" -> rest
-  | Term.Struct ("&", [| _; _ |]) as t -> Par (branches t) :: rest
+  | Term.Struct (s, [| a; b |]) when Symbol.equal s Symbol.comma ->
+    conj a (conj b rest)
+  | Term.Atom s when Symbol.equal s Symbol.true_ -> rest
+  | Term.Struct (s, [| _; _ |]) as t when Symbol.equal s Symbol.amp ->
+    Par (branches t) :: rest
   | g -> Call g :: rest
 
 and branches t =
   match Term.deref t with
-  | Term.Struct ("&", [| a; b |]) -> compile_body a :: branches b
+  | Term.Struct (s, [| a; b |]) when Symbol.equal s Symbol.amp ->
+    compile_body a :: branches b
   | g -> [ compile_body g ]
 
 (* Re-assembles a body into a goal term (for printing and analysis). *)
 let rec term_of_body = function
-  | [] -> Term.Atom "true"
+  | [] -> Term.true_
   | [ item ] -> term_of_item item
-  | item :: rest -> Term.Struct (",", [| term_of_item item; term_of_body rest |])
+  | item :: rest ->
+    Term.Struct (Symbol.comma, [| term_of_item item; term_of_body rest |])
 
 and term_of_item = function
   | Call g -> g
   | Par bodies ->
     (match List.rev_map term_of_body bodies with
-     | [] -> Term.Atom "true"
+     | [] -> Term.true_
      | last :: before ->
-       List.fold_left (fun acc b -> Term.Struct ("&", [| b; acc |])) last before)
+       List.fold_left
+         (fun acc b -> Term.Struct (Symbol.amp, [| b; acc |]))
+         last before)
 
 let check_head head =
   match Term.deref head with
@@ -51,36 +68,114 @@ let check_head head =
   | Term.Int _ | Term.Var _ ->
     raise (Malformed (Format.asprintf "invalid clause head: %a" Ace_term.Pp.pp head))
 
-let of_term t =
-  match Term.deref t with
-  | Term.Struct (":-", [| head; body |]) ->
-    check_head head;
-    { head; body = compile_body body }
-  | head ->
-    check_head head;
-    { head; body = [] }
-
-let to_term { head; body } =
-  match body with
-  | [] -> head
-  | _ -> Term.Struct (":-", [| head; term_of_body body |])
-
-let name_arity { head; _ } =
-  match Term.functor_of head with
-  | Some na -> na
-  | None -> assert false (* checked at construction *)
-
-(* Fresh instance of the clause: head and body share the renaming table so
-   variable identity between them is preserved. *)
-let rename { head; body } =
+(* Canonicalizes a freshly parsed clause into a template: bound variables
+   are resolved away and the remaining variables are replaced by fresh ones
+   whose ids — allocated back to back from the gensym — normally form a
+   dense range, enabling array-indexed renaming with no hashing. *)
+let compile head body =
   let table = Hashtbl.create 16 in
   let head = Term.rename_with table head in
-  let rec rename_body body = List.map rename_item body
-  and rename_item = function
+  let rec go_body b = List.map go_item b
+  and go_item = function
     | Call g -> Call (Term.rename_with table g)
-    | Par bodies -> Par (List.map rename_body bodies)
+    | Par bodies -> Par (List.map go_body bodies)
   in
-  { head; body = rename_body body }
+  let body = go_body body in
+  let nvars = Hashtbl.length table in
+  let renamer =
+    if nvars = 0 then Closed
+    else begin
+      let vids = Hashtbl.fold (fun _ v acc -> v.Term.vid :: acc) table [] in
+      let base = List.fold_left min max_int vids in
+      let hi = List.fold_left max min_int vids in
+      if hi - base + 1 = nvars then Dense base
+      else begin
+        (* another domain allocated variables concurrently; fall back to an
+           explicit index (slot order is arbitrary) *)
+        let index = Hashtbl.create (2 * nvars) in
+        List.iteri (fun slot vid -> Hashtbl.replace index vid slot) vids;
+        Sparse index
+      end
+    end
+  in
+  { head; body; nvars; renamer }
+
+let of_term t =
+  match Term.deref t with
+  | Term.Struct (s, [| head; body |]) when Symbol.equal s Symbol.neck ->
+    check_head head;
+    compile head (compile_body body)
+  | head ->
+    check_head head;
+    compile head []
+
+let to_term { head; body; _ } =
+  match body with
+  | [] -> head
+  | _ -> Term.Struct (Symbol.neck, [| head; term_of_body body |])
+
+let functor_arity { head; _ } =
+  match Term.functor_of head with
+  | Some sa -> sa
+  | None -> assert false (* checked at construction *)
+
+let name_arity c =
+  let s, a = functor_arity c in
+  (Symbol.name s, a)
+
+(* Fresh instances.  The hot path — a [Dense] template — copies terms with
+   one fresh-var array allocation and an offset subtraction per variable
+   occurrence, no hash table.  Head and body are instantiated separately
+   (sharing the fresh-var array, so variable identity between them is
+   preserved): engines unify the head first and pay for the body copy only
+   on the clauses whose head actually matched. *)
+
+let no_vars : Term.var array = [||]
+
+let inst_term c fresh t =
+  let slot v =
+    match c.renamer with
+    | Dense base -> v.Term.vid - base
+    | Sparse index -> Hashtbl.find index v.Term.vid
+    | Closed -> assert false
+  in
+  let rec go t =
+    match t with
+    | Term.Atom _ | Term.Int _ -> t
+    | Term.Var v -> (
+      (* template variables are never bound, but a [with]-updated clause
+         could in principle carry bound terms: stay deref-correct *)
+      match v.Term.binding with
+      | Some t' -> go t'
+      | None -> Term.Var fresh.(slot v))
+    | Term.Struct (f, args) -> Term.Struct (f, Array.map go args)
+  in
+  go t
+
+let rename_head c =
+  match c.renamer with
+  | Closed -> (c.head, no_vars)
+  | _ ->
+    let fresh = Array.init c.nvars (fun _ -> Term.fresh_var ()) in
+    (inst_term c fresh c.head, fresh)
+
+let rename_body c fresh =
+  match c.renamer with
+  | Closed -> c.body
+  | _ ->
+    let rec go_body b = List.map go_item b
+    and go_item = function
+      | Call g -> Call (inst_term c fresh g)
+      | Par bodies -> Par (List.map go_body bodies)
+    in
+    go_body c.body
+
+let rename c =
+  match c.renamer with
+  | Closed -> c
+  | _ ->
+    let head, fresh = rename_head c in
+    { c with head; body = rename_body c fresh }
 
 let rec body_goals body =
   List.concat_map

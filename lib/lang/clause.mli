@@ -7,7 +7,15 @@ and item =
   | Call of Ace_term.Term.t
   | Par of body list  (** one compiled body per '&' branch *)
 
-type t = { head : Ace_term.Term.t; body : body }
+(** Maps template variables to fresh-instance slots (see {!rename}). *)
+type renamer
+
+type t = {
+  head : Ace_term.Term.t;
+  body : body;
+  nvars : int;  (** distinct variables in the template *)
+  renamer : renamer;
+}
 
 exception Malformed of string
 
@@ -22,10 +30,24 @@ val of_term : Ace_term.Term.t -> t
 
 val to_term : t -> Ace_term.Term.t
 
+(** Head functor as an interned symbol — the hot-path form used by the
+    database. *)
+val functor_arity : t -> Ace_term.Symbol.t * int
+
+(** Head functor with the name resolved to a string (cold paths). *)
 val name_arity : t -> string * int
 
 (** Fresh instance with consistently renamed variables. *)
 val rename : t -> t
+
+(** Two-phase fresh instance for the engines' hot path: [rename_head]
+    allocates the instance's fresh variables and copies only the head;
+    [rename_body] copies the body against the same fresh-var array, to be
+    called only after the head unified — failing clause tries never pay for
+    their bodies. *)
+val rename_head : t -> Ace_term.Term.t * Ace_term.Term.var array
+
+val rename_body : t -> Ace_term.Term.var array -> body
 
 (** All [Call] goals, left-to-right, descending into [Par]. *)
 val body_goals : body -> Ace_term.Term.t list

@@ -5,6 +5,12 @@
    index is what makes *runtime determinacy* observable — the property the
    LPCO and shallow-parallelism optimizations of the paper are driven by.
 
+   Indexing is fully integer-keyed: predicates are filed under
+   (symbol id, arity) and first-argument buckets under a key whose
+   equality and hash touch only machine integers.  No string is compared
+   or hashed anywhere on the lookup path — callers resolve names through
+   the symbol intern table at the (cold) API boundary.
+
    Representation.  Each predicate keeps its clauses in per-key hash
    buckets plus a separate list for variable-headed (Kany) clauses, so a
    lookup touches only the clauses that survive indexing instead of
@@ -20,12 +26,48 @@
    workers (the hardware or-parallel engine relies on this). *)
 
 module Term = Ace_term.Term
+module Symbol = Ace_term.Symbol
 
 type key =
   | Kany                      (* head first argument is a variable *)
   | Kint of int
-  | Katom of string
-  | Kstruct of string * int
+  | Katom of Symbol.t
+  | Kstruct of Symbol.t * int
+
+(* Buckets dispatch on integers only: constructor tag, symbol id, arity.
+   The polymorphic hash/equality would walk the same data, but through
+   generic traversal; these monomorphic versions compile to straight-line
+   integer code. *)
+module Key = struct
+  type t = key
+
+  let equal a b =
+    match a, b with
+    | Kany, Kany -> true
+    | Kint x, Kint y -> x = y
+    | Katom x, Katom y -> Symbol.equal x y
+    | Kstruct (x, n), Kstruct (y, m) -> Symbol.equal x y && n = m
+    | (Kany | Kint _ | Katom _ | Kstruct _), _ -> false
+
+  let hash = function
+    | Kany -> 0
+    | Kint n -> (n lsl 2) lor 1
+    | Katom s -> (Symbol.id s lsl 2) lor 2
+    | Kstruct (s, n) -> (((Symbol.id s lsl 5) lxor n) lsl 2) lor 3
+end
+
+module KeyTbl = Hashtbl.Make (Key)
+
+(* Predicates are keyed on (symbol id, arity). *)
+module Pred_key = struct
+  type t = int * int
+
+  let equal (a, b) (c, d) = a = c && b = d
+
+  let hash (a, b) = (a lsl 4) lxor b
+end
+
+module PredTbl = Hashtbl.Make (Pred_key)
 
 let key_of_term t =
   match Term.deref t with
@@ -41,6 +83,8 @@ let key_of_term t =
 type entry = { seq : int; e_key : key; e_clause : Clause.t }
 
 type pred = {
+  p_name : Symbol.t;
+  p_arity : int;
   mutable front : entry list;
     (* asserta'd clauses, ascending [seq] (all negative) *)
   mutable back_rev : entry list;
@@ -48,14 +92,21 @@ type pred = {
   mutable count : int;
   mutable next_seq : int; (* next assertz sequence number (counts up) *)
   mutable prev_seq : int; (* next asserta sequence number (counts down) *)
-  buckets : (key, entry list) Hashtbl.t;
+  buckets : entry list KeyTbl.t;
     (* non-Kany clauses by key, descending [seq] *)
   mutable anys : entry list; (* Kany clauses, descending [seq] *)
+  (* Lookup caches, populated by {!freeze} and invalidated by asserts.
+     [lookup] never writes them, so a frozen database stays read-only and
+     can be shared across domains. *)
+  mutable all_cache : Clause.t list option; (* source-order clause list *)
+  mutable anys_cache : Clause.t list option;
+    (* ascending Kany clauses: the result for keys with no bucket *)
+  key_cache : Clause.t list KeyTbl.t; (* merged bucket + anys per key *)
 }
 
-type t = { preds : (string * int, pred) Hashtbl.t }
+type t = { preds : pred PredTbl.t }
 
-let create () = { preds = Hashtbl.create 64 }
+let create () = { preds = PredTbl.create 64 }
 
 let clause_key clause =
   match Term.deref clause.Clause.head with
@@ -63,24 +114,32 @@ let clause_key clause =
   | Term.Struct _ | Term.Atom _ -> Kany
   | Term.Int _ | Term.Var _ -> assert false
 
-let find_pred db name arity = Hashtbl.find_opt db.preds (name, arity)
+let find_pred_sym db sym arity =
+  PredTbl.find_opt db.preds (Symbol.id sym, arity)
 
-let get_pred db name arity =
-  match find_pred db name arity with
+let find_pred db name arity = find_pred_sym db (Symbol.intern name) arity
+
+let get_pred db sym arity =
+  match find_pred_sym db sym arity with
   | Some p -> p
   | None ->
     let p =
       {
+        p_name = sym;
+        p_arity = arity;
         front = [];
         back_rev = [];
         count = 0;
         next_seq = 0;
         prev_seq = -1;
-        buckets = Hashtbl.create 8;
+        buckets = KeyTbl.create 8;
         anys = [];
+        all_cache = None;
+        anys_cache = None;
+        key_cache = KeyTbl.create 8;
       }
     in
-    Hashtbl.add db.preds (name, arity) p;
+    PredTbl.add db.preds (Symbol.id sym, arity) p;
     p
 
 (* Files an entry under its index key.  [at_front] distinguishes the
@@ -93,26 +152,33 @@ let index_entry p entry ~at_front =
     if at_front then p.anys <- p.anys @ [ entry ]
     else p.anys <- entry :: p.anys
   | key ->
-    let bucket = Option.value ~default:[] (Hashtbl.find_opt p.buckets key) in
+    let bucket = Option.value ~default:[] (KeyTbl.find_opt p.buckets key) in
     let bucket = if at_front then bucket @ [ entry ] else entry :: bucket in
-    Hashtbl.replace p.buckets key bucket
+    KeyTbl.replace p.buckets key bucket
+
+let invalidate p =
+  p.all_cache <- None;
+  p.anys_cache <- None;
+  KeyTbl.reset p.key_cache
 
 let assertz db clause =
-  let name, arity = Clause.name_arity clause in
-  let p = get_pred db name arity in
+  let sym, arity = Clause.functor_arity clause in
+  let p = get_pred db sym arity in
   let entry = { seq = p.next_seq; e_key = clause_key clause; e_clause = clause } in
   p.next_seq <- p.next_seq + 1;
   p.back_rev <- entry :: p.back_rev;
   p.count <- p.count + 1;
+  invalidate p;
   index_entry p entry ~at_front:false
 
 let asserta db clause =
-  let name, arity = Clause.name_arity clause in
-  let p = get_pred db name arity in
+  let sym, arity = Clause.functor_arity clause in
+  let p = get_pred db sym arity in
   let entry = { seq = p.prev_seq; e_key = clause_key clause; e_clause = clause } in
   p.prev_seq <- p.prev_seq - 1;
   p.front <- entry :: p.front;
   p.count <- p.count + 1;
+  invalidate p;
   index_entry p entry ~at_front:true
 
 let mem db name arity = find_pred db name arity <> None
@@ -144,14 +210,19 @@ let merge_desc a b =
 (* Candidate clauses for a call, filtered by first-argument indexing.
    Returns [None] when the predicate is undefined (distinct from defined
    with no matching clause). *)
+let all_clauses p =
+  match p.all_cache with
+  | Some clauses -> clauses
+  | None -> List.map (fun e -> e.e_clause) (all_entries p)
+
 let lookup db call =
   match Term.functor_of (Term.deref call) with
   | None -> invalid_arg "Database.lookup: callable expected"
-  | Some (name, arity) ->
-    (match find_pred db name arity with
+  | Some (sym, arity) ->
+    (match find_pred_sym db sym arity with
      | None -> None
      | Some p ->
-       if arity = 0 then Some (List.map (fun e -> e.e_clause) (all_entries p))
+       if arity = 0 then Some (all_clauses p)
        else
          let call_key =
            match Term.deref call with
@@ -159,19 +230,42 @@ let lookup db call =
            | Term.Atom _ | Term.Int _ | Term.Var _ -> Kany
          in
          (match call_key with
-          | Kany -> Some (List.map (fun e -> e.e_clause) (all_entries p))
+          | Kany -> Some (all_clauses p)
           | key ->
-            let bucket =
-              Option.value ~default:[] (Hashtbl.find_opt p.buckets key)
-            in
-            Some (merge_desc bucket p.anys)))
+            (match KeyTbl.find_opt p.key_cache key with
+             | Some clauses -> Some clauses
+             | None -> (
+               match KeyTbl.find_opt p.buckets key with
+               | None -> (
+                 (* no bucket: the result is exactly the Kany clauses *)
+                 match p.anys_cache with
+                 | Some anys -> Some anys
+                 | None -> Some (merge_desc [] p.anys))
+               | Some bucket -> Some (merge_desc bucket p.anys)))))
+
+(* Precomputes every lookup result reachable from the current clause set,
+   so subsequent lookups are pure reads — safe to share across domains
+   (the next assert invalidates, so freeze again after updates). *)
+let freeze db =
+  PredTbl.iter
+    (fun _ p ->
+      p.all_cache <- Some (List.map (fun e -> e.e_clause) (all_entries p));
+      p.anys_cache <- Some (merge_desc [] p.anys);
+      KeyTbl.reset p.key_cache;
+      KeyTbl.iter
+        (fun key bucket ->
+          KeyTbl.replace p.key_cache key (merge_desc bucket p.anys))
+        p.buckets)
+    db.preds
 
 let predicates db =
-  Hashtbl.fold (fun na _ acc -> na :: acc) db.preds []
+  PredTbl.fold
+    (fun _ p acc -> (Symbol.name p.p_name, p.p_arity) :: acc)
+    db.preds []
   |> List.sort compare
 
 let total_clauses db =
-  Hashtbl.fold (fun _ p acc -> acc + p.count) db.preds 0
+  PredTbl.fold (fun _ p acc -> acc + p.count) db.preds 0
 
 (* A predicate is statically determinate-on-first-arg when no two of its
    clauses can match the same (non-variable) first argument.  Used by the
@@ -187,7 +281,7 @@ let first_arg_exclusive db name arity =
   | Some p ->
     p.count <= 1
     || (p.anys = []
-        && Hashtbl.fold
+        && KeyTbl.fold
              (fun _ bucket ok ->
                ok && match bucket with [ _ ] -> true | _ -> false)
              p.buckets true)

@@ -21,6 +21,11 @@ val clauses_of : t -> string -> int -> Clause.t list
     the predicate is undefined. *)
 val lookup : t -> Ace_term.Term.t -> Clause.t list option
 
+(** Precomputes every {!lookup} result so later lookups are allocation-free
+    pure reads (safe to share across domains).  Asserting invalidates the
+    affected predicate; freeze again after updates.  Idempotent. *)
+val freeze : t -> unit
+
 (** Defined predicates, sorted. *)
 val predicates : t -> (string * int) list
 

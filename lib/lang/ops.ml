@@ -1,20 +1,25 @@
 (* The operator table.  This is the parsing-side twin of the printing table
-   in [Ace_term.Pp]; the round-trip property test keeps them consistent. *)
+   in [Ace_term.Pp]; the round-trip property test keeps them consistent.
+   Lookups are by interned symbol — the parser interns each atom token once
+   and reuses the symbol for both the operator probe and the term it
+   builds. *)
+
+module Symbol = Ace_term.Symbol
 
 type assoc = Xfx | Xfy | Yfx
 
 type infix = { prio : int; assoc : assoc }
 
-let infix_table : (string, infix) Hashtbl.t = Hashtbl.create 64
+let infix_table : (int, infix) Hashtbl.t = Hashtbl.create 64
 
-let prefix_table : (string, int * bool) Hashtbl.t = Hashtbl.create 16
+let prefix_table : (int, int * bool) Hashtbl.t = Hashtbl.create 16
 (* bool: argument must have strictly smaller priority (fy = false) *)
 
 let declare_infix name prio assoc =
-  Hashtbl.replace infix_table name { prio; assoc }
+  Hashtbl.replace infix_table (Symbol.id (Symbol.intern name)) { prio; assoc }
 
 let declare_prefix ?(strict = true) name prio =
-  Hashtbl.replace prefix_table name (prio, strict)
+  Hashtbl.replace prefix_table (Symbol.id (Symbol.intern name)) (prio, strict)
 
 let () =
   List.iter
@@ -62,9 +67,9 @@ let () =
   declare_prefix "-" 200 ~strict:true;
   declare_prefix "+" 200 ~strict:true
 
-let infix name = Hashtbl.find_opt infix_table name
+let infix s = Hashtbl.find_opt infix_table (Symbol.id s)
 
-let prefix name = Hashtbl.find_opt prefix_table name
+let prefix s = Hashtbl.find_opt prefix_table (Symbol.id s)
 
-let is_operator name =
-  Hashtbl.mem infix_table name || Hashtbl.mem prefix_table name
+let is_operator s =
+  Hashtbl.mem infix_table (Symbol.id s) || Hashtbl.mem prefix_table (Symbol.id s)

@@ -1,17 +1,18 @@
 (** Operator table for the parser (standard ISO core operators plus the
-    ['&'/2] parallel-conjunction operator at priority 1000, as in ACE). *)
+    ['&'/2] parallel-conjunction operator at priority 1000, as in ACE).
+    Lookups are by interned symbol; declarations intern their name. *)
 
 type assoc = Xfx | Xfy | Yfx
 
 type infix = { prio : int; assoc : assoc }
 
-val infix : string -> infix option
+val infix : Ace_term.Symbol.t -> infix option
 
-(** [prefix name] is [Some (prio, strict)]; [strict] means the argument must
+(** [prefix s] is [Some (prio, strict)]; [strict] means the argument must
     have strictly smaller priority ([fy] operators are non-strict). *)
-val prefix : string -> (int * bool) option
+val prefix : Ace_term.Symbol.t -> (int * bool) option
 
-val is_operator : string -> bool
+val is_operator : Ace_term.Symbol.t -> bool
 
 val declare_infix : string -> int -> assoc -> unit
 val declare_prefix : ?strict:bool -> string -> int -> unit

@@ -6,6 +6,10 @@
    the current maximum. *)
 
 module Term = Ace_term.Term
+module Symbol = Ace_term.Symbol
+
+let sym_minus = Symbol.intern "-"
+let sym_plus = Symbol.intern "+"
 
 exception Error of string * Lexer.position
 
@@ -46,7 +50,8 @@ let starts_term (lx : Lexer.lexeme) =
   | Lexer.Int _ | Lexer.Var _ | Lexer.Str _ -> true
   | Lexer.Atom name ->
     (* an infix-only operator cannot start a term *)
-    not (Ops.infix name <> None && Ops.prefix name = None)
+    let s = Symbol.intern name in
+    not (Ops.infix s <> None && Ops.prefix s = None)
   | Lexer.Punct ("(" | "((" | "[" | "{") -> true
   | Lexer.Punct _ | Lexer.Dot | Lexer.Eof -> false
 
@@ -58,7 +63,7 @@ let rec parse st max_prio =
   parse_infix st max_prio left left_prio
 
 and parse_infix st max_prio left left_prio =
-  let continue_with name prio assoc =
+  let continue_with s prio assoc =
     let left_max, right_max =
       match assoc with
       | Ops.Xfx -> (prio - 1, prio - 1)
@@ -69,23 +74,23 @@ and parse_infix st max_prio left left_prio =
     else begin
       shift st;
       let right, _ = parse st right_max in
-      Some (Term.Struct (name, [| left; right |]), prio)
+      Some (Term.Struct (s, [| left; right |]), prio)
     end
   in
-  let attempt name =
-    match Ops.infix name with
+  let attempt s =
+    match Ops.infix s with
     | None -> None
-    | Some { Ops.prio; assoc } -> continue_with name prio assoc
+    | Some { Ops.prio; assoc } -> continue_with s prio assoc
   in
   let result =
     match st.la.Lexer.token with
-    | Lexer.Atom name -> attempt name
-    | Lexer.Punct "," -> attempt ","
+    | Lexer.Atom name -> attempt (Symbol.intern name)
+    | Lexer.Punct "," -> attempt Symbol.comma
     | Lexer.Punct "|" ->
       (* '|' at priority 1100 is an alternative spelling of ';' in bodies *)
-      (match Ops.infix ";" with
+      (match Ops.infix Symbol.semicolon with
        | Some { Ops.prio; assoc } when prio <= max_prio ->
-         continue_with ";" prio assoc
+         continue_with Symbol.semicolon prio assoc
        | Some _ | None -> None)
     | Lexer.Int _ | Lexer.Var _ | Lexer.Str _ | Lexer.Punct _ | Lexer.Dot
     | Lexer.Eof ->
@@ -120,35 +125,38 @@ and parse_primary st max_prio =
     (match st.la.Lexer.token with
      | Lexer.Punct "}" ->
        shift st;
-       (Term.Atom "{}", 0)
+       (Term.Atom Symbol.curly, 0)
      | _ ->
        let t, _ = parse st 1200 in
        expect_punct st "}";
-       (Term.Struct ("{}", [| t |]), 0))
+       (Term.Struct (Symbol.curly, [| t |]), 0))
   | Lexer.Atom name -> (
+    (* one intern per atom token: the symbol serves the operator probes and
+       the term built from it *)
+    let s = Symbol.intern name in
     shift st;
     match st.la.Lexer.token with
     | Lexer.Punct "((" ->
       shift st;
       let args = parse_args st in
       expect_punct st ")";
-      (Term.struct_ name (Array.of_list args), 0)
+      (Term.struct_sym s (Array.of_list args), 0)
     | _ -> (
-      match Ops.prefix name with
-      | Some _ when String.equal name "-" && is_int st.la ->
+      match Ops.prefix s with
+      | Some _ when Symbol.equal s sym_minus && is_int st.la ->
         let n = take_int st in
         (Term.Int (-n), 0)
-      | Some _ when String.equal name "+" && is_int st.la ->
+      | Some _ when Symbol.equal s sym_plus && is_int st.la ->
         let n = take_int st in
         (Term.Int n, 0)
       | Some (prio, strict) when prio <= max_prio && starts_term st.la ->
         let arg_max = if strict then prio - 1 else prio in
         let arg, _ = parse st arg_max in
-        (Term.Struct (name, [| arg |]), prio)
+        (Term.Struct (s, [| arg |]), prio)
       | Some _ | None ->
         (* A bare atom; operators used as operands keep their priority so
            that e.g. [X = (:-)] needs the parentheses it was given. *)
-        (Term.Atom name, if Ops.is_operator name then 1201 else 0)))
+        (Term.Atom s, if Ops.is_operator s then 1201 else 0)))
   | Lexer.Punct p -> error pos "unexpected %s" p
   | Lexer.Dot -> error pos "unexpected end of clause"
   | Lexer.Eof -> error pos "unexpected end of input"

@@ -1,6 +1,7 @@
 (* Consulting: turning Prolog source text into a clause database. *)
 
 module Term = Ace_term.Term
+module Symbol = Ace_term.Symbol
 
 type t = { db : Database.t; mutable directives : Term.t list }
 
@@ -10,7 +11,8 @@ exception Error of string
 
 let add_term program t =
   match Term.deref t with
-  | Term.Struct (":-", [| d |]) | Term.Struct ("?-", [| d |]) ->
+  | Term.Struct (s, [| d |])
+    when Symbol.equal s Symbol.neck || Symbol.equal s Symbol.query ->
     program.directives <- program.directives @ [ d ]
   | _ -> (
     match Clause.of_term t with
@@ -48,7 +50,7 @@ let parse_query src =
   | [ { Parser.term; var_names } ] ->
     let goal =
       match Term.deref term with
-      | Term.Struct ("?-", [| g |]) -> g
+      | Term.Struct (s, [| g |]) when Symbol.equal s Symbol.query -> g
       | g -> g
     in
     { goal; query_vars = var_names }

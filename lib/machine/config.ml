@@ -12,6 +12,15 @@ type t = {
        paper names in §4): parallel conjunctions whose estimated work is
        below this many term cells run sequentially, without a frame.
        0 disables it. *)
+  grain : int;
+    (* or-parallel granularity: a choice point is published (environment
+       copy) only if it still has at least this many untried alternatives;
+       smaller nodes are kept for private backtracking.  1 = publish
+       anything (no granularity control). *)
+  chunk : int;
+    (* or-parallel chunking: a published node's alternatives are shipped
+       in tasks of at most this many alternatives each, so several thieves
+       can share one wide node.  0 = all alternatives in one task. *)
   cost : Cost.t;
   max_solutions : int option; (* stop after this many solutions; None = all *)
 }
@@ -24,6 +33,8 @@ let default =
     spo = false;
     pdo = false;
     seq_threshold = 0;
+    grain = 1;
+    chunk = 0;
     cost = Cost.default;
     max_solutions = None;
   }
@@ -36,6 +47,8 @@ let all_optimizations ?(agents = 1) () =
 let validate t =
   if t.agents < 1 then invalid_arg "Config: agents must be >= 1";
   if t.seq_threshold < 0 then invalid_arg "Config: seq_threshold must be >= 0";
+  if t.grain < 1 then invalid_arg "Config: grain must be >= 1";
+  if t.chunk < 0 then invalid_arg "Config: chunk must be >= 0";
   (match t.max_solutions with
    | Some n when n < 1 -> invalid_arg "Config: max_solutions must be >= 1"
    | Some _ | None -> ());
@@ -46,5 +59,7 @@ let pp ppf t =
   let opts =
     flag "lpco" t.lpco @ flag "lao" t.lao @ flag "spo" t.spo @ flag "pdo" t.pdo
     @ (if t.seq_threshold > 0 then [ Printf.sprintf "gc=%d" t.seq_threshold ] else [])
+    @ (if t.grain > 1 then [ Printf.sprintf "grain=%d" t.grain ] else [])
+    @ (if t.chunk > 0 then [ Printf.sprintf "chunk=%d" t.chunk ] else [])
   in
   Format.fprintf ppf "agents=%d opts={%s}" t.agents (String.concat "," opts)

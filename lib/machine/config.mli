@@ -10,6 +10,12 @@ type t = {
   seq_threshold : int;
       (** granularity control: sequentialize parallel conjunctions whose
           estimated work is below this many term cells (0 = off) *)
+  grain : int;
+      (** or-parallel granularity: publish a choice point only if it still
+          has at least this many untried alternatives (1 = no control) *)
+  chunk : int;
+      (** or-parallel chunking: at most this many alternatives per
+          published task (0 = whole node in one task) *)
   cost : Cost.t;
   max_solutions : int option;
 }

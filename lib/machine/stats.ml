@@ -28,6 +28,7 @@ type t = {
   mutable copies : int;           (* stack-copy operations *)
   mutable copied_cells : int;
   mutable or_scans : int;         (* choice points scanned for work *)
+  mutable publish_skipped_small : int; (* grain control declined a publish *)
   (* scheduling *)
   mutable steals : int;
   mutable polls : int;
@@ -65,6 +66,7 @@ let create () =
     copies = 0;
     copied_cells = 0;
     or_scans = 0;
+    publish_skipped_small = 0;
     steals = 0;
     polls = 0;
     task_switches = 0;
@@ -98,6 +100,7 @@ let merge_into ~into:a b =
   a.copies <- a.copies + b.copies;
   a.copied_cells <- a.copied_cells + b.copied_cells;
   a.or_scans <- a.or_scans + b.or_scans;
+  a.publish_skipped_small <- a.publish_skipped_small + b.publish_skipped_small;
   a.steals <- a.steals + b.steals;
   a.polls <- a.polls + b.polls;
   a.task_switches <- a.task_switches + b.task_switches;
@@ -130,6 +133,7 @@ let fields t =
     ("copies", t.copies);
     ("copied_cells", t.copied_cells);
     ("or_scans", t.or_scans);
+    ("publish_skipped_small", t.publish_skipped_small);
     ("steals", t.steals);
     ("polls", t.polls);
     ("task_switches", t.task_switches);

@@ -21,6 +21,9 @@ type t = {
   mutable copies : int;
   mutable copied_cells : int;
   mutable or_scans : int;
+  mutable publish_skipped_small : int;
+      (** publications declined because every candidate node had fewer
+          untried alternatives than the configured grain *)
   mutable steals : int;
   mutable polls : int;
   mutable task_switches : int;

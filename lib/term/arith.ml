@@ -1,70 +1,93 @@
 (* Evaluation of Prolog arithmetic expressions (the right-hand side of
-   [is/2] and the operands of arithmetic comparisons). *)
+   [is/2] and the operands of arithmetic comparisons).
+
+   Operators dispatch through tables keyed on interned symbol ids — the
+   operator name is resolved to a string only to build an error message. *)
 
 exception Error of string
 
 let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
 
+let unary : (int, int -> int) Hashtbl.t = Hashtbl.create 16
+
+let binary : (int, int -> int -> int) Hashtbl.t = Hashtbl.create 32
+
+let comparison : (int, int -> int -> bool) Hashtbl.t = Hashtbl.create 8
+
+let def table name f = Hashtbl.replace table (Symbol.id (Symbol.intern name)) f
+
+let () =
+  def unary "-" (fun x -> -x);
+  def unary "+" (fun x -> x);
+  def unary "abs" abs;
+  def unary "sign" (fun x -> Stdlib.compare x 0);
+  def unary "msb" (fun x ->
+      if x <= 0 then error "msb: argument must be positive"
+      else
+        let rec go n acc = if n = 1 then acc else go (n lsr 1) (acc + 1) in
+        go x 0);
+  def binary "+" ( + );
+  def binary "-" ( - );
+  def binary "*" ( * );
+  let int_div x y = if y = 0 then error "division by zero" else x / y in
+  def binary "//" int_div;
+  def binary "div" int_div;
+  def binary "/" (fun x y ->
+      if y = 0 then error "division by zero"
+      else if x mod y <> 0 then error "(/)/2: non-integral result %d/%d" x y
+      else x / y);
+  def binary "mod" (fun x y ->
+      if y = 0 then error "mod by zero"
+      else
+        let r = x mod y in
+        if (r < 0 && y > 0) || (r > 0 && y < 0) then r + y else r);
+  def binary "rem" (fun x y -> if y = 0 then error "rem by zero" else x mod y);
+  def binary "min" min;
+  def binary "max" max;
+  def binary ">>" ( asr );
+  def binary "<<" ( lsl );
+  def binary "gcd" (fun x y ->
+      let rec gcd a b = if b = 0 then abs a else gcd b (a mod b) in
+      gcd x y);
+  def binary "^" (fun x y ->
+      if y < 0 then error "(^)/2: negative exponent"
+      else
+        let rec pow b e acc =
+          if e = 0 then acc
+          else pow (b * b) (e / 2) (if e land 1 = 1 then acc * b else acc)
+        in
+        pow x y 1);
+  def comparison "<" ( < );
+  def comparison ">" ( > );
+  def comparison "=<" ( <= );
+  def comparison ">=" ( >= );
+  def comparison "=:=" ( = );
+  def comparison "=\\=" ( <> )
+
+let random = Symbol.intern "random"
+
 let rec eval t =
   match Term.deref t with
   | Term.Int n -> n
   | Term.Var _ -> error "arithmetic: unbound variable"
-  | Term.Atom "random" -> error "arithmetic: random/0 unsupported (nondeterministic)"
-  | Term.Atom a -> error "arithmetic: unknown constant %s" a
-  | Term.Struct (op, [| x |]) ->
-    let x = eval x in
-    (match op with
-     | "-" -> -x
-     | "+" -> x
-     | "abs" -> abs x
-     | "sign" -> Stdlib.compare x 0
-     | "msb" -> if x <= 0 then error "msb: argument must be positive" else
-         (let rec go n acc = if n = 1 then acc else go (n lsr 1) (acc + 1) in
-          go x 0)
-     | _ -> error "arithmetic: unknown operator %s/1" op)
-  | Term.Struct (op, [| x; y |]) ->
-    let x = eval x and y = eval y in
-    (match op with
-     | "+" -> x + y
-     | "-" -> x - y
-     | "*" -> x * y
-     | "//" | "div" ->
-       if y = 0 then error "division by zero" else x / y
-     | "/" ->
-       if y = 0 then error "division by zero"
-       else if x mod y <> 0 then error "(/)/2: non-integral result %d/%d" x y
-       else x / y
-     | "mod" ->
-       if y = 0 then error "mod by zero"
-       else
-         let r = x mod y in
-         if (r < 0 && y > 0) || (r > 0 && y < 0) then r + y else r
-     | "rem" -> if y = 0 then error "rem by zero" else x mod y
-     | "min" -> min x y
-     | "max" -> max x y
-     | ">>" -> x asr y
-     | "<<" -> x lsl y
-     | "gcd" ->
-       let rec gcd a b = if b = 0 then abs a else gcd b (a mod b) in
-       gcd x y
-     | "^" ->
-       if y < 0 then error "(^)/2: negative exponent"
-       else
-         let rec pow b e acc =
-           if e = 0 then acc
-           else pow (b * b) (e / 2) (if e land 1 = 1 then acc * b else acc)
-         in
-         pow x y 1
-     | _ -> error "arithmetic: unknown operator %s/2" op)
+  | Term.Atom a when Symbol.equal a random ->
+    error "arithmetic: random/0 unsupported (nondeterministic)"
+  | Term.Atom a -> error "arithmetic: unknown constant %s" (Symbol.name a)
+  | Term.Struct (op, [| x |]) -> (
+    match Hashtbl.find_opt unary (Symbol.id op) with
+    | Some f -> f (eval x)
+    | None -> error "arithmetic: unknown operator %s/1" (Symbol.name op))
+  | Term.Struct (op, [| x; y |]) -> (
+    match Hashtbl.find_opt binary (Symbol.id op) with
+    | Some f ->
+      let x = eval x in
+      f x (eval y)
+    | None -> error "arithmetic: unknown operator %s/2" (Symbol.name op))
   | Term.Struct (op, args) ->
-    error "arithmetic: unknown operator %s/%d" op (Array.length args)
+    error "arithmetic: unknown operator %s/%d" (Symbol.name op)
+      (Array.length args)
 
 let compare_op op x y =
-  match op with
-  | "<" -> x < y
-  | ">" -> x > y
-  | "=<" -> x <= y
-  | ">=" -> x >= y
-  | "=:=" -> x = y
-  | "=\\=" -> x <> y
-  | _ -> error "arithmetic: unknown comparison %s" op
+  match Hashtbl.find_opt comparison (Symbol.id op) with
+  | Some f -> f x y
+  | None -> error "arithmetic: unknown comparison %s" (Symbol.name op)

@@ -1,5 +1,5 @@
 (** Integer arithmetic over terms, as used by [is/2] and the comparison
-    builtins. *)
+    builtins.  Operators dispatch on interned symbol ids. *)
 
 exception Error of string
 
@@ -8,5 +8,5 @@ exception Error of string
     division. *)
 val eval : Term.t -> int
 
-(** [compare_op op x y] applies one of [< > =< >= =:= =\=]. *)
-val compare_op : string -> int -> int -> bool
+(** [compare_op op x y] applies one of [< > =< >= =:= =\=] (by symbol). *)
+val compare_op : Symbol.t -> int -> int -> bool

@@ -3,14 +3,19 @@
    The printer carries its own table of the standard operators (mirroring
    the parser's table in [ace_lang]); printing an operator term emits infix
    syntax with parentheses driven by priorities, so that printed terms
-   re-parse to the same term. *)
+   re-parse to the same term.
+
+   This is the one layer where symbols resolve back to strings: the tables
+   are keyed on symbol ids, and [Symbol.name] is called only on the atoms
+   actually printed. *)
 
 type assoc = Xfx | Xfy | Yfx
 
-let infix_ops : (string, int * assoc) Hashtbl.t =
+let infix_ops : (int, int * assoc) Hashtbl.t =
   let t = Hashtbl.create 32 in
   List.iter
-    (fun (name, prio, assoc) -> Hashtbl.replace t name (prio, assoc))
+    (fun (name, prio, assoc) ->
+      Hashtbl.replace t (Symbol.id (Symbol.intern name)) (prio, assoc))
     [ (":-", 1200, Xfx);
       ("-->", 1200, Xfx);
       (";", 1100, Xfy);
@@ -45,9 +50,10 @@ let infix_ops : (string, int * assoc) Hashtbl.t =
       ("^", 200, Xfy) ];
   t
 
-let prefix_ops : (string, int) Hashtbl.t =
+let prefix_ops : (int, int) Hashtbl.t =
   let t = Hashtbl.create 4 in
-  List.iter (fun (name, prio) -> Hashtbl.replace t name prio)
+  List.iter
+    (fun (name, prio) -> Hashtbl.replace t (Symbol.id (Symbol.intern name)) prio)
     [ ("-", 200); ("\\+", 900); ("?-", 1200); (":-", 1200) ];
   t
 
@@ -97,10 +103,12 @@ let rec pp_prio max_prio ppf t =
   | Term.Int n ->
     if n < 0 && max_prio < 200 then Format.fprintf ppf "(%d)" n
     else Format.pp_print_int ppf n
-  | Term.Atom name -> pp_atom ppf name
-  | Term.Struct (".", [| _; _ |]) as t -> pp_list ppf t
-  | Term.Struct (name, [| x; y |]) when Hashtbl.mem infix_ops name ->
-    let prio, assoc = Hashtbl.find infix_ops name in
+  | Term.Atom s -> pp_atom ppf (Symbol.name s)
+  | Term.Struct (s, [| _; _ |]) as t when Symbol.equal s Symbol.dot ->
+    pp_list ppf t
+  | Term.Struct (s, [| x; y |]) when Hashtbl.mem infix_ops (Symbol.id s) ->
+    let prio, assoc = Hashtbl.find infix_ops (Symbol.id s) in
+    let name = Symbol.name s in
     let lp, rp =
       match assoc with
       | Xfx -> (prio - 1, prio - 1)
@@ -108,20 +116,22 @@ let rec pp_prio max_prio ppf t =
       | Yfx -> (prio, prio - 1)
     in
     let body ppf () =
-      if String.equal name "," then
+      if Symbol.equal s Symbol.comma then
         Format.fprintf ppf "%a%s@ %a" (pp_prio lp) x name (pp_prio rp) y
       else
         Format.fprintf ppf "%a %s@ %a" (pp_prio lp) x name (pp_prio rp) y
     in
     if prio > max_prio then Format.fprintf ppf "@[<hov 1>(%a)@]" body ()
     else Format.fprintf ppf "@[<hov 2>%a@]" body ()
-  | Term.Struct (name, [| x |]) when Hashtbl.mem prefix_ops name ->
-    let prio = Hashtbl.find prefix_ops name in
-    let body ppf () = Format.fprintf ppf "%s %a" name (pp_prio prio) x in
+  | Term.Struct (s, [| x |]) when Hashtbl.mem prefix_ops (Symbol.id s) ->
+    let prio = Hashtbl.find prefix_ops (Symbol.id s) in
+    let body ppf () =
+      Format.fprintf ppf "%s %a" (Symbol.name s) (pp_prio prio) x
+    in
     if prio > max_prio then Format.fprintf ppf "(%a)" body ()
     else body ppf ()
-  | Term.Struct (name, args) ->
-    Format.fprintf ppf "@[<hov 2>%a(%a)@]" pp_atom name
+  | Term.Struct (s, args) ->
+    Format.fprintf ppf "@[<hov 2>%a(%a)@]" pp_atom (Symbol.name s)
       (Format.pp_print_array
          ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@,")
          (pp_prio 999))
@@ -130,13 +140,13 @@ let rec pp_prio max_prio ppf t =
 and pp_list ppf t =
   let rec tail ppf t =
     match Term.deref t with
-    | Term.Atom "[]" -> ()
-    | Term.Struct (".", [| h; tl |]) ->
+    | Term.Atom s when Symbol.equal s Symbol.nil -> ()
+    | Term.Struct (s, [| h; tl |]) when Symbol.equal s Symbol.dot ->
       Format.fprintf ppf ",%a%a" (pp_prio 999) h tail tl
     | rest -> Format.fprintf ppf "|%a" (pp_prio 999) rest
   in
   match Term.deref t with
-  | Term.Struct (".", [| h; tl |]) ->
+  | Term.Struct (s, [| h; tl |]) when Symbol.equal s Symbol.dot ->
     Format.fprintf ppf "@[<hov 1>[%a%a]@]" (pp_prio 999) h tail tl
   | t -> pp_prio 1200 ppf t
 
@@ -158,12 +168,13 @@ let to_string t =
    of their variable ids.  Engines produce solution copies with fresh
    (engine-dependent) variables; this is the form to compare across
    engines.  Implemented by temporarily binding each variable to a marker
-   atom, so it must not run concurrently with other users of the term. *)
+   atom, so it must not run concurrently with other users of the term.
+   The marker atoms are interned (once per distinct index, globally). *)
 let to_canonical_string t =
   let vars = Term.variables t in
   List.iteri
     (fun i (v : Term.var) ->
-      v.Term.binding <- Some (Term.Atom (Printf.sprintf "_V%d" i)))
+      v.Term.binding <- Some (Term.atom (Printf.sprintf "_V%d" i)))
     vars;
   Fun.protect
     ~finally:(fun () ->

@@ -2,13 +2,17 @@
 
    Variables are bound destructively during unification and unbound by the
    trail (see {!Trail}).  All structural traversals must dereference through
-   bindings first; [deref] is the single entry point for that. *)
+   bindings first; [deref] is the single entry point for that.
+
+   Atom and functor names are interned {!Symbol}s: the string is resolved
+   once (at parse/construction time) and every later identity test is an
+   integer comparison. *)
 
 type t =
-  | Atom of string
+  | Atom of Symbol.t
   | Int of int
   | Var of var
-  | Struct of string * t array
+  | Struct of Symbol.t * t array
 
 and var = { vid : int; mutable binding : t option }
 
@@ -24,12 +28,13 @@ let fresh_var () = { vid = 1 + Atomic.fetch_and_add counter 1; binding = None }
 
 let var () = Var (fresh_var ())
 
-let atom name = Atom name
+let atom name = Atom (Symbol.intern name)
 
 let int n = Int n
 
-let struct_ name args =
-  if Array.length args = 0 then Atom name else Struct (name, args)
+let struct_sym s args = if Array.length args = 0 then Atom s else Struct (s, args)
+
+let struct_ name args = struct_sym (Symbol.intern name) args
 
 let app name args = struct_ name (Array.of_list args)
 
@@ -38,9 +43,9 @@ let rec deref t =
   | Var { binding = Some t'; _ } -> deref t'
   | Var _ | Atom _ | Int _ | Struct _ -> t
 
-let nil = Atom "[]"
+let nil = Atom Symbol.nil
 
-let cons h t = Struct (".", [| h; t |])
+let cons h t = Struct (Symbol.dot, [| h; t |])
 
 let rec of_list = function
   | [] -> nil
@@ -51,15 +56,16 @@ let rec of_list = function
 let to_list t =
   let rec go acc t =
     match deref t with
-    | Atom "[]" -> Some (List.rev acc)
-    | Struct (".", [| h; tl |]) -> go (h :: acc) tl
+    | Atom s when Symbol.equal s Symbol.nil -> Some (List.rev acc)
+    | Struct (s, [| h; tl |]) when Symbol.equal s Symbol.dot -> go (h :: acc) tl
     | Atom _ | Int _ | Var _ | Struct _ -> None
   in
   go [] t
 
-let is_nil t = match deref t with Atom "[]" -> true | _ -> false
+let is_nil t =
+  match deref t with Atom s -> Symbol.equal s Symbol.nil | _ -> false
 
-let true_ = Atom "true"
+let true_ = Atom Symbol.true_
 
 let rec is_ground t =
   match deref t with
@@ -112,29 +118,30 @@ let rec depth t =
    only to themselves. *)
 let rec equal a b =
   match deref a, deref b with
-  | Atom x, Atom y -> String.equal x y
+  | Atom x, Atom y -> Symbol.equal x y
   | Int x, Int y -> x = y
   | Var x, Var y -> x.vid = y.vid
   | Struct (f, xs), Struct (g, ys) ->
-    String.equal f g
+    Symbol.equal f g
     && Array.length xs = Array.length ys
     && (let rec all i = i >= Array.length xs || (equal xs.(i) ys.(i) && all (i + 1)) in
         all 0)
   | (Atom _ | Int _ | Var _ | Struct _), _ -> false
 
 (* Standard order of terms: Var < Int < Atom < Struct; structs by arity,
-   then name, then arguments left to right. *)
+   then name, then arguments left to right.  Atoms order alphabetically
+   (via [Symbol.compare_names]) with an id fast path for equality. *)
 let rec compare a b =
   let rank = function Var _ -> 0 | Int _ -> 1 | Atom _ -> 2 | Struct _ -> 3 in
   match deref a, deref b with
   | Var x, Var y -> Stdlib.compare x.vid y.vid
   | Int x, Int y -> Stdlib.compare x y
-  | Atom x, Atom y -> String.compare x y
+  | Atom x, Atom y -> Symbol.compare_names x y
   | Struct (f, xs), Struct (g, ys) ->
     let c = Stdlib.compare (Array.length xs) (Array.length ys) in
     if c <> 0 then c
     else
-      let c = String.compare f g in
+      let c = Symbol.compare_names f g in
       if c <> 0 then c
       else
         let rec go i =
@@ -168,11 +175,40 @@ let rename t = rename_with (Hashtbl.create 16) t
 
 (* Snapshots a term into a binding-free value: bound variables are resolved
    away, unbound variables become fresh.  Used when a solution must survive
-   subsequent backtracking. *)
-let copy_resolved t = rename t
+   subsequent backtracking.  Solution terms are usually ground, so the
+   vid -> fresh-var table is allocated lazily, on the first unbound variable
+   actually encountered. *)
+let copy_resolved t =
+  let table = ref None in
+  let rec go t =
+    match deref t with
+    | (Atom _ | Int _) as t' -> t'
+    | Var v ->
+      let tbl =
+        match !table with
+        | Some h -> h
+        | None ->
+          let h = Hashtbl.create 8 in
+          table := Some h;
+          h
+      in
+      (match Hashtbl.find_opt tbl v.vid with
+       | Some v' -> Var v'
+       | None ->
+         let v' = fresh_var () in
+         Hashtbl.add tbl v.vid v';
+         Var v')
+    | Struct (f, args) -> Struct (f, Array.map go args)
+  in
+  go t
 
 let functor_of t =
   match deref t with
-  | Atom name -> Some (name, 0)
-  | Struct (name, args) -> Some (name, Array.length args)
+  | Atom s -> Some (s, 0)
+  | Struct (s, args) -> Some (s, Array.length args)
   | Int _ | Var _ -> None
+
+let functor_name_of t =
+  match functor_of t with
+  | Some (s, n) -> Some (Symbol.name s, n)
+  | None -> None

@@ -3,13 +3,17 @@
     This is the shared term representation for every engine in the
     repository.  Variables carry a mutable [binding] slot; unification binds
     them in place and the {!Trail} records the bindings so backtracking can
-    undo them. *)
+    undo them.
+
+    Atom and functor names are interned {!Symbol}s: construct from strings
+    with {!atom}/{!struct_}/{!app} (which intern) or directly from symbols;
+    identity tests on names are integer comparisons. *)
 
 type t =
-  | Atom of string
+  | Atom of Symbol.t
   | Int of int
   | Var of var
-  | Struct of string * t array
+  | Struct of Symbol.t * t array
 
 and var = { vid : int; mutable binding : t option }
 
@@ -23,11 +27,16 @@ val fresh_var : unit -> var
 (** [var ()] is [Var (fresh_var ())]. *)
 val var : unit -> t
 
+(** [atom name] interns [name]. *)
 val atom : string -> t
+
 val int : int -> t
 
-(** [struct_ name args] is [Atom name] when [args] is empty. *)
+(** [struct_ name args] interns [name]; [Atom] when [args] is empty. *)
 val struct_ : string -> t array -> t
+
+(** Like {!struct_} from an already interned symbol (no table lookup). *)
+val struct_sym : Symbol.t -> t array -> t
 
 (** [app name args] is {!struct_} on a list. *)
 val app : string -> t list -> t
@@ -77,5 +86,8 @@ val rename : t -> t
     away, remaining variables are fresh. *)
 val copy_resolved : t -> t
 
-(** Name and arity of an atom or structure. *)
-val functor_of : t -> (string * int) option
+(** Functor symbol and arity of an atom or structure. *)
+val functor_of : t -> (Symbol.t * int) option
+
+(** {!functor_of} with the name resolved to a string (cold paths only). *)
+val functor_name_of : t -> (string * int) option

@@ -12,34 +12,46 @@ let rec occurs (v : Term.var) t =
   | Term.Struct (_, args) -> Array.exists (occurs v) args
 
 let unify ?(occurs_check = false) ~trail ~steps a b =
-  let rec go a b =
-    incr steps;
+  (* [go] threads the visited-pair count as a local int instead of bumping
+     the shared [steps] ref once per pair: the count comes back positive on
+     success and negative on failure (it is incremented before any return,
+     so zero is unreachable), and [steps] is touched exactly once per
+     unification. *)
+  let rec go n a b =
+    let n = n + 1 in
     let a = Term.deref a and b = Term.deref b in
     match a, b with
     | Term.Var x, Term.Var y ->
-      if x.Term.vid = y.Term.vid then true
+      if x.Term.vid = y.Term.vid then n
       else begin
         (* Bind the younger variable to the older one: keeps bindings
            pointing "downward" which shortens dereference chains. *)
         if x.Term.vid > y.Term.vid then bind trail x b else bind trail y a;
-        true
+        n
       end
     | Term.Var x, t | t, Term.Var x ->
-      if occurs_check && occurs x t then false
+      if occurs_check && occurs x t then -n
       else begin
         bind trail x t;
-        true
+        n
       end
-    | Term.Atom x, Term.Atom y -> String.equal x y
-    | Term.Int x, Term.Int y -> x = y
+    | Term.Atom x, Term.Atom y -> if Symbol.equal x y then n else -n
+    | Term.Int x, Term.Int y -> if x = y then n else -n
     | Term.Struct (f, xs), Term.Struct (g, ys) ->
-      String.equal f g
-      && Array.length xs = Array.length ys
-      && (let rec all i = i >= Array.length xs || (go xs.(i) ys.(i) && all (i + 1)) in
-          all 0)
-    | (Term.Atom _ | Term.Int _ | Term.Struct _), _ -> false
+      if Symbol.equal f g && Array.length xs = Array.length ys then
+        let rec all n i =
+          if i >= Array.length xs then n
+          else
+            let r = go n xs.(i) ys.(i) in
+            if r < 0 then r else all r (i + 1)
+        in
+        all n 0
+      else -n
+    | (Term.Atom _ | Term.Int _ | Term.Struct _), _ -> -n
   in
-  go a b
+  let r = go 0 a b in
+  steps := !steps + abs r;
+  r > 0
 
 (* Unification that undoes its own bindings on failure, leaving the trail
    as it was.  On success bindings remain (still trailed above the caller's

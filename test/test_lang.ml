@@ -75,7 +75,7 @@ let test_parser_lists_and_negatives () =
   check_term "negative literal" "-5" (term "-5");
   Alcotest.(check bool) "negation of var is struct" true
     (match Term.deref (term "-X") with
-     | Term.Struct ("-", [| _ |]) -> true
+     | Term.Struct (s, [| _ |]) when Ace_term.Symbol.name s = "-" -> true
      | _ -> false);
   check_term "arith with negative" "3 - -2" (term "3 - -2")
 
@@ -116,12 +116,14 @@ let test_clause_compilation () =
      | _ -> false)
 
 let test_body_roundtrip () =
+  (* compare canonical printing: of_term renames clause variables apart, so
+     gensym numbers differ between round-trips while structure must not *)
   let check src =
     let c = Clause.of_term (term src) in
     let again = Clause.of_term (Clause.to_term c) in
     Alcotest.(check string) ("roundtrip " ^ src)
-      (Ace_term.Pp.to_string (Clause.to_term c))
-      (Ace_term.Pp.to_string (Clause.to_term again))
+      (Ace_term.Pp.to_canonical_string (Clause.to_term c))
+      (Ace_term.Pp.to_canonical_string (Clause.to_term again))
   in
   List.iter check
     [ "p :- q"; "p :- q, r"; "p :- q & r"; "p :- a, (b & c), d"; "p(X) :- q(X)" ]

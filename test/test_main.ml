@@ -2,7 +2,8 @@
 
 let () =
   Alcotest.run "ace"
-    [ ("term", Test_term.suite);
+    [ ("symbol", Test_symbol.suite);
+      ("term", Test_term.suite);
       ("trail-unify", Test_trail_unify.suite);
       ("lang", Test_lang.suite);
       ("machine", Test_machine.suite);

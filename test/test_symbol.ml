@@ -1,0 +1,96 @@
+(* Concurrent interning: the symbol table is one shared, mutex-protected
+   intern table, so the same string interned from any domain must yield the
+   same id, ids must stay dense and collision-free, and [name] (a lock-free
+   read of the atomically published reverse store) must resolve every id a
+   domain has observed.
+
+   Spawned domains only collect observations (Alcotest's check machinery is
+   not domain-safe); every assertion runs in the joining domain. *)
+
+module Symbol = Ace_term.Symbol
+
+(* Each domain interns the same [shared] names repeatedly (rotated, so the
+   domains hit the same names at different times), racing against the
+   others.  Returns (name -> id seen, names whose [name] did not round-trip
+   or whose id changed between observations). *)
+let intern_from_domain ~rounds ~domain_id shared =
+  let results = Hashtbl.create 64 in
+  let bad = ref [] in
+  let n = List.length shared in
+  for r = 0 to rounds - 1 do
+    List.iteri
+      (fun i _ ->
+        let name = List.nth shared ((i + domain_id + r) mod n) in
+        let s = Symbol.intern name in
+        if not (String.equal name (Symbol.name s)) then bad := name :: !bad;
+        match Hashtbl.find_opt results name with
+        | None -> Hashtbl.replace results name (Symbol.id s)
+        | Some id -> if id <> Symbol.id s then bad := name :: !bad)
+      shared
+  done;
+  let private_name = Printf.sprintf "private_%d" domain_id in
+  Hashtbl.replace results private_name (Symbol.id (Symbol.intern private_name));
+  (results, !bad)
+
+let test_concurrent_interning () =
+  let shared = List.init 40 (fun i -> Printf.sprintf "concurrent_sym_%d" i) in
+  let n_domains = 4 in
+  let count_before = Symbol.count () in
+  let domains =
+    List.init n_domains (fun d ->
+        Domain.spawn (fun () ->
+            intern_from_domain ~rounds:50 ~domain_id:d shared))
+  in
+  let observed = List.map Domain.join domains in
+  let tables = List.map fst observed in
+  List.iter
+    (fun (_, bad) ->
+      Alcotest.(check (list string)) "round-trips and stable ids in-domain" []
+        bad)
+    observed;
+  (* overlapping names agree across every pair of domains, and with a
+     re-intern from the joining domain *)
+  List.iter
+    (fun name ->
+      let ids =
+        List.filter_map (fun tbl -> Hashtbl.find_opt tbl name) tables
+      in
+      Alcotest.(check int) "every domain saw the name" n_domains
+        (List.length ids);
+      List.iter
+        (fun id ->
+          Alcotest.(check int) ("id agrees for " ^ name) (List.hd ids) id)
+        ids;
+      Alcotest.(check int) "main domain agrees" (List.hd ids)
+        (Symbol.id (Symbol.intern name)))
+    shared;
+  (* ids are collision-free: distinct names got distinct ids *)
+  let all_ids = Hashtbl.create 64 in
+  List.iter
+    (fun tbl ->
+      Hashtbl.iter
+        (fun name id ->
+          match Hashtbl.find_opt all_ids id with
+          | None -> Hashtbl.replace all_ids id name
+          | Some name' ->
+            Alcotest.(check string) "one name per id" name' name)
+        tbl)
+    tables;
+  (* exactly the shared + per-domain private names were added *)
+  let expected_new = List.length shared + n_domains in
+  Alcotest.(check int) "table grew by the distinct names"
+    (count_before + expected_new)
+    (Symbol.count ())
+
+let test_name_visible_across_domains () =
+  (* an id interned in one domain resolves in another *)
+  let s = Symbol.intern "cross_domain_name" in
+  let resolved = Domain.join (Domain.spawn (fun () -> Symbol.name s)) in
+  Alcotest.(check string) "resolves in the other domain" "cross_domain_name"
+    resolved
+
+let suite =
+  [ Alcotest.test_case "concurrent interning agrees" `Quick
+      test_concurrent_interning;
+    Alcotest.test_case "name visible across domains" `Quick
+      test_name_visible_across_domains ]

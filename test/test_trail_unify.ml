@@ -104,11 +104,15 @@ let with_trail f =
   f trail
 
 let prop_unify_makes_equal =
+  (* occurs check on: without it a term with a repeated variable (e.g.
+     f(X, f(X)) against f(Y, Y)) can unify into a rational tree, and
+     [Term.equal] diverges on cyclic bindings — the engines never traverse
+     such terms, but this property would *)
   qcheck "successful unify makes terms equal"
     QCheck2.Gen.(pair open_term_gen open_term_gen)
     (fun (a, b) ->
       with_trail (fun trail ->
-          if unify trail a b then Term.equal a b else true))
+          if unify ~occurs_check:true trail a b then Term.equal a b else true))
 
 let prop_undo_restores =
   qcheck "undo restores open variables"

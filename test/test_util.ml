@@ -30,12 +30,12 @@ let ground_term_gen =
           oneof
             [ map (fun i -> Term.Int i) (int_range (-99) 99);
               map
-                (fun s -> Term.Atom s)
+                (fun s -> Term.atom s)
                 (oneofl [ "a"; "b"; "foo"; "[]"; "bar_baz"; "+"; "hello world" ]) ]
         else
           frequency
             [ (1, map (fun i -> Term.Int i) (int_range (-99) 99));
-              (1, map (fun s -> Term.Atom s) (oneofl [ "a"; "f"; "g" ]));
+              (1, map (fun s -> Term.atom s) (oneofl [ "a"; "f"; "g" ]));
               (3,
                map2
                  (fun name args -> Term.struct_ name (Array.of_list args))
@@ -51,7 +51,7 @@ let open_term_gen =
       if n <= 0 then
         oneof
           [ map (fun i -> Term.Int i) (int_range 0 9);
-            map (fun s -> Term.Atom s) (oneofl [ "a"; "b"; "[]" ]);
+            map (fun s -> Term.atom s) (oneofl [ "a"; "b"; "[]" ]);
             map (fun i -> Term.Var pool.(i mod Array.length pool))
               (int_range 0 (Array.length pool - 1)) ]
       else
