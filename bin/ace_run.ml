@@ -8,6 +8,8 @@
 module Config = Ace_machine.Config
 module Engine = Ace_core.Engine
 module Program = Ace_lang.Program
+module Trace = Ace_obs.Trace
+module Metrics = Ace_obs.Metrics
 
 let read_stdin () =
   let buf = Buffer.create 4096 in
@@ -25,8 +27,11 @@ let engine_of_string = function
   | "par" -> Ok Engine.Par_or
   | s -> Error (`Msg (Printf.sprintf "unknown engine %S (seq|and|or|par)" s))
 
+let write_file path contents = Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc contents)
+
 let run source query engine agents lpco lao spo pdo all gc grain chunk limit
-    show_stats annotate =
+    show_stats verbose_stats annotate trace_file trace_jsonl trace_buf
+    stats_json utilization =
   let program_text =
     if String.equal source "-" then read_stdin ()
     else In_channel.with_open_bin source In_channel.input_all
@@ -57,8 +62,13 @@ let run source query engine agents lpco lao spo pdo all gc grain chunk limit
           max_solutions = limit;
         }
       in
+      let tracing = trace_file <> None || trace_jsonl <> None in
+      let trace =
+        if tracing then Trace.create ~capacity:trace_buf ()
+        else Trace.disabled
+      in
       let t0 = Unix.gettimeofday () in
-      let result = Engine.solve kind config db q.Program.goal in
+      let result = Engine.solve ~trace kind config db q.Program.goal in
       let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
       List.iteri
         (fun i solution ->
@@ -78,8 +88,25 @@ let run source query engine agents lpco lao spo pdo all gc grain chunk limit
            result.Engine.time wall_ms
            (Engine.kind_to_string kind)
            Config.pp config);
-      if show_stats then
-        Format.printf "@[<v>%a@]@." Ace_machine.Stats.pp result.Engine.stats;
+      if show_stats || verbose_stats then
+        Format.printf "@[<v>%a@]@."
+          (fun ppf -> Ace_machine.Stats.pp ~verbose:verbose_stats ppf)
+          result.Engine.stats;
+      if utilization then
+        Format.printf "%a@." Metrics.pp_utilization result.Engine.metrics;
+      (match stats_json with
+       | Some path ->
+         write_file path (Ace_obs.Json.to_string (Metrics.to_json result.Engine.metrics))
+       | None -> ());
+      (match trace_file with
+       | Some path ->
+         write_file path (Trace.to_chrome_json trace);
+         Format.eprintf "trace: %d event(s) written to %s (%d dropped)@."
+           (Trace.recorded trace) path (Trace.dropped trace)
+       | None -> ());
+      (match trace_jsonl with
+       | Some path -> write_file path (Trace.to_jsonl trace)
+       | None -> ());
       0
     with
     | Program.Error msg | Ace_core.Errors.Engine_error msg ->
@@ -140,8 +167,31 @@ let cmd =
                      each (0 = whole node in one task).")
       $ limit
       $ flag [ "stats" ] "Print execution statistics."
+      $ flag [ "verbose-stats" ]
+          "Print execution statistics including zero-valued counters (so \
+           \"this optimization never fired\" stays visible)."
       $ flag [ "annotate" ]
           "Run the strict-independence annotator before execution (uses \
-           mode/1 directives).")
+           mode/1 directives)."
+      $ Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+               ~doc:"Write a Chrome trace_event JSON of the run to FILE (one \
+                     track per agent/domain; open in Perfetto or \
+                     chrome://tracing).")
+      $ Arg.(value & opt (some string) None & info [ "trace-jsonl" ]
+               ~docv:"FILE"
+               ~doc:"Write the raw event stream to FILE as JSON Lines (one \
+                     event object per line).")
+      $ Arg.(value & opt int 65536 & info [ "trace-buf" ] ~docv:"N"
+               ~doc:"Per-agent trace ring capacity in events (rounded up to \
+                     a power of two); the newest N events per agent are \
+                     kept.")
+      $ Arg.(value & opt (some string) None & info [ "stats-json" ]
+               ~docv:"FILE"
+               ~doc:"Write execution statistics to FILE as JSON: merged \
+                     totals plus per-agent shards, utilization and \
+                     histograms.")
+      $ flag [ "utilization" ]
+          "Print the per-agent utilization table (busy/idle fractions, \
+           tasks, steals, copies).")
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,16 @@
+% n-queens by incremental placement with pruning (the paper's queen2
+% benchmark).  Query e.g.:  queens([1,2,3,4,5,6], Qs)
+%
+% Used by the CI trace smoke test:
+%   ace_run --engine par --agents 4 --trace /tmp/t.json examples/queens.pl 'queens([1,2,3,4,5,6], Qs)'
+
+sel(X, [X|T], T).
+sel(X, [H|T], [H|R]) :- sel(X, T, R).
+
+noatt(_, [], _).
+noatt(Q, [Q2|Qs], D) :- Q2 =\= Q + D, Q2 =\= Q - D, D1 is D + 1, noatt(Q, Qs, D1).
+
+place([], Placed, Placed).
+place(Un, Placed, Qs) :- sel(Q, Un, Rest), noatt(Q, Placed, 1), place(Rest, [Q|Placed], Qs).
+
+queens(Ns, Qs) :- place(Ns, [], Qs).

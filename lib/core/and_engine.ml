@@ -44,6 +44,7 @@ module Cost = Ace_machine.Cost
 module Stats = Ace_machine.Stats
 module Config = Ace_machine.Config
 module Sim = Ace_sched.Sim
+module Trace = Ace_obs.Trace
 
 type acp = {
   a_goal : Term.t;
@@ -114,13 +115,15 @@ type t = {
   db : Database.t;
   config : Config.t;
   cost : Cost.t;
-  stats : Stats.t;
+  shards : Stats.t array; (* one per simulated agent *)
+  tbufs : Trace.buffer array; (* one trace ring per simulated agent *)
   sim : Sim.t;
   ctx : Builtins.ctx; (* trail field is unused; per-exec trails are passed *)
   agents : agent_state array;
   mutable pool : frame list; (* frames that may have free slots, oldest first *)
   mutable frame_counter : int;
   mutable finished : bool;
+  mutable sol_count : int; (* global solution count (shards hold per-agent) *)
   mutable solutions : Term.t list; (* newest first *)
   goal : Term.t;
   output : Buffer.t option;
@@ -138,27 +141,42 @@ let dbg fmt =
 
 let charge (_st : t) n = Sim.tick n
 
+(* Counter updates are attributed to the agent the simulator is currently
+   stepping: the coroutines run on one OS thread, so the "current agent"
+   is exact at every update site (interleaving happens only at ticks). *)
+let cur st =
+  let c = Sim.current_agent st.sim in
+  if c < 0 then 0 else c
+
+let shard st = st.shards.(cur st)
+
+let tbuf st = st.tbufs.(cur st)
+
+(* Events are stamped with the virtual clock, so an exported trace shows
+   the simulated schedule. *)
+let record_ev st kind arg = Trace.record_at (tbuf st) ~ts:(Sim.now st.sim) kind arg
+
 let charge_cp_alloc st =
   charge st st.cost.Cost.cp_alloc;
-  st.stats.Stats.cp_allocs <- st.stats.Stats.cp_allocs + 1;
-  st.stats.Stats.stack_words <-
-    st.stats.Stats.stack_words + Cost.words_choice_point
+  (shard st).Stats.cp_allocs <- (shard st).Stats.cp_allocs + 1;
+  (shard st).Stats.stack_words <-
+    (shard st).Stats.stack_words + Cost.words_choice_point
 
 let charge_marker st ~input =
   charge st st.cost.Cost.marker_alloc;
-  st.stats.Stats.stack_words <- st.stats.Stats.stack_words + Cost.words_marker;
-  if input then st.stats.Stats.input_markers <- st.stats.Stats.input_markers + 1
-  else st.stats.Stats.end_markers <- st.stats.Stats.end_markers + 1
+  (shard st).Stats.stack_words <- (shard st).Stats.stack_words + Cost.words_marker;
+  if input then (shard st).Stats.input_markers <- (shard st).Stats.input_markers + 1
+  else (shard st).Stats.end_markers <- (shard st).Stats.end_markers + 1
 
 let charge_untrail st n =
   if n > 0 then begin
     charge st (n * st.cost.Cost.untrail);
-    st.stats.Stats.untrails <- st.stats.Stats.untrails + n
+    (shard st).Stats.untrails <- (shard st).Stats.untrails + n
   end
 
 let charge_bt_node st =
   charge st st.cost.Cost.backtrack_node;
-  st.stats.Stats.bt_nodes_visited <- st.stats.Stats.bt_nodes_visited + 1
+  (shard st).Stats.bt_nodes_visited <- (shard st).Stats.bt_nodes_visited + 1
 
 (* ------------------------------------------------------------------ *)
 (* Exec and frame bookkeeping                                          *)
@@ -244,26 +262,26 @@ let call_builtin st exec goal =
   let arith = !(ctx.Builtins.arith_nodes) - arith0 in
   let pushed = Trail.size exec.x_trail - trail0 in
   charge st st.cost.Cost.builtin;
-  st.stats.Stats.builtin_calls <- st.stats.Stats.builtin_calls + 1;
+  (shard st).Stats.builtin_calls <- (shard st).Stats.builtin_calls + 1;
   charge st ((steps * st.cost.Cost.unify_step) + (arith * st.cost.Cost.arith_op));
   charge st (max 0 pushed * st.cost.Cost.trail_push);
-  st.stats.Stats.unify_steps <- st.stats.Stats.unify_steps + steps;
-  st.stats.Stats.trail_pushes <- st.stats.Stats.trail_pushes + max 0 pushed;
+  (shard st).Stats.unify_steps <- (shard st).Stats.unify_steps + steps;
+  (shard st).Stats.trail_pushes <- (shard st).Stats.trail_pushes + max 0 pushed;
   outcome
 
 let try_clause st exec goal clause =
   charge st st.cost.Cost.clause_try;
-  st.stats.Stats.clause_tries <- st.stats.Stats.clause_tries + 1;
+  (shard st).Stats.clause_tries <- (shard st).Stats.clause_tries + 1;
   let head, fresh = Clause.rename_head clause in
   let steps = ref 0 in
   let trail0 = Trail.size exec.x_trail in
   let mark = Trail.mark exec.x_trail in
   let ok = Unify.unify ~trail:exec.x_trail ~steps head goal in
   charge st (!steps * st.cost.Cost.unify_step);
-  st.stats.Stats.unify_steps <- st.stats.Stats.unify_steps + !steps;
+  (shard st).Stats.unify_steps <- (shard st).Stats.unify_steps + !steps;
   let pushed = Trail.size exec.x_trail - trail0 in
   charge st (pushed * st.cost.Cost.trail_push);
-  st.stats.Stats.trail_pushes <- st.stats.Stats.trail_pushes + pushed;
+  (shard st).Stats.trail_pushes <- (shard st).Stats.trail_pushes + pushed;
   if ok then Some (Clause.rename_body clause fresh)
   else begin
     let undone = Trail.undo_to exec.x_trail mark in
@@ -342,7 +360,7 @@ and user_call st agent exec g cont =
 (* Backtracking inside one exec.  Walks the private stack: choice points
    are retried; completed parcall frames get outside backtracking. *)
 and exec_backtrack st agent exec : bool =
-  st.stats.Stats.backtracks <- st.stats.Stats.backtracks + 1;
+  (shard st).Stats.backtracks <- (shard st).Stats.backtracks + 1;
   match exec.x_stack with
   | [] -> false
   | Ecp cp :: below -> (
@@ -361,7 +379,7 @@ and exec_backtrack st agent exec : bool =
        | None -> exec_backtrack st agent exec))
   | Eframe (frame, mark) :: below ->
     charge st st.cost.Cost.frame_unwind;
-    st.stats.Stats.bt_nodes_visited <- st.stats.Stats.bt_nodes_visited + 1;
+    (shard st).Stats.bt_nodes_visited <- (shard st).Stats.bt_nodes_visited + 1;
     let undone = Trail.undo_to exec.x_trail mark in
     charge_untrail st undone;
     if retry_frame st agent frame then exec_run st agent exec frame.f_cont
@@ -419,7 +437,7 @@ and exec_parcall st agent exec bodies rest =
      remaining > 0)
   in
   if sequentialize then begin
-    st.stats.Stats.seq_hits <- st.stats.Stats.seq_hits + 1;
+    (shard st).Stats.seq_hits <- (shard st).Stats.seq_hits + 1;
     exec_run st agent exec (List.concat bodies @ rest)
   end
   else begin
@@ -436,8 +454,9 @@ and exec_parcall st agent exec bodies rest =
   if lpco_applicable then begin
     let slot = Option.get exec.x_slot in
     let frame = slot.sl_frame in
-    st.stats.Stats.lpco_hits <- st.stats.Stats.lpco_hits + 1;
-    st.stats.Stats.frames_avoided <- st.stats.Stats.frames_avoided + 1;
+    (shard st).Stats.lpco_hits <- (shard st).Stats.lpco_hits + 1;
+    (shard st).Stats.frames_avoided <- (shard st).Stats.frames_avoided + 1;
+    record_ev st Trace.Lpco_hit frame.f_id;
     slot.sl_spliced <- splice_slots st frame ~after_slot:slot bodies;
     register_frame st frame;
     (* this slot is done: its residual work now lives in the new slots *)
@@ -464,17 +483,17 @@ and alloc_frame st agent exec bodies rest =
   dbg "[a%d] alloc_frame n=%d depth_slot=%s@." agent.ag_id n
     (match exec.x_slot with None -> "root" | Some s -> Printf.sprintf "f%d.%d" s.sl_frame.f_id s.sl_index);
   charge st (st.cost.Cost.frame_alloc + (n * st.cost.Cost.slot_init));
-  st.stats.Stats.frames <- st.stats.Stats.frames + 1;
-  st.stats.Stats.slots <- st.stats.Stats.slots + n;
-  st.stats.Stats.stack_words <-
-    st.stats.Stats.stack_words + Cost.words_frame_base + (n * Cost.words_per_slot);
+  (shard st).Stats.frames <- (shard st).Stats.frames + 1;
+  (shard st).Stats.slots <- (shard st).Stats.slots + n;
+  (shard st).Stats.stack_words <-
+    (shard st).Stats.stack_words + Cost.words_frame_base + (n * Cost.words_per_slot);
   let depth =
     match exec.x_slot with
     | None -> 1
     | Some slot -> slot.sl_frame.f_depth + 1
   in
-  if depth > st.stats.Stats.max_frame_nesting then
-    st.stats.Stats.max_frame_nesting <- depth;
+  if depth > (shard st).Stats.max_frame_nesting then
+    (shard st).Stats.max_frame_nesting <- depth;
   st.frame_counter <- st.frame_counter + 1;
   let frame =
     {
@@ -496,6 +515,7 @@ and alloc_frame st agent exec bodies rest =
   (match slots with
    | first :: _ -> first.sl_no_input <- true
    | [] -> ());
+  record_ev st Trace.Task_spawn n;
   frame
 
 (* LPCO splice: insert the nested parcall's subgoals as fresh slots right
@@ -503,9 +523,9 @@ and alloc_frame st agent exec bodies rest =
 and splice_slots st frame ~after_slot bodies =
   let k = List.length bodies in
   charge st (k * st.cost.Cost.slot_init);
-  st.stats.Stats.slots <- st.stats.Stats.slots + k;
-  st.stats.Stats.stack_words <-
-    st.stats.Stats.stack_words + (k * Cost.words_per_slot);
+  (shard st).Stats.slots <- (shard st).Stats.slots + k;
+  (shard st).Stats.stack_words <-
+    (shard st).Stats.stack_words + (k * Cost.words_per_slot);
   (* the delegator's index is read *after* the tick above: a concurrent
      splice by another agent may have shifted it, and inserting at a stale
      position would break the delegator-before-children invariant that
@@ -600,7 +620,7 @@ and drain_and_cleanup st frame =
   in
   while someone_running () do
     charge st st.cost.Cost.steal_poll;
-    st.stats.Stats.polls <- st.stats.Stats.polls + 1
+    (shard st).Stats.polls <- (shard st).Stats.polls + 1
   done;
   undo_frame st frame;
   unregister_frame st frame
@@ -633,11 +653,12 @@ and steal st agent =
         | None -> scan rest)
   in
   let result = scan st.pool in
-  st.stats.Stats.polls <- st.stats.Stats.polls + max 1 !visited;
+  (shard st).Stats.polls <- (shard st).Stats.polls + max 1 !visited;
   (match result with
-   | Some _ ->
+   | Some slot ->
      charge st ((!visited * st.cost.Cost.steal_poll) + st.cost.Cost.steal_grab);
-     st.stats.Stats.steals <- st.stats.Stats.steals + 1
+     (shard st).Stats.steals <- (shard st).Stats.steals + 1;
+     record_ev st Trace.Steal slot.sl_frame.f_owner
    | None -> charge st (max 1 !visited * st.cost.Cost.steal_poll));
   result
 
@@ -670,8 +691,9 @@ and run_slot st agent slot =
    | Some _ | None -> ());
   agent.ag_pending_end <- None;
   if contiguous then begin
-    st.stats.Stats.pdo_hits <- st.stats.Stats.pdo_hits + 1;
-    st.stats.Stats.markers_avoided <- st.stats.Stats.markers_avoided + 2
+    (shard st).Stats.pdo_hits <- (shard st).Stats.pdo_hits + 1;
+    (shard st).Stats.markers_avoided <- (shard st).Stats.markers_avoided + 2;
+    record_ev st Trace.Pdo_hit frame.f_id
   end
   else if slot.sl_no_input && agent.ag_id = frame.f_owner then
     (* first subgoal run in place by the owner: the parcall frame itself
@@ -687,7 +709,8 @@ and run_slot st agent slot =
   end;
   agent.ag_last_done <- None;
   charge st st.cost.Cost.task_switch;
-  st.stats.Stats.task_switches <- st.stats.Stats.task_switches + 1;
+  (shard st).Stats.task_switches <- (shard st).Stats.task_switches + 1;
+  record_ev st Trace.Task_start frame.f_id;
   match exec_run st agent exec slot.sl_body with
   | true ->
     if not exec.x_det then frame.f_nondet <- true;
@@ -702,8 +725,9 @@ and run_slot st agent slot =
       (* SPO payoff: subgoal finished without ever creating a choice point;
          neither marker is needed — only the trail section survives. *)
       exec.x_marker_pending <- false;
-      st.stats.Stats.spo_hits <- st.stats.Stats.spo_hits + 1;
-      st.stats.Stats.markers_avoided <- st.stats.Stats.markers_avoided + 2
+      (shard st).Stats.spo_hits <- (shard st).Stats.spo_hits + 1;
+      (shard st).Stats.markers_avoided <- (shard st).Stats.markers_avoided + 2;
+      record_ev st Trace.Spo_hit frame.f_id
     end
     else if st.config.Config.pdo then
       (* defer the end marker: the next scheduling decision may merge *)
@@ -715,19 +739,22 @@ and run_slot st agent slot =
     slot.sl_state <- Sdone;
     frame.f_pending <- frame.f_pending - 1;
     dbg "[a%d] done f%d.%d pending=%d@." agent.ag_id frame.f_id slot.sl_index frame.f_pending;
+    record_ev st Trace.Task_finish frame.f_id;
     agent.ag_last_done <- Some slot
   | false ->
     (* inside failure: the whole parcall fails *)
-    st.stats.Stats.kills <- st.stats.Stats.kills + 1;
+    (shard st).Stats.kills <- (shard st).Stats.kills + 1;
     charge st st.cost.Cost.kill_signal;
     undo_exec st exec;
     slot.sl_state <- Sfailed;
-    frame.f_failing <- true
+    frame.f_failing <- true;
+    record_ev st Trace.Task_finish frame.f_id
   | exception Killed ->
     charge st st.cost.Cost.kill_signal;
-    st.stats.Stats.kills <- st.stats.Stats.kills + 1;
+    (shard st).Stats.kills <- (shard st).Stats.kills + 1;
     undo_exec st exec;
-    slot.sl_state <- Skilled
+    slot.sl_state <- Skilled;
+    record_ev st Trace.Task_finish frame.f_id
 
 (* ------------------------------------------------------------------ *)
 (* Outside backtracking: retrying a completed frame                    *)
@@ -740,7 +767,7 @@ and retry_slot st agent slot =
   | None -> false
   | Some exec ->
     charge st st.cost.Cost.task_switch;
-    st.stats.Stats.task_switches <- st.stats.Stats.task_switches + 1;
+    (shard st).Stats.task_switches <- (shard st).Stats.task_switches + 1;
     (* crossing the slot's end marker to get into it *)
     if exec.x_end_marker then charge_bt_node st;
     if exec_backtrack st agent exec then true
@@ -789,7 +816,7 @@ and retry_frame st agent frame : bool =
       else scan (j - 1)
     end
   in
-  st.stats.Stats.backtracks <- st.stats.Stats.backtracks + 1;
+  (shard st).Stats.backtracks <- (shard st).Stats.backtracks + 1;
   scan (frame.f_nslots - 1)
 
 (* ------------------------------------------------------------------ *)
@@ -812,13 +839,15 @@ let root_body st () =
   let agent = st.agents.(0) in
   let exec = make_exec () in
   let record () =
-    st.stats.Stats.solutions <- st.stats.Stats.solutions + 1;
+    (shard st).Stats.solutions <- (shard st).Stats.solutions + 1;
+    st.sol_count <- st.sol_count + 1;
+    record_ev st Trace.Solution st.sol_count;
     st.solutions <- Term.copy_resolved st.goal :: st.solutions
   in
   let want_more () =
     match st.config.Config.max_solutions with
     | None -> true
-    | Some limit -> st.stats.Stats.solutions < limit
+    | Some limit -> st.sol_count < limit
   in
   let rec drive ok =
     if ok then begin
@@ -832,7 +861,7 @@ let root_body st () =
   st.finished <- true;
   Sim.stop st.sim
 
-let create ?output (config : Config.t) db goal =
+let create ?output ?(trace = Trace.disabled) (config : Config.t) db goal =
   let config = Config.validate config in
   let sim = Sim.create ~max_steps:3_000_000 () in
   let agents =
@@ -843,13 +872,15 @@ let create ?output (config : Config.t) db goal =
     db;
     config;
     cost = config.Config.cost;
-    stats = Stats.create ();
+    shards = Array.init config.Config.agents (fun _ -> Stats.create ());
+    tbufs = Array.init config.Config.agents (fun i -> Trace.buffer trace ~dom:i);
     sim;
     ctx = Builtins.make_ctx ?output ~trail:(Trail.create ()) ();
     agents;
     pool = [];
     frame_counter = 0;
     finished = false;
+    sol_count = 0;
     solutions = [];
     goal;
     output;
@@ -857,7 +888,8 @@ let create ?output (config : Config.t) db goal =
 
 type result = {
   solutions : Term.t list;
-  stats : Stats.t;
+  stats : Stats.t; (* merged over all simulated agents *)
+  per_agent : Stats.t array; (* the per-agent shards behind [stats] *)
   time : int; (* simulated completion time in abstract cycles *)
 }
 
@@ -867,6 +899,13 @@ let run st =
     Sim.spawn st.sim ~agent:i (worker_body st st.agents.(i))
   done;
   Sim.run st.sim;
-  { solutions = List.rev st.solutions; stats = st.stats; time = Sim.stop_time st.sim }
+  let total = Stats.create () in
+  Array.iter (fun s -> Stats.merge_into ~into:total s) st.shards;
+  {
+    solutions = List.rev st.solutions;
+    stats = total;
+    per_agent = st.shards;
+    time = Sim.stop_time st.sim;
+  }
 
-let solve ?output config db goal = run (create ?output config db goal)
+let solve ?output ?trace config db goal = run (create ?output ?trace config db goal)

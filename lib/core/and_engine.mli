@@ -12,12 +12,19 @@ type t
 type result = {
   solutions : Ace_term.Term.t list;
       (** snapshots of the instantiated goal, in discovery order *)
-  stats : Ace_machine.Stats.t;
+  stats : Ace_machine.Stats.t;  (** merged over all simulated agents *)
+  per_agent : Ace_machine.Stats.t array;
+      (** one single-writer shard per simulated agent; [stats] is their
+          merge *)
   time : int;  (** simulated completion time, abstract cycles *)
 }
 
+(** [trace] (default {!Ace_obs.Trace.disabled}) collects per-agent event
+    rings (slot start/finish, steal, LPCO/SPO/PDO hits, solutions) stamped
+    with the simulator's virtual clock. *)
 val create :
   ?output:Buffer.t ->
+  ?trace:Ace_obs.Trace.t ->
   Ace_machine.Config.t ->
   Ace_lang.Database.t ->
   Ace_term.Term.t ->
@@ -28,6 +35,7 @@ val run : t -> result
 
 val solve :
   ?output:Buffer.t ->
+  ?trace:Ace_obs.Trace.t ->
   Ace_machine.Config.t ->
   Ace_lang.Database.t ->
   Ace_term.Term.t ->

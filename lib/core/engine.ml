@@ -6,6 +6,7 @@ module Term = Ace_term.Term
 module Stats = Ace_machine.Stats
 module Config = Ace_machine.Config
 module Database = Ace_lang.Database
+module Metrics = Ace_obs.Metrics
 
 type kind =
   | Sequential   (* baseline; '&' runs as ',' *)
@@ -22,49 +23,61 @@ let kind_to_string = function
 type result = {
   solutions : Term.t list;
   stats : Stats.t;
+  metrics : Metrics.t;
+    (* per-agent shards behind [stats]; the multicore engine also fills
+       the busy/idle and histogram fields *)
   time : int;
     (* abstract cycles: charged total (seq) or simulated makespan; for
        [Par_or] this is measured wall-clock nanoseconds instead *)
 }
 
-let solve ?output kind (config : Config.t) db goal =
+let solve ?output ?trace kind (config : Config.t) db goal =
   (* warm the lookup caches once; the run itself then reads the database
      without mutating it (required by the multi-domain engine) *)
   Database.freeze db;
   match kind with
   | Sequential ->
     let solutions, m =
-      Seq_engine.solve ?output ~cost:config.Config.cost
+      Seq_engine.solve ?output ?trace ~cost:config.Config.cost
         ?limit:config.Config.max_solutions db goal
     in
-    { solutions; stats = Seq_engine.stats m; time = Seq_engine.time m }
+    let stats = Seq_engine.stats m in
+    {
+      solutions;
+      stats;
+      metrics = Metrics.of_stats stats;
+      time = Seq_engine.time m;
+    }
   | And_parallel ->
-    let r = And_engine.solve ?output config db goal in
+    let r = And_engine.solve ?output ?trace config db goal in
     {
       solutions = r.And_engine.solutions;
       stats = r.And_engine.stats;
+      metrics = Metrics.of_stats_array r.And_engine.per_agent;
       time = r.And_engine.time;
     }
   | Or_parallel ->
-    let r = Or_engine.solve ?output config db goal in
+    let r = Or_engine.solve ?output ?trace config db goal in
     {
       solutions = r.Or_engine.solutions;
       stats = r.Or_engine.stats;
+      metrics = Metrics.of_stats_array r.Or_engine.per_agent;
       time = r.Or_engine.time;
     }
   | Par_or ->
-    let r = Par_or_engine.solve ?output config db goal in
+    let r = Par_or_engine.solve ?output ?trace config db goal in
     {
       solutions = r.Par_or_engine.solutions;
       stats = r.Par_or_engine.stats;
+      metrics = r.Par_or_engine.metrics;
       time = r.Par_or_engine.wall_ns;
     }
 
 (* Convenience: consult a program and run a query in one call. *)
-let solve_program ?output kind config ~program ~query =
+let solve_program ?output ?trace kind config ~program ~query =
   let p = Ace_lang.Program.consult_string program in
   let q = Ace_lang.Program.parse_query query in
-  solve ?output kind config (Ace_lang.Program.db p) q.Ace_lang.Program.goal
+  solve ?output ?trace kind config (Ace_lang.Program.db p) q.Ace_lang.Program.goal
 
 (* Solutions as a sorted list (for multiset comparison between engines,
    since or-parallel discovery order is interleaved). *)

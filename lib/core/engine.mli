@@ -14,14 +14,22 @@ val kind_to_string : kind -> string
 type result = {
   solutions : Ace_term.Term.t list;
   stats : Ace_machine.Stats.t;
+  metrics : Ace_obs.Metrics.t;
+      (** the per-agent shards behind [stats]; for [Par_or] also busy/idle
+          times and copy/task/steal histograms *)
   time : int;
       (** abstract cycles: total charge (sequential) or simulated makespan
           (parallel engines); measured wall-clock nanoseconds for
           [Par_or] *)
 }
 
+(** [trace] (default {!Ace_obs.Trace.disabled}) collects per-agent event
+    rings; export with {!Ace_obs.Trace.to_chrome_json} or
+    {!Ace_obs.Trace.to_jsonl}.  Simulated engines stamp events with the
+    virtual clock, [Par_or] with wall-clock nanoseconds. *)
 val solve :
   ?output:Buffer.t ->
+  ?trace:Ace_obs.Trace.t ->
   kind ->
   Ace_machine.Config.t ->
   Ace_lang.Database.t ->
@@ -31,6 +39,7 @@ val solve :
 (** Consults [program] source and runs [query]. *)
 val solve_program :
   ?output:Buffer.t ->
+  ?trace:Ace_obs.Trace.t ->
   kind ->
   Ace_machine.Config.t ->
   program:string ->

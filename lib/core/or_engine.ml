@@ -39,6 +39,7 @@ module Cost = Ace_machine.Cost
 module Stats = Ace_machine.Stats
 module Config = Ace_machine.Config
 module Sim = Ace_sched.Sim
+module Trace = Ace_obs.Trace
 
 type ocp = {
   mutable o_goal : Term.t;
@@ -58,22 +59,39 @@ type t = {
   db : Database.t;
   config : Config.t;
   cost : Cost.t;
-  stats : Stats.t;
+  shards : Stats.t array; (* one per simulated worker *)
+  tbufs : Trace.buffer array; (* one trace ring per simulated worker *)
   sim : Sim.t;
   workers : worker array;
   goal : Term.t;
   output : Buffer.t option;
   mutable finished : bool;
   mutable idle_count : int;
+  mutable sol_count : int;
   mutable solutions : Term.t list; (* newest first *)
 }
 
 let charge (_st : t) n = Sim.tick n
 
+(* Counter updates are attributed to the agent the simulator is currently
+   stepping: the coroutines run on one OS thread, so the "current agent"
+   is exact at every update site (interleaving happens only at ticks). *)
+let cur st =
+  let c = Sim.current_agent st.sim in
+  if c < 0 then 0 else c
+
+let shard st = st.shards.(cur st)
+
+let tbuf st = st.tbufs.(cur st)
+
+(* Events are stamped with the virtual clock, so an exported trace shows
+   the simulated schedule. *)
+let record st kind arg = Trace.record_at (tbuf st) ~ts:(Sim.now st.sim) kind arg
+
 let charge_untrail st n =
   if n > 0 then begin
     charge st (n * st.cost.Cost.untrail);
-    st.stats.Stats.untrails <- st.stats.Stats.untrails + n
+    (shard st).Stats.untrails <- (shard st).Stats.untrails + n
   end
 
 (* ------------------------------------------------------------------ *)
@@ -135,8 +153,9 @@ let copy_state st ~victim ~thief =
   thief.w_cps <- cps;
   thief.w_trail <- trail;
   charge st (st.cost.Cost.copy_setup + (!cells * st.cost.Cost.copy_cell));
-  st.stats.Stats.copies <- st.stats.Stats.copies + 1;
-  st.stats.Stats.copied_cells <- st.stats.Stats.copied_cells + !cells
+  (shard st).Stats.copies <- (shard st).Stats.copies + 1;
+  (shard st).Stats.copied_cells <- (shard st).Stats.copied_cells + !cells;
+  record st Trace.Copy !cells
 
 (* ------------------------------------------------------------------ *)
 (* Resolution                                                          *)
@@ -152,25 +171,25 @@ let call_builtin st w goal =
   let steps = !(ctx.Builtins.steps) and arith = !(ctx.Builtins.arith_nodes) in
   let pushed = Trail.size w.w_trail - trail0 in
   charge st st.cost.Cost.builtin;
-  st.stats.Stats.builtin_calls <- st.stats.Stats.builtin_calls + 1;
+  (shard st).Stats.builtin_calls <- (shard st).Stats.builtin_calls + 1;
   charge st ((steps * st.cost.Cost.unify_step) + (arith * st.cost.Cost.arith_op));
   charge st (max 0 pushed * st.cost.Cost.trail_push);
-  st.stats.Stats.unify_steps <- st.stats.Stats.unify_steps + steps;
-  st.stats.Stats.trail_pushes <- st.stats.Stats.trail_pushes + max 0 pushed;
+  (shard st).Stats.unify_steps <- (shard st).Stats.unify_steps + steps;
+  (shard st).Stats.trail_pushes <- (shard st).Stats.trail_pushes + max 0 pushed;
   outcome
 
 let try_clause st w goal clause =
   charge st st.cost.Cost.clause_try;
-  st.stats.Stats.clause_tries <- st.stats.Stats.clause_tries + 1;
+  (shard st).Stats.clause_tries <- (shard st).Stats.clause_tries + 1;
   let head, fresh = Clause.rename_head clause in
   let steps = ref 0 in
   let mark = Trail.mark w.w_trail in
   let ok = Unify.unify ~trail:w.w_trail ~steps head goal in
   charge st (!steps * st.cost.Cost.unify_step);
-  st.stats.Stats.unify_steps <- st.stats.Stats.unify_steps + !steps;
+  (shard st).Stats.unify_steps <- (shard st).Stats.unify_steps + !steps;
   let pushed = Trail.size w.w_trail - mark in
   charge st (pushed * st.cost.Cost.trail_push);
-  st.stats.Stats.trail_pushes <- st.stats.Stats.trail_pushes + pushed;
+  (shard st).Stats.trail_pushes <- (shard st).Stats.trail_pushes + pushed;
   if ok then Some (Clause.rename_body clause fresh)
   else begin
     charge_untrail st (Trail.undo_to w.w_trail mark);
@@ -187,23 +206,26 @@ let push_cp st w ~goal ~alts ~cont =
   match w.w_cps with
   | top :: _ when st.config.Config.lao && !(top.o_alts) = [] ->
     charge st st.cost.Cost.lao_update;
-    st.stats.Stats.cp_updates <- st.stats.Stats.cp_updates + 1;
-    st.stats.Stats.lao_hits <- st.stats.Stats.lao_hits + 1;
+    (shard st).Stats.cp_updates <- (shard st).Stats.cp_updates + 1;
+    (shard st).Stats.lao_hits <- (shard st).Stats.lao_hits + 1;
+    record st Trace.Lao_hit (List.length alts);
     top.o_goal <- goal;
     top.o_alts <- ref alts; (* fresh ref: old copies keep their dead ref *)
     top.o_cont <- cont;
     top.o_trail <- Trail.mark w.w_trail
   | _ ->
     charge st st.cost.Cost.cp_alloc;
-    st.stats.Stats.cp_allocs <- st.stats.Stats.cp_allocs + 1;
-    st.stats.Stats.stack_words <-
-      st.stats.Stats.stack_words + Cost.words_choice_point;
+    (shard st).Stats.cp_allocs <- (shard st).Stats.cp_allocs + 1;
+    (shard st).Stats.stack_words <-
+      (shard st).Stats.stack_words + Cost.words_choice_point;
     w.w_cps <-
       { o_goal = goal; o_alts = ref alts; o_cont = cont; o_trail = Trail.mark w.w_trail }
       :: w.w_cps
 
 let record_solution st =
-  st.stats.Stats.solutions <- st.stats.Stats.solutions + 1
+  (shard st).Stats.solutions <- (shard st).Stats.solutions + 1;
+  st.sol_count <- st.sol_count + 1;
+  record st Trace.Solution st.sol_count
 
 (* Forward execution until a failure (solutions report-and-fail via the
    sentinel) or engine shutdown.  Returns when the worker has no local
@@ -228,7 +250,7 @@ and dispatch st w g cont =
     st.solutions <- Term.copy_resolved goal :: st.solutions;
     let enough =
       match st.config.Config.max_solutions with
-      | Some limit -> st.stats.Stats.solutions >= limit
+      | Some limit -> st.sol_count >= limit
       | None -> false
     in
     if enough then begin
@@ -281,14 +303,14 @@ and backtrack st w =
   if !debug then
     Format.eprintf "[w%d] backtrack stack=%d top_alts=%s@." w.w_id (List.length w.w_cps)
       (match w.w_cps with [] -> "-" | cp :: _ -> string_of_int (List.length !(cp.o_alts)));
-  st.stats.Stats.backtracks <- st.stats.Stats.backtracks + 1;
+  (shard st).Stats.backtracks <- (shard st).Stats.backtracks + 1;
   if st.finished then ()
   else
     match w.w_cps with
     | [] -> () (* no local work left: the worker loop will go stealing *)
     | cp :: below -> (
       charge st st.cost.Cost.backtrack_node;
-      st.stats.Stats.bt_nodes_visited <- st.stats.Stats.bt_nodes_visited + 1;
+      (shard st).Stats.bt_nodes_visited <- (shard st).Stats.bt_nodes_visited + 1;
       match !(cp.o_alts) with
       | [] ->
         w.w_cps <- below;
@@ -320,7 +342,7 @@ let find_work st victim =
       if !(cp.o_alts) <> [] then Some cp else scan above
   in
   let result = scan (List.rev victim.w_cps) in
-  st.stats.Stats.or_scans <- st.stats.Stats.or_scans + !visited;
+  (shard st).Stats.or_scans <- (shard st).Stats.or_scans + !visited;
   (result, !visited * st.cost.Cost.or_scan_node)
 
 (* Steals from the first victim (in id order after the thief) that has
@@ -376,11 +398,12 @@ let try_steal st (w : worker) =
             in
             w.w_cps <- drop w.w_cps;
             charge st (visited * st.cost.Cost.backtrack_node);
-            st.stats.Stats.bt_nodes_visited <-
-              st.stats.Stats.bt_nodes_visited + visited;
+            (shard st).Stats.bt_nodes_visited <-
+              (shard st).Stats.bt_nodes_visited + visited;
             charge_untrail st (Trail.undo_to w.w_trail cp.o_trail);
             charge st (st.cost.Cost.cp_restore + st.cost.Cost.steal_grab);
-            st.stats.Stats.steals <- st.stats.Stats.steals + 1;
+            (shard st).Stats.steals <- (shard st).Stats.steals + 1;
+            record st Trace.Steal victim.w_id;
             Some (cp, clause))
       end
   in
@@ -403,22 +426,25 @@ let worker_body st w ~initial () =
     else begin
       w.w_idle <- true;
       st.idle_count <- st.idle_count + 1;
+      record st Trace.Idle_begin 0;
       let rec poll () =
-        if st.finished then ()
+        if st.finished then record st Trace.Idle_end 0
         else
           match try_steal st w with
           | Some work ->
             (* the idle set was left at claim time, inside try_steal *)
+            record st Trace.Idle_end 0;
             resume work;
             idle_loop ()
           | None ->
             if st.idle_count = Array.length st.workers then begin
               st.finished <- true;
-              Sim.stop st.sim
+              Sim.stop st.sim;
+              record st Trace.Idle_end 0
             end
             else begin
               charge st st.cost.Cost.steal_poll;
-              st.stats.Stats.polls <- st.stats.Stats.polls + 1;
+              (shard st).Stats.polls <- (shard st).Stats.polls + 1;
               poll ()
             end
       in
@@ -433,11 +459,12 @@ let worker_body st w ~initial () =
 
 type result = {
   solutions : Term.t list; (* in discovery order (nondeterministic for P>1) *)
-  stats : Stats.t;
+  stats : Stats.t; (* merged over all simulated workers *)
+  per_agent : Stats.t array; (* the per-worker shards behind [stats] *)
   time : int;
 }
 
-let create ?output (config : Config.t) db goal =
+let create ?output ?(trace = Trace.disabled) (config : Config.t) db goal =
   let config = Config.validate config in
   let sim = Sim.create ~max_steps:3_000_000 () in
   let workers =
@@ -448,13 +475,15 @@ let create ?output (config : Config.t) db goal =
     db;
     config;
     cost = config.Config.cost;
-    stats = Stats.create ();
+    shards = Array.init config.Config.agents (fun _ -> Stats.create ());
+    tbufs = Array.init config.Config.agents (fun i -> Trace.buffer trace ~dom:i);
     sim;
     workers;
     goal;
     output;
     finished = false;
     idle_count = 0;
+    sol_count = 0;
     solutions = [];
   }
 
@@ -466,10 +495,13 @@ let run st =
       Sim.spawn st.sim ~agent:w.w_id (worker_body st w ~initial))
     st.workers;
   Sim.run st.sim;
+  let total = Stats.create () in
+  Array.iter (fun s -> Stats.merge_into ~into:total s) st.shards;
   {
     solutions = List.rev st.solutions;
-    stats = st.stats;
+    stats = total;
+    per_agent = st.shards;
     time = Sim.stop_time st.sim;
   }
 
-let solve ?output config db goal = run (create ?output config db goal)
+let solve ?output ?trace config db goal = run (create ?output ?trace config db goal)

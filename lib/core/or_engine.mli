@@ -11,12 +11,19 @@ type result = {
   solutions : Ace_term.Term.t list;
       (** discovery order; deterministic but interleaved for P > 1 —
           compare as multisets against the sequential engine *)
-  stats : Ace_machine.Stats.t;
+  stats : Ace_machine.Stats.t;  (** merged over all simulated workers *)
+  per_agent : Ace_machine.Stats.t array;
+      (** one single-writer shard per simulated worker; [stats] is their
+          merge *)
   time : int;
 }
 
+(** [trace] (default {!Ace_obs.Trace.disabled}) collects per-agent event
+    rings (steal, copy, LAO hit, solution, idle spans) stamped with the
+    simulator's virtual clock. *)
 val create :
   ?output:Buffer.t ->
+  ?trace:Ace_obs.Trace.t ->
   Ace_machine.Config.t ->
   Ace_lang.Database.t ->
   Ace_term.Term.t ->
@@ -26,6 +33,7 @@ val run : t -> result
 
 val solve :
   ?output:Buffer.t ->
+  ?trace:Ace_obs.Trace.t ->
   Ace_machine.Config.t ->
   Ace_lang.Database.t ->
   Ace_term.Term.t ->

@@ -57,6 +57,8 @@ module Database = Ace_lang.Database
 module Stats = Ace_machine.Stats
 module Config = Ace_machine.Config
 module Deque = Ace_sched.Deque
+module Trace = Ace_obs.Trace
+module Metrics = Ace_obs.Metrics
 
 (* A task is a self-contained unit of or-work: its terms are private
    copies, so the receiving worker needs no further setup. *)
@@ -92,7 +94,10 @@ type worker = {
   w_id : int;
   sh : shared;
   trail : Trail.t;
-  stats : Stats.t; (* worker-private; merged after the join *)
+  shard : Metrics.shard;
+    (* worker-private metrics; single-writer, aggregated after the join *)
+  stats : Stats.t; (* alias of [shard.s_stats], for the hot-path updates *)
+  tbuf : Trace.buffer; (* worker-private trace ring ([Trace.null] when off) *)
   ctx : Builtins.ctx;
   out : Buffer.t option; (* worker-private output, appended after the join *)
   mutable cps : cp list; (* newest first *)
@@ -169,9 +174,11 @@ let publish w =
   in
   match last_live 0 None w.cps with
   | skipped, None ->
-    if skipped > 0 then
+    if skipped > 0 then begin
       w.stats.Stats.publish_skipped_small <-
-        w.stats.Stats.publish_skipped_small + 1
+        w.stats.Stats.publish_skipped_small + 1;
+      Trace.record w.tbuf Trace.Publish_skip skipped
+    end
   | _, Some cp ->
     let seg = Trail.segment w.trail ~lo:cp.cp_trail ~hi:(Trail.size w.trail) in
     let saved = Array.map (fun (v : Term.var) -> v.Term.binding) seg in
@@ -186,14 +193,21 @@ let publish w =
           let cont = snapshot_body table cells cp.cp_cont in
           w.stats.Stats.copies <- w.stats.Stats.copies + 1;
           w.stats.Stats.copied_cells <- w.stats.Stats.copied_cells + !cells;
+          Metrics.hist_add w.shard.Metrics.s_copy_cells !cells;
+          Trace.record w.tbuf Trace.Copy !cells;
           Node { n_goal = goal; n_alts; n_cont = cont })
         chunks
     in
     Array.iteri (fun i (v : Term.var) -> v.Term.binding <- saved.(i)) seg;
     cp.cp_alts <- [];
     w.live_alts <- w.live_alts - 1;
+    Trace.record w.tbuf Trace.Publish (List.length tasks);
     List.iter
       (fun task ->
+        (match task with
+         | Node { n_alts; _ } ->
+           Trace.record w.tbuf Trace.Task_spawn (List.length n_alts)
+         | Root _ -> ());
         Atomic.incr w.sh.outstanding;
         Deque.push_bottom w.sh.deques.(w.w_id) task)
       tasks
@@ -256,7 +270,10 @@ let record_solution w goal =
       true
   in
   Mutex.unlock sh.sol_mutex;
-  if accepted then w.stats.Stats.solutions <- w.stats.Stats.solutions + 1
+  if accepted then begin
+    w.stats.Stats.solutions <- w.stats.Stats.solutions + 1;
+    Trace.record w.tbuf Trace.Solution 0
+  end
 
 let rec run_worker w (cont : Clause.body) : unit =
   if stopped w then ()
@@ -335,7 +352,8 @@ and backtrack w =
         if rest = [] then begin
           w.cps <- below;
           w.live_alts <- w.live_alts - 1;
-          w.stats.Stats.lao_hits <- w.stats.Stats.lao_hits + 1
+          w.stats.Stats.lao_hits <- w.stats.Stats.lao_hits + 1;
+          Trace.record w.tbuf Trace.Lao_hit 0
         end
         else cp.cp_alts <- rest;
         (match try_clause w cp.cp_goal clause with
@@ -348,6 +366,8 @@ and backtrack w =
 (* ------------------------------------------------------------------ *)
 
 let run_task w task =
+  let t0 = Trace.now_ns w.tbuf in
+  Trace.record_at w.tbuf ~ts:t0 Trace.Task_start 0;
   (match task with
    | Root body -> run_worker w body
    | Node { n_goal; n_alts; n_cont } -> (
@@ -362,6 +382,10 @@ let run_task w task =
   ignore (Trail.undo_to w.trail 0);
   w.cps <- [];
   w.live_alts <- 0;
+  let dt = Trace.now_ns w.tbuf - t0 in
+  w.shard.Metrics.s_busy_ns <- w.shard.Metrics.s_busy_ns + dt;
+  Metrics.hist_add w.shard.Metrics.s_task_ns dt;
+  Trace.record w.tbuf Trace.Task_finish 0;
   Atomic.decr w.sh.outstanding
 
 let rec main_loop w =
@@ -376,22 +400,36 @@ let rec main_loop w =
 
 and steal_loop w =
   let sh = w.sh in
+  let t0 = Trace.now_ns w.tbuf in
+  Trace.record_at w.tbuf ~ts:t0 Trace.Idle_begin 0;
+  let end_idle () =
+    let dt = Trace.now_ns w.tbuf - t0 in
+    w.shard.Metrics.s_idle_ns <- w.shard.Metrics.s_idle_ns + dt;
+    Trace.record w.tbuf Trace.Idle_end 0
+  in
   Atomic.incr sh.hungry;
   let p = Array.length sh.deques in
   let rec poll misses =
-    if stopped w || Atomic.get sh.outstanding = 0 then Atomic.decr sh.hungry
+    if stopped w || Atomic.get sh.outstanding = 0 then begin
+      Atomic.decr sh.hungry;
+      end_idle ()
+    end
     else begin
       let rec try_victims k =
         if k >= p then None
         else
-          match Deque.steal_top sh.deques.((w.w_id + 1 + k) mod p) with
-          | Some task -> Some task
+          let victim = (w.w_id + 1 + k) mod p in
+          match Deque.steal_top sh.deques.(victim) with
+          | Some task -> Some (victim, task)
           | None -> try_victims (k + 1)
       in
       match try_victims 0 with
-      | Some task ->
+      | Some (victim, task) ->
         Atomic.decr sh.hungry;
         w.stats.Stats.steals <- w.stats.Stats.steals + 1;
+        Metrics.hist_add w.shard.Metrics.s_steal_tries (misses + 1);
+        end_idle ();
+        Trace.record w.tbuf Trace.Steal victim;
         run_task w task;
         main_loop w
       | None ->
@@ -419,14 +457,16 @@ let worker_main w =
 
 type result = {
   solutions : Term.t list; (* discovery order; nondeterministic for P > 1 *)
-  stats : Stats.t;
+  stats : Stats.t; (* merged run total *)
+  metrics : Metrics.t; (* per-domain shards behind [stats] *)
   wall_ns : int; (* wall-clock nanoseconds, whole run including the join *)
   domains : int;
 }
 
-let solve ?output (config : Config.t) db goal =
+let solve ?output ?(trace = Trace.disabled) (config : Config.t) db goal =
   let config = Config.validate config in
   let p = config.Config.agents in
+  let metrics = Metrics.create ~domains:p in
   let sh =
     {
       db;
@@ -447,11 +487,14 @@ let solve ?output (config : Config.t) db goal =
         let out =
           match output with None -> None | Some _ -> Some (Buffer.create 64)
         in
+        let shard = Metrics.shard metrics i in
         {
           w_id = i;
           sh;
           trail;
-          stats = Stats.create ();
+          shard;
+          stats = shard.Metrics.s_stats;
+          tbuf = Trace.buffer trace ~dom:i;
           ctx = Builtins.make_ctx ?output:out ~trail ();
           out;
           cps = [];
@@ -471,8 +514,9 @@ let solve ?output (config : Config.t) db goal =
   Array.iter Domain.join domains;
   let wall_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
   (match Atomic.get sh.failure with Some e -> raise e | None -> ());
-  let stats = Stats.create () in
-  Array.iter (fun (w : worker) -> Stats.merge_into ~into:stats w.stats) workers;
+  (* the domains have joined: aggregating the single-writer shards is safe
+     from here on (see the Stats.merge_into ownership contract) *)
+  let stats = Metrics.total metrics in
   (* solutions were counted per worker and merged; keep the shared total *)
   stats.Stats.solutions <- sh.sol_count;
   (match output with
@@ -484,4 +528,4 @@ let solve ?output (config : Config.t) db goal =
          | Some b -> Buffer.add_buffer buf b
          | None -> ())
        workers);
-  { solutions = List.rev sh.sols_rev; stats; wall_ns; domains = p }
+  { solutions = List.rev sh.sols_rev; stats; metrics; wall_ns; domains = p }

@@ -21,12 +21,19 @@ type result = {
   stats : Ace_machine.Stats.t;
       (** merged over all workers; wall-clock runs have real (not
           simulated) counter values *)
+  metrics : Ace_obs.Metrics.t;
+      (** the per-domain shards behind [stats]: copy-size / task-duration /
+          steal-retry histograms and busy/idle nanoseconds per domain *)
   wall_ns : int;  (** wall-clock nanoseconds for the whole run *)
   domains : int;  (** domains actually used ([config.agents]) *)
 }
 
+(** [trace] (default {!Ace_obs.Trace.disabled}) collects per-domain event
+    rings: task spawn/start/finish, steal, publish/skip, copy, LAO hits,
+    solutions, idle spans. *)
 val solve :
   ?output:Buffer.t ->
+  ?trace:Ace_obs.Trace.t ->
   Ace_machine.Config.t ->
   Ace_lang.Database.t ->
   Ace_term.Term.t ->

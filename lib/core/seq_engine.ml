@@ -20,6 +20,7 @@ module Clause = Ace_lang.Clause
 module Database = Ace_lang.Database
 module Cost = Ace_machine.Cost
 module Stats = Ace_machine.Stats
+module Trace = Ace_obs.Trace
 
 type alt =
   | Aclause of Clause.t
@@ -44,6 +45,7 @@ type t = {
   cost : Cost.t;
   ctx : Builtins.ctx;
   goal : Term.t;
+  tbuf : Trace.buffer; (* events stamped with the abstract-cycle clock *)
   mutable cps : cp list;
   mutable height : int;
   mutable charge : int; (* accumulated abstract cycles *)
@@ -51,7 +53,7 @@ type t = {
   mutable exhausted : bool;
 }
 
-let create ?(cost = Cost.default) ?output db goal =
+let create ?(cost = Cost.default) ?output ?(trace = Trace.disabled) db goal =
   let trail = Trail.create () in
   {
     db;
@@ -60,6 +62,7 @@ let create ?(cost = Cost.default) ?output db goal =
     cost;
     ctx = Builtins.make_ctx ?output ~trail ();
     goal;
+    tbuf = Trace.buffer trace ~dom:0;
     cps = [];
     height = 0;
     charge = 0;
@@ -276,6 +279,7 @@ let next m =
     in
     if found then begin
       m.stats.Stats.solutions <- m.stats.Stats.solutions + 1;
+      Trace.record_at m.tbuf ~ts:m.charge Trace.Solution m.stats.Stats.solutions;
       Some (Term.copy_resolved m.goal)
     end
     else begin
@@ -303,7 +307,7 @@ let stats m = m.stats
 
 let time m = m.charge
 
-let solve ?cost ?output ?limit db goal =
-  let m = create ?cost ?output db goal in
+let solve ?cost ?output ?trace ?limit db goal =
+  let m = create ?cost ?output ?trace db goal in
   let solutions = all_solutions ?limit m in
   (solutions, m)

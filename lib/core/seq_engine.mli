@@ -6,9 +6,12 @@
 
 type t
 
+(** [trace] (default {!Ace_obs.Trace.disabled}) records solution events on
+    domain track 0, stamped with the abstract-cycle clock. *)
 val create :
   ?cost:Ace_machine.Cost.t ->
   ?output:Buffer.t ->
+  ?trace:Ace_obs.Trace.t ->
   Ace_lang.Database.t ->
   Ace_term.Term.t ->
   t
@@ -33,6 +36,7 @@ val time : t -> int
 val solve :
   ?cost:Ace_machine.Cost.t ->
   ?output:Buffer.t ->
+  ?trace:Ace_obs.Trace.t ->
   ?limit:int ->
   Ace_lang.Database.t ->
   Ace_term.Term.t ->

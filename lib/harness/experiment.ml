@@ -52,6 +52,8 @@ type cell = {
   opt : int;   (* simulated cycles, optimization on *)
   unopt_stats : Ace_machine.Stats.t;
   opt_stats : Ace_machine.Stats.t;
+  unopt_metrics : Ace_obs.Metrics.t; (* per-agent shards behind the stats *)
+  opt_metrics : Ace_obs.Metrics.t;
 }
 
 let improvement_percent cell =
@@ -81,6 +83,8 @@ let run_cell ~workload ~agents ~optimization =
     opt = opt_result.Engine.time;
     unopt_stats = unopt_result.Engine.stats;
     opt_stats = opt_result.Engine.stats;
+    unopt_metrics = unopt_result.Engine.metrics;
+    opt_metrics = opt_result.Engine.metrics;
   }
 
 let run ?(progress = fun _ -> ()) experiment =

@@ -28,6 +28,9 @@ type cell = {
   opt : int;
   unopt_stats : Ace_machine.Stats.t;
   opt_stats : Ace_machine.Stats.t;
+  unopt_metrics : Ace_obs.Metrics.t;
+      (** per-agent shards behind [unopt_stats] (load-balance reporting) *)
+  opt_metrics : Ace_obs.Metrics.t;
 }
 
 (** Percent time saved by the optimization (negative = slowdown). *)

@@ -12,6 +12,8 @@ module Config = Ace_machine.Config
 module Engine = Ace_core.Engine
 module Programs = Ace_benchmarks.Programs
 module Stats = Ace_machine.Stats
+module Metrics = Ace_obs.Metrics
+module Json = Ace_obs.Json
 
 type overhead_row = {
   o_label : string;
@@ -136,6 +138,9 @@ type par_or_row = {
   p_solutions : int;
   p_speedup : float;   (* vs the 1-domain row of the same benchmark *)
   p_matches_seq : bool; (* same solution set as the sequential engine *)
+  p_steals : int;      (* total successful steals, best run *)
+  p_busy_frac : float; (* mean per-domain busy fraction, best run *)
+  p_metrics : Metrics.t; (* per-domain shards of the best run *)
 }
 
 (* Or-parallel benchmarks where the sequential engine computes the
@@ -179,6 +184,14 @@ let run_par_or ?(benchmarks = par_or_benchmarks) ?(domains = [ 1; 2; 4 ])
         in
         let wall_ms = float_of_int best.Engine.time /. 1e6 in
         if agents = 1 then base_ms := wall_ms;
+        let util = Metrics.utilization best.Engine.metrics in
+        let busy_frac =
+          match util with
+          | [] -> 0.0
+          | us ->
+            List.fold_left (fun acc u -> acc +. u.Metrics.u_busy_frac) 0.0 us
+            /. float_of_int (List.length us)
+        in
         {
           p_label = name;
           p_domains = agents;
@@ -190,6 +203,9 @@ let run_par_or ?(benchmarks = par_or_benchmarks) ?(domains = [ 1; 2; 4 ])
             List.for_all
               (fun r -> canonical_set r.Engine.solutions = reference)
               runs;
+          p_steals = best.Engine.stats.Stats.steals;
+          p_busy_frac = busy_frac;
+          p_metrics = best.Engine.metrics;
         }
       in
       let multi = List.filter (fun d -> d > 1) domains in
@@ -202,40 +218,59 @@ let run_par_or ?(benchmarks = par_or_benchmarks) ?(domains = [ 1; 2; 4 ])
 let pp_par_or ppf rows =
   Format.fprintf ppf
     "== hardware or-parallelism: wall-clock on OCaml domains ==@,";
-  Format.fprintf ppf "%-12s %8s %6s %12s %10s %9s %8s@," "benchmark" "domains"
-    "grain" "wall-ms" "solutions" "speedup" "matches";
+  Format.fprintf ppf "%-12s %8s %6s %12s %10s %9s %8s %7s %6s@," "benchmark"
+    "domains" "grain" "wall-ms" "solutions" "speedup" "matches" "steals"
+    "busy%";
   List.iter
     (fun r ->
-      Format.fprintf ppf "%-12s %8d %6d %12.2f %10d %8.2fx %8s@," r.p_label
-        r.p_domains r.p_grain r.p_wall_ms r.p_solutions r.p_speedup
-        (if r.p_matches_seq then "yes" else "NO"))
+      Format.fprintf ppf "%-12s %8d %6d %12.2f %10d %8.2fx %8s %7d %5.0f%%@,"
+        r.p_label r.p_domains r.p_grain r.p_wall_ms r.p_solutions r.p_speedup
+        (if r.p_matches_seq then "yes" else "NO")
+        r.p_steals (100.0 *. r.p_busy_frac))
     rows;
   Format.fprintf ppf "@,"
 
-(* JSON for BENCH_par_or.json: hand-rolled (no JSON dependency in the
-   container), schema {host: {...}, rows: [...]}. *)
+(* JSON for BENCH_par_or.json, schema {host: {...}, rows: [...]}; each row
+   carries the per-domain busy/idle/steal breakdown so a flat speedup on a
+   1-core host shows up as idle fractions in data, not just a README
+   caveat. *)
 let par_or_json rows =
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf
-    (Printf.sprintf
-       "  \"host\": {\"recommended_domains\": %d, \"ocaml\": \"%s\"},\n"
-       (Domain.recommended_domain_count ())
-       Sys.ocaml_version);
-  Buffer.add_string buf "  \"rows\": [\n";
-  List.iteri
-    (fun i r ->
-      Buffer.add_string buf
-        (Printf.sprintf
-           "    {\"benchmark\": \"%s\", \"domains\": %d, \"grain\": %d, \
-            \"wall_ms\": %.3f, \"solutions\": %d, \"speedup\": %.3f, \
-            \"matches_seq\": %b}%s\n"
-           r.p_label r.p_domains r.p_grain r.p_wall_ms r.p_solutions
-           r.p_speedup r.p_matches_seq
-           (if i = List.length rows - 1 then "" else ",")))
-    rows;
-  Buffer.add_string buf "  ]\n}\n";
-  Buffer.contents buf
+  let per_domain m =
+    Json.List
+      (List.map
+         (fun u ->
+           Json.Obj
+             [ ("domain", Json.int u.Metrics.u_dom);
+               ("busy_ns", Json.int u.Metrics.u_busy_ns);
+               ("idle_ns", Json.int u.Metrics.u_idle_ns);
+               ("busy_frac", Json.Num u.Metrics.u_busy_frac);
+               ("tasks", Json.int u.Metrics.u_tasks);
+               ("steals", Json.int u.Metrics.u_steals);
+               ("copies", Json.int u.Metrics.u_copies) ])
+         (Metrics.utilization m))
+  in
+  let row r =
+    Json.Obj
+      [ ("benchmark", Json.Str r.p_label);
+        ("domains", Json.int r.p_domains);
+        ("grain", Json.int r.p_grain);
+        ("wall_ms", Json.Num r.p_wall_ms);
+        ("solutions", Json.int r.p_solutions);
+        ("speedup", Json.Num r.p_speedup);
+        ("matches_seq", Json.Bool r.p_matches_seq);
+        ("steals", Json.int r.p_steals);
+        ("busy_frac", Json.Num r.p_busy_frac);
+        ("per_domain", per_domain r.p_metrics) ]
+  in
+  Json.to_string
+    (Json.Obj
+       [ ( "host",
+           Json.Obj
+             [ ("recommended_domains",
+                Json.int (Domain.recommended_domain_count ()));
+               ("ocaml", Json.Str Sys.ocaml_version) ] );
+         ("rows", Json.List (List.map row rows)) ])
+  ^ "\n"
 
 (* ------------------------------------------------------------------ *)
 (* Sequential-core benchmark: wall clock of the engine hot path         *)
@@ -251,6 +286,7 @@ type seq_core_row = {
   c_wall_ms : float;    (* best of the repeated runs *)
   c_solutions : int;
   c_digest : string;    (* MD5 of the sorted canonical solution set *)
+  c_stats : Stats.t;    (* counters of the best run *)
 }
 
 let seq_core_benchmarks = par_or_benchmarks
@@ -294,6 +330,7 @@ let run_seq_core ?(benchmarks = seq_core_benchmarks)
             c_wall_ms = best_ms;
             c_solutions = List.length best.Engine.solutions;
             c_digest = canonical_digest best.Engine.solutions;
+            c_stats = best.Engine.stats;
           })
         engines)
     benchmarks
@@ -310,22 +347,20 @@ let pp_seq_core ppf rows =
   Format.fprintf ppf "@,"
 
 let seq_core_json rows =
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf
-    (Printf.sprintf "  \"host\": {\"ocaml\": \"%s\"},\n" Sys.ocaml_version);
-  Buffer.add_string buf "  \"rows\": [\n";
-  List.iteri
-    (fun i r ->
-      Buffer.add_string buf
-        (Printf.sprintf
-           "    {\"benchmark\": \"%s\", \"engine\": \"%s\", \"wall_ms\": \
-            %.3f, \"solutions\": %d, \"digest\": \"%s\"}%s\n"
-           r.c_label r.c_engine r.c_wall_ms r.c_solutions r.c_digest
-           (if i = List.length rows - 1 then "" else ",")))
-    rows;
-  Buffer.add_string buf "  ]\n}\n";
-  Buffer.contents buf
+  let row r =
+    Json.Obj
+      [ ("benchmark", Json.Str r.c_label);
+        ("engine", Json.Str r.c_engine);
+        ("wall_ms", Json.Num r.c_wall_ms);
+        ("solutions", Json.int r.c_solutions);
+        ("digest", Json.Str r.c_digest);
+        ("stats", Metrics.stats_to_json r.c_stats) ]
+  in
+  Json.to_string
+    (Json.Obj
+       [ ("host", Json.Obj [ ("ocaml", Json.Str Sys.ocaml_version) ]);
+         ("rows", Json.List (List.map row rows)) ])
+  ^ "\n"
 
 (* Expected-digest files: one "benchmark engine solutions digest" line per
    row (seed-recorded; see bench/seq_core_expected.txt). *)

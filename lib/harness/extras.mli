@@ -43,6 +43,10 @@ type par_or_row = {
   p_solutions : int;
   p_speedup : float;    (** vs the 1-domain row of the same benchmark *)
   p_matches_seq : bool; (** solution set equals the sequential engine's *)
+  p_steals : int;       (** total successful steals in the best run *)
+  p_busy_frac : float;  (** mean per-domain busy fraction of the best run *)
+  p_metrics : Ace_obs.Metrics.t;
+      (** per-domain shards of the best run (busy/idle, histograms) *)
 }
 
 val par_or_benchmarks : string list
@@ -74,6 +78,7 @@ type seq_core_row = {
   c_wall_ms : float;    (** best of the repeated runs *)
   c_solutions : int;
   c_digest : string;    (** MD5 of the sorted canonical solution set *)
+  c_stats : Ace_machine.Stats.t;  (** counters of the best run *)
 }
 
 val seq_core_benchmarks : string list

@@ -89,6 +89,23 @@ let pp_results ppf (results : Experiment.results) =
 
 let to_string results = Format.asprintf "@[<v>%a@]" pp_results results
 
+(* Imbalance of the optimized run: the busiest agent's share of the total
+   work (clause tries), normalized so 1.00 = perfectly balanced and P =
+   all work on one agent.  Computed from the per-agent shards. *)
+let balance metrics =
+  let per = Ace_obs.Metrics.per_domain metrics in
+  let p = Array.length per in
+  if p <= 1 then 1.0
+  else begin
+    let total = Array.fold_left (fun a s -> a + s.Stats.clause_tries) 0 per in
+    if total = 0 then 1.0
+    else
+      let busiest =
+        Array.fold_left (fun a s -> max a s.Stats.clause_tries) 0 per
+      in
+      float_of_int busiest *. float_of_int p /. float_of_int total
+  end
+
 (* Structural summary used by EXPERIMENTS.md: optimization-hit counters and
    the allocation savings that explain the timing shape. *)
 let pp_structural ppf (results : Experiment.results) =
@@ -103,12 +120,15 @@ let pp_structural ppf (results : Experiment.results) =
         let s = last.Experiment.opt_stats and u = last.Experiment.unopt_stats in
         Format.fprintf ppf
           "%-14s frames %d->%d  markers %d->%d (avoided %d)  cp_allocs %d->%d  \
-           scans %d->%d  copied_cells %d->%d  nesting %d->%d@,"
+           scans %d->%d  copied_cells %d->%d  nesting %d->%d  \
+           hits lao=%d lpco=%d spo=%d pdo=%d  imbalance %.2f@,"
           row.Experiment.label u.Stats.frames s.Stats.frames
           (u.Stats.input_markers + u.Stats.end_markers)
           (s.Stats.input_markers + s.Stats.end_markers)
           s.Stats.markers_avoided u.Stats.cp_allocs s.Stats.cp_allocs
           u.Stats.or_scans s.Stats.or_scans u.Stats.copied_cells
-          s.Stats.copied_cells u.Stats.max_frame_nesting s.Stats.max_frame_nesting)
+          s.Stats.copied_cells u.Stats.max_frame_nesting s.Stats.max_frame_nesting
+          s.Stats.lao_hits s.Stats.lpco_hits s.Stats.spo_hits s.Stats.pdo_hits
+          (balance last.Experiment.opt_metrics))
     results.Experiment.rows;
   Format.fprintf ppf "@,"

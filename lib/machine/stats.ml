@@ -145,10 +145,61 @@ let fields t =
     ("solutions", t.solutions);
     ("stack_words", t.stack_words) ]
 
-let pp ppf t =
+(* Writes one named counter.  Must stay in sync with [fields]; the
+   unknown-name case is reserved for forward compatibility of
+   [of_fields] (a JSON dump from a newer build parses without error). *)
+let set_field t name v =
+  match name with
+  | "unify_steps" -> t.unify_steps <- v
+  | "clause_tries" -> t.clause_tries <- v
+  | "builtin_calls" -> t.builtin_calls <- v
+  | "trail_pushes" -> t.trail_pushes <- v
+  | "untrails" -> t.untrails <- v
+  | "cp_allocs" -> t.cp_allocs <- v
+  | "cp_updates" -> t.cp_updates <- v
+  | "backtracks" -> t.backtracks <- v
+  | "bt_nodes_visited" -> t.bt_nodes_visited <- v
+  | "frames" -> t.frames <- v
+  | "slots" -> t.slots <- v
+  | "input_markers" -> t.input_markers <- v
+  | "end_markers" -> t.end_markers <- v
+  | "markers_avoided" -> t.markers_avoided <- v
+  | "frames_avoided" -> t.frames_avoided <- v
+  | "max_frame_nesting" -> t.max_frame_nesting <- v
+  | "kills" -> t.kills <- v
+  | "copies" -> t.copies <- v
+  | "copied_cells" -> t.copied_cells <- v
+  | "or_scans" -> t.or_scans <- v
+  | "publish_skipped_small" -> t.publish_skipped_small <- v
+  | "steals" -> t.steals <- v
+  | "polls" -> t.polls <- v
+  | "task_switches" -> t.task_switches <- v
+  | "lpco_hits" -> t.lpco_hits <- v
+  | "lao_hits" -> t.lao_hits <- v
+  | "spo_hits" -> t.spo_hits <- v
+  | "pdo_hits" -> t.pdo_hits <- v
+  | "seq_hits" -> t.seq_hits <- v
+  | "solutions" -> t.solutions <- v
+  | "stack_words" -> t.stack_words <- v
+  | _ -> ()
+
+let of_fields pairs =
+  let t = create () in
+  List.iter (fun (name, v) -> set_field t name v) pairs;
+  t
+
+(* All counters are ints, so the JSON object is trivially well formed;
+   kept dependency-free (Ace_obs depends on this module, not vice versa). *)
+let to_json t =
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (name, v) -> Printf.sprintf "\"%s\": %d" name v) (fields t))
+  ^ "}"
+
+let pp ?(verbose = false) ppf t =
   Format.fprintf ppf "@[<v>";
   List.iter
     (fun (name, value) ->
-      if value <> 0 then Format.fprintf ppf "%-18s %d@," name value)
+      if verbose || value <> 0 then Format.fprintf ppf "%-21s %d@," name value)
     (fields t);
   Format.fprintf ppf "@]"

@@ -38,10 +38,29 @@ type t = {
 
 val create : unit -> t
 
-(** Accumulates [b] into [into] (max for nesting depth, sum elsewhere). *)
+(** Accumulates [b] into [into] (max for nesting depth, sum elsewhere).
+
+    Ownership: a [Stats.t] is a single-writer record.  Each engine worker
+    (domain or simulated agent) updates its own private record — see
+    {!Ace_obs.Metrics} — and [merge_into] may only fold worker records
+    into a run total on the joining thread, after every worker has
+    finished (for the multicore engine: after [Domain.join]).  Merging
+    while a worker is still writing its record is a data race. *)
 val merge_into : into:t -> t -> unit
 
-(** Field names and values, for tabular output. *)
+(** Field names and values, for tabular output.  Stable order; covers every
+    counter of the record. *)
 val fields : t -> (string * int) list
 
-val pp : Format.formatter -> t -> unit
+(** Rebuilds a record from [fields]-style pairs (unknown names are
+    ignored, so dumps from newer builds still load). *)
+val of_fields : (string * int) list -> t
+
+(** The counters as one flat JSON object (the machine-readable twin of
+    {!pp}; parse with [Ace_obs.Json] or any JSON reader). *)
+val to_json : t -> string
+
+(** Prints one [name value] line per non-zero counter; [~verbose:true]
+    prints zero-valued counters too, so "this optimization never fired"
+    regressions stay visible. *)
+val pp : ?verbose:bool -> Format.formatter -> t -> unit

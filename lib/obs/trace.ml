@@ -1,0 +1,298 @@
+(* Per-domain event tracing for the engines.
+
+   Design constraints, in order:
+
+   1. Near-zero cost when off.  Engines always hold a buffer; the disabled
+      one is a shared zero-capacity [null] whose [record] is a single load
+      and branch.  No allocation, no clock read.
+
+   2. Lock-free on the hot path when on.  Each domain owns one ring buffer
+      (three unboxed int arrays) and is its only writer, so recording an
+      event is three stores and an increment — no fences, no sharing.
+      Buffers are only read after the domains join ([events] and the
+      exporters are merge-at-end operations).
+
+   3. Bounded memory.  The ring keeps the newest [capacity] events per
+      domain and counts what it overwrote ([dropped]); a runaway query
+      cannot take the process down by tracing.
+
+   Timestamps are nanoseconds since the trace epoch (creation time), made
+   strictly monotone per buffer: a clock step backwards (or two events in
+   the same gettimeofday quantum) is bumped forward by 1 ns, so per-domain
+   event order is always reconstructible from timestamps alone.  The
+   simulated engines instead stamp events with their virtual clock via
+   [record_at], giving a Perfetto-loadable picture of the simulated
+   schedule. *)
+
+type kind =
+  | Task_spawn    (* a published task entered a deque; arg = alternatives *)
+  | Task_start    (* a worker began running a task *)
+  | Task_finish   (* the task's subtree is exhausted *)
+  | Steal         (* took a task from another deque; arg = victim domain *)
+  | Publish       (* snapshotted a choice point; arg = tasks shipped *)
+  | Publish_skip  (* grain control declined; arg = nodes below grain *)
+  | Copy          (* environment copy; arg = cells copied *)
+  | Lao_hit       (* last-alternative trust-pop / in-place update *)
+  | Lpco_hit      (* last parallel call flattened *)
+  | Spo_hit       (* shallow-parallelism markers avoided *)
+  | Pdo_hit       (* processor-determinacy markers avoided *)
+  | Solution      (* a solution was recorded *)
+  | Idle_begin    (* worker went hungry (stealing/polling) *)
+  | Idle_end      (* worker found work or the run ended *)
+
+let all_kinds =
+  [ Task_spawn; Task_start; Task_finish; Steal; Publish; Publish_skip; Copy;
+    Lao_hit; Lpco_hit; Spo_hit; Pdo_hit; Solution; Idle_begin; Idle_end ]
+
+let kind_to_string = function
+  | Task_spawn -> "task_spawn"
+  | Task_start -> "task_start"
+  | Task_finish -> "task_finish"
+  | Steal -> "steal"
+  | Publish -> "publish"
+  | Publish_skip -> "publish_skip"
+  | Copy -> "copy"
+  | Lao_hit -> "lao_hit"
+  | Lpco_hit -> "lpco_hit"
+  | Spo_hit -> "spo_hit"
+  | Pdo_hit -> "pdo_hit"
+  | Solution -> "solution"
+  | Idle_begin -> "idle_begin"
+  | Idle_end -> "idle_end"
+
+let kind_to_int = function
+  | Task_spawn -> 0
+  | Task_start -> 1
+  | Task_finish -> 2
+  | Steal -> 3
+  | Publish -> 4
+  | Publish_skip -> 5
+  | Copy -> 6
+  | Lao_hit -> 7
+  | Lpco_hit -> 8
+  | Spo_hit -> 9
+  | Pdo_hit -> 10
+  | Solution -> 11
+  | Idle_begin -> 12
+  | Idle_end -> 13
+
+let kind_of_int i = List.nth all_kinds i
+
+type buffer = {
+  b_dom : int;
+  b_cap : int;            (* power of two; 0 for [null] *)
+  b_mask : int;
+  b_epoch : float;        (* Unix time of the owning trace's creation *)
+  b_ts : int array;
+  b_kind : int array;
+  b_arg : int array;
+  mutable b_n : int;      (* events ever recorded (>= retained) *)
+  mutable b_last : int;   (* last timestamp issued, for monotonicity *)
+  b_enabled : bool;
+}
+
+let null =
+  {
+    b_dom = 0;
+    b_cap = 0;
+    b_mask = 0;
+    b_epoch = 0.0;
+    b_ts = [||];
+    b_kind = [||];
+    b_arg = [||];
+    b_n = 0;
+    b_last = 0;
+    b_enabled = false;
+  }
+
+type t = {
+  capacity : int;
+  epoch : float;
+  lock : Mutex.t;
+  mutable buffers : buffer list; (* newest first; guarded by [lock] *)
+  t_enabled : bool;
+}
+
+let rec pow2_above n k = if k >= n then k else pow2_above n (2 * k)
+
+let create ?(capacity = 65536) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be >= 1";
+  {
+    capacity = pow2_above capacity 1;
+    epoch = Unix.gettimeofday ();
+    lock = Mutex.create ();
+    buffers = [];
+    t_enabled = true;
+  }
+
+let disabled =
+  {
+    capacity = 0;
+    epoch = 0.0;
+    lock = Mutex.create ();
+    buffers = [];
+    t_enabled = false;
+  }
+
+let enabled t = t.t_enabled
+
+(* Registers (under the trace lock) and returns the calling domain's ring.
+   The returned buffer must only ever be written by one domain at a time —
+   the engines allocate one per worker before the spawn. *)
+let buffer t ~dom =
+  if not t.t_enabled then null
+  else begin
+    let b =
+      {
+        b_dom = dom;
+        b_cap = t.capacity;
+        b_mask = t.capacity - 1;
+        b_epoch = t.epoch;
+        b_ts = Array.make t.capacity 0;
+        b_kind = Array.make t.capacity 0;
+        b_arg = Array.make t.capacity 0;
+        b_n = 0;
+        b_last = -1;
+        b_enabled = true;
+      }
+    in
+    Mutex.lock t.lock;
+    t.buffers <- b :: t.buffers;
+    Mutex.unlock t.lock;
+    b
+  end
+
+(* Nanoseconds since the buffer's trace epoch.  Works on the [null] buffer
+   too (engines use it for busy/idle accounting even when tracing is off;
+   only differences are meaningful there). *)
+let now_ns b = int_of_float ((Unix.gettimeofday () -. b.b_epoch) *. 1e9)
+
+let record_at b ~ts kind arg =
+  if b.b_enabled then begin
+    let ts = if ts <= b.b_last then b.b_last + 1 else ts in
+    b.b_last <- ts;
+    let i = b.b_n land b.b_mask in
+    b.b_ts.(i) <- ts;
+    b.b_kind.(i) <- kind_to_int kind;
+    b.b_arg.(i) <- arg;
+    b.b_n <- b.b_n + 1
+  end
+
+let record b kind arg =
+  if b.b_enabled then record_at b ~ts:(now_ns b) kind arg
+
+(* ------------------------------------------------------------------ *)
+(* Merge (after the domains join)                                      *)
+(* ------------------------------------------------------------------ *)
+
+type event = { e_dom : int; e_ts : int; e_kind : kind; e_arg : int }
+
+let buffer_events b =
+  let retained = min b.b_n b.b_cap in
+  List.init retained (fun j ->
+      let i = (b.b_n - retained + j) land b.b_mask in
+      {
+        e_dom = b.b_dom;
+        e_ts = b.b_ts.(i);
+        e_kind = kind_of_int b.b_kind.(i);
+        e_arg = b.b_arg.(i);
+      })
+
+let buffers t =
+  Mutex.lock t.lock;
+  let bs = List.rev t.buffers in
+  Mutex.unlock t.lock;
+  bs
+
+let events t =
+  buffers t
+  |> List.concat_map buffer_events
+  |> List.stable_sort (fun a b ->
+         match compare a.e_ts b.e_ts with 0 -> compare a.e_dom b.e_dom | c -> c)
+
+let recorded t = List.fold_left (fun acc b -> acc + b.b_n) 0 (buffers t)
+
+let dropped t =
+  List.fold_left (fun acc b -> acc + max 0 (b.b_n - b.b_cap)) 0 (buffers t)
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Chrome trace_event JSON (load in Perfetto / chrome://tracing): one
+   thread ("track") per domain, duration events for task and idle spans,
+   instants for everything else.  Timestamps are microseconds. *)
+let to_chrome_json t =
+  let us ts = Json.Num (float_of_int ts /. 1e3) in
+  let base ph name dom = [ ("ph", Json.Str ph); ("name", Json.Str name);
+                           ("pid", Json.int 0); ("tid", Json.int dom) ] in
+  let meta_events =
+    let doms =
+      buffers t |> List.map (fun b -> b.b_dom) |> List.sort_uniq compare
+    in
+    Json.Obj
+      (base "M" "process_name" 0
+       @ [ ("args", Json.Obj [ ("name", Json.Str "ace") ]) ])
+    :: List.map
+         (fun dom ->
+           Json.Obj
+             (base "M" "thread_name" dom
+              @ [ ("args",
+                   Json.Obj [ ("name", Json.Str (Printf.sprintf "domain %d" dom)) ]) ]))
+         doms
+  in
+  (* A buffer that wrapped may retain an E without its B; drop span ends
+     with no matching open so the JSON always loads cleanly. *)
+  let span_events b =
+    let open_spans = Hashtbl.create 4 in (* name -> open count *)
+    let depth name = Option.value ~default:0 (Hashtbl.find_opt open_spans name) in
+    List.filter_map
+      (fun e ->
+        let span name = function
+          | `Begin ->
+            Hashtbl.replace open_spans name (depth name + 1);
+            Some (Json.Obj (base "B" name b.b_dom @ [ ("ts", us e.e_ts) ]))
+          | `End ->
+            if depth name = 0 then None
+            else begin
+              Hashtbl.replace open_spans name (depth name - 1);
+              Some (Json.Obj (base "E" name b.b_dom @ [ ("ts", us e.e_ts) ]))
+            end
+        in
+        match e.e_kind with
+        | Task_start -> span "task" `Begin
+        | Task_finish -> span "task" `End
+        | Idle_begin -> span "idle" `Begin
+        | Idle_end -> span "idle" `End
+        | kind ->
+          Some
+            (Json.Obj
+               (base "i" (kind_to_string kind) b.b_dom
+                @ [ ("ts", us e.e_ts); ("s", Json.Str "t");
+                    ("args", Json.Obj [ ("n", Json.int e.e_arg) ]) ])))
+      (buffer_events b)
+  in
+  let trace_events = meta_events @ List.concat_map span_events (buffers t) in
+  Json.to_string
+    (Json.Obj
+       [ ("displayTimeUnit", Json.Str "ns");
+         ("otherData",
+          Json.Obj
+            [ ("recorded", Json.int (recorded t));
+              ("dropped", Json.int (dropped t)) ]);
+         ("traceEvents", Json.List trace_events) ])
+
+(* Compact JSONL: one event object per line, merged and time-sorted. *)
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Json.to_string
+           (Json.Obj
+              [ ("dom", Json.int e.e_dom); ("ts", Json.int e.e_ts);
+                ("ev", Json.Str (kind_to_string e.e_kind));
+                ("arg", Json.int e.e_arg) ]));
+      Buffer.add_char buf '\n')
+    (events t);
+  Buffer.contents buf

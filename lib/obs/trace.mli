@@ -1,0 +1,82 @@
+(** Per-domain event tracing with fixed-capacity ring buffers.
+
+    Each worker domain records into its own single-writer ring (lock-free,
+    three unboxed stores per event); buffers are merged only after the
+    domains join.  With tracing off the shared {!null} buffer makes
+    {!record} a load and a branch.  See DESIGN.md, "Observability". *)
+
+type kind =
+  | Task_spawn    (** published task entered a deque; arg = alternatives *)
+  | Task_start    (** worker began running a task *)
+  | Task_finish   (** task subtree exhausted *)
+  | Steal         (** took a task from another deque; arg = victim domain *)
+  | Publish       (** choice point snapshotted; arg = tasks shipped *)
+  | Publish_skip  (** grain control declined; arg = nodes below grain *)
+  | Copy          (** environment copy; arg = cells copied *)
+  | Lao_hit       (** last-alternative trust-pop / in-place update *)
+  | Lpco_hit      (** last parallel call flattened *)
+  | Spo_hit       (** shallow-parallelism markers avoided *)
+  | Pdo_hit       (** processor-determinacy markers avoided *)
+  | Solution      (** a solution was recorded *)
+  | Idle_begin    (** worker went hungry *)
+  | Idle_end      (** worker found work or the run ended *)
+
+val all_kinds : kind list
+
+val kind_to_string : kind -> string
+
+type t
+(** A whole-run trace: an epoch plus the registered per-domain buffers. *)
+
+type buffer
+(** One domain's ring.  Single-writer: only the owning domain may record
+    into it while the run is live. *)
+
+(** Creates an enabled trace; [capacity] (default 65536) is the per-domain
+    ring size, rounded up to a power of two. *)
+val create : ?capacity:int -> unit -> t
+
+(** The shared no-op trace: {!buffer} returns {!null}. *)
+val disabled : t
+
+val enabled : t -> bool
+
+(** Registers and returns the ring for [dom].  Call once per worker,
+    before the domain spawns. *)
+val buffer : t -> dom:int -> buffer
+
+(** The shared disabled buffer ({!record} on it is a load and a branch). *)
+val null : buffer
+
+(** Nanoseconds since the trace epoch.  Also works on {!null} (used for
+    busy/idle accounting when tracing is off; only differences are
+    meaningful there). *)
+val now_ns : buffer -> int
+
+(** Records an event stamped with the wall clock.  Timestamps are made
+    strictly monotone per buffer. *)
+val record : buffer -> kind -> int -> unit
+
+(** Records an event with an explicit timestamp — the simulated engines
+    pass their virtual clock. *)
+val record_at : buffer -> ts:int -> kind -> int -> unit
+
+type event = { e_dom : int; e_ts : int; e_kind : kind; e_arg : int }
+
+(** All retained events, merged and sorted by (timestamp, domain).  Only
+    meaningful after the recording domains have joined. *)
+val events : t -> event list
+
+(** Events ever recorded (including overwritten ones). *)
+val recorded : t -> int
+
+(** Events lost to ring overflow, across all buffers. *)
+val dropped : t -> int
+
+(** Chrome [trace_event] JSON: one track per domain, duration events for
+    task/idle spans, instants for the rest.  Open in Perfetto
+    (https://ui.perfetto.dev) or chrome://tracing. *)
+val to_chrome_json : t -> string
+
+(** Compact JSONL: one time-sorted event object per line. *)
+val to_jsonl : t -> string

@@ -18,18 +18,35 @@
    operation — the owner/thief distinction above is a scheduling policy,
    not a safety requirement. *)
 
+type ops = {
+  mutable pushes : int;
+  mutable pops : int;
+  mutable steals : int;
+  mutable misses : int; (* pops and steals that found the deque empty *)
+  mutable max_len : int;
+}
+(* Operation counters, updated under the deque lock (so reads taken after
+   the owning engine has quiesced are exact). *)
+
 type 'a t = {
   mutable buf : 'a option array;
   mutable head : int; (* next slot to steal from (top, oldest) *)
   mutable tail : int; (* next slot to push into (bottom, newest) *)
   lock : Mutex.t;
+  ops : ops;
 }
 (* [head] and [tail] grow monotonically; slot [i] lives at
    [i mod Array.length buf].  The deque holds [tail - head] items. *)
 
 let create ?(capacity = 16) () =
   let capacity = max 1 capacity in
-  { buf = Array.make capacity None; head = 0; tail = 0; lock = Mutex.create () }
+  {
+    buf = Array.make capacity None;
+    head = 0;
+    tail = 0;
+    lock = Mutex.create ();
+    ops = { pushes = 0; pops = 0; steals = 0; misses = 0; max_len = 0 };
+  }
 
 let with_lock t f =
   Mutex.lock t.lock;
@@ -55,28 +72,43 @@ let push_bottom t x =
   with_lock t (fun () ->
       if t.tail - t.head = Array.length t.buf then grow t;
       t.buf.(slot t t.tail) <- Some x;
-      t.tail <- t.tail + 1)
+      t.tail <- t.tail + 1;
+      t.ops.pushes <- t.ops.pushes + 1;
+      let len = t.tail - t.head in
+      if len > t.ops.max_len then t.ops.max_len <- len)
 
 let pop_bottom t =
   with_lock t (fun () ->
-      if t.tail = t.head then None
+      if t.tail = t.head then begin
+        t.ops.misses <- t.ops.misses + 1;
+        None
+      end
       else begin
         t.tail <- t.tail - 1;
         let x = t.buf.(slot t t.tail) in
         t.buf.(slot t t.tail) <- None;
+        t.ops.pops <- t.ops.pops + 1;
         x
       end)
 
 let steal_top t =
   with_lock t (fun () ->
-      if t.tail = t.head then None
+      if t.tail = t.head then begin
+        t.ops.misses <- t.ops.misses + 1;
+        None
+      end
       else begin
         let x = t.buf.(slot t t.head) in
         t.buf.(slot t t.head) <- None;
         t.head <- t.head + 1;
+        t.ops.steals <- t.ops.steals + 1;
         x
       end)
 
 let length t = with_lock t (fun () -> t.tail - t.head)
 
 let is_empty t = length t = 0
+
+let ops t =
+  with_lock t (fun () ->
+      (t.ops.pushes, t.ops.pops, t.ops.steals, t.ops.misses, t.ops.max_len))

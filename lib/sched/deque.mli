@@ -22,3 +22,9 @@ val steal_top : 'a t -> 'a option
 
 val length : 'a t -> int
 val is_empty : 'a t -> bool
+
+(** Lifetime operation counters
+    [(pushes, pops, steals, misses, max_len)], where [misses] counts pops
+    and steals that found the deque empty and [max_len] is the high-water
+    occupancy.  Read under the deque lock. *)
+val ops : 'a t -> int * int * int * int * int

@@ -52,7 +52,14 @@ let test_run_sweep () =
 let test_improvement_percent () =
   let stats () = Ace_machine.Stats.create () in
   let cell unopt opt =
-    { Experiment.unopt; opt; unopt_stats = stats (); opt_stats = stats () }
+    {
+      Experiment.unopt;
+      opt;
+      unopt_stats = stats ();
+      opt_stats = stats ();
+      unopt_metrics = Ace_obs.Metrics.of_stats (stats ());
+      opt_metrics = Ace_obs.Metrics.of_stats (stats ());
+    }
   in
   Alcotest.(check (float 0.001)) "50% faster" 50.0
     (Experiment.improvement_percent (cell 100 50));

@@ -54,6 +54,47 @@ let test_stats_fields_cover_record () =
   Alcotest.(check (option int)) "last field" (Some 2)
     (List.assoc_opt "stack_words" fields)
 
+let test_stats_json_roundtrip () =
+  let s = Stats.create () in
+  s.Stats.unify_steps <- 12345;
+  s.Stats.lao_hits <- 7;
+  s.Stats.stack_words <- 99;
+  let json = Stats.to_json s in
+  (match Ace_obs.Json.parse json with
+   | Error msg -> Alcotest.failf "Stats.to_json is not valid JSON: %s" msg
+   | Ok v ->
+     Alcotest.(check bool) "lao_hits in JSON" true
+       (Ace_obs.Json.member "lao_hits" v = Some (Ace_obs.Json.int 7)));
+  let s' = Stats.of_fields (Stats.fields s) in
+  Alcotest.(check bool) "of_fields rebuilds every counter" true
+    (Stats.fields s = Stats.fields s');
+  (* unknown names are ignored, known ones applied *)
+  let s'' = Stats.of_fields [ ("no_such_counter", 1); ("steals", 4) ] in
+  Alcotest.(check int) "known field set" 4 s''.Stats.steals
+
+let test_stats_pp_verbose () =
+  let s = Stats.create () in
+  s.Stats.copies <- 2;
+  let terse = Format.asprintf "@[<v>%a@]" (fun ppf -> Stats.pp ppf) s in
+  let verbose =
+    Format.asprintf "@[<v>%a@]" (fun ppf -> Stats.pp ~verbose:true ppf) s
+  in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "terse prints non-zero" true (contains terse "copies");
+  Alcotest.(check bool) "terse hides zero counters" false
+    (contains terse "lao_hits");
+  Alcotest.(check bool) "verbose shows zero counters" true
+    (contains verbose "lao_hits");
+  Alcotest.(check int) "verbose prints every field"
+    (List.length (Stats.fields s))
+    (List.length
+       (List.filter (fun l -> String.trim l <> "")
+          (String.split_on_char '\n' verbose)))
+
 let test_config_validate () =
   let bad_agents = { Config.default with Config.agents = 0 } in
   Alcotest.(check bool) "agents >= 1 enforced" true
@@ -120,6 +161,8 @@ let suite =
       test_cost_model_calibration_invariants;
     Alcotest.test_case "stats merge" `Quick test_stats_merge;
     Alcotest.test_case "stats fields" `Quick test_stats_fields_cover_record;
+    Alcotest.test_case "stats json roundtrip" `Quick test_stats_json_roundtrip;
+    Alcotest.test_case "stats pp verbose" `Quick test_stats_pp_verbose;
     Alcotest.test_case "config validation" `Quick test_config_validate;
     Alcotest.test_case "config presets" `Quick test_config_presets;
     Alcotest.test_case "config pp" `Quick test_config_pp;

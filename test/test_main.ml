@@ -7,6 +7,7 @@ let () =
       ("trail-unify", Test_trail_unify.suite);
       ("lang", Test_lang.suite);
       ("machine", Test_machine.suite);
+      ("obs", Test_obs.suite);
       ("builtins", Test_builtins.suite);
       ("seq-engine", Test_seq_engine.suite);
       ("sim", Test_sim.suite);
