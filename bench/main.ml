@@ -165,8 +165,42 @@ let seq_core_run ~record () =
          List.iter (fun d -> Format.eprintf "seq-core drift: %s@." d) diffs;
          exit 1)
 
+(* `fuzz [count=N] [seed=N] [schedules=N]`: differential-fuzz throughput —
+   run the lib/check oracle over N generated cases and report cases/sec;
+   exits 1 on any cross-engine discrepancy, so it doubles as a deep
+   correctness sweep. *)
+let fuzz_run ~count ~seed ~schedules =
+  Format.printf "fuzz: %d cases from seed %d, %d chaos schedules@." count seed
+    schedules;
+  let t0 = Unix.gettimeofday () in
+  let report =
+    Ace_check.Fuzz.run ~count ~seed ~schedules
+      ~log:(Format.eprintf "fuzz: %s@.")
+      ()
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  Format.printf "%a" Ace_check.Fuzz.pp_report report;
+  Format.printf "fuzz: %.1f cases/sec, %.1f engine runs/sec (%.2fs total)@."
+    (float_of_int report.Ace_check.Fuzz.r_count /. dt)
+    (float_of_int report.Ace_check.Fuzz.r_runs /. dt)
+    dt;
+  if Ace_check.Fuzz.ok report then exit 0 else exit 1
+
 let () =
   let has a = Array.length Sys.argv > 1 && Array.mem a Sys.argv in
+  let keyed key default =
+    Array.fold_left
+      (fun acc a ->
+        match String.split_on_char '=' a with
+        | [ k; v ] when k = key -> ( match int_of_string_opt v with
+                                     | Some n -> n
+                                     | None -> acc)
+        | _ -> acc)
+      default Sys.argv
+  in
+  if has "fuzz" then
+    fuzz_run ~count:(keyed "count" 200) ~seed:(keyed "seed" 0)
+      ~schedules:(keyed "schedules" 2);
   if has "seq_core" then begin
     seq_core_run ~record:(has "record") ();
     exit 0

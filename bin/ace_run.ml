@@ -29,9 +29,59 @@ let engine_of_string = function
 
 let write_file path contents = Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc contents)
 
-let run source query engine agents lpco lao spo pdo all gc grain chunk limit
+(* --check: differential fuzzing of all four engines (lib/check). *)
+let run_check ~count ~seed ~schedules ~chaos_spec ~mutate =
+  let ( let* ) r f = match r with Error m -> Error m | Ok v -> f v in
+  let parsed =
+    let* extra_chaos =
+      match chaos_spec with
+      | None -> Ok None
+      | Some s -> (
+        match Ace_sched.Chaos.of_spec s with
+        | Ok c -> Ok (Some c)
+        | Error m -> Error (Printf.sprintf "--check-chaos: %s" m))
+    in
+    let* mutation =
+      match mutate with
+      | None -> Ok None
+      | Some s -> (
+        match String.split_on_char ':' s with
+        | [ e; i ] -> (
+          match (engine_of_string e, int_of_string_opt i) with
+          | Ok kind, Some drop ->
+            Ok (Some { Ace_check.Oracle.m_engine = kind; m_drop = drop })
+          | Error (`Msg m), _ -> Error m
+          | _, None -> Error "--check-mutate: clause index must be an integer")
+        | _ -> Error "--check-mutate expects ENGINE:CLAUSE (e.g. or:0)")
+    in
+    Ok (extra_chaos, mutation)
+  in
+  match parsed with
+  | Error m ->
+    prerr_endline m;
+    2
+  | Ok (extra_chaos, mutation) ->
+    let report =
+      Ace_check.Fuzz.run ~count ~seed ~schedules ?mutation ?extra_chaos
+        ~log:(Format.eprintf "check: %s@.")
+        ()
+    in
+    Format.printf "%a" Ace_check.Fuzz.pp_report report;
+    if Ace_check.Fuzz.ok report then 0 else 1
+
+let run check check_count check_seed check_schedules check_chaos check_mutate
+    source query engine agents lpco lao spo pdo all gc grain chunk limit
     show_stats verbose_stats annotate trace_file trace_jsonl trace_buf
     stats_json utilization =
+  if check then
+    run_check ~count:check_count ~seed:check_seed ~schedules:check_schedules
+      ~chaos_spec:check_chaos ~mutate:check_mutate
+  else
+  match (source, query) with
+  | None, _ | _, None ->
+    prerr_endline "ace_run: PROGRAM and QUERY required (or use --check)";
+    2
+  | Some source, Some query ->
   let program_text =
     if String.equal source "-" then read_stdin ()
     else In_channel.with_open_bin source In_channel.input_all
@@ -119,12 +169,12 @@ let run source query engine agents lpco lao spo pdo all gc grain chunk limit
 open Cmdliner
 
 let source =
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM"
-         ~doc:"Prolog source file ('-' for stdin).")
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"PROGRAM"
+         ~doc:"Prolog source file ('-' for stdin); omitted with --check.")
 
 let query =
-  Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY"
-         ~doc:"Goal to solve (final '.' optional).")
+  Arg.(value & pos 1 (some string) None & info [] ~docv:"QUERY"
+         ~doc:"Goal to solve (final '.' optional); omitted with --check.")
 
 let engine =
   Arg.(value & opt string "seq" & info [ "engine"; "e" ] ~docv:"ENGINE"
@@ -147,7 +197,33 @@ let cmd =
   Cmd.v
     (Cmd.info "ace_run" ~doc)
     Term.(
-      const run $ source $ query $ engine $ agents
+      const run
+      $ flag [ "check" ]
+          "Differential fuzzing: generate seeded random programs, run each \
+           on all four engines under optimization sweeps and chaos \
+           schedules, compare solution multisets, shrink any \
+           counterexample and print a replay line.  Exit 1 on any \
+           discrepancy."
+      $ Arg.(value & opt int 500 & info [ "check-count" ] ~docv:"N"
+               ~doc:"Number of generated cases for --check.")
+      $ Arg.(value & opt int 0 & info [ "check-seed" ] ~docv:"SEED"
+               ~doc:"Base seed for --check; case i uses SEED+i, so a \
+                     failure replays with '--check-seed <case seed> \
+                     --check-count 1'.")
+      $ Arg.(value & opt int 2 & info [ "check-schedules" ] ~docv:"N"
+               ~doc:"Seeded chaos schedules per parallel engine and case \
+                     for --check.")
+      $ Arg.(value & opt (some string) None & info [ "check-chaos" ]
+               ~docv:"SPEC"
+               ~doc:"Also run every engine under exactly this chaos spec \
+                     (as printed in a counterexample replay line), e.g. \
+                     'seed=7,steal=150,pub=150,pre=200,jit=250,spin=2048,cycles=64'.")
+      $ Arg.(value & opt (some string) None & info [ "check-mutate" ]
+               ~docv:"ENGINE:CLAUSE"
+               ~doc:"Mutation smoke test: drop generated clause CLAUSE from \
+                     the program copy given to ENGINE only; --check must \
+                     then report a counterexample (exit 1).")
+      $ source $ query $ engine $ agents
       $ flag [ "lpco" ] "Enable the last parallel call optimization."
       $ flag [ "lao" ] "Enable the last alternative optimization."
       $ flag [ "spo" ] "Enable the shallow parallelism optimization."

@@ -1,0 +1,43 @@
+(** Seeded random generator of closed Prolog programs + queries over the
+    subset all four engines accept (no cut / disjunction / if-then-else /
+    negation).  Programs terminate by construction: the generated call
+    graph is acyclic and the only recursion is a fixed list prelude always
+    driven by a ground list literal. *)
+
+type term =
+  | Int of int
+  | Atm of string
+  | Var of string
+  | Lst of term list
+  | App of string * term list
+
+type goal =
+  | Call of term
+  | Par of term * term
+      (** [g1 & g2]; generated variable-free, hence strictly independent *)
+
+type clause = { c_head : term; c_body : goal list }
+
+type t = {
+  seed : int;
+  arities : int array;
+  clauses : clause list;  (** generated clauses only (prelude excluded) *)
+  query : goal list;
+}
+
+(** Same seed, same program — byte for byte. *)
+val generate : seed:int -> t
+
+(** Full program source (prelude + generated clauses).  [drop] omits the
+    clause at that index — used by the mutation smoke test to inject a
+    semantics bug into a single engine's copy. *)
+val program_text : ?drop:int -> t -> string
+
+val query_text : t -> string
+
+(** Number of generated clauses (shrink size metric). *)
+val clause_count : t -> int
+
+(** Prints the program and query as consultable source with the seed in a
+    comment — the replay line of a counterexample. *)
+val pp : Format.formatter -> t -> unit

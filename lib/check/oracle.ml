@@ -1,0 +1,160 @@
+(* Differential oracle: runs one generated case on all four engines under
+   a matrix of optimization settings and seeded chaos schedules, and
+   compares alpha-canonical solution multisets against the sequential
+   reference.
+
+   Comparison rules:
+   - reference succeeds with multiset S  -> every run must produce S
+     (solutions compared as sorted lists of canonical strings, so
+     discovery order and variable ids are irrelevant);
+   - reference raises                    -> every run must raise (the
+     parallel engines may surface a *different* branch's error first, so
+     only the fact of an error is compared here; exact error texts are
+     covered by directed unit tests).
+
+   Cases whose reference run exceeds the solution cap are skipped — with a
+   solution limit the engines legitimately take different prefixes. *)
+
+module Config = Ace_machine.Config
+module Chaos = Ace_sched.Chaos
+module Engine = Ace_core.Engine
+
+type outcome = Solutions of string list | Error of string
+
+type mutation = { m_engine : Engine.kind; m_drop : int }
+
+type verdict =
+  | Agree of int
+  | Skip of string
+  | Disagree of {
+      d_label : string;
+      d_expected : outcome;
+      d_got : outcome;
+      d_chaos : string;
+    }
+
+let solution_cap = 2000
+
+let outcome_to_string = function
+  | Solutions [] -> "no (0 solutions)"
+  | Solutions ss -> Printf.sprintf "%d solutions" (List.length ss)
+  | Error m -> Printf.sprintf "error: %s" m
+
+let pp_outcome ppf o =
+  match o with
+  | Error m -> Format.fprintf ppf "error: %s" m
+  | Solutions ss ->
+    Format.fprintf ppf "%d solutions" (List.length ss);
+    List.iter (fun s -> Format.fprintf ppf "@.  %s" s) ss
+
+(* ------------------------------------------------------------------ *)
+
+let run_engine ?chaos kind config ~program ~query =
+  match Engine.solve_program ?chaos kind config ~program ~query with
+  | r ->
+    Solutions
+      (List.sort String.compare
+         (List.map Ace_term.Pp.to_canonical_string r.Engine.solutions))
+  | exception Ace_core.Errors.Engine_error m -> Error m
+  | exception Ace_term.Arith.Error m -> Error ("arith: " ^ m)
+  | exception Ace_lang.Program.Error m -> Error ("syntax: " ^ m)
+
+let agrees ~reference outcome =
+  match (reference, outcome) with
+  | Solutions a, Solutions b -> a = b
+  | Error _, Error _ -> true
+  | _ -> false
+
+(* The run matrix for one case.  [schedules] chaos seeds are derived from
+   the case seed so a reported counterexample replays from (seed, spec)
+   alone. *)
+let matrix ?extra_chaos ~seed ~schedules () =
+  let seq1 = Config.default in
+  let all4 = Config.all_optimizations ~agents:4 () in
+  let un4 = Config.unoptimized ~agents:4 () in
+  let chaos k = Some (Chaos.make ~seed:(seed + k) ()) in
+  let fixed =
+    [
+      ("seq+jitter", Engine.Sequential, seq1, chaos 0);
+      ("and@4", Engine.And_parallel, all4, None);
+      ("and@4 unopt", Engine.And_parallel, un4, None);
+      ("and@4 thresh", Engine.And_parallel,
+       { all4 with Config.seq_threshold = 64 }, None);
+      ("or@4", Engine.Or_parallel, all4, None);
+      ("or@4 unopt", Engine.Or_parallel, un4, None);
+      ("or@4 grain2", Engine.Or_parallel, { all4 with Config.grain = 2 }, None);
+      ("or@4 chunk1", Engine.Or_parallel, { all4 with Config.chunk = 1 }, None);
+      ("par@4", Engine.Par_or, all4, None);
+    ]
+  in
+  let sched =
+    List.concat
+      (List.init schedules (fun k ->
+           [
+             (Printf.sprintf "and@4 chaos#%d" k, Engine.And_parallel, all4,
+              chaos (1 + k));
+             (Printf.sprintf "or@4 chaos#%d" k, Engine.Or_parallel, all4,
+              chaos (101 + k));
+             (Printf.sprintf "par@4 chaos#%d" k, Engine.Par_or, all4,
+              chaos (201 + k));
+           ]))
+  in
+  let extra =
+    match extra_chaos with
+    | None -> []
+    | Some c ->
+      [
+        ("seq replay", Engine.Sequential, seq1, Some c);
+        ("and@4 replay", Engine.And_parallel, all4, Some c);
+        ("or@4 replay", Engine.Or_parallel, all4, Some c);
+        ("par@4 replay", Engine.Par_or, all4, Some c);
+      ]
+  in
+  fixed @ sched @ extra
+
+let check ?(schedules = 2) ?mutation ?extra_chaos (case : Gen_prog.t) =
+  let program = Gen_prog.program_text case in
+  let query = Gen_prog.query_text case in
+  let mutated_program kind =
+    match mutation with
+    | Some { m_engine; m_drop } when m_engine = kind
+                                     && Gen_prog.clause_count case > 0 ->
+      Gen_prog.program_text ~drop:(m_drop mod Gen_prog.clause_count case) case
+    | _ -> program
+  in
+  let reference =
+    let cfg = { Config.default with Config.max_solutions = Some (solution_cap + 1) } in
+    run_engine Engine.Sequential cfg ~program:(mutated_program Engine.Sequential)
+      ~query
+  in
+  match reference with
+  | Solutions ss when List.length ss > solution_cap ->
+    Skip (Printf.sprintf "more than %d solutions" solution_cap)
+  | _ ->
+    let runs = matrix ?extra_chaos ~seed:case.Gen_prog.seed ~schedules () in
+    let rec go n = function
+      | [] -> Agree n
+      | (label, kind, config, chaos) :: rest -> (
+        let got =
+          run_engine ?chaos kind config ~program:(mutated_program kind) ~query
+        in
+        if agrees ~reference got then go (n + 1) rest
+        else
+          Disagree
+            {
+              d_label = label;
+              d_expected = reference;
+              d_got = got;
+              d_chaos =
+                (match chaos with
+                | Some c -> Chaos.to_spec c
+                | None -> "off");
+            })
+    in
+    go 1 runs
+
+(* True when the case still FAILS the oracle — the shrinker's property. *)
+let fails ?schedules ?mutation ?extra_chaos case =
+  match check ?schedules ?mutation ?extra_chaos case with
+  | Disagree _ -> true
+  | Agree _ | Skip _ -> false

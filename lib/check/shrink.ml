@@ -1,0 +1,93 @@
+(* Greedy structural shrinking of a failing case to a local minimum: try
+   ever-smaller variants, keep any that still fails the property, repeat
+   to fixpoint.  Reductions, most aggressive first: drop a generated
+   clause, drop a query goal, drop a body goal, collapse a parallel
+   conjunction to one branch, shorten a list literal. *)
+
+open Gen_prog
+
+let replace i x l = List.mapi (fun j y -> if j = i then x else y) l
+let remove i l = List.filteri (fun j _ -> j <> i) l
+
+let rec term_variants t =
+  match t with
+  | Lst ts ->
+    let shorter = if ts = [] then [] else [ Lst (remove (List.length ts - 1) ts) ] in
+    shorter
+    @ List.concat
+        (List.mapi
+           (fun i ti ->
+             List.map (fun ti' -> Lst (replace i ti' ts)) (term_variants ti))
+           ts)
+  | App (f, args) ->
+    List.concat
+      (List.mapi
+         (fun i ai ->
+           List.map (fun ai' -> App (f, replace i ai' args)) (term_variants ai))
+         args)
+  | Int _ | Atm _ | Var _ -> []
+
+let goal_variants g =
+  match g with
+  | Call t -> List.map (fun t' -> Call t') (term_variants t)
+  | Par (l, r) ->
+    [ Call l; Call r ]
+    @ List.map (fun l' -> Par (l', r)) (term_variants l)
+    @ List.map (fun r' -> Par (l, r')) (term_variants r)
+
+let clause_variants c =
+  List.concat
+    (List.mapi
+       (fun i g ->
+         ({ c with c_body = remove i c.c_body } :: [])
+         @ List.map
+             (fun g' -> { c with c_body = replace i g' c.c_body })
+             (goal_variants g))
+       c.c_body)
+
+(* Smaller variants of a whole case, most aggressive first. *)
+let case_variants (t : t) =
+  let drop_clauses =
+    List.mapi (fun i _ -> { t with clauses = remove i t.clauses }) t.clauses
+  in
+  let drop_query =
+    if List.length t.query > 1 then
+      List.mapi (fun i _ -> { t with query = remove i t.query }) t.query
+    else []
+  in
+  let clause_level =
+    List.concat
+      (List.mapi
+         (fun i c ->
+           List.map
+             (fun c' -> { t with clauses = replace i c' t.clauses })
+             (clause_variants c))
+         t.clauses)
+  in
+  let query_level =
+    List.concat
+      (List.mapi
+         (fun i g ->
+           List.map
+             (fun g' -> { t with query = replace i g' t.query })
+             (goal_variants g))
+         t.query)
+  in
+  drop_clauses @ drop_query @ clause_level @ query_level
+
+let minimize ~property (case : t) =
+  let steps = ref 0 in
+  let rec fix case =
+    if !steps > 500 then case
+    else
+      let rec first = function
+        | [] -> None
+        | v :: rest ->
+          incr steps;
+          if property v then Some v else first rest
+      in
+      match first (case_variants case) with
+      | Some smaller -> fix smaller
+      | None -> case
+  in
+  fix case

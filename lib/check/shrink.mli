@@ -1,0 +1,8 @@
+(** Greedy structural shrinking of failing generated cases. *)
+
+(** [minimize ~property case] returns a locally minimal variant of [case]
+    for which [property] still holds (the property is "the oracle still
+    fails").  Reductions: drop a clause, drop a query or body goal,
+    collapse ['&'] to one branch, shorten a list literal.  Bounded at 500
+    property evaluations. *)
+val minimize : property:(Gen_prog.t -> bool) -> Gen_prog.t -> Gen_prog.t

@@ -44,6 +44,7 @@ module Cost = Ace_machine.Cost
 module Stats = Ace_machine.Stats
 module Config = Ace_machine.Config
 module Sim = Ace_sched.Sim
+module Chaos = Ace_sched.Chaos
 module Trace = Ace_obs.Trace
 
 type acp = {
@@ -117,6 +118,7 @@ type t = {
   cost : Cost.t;
   shards : Stats.t array; (* one per simulated agent *)
   tbufs : Trace.buffer array; (* one trace ring per simulated agent *)
+  chaos : Chaos.agent array; (* per-agent schedule-jitter streams *)
   sim : Sim.t;
   ctx : Builtins.ctx; (* trail field is unused; per-exec trails are passed *)
   agents : agent_state array;
@@ -155,6 +157,13 @@ let tbuf st = st.tbufs.(cur st)
 (* Events are stamped with the virtual clock, so an exported trace shows
    the simulated schedule. *)
 let record_ev st kind arg = Trace.record_at (tbuf st) ~ts:(Sim.now st.sim) kind arg
+
+(* Schedule-exploration yield site (see {!Or_engine.chaos_yield}): seeded
+   extra virtual cycles deterministically select alternative interleavings.
+   Never called between a state read and the claim that depends on it. *)
+let chaos_yield st =
+  let j = Chaos.jitter st.chaos.(cur st) in
+  if j > 0 then Sim.tick j
 
 let charge_cp_alloc st =
   charge st st.cost.Cost.cp_alloc;
@@ -299,6 +308,7 @@ let materialize_input_marker st exec =
   end
 
 let push_cp st exec ~goal ~alts ~cont =
+  chaos_yield st;
   materialize_input_marker st exec;
   exec.x_det <- false;
   charge_cp_alloc st;
@@ -636,6 +646,7 @@ and claim_slot agent slot = slot.sl_state <- Srunning agent.ag_id
    the frame — keeping exhausted frames around would make every steal scan
    the entire history of the computation (and did, before this pruning). *)
 and steal st agent =
+  chaos_yield st;
   let visited = ref 0 in
   let rec scan = function
     | [] ->
@@ -643,7 +654,10 @@ and steal st agent =
       None
     | frame :: rest ->
       incr visited;
-      if frame.f_failing then scan rest
+      (* injected steal failure: pass over this frame as if it had no
+         free slot; its slots stay claimable for later scans *)
+      if frame.f_failing || Chaos.steal_blocked st.chaos.(agent.ag_id) then
+        scan rest
       else (
         match take_free_slot frame with
         | Some slot ->
@@ -861,7 +875,8 @@ let root_body st () =
   st.finished <- true;
   Sim.stop st.sim
 
-let create ?output ?(trace = Trace.disabled) (config : Config.t) db goal =
+let create ?output ?(trace = Trace.disabled) ?(chaos = Chaos.disabled)
+    (config : Config.t) db goal =
   let config = Config.validate config in
   let sim = Sim.create ~max_steps:3_000_000 () in
   let agents =
@@ -874,6 +889,7 @@ let create ?output ?(trace = Trace.disabled) (config : Config.t) db goal =
     cost = config.Config.cost;
     shards = Array.init config.Config.agents (fun _ -> Stats.create ());
     tbufs = Array.init config.Config.agents (fun i -> Trace.buffer trace ~dom:i);
+    chaos = Array.init config.Config.agents (fun i -> Chaos.agent chaos i);
     sim;
     ctx = Builtins.make_ctx ?output ~trail:(Trail.create ()) ();
     agents;
@@ -908,4 +924,5 @@ let run st =
     time = Sim.stop_time st.sim;
   }
 
-let solve ?output ?trace config db goal = run (create ?output ?trace config db goal)
+let solve ?output ?trace ?chaos config db goal =
+  run (create ?output ?trace ?chaos config db goal)

@@ -21,10 +21,16 @@ type result = {
 
 (** [trace] (default {!Ace_obs.Trace.disabled}) collects per-agent event
     rings (slot start/finish, steal, LPCO/SPO/PDO hits, solutions) stamped
-    with the simulator's virtual clock. *)
+    with the simulator's virtual clock.
+
+    [chaos] (default {!Ace_sched.Chaos.disabled}) charges seeded extra
+    virtual cycles at choice-point and steal yield sites and skips frames
+    during steal scans — deterministic schedule exploration on the
+    simulator; the solution multiset must be invariant across seeds. *)
 val create :
   ?output:Buffer.t ->
   ?trace:Ace_obs.Trace.t ->
+  ?chaos:Ace_sched.Chaos.t ->
   Ace_machine.Config.t ->
   Ace_lang.Database.t ->
   Ace_term.Term.t ->
@@ -36,6 +42,7 @@ val run : t -> result
 val solve :
   ?output:Buffer.t ->
   ?trace:Ace_obs.Trace.t ->
+  ?chaos:Ace_sched.Chaos.t ->
   Ace_machine.Config.t ->
   Ace_lang.Database.t ->
   Ace_term.Term.t ->

@@ -26,10 +26,17 @@ type result = {
 (** [trace] (default {!Ace_obs.Trace.disabled}) collects per-agent event
     rings; export with {!Ace_obs.Trace.to_chrome_json} or
     {!Ace_obs.Trace.to_jsonl}.  Simulated engines stamp events with the
-    virtual clock, [Par_or] with wall-clock nanoseconds. *)
+    virtual clock, [Par_or] with wall-clock nanoseconds.
+
+    [chaos] (default {!Ace_sched.Chaos.disabled}) is deterministic fault
+    injection for the correctness checker: seeded schedule jitter on the
+    simulated engines, steal-failure / publish-delay / forced-preemption
+    on [Par_or].  Faults only reorder or delay work — the solution
+    multiset must not depend on the chaos seed. *)
 val solve :
   ?output:Buffer.t ->
   ?trace:Ace_obs.Trace.t ->
+  ?chaos:Ace_sched.Chaos.t ->
   kind ->
   Ace_machine.Config.t ->
   Ace_lang.Database.t ->
@@ -40,6 +47,7 @@ val solve :
 val solve_program :
   ?output:Buffer.t ->
   ?trace:Ace_obs.Trace.t ->
+  ?chaos:Ace_sched.Chaos.t ->
   kind ->
   Ace_machine.Config.t ->
   program:string ->

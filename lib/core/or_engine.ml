@@ -39,6 +39,7 @@ module Cost = Ace_machine.Cost
 module Stats = Ace_machine.Stats
 module Config = Ace_machine.Config
 module Sim = Ace_sched.Sim
+module Chaos = Ace_sched.Chaos
 module Trace = Ace_obs.Trace
 
 type ocp = {
@@ -61,6 +62,7 @@ type t = {
   cost : Cost.t;
   shards : Stats.t array; (* one per simulated worker *)
   tbufs : Trace.buffer array; (* one trace ring per simulated worker *)
+  chaos : Chaos.agent array; (* per-worker schedule-jitter streams *)
   sim : Sim.t;
   workers : worker array;
   goal : Term.t;
@@ -87,6 +89,14 @@ let tbuf st = st.tbufs.(cur st)
 (* Events are stamped with the virtual clock, so an exported trace shows
    the simulated schedule. *)
 let record st kind arg = Trace.record_at (tbuf st) ~ts:(Sim.now st.sim) kind arg
+
+(* Schedule-exploration yield site: chaos may charge a few extra virtual
+   cycles here.  The simulator always resumes the agent with the smallest
+   clock, so each jitter seed deterministically selects one alternative
+   interleaving of the same search. *)
+let chaos_yield st =
+  let j = Chaos.jitter st.chaos.(cur st) in
+  if j > 0 then Sim.tick j
 
 let charge_untrail st n =
   if n > 0 then begin
@@ -202,6 +212,7 @@ let debug = ref false
 
 let push_cp st w ~goal ~alts ~cont =
   if !debug then Format.eprintf "[w%d] push_cp %s alts=%d@." w.w_id (Ace_term.Pp.to_string goal) (List.length alts);
+  chaos_yield st;
   if st.config.Config.lao then charge st st.cost.Cost.runtime_check;
   match w.w_cps with
   | top :: _ when st.config.Config.lao && !(top.o_alts) = [] ->
@@ -305,7 +316,8 @@ and backtrack st w =
       (match w.w_cps with [] -> "-" | cp :: _ -> string_of_int (List.length !(cp.o_alts)));
   (shard st).Stats.backtracks <- (shard st).Stats.backtracks + 1;
   if st.finished then ()
-  else
+  else begin
+    chaos_yield st;
     match w.w_cps with
     | [] -> () (* no local work left: the worker loop will go stealing *)
     | cp :: below -> (
@@ -323,6 +335,7 @@ and backtrack st w =
         (match try_clause st w cp.o_goal clause with
          | Some body -> run_worker st w (body @ cp.o_cont)
          | None -> backtrack st w))
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Or-scheduler: scanning and stealing                                 *)
@@ -354,7 +367,11 @@ let try_steal st (w : worker) =
     if k >= p then None
     else
       let victim = st.workers.((w.w_id + 1 + k) mod p) in
-      if victim.w_id = w.w_id || victim.w_cps = [] then attempt (k + 1)
+      (* injected steal failure: skip this victim as if it had no work *)
+      if
+        victim.w_id = w.w_id || victim.w_cps = []
+        || Chaos.steal_blocked st.chaos.(w.w_id)
+      then attempt (k + 1)
       else begin
         (* scan, claim and copy happen without an intervening tick: a live
            node (non-empty alternatives) is guaranteed to still be on the
@@ -445,6 +462,7 @@ let worker_body st w ~initial () =
             else begin
               charge st st.cost.Cost.steal_poll;
               (shard st).Stats.polls <- (shard st).Stats.polls + 1;
+              chaos_yield st;
               poll ()
             end
       in
@@ -464,7 +482,8 @@ type result = {
   time : int;
 }
 
-let create ?output ?(trace = Trace.disabled) (config : Config.t) db goal =
+let create ?output ?(trace = Trace.disabled) ?(chaos = Chaos.disabled)
+    (config : Config.t) db goal =
   let config = Config.validate config in
   let sim = Sim.create ~max_steps:3_000_000 () in
   let workers =
@@ -477,6 +496,7 @@ let create ?output ?(trace = Trace.disabled) (config : Config.t) db goal =
     cost = config.Config.cost;
     shards = Array.init config.Config.agents (fun _ -> Stats.create ());
     tbufs = Array.init config.Config.agents (fun i -> Trace.buffer trace ~dom:i);
+    chaos = Array.init config.Config.agents (fun i -> Chaos.agent chaos i);
     sim;
     workers;
     goal;
@@ -504,4 +524,5 @@ let run st =
     time = Sim.stop_time st.sim;
   }
 
-let solve ?output ?trace config db goal = run (create ?output ?trace config db goal)
+let solve ?output ?trace ?chaos config db goal =
+  run (create ?output ?trace ?chaos config db goal)

@@ -20,10 +20,17 @@ type result = {
 
 (** [trace] (default {!Ace_obs.Trace.disabled}) collects per-agent event
     rings (steal, copy, LAO hit, solution, idle spans) stamped with the
-    simulator's virtual clock. *)
+    simulator's virtual clock.
+
+    [chaos] (default {!Ace_sched.Chaos.disabled}) charges seeded extra
+    virtual cycles at yield sites and skips steal victims; because the
+    simulator is deterministic, each chaos seed selects one exact
+    alternative interleaving — deterministic schedule exploration.  The
+    solution multiset must be invariant across seeds. *)
 val create :
   ?output:Buffer.t ->
   ?trace:Ace_obs.Trace.t ->
+  ?chaos:Ace_sched.Chaos.t ->
   Ace_machine.Config.t ->
   Ace_lang.Database.t ->
   Ace_term.Term.t ->
@@ -34,6 +41,7 @@ val run : t -> result
 val solve :
   ?output:Buffer.t ->
   ?trace:Ace_obs.Trace.t ->
+  ?chaos:Ace_sched.Chaos.t ->
   Ace_machine.Config.t ->
   Ace_lang.Database.t ->
   Ace_term.Term.t ->

@@ -57,6 +57,7 @@ module Database = Ace_lang.Database
 module Stats = Ace_machine.Stats
 module Config = Ace_machine.Config
 module Deque = Ace_sched.Deque
+module Chaos = Ace_sched.Chaos
 module Trace = Ace_obs.Trace
 module Metrics = Ace_obs.Metrics
 
@@ -100,6 +101,8 @@ type worker = {
   tbuf : Trace.buffer; (* worker-private trace ring ([Trace.null] when off) *)
   ctx : Builtins.ctx;
   out : Buffer.t option; (* worker-private output, appended after the join *)
+  chaos : Chaos.agent;
+    (* per-worker fault-injection stream ([Chaos.null_agent] when off) *)
   mutable cps : cp list; (* newest first *)
   mutable live_alts : int; (* choice points with untried alternatives *)
 }
@@ -135,12 +138,14 @@ let rec snapshot_body table cells body =
     body
 
 (* A worker publishes only while someone is hungry and its deque is not
-   already stocked for them: bounded copying, zero when saturated. *)
+   already stocked for them: bounded copying, zero when saturated.  Chaos
+   may veto an otherwise due publish (a delayed publish — the work stays
+   private and a later opportunity ships it). *)
 let should_publish w =
   w.live_alts > 0
-  &&
-  let h = Atomic.get w.sh.hungry in
-  h > 0 && Deque.length w.sh.deques.(w.w_id) < h
+  && (let h = Atomic.get w.sh.hungry in
+      h > 0 && Deque.length w.sh.deques.(w.w_id) < h)
+  && not (Chaos.publish_delayed w.chaos)
 
 (* Splits [alts] into runs of at most [chunk] alternatives (0 = one run). *)
 let chunk_alts chunk alts =
@@ -209,6 +214,10 @@ let publish w =
            Trace.record w.tbuf Trace.Task_spawn (List.length n_alts)
          | Root _ -> ());
         Atomic.incr w.sh.outstanding;
+        (* forced preemption between the accounting and the push widens the
+           window in which thieves observe outstanding > 0 with an empty
+           deque — the termination-detection corner under test *)
+        Chaos.preempt w.chaos;
         Deque.push_bottom w.sh.deques.(w.w_id) task)
       tasks
 
@@ -254,6 +263,9 @@ let push_cp w ~goal ~alts ~cont =
 
 let record_solution w goal =
   let s = Term.copy_resolved goal in
+  (* delayed publish of the solution itself: preempt before taking the
+     lock, letting other domains race the limit check *)
+  Chaos.preempt w.chaos;
   let sh = w.sh in
   Mutex.lock sh.sol_mutex;
   let accepted =
@@ -336,6 +348,7 @@ and backtrack w =
   w.stats.Stats.backtracks <- w.stats.Stats.backtracks + 1;
   if stopped w then ()
   else begin
+    Chaos.preempt w.chaos;
     if should_publish w then publish w;
     match w.cps with
     | [] -> () (* task exhausted; the worker loop takes over *)
@@ -419,9 +432,14 @@ and steal_loop w =
         if k >= p then None
         else
           let victim = (w.w_id + 1 + k) mod p in
-          match Deque.steal_top sh.deques.(victim) with
-          | Some task -> Some (victim, task)
-          | None -> try_victims (k + 1)
+          (* injected steal failure: skip this victim as if empty; the
+             task stays in the deque for a later attempt, so nothing is
+             lost — only the acquisition order is perturbed *)
+          if Chaos.steal_blocked w.chaos then try_victims (k + 1)
+          else
+            match Deque.steal_top sh.deques.(victim) with
+            | Some task -> Some (victim, task)
+            | None -> try_victims (k + 1)
       in
       match try_victims 0 with
       | Some (victim, task) ->
@@ -430,6 +448,9 @@ and steal_loop w =
         Metrics.hist_add w.shard.Metrics.s_steal_tries (misses + 1);
         end_idle ();
         Trace.record w.tbuf Trace.Steal victim;
+        (* preempt between grabbing the task and running it: the thief
+           holds work while looking idle to the hungry counter *)
+        Chaos.preempt w.chaos;
         run_task w task;
         main_loop w
       | None ->
@@ -463,7 +484,8 @@ type result = {
   domains : int;
 }
 
-let solve ?output ?(trace = Trace.disabled) (config : Config.t) db goal =
+let solve ?output ?(trace = Trace.disabled) ?(chaos = Chaos.disabled)
+    (config : Config.t) db goal =
   let config = Config.validate config in
   let p = config.Config.agents in
   let metrics = Metrics.create ~domains:p in
@@ -497,6 +519,7 @@ let solve ?output ?(trace = Trace.disabled) (config : Config.t) db goal =
           tbuf = Trace.buffer trace ~dom:i;
           ctx = Builtins.make_ctx ?output:out ~trail ();
           out;
+          chaos = Chaos.agent chaos i;
           cps = [];
           live_alts = 0;
         })

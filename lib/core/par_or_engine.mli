@@ -30,10 +30,18 @@ type result = {
 
 (** [trace] (default {!Ace_obs.Trace.disabled}) collects per-domain event
     rings: task spawn/start/finish, steal, publish/skip, copy, LAO hits,
-    solutions, idle spans. *)
+    solutions, idle spans.
+
+    [chaos] (default {!Ace_sched.Chaos.disabled}) injects deterministic,
+    seed-replayable faults at the engine's yield sites: steal failures,
+    delayed publishes, and forced preemption around publish, steal and the
+    solution channel.  Injection reorders and delays work but never drops
+    it, so the solution multiset must not change — the invariant the
+    differential checker ({!Ace_check}) exercises. *)
 val solve :
   ?output:Buffer.t ->
   ?trace:Ace_obs.Trace.t ->
+  ?chaos:Ace_sched.Chaos.t ->
   Ace_machine.Config.t ->
   Ace_lang.Database.t ->
   Ace_term.Term.t ->

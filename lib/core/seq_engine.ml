@@ -20,6 +20,7 @@ module Clause = Ace_lang.Clause
 module Database = Ace_lang.Database
 module Cost = Ace_machine.Cost
 module Stats = Ace_machine.Stats
+module Chaos = Ace_sched.Chaos
 module Trace = Ace_obs.Trace
 
 type alt =
@@ -46,6 +47,10 @@ type t = {
   ctx : Builtins.ctx;
   goal : Term.t;
   tbuf : Trace.buffer; (* events stamped with the abstract-cycle clock *)
+  chaos : Chaos.agent;
+    (* jitter charges extra abstract cycles at yield sites; answers must
+       not depend on it (there is no concurrency here — the hook exists so
+       the checker can assert cycle-jitter invariance uniformly) *)
   mutable cps : cp list;
   mutable height : int;
   mutable charge : int; (* accumulated abstract cycles *)
@@ -53,7 +58,8 @@ type t = {
   mutable exhausted : bool;
 }
 
-let create ?(cost = Cost.default) ?output ?(trace = Trace.disabled) db goal =
+let create ?(cost = Cost.default) ?output ?(trace = Trace.disabled)
+    ?(chaos = Chaos.disabled) db goal =
   let trail = Trail.create () in
   {
     db;
@@ -63,6 +69,7 @@ let create ?(cost = Cost.default) ?output ?(trace = Trace.disabled) db goal =
     ctx = Builtins.make_ctx ?output ~trail ();
     goal;
     tbuf = Trace.buffer trace ~dom:0;
+    chaos = Chaos.agent chaos 0;
     cps = [];
     height = 0;
     charge = 0;
@@ -93,6 +100,7 @@ let call_builtin m goal =
   outcome
 
 let push_cp m ~goal ~alts ~cont =
+  spend m (Chaos.jitter m.chaos);
   spend m m.cost.Cost.cp_alloc;
   m.stats.Stats.cp_allocs <- m.stats.Stats.cp_allocs + 1;
   m.stats.Stats.stack_words <- m.stats.Stats.stack_words + Cost.words_choice_point;
@@ -230,6 +238,7 @@ and user_call m g cont =
 
 and backtrack m =
   m.stats.Stats.backtracks <- m.stats.Stats.backtracks + 1;
+  spend m (Chaos.jitter m.chaos);
   match m.cps with
   | [] -> false
   | cp :: below -> (
@@ -307,7 +316,7 @@ let stats m = m.stats
 
 let time m = m.charge
 
-let solve ?cost ?output ?trace ?limit db goal =
-  let m = create ?cost ?output ?trace db goal in
+let solve ?cost ?output ?trace ?chaos ?limit db goal =
+  let m = create ?cost ?output ?trace ?chaos db goal in
   let solutions = all_solutions ?limit m in
   (solutions, m)

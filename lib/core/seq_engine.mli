@@ -7,11 +7,17 @@
 type t
 
 (** [trace] (default {!Ace_obs.Trace.disabled}) records solution events on
-    domain track 0, stamped with the abstract-cycle clock. *)
+    domain track 0, stamped with the abstract-cycle clock.
+
+    [chaos] (default {!Ace_sched.Chaos.disabled}) charges seeded extra
+    abstract cycles at yield sites; with no concurrency the answers must
+    not depend on it (the checker asserts cycle-jitter invariance
+    uniformly across engines). *)
 val create :
   ?cost:Ace_machine.Cost.t ->
   ?output:Buffer.t ->
   ?trace:Ace_obs.Trace.t ->
+  ?chaos:Ace_sched.Chaos.t ->
   Ace_lang.Database.t ->
   Ace_term.Term.t ->
   t
@@ -37,6 +43,7 @@ val solve :
   ?cost:Ace_machine.Cost.t ->
   ?output:Buffer.t ->
   ?trace:Ace_obs.Trace.t ->
+  ?chaos:Ace_sched.Chaos.t ->
   ?limit:int ->
   Ace_lang.Database.t ->
   Ace_term.Term.t ->

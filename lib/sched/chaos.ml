@@ -1,0 +1,191 @@
+(* Deterministic fault injection and schedule exploration.
+
+   A chaos configuration is a seed plus per-mille rates for a small set of
+   adversarial events at engine yield sites:
+
+   - steal failure:   a thief skips a victim as if its deque were empty
+   - publish delay:   a worker declines to publish this time (the work is
+                      published on a later opportunity, never lost)
+   - preemption:      a worker burns a bounded, seed-determined number of
+                      [Domain.cpu_relax] spins, displacing the real-time
+                      interleaving around the injection point
+   - tick jitter:     extra virtual cycles charged by the *simulated*
+                      engines; since the discrete-event simulator is
+                      deterministic, each jitter seed selects one exact
+                      alternative interleaving of the simulated schedule
+
+   Every decision is drawn from a per-agent splitmix stream derived from
+   (seed, agent id), so the decision sequence each agent sees is a pure
+   function of the configuration — independent of wall-clock timing of the
+   other domains.  A failure report therefore replays from the printed
+   [(generator seed, chaos spec)] pair: the same spec re-issues the same
+   steal failures, delays and spin lengths at the same decision indices.
+
+   All hooks are safe by construction: they only *reorder* or *delay*
+   work (skip a victim, postpone a publish, spin), never drop it, so a
+   chaotic run must produce exactly the answers of a quiet run. *)
+
+type t = {
+  c_seed : int;
+  c_steal_fail : int;    (* per-mille: thief pretends the victim is empty *)
+  c_publish_delay : int; (* per-mille: decline to publish at this site *)
+  c_preempt : int;       (* per-mille: spin at a yield site *)
+  c_jitter : int;        (* per-mille: charge extra simulated cycles *)
+  c_max_spin : int;      (* upper bound on injected cpu_relax spins *)
+  c_max_jitter : int;    (* upper bound on injected virtual cycles *)
+  c_on : bool;
+}
+
+let disabled =
+  {
+    c_seed = 0;
+    c_steal_fail = 0;
+    c_publish_delay = 0;
+    c_preempt = 0;
+    c_jitter = 0;
+    c_max_spin = 0;
+    c_max_jitter = 0;
+    c_on = false;
+  }
+
+let make ?(steal_fail = 150) ?(publish_delay = 150) ?(preempt = 200)
+    ?(jitter = 250) ?(max_spin = 2048) ?(max_jitter = 64) ~seed () =
+  let rate name r =
+    if r < 0 || r > 1000 then
+      invalid_arg (Printf.sprintf "Chaos.make: %s must be in [0, 1000]" name);
+    r
+  in
+  {
+    c_seed = seed;
+    c_steal_fail = rate "steal_fail" steal_fail;
+    c_publish_delay = rate "publish_delay" publish_delay;
+    c_preempt = rate "preempt" preempt;
+    c_jitter = rate "jitter" jitter;
+    c_max_spin = max 1 max_spin;
+    c_max_jitter = max 1 max_jitter;
+    c_on = true;
+  }
+
+let enabled t = t.c_on
+
+(* The replayable schedule descriptor.  [to_spec] and [of_spec] round-trip;
+   the spec is what failure reports print. *)
+let to_spec t =
+  if not t.c_on then "off"
+  else
+    Printf.sprintf "seed=%d,steal=%d,pub=%d,pre=%d,jit=%d,spin=%d,cycles=%d"
+      t.c_seed t.c_steal_fail t.c_publish_delay t.c_preempt t.c_jitter
+      t.c_max_spin t.c_max_jitter
+
+let of_spec s =
+  if String.trim s = "off" then Ok disabled
+  else
+    let parts = String.split_on_char ',' (String.trim s) in
+    let parse acc part =
+      match acc with
+      | Error _ -> acc
+      | Ok t -> (
+        match String.index_opt part '=' with
+        | None -> Error (Printf.sprintf "chaos spec: missing '=' in %S" part)
+        | Some i -> (
+          let key = String.sub part 0 i in
+          let v = String.sub part (i + 1) (String.length part - i - 1) in
+          match int_of_string_opt v with
+          | None -> Error (Printf.sprintf "chaos spec: bad value in %S" part)
+          | Some v -> (
+            match key with
+            | "seed" -> Ok { t with c_seed = v }
+            | "steal" -> Ok { t with c_steal_fail = v }
+            | "pub" -> Ok { t with c_publish_delay = v }
+            | "pre" -> Ok { t with c_preempt = v }
+            | "jit" -> Ok { t with c_jitter = v }
+            | "spin" -> Ok { t with c_max_spin = v }
+            | "cycles" -> Ok { t with c_max_jitter = v }
+            | _ -> Error (Printf.sprintf "chaos spec: unknown key %S" key))))
+    in
+    match List.fold_left parse (Ok { disabled with c_on = true }) parts with
+    | Error _ as e -> e
+    | Ok t ->
+      if
+        List.exists
+          (fun r -> r < 0 || r > 1000)
+          [ t.c_steal_fail; t.c_publish_delay; t.c_preempt; t.c_jitter ]
+      then Error "chaos spec: rates must be in [0, 1000]"
+      else Ok { t with c_max_spin = max 1 t.c_max_spin;
+                       c_max_jitter = max 1 t.c_max_jitter }
+
+(* ------------------------------------------------------------------ *)
+(* Per-agent decision streams                                          *)
+(* ------------------------------------------------------------------ *)
+
+type agent = {
+  a_cfg : t;
+  a_rng : Rng.t;
+  mutable a_decisions : int; (* decisions drawn, for tests and reports *)
+  mutable a_steal_fails : int;
+  mutable a_publish_delays : int;
+  mutable a_preempts : int;
+}
+
+let null_agent =
+  {
+    a_cfg = disabled;
+    a_rng = Rng.create 0;
+    a_decisions = 0;
+    a_steal_fails = 0;
+    a_publish_delays = 0;
+    a_preempts = 0;
+  }
+
+(* Distinct golden-ratio multiplier keeps agent streams uncorrelated even
+   for adjacent seeds. *)
+let agent t id =
+  if not t.c_on then null_agent
+  else
+    {
+      a_cfg = t;
+      a_rng = Rng.create (t.c_seed + ((id + 1) * 0x9E3779B9));
+      a_decisions = 0;
+      a_steal_fails = 0;
+      a_publish_delays = 0;
+      a_preempts = 0;
+    }
+
+let draw a rate =
+  if not a.a_cfg.c_on || rate = 0 then false
+  else begin
+    a.a_decisions <- a.a_decisions + 1;
+    Rng.int a.a_rng 1000 < rate
+  end
+
+let steal_blocked a =
+  let b = draw a a.a_cfg.c_steal_fail in
+  if b then a.a_steal_fails <- a.a_steal_fails + 1;
+  b
+
+let publish_delayed a =
+  let b = draw a a.a_cfg.c_publish_delay in
+  if b then a.a_publish_delays <- a.a_publish_delays + 1;
+  b
+
+(* Forced preemption point: burn a seed-determined number of cpu_relax
+   spins.  On an oversubscribed host this also invites the OS to deschedule
+   the domain, widening the window for the interleavings under test. *)
+let preempt a =
+  if draw a a.a_cfg.c_preempt then begin
+    a.a_preempts <- a.a_preempts + 1;
+    let spins = 1 + Rng.int a.a_rng a.a_cfg.c_max_spin in
+    for _ = 1 to spins do
+      Domain.cpu_relax ()
+    done
+  end
+
+(* Extra virtual cycles for the simulated engines; the caller charges the
+   returned amount through its own cost accounting (0 = no injection). *)
+let jitter a =
+  if draw a a.a_cfg.c_jitter then 1 + Rng.int a.a_rng a.a_cfg.c_max_jitter
+  else 0
+
+let decisions a = a.a_decisions
+
+let injected a = a.a_steal_fails + a.a_publish_delays + a.a_preempts

@@ -1,0 +1,67 @@
+(** Deterministic fault injection and schedule exploration.
+
+    A configuration is a seed plus per-mille rates for adversarial events
+    at engine yield sites (steal failures, delayed publishes, forced
+    preemption, simulated-clock jitter).  Each agent draws its decisions
+    from a private splitmix stream derived from [(seed, agent id)], so a
+    run's injection sequence replays exactly from the printed spec —
+    independent of real-time interleaving.  Hooks only reorder or delay
+    work, never drop it: a chaotic run must compute the same answers as a
+    quiet one (the property the differential checker enforces). *)
+
+type t
+
+(** No injection; every hook is a no-op. *)
+val disabled : t
+
+val enabled : t -> bool
+
+(** Rates are per-mille (0..1000) per decision point.  [max_spin] bounds
+    the injected cpu_relax spins of one preemption; [max_jitter] bounds the
+    extra virtual cycles of one simulated-clock jitter. *)
+val make :
+  ?steal_fail:int ->
+  ?publish_delay:int ->
+  ?preempt:int ->
+  ?jitter:int ->
+  ?max_spin:int ->
+  ?max_jitter:int ->
+  seed:int ->
+  unit ->
+  t
+
+(** Replayable schedule descriptor, e.g.
+    ["seed=7,steal=150,pub=150,pre=200,jit=250,spin=2048,cycles=64"].
+    [of_spec (to_spec t)] = [Ok t]; ["off"] parses to {!disabled}. *)
+val to_spec : t -> string
+
+val of_spec : string -> (t, string) result
+
+type agent
+(** One agent's private decision stream.  Single-writer: only the owning
+    worker may draw from it while the run is live. *)
+
+(** The stream for [id]; {!null_agent} when injection is off. *)
+val agent : t -> int -> agent
+
+val null_agent : agent
+
+(** True: the thief must skip this victim as if its deque were empty. *)
+val steal_blocked : agent -> bool
+
+(** True: the worker must decline to publish at this opportunity. *)
+val publish_delayed : agent -> bool
+
+(** Maybe burn a seed-determined number of [Domain.cpu_relax] spins. *)
+val preempt : agent -> unit
+
+(** Extra virtual cycles to charge at a simulated-engine yield site
+    (0 = none this time). *)
+val jitter : agent -> int
+
+(** Decisions drawn so far (for determinism tests). *)
+val decisions : agent -> int
+
+(** Faults actually injected so far (steal failures + publish delays +
+    preemptions). *)
+val injected : agent -> int

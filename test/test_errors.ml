@@ -1,0 +1,95 @@
+(* Builtin error paths on all four engines: type errors, arithmetic
+   domain errors and unbound-variable arithmetic must surface as the SAME
+   error everywhere — a parallel engine must not turn an error into a
+   silent failure (or vice versa).
+
+   Messages may embed fresh-variable ids (_G17), which legitimately differ
+   between engines; they are normalized away before comparison. *)
+
+module Config = Ace_machine.Config
+module Engine = Ace_core.Engine
+module Oracle = Ace_check.Oracle
+
+let program = "q(0).\n"
+
+(* _G<digits> -> _G: variable ids are renaming-dependent. *)
+let normalize msg =
+  let b = Buffer.create (String.length msg) in
+  let n = String.length msg in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && msg.[!i] = '_' && msg.[!i + 1] = 'G' then begin
+      Buffer.add_string b "_G";
+      i := !i + 2;
+      while !i < n && msg.[!i] >= '0' && msg.[!i] <= '9' do
+        incr i
+      done
+    end
+    else begin
+      Buffer.add_char b msg.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let engines =
+  [
+    ("seq", Engine.Sequential, Config.default);
+    ("and", Engine.And_parallel, Config.all_optimizations ~agents:2 ());
+    ("or", Engine.Or_parallel, Config.all_optimizations ~agents:2 ());
+    ("par", Engine.Par_or, Config.all_optimizations ~agents:2 ());
+  ]
+
+(* Runs [query] on every engine; asserts each raises, with identical
+   normalized messages, and that the message mentions [expect]. *)
+let check_error ~expect query () =
+  let outcomes =
+    List.map
+      (fun (name, kind, config) ->
+        (name, Oracle.run_engine kind config ~program ~query))
+      engines
+  in
+  let reference =
+    match List.assoc "seq" outcomes with
+    | Oracle.Error m -> normalize m
+    | Oracle.Solutions ss ->
+      Alcotest.failf "seq did not error on %s (%d solutions)" query
+        (List.length ss)
+  in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "seq message %S mentions %S" reference expect)
+    true (contains reference expect);
+  List.iter
+    (fun (name, outcome) ->
+      match outcome with
+      | Oracle.Error m ->
+        Alcotest.(check string)
+          (Printf.sprintf "%s error matches seq on %s" name query)
+          reference (normalize m)
+      | Oracle.Solutions ss ->
+        Alcotest.failf "%s did not error on %s (%d solutions)" name query
+          (List.length ss))
+    outcomes
+
+let suite =
+  [
+    Alcotest.test_case "division by zero" `Quick
+      (check_error ~expect:"division by zero" "X is 1 // 0");
+    Alcotest.test_case "unbound variable in arithmetic" `Quick
+      (check_error ~expect:"unbound variable" "X is Y + 1");
+    Alcotest.test_case "unknown arithmetic constant" `Quick
+      (check_error ~expect:"unknown constant" "X is foo + 1");
+    Alcotest.test_case "non-integral division" `Quick
+      (check_error ~expect:"non-integral" "X is 7 / 2");
+    Alcotest.test_case "undefined predicate" `Quick
+      (check_error ~expect:"undefined" "no_such_pred(1)");
+    Alcotest.test_case "functor/3 insufficiently instantiated" `Quick
+      (check_error ~expect:"insufficiently instantiated" "functor(F, N, A)");
+    Alcotest.test_case "arg/3 insufficiently instantiated" `Quick
+      (check_error ~expect:"insufficiently instantiated" "arg(N, T, A)");
+  ]

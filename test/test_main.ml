@@ -15,6 +15,8 @@ let () =
       ("or-engine", Test_or_engine.suite);
       ("deque", Test_deque.suite);
       ("par-or-engine", Test_par_or_engine.suite);
+      ("errors", Test_errors.suite);
+      ("check", Test_check.suite);
       ("analysis", Test_analysis.suite);
       ("benchmarks", Test_benchmarks.suite);
       ("harness", Test_harness.suite) ]

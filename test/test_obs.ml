@@ -87,8 +87,8 @@ let test_disabled_noop () =
 
 (* Four real domains hammer their own rings concurrently; after joining,
    every buffer must hold exactly its own domain's events (no tearing:
-   kind and arg were written by the same recorder) with strictly monotone
-   timestamps. *)
+   kind and arg were written by the same recorder) in per-domain recording
+   order. *)
 let test_concurrent_domains () =
   let per_domain = 5_000 and doms = 4 in
   let t = Trace.create ~capacity:1024 () in
@@ -119,8 +119,11 @@ let test_concurrent_domains () =
       (* arg belongs to this domain's range: the write was not torn *)
       Alcotest.(check bool) "arg in owner range" true
         (e.Trace.e_arg / per_domain = d);
-      (* per-domain, both timestamps and sequence numbers are increasing *)
-      Alcotest.(check bool) "ts monotone per domain" true (e.Trace.e_ts > last_ts.(d));
+      (* per-domain ordering: sequence numbers are authoritative; the
+         wall clock may be coarse enough for equal stamps, so assert
+         order, never gaps *)
+      Alcotest.(check bool) "ts non-decreasing per domain" true
+        (e.Trace.e_ts >= last_ts.(d));
       Alcotest.(check bool) "seq increasing per domain" true
         (e.Trace.e_arg > last_arg.(d));
       last_ts.(d) <- e.Trace.e_ts;

@@ -66,6 +66,17 @@ let open_term_gen =
     in
     sized gen)
 
+(* Property tests run from an explicit seed (no ambient randomness), and
+   the seed is part of the test name so any failure replays immediately:
+   ACE_QCHECK_SEED=<n> dune runtest. *)
+let qcheck_seed =
+  match Option.bind (Sys.getenv_opt "ACE_QCHECK_SEED") int_of_string_opt with
+  | Some n -> n
+  | None -> 0xACE5EED
+
 let qcheck ?(count = 200) name gen prop =
   QCheck_alcotest.to_alcotest
-    (QCheck2.Test.make ~count ~name gen prop)
+    ~rand:(Random.State.make [| qcheck_seed |])
+    (QCheck2.Test.make ~count
+       ~name:(Printf.sprintf "%s [seed %d]" name qcheck_seed)
+       gen prop)
