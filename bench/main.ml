@@ -11,9 +11,12 @@
 
      dune exec bench/main.exe             # bechamel suite + par-or sweep
      dune exec bench/main.exe -- par_or   # only the domain sweep (CI smoke)
+     dune exec bench/main.exe -- par_and  # and-parallel frame sweep (CI smoke)
 
-   Both forms write BENCH_par_or.json (wall-clock runs of the hardware
-   or-parallel engine at 1, 2 and 4 domains) to the current directory.
+   The first two forms write BENCH_par_or.json (wall-clock runs of the
+   hardware or-parallel engine at 1, 2 and 4 domains) to the current
+   directory; `par_and` writes BENCH_par_and.json (parcall frames at the
+   same domain counts).
 *)
 
 open Bechamel
@@ -135,6 +138,27 @@ let par_or_sweep () =
     exit 1
   end
 
+(* The hardware and-parallel sweep: parcall frames at 1, 2 and 4 domains,
+   SPO off so every independent '&' builds a frame.  Fails if any run's
+   solution multiset diverges from the sequential engine, or if no frame
+   was ever built (the machinery silently not running is itself a bug). *)
+let par_and_sweep () =
+  let rows = Ace_harness.Extras.run_par_and () in
+  Format.printf "@[<v>%a@]@." Ace_harness.Extras.pp_par_and rows;
+  let json = Ace_harness.Extras.par_and_json rows in
+  Out_channel.with_open_text "BENCH_par_and.json" (fun oc ->
+      Out_channel.output_string oc json);
+  Format.printf "wrote BENCH_par_and.json (%d rows)@." (List.length rows);
+  if not (List.for_all (fun r -> r.Ace_harness.Extras.a_matches_seq) rows)
+  then begin
+    Format.eprintf "par-and solution multiset diverged from the sequential engine@.";
+    exit 1
+  end;
+  if List.for_all (fun r -> r.Ace_harness.Extras.a_frames = 0) rows then begin
+    Format.eprintf "par-and sweep never built a parcall frame@.";
+    exit 1
+  end
+
 (* The sequential-core smoke: wall clock of the hot path per engine, plus a
    canonical-solution-set digest compared against the seed recording in
    bench/seq_core_expected.txt (guards core refactors against semantic
@@ -203,6 +227,10 @@ let () =
       ~schedules:(keyed "schedules" 2);
   if has "seq_core" then begin
     seq_core_run ~record:(has "record") ();
+    exit 0
+  end;
+  if has "par_and" then begin
+    par_and_sweep ();
     exit 0
   end;
   let par_or_only = has "par_or" in

@@ -1,7 +1,8 @@
-(* ace_run: consult a Prolog program and run a query on one of the three
+(* ace_run: consult a Prolog program and run a query on one of the four
    engines, printing solutions and execution statistics.
 
      ace_run --engine and --agents 4 --lpco --spo program.pl 'map2([1,2],X)'
+     ace_run --engine par --agents 4 -O --par-and program.pl 'main(X)'
      echo 'app([],L,L). ...' | ace_run - 'app(X,Y,[1,2,3])'
 *)
 
@@ -70,8 +71,8 @@ let run_check ~count ~seed ~schedules ~chaos_spec ~mutate =
     if Ace_check.Fuzz.ok report then 0 else 1
 
 let run check check_count check_seed check_schedules check_chaos check_mutate
-    source query engine agents lpco lao spo pdo all gc grain chunk limit
-    show_stats verbose_stats annotate trace_file trace_jsonl trace_buf
+    source query engine agents lpco lao spo pdo all par_and gc grain chunk
+    limit show_stats verbose_stats annotate trace_file trace_jsonl trace_buf
     stats_json utilization =
   if check then
     run_check ~count:check_count ~seed:check_seed ~schedules:check_schedules
@@ -106,6 +107,7 @@ let run check check_count check_seed check_schedules check_chaos check_mutate
           lao = lao || all;
           spo = spo || all;
           pdo = pdo || all;
+          par_and;
           seq_threshold = gc;
           grain;
           chunk;
@@ -166,6 +168,147 @@ let run check check_count check_seed check_schedules check_chaos check_mutate
       Format.eprintf "arithmetic error: %s@." msg;
       1)
 
+(* ------------------------------------------------------------------ *)
+(* Command line: flags grouped by area                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The four flag groups.  Each flag carries a one-line synopsis used both
+   in the manual (via cmdliner's ~docs sections) and by the pre-parser,
+   which answers an unknown flag with the synopsis of the closest group
+   only, instead of the whole option list. *)
+let g_engine = "ENGINE OPTIONS"
+let g_schemas = "OPTIMIZATION SCHEMA OPTIONS"
+let g_obs = "OBSERVABILITY OPTIONS"
+let g_check = "CHECKING OPTIONS"
+
+let groups =
+  [
+    ( g_engine,
+      [
+        ("engine, -e ENGINE", "seq | and | or | par (hardware domains)");
+        ("agents, -p N", "processors (par: domains)");
+        ("limit, -n N", "stop after N solutions");
+        ("annotate", "run the strict-independence annotator first");
+      ] );
+    ( g_schemas,
+      [
+        ("lpco", "last parallel call optimization");
+        ("lao", "last alternative optimization");
+        ("spo", "shallow parallelism optimization");
+        ("pdo", "processor determinacy optimization");
+        ("all-opts, -O", "all four schemas");
+        ("par-and", "par engine: run '&' conjunctions in parallel");
+        ("granularity CELLS", "sequentialize parallel calls below CELLS");
+        ("grain N", "publish nodes with >= N alternatives (par)");
+        ("chunk N", "at most N alternatives per published task (par)");
+      ] );
+    ( g_obs,
+      [
+        ("stats", "print execution statistics");
+        ("verbose-stats", "statistics including zero counters");
+        ("trace FILE", "Chrome trace_event JSON of the run");
+        ("trace-jsonl FILE", "raw event stream as JSON Lines");
+        ("trace-buf N", "per-agent trace ring capacity");
+        ("stats-json FILE", "statistics as JSON (totals + shards)");
+        ("utilization", "per-agent busy/idle table");
+      ] );
+    ( g_check,
+      [
+        ("check", "differential fuzzing of all four engines");
+        ("check-count N", "generated cases");
+        ("check-seed SEED", "base seed (case i uses SEED+i)");
+        ("check-schedules N", "chaos schedules per engine and case");
+        ("check-chaos SPEC", "replay one exact chaos spec");
+        ("check-mutate ENGINE:CLAUSE", "mutation smoke test");
+      ] )
+  ]
+
+(* An unknown --flag is reported against the group of its best
+   edit-distance match, and only that group's flags are listed. *)
+let levenshtein a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) Fun.id and cur = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    cur.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit cur 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+let flag_names spec =
+  (* "engine, -e ENGINE" -> ["engine"; "e"] *)
+  String.split_on_char ',' spec
+  |> List.filter_map (fun part ->
+         match String.split_on_char ' ' (String.trim part) with
+         | name :: _ when name <> "" ->
+           Some
+             (if String.length name > 1 && name.[0] = '-' then
+                String.sub name 1 (String.length name - 1)
+              else name)
+         | _ -> None)
+
+let print_group oc (title, flags) =
+  Printf.fprintf oc "%s:\n" title;
+  List.iter
+    (fun (spec, doc) -> Printf.fprintf oc "  --%-28s %s\n" spec doc)
+    flags
+
+let reject_unknown_flag arg =
+  let bare =
+    let a = if String.length arg > 1 && arg.[1] = '-' then 2 else 1 in
+    let s = String.sub arg a (String.length arg - a) in
+    match String.index_opt s '=' with Some i -> String.sub s 0 i | None -> s
+  in
+  let best =
+    List.fold_left
+      (fun acc (title, flags) ->
+        List.fold_left
+          (fun acc (spec, _) ->
+            List.fold_left
+              (fun (d0, g0) name ->
+                let d = levenshtein bare name in
+                if d < d0 then (d, (title, flags)) else (d0, g0))
+              acc (flag_names spec))
+          acc flags)
+      (max_int, List.hd groups)
+      groups
+  in
+  let _, group = best in
+  Printf.eprintf "ace_run: unknown option '%s'.\n" arg;
+  print_group stderr group;
+  Printf.eprintf "Run 'ace_run --help' for the full option list.\n";
+  exit 2
+
+let check_argv () =
+  let known =
+    "help" :: "version"
+    :: List.concat_map
+         (fun (_, flags) -> List.concat_map (fun (s, _) -> flag_names s) flags)
+         groups
+  in
+  Array.iteri
+    (fun i arg ->
+      if
+        i > 0
+        && String.length arg > 1
+        && arg.[0] = '-'
+        && not (String.for_all (fun c -> c = '-') arg)
+        && (arg.[1] < '0' || arg.[1] > '9') (* not a negative number *)
+      then begin
+        let bare =
+          let a = if arg.[1] = '-' then 2 else 1 in
+          let s = String.sub arg a (String.length arg - a) in
+          match String.index_opt s '=' with
+          | Some j -> String.sub s 0 j
+          | None -> s
+        in
+        if not (List.mem bare known) then reject_unknown_flag arg
+      end)
+    Sys.argv
+
 open Cmdliner
 
 let source =
@@ -178,19 +321,21 @@ let query =
 
 let engine =
   Arg.(value & opt string "seq" & info [ "engine"; "e" ] ~docv:"ENGINE"
-         ~doc:"Engine: seq, and (\\&ACE and-parallel), or (simulated MUSE \
-               or-parallel), par (hardware or-parallel on OCaml domains; \
-               --agents = domains).")
+         ~docs:g_engine
+         ~doc:"Engine: seq, and (&ACE and-parallel), or (simulated MUSE \
+               or-parallel), par (hardware and+or parallel on OCaml \
+               domains; --agents = domains, and-parallelism with \
+               --par-and).")
 
 let agents =
-  Arg.(value & opt int 1 & info [ "agents"; "p" ] ~docv:"N"
+  Arg.(value & opt int 1 & info [ "agents"; "p" ] ~docv:"N" ~docs:g_engine
          ~doc:"Number of simulated processors.")
 
-let flag names doc = Arg.(value & flag & info names ~doc)
+let flag ~docs names doc = Arg.(value & flag & info names ~docs ~doc)
 
 let limit =
   Arg.(value & opt (some int) None & info [ "limit"; "n" ] ~docv:"N"
-         ~doc:"Stop after N solutions.")
+         ~docs:g_engine ~doc:"Stop after N solutions.")
 
 let cmd =
   let doc = "run a query on the ACE engines" in
@@ -198,76 +343,92 @@ let cmd =
     (Cmd.info "ace_run" ~doc)
     Term.(
       const run
-      $ flag [ "check" ]
+      $ flag ~docs:g_check [ "check" ]
           "Differential fuzzing: generate seeded random programs, run each \
            on all four engines under optimization sweeps and chaos \
            schedules, compare solution multisets, shrink any \
            counterexample and print a replay line.  Exit 1 on any \
            discrepancy."
       $ Arg.(value & opt int 500 & info [ "check-count" ] ~docv:"N"
-               ~doc:"Number of generated cases for --check.")
+               ~docs:g_check ~doc:"Number of generated cases for --check.")
       $ Arg.(value & opt int 0 & info [ "check-seed" ] ~docv:"SEED"
+               ~docs:g_check
                ~doc:"Base seed for --check; case i uses SEED+i, so a \
                      failure replays with '--check-seed <case seed> \
                      --check-count 1'.")
       $ Arg.(value & opt int 2 & info [ "check-schedules" ] ~docv:"N"
+               ~docs:g_check
                ~doc:"Seeded chaos schedules per parallel engine and case \
                      for --check.")
       $ Arg.(value & opt (some string) None & info [ "check-chaos" ]
-               ~docv:"SPEC"
+               ~docv:"SPEC" ~docs:g_check
                ~doc:"Also run every engine under exactly this chaos spec \
                      (as printed in a counterexample replay line), e.g. \
                      'seed=7,steal=150,pub=150,pre=200,jit=250,spin=2048,cycles=64'.")
       $ Arg.(value & opt (some string) None & info [ "check-mutate" ]
-               ~docv:"ENGINE:CLAUSE"
+               ~docv:"ENGINE:CLAUSE" ~docs:g_check
                ~doc:"Mutation smoke test: drop generated clause CLAUSE from \
                      the program copy given to ENGINE only; --check must \
                      then report a counterexample (exit 1).")
       $ source $ query $ engine $ agents
-      $ flag [ "lpco" ] "Enable the last parallel call optimization."
-      $ flag [ "lao" ] "Enable the last alternative optimization."
-      $ flag [ "spo" ] "Enable the shallow parallelism optimization."
-      $ flag [ "pdo" ] "Enable the processor determinacy optimization."
-      $ flag [ "all-opts"; "O" ] "Enable all optimizations."
+      $ flag ~docs:g_schemas [ "lpco" ]
+          "Enable the last parallel call optimization."
+      $ flag ~docs:g_schemas [ "lao" ]
+          "Enable the last alternative optimization."
+      $ flag ~docs:g_schemas [ "spo" ]
+          "Enable the shallow parallelism optimization."
+      $ flag ~docs:g_schemas [ "pdo" ]
+          "Enable the processor determinacy optimization."
+      $ flag ~docs:g_schemas [ "all-opts"; "O" ] "Enable all optimizations."
+      $ flag ~docs:g_schemas [ "par-and" ]
+          "Hardware engine (--engine par): execute strictly-independent \
+           '&' conjunctions in parallel (parcall frames offered through \
+           the work-stealing deques, cross-product join), alongside the \
+           or-parallel work stealing.  Other engines ignore it."
       $ Arg.(value & opt int 0 & info [ "granularity" ] ~docv:"CELLS"
+               ~docs:g_schemas
                ~doc:"Sequentialize parallel calls whose estimated work is \
                      below CELLS term cells (granularity control; 0 = off).")
-      $ Arg.(value & opt int 1 & info [ "grain" ] ~docv:"N"
+      $ Arg.(value & opt int 1 & info [ "grain" ] ~docv:"N" ~docs:g_schemas
                ~doc:"Or-parallel granularity (par engine): publish a choice \
                      point only if it still has at least N untried \
                      alternatives; smaller nodes stay private (1 = publish \
                      anything).")
-      $ Arg.(value & opt int 0 & info [ "chunk" ] ~docv:"N"
+      $ Arg.(value & opt int 0 & info [ "chunk" ] ~docv:"N" ~docs:g_schemas
                ~doc:"Or-parallel chunking (par engine): ship a published \
                      node's alternatives in tasks of at most N alternatives \
                      each (0 = whole node in one task).")
       $ limit
-      $ flag [ "stats" ] "Print execution statistics."
-      $ flag [ "verbose-stats" ]
+      $ flag ~docs:g_obs [ "stats" ] "Print execution statistics."
+      $ flag ~docs:g_obs [ "verbose-stats" ]
           "Print execution statistics including zero-valued counters (so \
            \"this optimization never fired\" stays visible)."
-      $ flag [ "annotate" ]
+      $ flag ~docs:g_engine [ "annotate" ]
           "Run the strict-independence annotator before execution (uses \
            mode/1 directives)."
       $ Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+               ~docs:g_obs
                ~doc:"Write a Chrome trace_event JSON of the run to FILE (one \
                      track per agent/domain; open in Perfetto or \
                      chrome://tracing).")
       $ Arg.(value & opt (some string) None & info [ "trace-jsonl" ]
-               ~docv:"FILE"
+               ~docv:"FILE" ~docs:g_obs
                ~doc:"Write the raw event stream to FILE as JSON Lines (one \
                      event object per line).")
       $ Arg.(value & opt int 65536 & info [ "trace-buf" ] ~docv:"N"
+               ~docs:g_obs
                ~doc:"Per-agent trace ring capacity in events (rounded up to \
                      a power of two); the newest N events per agent are \
                      kept.")
       $ Arg.(value & opt (some string) None & info [ "stats-json" ]
-               ~docv:"FILE"
+               ~docv:"FILE" ~docs:g_obs
                ~doc:"Write execution statistics to FILE as JSON: merged \
                      totals plus per-agent shards, utilization and \
                      histograms.")
-      $ flag [ "utilization" ]
+      $ flag ~docs:g_obs [ "utilization" ]
           "Print the per-agent utilization table (busy/idle fractions, \
            tasks, steals, copies).")
 
-let () = exit (Cmd.eval' cmd)
+let () =
+  check_argv ();
+  exit (Cmd.eval' cmd)

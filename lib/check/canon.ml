@@ -1,0 +1,8 @@
+let strings solutions = List.map Ace_term.Pp.to_canonical_string solutions
+
+let multiset solutions = List.sort String.compare (strings solutions)
+
+let equal a b = multiset a = multiset b
+
+let digest solutions =
+  Digest.to_hex (Digest.string (String.concat "\n" (multiset solutions)))

@@ -1,0 +1,19 @@
+(** Alpha-canonical solution normalization, shared by the differential
+    oracle, the harness reproducibility checks, and the test suite.
+
+    Two engine runs agree when their solution {e multisets} agree:
+    discovery order is scheduler-dependent and variable identifiers are
+    renaming-dependent, so solutions are compared as sorted lists of
+    alpha-canonical strings ([Ace_term.Pp.to_canonical_string]). *)
+
+(** Alpha-canonical strings in the solutions' own order. *)
+val strings : Ace_term.Term.t list -> string list
+
+(** Alpha-canonical strings, sorted: the multiset normal form. *)
+val multiset : Ace_term.Term.t list -> string list
+
+(** Multiset equality of two solution lists. *)
+val equal : Ace_term.Term.t list -> Ace_term.Term.t list -> bool
+
+(** Hex MD5 of the multiset normal form, for compact run digests. *)
+val digest : Ace_term.Term.t list -> string

@@ -51,10 +51,7 @@ let pp_outcome ppf o =
 
 let run_engine ?chaos kind config ~program ~query =
   match Engine.solve_program ?chaos kind config ~program ~query with
-  | r ->
-    Solutions
-      (List.sort String.compare
-         (List.map Ace_term.Pp.to_canonical_string r.Engine.solutions))
+  | r -> Solutions (Canon.multiset r.Engine.solutions)
   | exception Ace_core.Errors.Engine_error m -> Error m
   | exception Ace_term.Arith.Error m -> Error ("arith: " ^ m)
   | exception Ace_lang.Program.Error m -> Error ("syntax: " ^ m)
@@ -72,6 +69,7 @@ let matrix ?extra_chaos ~seed ~schedules () =
   let seq1 = Config.default in
   let all4 = Config.all_optimizations ~agents:4 () in
   let un4 = Config.unoptimized ~agents:4 () in
+  let andor4 = { all4 with Config.par_and = true } in
   let chaos k = Some (Chaos.make ~seed:(seed + k) ()) in
   let fixed =
     [
@@ -85,6 +83,13 @@ let matrix ?extra_chaos ~seed ~schedules () =
       ("or@4 grain2", Engine.Or_parallel, { all4 with Config.grain = 2 }, None);
       ("or@4 chunk1", Engine.Or_parallel, { all4 with Config.chunk = 1 }, None);
       ("par@4", Engine.Par_or, all4, None);
+      ("par@4 and+or", Engine.Par_or, andor4, None);
+      ("par@4 and+or thresh", Engine.Par_or,
+       { andor4 with Config.seq_threshold = 64 }, None);
+      ("par@4 and+or nospo", Engine.Par_or,
+       (* SPO off forces the parcall-frame path even when nobody is
+          hungry, so the frame machinery is exercised on every case *)
+       { andor4 with Config.spo = false }, None);
     ]
   in
   let sched =
@@ -97,6 +102,8 @@ let matrix ?extra_chaos ~seed ~schedules () =
               chaos (101 + k));
              (Printf.sprintf "par@4 chaos#%d" k, Engine.Par_or, all4,
               chaos (201 + k));
+             (Printf.sprintf "par@4 and+or chaos#%d" k, Engine.Par_or,
+              { andor4 with Config.spo = false }, chaos (301 + k));
            ]))
   in
   let extra =

@@ -35,9 +35,7 @@
      between the two computations. *)
 
 module Term = Ace_term.Term
-module Symbol = Ace_term.Symbol
 module Trail = Ace_term.Trail
-module Unify = Ace_term.Unify
 module Clause = Ace_lang.Clause
 module Database = Ace_lang.Database
 module Cost = Ace_machine.Cost
@@ -84,7 +82,7 @@ and frame = {
   mutable f_nslots : int;
   mutable f_pending : int; (* slots not yet Sdone *)
   mutable f_failing : bool;
-  mutable f_cont : Clause.item list; (* continuation after the parcall *)
+  f_cont : Clause.item list; (* continuation after the parcall *)
 }
 
 and slot = {
@@ -128,7 +126,6 @@ type t = {
   mutable sol_count : int; (* global solution count (shards hold per-agent) *)
   mutable solutions : Term.t list; (* newest first *)
   goal : Term.t;
-  output : Buffer.t option;
 }
 
 let debug = ref false
@@ -177,11 +174,16 @@ let charge_marker st ~input =
   if input then (shard st).Stats.input_markers <- (shard st).Stats.input_markers + 1
   else (shard st).Stats.end_markers <- (shard st).Stats.end_markers + 1
 
-let charge_untrail st n =
-  if n > 0 then begin
-    charge st (n * st.cost.Cost.untrail);
-    (shard st).Stats.untrails <- (shard st).Stats.untrails + n
-  end
+(* The kernel resolver instantiated for this engine: charges tick the
+   discrete-event simulator, stats go to the current agent's shard. *)
+module K = Kernel.Resolver (struct
+  type nonrec t = t
+
+  let name = "the and-parallel engine"
+  let cost st = st.cost
+  let stats = shard
+  let charge = charge
+end)
 
 let charge_bt_node st =
   charge st st.cost.Cost.backtrack_node;
@@ -214,8 +216,7 @@ let rec undo_exec st exec =
       | Eframe (f, _) -> undo_frame st f)
     exec.x_stack;
   exec.x_stack <- [];
-  let undone = Trail.undo_to exec.x_trail 0 in
-  charge_untrail st undone;
+  K.untrail st exec.x_trail 0;
   (* crossing this exec's markers (if it has any) costs a node each *)
   if exec.x_input_marker then charge_bt_node st;
   if exec.x_end_marker then charge_bt_node st
@@ -261,42 +262,10 @@ let rec aborting exec =
 (* ------------------------------------------------------------------ *)
 
 let call_builtin st exec goal =
-  let ctx =
-    { st.ctx with Builtins.trail = exec.x_trail }
-  in
-  let steps0 = !(ctx.Builtins.steps) and arith0 = !(ctx.Builtins.arith_nodes) in
-  let trail0 = Trail.size exec.x_trail in
-  let outcome = Builtins.call ctx goal in
-  let steps = !(ctx.Builtins.steps) - steps0 in
-  let arith = !(ctx.Builtins.arith_nodes) - arith0 in
-  let pushed = Trail.size exec.x_trail - trail0 in
-  charge st st.cost.Cost.builtin;
-  (shard st).Stats.builtin_calls <- (shard st).Stats.builtin_calls + 1;
-  charge st ((steps * st.cost.Cost.unify_step) + (arith * st.cost.Cost.arith_op));
-  charge st (max 0 pushed * st.cost.Cost.trail_push);
-  (shard st).Stats.unify_steps <- (shard st).Stats.unify_steps + steps;
-  (shard st).Stats.trail_pushes <- (shard st).Stats.trail_pushes + max 0 pushed;
-  outcome
+  let ctx = { st.ctx with Builtins.trail = exec.x_trail } in
+  K.call_builtin st ctx goal
 
-let try_clause st exec goal clause =
-  charge st st.cost.Cost.clause_try;
-  (shard st).Stats.clause_tries <- (shard st).Stats.clause_tries + 1;
-  let head, fresh = Clause.rename_head clause in
-  let steps = ref 0 in
-  let trail0 = Trail.size exec.x_trail in
-  let mark = Trail.mark exec.x_trail in
-  let ok = Unify.unify ~trail:exec.x_trail ~steps head goal in
-  charge st (!steps * st.cost.Cost.unify_step);
-  (shard st).Stats.unify_steps <- (shard st).Stats.unify_steps + !steps;
-  let pushed = Trail.size exec.x_trail - trail0 in
-  charge st (pushed * st.cost.Cost.trail_push);
-  (shard st).Stats.trail_pushes <- (shard st).Stats.trail_pushes + pushed;
-  if ok then Some (Clause.rename_body clause fresh)
-  else begin
-    let undone = Trail.undo_to exec.x_trail mark in
-    charge_untrail st undone;
-    None
-  end
+let try_clause st exec goal clause = K.try_clause st ~trail:exec.x_trail goal clause
 
 (* SPO: the procrastinated input marker materialises just before the first
    choice point of the slot. *)
@@ -327,41 +296,27 @@ let rec exec_run st (agent : agent_state) exec (cont : Clause.item list) : bool 
   | Clause.Call g :: rest -> dispatch st agent exec g rest
 
 and dispatch st agent exec g cont =
-  match Term.deref g with
-  | Term.Atom s when Symbol.equal s Symbol.cut ->
-    Errors.error "cut is not supported inside the and-parallel engine"
-  | Term.Struct (s, _)
-    when Symbol.equal s Symbol.semicolon
-         || Symbol.equal s Symbol.arrow
-         || Symbol.equal s Symbol.naf ->
-    Errors.error
-      "control construct %s not supported inside the and-parallel engine"
-      (Ace_term.Pp.to_string g)
-  | Term.Struct (s, [| _; _ |])
-    when Symbol.equal s Symbol.comma || Symbol.equal s Symbol.amp ->
+  match Kernel.classify g with
+  | Kernel.Cut -> Errors.error "cut is not supported inside the and-parallel engine"
+  | Kernel.Disj _ | Kernel.Ite _ | Kernel.Naf _ -> K.unsupported st (Term.deref g)
+  | Kernel.Conj g | Kernel.Amp g ->
     exec_run st agent exec (Clause.compile_body g @ cont)
-  | Term.Struct (s, [| g |]) when Symbol.equal s Symbol.call ->
-    dispatch st agent exec g cont
-  | g -> (
+  | Kernel.Meta g -> dispatch st agent exec g cont
+  | Kernel.Sentinel _ | Kernel.Goal _ -> (
+    let g = Term.deref g in
     match call_builtin st exec g with
     | Builtins.Ok -> exec_run st agent exec cont
     | Builtins.Fail -> exec_backtrack st agent exec
     | Builtins.Not_builtin -> user_call st agent exec g cont)
 
 and user_call st agent exec g cont =
-  charge st st.cost.Cost.index_lookup;
-  match Database.lookup st.db g with
-  | None ->
-    let name, arity =
-      match Term.functor_name_of g with Some na -> na | None -> ("?", 0)
-    in
-    Errors.existence_error name arity
-  | Some [] -> exec_backtrack st agent exec
-  | Some [ clause ] -> (
+  match K.lookup st st.db g with
+  | [] -> exec_backtrack st agent exec
+  | [ clause ] -> (
     match try_clause st exec g clause with
     | Some body -> exec_run st agent exec (body @ cont)
     | None -> exec_backtrack st agent exec)
-  | Some (clause :: rest) -> (
+  | clause :: rest -> (
     push_cp st exec ~goal:g ~alts:rest ~cont;
     match try_clause st exec g clause with
     | Some body -> exec_run st agent exec (body @ cont)
@@ -380,8 +335,7 @@ and exec_backtrack st agent exec : bool =
       exec.x_stack <- below;
       exec_backtrack st agent exec
     | clause :: alts ->
-      let undone = Trail.undo_to exec.x_trail cp.a_trail in
-      charge_untrail st undone;
+      K.untrail st exec.x_trail cp.a_trail;
       charge st st.cost.Cost.cp_restore;
       if alts = [] then exec.x_stack <- below else cp.a_alts <- alts;
       (match try_clause st exec cp.a_goal clause with
@@ -390,8 +344,7 @@ and exec_backtrack st agent exec : bool =
   | Eframe (frame, mark) :: below ->
     charge st st.cost.Cost.frame_unwind;
     (shard st).Stats.bt_nodes_visited <- (shard st).Stats.bt_nodes_visited + 1;
-    let undone = Trail.undo_to exec.x_trail mark in
-    charge_untrail st undone;
+    K.untrail st exec.x_trail mark;
     if retry_frame st agent frame then exec_run st agent exec frame.f_cont
     else begin
       exec.x_stack <- below;
@@ -424,27 +377,7 @@ and exec_parcall st agent exec bodies rest =
     st.config.Config.seq_threshold > 0
     &&
     (charge st st.cost.Cost.runtime_check;
-     let limit = st.config.Config.seq_threshold in
-     let goal_estimate g = Term.size_at_most g ~limit in
-     let rec body_estimate budget = function
-       | [] -> budget
-       | Clause.Call g :: rest ->
-         let budget = budget - goal_estimate g in
-         if budget <= 0 then 0 else body_estimate budget rest
-       | Clause.Par inner :: rest ->
-         let budget =
-           List.fold_left
-             (fun b body -> if b <= 0 then 0 else body_estimate b body)
-             budget inner
-         in
-         if budget <= 0 then 0 else body_estimate budget rest
-     in
-     let remaining =
-       List.fold_left
-         (fun b body -> if b <= 0 then 0 else body_estimate b body)
-         limit bodies
-     in
-     remaining > 0)
+     Kernel.Schema.sequentialize st.config bodies)
   in
   if sequentialize then begin
     (shard st).Stats.seq_hits <- (shard st).Stats.seq_hits + 1;
@@ -689,10 +622,12 @@ and run_slot st agent slot =
   let contiguous =
     st.config.Config.pdo
     && (charge st st.cost.Cost.runtime_check;
-        match agent.ag_last_done with
-        | Some prev ->
-          prev.sl_frame.f_id = frame.f_id && prev.sl_index + 1 = slot.sl_index
-        | None -> false)
+        Kernel.Schema.pdo_contiguous st.config
+          ~last:
+            (match agent.ag_last_done with
+             | Some prev -> Some (prev.sl_frame.f_id, prev.sl_index)
+             | None -> None)
+          ~next:(frame.f_id, slot.sl_index))
   in
   (* Settle the procrastinated end marker of the previous slot. *)
   (match agent.ag_pending_end with
@@ -899,7 +834,6 @@ let create ?output ?(trace = Trace.disabled) ?(chaos = Chaos.disabled)
     sol_count = 0;
     solutions = [];
     goal;
-    output;
   }
 
 type result = {
@@ -915,11 +849,9 @@ let run st =
     Sim.spawn st.sim ~agent:i (worker_body st st.agents.(i))
   done;
   Sim.run st.sim;
-  let total = Stats.create () in
-  Array.iter (fun s -> Stats.merge_into ~into:total s) st.shards;
   {
     solutions = List.rev st.solutions;
-    stats = total;
+    stats = Kernel.merge_shards st.shards;
     per_agent = st.shards;
     time = Sim.stop_time st.sim;
   }

@@ -1,0 +1,341 @@
+(* The shared solver kernel: goal classification, builtin dispatch,
+   clause selection, trail discipline and the schema-optimization
+   decisions, factored out of the four engines.  See kernel.mli for the
+   architecture notes. *)
+
+module Term = Ace_term.Term
+module Symbol = Ace_term.Symbol
+module Trail = Ace_term.Trail
+module Unify = Ace_term.Unify
+module Clause = Ace_lang.Clause
+module Database = Ace_lang.Database
+module Cost = Ace_machine.Cost
+module Stats = Ace_machine.Stats
+module Config = Ace_machine.Config
+
+module type SCHEDULER = sig
+  type t
+
+  val name : string
+  val cost : t -> Cost.t
+  val stats : t -> Stats.t
+  val charge : t -> int -> unit
+end
+
+type cls =
+  | Cut
+  | Conj of Term.t
+  | Amp of Term.t
+  | Disj of Term.t * Term.t
+  | Ite of Term.t * Term.t * Term.t
+  | Naf of Term.t
+  | Meta of Term.t
+  | Sentinel of Term.t
+  | Goal of Term.t
+
+let classify g =
+  match Term.deref g with
+  | Term.Atom s when Symbol.equal s Symbol.cut -> Cut
+  | Term.Struct (s, [| _; _ |]) as g' when Symbol.equal s Symbol.comma ->
+    Conj g'
+  | Term.Struct (s, [| _; _ |]) as g' when Symbol.equal s Symbol.amp -> Amp g'
+  | Term.Struct (s, [| cond_then; else_ |]) when Symbol.equal s Symbol.semicolon
+    -> (
+    match Term.deref cond_then with
+    | Term.Struct (s', [| cond; then_ |]) when Symbol.equal s' Symbol.arrow ->
+      Ite (cond, then_, else_)
+    | l -> Disj (l, else_))
+  | Term.Struct (s, [| cond; then_ |]) when Symbol.equal s Symbol.arrow ->
+    Ite (cond, then_, Term.Atom Symbol.fail)
+  | Term.Struct (s, [| g' |]) when Symbol.equal s Symbol.naf -> Naf g'
+  | Term.Struct (s, [| g' |]) when Symbol.equal s Symbol.call -> Meta g'
+  | Term.Struct (s, [| g' |]) when Symbol.equal s Symbol.solution ->
+    Sentinel g'
+  | g' -> Goal g'
+
+let sentinel_body goal =
+  Clause.compile_body goal
+  @ [ Clause.Call (Term.Struct (Symbol.solution, [| goal |])) ]
+
+let merge_shards shards =
+  let total = Stats.create () in
+  Array.iter (fun s -> Stats.merge_into ~into:total s) shards;
+  total
+
+module Resolver (S : SCHEDULER) = struct
+  let call_builtin s (ctx : Builtins.ctx) goal =
+    let cost = S.cost s and stats = S.stats s in
+    let steps0 = !(ctx.Builtins.steps)
+    and arith0 = !(ctx.Builtins.arith_nodes) in
+    let trail0 = Trail.size ctx.Builtins.trail in
+    let outcome = Builtins.call ctx goal in
+    let steps = !(ctx.Builtins.steps) - steps0 in
+    let arith = !(ctx.Builtins.arith_nodes) - arith0 in
+    let pushed = max 0 (Trail.size ctx.Builtins.trail - trail0) in
+    S.charge s cost.Cost.builtin;
+    S.charge s ((steps * cost.Cost.unify_step) + (arith * cost.Cost.arith_op));
+    S.charge s (pushed * cost.Cost.trail_push);
+    stats.Stats.builtin_calls <- stats.Stats.builtin_calls + 1;
+    stats.Stats.unify_steps <- stats.Stats.unify_steps + steps;
+    stats.Stats.trail_pushes <- stats.Stats.trail_pushes + pushed;
+    outcome
+
+  let untrail s trail mark =
+    let undone = Trail.undo_to trail mark in
+    if undone > 0 then begin
+      S.charge s (undone * (S.cost s).Cost.untrail);
+      (S.stats s).Stats.untrails <- (S.stats s).Stats.untrails + undone
+    end
+
+  (* Charges one head unification against [goal]; [mark] is the trail
+     position to restore on failure. *)
+  let charged_unify s ~trail a b =
+    let cost = S.cost s and stats = S.stats s in
+    let steps = ref 0 in
+    let mark = Trail.mark trail in
+    let ok = Unify.unify ~trail ~steps a b in
+    S.charge s (!steps * cost.Cost.unify_step);
+    stats.Stats.unify_steps <- stats.Stats.unify_steps + !steps;
+    let pushed = Trail.size trail - mark in
+    S.charge s (pushed * cost.Cost.trail_push);
+    stats.Stats.trail_pushes <- stats.Stats.trail_pushes + pushed;
+    if not ok then untrail s trail mark;
+    ok
+
+  let try_clause s ~trail goal clause =
+    S.charge s (S.cost s).Cost.clause_try;
+    (S.stats s).Stats.clause_tries <- (S.stats s).Stats.clause_tries + 1;
+    let head, fresh = Clause.rename_head clause in
+    if charged_unify s ~trail head goal then
+      Some (Clause.rename_body clause fresh)
+    else None
+
+  let unify_goal s ~trail a b = charged_unify s ~trail a b
+
+  let lookup s db goal =
+    S.charge s (S.cost s).Cost.index_lookup;
+    match Database.lookup db goal with
+    | Some clauses -> clauses
+    | None ->
+      let name, arity =
+        match Term.functor_name_of goal with Some na -> na | None -> ("?", 0)
+      in
+      Errors.existence_error name arity
+
+  let unsupported _s g =
+    Errors.error "control construct %s not supported inside %s"
+      (Ace_term.Pp.to_string g) S.name
+end
+
+(* ------------------------------------------------------------------ *)
+(* Optimization-schema decisions                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Schema = struct
+  (* Granularity control: bounded term-size estimate of the branches —
+     for list recursions this is proportional to the remaining input, so
+     the top of a computation forks and the fine-grained bottom stays
+     sequential. *)
+  let sequentialize (config : Config.t) bodies =
+    config.Config.seq_threshold > 0
+    &&
+    let limit = config.Config.seq_threshold in
+    let goal_estimate g = Term.size_at_most g ~limit in
+    let rec body_estimate budget = function
+      | [] -> budget
+      | Clause.Call g :: rest ->
+        let budget = budget - goal_estimate g in
+        if budget <= 0 then 0 else body_estimate budget rest
+      | Clause.Par inner :: rest ->
+        let budget =
+          List.fold_left
+            (fun b body -> if b <= 0 then 0 else body_estimate b body)
+            budget inner
+        in
+        if budget <= 0 then 0 else body_estimate budget rest
+    in
+    let remaining =
+      List.fold_left
+        (fun b body -> if b <= 0 then 0 else body_estimate b body)
+        limit bodies
+    in
+    remaining > 0
+
+  (* A branch that is nothing but a nested parallel conjunction brings no
+     work of its own: splice its branches into the enclosing parcall. *)
+  let lpco_flatten (config : Config.t) bodies =
+    if not config.Config.lpco then (bodies, 0)
+    else begin
+      let splices = ref 0 in
+      let rec flatten bodies =
+        List.concat_map
+          (function
+            | [ Clause.Par inner ] ->
+              incr splices;
+              flatten inner
+            | body -> [ body ])
+          bodies
+      in
+      let flat = flatten bodies in
+      (flat, !splices)
+    end
+
+  let spo_inline (config : Config.t) ~hungry = config.Config.spo && hungry = 0
+
+  let pdo_contiguous (config : Config.t) ~last ~next =
+    config.Config.pdo
+    &&
+    match last with
+    | Some (frame, index) -> frame = fst next && index + 1 = snd next
+    | None -> false
+
+  let publish_grain (config : Config.t) ~nalts = nalts >= config.Config.grain
+
+  let chunk_alts (config : Config.t) alts =
+    let chunk = config.Config.chunk in
+    if chunk <= 0 then [ alts ]
+    else begin
+      let rec go acc run n = function
+        | [] -> List.rev (List.rev run :: acc)
+        | a :: rest ->
+          if n = chunk then go (List.rev run :: acc) [ a ] 1 rest
+          else go acc (a :: run) (n + 1) rest
+      in
+      go [] [] 0 alts
+    end
+
+  let lao_refurbish (config : Config.t) ~top_exhausted =
+    config.Config.lao && top_exhausted
+end
+
+(* ------------------------------------------------------------------ *)
+(* State copying                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Copy = struct
+  type table = (int, Term.var) Hashtbl.t
+
+  (* Bindings resolved away, unbound variables made fresh: the receiving
+     worker needs no further setup (publication snapshot). *)
+  let rec snapshot_term table cells t =
+    incr cells;
+    match Term.deref t with
+    | (Term.Atom _ | Term.Int _) as t' -> t'
+    | Term.Var v -> (
+      match Hashtbl.find_opt table v.Term.vid with
+      | Some v' -> Term.Var v'
+      | None ->
+        let v' = Term.fresh_var () in
+        Hashtbl.add table v.Term.vid v';
+        Term.Var v')
+    | Term.Struct (f, args) ->
+      Term.Struct (f, Array.map (snapshot_term table cells) args)
+
+  let rec snapshot_body table cells body =
+    List.map
+      (function
+        | Clause.Call g -> Clause.Call (snapshot_term table cells g)
+        | Clause.Par bodies ->
+          Clause.Par (List.map (snapshot_body table cells) bodies))
+      body
+
+  (* Bound variables copied as bound variables, so the receiving trail
+     can undo them independently (MUSE stack copy). *)
+  let rec raw_term table cells t =
+    incr cells;
+    match t with
+    | Term.Atom _ | Term.Int _ -> t
+    | Term.Struct (f, args) ->
+      Term.Struct (f, Array.map (raw_term table cells) args)
+    | Term.Var v -> (
+      match Hashtbl.find_opt table v.Term.vid with
+      | Some v' -> Term.Var v'
+      | None ->
+        let v' = Term.fresh_var () in
+        Hashtbl.add table v.Term.vid v';
+        (match v.Term.binding with
+         | Some b -> v'.Term.binding <- Some (raw_term table cells b)
+         | None -> ());
+        Term.Var v')
+
+  let rec raw_items table cells items =
+    List.map
+      (function
+        | Clause.Call g -> Clause.Call (raw_term table cells g)
+        | Clause.Par bodies ->
+          Clause.Par (List.map (raw_items table cells) bodies))
+      items
+
+  let raw_var table cells v =
+    match raw_term table cells (Term.Var v) with
+    | Term.Var v' -> v'
+    | Term.Atom _ | Term.Int _ | Term.Struct _ -> assert false
+end
+
+(* ------------------------------------------------------------------ *)
+(* And-parallel join helpers                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Parcall = struct
+  let partuple = Symbol.intern "$partuple"
+  let parjoin = Symbol.intern "$parjoin"
+
+  (* Free (unbound, after dereferencing) variables of one branch, in
+     first-occurrence order; [seen] spans all branches so sharing is
+     detected. *)
+  exception Shared
+
+  let slot_tuples bodies =
+    let seen = Hashtbl.create 16 in
+    let tuple body =
+      let local = Hashtbl.create 16 in
+      let acc = ref [] in
+      let rec go t =
+        match Term.deref t with
+        | Term.Atom _ | Term.Int _ -> ()
+        | Term.Var v ->
+          if not (Hashtbl.mem local v.Term.vid) then begin
+            if Hashtbl.mem seen v.Term.vid then raise Shared;
+            Hashtbl.add local v.Term.vid ();
+            acc := Term.Var v :: !acc
+          end
+        | Term.Struct (_, args) -> Array.iter go args
+      in
+      let rec go_body body =
+        List.iter
+          (function
+            | Clause.Call g -> go g
+            | Clause.Par bodies -> List.iter go_body bodies)
+          body
+      in
+      go_body body;
+      Hashtbl.iter (fun vid () -> Hashtbl.replace seen vid ()) local;
+      Term.Struct (partuple, Array.of_list (List.rev !acc))
+    in
+    match List.map tuple bodies with
+    | tuples -> Some (Array.of_list tuples)
+    | exception Shared -> None
+
+  let template tuples = Term.Struct (parjoin, Array.copy tuples)
+
+  (* Rightmost slot varying fastest — the order sequential backtracking
+     over the same conjunction would enumerate. *)
+  let cross rows =
+    let n = Array.length rows in
+    let acc = ref [] in
+    let combo = Array.make n (Term.Atom Symbol.nil) in
+    let rec go i =
+      if i = n then acc := Term.Struct (parjoin, Array.copy combo) :: !acc
+      else
+        List.iter
+          (fun t ->
+            combo.(i) <- t;
+            go (i + 1))
+          rows.(i)
+    in
+    if n = 0 then [ Term.Struct (parjoin, [||]) ]
+    else begin
+      go 0;
+      List.rev !acc
+    end
+end

@@ -1,0 +1,168 @@
+(** The shared solver kernel.
+
+    All four engines (sequential, simulated and-parallel, simulated
+    or-parallel, multicore or+and) resolve goals the same way: classify
+    the goal, dispatch builtins through {!Builtins}, look clauses up in
+    the frozen database, unify a renamed head, and undo the trail on
+    failure — while charging the {!Ace_machine.Cost} table and updating a
+    {!Ace_machine.Stats} shard.  This module owns that common machinery,
+    parameterized by a small {!SCHEDULER} signature so each engine keeps
+    only its scheduling policy (stacks, stealing, frames, publication).
+
+    The paper's optimization schemas (LPCO, LAO, SPO, PDO and the
+    sequentialization/granularity schema) are exposed as pure,
+    engine-agnostic decision functions in {!Schema}: an engine asks
+    "should this fire here?" and implements only the mechanical
+    consequence. *)
+
+module Term = Ace_term.Term
+module Trail = Ace_term.Trail
+module Clause = Ace_lang.Clause
+module Database = Ace_lang.Database
+module Cost = Ace_machine.Cost
+module Stats = Ace_machine.Stats
+module Config = Ace_machine.Config
+
+(** What an engine must provide for the kernel to account work against
+    it.  [t] is the engine's per-execution-context handle (the machine
+    for the sequential engine, the simulator state for the simulated
+    engines, the worker for the multicore engine). *)
+module type SCHEDULER = sig
+  type t
+
+  val name : string
+  (** Used in "control construct ... not supported inside <name>"
+      errors, e.g. ["the or-parallel engine"]. *)
+
+  val cost : t -> Cost.t
+
+  val stats : t -> Stats.t
+  (** The stat shard work is attributed to right now (per simulated
+      agent / per domain; single-writer). *)
+
+  val charge : t -> int -> unit
+  (** Abstract-cycle accounting.  The wall-clock engine passes a
+      no-op. *)
+end
+
+(** Goal classification shared by every dispatch loop.  Constructors
+    carry the decomposed subterms; [Goal] carries the dereferenced
+    term. *)
+type cls =
+  | Cut
+  | Conj of Term.t  (** a [','/2] goal, to be recompiled into the body *)
+  | Amp of Term.t  (** a ['&'/2] goal (parallel conjunction) *)
+  | Disj of Term.t * Term.t
+  | Ite of Term.t * Term.t * Term.t  (** condition, then, else *)
+  | Naf of Term.t
+  | Meta of Term.t  (** [call/1] *)
+  | Sentinel of Term.t  (** the ['$solution'/1] report-and-fail sentinel *)
+  | Goal of Term.t
+
+val classify : Term.t -> cls
+
+(** Builds the report-and-fail continuation for a whole-search engine:
+    the compiled query followed by the ['$solution'] sentinel. *)
+val sentinel_body : Term.t -> Clause.body
+
+(** Merges per-agent stat shards into a fresh total (the shards must no
+    longer be written; see the {!Stats.merge_into} ownership
+    contract). *)
+val merge_shards : Stats.t array -> Stats.t
+
+module Resolver (S : SCHEDULER) : sig
+  val call_builtin : S.t -> Builtins.ctx -> Term.t -> Builtins.outcome
+  (** Runs a builtin, translating its unification/arithmetic work and
+      trail growth into charges and stats. *)
+
+  val try_clause : S.t -> trail:Trail.t -> Term.t -> Clause.t -> Clause.body option
+  (** Unifies a renamed clause head against the goal; on success returns
+      the instantiated body, on failure undoes the partial bindings
+      (charged). *)
+
+  val unify_goal : S.t -> trail:Trail.t -> Term.t -> Term.t -> bool
+  (** Plain goal-level unification with the same accounting as a clause
+      try (used to replay recorded and-parallel solutions); undoes on
+      failure. *)
+
+  val lookup : S.t -> Database.t -> Term.t -> Clause.t list
+  (** Indexed clause lookup; raises the existence error for unknown
+      procedures. *)
+
+  val untrail : S.t -> Trail.t -> int -> unit
+  (** [untrail s trail mark] undoes to [mark], charging per entry. *)
+
+  val unsupported : S.t -> Term.t -> 'a
+  (** Raises the "control construct not supported" engine error. *)
+end
+
+(** The paper's optimization schemas as pure decisions (unit-tested in
+    [test/test_kernel.ml]); engines implement only the mechanics. *)
+module Schema : sig
+  val sequentialize : Config.t -> Clause.body list -> bool
+  (** Granularity control (sequentialization schema, §4): true when the
+      bounded term-size estimate of the parallel conjunction stays under
+      [config.seq_threshold] — run it as a plain conjunction. *)
+
+  val lpco_flatten : Config.t -> Clause.body list -> Clause.body list * int
+  (** LPCO (§3.1) as a static flatten: a branch consisting solely of a
+      nested parallel conjunction is spliced into the enclosing one.
+      Returns the flattened branches and the number of splices (0 when
+      the optimization is off or nothing matched). *)
+
+  val spo_inline : Config.t -> hungry:int -> bool
+  (** SPO (§4.1) as frame procrastination for the multicore engine: with
+      no hungry worker there is nobody to share with, so skip the
+      parcall-frame setup entirely and run in place. *)
+
+  val pdo_contiguous : Config.t -> last:(int * int) option -> next:int * int -> bool
+  (** PDO (§4.2): true when [next] (frame id, slot index) is the
+      sequentially-next slot of the same frame [last] — the agent may
+      continue without markers / with sequential preference. *)
+
+  val publish_grain : Config.t -> nalts:int -> bool
+  (** Or-parallel granularity: a node is worth publishing only with at
+      least [config.grain] untried alternatives. *)
+
+  val chunk_alts : Config.t -> 'a list -> 'a list list
+  (** Splits published alternatives into runs of at most [config.chunk]
+      (0 = one run). *)
+
+  val lao_refurbish : Config.t -> top_exhausted:bool -> bool
+  (** LAO (§3.2): reuse the exhausted top choice point in place instead
+      of allocating a new node. *)
+end
+
+(** State copying shared by the copying engines: [snapshot_*] resolves
+    bindings away (publishing self-contained tasks), [raw_*] preserves
+    bindings so the receiving trail can undo them (MUSE stack copy).
+    [cells] counts copied cells for cost accounting. *)
+module Copy : sig
+  type table = (int, Term.var) Hashtbl.t
+
+  val snapshot_term : table -> int ref -> Term.t -> Term.t
+  val snapshot_body : table -> int ref -> Clause.body -> Clause.body
+  val raw_term : table -> int ref -> Term.t -> Term.t
+  val raw_items : table -> int ref -> Clause.item list -> Clause.item list
+  val raw_var : table -> int ref -> Term.var -> Term.var
+end
+
+(** Helpers for recomputation-free and-parallel joins: each parcall slot
+    gets a tuple of the free variables of its body; slot solutions are
+    recorded as snapshots of that tuple and joined by unifying the tuple
+    template against every cross-product row. *)
+module Parcall : sig
+  val slot_tuples : Clause.body list -> Term.t array option
+  (** Per-branch ['$partuple'] terms over the branch's free variables,
+      or [None] when two branches share a free variable (not strictly
+      independent — the caller must fall back to sequential
+      execution). *)
+
+  val template : Term.t array -> Term.t
+  (** The ['$parjoin'] term over the live tuples, unified against each
+      row. *)
+
+  val cross : Term.t list array -> Term.t list
+  (** All ['$parjoin'] rows of the per-slot solution lists, rightmost
+      slot varying fastest (the sequential enumeration order). *)
+end

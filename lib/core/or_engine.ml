@@ -30,9 +30,7 @@
    the entire search tree (or until [max_solutions]). *)
 
 module Term = Ace_term.Term
-module Symbol = Ace_term.Symbol
 module Trail = Ace_term.Trail
-module Unify = Ace_term.Unify
 module Clause = Ace_lang.Clause
 module Database = Ace_lang.Database
 module Cost = Ace_machine.Cost
@@ -98,46 +96,20 @@ let chaos_yield st =
   let j = Chaos.jitter st.chaos.(cur st) in
   if j > 0 then Sim.tick j
 
-let charge_untrail st n =
-  if n > 0 then begin
-    charge st (n * st.cost.Cost.untrail);
-    (shard st).Stats.untrails <- (shard st).Stats.untrails + n
-  end
+(* The kernel resolver instantiated for this engine: charges tick the
+   discrete-event simulator, stats go to the current agent's shard. *)
+module K = Kernel.Resolver (struct
+  type nonrec t = t
+
+  let name = "the or-parallel engine"
+  let cost st = st.cost
+  let stats = shard
+  let charge = charge
+end)
 
 (* ------------------------------------------------------------------ *)
 (* Raw state copying (the MUSE stack copy)                             *)
 (* ------------------------------------------------------------------ *)
-
-(* Copies a term *without* dereferencing: bound variables are copied as
-   bound variables so that the thief's trail can undo them independently.
-   [cells] counts copied cells for cost charging. *)
-let rec copy_raw table cells t =
-  incr cells;
-  match t with
-  | Term.Atom _ | Term.Int _ -> t
-  | Term.Struct (f, args) -> Term.Struct (f, Array.map (copy_raw table cells) args)
-  | Term.Var v -> (
-    match Hashtbl.find_opt table v.Term.vid with
-    | Some v' -> Term.Var v'
-    | None ->
-      let v' = Term.fresh_var () in
-      Hashtbl.add table v.Term.vid v';
-      (match v.Term.binding with
-       | Some b -> v'.Term.binding <- Some (copy_raw table cells b)
-       | None -> ());
-      Term.Var v')
-
-let rec copy_items table cells items =
-  List.map
-    (function
-      | Clause.Call g -> Clause.Call (copy_raw table cells g)
-      | Clause.Par bodies -> Clause.Par (List.map (copy_items table cells) bodies))
-    items
-
-let copy_var table cells v =
-  match copy_raw table cells (Term.Var v) with
-  | Term.Var v' -> v'
-  | Term.Atom _ | Term.Int _ | Term.Struct _ -> assert false
 
 (* Copies the victim's entire machine state into the thief (full stack +
    full trail, exactly like a MUSE stack copy); the caller then backtracks
@@ -149,9 +121,9 @@ let copy_state st ~victim ~thief =
     List.map
       (fun cp ->
         {
-          o_goal = copy_raw table cells cp.o_goal;
+          o_goal = Kernel.Copy.raw_term table cells cp.o_goal;
           o_alts = cp.o_alts; (* shared *)
-          o_cont = copy_items table cells cp.o_cont;
+          o_cont = Kernel.Copy.raw_items table cells cp.o_cont;
           o_trail = cp.o_trail;
         })
       victim.w_cps
@@ -159,7 +131,7 @@ let copy_state st ~victim ~thief =
   let trail = Trail.create () in
   let n = Trail.size victim.w_trail in
   let entries = Trail.segment victim.w_trail ~lo:0 ~hi:n in
-  Array.iter (fun v -> Trail.push trail (copy_var table cells v)) entries;
+  Array.iter (fun v -> Trail.push trail (Kernel.Copy.raw_var table cells v)) entries;
   thief.w_cps <- cps;
   thief.w_trail <- trail;
   charge st (st.cost.Cost.copy_setup + (!cells * st.cost.Cost.copy_cell));
@@ -171,40 +143,11 @@ let copy_state st ~victim ~thief =
 (* Resolution                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let solution_goal st =
-  Clause.Call (Term.Struct (Symbol.solution, [| st.goal |]))
-
 let call_builtin st w goal =
   let ctx = Builtins.make_ctx ?output:st.output ~trail:w.w_trail () in
-  let trail0 = Trail.size w.w_trail in
-  let outcome = Builtins.call ctx goal in
-  let steps = !(ctx.Builtins.steps) and arith = !(ctx.Builtins.arith_nodes) in
-  let pushed = Trail.size w.w_trail - trail0 in
-  charge st st.cost.Cost.builtin;
-  (shard st).Stats.builtin_calls <- (shard st).Stats.builtin_calls + 1;
-  charge st ((steps * st.cost.Cost.unify_step) + (arith * st.cost.Cost.arith_op));
-  charge st (max 0 pushed * st.cost.Cost.trail_push);
-  (shard st).Stats.unify_steps <- (shard st).Stats.unify_steps + steps;
-  (shard st).Stats.trail_pushes <- (shard st).Stats.trail_pushes + max 0 pushed;
-  outcome
+  K.call_builtin st ctx goal
 
-let try_clause st w goal clause =
-  charge st st.cost.Cost.clause_try;
-  (shard st).Stats.clause_tries <- (shard st).Stats.clause_tries + 1;
-  let head, fresh = Clause.rename_head clause in
-  let steps = ref 0 in
-  let mark = Trail.mark w.w_trail in
-  let ok = Unify.unify ~trail:w.w_trail ~steps head goal in
-  charge st (!steps * st.cost.Cost.unify_step);
-  (shard st).Stats.unify_steps <- (shard st).Stats.unify_steps + !steps;
-  let pushed = Trail.size w.w_trail - mark in
-  charge st (pushed * st.cost.Cost.trail_push);
-  (shard st).Stats.trail_pushes <- (shard st).Stats.trail_pushes + pushed;
-  if ok then Some (Clause.rename_body clause fresh)
-  else begin
-    charge_untrail st (Trail.undo_to w.w_trail mark);
-    None
-  end
+let try_clause st w goal clause = K.try_clause st ~trail:w.w_trail goal clause
 
 (* Choice-point creation, with the LAO check: if the current top node is
    exhausted, refurbish it in place instead of allocating a new node. *)
@@ -215,7 +158,8 @@ let push_cp st w ~goal ~alts ~cont =
   chaos_yield st;
   if st.config.Config.lao then charge st st.cost.Cost.runtime_check;
   match w.w_cps with
-  | top :: _ when st.config.Config.lao && !(top.o_alts) = [] ->
+  | top :: _
+    when Kernel.Schema.lao_refurbish st.config ~top_exhausted:(!(top.o_alts) = []) ->
     charge st st.cost.Cost.lao_update;
     (shard st).Stats.cp_updates <- (shard st).Stats.cp_updates + 1;
     (shard st).Stats.lao_hits <- (shard st).Stats.lao_hits + 1;
@@ -254,8 +198,8 @@ let rec run_worker st w (cont : Clause.item list) : unit =
     | Clause.Call g :: rest -> dispatch st w g rest
 
 and dispatch st w g cont =
-  match Term.deref g with
-  | Term.Struct (s, [| goal |]) when Symbol.equal s Symbol.solution ->
+  match Kernel.classify g with
+  | Kernel.Sentinel goal ->
     if !debug then Format.eprintf "[w%d] solution %s@." w.w_id (Ace_term.Pp.to_string goal);
     record_solution st;
     st.solutions <- Term.copy_resolved goal :: st.solutions;
@@ -269,40 +213,24 @@ and dispatch st w g cont =
       Sim.stop st.sim
     end
     else backtrack st w (* report-and-fail drives the full search *)
-  | Term.Atom s when Symbol.equal s Symbol.cut ->
-    Errors.error "control construct %s not supported inside the or-parallel engine"
-      (Ace_term.Pp.to_string g)
-  | Term.Struct (s, _)
-    when Symbol.equal s Symbol.semicolon
-         || Symbol.equal s Symbol.arrow
-         || Symbol.equal s Symbol.naf ->
-    Errors.error "control construct %s not supported inside the or-parallel engine"
-      (Ace_term.Pp.to_string g)
-  | Term.Struct (s, [| _; _ |])
-    when Symbol.equal s Symbol.comma || Symbol.equal s Symbol.amp ->
-    run_worker st w (Clause.compile_body g @ cont)
-  | Term.Struct (s, [| g |]) when Symbol.equal s Symbol.call ->
-    dispatch st w g cont
-  | g -> (
+  | Kernel.Cut | Kernel.Disj _ | Kernel.Ite _ | Kernel.Naf _ ->
+    K.unsupported st (Term.deref g)
+  | Kernel.Conj g | Kernel.Amp g -> run_worker st w (Clause.compile_body g @ cont)
+  | Kernel.Meta g -> dispatch st w g cont
+  | Kernel.Goal g -> (
     match call_builtin st w g with
     | Builtins.Ok -> run_worker st w cont
     | Builtins.Fail -> backtrack st w
     | Builtins.Not_builtin -> user_call st w g cont)
 
 and user_call st w g cont =
-  charge st st.cost.Cost.index_lookup;
-  match Database.lookup st.db g with
-  | None ->
-    let name, arity =
-      match Term.functor_name_of g with Some na -> na | None -> ("?", 0)
-    in
-    Errors.existence_error name arity
-  | Some [] -> backtrack st w
-  | Some [ clause ] -> (
+  match K.lookup st st.db g with
+  | [] -> backtrack st w
+  | [ clause ] -> (
     match try_clause st w g clause with
     | Some body -> run_worker st w (body @ cont)
     | None -> backtrack st w)
-  | Some (clause :: rest) -> (
+  | clause :: rest -> (
     push_cp st w ~goal:g ~alts:rest ~cont;
     match try_clause st w g clause with
     | Some body -> run_worker st w (body @ cont)
@@ -330,7 +258,7 @@ and backtrack st w =
       | clause :: alts ->
         if !debug then Format.eprintf "[w%d] retry %s@." w.w_id (Ace_term.Pp.to_string cp.o_goal);
         cp.o_alts := alts;
-        charge_untrail st (Trail.undo_to w.w_trail cp.o_trail);
+        K.untrail st w.w_trail cp.o_trail;
         charge st st.cost.Cost.cp_restore;
         (match try_clause st w cp.o_goal clause with
          | Some body -> run_worker st w (body @ cp.o_cont)
@@ -417,7 +345,7 @@ let try_steal st (w : worker) =
             charge st (visited * st.cost.Cost.backtrack_node);
             (shard st).Stats.bt_nodes_visited <-
               (shard st).Stats.bt_nodes_visited + visited;
-            charge_untrail st (Trail.undo_to w.w_trail cp.o_trail);
+            K.untrail st w.w_trail cp.o_trail;
             charge st (st.cost.Cost.cp_restore + st.cost.Cost.steal_grab);
             (shard st).Stats.steals <- (shard st).Stats.steals + 1;
             record st Trace.Steal victim.w_id;
@@ -508,18 +436,16 @@ let create ?output ?(trace = Trace.disabled) ?(chaos = Chaos.disabled)
   }
 
 let run st =
-  let init = Clause.compile_body st.goal @ [ solution_goal st ] in
+  let init = Kernel.sentinel_body st.goal in
   Array.iter
     (fun w ->
       let initial = if w.w_id = 0 then Some init else None in
       Sim.spawn st.sim ~agent:w.w_id (worker_body st w ~initial))
     st.workers;
   Sim.run st.sim;
-  let total = Stats.create () in
-  Array.iter (fun s -> Stats.merge_into ~into:total s) st.shards;
   {
     solutions = List.rev st.solutions;
-    stats = total;
+    stats = Kernel.merge_shards st.shards;
     per_agent = st.shards;
     time = Sim.stop_time st.sim;
   }

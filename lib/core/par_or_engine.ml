@@ -1,57 +1,49 @@
-(* Hardware or-parallel engine: the wall-clock twin of {!Or_engine}.
+(* Hardware and+or parallel engine: the wall-clock twin of {!Or_engine}
+   (which reproduces the paper's numbers on a deterministic simulator),
+   extended with &ACE-style and-parallelism on OCaml 5 domains.
 
-   {!Or_engine} reproduces the paper's LAO numbers on a deterministic
-   discrete-event simulator; this engine runs the same search on real
-   silicon using OCaml 5 domains.  The design is the MUSE environment-
-   copying model mapped onto a work-stealing scheduler:
+   Or-parallelism is the MUSE environment-copying model on a
+   work-stealing scheduler.  Each worker (one per domain) owns a private
+   machine — choice points, trail, its own term copies — and shares only
+   the read-only database, so forward execution and local backtracking
+   never synchronize.  Unexplored alternatives are published on demand:
+   while some worker is hungry, a running worker snapshots its
+   bottom-most live choice point (the biggest unexplored subtree) at its
+   creation state — trail segment above its mark temporarily unwound,
+   MUSE's incremental copy — into self-contained tasks on its deque,
+   throttled by the hungry count so a saturated machine runs at
+   private-backtracking speed with zero copies.  The paper's LAO schema
+   is structural: taking the last alternative of an owned node trust-pops
+   it and continues in place ([lao_hits]); only published nodes pay the
+   copy.  Thieves steal oldest-first (biggest subtree); owners pop
+   newest-first (cache-warm, no copy).
 
-   - Every worker (one per domain) owns a complete private machine state:
-     choice-point stack, trail, and its own copies of every term it binds.
-     Workers share only the clause database (read-only after consult) and
-     the atomic fresh-variable counter, so forward execution and local
-     backtracking never synchronize — the property that makes or-parallel
-     Prolog scale on shared-memory multicores (Vieira, Rocha & Silva).
+   And-parallelism ([config.par_and]): a parcall whose branches are
+   strictly independent at runtime ({!Kernel.Parcall.slot_tuples})
+   allocates a heap frame with one slot per branch; non-first slots are
+   offered to thieves as [Slot] tasks through the same deques.  Each slot
+   enumerates all its solutions on a private sub-machine, recording its
+   free-variable tuple per solution; an empty slot fails the frame and
+   kills the siblings (inside failure).  The join replays the cross
+   product of recorded tuples through an ordinary — hence or-publishable
+   — choice point whose alternatives are join rows, trading the paper's
+   marker-per-slot recomputation for enumerate-once / join-by-unification
+   with one atomic per slot.  Frame setup is guarded by the schemas:
+   sequentialization below [seq_threshold], LPCO flattening of nested
+   parcalls, SPO skipping the frame while nobody is hungry, and PDO
+   steering the owner to the sequentially-next free slot.  Slot
+   sub-machines do not or-publish (their solutions join locally); nested
+   parcalls inside a slot do spawn further [Slot] tasks.
 
-   - Unexplored alternatives are published on demand.  When another worker
-     is hungry (idle and looking for work), a running worker snapshots its
-     *bottom-most* choice point that still has untried alternatives — the
-     node nearest the root, i.e. the biggest unexplored subtree — into a
-     self-contained task (goal + continuation copied with bindings
-     resolved; this is the environment copy, charged to the publisher) and
-     pushes it onto its work-stealing deque.  The snapshot is taken at the
-     choice point's creation state by temporarily unwinding the trail
-     segment above its mark, exactly the incremental-copy discipline of
-     MUSE.  Publishing is throttled: a worker publishes only while its
-     deque holds fewer tasks than there are hungry workers, so a saturated
-     machine runs at private-backtracking speed with zero copies.
-
-   - The paper's LAO / sequentialization schema (§3.2) appears here
-     structurally rather than as a flag: a worker taking the last
-     alternative of a node it owns trust-pops the node and continues in
-     place — no re-dispatch, no copy, no synchronization (counted as
-     [lao_hits]).  Only published (shared) nodes ever pay the copy, which
-     is the simulated engine's account of why LAO converts member/2-style
-     generators from O(nodes) shared overhead into in-place iteration.
-
-   - Thieves steal from the top of a victim's deque (oldest task, biggest
-     subtree); an owner re-acquiring its own published work pops from the
-     bottom (deepest, cache-warm) with no further copying.
-
-   Termination uses an outstanding-task counter: the root task counts one,
-   every published task one more, and a worker decrements when a task's
-   subtree is exhausted.  Idle workers spin (with [Domain.cpu_relax])
-   until the counter reaches zero or a solution limit stops the run.
-
-   Like {!Or_engine}, parallel conjunctions run sequentially and cut /
-   if-then-else / negation are rejected.  Solutions are collected through
-   a mutex-guarded channel in nondeterministic discovery order for P > 1;
-   with one domain the engine is exactly a sequential backtracker and
-   reproduces the sequential solution order. *)
+   Termination: an outstanding-task counter (root = 1, each published
+   task one more), decremented when a task's subtree is exhausted; a
+   [Slot] already run by its frame's owner is discarded on pop.  Idle
+   workers spin with [Domain.cpu_relax] until the counter hits zero or a
+   solution limit stops the run.  Cut / if-then-else / negation are
+   rejected; solutions arrive through a mutex-guarded channel. *)
 
 module Term = Ace_term.Term
-module Symbol = Ace_term.Symbol
 module Trail = Ace_term.Trail
-module Unify = Ace_term.Unify
 module Clause = Ace_lang.Clause
 module Database = Ace_lang.Database
 module Stats = Ace_machine.Stats
@@ -60,20 +52,44 @@ module Deque = Ace_sched.Deque
 module Chaos = Ace_sched.Chaos
 module Trace = Ace_obs.Trace
 module Metrics = Ace_obs.Metrics
+module Schema = Kernel.Schema
 
-(* A task is a self-contained unit of or-work: its terms are private
-   copies, so the receiving worker needs no further setup. *)
+(* An alternative of a choice point: a program clause, or a recorded
+   and-parallel join row to unify the tuple template against. *)
+type alt =
+  | Aclause of Clause.t
+  | Acombo of Term.t
+
+(* A task is a self-contained unit of work: or-tasks carry private
+   copies; a [Slot] task is claimed by CAS (the frame owner may get
+   there first, making the deque entry stale). *)
 type task =
   | Root of Clause.body
   | Node of {
-      n_goal : Term.t;          (* snapshot of the choice point's goal *)
-      n_alts : Clause.t list;   (* the untried alternatives, >= 1 *)
-      n_cont : Clause.body;     (* snapshot of its continuation *)
+      n_goal : Term.t;       (* snapshot of the choice point's goal *)
+      n_alts : alt list;     (* the untried alternatives, >= 1 *)
+      n_cont : Clause.body;  (* snapshot of its continuation *)
     }
+  | Slot of pslot
+
+and pslot = {
+  ps_state : int Atomic.t;  (* 0 = free, 1 = running, 2 = finished *)
+  ps_frame : pframe;
+  ps_body : Clause.body;
+  ps_tuple : Term.t;  (* '$partuple' over the branch's free variables *)
+  mutable ps_sols : Term.t list;
+    (* recorded tuple snapshots, newest first; written only by the
+       claiming worker, published to the owner by [ps_state := 2] *)
+}
+
+and pframe = {
+  pf_id : int;
+  pf_failed : bool Atomic.t;  (* inside failure: some slot had no solution *)
+}
 
 type cp = {
   cp_goal : Term.t;
-  mutable cp_alts : Clause.t list;
+  mutable cp_alts : alt list;
   cp_cont : Clause.body;
   cp_trail : int;
 }
@@ -84,6 +100,7 @@ type shared = {
   deques : task Deque.t array;
   hungry : int Atomic.t;      (* workers currently idle and stealing *)
   outstanding : int Atomic.t; (* tasks created but not yet exhausted *)
+  frame_ids : int Atomic.t;
   stop : bool Atomic.t;
   failure : exn option Atomic.t; (* first worker exception, re-raised *)
   sol_mutex : Mutex.t;
@@ -91,74 +108,82 @@ type shared = {
   mutable sol_count : int;        (* guarded by [sol_mutex] *)
 }
 
+(* One resolution machine: the worker's root search, or a parcall slot's
+   private enumeration.  Either way the state is private to the running
+   worker. *)
+type mach = {
+  m_trail : Trail.t;
+  m_ctx : Builtins.ctx;
+  mutable m_cps : cp list; (* newest first *)
+  mutable m_live : int;    (* choice points with untried alternatives *)
+  m_slot : pslot option;   (* Some: slot enumeration (no or-publishing) *)
+}
+
 type worker = {
   w_id : int;
   sh : shared;
-  trail : Trail.t;
   shard : Metrics.shard;
     (* worker-private metrics; single-writer, aggregated after the join *)
   stats : Stats.t; (* alias of [shard.s_stats], for the hot-path updates *)
   tbuf : Trace.buffer; (* worker-private trace ring ([Trace.null] when off) *)
-  ctx : Builtins.ctx;
   out : Buffer.t option; (* worker-private output, appended after the join *)
   chaos : Chaos.agent;
     (* per-worker fault-injection stream ([Chaos.null_agent] when off) *)
-  mutable cps : cp list; (* newest first *)
-  mutable live_alts : int; (* choice points with untried alternatives *)
+  root : mach;
 }
 
 let stopped w = Atomic.get w.sh.stop
+
+(* A slot enumeration aborts as soon as a sibling fails the frame. *)
+let aborted w m =
+  stopped w
+  ||
+  match m.m_slot with
+  | Some s -> Atomic.get s.ps_frame.pf_failed
+  | None -> false
+
+let make_mach ?slot ?output () =
+  let trail = Trail.create () in
+  {
+    m_trail = trail;
+    m_ctx = Builtins.make_ctx ?output ~trail ();
+    m_cps = [];
+    m_live = 0;
+    m_slot = slot;
+  }
+
+(* The kernel resolver instantiated for this engine: real time instead of
+   abstract cycles, so charging is a no-op and only stats remain. *)
+module K = Kernel.Resolver (struct
+  type t = worker
+
+  let name = "the or-parallel engine"
+  let cost w = w.sh.config.Config.cost
+  let stats w = w.stats
+  let charge _ _ = ()
+end)
 
 (* ------------------------------------------------------------------ *)
 (* Publishing (the MUSE environment copy)                              *)
 (* ------------------------------------------------------------------ *)
 
-(* Copies a term with bindings resolved away and unbound variables made
-   fresh through [table]; [cells] counts copied cells for the stats. *)
-let rec snapshot_term table cells t =
-  incr cells;
-  match Term.deref t with
-  | (Term.Atom _ | Term.Int _) as t' -> t'
-  | Term.Var v -> (
-    match Hashtbl.find_opt table v.Term.vid with
-    | Some v' -> Term.Var v'
-    | None ->
-      let v' = Term.fresh_var () in
-      Hashtbl.add table v.Term.vid v';
-      Term.Var v')
-  | Term.Struct (f, args) ->
-    Term.Struct (f, Array.map (snapshot_term table cells) args)
+let snapshot_term = Kernel.Copy.snapshot_term
+let snapshot_body = Kernel.Copy.snapshot_body
 
-let rec snapshot_body table cells body =
-  List.map
-    (function
-      | Clause.Call g -> Clause.Call (snapshot_term table cells g)
-      | Clause.Par bodies ->
-        Clause.Par (List.map (snapshot_body table cells) bodies))
-    body
+let snapshot_alt table cells = function
+  | Aclause c -> Aclause c (* clause templates are immutable and shared *)
+  | Acombo row -> Acombo (snapshot_term table cells row)
 
-(* A worker publishes only while someone is hungry and its deque is not
+(* A worker publishes only from its root machine (slot solutions are
+   joined locally), and only while someone is hungry and its deque is not
    already stocked for them: bounded copying, zero when saturated.  Chaos
    may veto an otherwise due publish (a delayed publish — the work stays
    private and a later opportunity ships it). *)
-let should_publish w =
-  w.live_alts > 0
+let should_publish w m =
+  m.m_slot = None && m.m_live > 0
   && (let h = Atomic.get w.sh.hungry in
       h > 0 && Deque.length w.sh.deques.(w.w_id) < h)
   && not (Chaos.publish_delayed w.chaos)
-
-(* Splits [alts] into runs of at most [chunk] alternatives (0 = one run). *)
-let chunk_alts chunk alts =
-  if chunk <= 0 then [ alts ]
-  else begin
-    let rec go acc run n = function
-      | [] -> List.rev (List.rev run :: acc)
-      | a :: rest ->
-        if n = chunk then go (List.rev run :: acc) [ a ] 1 rest
-        else go acc (a :: run) (n + 1) rest
-    in
-    go [] [] 0 alts
-  end
 
 (* Snapshots the bottom-most choice point whose untried-alternative count
    reaches the configured grain, at its creation state (trail segment above
@@ -168,16 +193,17 @@ let chunk_alts chunk alts =
    private to whichever worker takes them.  The node itself becomes
    exhausted for the owner.  Nodes below the grain are skipped — they stay
    reserved for private (cheap) backtracking. *)
-let publish w =
-  let grain = w.sh.config.Config.grain in
+let publish w m =
+  let config = w.sh.config in
   let rec last_live skipped acc = function
     | [] -> (skipped, acc)
     | cp :: rest ->
       if cp.cp_alts = [] then last_live skipped acc rest
-      else if List.length cp.cp_alts >= grain then last_live skipped (Some cp) rest
+      else if Schema.publish_grain config ~nalts:(List.length cp.cp_alts) then
+        last_live skipped (Some cp) rest
       else last_live (skipped + 1) acc rest
   in
-  match last_live 0 None w.cps with
+  match last_live 0 None m.m_cps with
   | skipped, None ->
     if skipped > 0 then begin
       w.stats.Stats.publish_skipped_small <-
@@ -185,16 +211,17 @@ let publish w =
       Trace.record w.tbuf Trace.Publish_skip skipped
     end
   | _, Some cp ->
-    let seg = Trail.segment w.trail ~lo:cp.cp_trail ~hi:(Trail.size w.trail) in
+    let seg = Trail.segment m.m_trail ~lo:cp.cp_trail ~hi:(Trail.size m.m_trail) in
     let saved = Array.map (fun (v : Term.var) -> v.Term.binding) seg in
     Array.iter (fun (v : Term.var) -> v.Term.binding <- None) seg;
-    let chunks = chunk_alts w.sh.config.Config.chunk cp.cp_alts in
+    let chunks = Schema.chunk_alts config cp.cp_alts in
     let tasks =
       List.map
-        (fun n_alts ->
+        (fun alts ->
           let table = Hashtbl.create 64 in
           let cells = ref 0 in
           let goal = snapshot_term table cells cp.cp_goal in
+          let n_alts = List.map (snapshot_alt table cells) alts in
           let cont = snapshot_body table cells cp.cp_cont in
           w.stats.Stats.copies <- w.stats.Stats.copies + 1;
           w.stats.Stats.copied_cells <- w.stats.Stats.copied_cells + !cells;
@@ -205,14 +232,14 @@ let publish w =
     in
     Array.iteri (fun i (v : Term.var) -> v.Term.binding <- saved.(i)) seg;
     cp.cp_alts <- [];
-    w.live_alts <- w.live_alts - 1;
+    m.m_live <- m.m_live - 1;
     Trace.record w.tbuf Trace.Publish (List.length tasks);
     List.iter
       (fun task ->
         (match task with
          | Node { n_alts; _ } ->
            Trace.record w.tbuf Trace.Task_spawn (List.length n_alts)
-         | Root _ -> ());
+         | Root _ | Slot _ -> ());
         Atomic.incr w.sh.outstanding;
         (* forced preemption between the accounting and the push widens the
            window in which thieves observe outstanding > 0 with an empty
@@ -225,41 +252,20 @@ let publish w =
 (* Resolution (private, no synchronization)                            *)
 (* ------------------------------------------------------------------ *)
 
-let call_builtin w goal =
-  let steps0 = !(w.ctx.Builtins.steps) in
-  let trail0 = Trail.size w.trail in
-  let outcome = Builtins.call w.ctx goal in
-  w.stats.Stats.builtin_calls <- w.stats.Stats.builtin_calls + 1;
-  w.stats.Stats.unify_steps <-
-    w.stats.Stats.unify_steps + !(w.ctx.Builtins.steps) - steps0;
-  w.stats.Stats.trail_pushes <-
-    w.stats.Stats.trail_pushes + max 0 (Trail.size w.trail - trail0);
-  outcome
+let try_alt w m goal = function
+  | Aclause clause -> K.try_clause w ~trail:m.m_trail goal clause
+  | Acombo row ->
+    (* join replay: bind the tuple template to one cross-product row *)
+    if K.unify_goal w ~trail:m.m_trail goal row then Some [] else None
 
-let try_clause w goal clause =
-  w.stats.Stats.clause_tries <- w.stats.Stats.clause_tries + 1;
-  let head, fresh = Clause.rename_head clause in
-  let steps = ref 0 in
-  let mark = Trail.mark w.trail in
-  let ok = Unify.unify ~trail:w.trail ~steps head goal in
-  w.stats.Stats.unify_steps <- w.stats.Stats.unify_steps + !steps;
-  w.stats.Stats.trail_pushes <-
-    w.stats.Stats.trail_pushes + (Trail.size w.trail - mark);
-  if ok then Some (Clause.rename_body clause fresh)
-  else begin
-    w.stats.Stats.untrails <-
-      w.stats.Stats.untrails + Trail.undo_to w.trail mark;
-    None
-  end
-
-let push_cp w ~goal ~alts ~cont =
+let push_cp w m ~goal ~alts ~cont =
   w.stats.Stats.cp_allocs <- w.stats.Stats.cp_allocs + 1;
   w.stats.Stats.stack_words <-
     w.stats.Stats.stack_words + Ace_machine.Cost.words_choice_point;
-  w.cps <-
-    { cp_goal = goal; cp_alts = alts; cp_cont = cont; cp_trail = Trail.mark w.trail }
-    :: w.cps;
-  if alts <> [] then w.live_alts <- w.live_alts + 1
+  m.m_cps <-
+    { cp_goal = goal; cp_alts = alts; cp_cont = cont; cp_trail = Trail.mark m.m_trail }
+    :: m.m_cps;
+  if alts <> [] then m.m_live <- m.m_live + 1
 
 let record_solution w goal =
   let s = Term.copy_resolved goal in
@@ -287,91 +293,232 @@ let record_solution w goal =
     Trace.record w.tbuf Trace.Solution 0
   end
 
-let rec run_worker w (cont : Clause.body) : unit =
-  if stopped w then ()
+let rec run_mach w m (cont : Clause.body) : unit =
+  if aborted w m then ()
   else
     match cont with
-    | [] -> backtrack w
-    | Clause.Par bodies :: rest ->
-      (* the or-engines run '&' sequentially *)
-      run_worker w (List.concat bodies @ rest)
-    | Clause.Call g :: rest -> dispatch w g rest
+    | [] ->
+      (* root: only reachable without the sentinel — treat as done.
+         Slot: one complete solution of the branch — record its tuple. *)
+      (match m.m_slot with
+       | Some s -> s.ps_sols <- Term.copy_resolved s.ps_tuple :: s.ps_sols
+       | None -> ());
+      backtrack w m
+    | Clause.Par bodies :: rest -> exec_parcall w m bodies rest
+    | Clause.Call g :: rest -> dispatch w m g rest
 
-and dispatch w g cont =
-  match Term.deref g with
-  | Term.Struct (s, [| goal |]) when Symbol.equal s Symbol.solution ->
+and dispatch w m g cont =
+  match Kernel.classify g with
+  | Kernel.Sentinel goal ->
     record_solution w goal;
-    backtrack w (* report-and-fail drives the full search *)
-  | Term.Atom s when Symbol.equal s Symbol.cut ->
-    Errors.error "control construct %s not supported inside the or-parallel engine"
-      (Ace_term.Pp.to_string g)
-  | Term.Struct (s, _)
-    when Symbol.equal s Symbol.semicolon
-         || Symbol.equal s Symbol.arrow
-         || Symbol.equal s Symbol.naf ->
-    Errors.error "control construct %s not supported inside the or-parallel engine"
-      (Ace_term.Pp.to_string g)
-  | Term.Struct (s, [| _; _ |])
-    when Symbol.equal s Symbol.comma || Symbol.equal s Symbol.amp ->
-    run_worker w (Clause.compile_body g @ cont)
-  | Term.Struct (s, [| g |]) when Symbol.equal s Symbol.call ->
-    dispatch w g cont
-  | g -> (
-    match call_builtin w g with
-    | Builtins.Ok -> run_worker w cont
-    | Builtins.Fail -> backtrack w
-    | Builtins.Not_builtin -> user_call w g cont)
+    backtrack w m (* report-and-fail drives the full search *)
+  | Kernel.Cut | Kernel.Disj _ | Kernel.Ite _ | Kernel.Naf _ ->
+    K.unsupported w (Term.deref g)
+  | Kernel.Conj g | Kernel.Amp g -> run_mach w m (Clause.compile_body g @ cont)
+  | Kernel.Meta g -> dispatch w m g cont
+  | Kernel.Goal g -> (
+    match K.call_builtin w m.m_ctx g with
+    | Builtins.Ok -> run_mach w m cont
+    | Builtins.Fail -> backtrack w m
+    | Builtins.Not_builtin -> user_call w m g cont)
 
-and user_call w g cont =
-  match Database.lookup w.sh.db g with
-  | None ->
-    let name, arity =
-      match Term.functor_name_of g with Some na -> na | None -> ("?", 0)
-    in
-    Errors.existence_error name arity
-  | Some [] -> backtrack w
-  | Some [ clause ] -> (
+and user_call w m g cont =
+  match K.lookup w w.sh.db g with
+  | [] -> backtrack w m
+  | [ clause ] -> (
     (* determinate after indexing: no choice point *)
-    match try_clause w g clause with
-    | Some body -> run_worker w (body @ cont)
-    | None -> backtrack w)
-  | Some (clause :: rest) -> (
-    push_cp w ~goal:g ~alts:rest ~cont;
-    if should_publish w then publish w;
-    match try_clause w g clause with
-    | Some body -> run_worker w (body @ cont)
-    | None -> backtrack w)
+    match K.try_clause w ~trail:m.m_trail g clause with
+    | Some body -> run_mach w m (body @ cont)
+    | None -> backtrack w m)
+  | clause :: rest -> (
+    push_cp w m ~goal:g ~alts:(List.map (fun c -> Aclause c) rest) ~cont;
+    if should_publish w m then publish w m;
+    match K.try_clause w ~trail:m.m_trail g clause with
+    | Some body -> run_mach w m (body @ cont)
+    | None -> backtrack w m)
 
 (* Private backtracking.  Taking the last alternative of an owned node
    trust-pops it and continues in place — the engine's structural LAO. *)
-and backtrack w =
+and backtrack w m =
   w.stats.Stats.backtracks <- w.stats.Stats.backtracks + 1;
-  if stopped w then ()
+  if aborted w m then ()
   else begin
     Chaos.preempt w.chaos;
-    if should_publish w then publish w;
-    match w.cps with
-    | [] -> () (* task exhausted; the worker loop takes over *)
+    if should_publish w m then publish w m;
+    match m.m_cps with
+    | [] -> () (* machine exhausted; the worker/slot loop takes over *)
     | cp :: below -> (
       w.stats.Stats.bt_nodes_visited <- w.stats.Stats.bt_nodes_visited + 1;
       match cp.cp_alts with
       | [] ->
         (* published or spent node: pop and keep unwinding *)
-        w.cps <- below;
-        backtrack w
-      | clause :: rest ->
+        m.m_cps <- below;
+        backtrack w m
+      | alt :: rest ->
         w.stats.Stats.untrails <-
-          w.stats.Stats.untrails + Trail.undo_to w.trail cp.cp_trail;
+          w.stats.Stats.untrails + Trail.undo_to m.m_trail cp.cp_trail;
         if rest = [] then begin
-          w.cps <- below;
-          w.live_alts <- w.live_alts - 1;
+          m.m_cps <- below;
+          m.m_live <- m.m_live - 1;
           w.stats.Stats.lao_hits <- w.stats.Stats.lao_hits + 1;
           Trace.record w.tbuf Trace.Lao_hit 0
         end
         else cp.cp_alts <- rest;
-        (match try_clause w cp.cp_goal clause with
-         | Some body -> run_worker w (body @ cp.cp_cont)
-         | None -> backtrack w))
+        (match try_alt w m cp.cp_goal alt with
+         | Some body -> run_mach w m (body @ cp.cp_cont)
+         | None -> backtrack w m))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* And-parallel parcall frames                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Enumerates one slot to exhaustion on a private sub-machine.  Runs on
+   whichever worker claimed the slot (owner in place, or a thief through
+   a [Slot] task). *)
+and run_pslot w s =
+  Trace.record w.tbuf Trace.Task_start s.ps_frame.pf_id;
+  w.stats.Stats.task_switches <- w.stats.Stats.task_switches + 1;
+  let m = make_mach ~slot:s ?output:w.out () in
+  run_mach w m s.ps_body;
+  ignore (Trail.undo_to m.m_trail 0);
+  if s.ps_sols = [] && not (stopped w) then begin
+    (* inside failure (or a sibling already failed): kill the frame *)
+    Atomic.set s.ps_frame.pf_failed true;
+    w.stats.Stats.kills <- w.stats.Stats.kills + 1
+  end;
+  Atomic.set s.ps_state 2;
+  Trace.record w.tbuf Trace.Task_finish s.ps_frame.pf_id
+
+(* A parallel conjunction.  Without [par_and] (or when a schema decision
+   says so) it runs as a plain sequential conjunction on the current
+   machine. *)
+and exec_parcall w m bodies cont =
+  let config = w.sh.config in
+  let sequential () = run_mach w m (List.concat bodies @ cont) in
+  if not config.Config.par_and then sequential ()
+  else if
+    config.Config.seq_threshold > 0 && Schema.sequentialize config bodies
+  then begin
+    w.stats.Stats.seq_hits <- w.stats.Stats.seq_hits + 1;
+    sequential ()
+  end
+  else begin
+    let bodies, splices = Schema.lpco_flatten config bodies in
+    if splices > 0 then begin
+      w.stats.Stats.lpco_hits <- w.stats.Stats.lpco_hits + splices;
+      w.stats.Stats.frames_avoided <- w.stats.Stats.frames_avoided + splices;
+      Trace.record w.tbuf Trace.Lpco_hit splices
+    end;
+    let sequential () = run_mach w m (List.concat bodies @ cont) in
+    if Schema.spo_inline config ~hungry:(Atomic.get w.sh.hungry) then begin
+      (* SPO, procrastinated to frame granularity: nobody to share with,
+         so skip the parcall-frame setup entirely *)
+      w.stats.Stats.spo_hits <- w.stats.Stats.spo_hits + 1;
+      w.stats.Stats.frames_avoided <- w.stats.Stats.frames_avoided + 1;
+      Trace.record w.tbuf Trace.Spo_hit 0;
+      sequential ()
+    end
+    else
+      match Kernel.Parcall.slot_tuples bodies with
+      | None -> sequential () (* shared variable: not strictly independent *)
+      | Some tuples when Array.length tuples < 2 -> sequential ()
+      | Some tuples -> run_parcall w m bodies tuples cont
+  end
+
+and run_parcall w m bodies tuples cont =
+  let n = Array.length tuples in
+  let fr =
+    { pf_id = Atomic.fetch_and_add w.sh.frame_ids 1;
+      pf_failed = Atomic.make false }
+  in
+  let bodies = Array.of_list bodies in
+  let slots =
+    Array.init n (fun i ->
+        {
+          ps_state = Atomic.make (if i = 0 then 1 else 0);
+          ps_frame = fr;
+          ps_body = bodies.(i);
+          ps_tuple = tuples.(i);
+          ps_sols = [];
+        })
+  in
+  w.stats.Stats.frames <- w.stats.Stats.frames + 1;
+  w.stats.Stats.slots <- w.stats.Stats.slots + n;
+  (* Offer every non-first slot to the thieves.  Pushed highest-index
+     first so the oldest deque entry (what a thief steals first) is the
+     slot farthest from the owner's own PDO-ordered claims. *)
+  for i = n - 1 downto 1 do
+    Atomic.incr w.sh.outstanding;
+    Trace.record w.tbuf Trace.Task_spawn fr.pf_id;
+    Chaos.preempt w.chaos;
+    Deque.push_bottom w.sh.deques.(w.w_id) (Slot slots.(i))
+  done;
+  (* The owner runs slot 0 in place (no markers, as in the paper), then
+     claims whatever is still free, sequentially-next slot first. *)
+  run_pslot w slots.(0);
+  let config = w.sh.config in
+  let last = ref (Some (fr.pf_id, 0)) in
+  let claim i = Atomic.compare_and_set slots.(i).ps_state 0 1 in
+  let rec help () =
+    if stopped w then ()
+    else begin
+      let next = match !last with Some (_, i) -> i + 1 | None -> n in
+      let pick =
+        if
+          next < n
+          && Schema.pdo_contiguous config ~last:!last ~next:(fr.pf_id, next)
+          && claim next
+        then begin
+          w.stats.Stats.pdo_hits <- w.stats.Stats.pdo_hits + 1;
+          Trace.record w.tbuf Trace.Pdo_hit fr.pf_id;
+          Some next
+        end
+        else begin
+          let rec scan i =
+            if i >= n then None else if claim i then Some i else scan (i + 1)
+          in
+          scan 1
+        end
+      in
+      match pick with
+      | Some i ->
+        run_pslot w slots.(i);
+        last := Some (fr.pf_id, i);
+        help ()
+      | None ->
+        (* every slot claimed; wait for stragglers on other domains *)
+        let rec wait i =
+          if i >= n || stopped w then ()
+          else if Atomic.get slots.(i).ps_state = 2 then wait (i + 1)
+          else begin
+            Chaos.preempt w.chaos;
+            Domain.cpu_relax ();
+            wait i
+          end
+        in
+        wait 0
+    end
+  in
+  help ();
+  if stopped w then ()
+  else if Atomic.get fr.pf_failed then backtrack w m
+  else begin
+    (* Join: replay the cross product of the recorded tuples, rightmost
+       slot fastest (the sequential enumeration order).  The rows become
+       ordinary choice-point alternatives, so a wide cross product is
+       or-publishable like any other node. *)
+    let rows = Kernel.Parcall.cross (Array.map (fun s -> List.rev s.ps_sols) slots) in
+    match rows with
+    | [] -> backtrack w m
+    | first :: rest ->
+      let template = Kernel.Parcall.template tuples in
+      if rest <> [] then begin
+        push_cp w m ~goal:template ~alts:(List.map (fun r -> Acombo r) rest) ~cont;
+        if should_publish w m then publish w m
+      end;
+      if K.unify_goal w ~trail:m.m_trail template first then run_mach w m cont
+      else backtrack w m
   end
 
 (* ------------------------------------------------------------------ *)
@@ -380,25 +527,45 @@ and backtrack w =
 
 let run_task w task =
   let t0 = Trace.now_ns w.tbuf in
-  Trace.record_at w.tbuf ~ts:t0 Trace.Task_start 0;
-  (match task with
-   | Root body -> run_worker w body
-   | Node { n_goal; n_alts; n_cont } -> (
-     match n_alts with
-     | [] -> ()
-     | first :: rest ->
-       if rest <> [] then push_cp w ~goal:n_goal ~alts:rest ~cont:n_cont;
-       (match try_clause w n_goal first with
-        | Some body -> run_worker w (body @ n_cont)
-        | None -> backtrack w)));
-  (* reset private state (relevant after an early stop) *)
-  ignore (Trail.undo_to w.trail 0);
-  w.cps <- [];
-  w.live_alts <- 0;
-  let dt = Trace.now_ns w.tbuf - t0 in
-  w.shard.Metrics.s_busy_ns <- w.shard.Metrics.s_busy_ns + dt;
-  Metrics.hist_add w.shard.Metrics.s_task_ns dt;
-  Trace.record w.tbuf Trace.Task_finish 0;
+  let ran =
+    match task with
+    | Root body ->
+      Trace.record_at w.tbuf ~ts:t0 Trace.Task_start 0;
+      run_mach w w.root body;
+      (* reset private state (relevant after an early stop) *)
+      ignore (Trail.undo_to w.root.m_trail 0);
+      w.root.m_cps <- [];
+      w.root.m_live <- 0;
+      true
+    | Node { n_goal; n_alts; n_cont } ->
+      Trace.record_at w.tbuf ~ts:t0 Trace.Task_start 0;
+      (match n_alts with
+       | [] -> ()
+       | first :: rest ->
+         if rest <> [] then
+           push_cp w w.root ~goal:n_goal ~alts:rest ~cont:n_cont;
+         (match try_alt w w.root n_goal first with
+          | Some body -> run_mach w w.root (body @ n_cont)
+          | None -> backtrack w w.root));
+      ignore (Trail.undo_to w.root.m_trail 0);
+      w.root.m_cps <- [];
+      w.root.m_live <- 0;
+      true
+    | Slot s ->
+      (* claim by CAS: the frame owner may have run it already, leaving a
+         stale deque entry to discard *)
+      if Atomic.compare_and_set s.ps_state 0 1 then begin
+        run_pslot w s;
+        true
+      end
+      else false
+  in
+  if ran then begin
+    let dt = Trace.now_ns w.tbuf - t0 in
+    w.shard.Metrics.s_busy_ns <- w.shard.Metrics.s_busy_ns + dt;
+    Metrics.hist_add w.shard.Metrics.s_task_ns dt;
+    Trace.record w.tbuf Trace.Task_finish 0
+  end;
   Atomic.decr w.sh.outstanding
 
 let rec main_loop w =
@@ -496,6 +663,7 @@ let solve ?output ?(trace = Trace.disabled) ?(chaos = Chaos.disabled)
       deques = Array.init p (fun _ -> Deque.create ());
       hungry = Atomic.make 0;
       outstanding = Atomic.make 1;
+      frame_ids = Atomic.make 0;
       stop = Atomic.make false;
       failure = Atomic.make None;
       sol_mutex = Mutex.create ();
@@ -505,7 +673,6 @@ let solve ?output ?(trace = Trace.disabled) ?(chaos = Chaos.disabled)
   in
   let workers =
     Array.init p (fun i ->
-        let trail = Trail.create () in
         let out =
           match output with None -> None | Some _ -> Some (Buffer.create 64)
         in
@@ -513,22 +680,15 @@ let solve ?output ?(trace = Trace.disabled) ?(chaos = Chaos.disabled)
         {
           w_id = i;
           sh;
-          trail;
           shard;
           stats = shard.Metrics.s_stats;
           tbuf = Trace.buffer trace ~dom:i;
-          ctx = Builtins.make_ctx ?output:out ~trail ();
           out;
           chaos = Chaos.agent chaos i;
-          cps = [];
-          live_alts = 0;
+          root = make_mach ?output:out ();
         })
   in
-  let init =
-    Clause.compile_body goal
-    @ [ Clause.Call (Term.Struct (Symbol.solution, [| goal |])) ]
-  in
-  Deque.push_bottom sh.deques.(0) (Root init);
+  Deque.push_bottom sh.deques.(0) (Root (Kernel.sentinel_body goal));
   let t0 = Unix.gettimeofday () in
   let domains =
     Array.init (p - 1) (fun i -> Domain.spawn (fun () -> worker_main workers.(i + 1)))

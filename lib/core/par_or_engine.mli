@@ -1,19 +1,33 @@
-(** Hardware or-parallel engine: MUSE-style environment-copying workers on
-    OCaml 5 domains, with demand-driven publishing into work-stealing
-    deques and the paper's LAO / sequentialization schema applied
-    structurally (the last alternative of an owned node continues in place
-    with no re-dispatch or copy).
+(** Hardware and+or parallel engine: MUSE-style environment-copying
+    workers on OCaml 5 domains, with demand-driven publishing into
+    work-stealing deques and the paper's LAO / sequentialization schema
+    applied structurally (the last alternative of an owned node continues
+    in place with no re-dispatch or copy).
 
     [config.agents] is the number of domains.  Finds all solutions (or
-    [config.max_solutions]).  Parallel conjunctions run sequentially; cut
-    and other control constructs are rejected, and calling an undefined
-    predicate raises {!Errors.Engine_error} (worker exceptions are
-    re-raised in the calling domain).
+    [config.max_solutions]).  Cut and other control constructs are
+    rejected, and calling an undefined predicate raises
+    {!Errors.Engine_error} (worker exceptions are re-raised in the
+    calling domain).
 
-    With one domain the engine is a plain sequential backtracker and
-    reproduces the sequential solution order; with more, solutions arrive
-    in nondeterministic discovery order — compare solution {e sets}
-    against {!Seq_engine}. *)
+    Parallel conjunctions run sequentially unless [config.par_and] is
+    set, in which case strictly-independent ['&'] branches execute as
+    parcall-frame slots offered through the same work-stealing deques:
+    each slot enumerates its solutions on a private sub-machine, a slot
+    with none fails the frame and kills its siblings (inside failure),
+    and the cross product of the recorded free-variable tuples is
+    replayed through an ordinary — and therefore or-publishable — choice
+    point.  The frame setup is guarded by the paper's schemas:
+    sequentialization below [config.seq_threshold], LPCO flattening of
+    nested parcalls, SPO skipping the frame when no worker is hungry,
+    and PDO steering the owner to the sequentially-next free slot.
+    Branches sharing an unbound variable fall back to sequential
+    execution (runtime strict-independence check).
+
+    With one domain and [par_and] off the engine is a plain sequential
+    backtracker and reproduces the sequential solution order; otherwise
+    solutions arrive in nondeterministic discovery order — compare
+    solution {e multisets} against {!Seq_engine}. *)
 
 type result = {
   solutions : Ace_term.Term.t list;
@@ -30,7 +44,7 @@ type result = {
 
 (** [trace] (default {!Ace_obs.Trace.disabled}) collects per-domain event
     rings: task spawn/start/finish, steal, publish/skip, copy, LAO hits,
-    solutions, idle spans.
+    and-parallel schema hits (LPCO / SPO / PDO), solutions, idle spans.
 
     [chaos] (default {!Ace_sched.Chaos.disabled}) injects deterministic,
     seed-replayable faults at the engine's yield sites: steal failures,

@@ -13,9 +13,7 @@
    computed against. *)
 
 module Term = Ace_term.Term
-module Symbol = Ace_term.Symbol
 module Trail = Ace_term.Trail
-module Unify = Ace_term.Unify
 module Clause = Ace_lang.Clause
 module Database = Ace_lang.Database
 module Cost = Ace_machine.Cost
@@ -79,25 +77,17 @@ let create ?(cost = Cost.default) ?output ?(trace = Trace.disabled)
 
 let spend m n = m.charge <- m.charge + n
 
-let spend_builtin m =
-  spend m m.cost.Cost.builtin;
-  m.stats.Stats.builtin_calls <- m.stats.Stats.builtin_calls + 1
+(* The kernel resolver instantiated for this engine: charges go to the
+   private abstract-cycle accumulator, stats to the single machine
+   shard. *)
+module K = Kernel.Resolver (struct
+  type nonrec t = t
 
-(* Runs a builtin, translating its unification/arithmetic work into
-   charges. *)
-let call_builtin m goal =
-  let steps0 = !(m.ctx.Builtins.steps) and arith0 = !(m.ctx.Builtins.arith_nodes) in
-  let trail0 = Trail.size m.trail in
-  let outcome = Builtins.call m.ctx goal in
-  let steps = !(m.ctx.Builtins.steps) - steps0 in
-  let arith = !(m.ctx.Builtins.arith_nodes) - arith0 in
-  let pushed = Trail.size m.trail - trail0 in
-  spend_builtin m;
-  spend m ((steps * m.cost.Cost.unify_step) + (arith * m.cost.Cost.arith_op));
-  spend m (pushed * m.cost.Cost.trail_push);
-  m.stats.Stats.unify_steps <- m.stats.Stats.unify_steps + steps;
-  m.stats.Stats.trail_pushes <- m.stats.Stats.trail_pushes + max 0 pushed;
-  outcome
+  let name = "the sequential engine"
+  let cost m = m.cost
+  let stats m = m.stats
+  let charge = spend
+end)
 
 let push_cp m ~goal ~alts ~cont =
   spend m (Chaos.jitter m.chaos);
@@ -116,26 +106,14 @@ let push_cp m ~goal ~alts ~cont =
   m.cps <- cp :: m.cps;
   m.height <- m.height + 1
 
-let undo_to m mark =
-  let undone = Trail.undo_to m.trail mark in
-  spend m (undone * m.cost.Cost.untrail);
-  m.stats.Stats.untrails <- m.stats.Stats.untrails + undone
+let undo_to m mark = K.untrail m m.trail mark
 
 (* Unifies a renamed clause head against the goal; on success returns the
    body segment to execute. *)
 let try_clause m goal clause ~barrier =
-  spend m m.cost.Cost.clause_try;
-  m.stats.Stats.clause_tries <- m.stats.Stats.clause_tries + 1;
-  let head, fresh = Clause.rename_head clause in
-  let steps = ref 0 in
-  let trail0 = Trail.size m.trail in
-  let ok = Unify.unify ~trail:m.trail ~steps head goal in
-  spend m (!steps * m.cost.Cost.unify_step);
-  m.stats.Stats.unify_steps <- m.stats.Stats.unify_steps + !steps;
-  let pushed = Trail.size m.trail - trail0 in
-  spend m (pushed * m.cost.Cost.trail_push);
-  m.stats.Stats.trail_pushes <- m.stats.Stats.trail_pushes + pushed;
-  if ok then Some { items = Clause.rename_body clause fresh; barrier } else None
+  match K.try_clause m ~trail:m.trail goal clause with
+  | Some items -> Some { items; barrier }
+  | None -> None
 
 let cut m barrier =
   while m.height > barrier do
@@ -162,33 +140,30 @@ let rec run m (cont : seg list) : bool =
     | Clause.Call g -> dispatch m g ~barrier cont')
 
 and dispatch m g ~barrier cont =
-  match Term.deref g with
-  | Term.Atom s when Symbol.equal s Symbol.cut ->
+  match Kernel.classify g with
+  | Kernel.Cut ->
     cut m barrier;
     run m cont
-  | Term.Struct (s, [| _; _ |]) when Symbol.equal s Symbol.comma ->
-    run m ({ items = Clause.compile_body g; barrier } :: cont)
-  | Term.Struct (s, [| cond_then; else_ |]) when Symbol.equal s Symbol.semicolon
-    -> (
-    match Term.deref cond_then with
-    | Term.Struct (s', [| cond; then_ |]) when Symbol.equal s' Symbol.arrow ->
-      if_then_else m cond then_ else_ ~barrier cont
-    | _ ->
-      push_cp m ~goal:None ~alts:[ Agoal (Clause.compile_body else_) ] ~cont;
-      run m ({ items = Clause.compile_body cond_then; barrier } :: cont))
-  | Term.Struct (s, [| cond; then_ |]) when Symbol.equal s Symbol.arrow ->
-    if_then_else m cond then_ (Term.Atom Symbol.fail) ~barrier cont
-  | Term.Struct (s, [| g |]) when Symbol.equal s Symbol.naf ->
+  | Kernel.Conj g -> run m ({ items = Clause.compile_body g; barrier } :: cont)
+  | Kernel.Ite (cond, then_, else_) -> if_then_else m cond then_ else_ ~barrier cont
+  | Kernel.Disj (left, else_) ->
+    push_cp m ~goal:None ~alts:[ Agoal (Clause.compile_body else_) ] ~cont;
+    run m ({ items = Clause.compile_body left; barrier } :: cont)
+  | Kernel.Naf g ->
     let mark = Trail.mark m.trail in
     let proved = solve_once m g in
     undo_to m mark;
     if proved then backtrack m else run m cont
-  | Term.Struct (s, [| g |]) when Symbol.equal s Symbol.call ->
+  | Kernel.Meta g ->
     (* call/1 is transparent to everything but cut: the cut barrier becomes
        the current height, making the inner cut local. *)
     dispatch m g ~barrier:m.height cont
-  | g -> (
-    match call_builtin m g with
+  | Kernel.Amp _ | Kernel.Sentinel _ | Kernel.Goal _ -> (
+    (* dynamically built '&'/2 goals and the '$solution' sentinel are not
+       part of this engine's language: both fall through to the database
+       (and its existence error), as they always have *)
+    let g = Term.deref g in
+    match K.call_builtin m m.ctx g with
     | Builtins.Ok -> run m cont
     | Builtins.Fail -> backtrack m
     | Builtins.Not_builtin -> user_call m g cont)
@@ -215,21 +190,15 @@ and solve_once m g =
   found
 
 and user_call m g cont =
-  spend m m.cost.Cost.index_lookup;
-  match Database.lookup m.db g with
-  | None ->
-    let name, arity =
-      match Term.functor_name_of g with Some na -> na | None -> ("?", 0)
-    in
-    Errors.existence_error name arity
-  | Some [] -> backtrack m
-  | Some [ clause ] -> (
+  match K.lookup m m.db g with
+  | [] -> backtrack m
+  | [ clause ] -> (
     (* Determinate after indexing: no choice point (the property LPCO and
        SPO key on in the parallel engines). *)
     match try_clause m g clause ~barrier:m.height with
     | Some seg -> run m (seg :: cont)
     | None -> backtrack m)
-  | Some (clause :: rest) -> (
+  | clause :: rest -> (
     push_cp m ~goal:(Some g) ~alts:(List.map (fun c -> Aclause c) rest) ~cont;
     let barrier = m.height - 1 in
     match try_clause m g clause ~barrier with

@@ -147,8 +147,7 @@ type par_or_row = {
    identical solution set. *)
 let par_or_benchmarks = [ "queen1"; "queen2"; "puzzle"; "members"; "maps" ]
 
-let canonical_set solutions =
-  List.sort String.compare (List.map Ace_term.Pp.to_canonical_string solutions)
+let canonical_set = Ace_check.Canon.multiset
 
 (* Runs each benchmark on the hardware engine across [domains] × [grains],
    comparing every run's solution set against the sequential engine and
@@ -289,13 +288,132 @@ type seq_core_row = {
   c_stats : Stats.t;    (* counters of the best run *)
 }
 
+(* ------------------------------------------------------------------ *)
+(* Hardware and-parallelism: parcall frames on OCaml domains            *)
+(* ------------------------------------------------------------------ *)
+
+type par_and_row = {
+  a_label : string;
+  a_domains : int;
+  a_wall_ms : float;    (* best of [repeat] runs *)
+  a_solutions : int;
+  a_speedup : float;    (* vs the 1-domain row of the same benchmark *)
+  a_matches_seq : bool; (* same solution multiset as the sequential engine *)
+  a_frames : int;       (* parcall frames actually built, best run *)
+  a_slots : int;
+  a_spo_hits : int;     (* frames procrastinated away *)
+  a_pdo_hits : int;     (* contiguous-slot claims *)
+  a_steals : int;       (* stolen tasks (or-tasks and slots), best run *)
+  a_metrics : Metrics.t;
+}
+
+(* And-parallel benchmarks with deterministic solution sets. *)
+let par_and_benchmarks = [ "map2"; "matrix"; "hanoi"; "takeuchi"; "quick_sort" ]
+
+(* Runs each benchmark on the hardware engine with [par_and] across
+   [domains], comparing every run's solution multiset against the
+   sequential engine and reporting the best wall time of [repeat] runs.
+   SPO is off by default here: a benchmark sweep wants the parcall-frame
+   machinery exercised on every '&', not procrastinated away whenever the
+   machine happens to be saturated. *)
+let run_par_and ?(benchmarks = par_and_benchmarks) ?(domains = [ 1; 2; 4 ])
+    ?(repeat = 3) ?(spo = false) ?size_of () =
+  List.concat_map
+    (fun name ->
+      let b = Programs.find name in
+      let size =
+        match size_of with Some f -> f b | None -> b.Programs.default_size
+      in
+      let program = b.Programs.program size and query = b.Programs.query size in
+      let seq =
+        Engine.solve_program Engine.Sequential Config.default ~program ~query
+      in
+      let reference = canonical_set seq.Engine.solutions in
+      let base_ms = ref 0.0 in
+      let cell agents =
+        let config =
+          { (Config.all_optimizations ~agents ()) with
+            Config.par_and = true; spo }
+        in
+        let runs =
+          List.init (max 1 repeat) (fun _ ->
+              Engine.solve_program Engine.Par_or config ~program ~query)
+        in
+        let best =
+          List.fold_left
+            (fun acc r -> if r.Engine.time < acc.Engine.time then r else acc)
+            (List.hd runs) (List.tl runs)
+        in
+        let wall_ms = float_of_int best.Engine.time /. 1e6 in
+        if agents = 1 then base_ms := wall_ms;
+        {
+          a_label = name;
+          a_domains = agents;
+          a_wall_ms = wall_ms;
+          a_solutions = List.length best.Engine.solutions;
+          a_speedup = (if wall_ms > 0.0 then !base_ms /. wall_ms else 0.0);
+          a_matches_seq =
+            List.for_all
+              (fun r -> canonical_set r.Engine.solutions = reference)
+              runs;
+          a_frames = best.Engine.stats.Stats.frames;
+          a_slots = best.Engine.stats.Stats.slots;
+          a_spo_hits = best.Engine.stats.Stats.spo_hits;
+          a_pdo_hits = best.Engine.stats.Stats.pdo_hits;
+          a_steals = best.Engine.stats.Stats.steals;
+          a_metrics = best.Engine.metrics;
+        }
+      in
+      (* 1-domain baseline first: the multi-domain cells divide by it *)
+      List.map cell (1 :: List.filter (fun d -> d > 1) domains))
+    benchmarks
+
+let pp_par_and ppf rows =
+  Format.fprintf ppf
+    "== hardware and-parallelism: parcall frames on OCaml domains ==@,";
+  Format.fprintf ppf "%-12s %8s %12s %10s %9s %8s %7s %6s %5s %5s@,"
+    "benchmark" "domains" "wall-ms" "solutions" "speedup" "matches" "frames"
+    "slots" "spo" "pdo";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-12s %8d %12.2f %10d %8.2fx %8s %7d %6d %5d %5d@,"
+        r.a_label r.a_domains r.a_wall_ms r.a_solutions r.a_speedup
+        (if r.a_matches_seq then "yes" else "NO")
+        r.a_frames r.a_slots r.a_spo_hits r.a_pdo_hits)
+    rows;
+  Format.fprintf ppf "@,"
+
+let par_and_json rows =
+  let row r =
+    Json.Obj
+      [ ("benchmark", Json.Str r.a_label);
+        ("domains", Json.int r.a_domains);
+        ("wall_ms", Json.Num r.a_wall_ms);
+        ("solutions", Json.int r.a_solutions);
+        ("speedup", Json.Num r.a_speedup);
+        ("matches_seq", Json.Bool r.a_matches_seq);
+        ("frames", Json.int r.a_frames);
+        ("slots", Json.int r.a_slots);
+        ("spo_hits", Json.int r.a_spo_hits);
+        ("pdo_hits", Json.int r.a_pdo_hits);
+        ("steals", Json.int r.a_steals) ]
+  in
+  Json.to_string
+    (Json.Obj
+       [ ( "host",
+           Json.Obj
+             [ ("recommended_domains",
+                Json.int (Domain.recommended_domain_count ()));
+               ("ocaml", Json.Str Sys.ocaml_version) ] );
+         ("rows", Json.List (List.map row rows)) ])
+  ^ "\n"
+
 let seq_core_benchmarks = par_or_benchmarks
 
 let seq_core_engines =
   [ Engine.Sequential; Engine.And_parallel; Engine.Or_parallel; Engine.Par_or ]
 
-let canonical_digest solutions =
-  Digest.to_hex (Digest.string (String.concat "\n" (canonical_set solutions)))
+let canonical_digest = Ace_check.Canon.digest
 
 (* Runs every benchmark on every engine at one agent/domain, reporting the
    best wall time of [repeat] runs.  All four engines execute the same

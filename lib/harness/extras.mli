@@ -71,6 +71,44 @@ val pp_par_or : Format.formatter -> par_or_row list -> unit
 (** Serializes rows for [BENCH_par_or.json]. *)
 val par_or_json : par_or_row list -> string
 
+(** One wall-clock measurement of the hardware engine with and-parallel
+    execution ([config.par_and]). *)
+type par_and_row = {
+  a_label : string;
+  a_domains : int;
+  a_wall_ms : float;    (** best of the repeated runs *)
+  a_solutions : int;
+  a_speedup : float;    (** vs the 1-domain row of the same benchmark *)
+  a_matches_seq : bool; (** solution multiset equals the sequential engine's *)
+  a_frames : int;       (** parcall frames built in the best run *)
+  a_slots : int;
+  a_spo_hits : int;     (** frames procrastinated away (SPO) *)
+  a_pdo_hits : int;     (** contiguous-slot claims (PDO) *)
+  a_steals : int;
+  a_metrics : Ace_obs.Metrics.t;
+}
+
+val par_and_benchmarks : string list
+
+(** Runs the and-parallel benchmarks on {!Ace_core.Par_or_engine} with
+    [par_and] at every domain count in [domains] (default [[1; 2; 4]]),
+    checking every run's solution multiset against the sequential engine;
+    reports the best wall time of [repeat] runs (default 3).  [spo]
+    defaults to [false] so every independent parcall builds a frame. *)
+val run_par_and :
+  ?benchmarks:string list ->
+  ?domains:int list ->
+  ?repeat:int ->
+  ?spo:bool ->
+  ?size_of:(Ace_benchmarks.Programs.t -> int) ->
+  unit ->
+  par_and_row list
+
+val pp_par_and : Format.formatter -> par_and_row list -> unit
+
+(** Serializes rows for [BENCH_par_and.json]. *)
+val par_and_json : par_and_row list -> string
+
 (** One wall-clock measurement of the engine hot path (consult + solve). *)
 type seq_core_row = {
   c_label : string;

@@ -7,6 +7,10 @@ type t = {
   lao : bool;  (* last alternative optimization     (flattening, §3.2) *)
   spo : bool;  (* shallow parallelism optimization  (procrastination, §4.1) *)
   pdo : bool;  (* processor determinacy optimization (sequentialization, §4.2) *)
+  par_and : bool;
+    (* multicore engine only: execute '&' conjunctions in parallel
+       (parcall frames + cross-product join) in addition to the
+       or-parallel work stealing.  The simulated engines ignore it. *)
   seq_threshold : int;
     (* granularity control (an instance of the sequentialization schema the
        paper names in §4): parallel conjunctions whose estimated work is
@@ -32,6 +36,7 @@ let default =
     lao = false;
     spo = false;
     pdo = false;
+    par_and = false;
     seq_threshold = 0;
     grain = 1;
     chunk = 0;
@@ -58,6 +63,7 @@ let pp ppf t =
   let flag name b = if b then [ name ] else [] in
   let opts =
     flag "lpco" t.lpco @ flag "lao" t.lao @ flag "spo" t.spo @ flag "pdo" t.pdo
+    @ flag "par_and" t.par_and
     @ (if t.seq_threshold > 0 then [ Printf.sprintf "gc=%d" t.seq_threshold ] else [])
     @ (if t.grain > 1 then [ Printf.sprintf "grain=%d" t.grain ] else [])
     @ (if t.chunk > 0 then [ Printf.sprintf "chunk=%d" t.chunk ] else [])

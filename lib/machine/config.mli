@@ -7,6 +7,10 @@ type t = {
   lao : bool;
   spo : bool;
   pdo : bool;
+  par_and : bool;
+      (** multicore engine only: run ['&'] conjunctions in parallel
+          (parcall frames + cross-product join) alongside the
+          or-parallel work stealing *)
   seq_threshold : int;
       (** granularity control: sequentialize parallel conjunctions whose
           estimated work is below this many term cells (0 = off) *)

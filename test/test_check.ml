@@ -106,10 +106,8 @@ let colors =
   "color(r). color(g). color(b).\n\
    pair(X, Y) :- color(X), color(Y).\n"
 
-let canonical r =
-  List.map Ace_term.Pp.to_canonical_string r.Engine.solutions
-
-let sorted r = List.sort String.compare (canonical r)
+let canonical r = Ace_check.Canon.strings r.Engine.solutions
+let sorted r = Ace_check.Canon.multiset r.Engine.solutions
 
 let seq_sorted program query =
   sorted (Engine.solve_program Engine.Sequential Config.default ~program ~query)

@@ -38,6 +38,11 @@ let engines =
     ("and", Engine.And_parallel, Config.all_optimizations ~agents:2 ());
     ("or", Engine.Or_parallel, Config.all_optimizations ~agents:2 ());
     ("par", Engine.Par_or, Config.all_optimizations ~agents:2 ());
+    (* the domains engine again with and-parallel execution on: errors
+       raised inside parcall slots must cross the frame and the domain
+       boundary unchanged *)
+    ("par+and", Engine.Par_or,
+     { (Config.all_optimizations ~agents:2 ()) with Config.par_and = true });
   ]
 
 (* Runs [query] on every engine; asserts each raises, with identical

@@ -1,0 +1,202 @@
+(* The shared solver kernel: schema hook decisions (fired / not fired
+   around their thresholds), goal classification, and the and-parallel
+   tuple/cross-product helpers — engine-independent, so they are tested
+   once here instead of per engine. *)
+
+module Term = Ace_term.Term
+module Clause = Ace_lang.Clause
+module Config = Ace_machine.Config
+module Kernel = Ace_core.Kernel
+module Schema = Kernel.Schema
+
+let cfg = Config.all_optimizations ()
+let off = Config.default
+
+let call s = Clause.Call (Test_util.term s)
+
+(* ------------------------------------------------------------------ *)
+(* Sequentialization (granularity control)                             *)
+
+let test_sequentialize_threshold () =
+  let small = [ [ call "p(a)" ]; [ call "q(b)" ] ] in
+  Alcotest.(check bool) "fires below threshold" true
+    (Schema.sequentialize { cfg with Config.seq_threshold = 100 } small);
+  Alcotest.(check bool) "does not fire above threshold" false
+    (Schema.sequentialize { cfg with Config.seq_threshold = 2 } small);
+  Alcotest.(check bool) "threshold 0 is off" false
+    (Schema.sequentialize { cfg with Config.seq_threshold = 0 } small)
+
+let test_sequentialize_counts_nested () =
+  (* nested parcall work counts against the budget too *)
+  let nested =
+    [ [ Clause.Par [ [ call "p(f(a,b,c))" ]; [ call "q(g(d,e))" ] ] ];
+      [ call "r(h(i,j,k))" ] ]
+  in
+  Alcotest.(check bool) "nested branches spend the budget" false
+    (Schema.sequentialize { cfg with Config.seq_threshold = 5 } nested)
+
+(* ------------------------------------------------------------------ *)
+(* LPCO: nested-parcall flattening                                     *)
+
+let test_lpco_flattens () =
+  let inner = Clause.Par [ [ call "a" ]; [ call "b" ] ] in
+  let bodies = [ [ inner ]; [ call "c" ] ] in
+  let flat, splices = Schema.lpco_flatten cfg bodies in
+  Alcotest.(check int) "one splice" 1 splices;
+  Alcotest.(check int) "three branches after flattening" 3 (List.length flat)
+
+let test_lpco_keeps_mixed_branches () =
+  (* a branch with work besides the nested parcall must keep its frame *)
+  let mixed = [ call "setup"; Clause.Par [ [ call "a" ]; [ call "b" ] ] ] in
+  let flat, splices = Schema.lpco_flatten cfg [ mixed; [ call "c" ] ] in
+  Alcotest.(check int) "no splice" 0 splices;
+  Alcotest.(check int) "branches unchanged" 2 (List.length flat)
+
+let test_lpco_off () =
+  let inner = Clause.Par [ [ call "a" ]; [ call "b" ] ] in
+  let _, splices = Schema.lpco_flatten off [ [ inner ] ] in
+  Alcotest.(check int) "no splice with lpco off" 0 splices
+
+(* ------------------------------------------------------------------ *)
+(* SPO: procrastinated frame setup                                     *)
+
+let test_spo_inline () =
+  Alcotest.(check bool) "fires while nobody is hungry" true
+    (Schema.spo_inline cfg ~hungry:0);
+  Alcotest.(check bool) "does not fire with a hungry worker" false
+    (Schema.spo_inline cfg ~hungry:1);
+  Alcotest.(check bool) "off without the flag" false
+    (Schema.spo_inline off ~hungry:0)
+
+(* ------------------------------------------------------------------ *)
+(* PDO: contiguous-slot preference                                     *)
+
+let test_pdo_contiguous () =
+  Alcotest.(check bool) "fires on the sequentially-next slot" true
+    (Schema.pdo_contiguous cfg ~last:(Some (7, 2)) ~next:(7, 3));
+  Alcotest.(check bool) "does not fire across frames" false
+    (Schema.pdo_contiguous cfg ~last:(Some (7, 2)) ~next:(8, 3));
+  Alcotest.(check bool) "does not fire on a gap" false
+    (Schema.pdo_contiguous cfg ~last:(Some (7, 0)) ~next:(7, 2));
+  Alcotest.(check bool) "no history, no preference" false
+    (Schema.pdo_contiguous cfg ~last:None ~next:(7, 1));
+  Alcotest.(check bool) "off without the flag" false
+    (Schema.pdo_contiguous off ~last:(Some (7, 2)) ~next:(7, 3))
+
+(* ------------------------------------------------------------------ *)
+(* Or-parallel publish decisions                                       *)
+
+let test_publish_grain () =
+  let g2 = { cfg with Config.grain = 2 } in
+  Alcotest.(check bool) "at grain" true (Schema.publish_grain g2 ~nalts:2);
+  Alcotest.(check bool) "below grain" false (Schema.publish_grain g2 ~nalts:1)
+
+let test_chunk_alts () =
+  let c2 = { cfg with Config.chunk = 2 } in
+  Alcotest.(check (list (list int))) "chunks of two"
+    [ [ 1; 2 ]; [ 3; 4 ]; [ 5 ] ]
+    (Schema.chunk_alts c2 [ 1; 2; 3; 4; 5 ]);
+  Alcotest.(check (list (list int))) "chunk 0 keeps the node whole"
+    [ [ 1; 2; 3 ] ]
+    (Schema.chunk_alts { cfg with Config.chunk = 0 } [ 1; 2; 3 ])
+
+let test_lao_refurbish () =
+  Alcotest.(check bool) "fires on an exhausted top" true
+    (Schema.lao_refurbish cfg ~top_exhausted:true);
+  Alcotest.(check bool) "does not fire on a live top" false
+    (Schema.lao_refurbish cfg ~top_exhausted:false);
+  Alcotest.(check bool) "off without the flag" false
+    (Schema.lao_refurbish off ~top_exhausted:true)
+
+(* ------------------------------------------------------------------ *)
+(* Goal classification                                                 *)
+
+let test_classify () =
+  let is_goal t = match Kernel.classify t with Kernel.Goal _ -> true | _ -> false in
+  (match Kernel.classify (Test_util.term "(a, b)") with
+   | Kernel.Conj _ -> ()
+   | _ -> Alcotest.fail "','/2 should classify as Conj");
+  (match Kernel.classify (Test_util.term "(a ; b)") with
+   | Kernel.Disj _ -> ()
+   | _ -> Alcotest.fail "';'/2 should classify as Disj");
+  (match Kernel.classify (Test_util.term "(a -> b ; c)") with
+   | Kernel.Ite _ -> ()
+   | _ -> Alcotest.fail "if-then-else should classify as Ite");
+  (match Kernel.classify (Test_util.term "call(foo(X))") with
+   | Kernel.Meta _ -> ()
+   | _ -> Alcotest.fail "call/1 should classify as Meta");
+  Alcotest.(check bool) "plain goal" true (is_goal (Test_util.term "foo(X, 1)"))
+
+(* ------------------------------------------------------------------ *)
+(* And-parallel tuples and cross products                              *)
+
+let test_slot_tuples_independent () =
+  let x = Term.fresh_var () and y = Term.fresh_var () in
+  let bodies =
+    [ [ Clause.Call (Term.struct_ "p" [| Term.Var x |]) ];
+      [ Clause.Call (Term.struct_ "q" [| Term.Var y |]) ] ]
+  in
+  match Kernel.Parcall.slot_tuples bodies with
+  | None -> Alcotest.fail "independent branches should produce tuples"
+  | Some tuples ->
+    Alcotest.(check int) "one tuple per branch" 2 (Array.length tuples)
+
+let test_slot_tuples_shared_var () =
+  let x = Term.fresh_var () in
+  let bodies =
+    [ [ Clause.Call (Term.struct_ "p" [| Term.Var x |]) ];
+      [ Clause.Call (Term.struct_ "q" [| Term.Var x |]) ] ]
+  in
+  Alcotest.(check bool) "shared variable vetoes the frame" true
+    (Kernel.Parcall.slot_tuples bodies = None)
+
+let test_slot_tuples_bound_shared_ok () =
+  (* sharing a *bound* structure is fine; only unbound sharing vetoes *)
+  let x = Term.fresh_var () in
+  let trail = Ace_term.Trail.create () in
+  assert (Ace_term.Unify.unify ~trail ~steps:(ref 0) (Term.Var x) (Term.atom "a"));
+  let bodies =
+    [ [ Clause.Call (Term.struct_ "p" [| Term.Var x |]) ];
+      [ Clause.Call (Term.struct_ "q" [| Term.Var x |]) ] ]
+  in
+  Alcotest.(check bool) "bound sharing is independent" true
+    (Kernel.Parcall.slot_tuples bodies <> None)
+
+let test_cross_order () =
+  (* rightmost slot varies fastest: the sequential enumeration order *)
+  let t s = Term.atom s in
+  let rows = [| [ t "a1"; t "a2" ]; [ t "b1"; t "b2" ] |] in
+  let render row = Ace_term.Pp.to_string row in
+  Alcotest.(check (list string)) "sequential order"
+    [ "'$parjoin'(a1,b1)"; "'$parjoin'(a1,b2)"; "'$parjoin'(a2,b1)";
+      "'$parjoin'(a2,b2)" ]
+    (List.map render (Kernel.Parcall.cross rows))
+
+let test_cross_empty_slot_fails () =
+  let rows = [| [ Term.atom "a" ]; [] |] in
+  Alcotest.(check int) "an empty slot empties the product" 0
+    (List.length (Kernel.Parcall.cross rows))
+
+let suite =
+  [
+    Alcotest.test_case "sequentialize threshold" `Quick
+      test_sequentialize_threshold;
+    Alcotest.test_case "sequentialize nested" `Quick
+      test_sequentialize_counts_nested;
+    Alcotest.test_case "lpco flattens" `Quick test_lpco_flattens;
+    Alcotest.test_case "lpco keeps mixed" `Quick test_lpco_keeps_mixed_branches;
+    Alcotest.test_case "lpco off" `Quick test_lpco_off;
+    Alcotest.test_case "spo inline" `Quick test_spo_inline;
+    Alcotest.test_case "pdo contiguous" `Quick test_pdo_contiguous;
+    Alcotest.test_case "publish grain" `Quick test_publish_grain;
+    Alcotest.test_case "chunk alts" `Quick test_chunk_alts;
+    Alcotest.test_case "lao refurbish" `Quick test_lao_refurbish;
+    Alcotest.test_case "classify" `Quick test_classify;
+    Alcotest.test_case "slot tuples independent" `Quick
+      test_slot_tuples_independent;
+    Alcotest.test_case "slot tuples shared" `Quick test_slot_tuples_shared_var;
+    Alcotest.test_case "slot tuples bound share" `Quick
+      test_slot_tuples_bound_shared_ok;
+    Alcotest.test_case "cross order" `Quick test_cross_order;
+    Alcotest.test_case "cross empty slot" `Quick test_cross_empty_slot_fails;
+  ]

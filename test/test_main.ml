@@ -9,6 +9,7 @@ let () =
       ("machine", Test_machine.suite);
       ("obs", Test_obs.suite);
       ("builtins", Test_builtins.suite);
+      ("kernel", Test_kernel.suite);
       ("seq-engine", Test_seq_engine.suite);
       ("sim", Test_sim.suite);
       ("and-engine", Test_and_engine.suite);

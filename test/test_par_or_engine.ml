@@ -9,10 +9,8 @@ module Programs = Ace_benchmarks.Programs
 
 (* Solutions from different domains carry unrelated variable ids, so
    compare alpha-invariant renderings. *)
-let canonical r =
-  List.map Ace_term.Pp.to_canonical_string r.Engine.solutions
-
-let canonical_set r = List.sort String.compare (canonical r)
+let canonical r = Ace_check.Canon.strings r.Engine.solutions
+let canonical_set r = Ace_check.Canon.multiset r.Engine.solutions
 
 let run ?(config = Config.default) ~program query =
   Engine.solve_program Engine.Par_or config ~program ~query
