@@ -71,9 +71,12 @@ let run_check ~count ~seed ~schedules ~chaos_spec ~mutate =
     if Ace_check.Fuzz.ok report then 0 else 1
 
 let run check check_count check_seed check_schedules check_chaos check_mutate
-    source query engine agents lpco lao spo pdo all par_and gc grain chunk
-    limit show_stats verbose_stats annotate trace_file trace_jsonl trace_buf
-    stats_json utilization =
+    check_code_mutate source query engine agents compile lpco lao spo pdo all
+    par_and gc grain chunk limit show_stats verbose_stats annotate trace_file
+    trace_jsonl trace_buf stats_json utilization =
+  (match check_code_mutate with
+   | Some k -> Ace_lang.Code.mutation := Some k
+   | None -> ());
   if check then
     run_check ~count:check_count ~seed:check_seed ~schedules:check_schedules
       ~chaos_spec:check_chaos ~mutate:check_mutate
@@ -111,9 +114,18 @@ let run check check_count check_seed check_schedules check_chaos check_mutate
           seq_threshold = gc;
           grain;
           chunk;
+          compile;
           max_solutions = limit;
         }
       in
+      (* A 1-core box "running" 8 domains produces <1x speedups that say
+         nothing about the schemas — warn instead of silently misleading. *)
+      let cores = Domain.recommended_domain_count () in
+      if kind = Engine.Par_or && agents > cores then
+        Format.eprintf
+          "warning: --agents %d exceeds this host's %d available core(s); \
+           wall-clock speedups will not reflect real parallelism@."
+          agents cores;
       let tracing = trace_file <> None || trace_jsonl <> None in
       let trace =
         if tracing then Trace.create ~capacity:trace_buf ()
@@ -189,6 +201,8 @@ let groups =
         ("agents, -p N", "processors (par: domains)");
         ("limit, -n N", "stop after N solutions");
         ("annotate", "run the strict-independence annotator first");
+        ("compile", "execute compiled clause code (default)");
+        ("no-compile", "interpret clause templates (the oracle reference)");
       ] );
     ( g_schemas,
       [
@@ -220,6 +234,7 @@ let groups =
         ("check-schedules N", "chaos schedules per engine and case");
         ("check-chaos SPEC", "replay one exact chaos spec");
         ("check-mutate ENGINE:CLAUSE", "mutation smoke test");
+        ("check-code-mutate K", "compiled-code instruction mutation smoke test");
       ] )
   ]
 
@@ -370,7 +385,25 @@ let cmd =
                ~doc:"Mutation smoke test: drop generated clause CLAUSE from \
                      the program copy given to ENGINE only; --check must \
                      then report a counterexample (exit 1).")
+      $ Arg.(value & opt (some int) None & info [ "check-code-mutate" ]
+               ~docv:"K" ~docs:g_check
+               ~doc:"Compiler mutation smoke test: apply one seeded \
+                     structure-preserving instruction rewrite (at index K \
+                     mod code length) to every compiled clause head; \
+                     --check must then report a counterexample on its \
+                     compiled rows (exit 1).")
       $ source $ query $ engine $ agents
+      $ Arg.(value & vflag true
+               [ (true,
+                  info [ "compile" ] ~docs:g_engine
+                    ~doc:"Execute clauses as compiled instruction code \
+                          through the switch-on-term dispatch tree (the \
+                          default).");
+                 (false,
+                  info [ "no-compile" ] ~docs:g_engine
+                    ~doc:"Interpret clause templates instead of compiled \
+                          code (the differential oracle's reference \
+                          mode).") ])
       $ flag ~docs:g_schemas [ "lpco" ]
           "Enable the last parallel call optimization."
       $ flag ~docs:g_schemas [ "lao" ]

@@ -74,6 +74,19 @@ let matrix ?extra_chaos ~seed ~schedules () =
   let fixed =
     [
       ("seq+jitter", Engine.Sequential, seq1, chaos 0);
+      (* compiled-vs-interpreted rows: the reference always interprets,
+         so each of these checks the clause compiler + dispatch tree
+         against the template interpreter on every case *)
+      ("seq compiled", Engine.Sequential,
+       { seq1 with Config.compile = true }, None);
+      ("and@4 compiled", Engine.And_parallel,
+       { all4 with Config.compile = true }, None);
+      ("or@4 compiled", Engine.Or_parallel,
+       { all4 with Config.compile = true }, None);
+      ("par@4 compiled", Engine.Par_or,
+       { all4 with Config.compile = true }, None);
+      ("par@4 and+or compiled", Engine.Par_or,
+       { andor4 with Config.compile = true }, None);
       ("and@4", Engine.And_parallel, all4, None);
       ("and@4 unopt", Engine.And_parallel, un4, None);
       ("and@4 thresh", Engine.And_parallel,

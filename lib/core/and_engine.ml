@@ -265,7 +265,8 @@ let call_builtin st exec goal =
   let ctx = { st.ctx with Builtins.trail = exec.x_trail } in
   K.call_builtin st ctx goal
 
-let try_clause st exec goal clause = K.try_clause st ~trail:exec.x_trail goal clause
+let try_clause st exec goal clause =
+  K.resolve st ~compiled:st.config.Config.compile ~trail:exec.x_trail goal clause
 
 (* SPO: the procrastinated input marker materialises just before the first
    choice point of the slot. *)
@@ -296,21 +297,29 @@ let rec exec_run st (agent : agent_state) exec (cont : Clause.item list) : bool 
   | Clause.Call g :: rest -> dispatch st agent exec g rest
 
 and dispatch st agent exec g cont =
-  match Kernel.classify g with
-  | Kernel.Cut -> Errors.error "cut is not supported inside the and-parallel engine"
-  | Kernel.Disj _ | Kernel.Ite _ | Kernel.Naf _ -> K.unsupported st (Term.deref g)
-  | Kernel.Conj g | Kernel.Amp g ->
-    exec_run st agent exec (Clause.compile_body g @ cont)
-  | Kernel.Meta g -> dispatch st agent exec g cont
-  | Kernel.Sentinel _ | Kernel.Goal _ -> (
-    let g = Term.deref g in
+  let g = Term.deref g in
+  if Kernel.is_plain g then
+    (* the hot case, allocation-free: a plain user or builtin call *)
     match call_builtin st exec g with
     | Builtins.Ok -> exec_run st agent exec cont
     | Builtins.Fail -> exec_backtrack st agent exec
-    | Builtins.Not_builtin -> user_call st agent exec g cont)
+    | Builtins.Not_builtin -> user_call st agent exec g cont
+  else
+    match Kernel.classify g with
+    | Kernel.Cut ->
+      Errors.error "cut is not supported inside the and-parallel engine"
+    | Kernel.Disj _ | Kernel.Ite _ | Kernel.Naf _ -> K.unsupported st g
+    | Kernel.Conj g | Kernel.Amp g ->
+      exec_run st agent exec (Clause.compile_body g @ cont)
+    | Kernel.Meta g -> dispatch st agent exec g cont
+    | Kernel.Sentinel _ | Kernel.Goal _ -> (
+      match call_builtin st exec g with
+      | Builtins.Ok -> exec_run st agent exec cont
+      | Builtins.Fail -> exec_backtrack st agent exec
+      | Builtins.Not_builtin -> user_call st agent exec g cont)
 
 and user_call st agent exec g cont =
-  match K.lookup st st.db g with
+  match K.select st ~compiled:st.config.Config.compile st.db g with
   | [] -> exec_backtrack st agent exec
   | [ clause ] -> (
     match try_clause st exec g clause with

@@ -39,7 +39,8 @@ let solve ?output ?trace ?chaos kind (config : Config.t) db goal =
   | Sequential ->
     let solutions, m =
       Seq_engine.solve ?output ?trace ?chaos ~cost:config.Config.cost
-        ?limit:config.Config.max_solutions db goal
+        ~compile:config.Config.compile ?limit:config.Config.max_solutions db
+        goal
     in
     let stats = Seq_engine.stats m in
     {

@@ -8,6 +8,7 @@ module Symbol = Ace_term.Symbol
 module Trail = Ace_term.Trail
 module Unify = Ace_term.Unify
 module Clause = Ace_lang.Clause
+module Code = Ace_lang.Code
 module Database = Ace_lang.Database
 module Cost = Ace_machine.Cost
 module Stats = Ace_machine.Stats
@@ -52,6 +53,25 @@ let classify g =
   | Term.Struct (s, [| g' |]) when Symbol.equal s Symbol.solution ->
     Sentinel g'
   | g' -> Goal g'
+
+(* Allocation-free test for the dominant classification: [is_plain g] is
+   true exactly when {!classify} would answer [Goal g] — [g] must already
+   be dereferenced.  The engines' dispatch loops test this first, so
+   plain calls (user predicates and builtins, the vast majority of
+   dispatches) never build a [cls] value; only control constructs pay for
+   the full classification. *)
+let is_plain g =
+  match g with
+  | Term.Atom s -> not (Symbol.equal s Symbol.cut)
+  | Term.Struct (s, [| _ |]) ->
+    not
+      (Symbol.equal s Symbol.naf || Symbol.equal s Symbol.call
+     || Symbol.equal s Symbol.solution)
+  | Term.Struct (s, [| _; _ |]) ->
+    not
+      (Symbol.equal s Symbol.comma || Symbol.equal s Symbol.amp
+     || Symbol.equal s Symbol.semicolon || Symbol.equal s Symbol.arrow)
+  | _ -> true
 
 let sentinel_body goal =
   Clause.compile_body goal
@@ -110,17 +130,84 @@ module Resolver (S : SCHEDULER) = struct
       Some (Clause.rename_body clause fresh)
     else None
 
+  (* The compiled counterpart of [try_clause]: runs the clause's flat
+     instruction code directly against the goal's argument cells (no
+     renamed head copy), charging one [code_instr] per executed
+     instruction plus the embedded general-unification steps.  Trail
+     discipline is identical — bindings are marked and undone here on
+     failure — so the engines' choice-point machinery cannot tell the
+     two apart. *)
+  let try_code s ~trail goal clause =
+    let cost = S.cost s and stats = S.stats s in
+    S.charge s cost.Cost.clause_try;
+    stats.Stats.clause_tries <- stats.Stats.clause_tries + 1;
+    let code = Code.of_clause clause in
+    let sc = Code.scratch () in
+    let mark = Trail.mark trail in
+    (* Scratch-critical section: the simulated engines interleave their
+       workers at [S.charge] tick points on a single domain, so between
+       resetting the scratch and consuming the frame ([inst_body]) no
+       charge may be issued — another worker's clause try would clobber
+       the shared buffer.  Everything here is pure term work. *)
+    let frame = Code.scratch_frame sc code in
+    let args =
+      match Term.deref goal with
+      | Term.Struct (_, a) -> a
+      | Term.Atom _ | Term.Int _ | Term.Var _ -> Code.no_args
+    in
+    sc.Code.s_instrs <- 0;
+    sc.Code.s_steps := 0;
+    let body =
+      if Code.run_head code ~trail ~sc frame args then
+        Some (Code.inst_body code frame)
+      else None
+    in
+    let instrs = sc.Code.s_instrs and steps = !(sc.Code.s_steps) in
+    (* frame dead: charging (and with it simulated context switches) is
+       safe again *)
+    S.charge s ((instrs * cost.Cost.code_instr) + (steps * cost.Cost.unify_step));
+    stats.Stats.code_instrs <- stats.Stats.code_instrs + instrs;
+    stats.Stats.unify_steps <- stats.Stats.unify_steps + steps;
+    let pushed = Trail.size trail - mark in
+    S.charge s (pushed * cost.Cost.trail_push);
+    stats.Stats.trail_pushes <- stats.Stats.trail_pushes + pushed;
+    (match body with
+     | Some _ -> ()
+     | None -> untrail s trail mark);
+    body
+
+  (* One entry point for both execution modes, so each engine threads a
+     single [compiled] flag instead of duplicating its resolution
+     sites. *)
+  let resolve s ~compiled ~trail goal clause =
+    if compiled then try_code s ~trail goal clause
+    else try_clause s ~trail goal clause
+
   let unify_goal s ~trail a b = charged_unify s ~trail a b
+
+  let existence goal =
+    let name, arity =
+      match Term.functor_name_of goal with Some na -> na | None -> ("?", 0)
+    in
+    Errors.existence_error name arity
 
   let lookup s db goal =
     S.charge s (S.cost s).Cost.index_lookup;
     match Database.lookup db goal with
     | Some clauses -> clauses
-    | None ->
-      let name, arity =
-        match Term.functor_name_of goal with Some na -> na | None -> ("?", 0)
-      in
-      Errors.existence_error name arity
+    | None -> existence goal
+
+  (* Mode-aware clause selection: the compiled path goes through the
+     deep-indexing dispatch tree, the interpreted path through classic
+     first-argument indexing. *)
+  let select s ~compiled db goal =
+    if not compiled then lookup s db goal
+    else begin
+      S.charge s (S.cost s).Cost.index_lookup;
+      match Database.lookup_code db goal with
+      | Some clauses -> clauses
+      | None -> existence goal
+    end
 
   let unsupported _s g =
     Errors.error "control construct %s not supported inside %s"

@@ -61,6 +61,12 @@ type cls =
 
 val classify : Term.t -> cls
 
+(** True exactly when {!classify} would answer [Goal] — the argument
+    must already be dereferenced.  Allocation-free, so dispatch loops
+    test it before paying for a full classification (plain calls are the
+    vast majority of dispatches). *)
+val is_plain : Term.t -> bool
+
 (** Builds the report-and-fail continuation for a whole-search engine:
     the compiled query followed by the ['$solution'] sentinel. *)
 val sentinel_body : Term.t -> Clause.body
@@ -80,6 +86,16 @@ module Resolver (S : SCHEDULER) : sig
       the instantiated body, on failure undoes the partial bindings
       (charged). *)
 
+  val try_code : S.t -> trail:Trail.t -> Term.t -> Clause.t -> Clause.body option
+  (** Compiled counterpart of {!try_clause}: executes the clause's flat
+      instruction code ({!Ace_lang.Code}) against the goal arguments —
+      same success/failure and trail contract, charged per executed
+      instruction ([Cost.code_instr]) plus embedded unification steps. *)
+
+  val resolve :
+    S.t -> compiled:bool -> trail:Trail.t -> Term.t -> Clause.t -> Clause.body option
+  (** {!try_code} when [compiled], {!try_clause} otherwise. *)
+
   val unify_goal : S.t -> trail:Trail.t -> Term.t -> Term.t -> bool
   (** Plain goal-level unification with the same accounting as a clause
       try (used to replay recorded and-parallel solutions); undoes on
@@ -88,6 +104,11 @@ module Resolver (S : SCHEDULER) : sig
   val lookup : S.t -> Database.t -> Term.t -> Clause.t list
   (** Indexed clause lookup; raises the existence error for unknown
       procedures. *)
+
+  val select : S.t -> compiled:bool -> Database.t -> Term.t -> Clause.t list
+  (** Mode-aware {!lookup}: the compiled path selects through the
+      deep-indexing dispatch tree ({!Database.lookup_code}), the
+      interpreted path through first-argument indexing. *)
 
   val untrail : S.t -> Trail.t -> int -> unit
   (** [untrail s trail mark] undoes to [mark], charging per entry. *)

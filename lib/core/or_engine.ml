@@ -147,7 +147,8 @@ let call_builtin st w goal =
   let ctx = Builtins.make_ctx ?output:st.output ~trail:w.w_trail () in
   K.call_builtin st ctx goal
 
-let try_clause st w goal clause = K.try_clause st ~trail:w.w_trail goal clause
+let try_clause st w goal clause =
+  K.resolve st ~compiled:st.config.Config.compile ~trail:w.w_trail goal clause
 
 (* Choice-point creation, with the LAO check: if the current top node is
    exhausted, refurbish it in place instead of allocating a new node. *)
@@ -198,6 +199,17 @@ let rec run_worker st w (cont : Clause.item list) : unit =
     | Clause.Call g :: rest -> dispatch st w g rest
 
 and dispatch st w g cont =
+  let g = Term.deref g in
+  if Kernel.is_plain g then
+    (* the hot case, allocation-free: a plain user or builtin call *)
+    match call_builtin st w g with
+    | Builtins.Ok -> run_worker st w cont
+    | Builtins.Fail -> backtrack st w
+    | Builtins.Not_builtin -> user_call st w g cont
+  else
+    dispatch_control st w g cont
+
+and dispatch_control st w g cont =
   match Kernel.classify g with
   | Kernel.Sentinel goal ->
     if !debug then Format.eprintf "[w%d] solution %s@." w.w_id (Ace_term.Pp.to_string goal);
@@ -218,13 +230,15 @@ and dispatch st w g cont =
   | Kernel.Conj g | Kernel.Amp g -> run_worker st w (Clause.compile_body g @ cont)
   | Kernel.Meta g -> dispatch st w g cont
   | Kernel.Goal g -> (
+    (* unreachable from [dispatch] (filtered by [is_plain]); kept for
+       direct [classify] completeness *)
     match call_builtin st w g with
     | Builtins.Ok -> run_worker st w cont
     | Builtins.Fail -> backtrack st w
     | Builtins.Not_builtin -> user_call st w g cont)
 
 and user_call st w g cont =
-  match K.lookup st st.db g with
+  match K.select st ~compiled:st.config.Config.compile st.db g with
   | [] -> backtrack st w
   | [ clause ] -> (
     match try_clause st w g clause with

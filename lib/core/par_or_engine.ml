@@ -253,7 +253,8 @@ let publish w m =
 (* ------------------------------------------------------------------ *)
 
 let try_alt w m goal = function
-  | Aclause clause -> K.try_clause w ~trail:m.m_trail goal clause
+  | Aclause clause ->
+    K.resolve w ~compiled:w.sh.config.Config.compile ~trail:m.m_trail goal clause
   | Acombo row ->
     (* join replay: bind the tuple template to one cross-product row *)
     if K.unify_goal w ~trail:m.m_trail goal row then Some [] else None
@@ -308,6 +309,17 @@ let rec run_mach w m (cont : Clause.body) : unit =
     | Clause.Call g :: rest -> dispatch w m g rest
 
 and dispatch w m g cont =
+  let g = Term.deref g in
+  if Kernel.is_plain g then
+    (* the hot case, allocation-free: a plain user or builtin call *)
+    match K.call_builtin w m.m_ctx g with
+    | Builtins.Ok -> run_mach w m cont
+    | Builtins.Fail -> backtrack w m
+    | Builtins.Not_builtin -> user_call w m g cont
+  else
+    dispatch_control w m g cont
+
+and dispatch_control w m g cont =
   match Kernel.classify g with
   | Kernel.Sentinel goal ->
     record_solution w goal;
@@ -323,17 +335,18 @@ and dispatch w m g cont =
     | Builtins.Not_builtin -> user_call w m g cont)
 
 and user_call w m g cont =
-  match K.lookup w w.sh.db g with
+  let compiled = w.sh.config.Config.compile in
+  match K.select w ~compiled w.sh.db g with
   | [] -> backtrack w m
   | [ clause ] -> (
     (* determinate after indexing: no choice point *)
-    match K.try_clause w ~trail:m.m_trail g clause with
+    match K.resolve w ~compiled ~trail:m.m_trail g clause with
     | Some body -> run_mach w m (body @ cont)
     | None -> backtrack w m)
   | clause :: rest -> (
     push_cp w m ~goal:g ~alts:(List.map (fun c -> Aclause c) rest) ~cont;
     if should_publish w m then publish w m;
-    match K.try_clause w ~trail:m.m_trail g clause with
+    match K.resolve w ~compiled ~trail:m.m_trail g clause with
     | Some body -> run_mach w m (body @ cont)
     | None -> backtrack w m)
 

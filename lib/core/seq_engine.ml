@@ -21,8 +21,10 @@ module Stats = Ace_machine.Stats
 module Chaos = Ace_sched.Chaos
 module Trace = Ace_obs.Trace
 
-type alt =
-  | Aclause of Clause.t
+type alts =
+  | Aclauses of Clause.t list
+      (* remaining candidate clauses, stored as the selection's own list
+         so a nondeterminate call allocates no per-clause wrapper *)
   | Agoal of Clause.body (* right branch of a disjunction *)
 
 type seg = { items : Clause.item list; barrier : int }
@@ -31,7 +33,7 @@ type seg = { items : Clause.item list; barrier : int }
 
 type cp = {
   cp_goal : Term.t option; (* None for disjunction choice points *)
-  mutable cp_alts : alt list;
+  mutable cp_alts : alts;
   cp_cont : seg list;
   cp_trail : int;
   cp_height : int; (* stack height below this choice point *)
@@ -44,6 +46,7 @@ type t = {
   cost : Cost.t;
   ctx : Builtins.ctx;
   goal : Term.t;
+  compile : bool; (* execute flat clause code instead of interpreting *)
   tbuf : Trace.buffer; (* events stamped with the abstract-cycle clock *)
   chaos : Chaos.agent;
     (* jitter charges extra abstract cycles at yield sites; answers must
@@ -56,8 +59,8 @@ type t = {
   mutable exhausted : bool;
 }
 
-let create ?(cost = Cost.default) ?output ?(trace = Trace.disabled)
-    ?(chaos = Chaos.disabled) db goal =
+let create ?(cost = Cost.default) ?(compile = false) ?output
+    ?(trace = Trace.disabled) ?(chaos = Chaos.disabled) db goal =
   let trail = Trail.create () in
   {
     db;
@@ -66,6 +69,7 @@ let create ?(cost = Cost.default) ?output ?(trace = Trace.disabled)
     cost;
     ctx = Builtins.make_ctx ?output ~trail ();
     goal;
+    compile;
     tbuf = Trace.buffer trace ~dom:0;
     chaos = Chaos.agent chaos 0;
     cps = [];
@@ -89,7 +93,11 @@ module K = Kernel.Resolver (struct
   let charge = spend
 end)
 
-let push_cp m ~goal ~alts ~cont =
+(* [mark] is the trail height the choice point restores on backtracking —
+   the caller's mark from *before* any bindings the first taken
+   alternative made (shallow backtracking pushes the choice point only
+   after a head has already matched). *)
+let push_cp m ~mark ~goal ~alts ~cont =
   spend m (Chaos.jitter m.chaos);
   spend m m.cost.Cost.cp_alloc;
   m.stats.Stats.cp_allocs <- m.stats.Stats.cp_allocs + 1;
@@ -99,7 +107,7 @@ let push_cp m ~goal ~alts ~cont =
       cp_goal = goal;
       cp_alts = alts;
       cp_cont = cont;
-      cp_trail = Trail.mark m.trail;
+      cp_trail = mark;
       cp_height = m.height;
     }
   in
@@ -111,7 +119,7 @@ let undo_to m mark = K.untrail m m.trail mark
 (* Unifies a renamed clause head against the goal; on success returns the
    body segment to execute. *)
 let try_clause m goal clause ~barrier =
-  match K.try_clause m ~trail:m.trail goal clause with
+  match K.resolve m ~compiled:m.compile ~trail:m.trail goal clause with
   | Some items -> Some { items; barrier }
   | None -> None
 
@@ -132,7 +140,11 @@ let rec run m (cont : seg list) : bool =
   | [] -> true
   | { items = []; _ } :: rest -> run m rest
   | ({ items = item :: items; barrier } as seg) :: rest -> (
-    let cont' = { seg with items } :: rest in
+    (* last item of the segment: drop the seg instead of keeping an
+       empty one around (saves an allocation per body executed) *)
+    let cont' =
+      match items with [] -> rest | _ -> { seg with items } :: rest
+    in
     match item with
     | Clause.Par bodies ->
       (* Sequential semantics of '&': plain conjunction. *)
@@ -140,33 +152,43 @@ let rec run m (cont : seg list) : bool =
     | Clause.Call g -> dispatch m g ~barrier cont')
 
 and dispatch m g ~barrier cont =
-  match Kernel.classify g with
-  | Kernel.Cut ->
-    cut m barrier;
-    run m cont
-  | Kernel.Conj g -> run m ({ items = Clause.compile_body g; barrier } :: cont)
-  | Kernel.Ite (cond, then_, else_) -> if_then_else m cond then_ else_ ~barrier cont
-  | Kernel.Disj (left, else_) ->
-    push_cp m ~goal:None ~alts:[ Agoal (Clause.compile_body else_) ] ~cont;
-    run m ({ items = Clause.compile_body left; barrier } :: cont)
-  | Kernel.Naf g ->
-    let mark = Trail.mark m.trail in
-    let proved = solve_once m g in
-    undo_to m mark;
-    if proved then backtrack m else run m cont
-  | Kernel.Meta g ->
-    (* call/1 is transparent to everything but cut: the cut barrier becomes
-       the current height, making the inner cut local. *)
-    dispatch m g ~barrier:m.height cont
-  | Kernel.Amp _ | Kernel.Sentinel _ | Kernel.Goal _ -> (
-    (* dynamically built '&'/2 goals and the '$solution' sentinel are not
-       part of this engine's language: both fall through to the database
-       (and its existence error), as they always have *)
-    let g = Term.deref g in
+  let g = Term.deref g in
+  if Kernel.is_plain g then
+    (* the hot case, allocation-free: a plain user or builtin call *)
     match K.call_builtin m m.ctx g with
     | Builtins.Ok -> run m cont
     | Builtins.Fail -> backtrack m
-    | Builtins.Not_builtin -> user_call m g cont)
+    | Builtins.Not_builtin -> user_call m g cont
+  else
+    match Kernel.classify g with
+    | Kernel.Cut ->
+      cut m barrier;
+      run m cont
+    | Kernel.Conj g ->
+      run m ({ items = Clause.compile_body g; barrier } :: cont)
+    | Kernel.Ite (cond, then_, else_) ->
+      if_then_else m cond then_ else_ ~barrier cont
+    | Kernel.Disj (left, else_) ->
+      push_cp m ~mark:(Trail.mark m.trail) ~goal:None
+        ~alts:(Agoal (Clause.compile_body else_)) ~cont;
+      run m ({ items = Clause.compile_body left; barrier } :: cont)
+    | Kernel.Naf g ->
+      let mark = Trail.mark m.trail in
+      let proved = solve_once m g in
+      undo_to m mark;
+      if proved then backtrack m else run m cont
+    | Kernel.Meta g ->
+      (* call/1 is transparent to everything but cut: the cut barrier becomes
+         the current height, making the inner cut local. *)
+      dispatch m g ~barrier:m.height cont
+    | Kernel.Amp _ | Kernel.Sentinel _ | Kernel.Goal _ -> (
+      (* dynamically built '&'/2 goals and the '$solution' sentinel are not
+         part of this engine's language: both fall through to the database
+         (and its existence error), as they always have *)
+      match K.call_builtin m m.ctx g with
+      | Builtins.Ok -> run m cont
+      | Builtins.Fail -> backtrack m
+      | Builtins.Not_builtin -> user_call m g cont)
 
 and if_then_else m cond then_ else_ ~barrier cont =
   let mark = Trail.mark m.trail in
@@ -190,7 +212,7 @@ and solve_once m g =
   found
 
 and user_call m g cont =
-  match K.lookup m m.db g with
+  match K.select m ~compiled:m.compile m.db g with
   | [] -> backtrack m
   | [ clause ] -> (
     (* Determinate after indexing: no choice point (the property LPCO and
@@ -198,12 +220,30 @@ and user_call m g cont =
     match try_clause m g clause ~barrier:m.height with
     | Some seg -> run m (seg :: cont)
     | None -> backtrack m)
-  | clause :: rest -> (
-    push_cp m ~goal:(Some g) ~alts:(List.map (fun c -> Aclause c) rest) ~cont;
-    let barrier = m.height - 1 in
-    match try_clause m g clause ~barrier with
-    | Some seg -> run m (seg :: cont)
-    | None -> backtrack m)
+  | clauses -> shallow m g clauses cont
+
+(* Shallow backtracking (WAM-style): scan the candidates for the first
+   one whose head matches before allocating a choice point, so clauses
+   rejected by head unification cost no choice-point traffic.  The
+   choice point — pushed only when a later alternative remains — records
+   the pre-scan trail mark, since those alternatives must be retried
+   from the caller's bindings. *)
+and shallow m g clauses cont =
+  let mark = Trail.mark m.trail in
+  let rec scan = function
+    | [] -> backtrack m
+    | clause :: rest -> (
+      match K.resolve m ~compiled:m.compile ~trail:m.trail g clause with
+      | Some items ->
+        let barrier = m.height in
+        if rest <> [] then
+          push_cp m ~mark ~goal:(Some g) ~alts:(Aclauses rest) ~cont;
+        run m ({ items; barrier } :: cont)
+      | None ->
+        undo_to m mark;
+        scan rest)
+  in
+  scan clauses
 
 and backtrack m =
   m.stats.Stats.backtracks <- m.stats.Stats.backtracks + 1;
@@ -214,32 +254,39 @@ and backtrack m =
     spend m m.cost.Cost.backtrack_node;
     m.stats.Stats.bt_nodes_visited <- m.stats.Stats.bt_nodes_visited + 1;
     match cp.cp_alts with
-    | [] ->
-      m.cps <- below;
-      m.height <- m.height - 1;
-      backtrack m
-    | alt :: alts ->
+    | Aclauses clauses ->
       undo_to m cp.cp_trail;
       spend m m.cost.Cost.cp_restore;
-      (* Last alternative: pop the choice point now (WAM "trust"). *)
-      let barrier =
-        if alts = [] then begin
+      let goal = match cp.cp_goal with Some g -> g | None -> assert false in
+      (* Shallow scan, as in [shallow]: head-rejected alternatives are
+         dropped without re-entering the backtracker; the last matching
+         alternative pops the choice point (WAM "trust"). *)
+      let rec rescan = function
+        | [] ->
           m.cps <- below;
           m.height <- m.height - 1;
-          m.height
-        end
-        else begin
-          cp.cp_alts <- alts;
-          cp.cp_height
-        end
+          backtrack m
+        | clause :: alts -> (
+          match K.resolve m ~compiled:m.compile ~trail:m.trail goal clause with
+          | Some items ->
+            if alts = [] then begin
+              m.cps <- below;
+              m.height <- m.height - 1
+            end
+            else cp.cp_alts <- Aclauses alts;
+            run m ({ items; barrier = cp.cp_height } :: cp.cp_cont)
+          | None ->
+            undo_to m cp.cp_trail;
+            rescan alts)
       in
-      (match alt with
-       | Aclause clause -> (
-         let goal = match cp.cp_goal with Some g -> g | None -> assert false in
-         match try_clause m goal clause ~barrier with
-         | Some seg -> run m (seg :: cp.cp_cont)
-         | None -> backtrack m)
-       | Agoal body -> run m ({ items = body; barrier } :: cp.cp_cont)))
+      rescan clauses
+    | Agoal body ->
+      undo_to m cp.cp_trail;
+      spend m m.cost.Cost.cp_restore;
+      (* a disjunction's right branch is its only alternative: trust *)
+      m.cps <- below;
+      m.height <- m.height - 1;
+      run m ({ items = body; barrier = m.height } :: cp.cp_cont))
 
 (* ------------------------------------------------------------------ *)
 (* Public interface                                                    *)
@@ -285,7 +332,7 @@ let stats m = m.stats
 
 let time m = m.charge
 
-let solve ?cost ?output ?trace ?chaos ?limit db goal =
-  let m = create ?cost ?output ?trace ?chaos db goal in
+let solve ?cost ?compile ?output ?trace ?chaos ?limit db goal =
+  let m = create ?cost ?compile ?output ?trace ?chaos db goal in
   let solutions = all_solutions ?limit m in
   (solutions, m)

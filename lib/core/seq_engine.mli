@@ -12,9 +12,14 @@ type t
     [chaos] (default {!Ace_sched.Chaos.disabled}) charges seeded extra
     abstract cycles at yield sites; with no concurrency the answers must
     not depend on it (the checker asserts cycle-jitter invariance
-    uniformly across engines). *)
+    uniformly across engines).
+
+    [compile] (default [false]) executes clauses as flat instruction code
+    through the deep-indexing dispatch tree; identical solutions, fewer
+    cycles. *)
 val create :
   ?cost:Ace_machine.Cost.t ->
+  ?compile:bool ->
   ?output:Buffer.t ->
   ?trace:Ace_obs.Trace.t ->
   ?chaos:Ace_sched.Chaos.t ->
@@ -41,6 +46,7 @@ val time : t -> int
 (** Convenience: run to exhaustion (or [limit] solutions). *)
 val solve :
   ?cost:Ace_machine.Cost.t ->
+  ?compile:bool ->
   ?output:Buffer.t ->
   ?trace:Ace_obs.Trace.t ->
   ?chaos:Ace_sched.Chaos.t ->

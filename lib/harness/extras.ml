@@ -26,6 +26,43 @@ type overhead_row = {
   gc_overhead : float;
 }
 
+(* Host shape recorded in every benchmark JSON row: wall-clock numbers
+   are meaningless without knowing how many cores the recording host
+   had.  [host_cores] counts physical processors from /proc/cpuinfo
+   where available and falls back to the runtime's recommendation. *)
+let recommended_domains () = Domain.recommended_domain_count ()
+
+let host_cores () =
+  try
+    let ic = open_in "/proc/cpuinfo" in
+    let n = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.length line >= 9 && String.sub line 0 9 = "processor" then
+           incr n
+       done
+     with End_of_file -> ());
+    close_in ic;
+    if !n > 0 then !n else recommended_domains ()
+  with Sys_error _ -> recommended_domains ()
+
+let host_json () =
+  Json.Obj
+    [ ("cores", Json.int (host_cores ()));
+      ("recommended_domains", Json.int (recommended_domains ()));
+      ("ocaml", Json.Str Sys.ocaml_version) ]
+
+(* Emitted by the bench subcommands before a hardware sweep whose domain
+   counts exceed what the host can actually run in parallel. *)
+let warn_domains ~requested =
+  let cores = host_cores () in
+  if requested > cores then
+    Format.eprintf
+      "warning: sweep requests %d domains but this host has %d core(s); \
+       speedups above %d domains measure scheduling, not parallelism@."
+      requested cores cores
+
 let percent_over base v =
   if base = 0 then 0.0 else 100.0 *. float_of_int (v - base) /. float_of_int base
 
@@ -259,15 +296,13 @@ let par_or_json rows =
         ("matches_seq", Json.Bool r.p_matches_seq);
         ("steals", Json.int r.p_steals);
         ("busy_frac", Json.Num r.p_busy_frac);
+        ("host_cores", Json.int (host_cores ()));
+        ("recommended_domains", Json.int (recommended_domains ()));
         ("per_domain", per_domain r.p_metrics) ]
   in
   Json.to_string
     (Json.Obj
-       [ ( "host",
-           Json.Obj
-             [ ("recommended_domains",
-                Json.int (Domain.recommended_domain_count ()));
-               ("ocaml", Json.Str Sys.ocaml_version) ] );
+       [ ("host", host_json ());
          ("rows", Json.List (List.map row rows)) ])
   ^ "\n"
 
@@ -396,30 +431,37 @@ let par_and_json rows =
         ("slots", Json.int r.a_slots);
         ("spo_hits", Json.int r.a_spo_hits);
         ("pdo_hits", Json.int r.a_pdo_hits);
-        ("steals", Json.int r.a_steals) ]
+        ("steals", Json.int r.a_steals);
+        ("host_cores", Json.int (host_cores ()));
+        ("recommended_domains", Json.int (recommended_domains ())) ]
   in
   Json.to_string
     (Json.Obj
-       [ ( "host",
-           Json.Obj
-             [ ("recommended_domains",
-                Json.int (Domain.recommended_domain_count ()));
-               ("ocaml", Json.Str Sys.ocaml_version) ] );
+       [ ("host", host_json ());
          ("rows", Json.List (List.map row rows)) ])
   ^ "\n"
 
-let seq_core_benchmarks = par_or_benchmarks
+(* The par-or sweep's search benchmarks plus the structure- and
+   arithmetic-heavy workloads (symbolic differentiation, matrix
+   arithmetic, recursion-bound programs, sorting) that exercise the
+   clause compiler's get/unify and put paths. *)
+let seq_core_benchmarks =
+  par_or_benchmarks
+  @ [ "pderiv"; "matrix"; "hanoi"; "takeuchi"; "bt_cluster"; "quick_sort" ]
 
 let seq_core_engines =
   [ Engine.Sequential; Engine.And_parallel; Engine.Or_parallel; Engine.Par_or ]
 
 let canonical_digest = Ace_check.Canon.digest
 
-(* Runs every benchmark on every engine at one agent/domain, reporting the
-   best wall time of [repeat] runs.  All four engines execute the same
-   programs, so the rows double as a cross-engine semantic check. *)
+(* Runs every benchmark on every engine at one agent/domain — first
+   interpreted, then on the compiled clause code (engine tag suffixed
+   with "/c") — reporting the best wall time of [repeat] runs.  All four
+   engines execute the same programs, so the rows double as a
+   cross-engine semantic check, and each interpreted/compiled pair as a
+   compiler check. *)
 let run_seq_core ?(benchmarks = seq_core_benchmarks)
-    ?(engines = seq_core_engines) ?(repeat = 3) ?size_of () =
+    ?(engines = seq_core_engines) ?(repeat = 5) ?size_of () =
   List.concat_map
     (fun name ->
       let b = Programs.find name in
@@ -427,31 +469,87 @@ let run_seq_core ?(benchmarks = seq_core_benchmarks)
         match size_of with Some f -> f b | None -> b.Programs.default_size
       in
       let program = b.Programs.program size and query = b.Programs.query size in
-      List.map
+      List.concat_map
         (fun kind ->
-          let config = { Config.default with Config.agents = 1 } in
-          let measure () =
-            let t0 = Unix.gettimeofday () in
-            let r = Engine.solve_program kind config ~program ~query in
-            let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
-            (ms, r)
-          in
-          let runs = List.init (max 1 repeat) (fun _ -> measure ()) in
-          let best_ms, best =
-            List.fold_left
-              (fun (am, ar) (m, r) -> if m < am then (m, r) else (am, ar))
-              (List.hd runs) (List.tl runs)
-          in
-          {
-            c_label = name;
-            c_engine = Engine.kind_to_string kind;
-            c_wall_ms = best_ms;
-            c_solutions = List.length best.Engine.solutions;
-            c_digest = canonical_digest best.Engine.solutions;
-            c_stats = best.Engine.stats;
-          })
+          List.map
+            (fun compile ->
+              let config =
+                { Config.default with Config.agents = 1; compile }
+              in
+              let measure () =
+                (* program loading (parse, consult, freeze) stays outside
+                   the timed region: these rows measure the resolution
+                   hot path, and the load cost is identical across
+                   engines and execution modes.  A fresh database per run
+                   keeps runs independent. *)
+                let p = Ace_lang.Program.consult_string program in
+                let q = Ace_lang.Program.parse_query query in
+                let db = Ace_lang.Program.db p in
+                Ace_lang.Database.freeze db;
+                (* collect the previous run's garbage so each timed run
+                   starts from the same heap state *)
+                Gc.full_major ();
+                let t0 = Unix.gettimeofday () in
+                let r = Engine.solve kind config db q.Ace_lang.Program.goal in
+                let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+                (ms, r)
+              in
+              let runs = List.init (max 1 repeat) (fun _ -> measure ()) in
+              let best_ms, best =
+                List.fold_left
+                  (fun (am, ar) (m, r) -> if m < am then (m, r) else (am, ar))
+                  (List.hd runs) (List.tl runs)
+              in
+              {
+                c_label = name;
+                c_engine =
+                  Engine.kind_to_string kind ^ (if compile then "/c" else "");
+                c_wall_ms = best_ms;
+                c_solutions = List.length best.Engine.solutions;
+                c_digest = canonical_digest best.Engine.solutions;
+                c_stats = best.Engine.stats;
+              })
+            [ false; true ])
         engines)
     benchmarks
+
+(* Geometric-mean wall-clock speedup of the compiled rows over their
+   interpreted counterparts, per engine tag ("seq" -> seq vs seq/c). *)
+let seq_core_speedups rows =
+  let tags =
+    List.filter_map
+      (fun r ->
+        match String.index_opt r.c_engine '/' with
+        | Some _ -> None
+        | None -> Some r.c_engine)
+      rows
+    |> List.sort_uniq compare
+  in
+  List.filter_map
+    (fun tag ->
+      let ratios =
+        List.filter_map
+          (fun r ->
+            if r.c_engine <> tag then None
+            else
+              List.find_opt
+                (fun r' ->
+                  r'.c_label = r.c_label && r'.c_engine = tag ^ "/c")
+                rows
+              |> Option.map (fun r' ->
+                     if r'.c_wall_ms > 0.0 then r.c_wall_ms /. r'.c_wall_ms
+                     else 1.0))
+          rows
+      in
+      match ratios with
+      | [] -> None
+      | _ ->
+        let n = float_of_int (List.length ratios) in
+        let g =
+          exp (List.fold_left (fun acc x -> acc +. log x) 0.0 ratios /. n)
+        in
+        Some (tag, g))
+    tags
 
 let pp_seq_core ppf rows =
   Format.fprintf ppf "== sequential-core hot path: wall-clock per run ==@,";
@@ -462,6 +560,10 @@ let pp_seq_core ppf rows =
       Format.fprintf ppf "%-12s %6s %12.2f %10d  %s@," r.c_label r.c_engine
         r.c_wall_ms r.c_solutions r.c_digest)
     rows;
+  List.iter
+    (fun (tag, g) ->
+      Format.fprintf ppf "compiled speedup geomean (%s): %.2fx@," tag g)
+    (seq_core_speedups rows);
   Format.fprintf ppf "@,"
 
 let seq_core_json rows =
@@ -472,11 +574,18 @@ let seq_core_json rows =
         ("wall_ms", Json.Num r.c_wall_ms);
         ("solutions", Json.int r.c_solutions);
         ("digest", Json.Str r.c_digest);
+        ("host_cores", Json.int (host_cores ()));
+        ("recommended_domains", Json.int (recommended_domains ()));
         ("stats", Metrics.stats_to_json r.c_stats) ]
+  in
+  let speedups =
+    Json.Obj
+      (List.map (fun (tag, g) -> (tag, Json.Num g)) (seq_core_speedups rows))
   in
   Json.to_string
     (Json.Obj
-       [ ("host", Json.Obj [ ("ocaml", Json.Str Sys.ocaml_version) ]);
+       [ ("host", host_json ());
+         ("compiled_speedup_geomean", speedups);
          ("rows", Json.List (List.map row rows)) ])
   ^ "\n"
 

@@ -12,6 +12,17 @@ type overhead_row = {
   gc_overhead : float;
 }
 
+(** Physical processor count of this host (from [/proc/cpuinfo] where
+    available, else the runtime's recommendation). *)
+val host_cores : unit -> int
+
+(** [Domain.recommended_domain_count ()]. *)
+val recommended_domains : unit -> int
+
+(** Prints a warning on stderr when a sweep requests more domains than
+    the host has cores. *)
+val warn_domains : requested:int -> unit
+
 val overhead_benchmarks : string list
 
 val run_overhead :
@@ -112,7 +123,9 @@ val par_and_json : par_and_row list -> string
 (** One wall-clock measurement of the engine hot path (consult + solve). *)
 type seq_core_row = {
   c_label : string;
-  c_engine : string;    (** "seq" | "and" | "or" | "par" *)
+  c_engine : string;
+      (** "seq" | "and" | "or" | "par", with "/c" appended for the
+          compiled-clause-code run of the same engine *)
   c_wall_ms : float;    (** best of the repeated runs *)
   c_solutions : int;
   c_digest : string;    (** MD5 of the sorted canonical solution set *)
@@ -121,9 +134,10 @@ type seq_core_row = {
 
 val seq_core_benchmarks : string list
 
-(** Runs every benchmark on every engine at one agent/domain; reports the
-    best wall time of [repeat] runs (default 3) and a digest of the
-    alpha-canonical solution set for semantic-drift checks. *)
+(** Runs every benchmark on every engine at one agent/domain, interpreted
+    and compiled; reports the best wall time of [repeat] runs (default 3)
+    and a digest of the alpha-canonical solution set for semantic-drift
+    checks. *)
 val run_seq_core :
   ?benchmarks:string list ->
   ?engines:Ace_core.Engine.kind list ->
@@ -131,6 +145,10 @@ val run_seq_core :
   ?size_of:(Ace_benchmarks.Programs.t -> int) ->
   unit ->
   seq_core_row list
+
+(** Geometric-mean wall-clock speedup of each engine's compiled rows over
+    its interpreted rows, as [(engine_tag, geomean)] pairs. *)
+val seq_core_speedups : seq_core_row list -> (string * float) list
 
 val pp_seq_core : Format.formatter -> seq_core_row list -> unit
 

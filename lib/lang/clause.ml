@@ -24,7 +24,21 @@ type renamer =
   | Dense of int (* slot = vid - base *)
   | Sparse of (int, int) Hashtbl.t (* vid -> slot *)
 
-type t = { head : Term.t; body : body; nvars : int; renamer : renamer }
+(* Slot for the flat instruction code of {!Code}.  Extensible so this
+   module needs no forward reference to the compiler: [Code] adds its own
+   constructor and caches the compiled form here (filled in by
+   {!Database.freeze}, or lazily on first compiled execution). *)
+type code = ..
+
+type code += No_code
+
+type t = {
+  head : Term.t;
+  body : body;
+  nvars : int;
+  renamer : renamer;
+  mutable code : code;
+}
 
 exception Malformed of string
 
@@ -98,7 +112,7 @@ let compile head body =
       end
     end
   in
-  { head; body; nvars; renamer }
+  { head; body; nvars; renamer; code = No_code }
 
 let of_term t =
   match Term.deref t with
@@ -152,6 +166,14 @@ let inst_term c fresh t =
   in
   go t
 
+(* Fresh-instance slot of a template variable — the compiler uses this to
+   translate variable occurrences into frame offsets. *)
+let var_slot c (v : Term.var) =
+  match c.renamer with
+  | Dense base -> v.Term.vid - base
+  | Sparse index -> Hashtbl.find index v.Term.vid
+  | Closed -> invalid_arg "Clause.var_slot: closed clause"
+
 let rename_head c =
   match c.renamer with
   | Closed -> (c.head, no_vars)
@@ -175,7 +197,8 @@ let rename c =
   | Closed -> c
   | _ ->
     let head, fresh = rename_head c in
-    { c with head; body = rename_body c fresh }
+    (* a fresh instance is not the template its code was compiled from *)
+    { c with head; body = rename_body c fresh; code = No_code }
 
 let rec body_goals body =
   List.concat_map

@@ -10,11 +10,19 @@ and item =
 (** Maps template variables to fresh-instance slots (see {!rename}). *)
 type renamer
 
+(** Cache slot for the flat instruction code of {!Code}.  Extensible so
+    the clause representation carries compiled code without a forward
+    dependency on the compiler; [No_code] means "not compiled yet". *)
+type code = ..
+
+type code += No_code
+
 type t = {
   head : Ace_term.Term.t;
   body : body;
   nvars : int;  (** distinct variables in the template *)
   renamer : renamer;
+  mutable code : code;  (** filled by {!Code.of_clause}; idempotent *)
 }
 
 exception Malformed of string
@@ -48,6 +56,10 @@ val rename : t -> t
 val rename_head : t -> Ace_term.Term.t * Ace_term.Term.var array
 
 val rename_body : t -> Ace_term.Term.var array -> body
+
+(** Fresh-instance frame slot (in [0 .. nvars-1]) of a template variable;
+    raises on a closed (variable-free) clause. *)
+val var_slot : t -> Ace_term.Term.var -> int
 
 (** All [Call] goals, left-to-right, descending into [Par]. *)
 val body_goals : body -> Ace_term.Term.t list

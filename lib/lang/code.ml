@@ -1,0 +1,474 @@
+(* The clause compiler: lowers a clause template to flat instruction code.
+
+   Head arguments become get_*/unify_* instructions executed directly
+   against the caller's goal arguments — no renamed head copy is
+   allocated and the goal is walked exactly once.  Clause variables live
+   in a per-try frame (a [Term.t array] indexed by the template's dense
+   slots, see {!Clause.var_slot}); a head first occurrence stores the
+   goal subterm into its slot without allocating a variable at all, so a
+   fully instantiated call binds nothing and trails nothing.
+
+   Bodies become put code: a tree of {!put} nodes mirroring the template
+   with variables replaced by slots and ground subtrees replaced by
+   [P_const] nodes that *share* the immutable template subterm instead of
+   copying it.  Executing the puts yields an ordinary {!Clause.body}, so
+   everything downstream of head unification — continuations, cut
+   barriers, parcall frames, or-parallel publication snapshots — is
+   untouched by compilation.
+
+   Trail discipline is the interpreter's: every binding of a caller-side
+   variable goes through {!Unify.bind} on the worker's trail (structure
+   cells freshly allocated in write mode are not caller state and are not
+   trailed), so choice-point marks, MUSE stack copies and parcall
+   unwinding work identically on compiled code. *)
+
+module Term = Ace_term.Term
+module Symbol = Ace_term.Symbol
+module Trail = Ace_term.Trail
+module Unify = Ace_term.Unify
+
+(* Head instructions.  [Get_*] match one goal argument (the [int] is the
+   argument index); [U_*] match the cells of the structure entered by the
+   nearest enclosing [Get_struct]/[U_struct], left to right, with [U_pop]
+   closing the structure.  In read mode a [*_struct] against an unbound
+   variable binds it to a fresh skeleton and switches the cells below to
+   write mode (WAM read/write modes, structure-threaded). *)
+type instr =
+  | Get_atom of Symbol.t * int
+  | Get_int of int * int
+  | Get_var of int * int (* frame slot <- goal argument; first occurrence *)
+  | Get_val of int * int (* full unify frame slot vs goal argument *)
+  | Get_struct of Symbol.t * int * int (* functor, arity, argument *)
+  | Get_ground of Term.t * int (* ground argument: unify against template *)
+  | U_atom of Symbol.t
+  | U_int of int
+  | U_var of int
+  | U_val of int
+  | U_struct of Symbol.t * int (* functor, arity *)
+  | U_ground of Term.t
+  | U_pop
+
+(* Body put code: builds goal terms from the frame.  [P_const] shares the
+   (ground, hence immutable) template subterm. *)
+type put =
+  | P_const of Term.t
+  | P_var of int
+  | P_struct of Symbol.t * put array
+
+type bitem =
+  | B_call of put
+  | B_par of bitem list list
+
+type t = {
+  c_head : instr array;
+  c_body : bitem list;
+  c_nvars : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Seeded mutation hook for the CI compile-smoke test: when set to
+   [Some k], one structure-preserving instruction rewrite is applied to
+   every subsequently compiled head (at index [k mod length]), so the
+   differential oracle must report compiled-vs-interpreted
+   discrepancies.  Never set outside tests. *)
+let mutation : int option ref = ref None
+
+let mutant_atom = lazy (Symbol.intern "$mutant")
+
+(* Rewrites one instruction without changing the code's structure (cell
+   counts and struct nesting preserved), twisting its matching
+   semantics. *)
+let mutate_instr = function
+  | Get_atom (_, i) -> Some (Get_atom (Lazy.force mutant_atom, i))
+  | Get_int (n, i) -> Some (Get_int (n + 1, i))
+  | Get_var (_, i) -> Some (Get_atom (Lazy.force mutant_atom, i))
+  | Get_val (s, i) -> Some (Get_var (s, i)) (* drops the consistency check *)
+  | Get_struct (_, n, i) -> Some (Get_struct (Lazy.force mutant_atom, n, i))
+  | Get_ground (_, i) -> Some (Get_atom (Lazy.force mutant_atom, i))
+  | U_atom _ -> Some (U_atom (Lazy.force mutant_atom))
+  | U_int n -> Some (U_int (n + 1))
+  | U_var _ -> Some (U_atom (Lazy.force mutant_atom))
+  | U_val s -> Some (U_var s)
+  | U_struct (_, n) -> Some (U_struct (Lazy.force mutant_atom, n))
+  | U_ground _ -> Some (U_atom (Lazy.force mutant_atom))
+  | U_pop -> None (* structural; never rewritten *)
+
+let apply_mutation code =
+  match !mutation with
+  | None -> code
+  | Some k ->
+    let n = Array.length code in
+    if n = 0 then code
+    else begin
+      let code = Array.copy code in
+      (* first rewritable instruction at or after k mod n *)
+      let rec go tries i =
+        if tries >= n then ()
+        else
+          match mutate_instr code.(i) with
+          | Some ins -> code.(i) <- ins
+          | None -> go (tries + 1) ((i + 1) mod n)
+      in
+      go 0 (k mod n);
+      code
+    end
+
+let is_ground_template t =
+  (* template variables are never bound, so plain groundness is right *)
+  Term.is_ground t
+
+let compile_head clause =
+  let seen = Array.make (max 1 clause.Clause.nvars) false in
+  let slot v =
+    let s = Clause.var_slot clause v in
+    let first = not seen.(s) in
+    seen.(s) <- true;
+    (s, first)
+  in
+  let acc = ref [] in
+  let emit i = acc := i :: !acc in
+  let rec emit_cell t =
+    match Term.deref t with
+    | Term.Atom s -> emit (U_atom s)
+    | Term.Int n -> emit (U_int n)
+    | Term.Var v ->
+      let s, first = slot v in
+      emit (if first then U_var s else U_val s)
+    | Term.Struct (f, args) ->
+      if is_ground_template t then emit (U_ground (Term.deref t))
+      else begin
+        emit (U_struct (f, Array.length args));
+        Array.iter emit_cell args;
+        emit U_pop
+      end
+  in
+  let emit_arg i t =
+    match Term.deref t with
+    | Term.Atom s -> emit (Get_atom (s, i))
+    | Term.Int n -> emit (Get_int (n, i))
+    | Term.Var v ->
+      let s, first = slot v in
+      emit (if first then Get_var (s, i) else Get_val (s, i))
+    | Term.Struct (f, args) ->
+      if is_ground_template t then emit (Get_ground (Term.deref t, i))
+      else begin
+        emit (Get_struct (f, Array.length args, i));
+        Array.iter emit_cell args;
+        emit U_pop
+      end
+  in
+  (match Term.deref clause.Clause.head with
+   | Term.Atom _ -> ()
+   | Term.Struct (_, args) -> Array.iteri emit_arg args
+   | Term.Int _ | Term.Var _ -> assert false (* checked at clause construction *));
+  apply_mutation (Array.of_list (List.rev !acc))
+
+let compile_body clause =
+  let slot v = Clause.var_slot clause v in
+  let rec put_of t =
+    match Term.deref t with
+    | (Term.Atom _ | Term.Int _) as t' -> P_const t'
+    | Term.Var v -> P_var (slot v)
+    | Term.Struct (f, args) as t' ->
+      if is_ground_template t' then P_const t'
+      else P_struct (f, Array.map put_of args)
+  in
+  let rec go_body b = List.map go_item b
+  and go_item = function
+    | Clause.Call g -> B_call (put_of g)
+    | Clause.Par bodies -> B_par (List.map go_body bodies)
+  in
+  go_body clause.Clause.body
+
+let compile clause =
+  {
+    c_head = compile_head clause;
+    c_body = compile_body clause;
+    c_nvars = clause.Clause.nvars;
+  }
+
+(* The compiled form is cached on the clause through the extensible
+   {!Clause.code} slot.  {!Database.freeze} precompiles every clause
+   before parallel workers start; the lazy path below is for
+   single-threaded callers on unfrozen databases (a concurrent duplicate
+   compile would be idempotent — the code is a pure function of the
+   immutable template — so the benign race costs at most a recompile). *)
+type Clause.code += Compiled of t
+
+let of_clause clause =
+  match clause.Clause.code with
+  | Compiled code -> code
+  | _ ->
+    let code = compile clause in
+    clause.Clause.code <- Compiled code;
+    code
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Frame slots start as this sentinel (compared with [==]): a head first
+   occurrence overwrites it with a goal subterm, and body puts replace a
+   still-unset slot with a fresh variable on demand — variables never
+   mentioned by the surviving execution path are never allocated. *)
+let unset : Term.t = Term.Atom (Symbol.intern "$unset")
+
+let no_args : Term.t array = [||]
+
+let frame code =
+  if code.c_nvars = 0 then no_args else Array.make code.c_nvars unset
+
+(* Per-domain scratch reused across clause tries: the two counters and a
+   frame buffer.  A frame is dead as soon as {!inst_body} has built the
+   body (neither the goal subterms it holds nor the body terms reference
+   the array itself), so one live buffer per domain suffices;
+   domain-local storage keeps the parallel engines race-free without a
+   per-try allocation. *)
+type scratch = {
+  mutable s_instrs : int;
+  s_steps : int ref; (* a ref so it threads into the general unifier *)
+  mutable s_buf : Term.t array;
+}
+
+let scratch_key =
+  Domain.DLS.new_key (fun () -> { s_instrs = 0; s_steps = ref 0; s_buf = [||] })
+
+let scratch () = Domain.DLS.get scratch_key
+
+(* A frame for [code] carved out of the scratch buffer: slots [0 ..
+   c_nvars-1] reset to [unset] (the buffer may be longer; slots past
+   [c_nvars] are never read). *)
+let scratch_frame sc code =
+  let n = code.c_nvars in
+  if n = 0 then no_args
+  else if Array.length sc.s_buf < n then begin
+    sc.s_buf <- Array.make n unset;
+    sc.s_buf
+  end
+  else begin
+    Array.fill sc.s_buf 0 n unset;
+    sc.s_buf
+  end
+
+exception Fail
+
+(* The head-code interpreter: top-level recursions with the machine
+   state threaded through arguments, so running a head allocates nothing
+   beyond the bindings it creates — no per-try closure environments (the
+   engines are allocation-bound on this path, so those environments were
+   measurable).  [sc.s_instrs] accumulates executed instructions (the
+   per-instruction cycle charge), [sc.s_steps] the nodes visited by the
+   embedded general unifications ([*_val]/[*_ground]); bindings are
+   trailed, and the caller undoes to its own mark on failure. *)
+
+let unify_cell sc trail a b =
+  if not (Unify.unify ~trail ~steps:sc.s_steps a b) then raise Fail
+
+(* [exec_sub code sc frame trail ip cells pos write] runs U_*
+   instructions against [cells] from [pos] until the matching U_pop;
+   returns the instruction pointer past the U_pop. *)
+let rec exec_sub code sc frame trail ip (cells : Term.t array) pos write =
+  match code.(ip) with
+  | U_pop -> ip + 1
+  | ins ->
+    sc.s_instrs <- sc.s_instrs + 1;
+    let ip' =
+      match ins with
+      | U_atom s ->
+        (if write then cells.(pos) <- Term.Atom s
+         else
+           match Term.deref cells.(pos) with
+           | Term.Atom s' when Symbol.equal s s' -> ()
+           | Term.Var v -> Unify.bind trail v (Term.Atom s)
+           | _ -> raise Fail);
+        ip + 1
+      | U_int k ->
+        (if write then cells.(pos) <- Term.Int k
+         else
+           match Term.deref cells.(pos) with
+           | Term.Int k' when k = k' -> ()
+           | Term.Var v -> Unify.bind trail v (Term.Int k)
+           | _ -> raise Fail);
+        ip + 1
+      | U_var slot ->
+        (if write then begin
+           let v = Term.var () in
+           cells.(pos) <- v;
+           frame.(slot) <- v
+         end
+         else frame.(slot) <- cells.(pos));
+        ip + 1
+      | U_val slot ->
+        if write then cells.(pos) <- frame.(slot)
+        else unify_cell sc trail frame.(slot) cells.(pos);
+        ip + 1
+      | U_ground t ->
+        (if write then cells.(pos) <- t
+         else
+           let cell = cells.(pos) in
+           if not (Term.deref cell == t) then unify_cell sc trail t cell);
+        ip + 1
+      | U_struct (f, arity) ->
+        if write then begin
+          let cs = Array.make arity Term.nil in
+          cells.(pos) <- Term.Struct (f, cs);
+          exec_sub code sc frame trail (ip + 1) cs 0 true
+        end
+        else (
+          match Term.deref cells.(pos) with
+          | Term.Struct (g, cs) when Symbol.equal f g && Array.length cs = arity
+            ->
+            exec_sub code sc frame trail (ip + 1) cs 0 false
+          | Term.Var v ->
+            let cs = Array.make arity Term.nil in
+            Unify.bind trail v (Term.Struct (f, cs));
+            exec_sub code sc frame trail (ip + 1) cs 0 true
+          | _ -> raise Fail)
+      | Get_atom _ | Get_int _ | Get_var _ | Get_val _ | Get_struct _
+      | Get_ground _ ->
+        (* a mutated/truncated program cannot reach here in well-formed
+           code; fail the clause rather than crash *)
+        raise Fail
+      | U_pop -> assert false (* handled by the enclosing match *)
+    in
+    exec_sub code sc frame trail ip' cells (pos + 1) write
+
+let rec exec_top code n sc frame trail (args : Term.t array) ip =
+  if ip >= n then ()
+  else begin
+    sc.s_instrs <- sc.s_instrs + 1;
+    let ip' =
+      match code.(ip) with
+      | Get_atom (s, i) ->
+        (match Term.deref args.(i) with
+         | Term.Atom s' when Symbol.equal s s' -> ()
+         | Term.Var v -> Unify.bind trail v (Term.Atom s)
+         | _ -> raise Fail);
+        ip + 1
+      | Get_int (k, i) ->
+        (match Term.deref args.(i) with
+         | Term.Int k' when k = k' -> ()
+         | Term.Var v -> Unify.bind trail v (Term.Int k)
+         | _ -> raise Fail);
+        ip + 1
+      | Get_var (slot, i) ->
+        frame.(slot) <- args.(i);
+        ip + 1
+      | Get_val (slot, i) ->
+        unify_cell sc trail frame.(slot) args.(i);
+        ip + 1
+      | Get_ground (t, i) ->
+        let arg = args.(i) in
+        if not (Term.deref arg == t) then unify_cell sc trail t arg;
+        ip + 1
+      | Get_struct (f, arity, i) -> (
+        match Term.deref args.(i) with
+        | Term.Struct (g, cs) when Symbol.equal f g && Array.length cs = arity
+          ->
+          exec_sub code sc frame trail (ip + 1) cs 0 false
+        | Term.Var v ->
+          let cs = Array.make arity Term.nil in
+          Unify.bind trail v (Term.Struct (f, cs));
+          exec_sub code sc frame trail (ip + 1) cs 0 true
+        | _ -> raise Fail)
+      | U_atom _ | U_int _ | U_var _ | U_val _ | U_struct _ | U_ground _
+      | U_pop ->
+        raise Fail (* see the mutation note above *)
+    in
+    exec_top code n sc frame trail args ip'
+  end
+
+let run_head code ~trail ~sc (frame : Term.t array) (args : Term.t array) =
+  let code = code.c_head in
+  match exec_top code (Array.length code) sc frame trail args 0 with
+  | () -> true
+  | exception Fail -> false
+
+(* Builds the body against the frame.  A slot still unset here belongs to
+   a variable whose first occurrence is in the body: it becomes fresh
+   now. *)
+let rec build_put frame = function
+  | P_const t -> t
+  | P_var slot ->
+    let t = frame.(slot) in
+    if t == unset then begin
+      let v = Term.var () in
+      frame.(slot) <- v;
+      v
+    end
+    else t
+  | P_struct (f, ps) -> Term.Struct (f, Array.map (build_put frame) ps)
+
+let inst_body code frame : Clause.body =
+  let rec go_body b = List.map go_item b
+  and go_item = function
+    | B_call p -> Clause.Call (build_put frame p)
+    | B_par bodies -> Clause.Par (List.map go_body bodies)
+  in
+  go_body code.c_body
+
+(* ------------------------------------------------------------------ *)
+(* Listings (golden tests, debugging)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let pp_term = Ace_term.Pp.pp
+
+let pp_instr ppf = function
+  | Get_atom (s, i) -> Format.fprintf ppf "get_atom %s, A%d" (Symbol.name s) i
+  | Get_int (n, i) -> Format.fprintf ppf "get_int %d, A%d" n i
+  | Get_var (s, i) -> Format.fprintf ppf "get_var X%d, A%d" s i
+  | Get_val (s, i) -> Format.fprintf ppf "get_val X%d, A%d" s i
+  | Get_struct (f, n, i) ->
+    Format.fprintf ppf "get_struct %s/%d, A%d" (Symbol.name f) n i
+  | Get_ground (t, i) -> Format.fprintf ppf "get_ground %a, A%d" pp_term t i
+  | U_atom s -> Format.fprintf ppf "unify_atom %s" (Symbol.name s)
+  | U_int n -> Format.fprintf ppf "unify_int %d" n
+  | U_var s -> Format.fprintf ppf "unify_var X%d" s
+  | U_val s -> Format.fprintf ppf "unify_val X%d" s
+  | U_struct (f, n) ->
+    Format.fprintf ppf "unify_struct %s/%d" (Symbol.name f) n
+  | U_ground t -> Format.fprintf ppf "unify_ground %a" pp_term t
+  | U_pop -> Format.fprintf ppf "pop"
+
+let rec pp_put ppf = function
+  | P_const t -> pp_term ppf t
+  | P_var s -> Format.fprintf ppf "X%d" s
+  | P_struct (f, ps) ->
+    Format.fprintf ppf "%s(" (Symbol.name f);
+    Array.iteri
+      (fun i p ->
+        if i > 0 then Format.fprintf ppf ",";
+        pp_put ppf p)
+      ps;
+    Format.fprintf ppf ")"
+
+let pp_listing ppf code =
+  let depth = ref 0 in
+  Array.iter
+    (fun ins ->
+      (match ins with U_pop -> decr depth | _ -> ());
+      Format.fprintf ppf "  %s%a@." (String.make (2 * !depth) ' ') pp_instr ins;
+      match ins with
+      | Get_struct _ | U_struct _ -> incr depth
+      | _ -> ())
+    code.c_head;
+  let rec pp_items indent items =
+    List.iter
+      (fun item ->
+        match item with
+        | B_call p -> Format.fprintf ppf "  %scall %a@." indent pp_put p
+        | B_par bodies ->
+          Format.fprintf ppf "  %spar@." indent;
+          List.iter
+            (fun b ->
+              Format.fprintf ppf "  %s branch@." indent;
+              pp_items (indent ^ "  ") b)
+            bodies)
+      items
+  in
+  pp_items "" code.c_body
+
+let listing code = Format.asprintf "%a" pp_listing code

@@ -1,0 +1,112 @@
+(** The clause compiler: flat get/unify head code plus body put code.
+
+    Compiled at assert/consult time (cached on the clause via the
+    extensible {!Clause.code} slot; {!Database.freeze} precompiles every
+    clause so parallel workers only read).  The head code matches the
+    goal arguments in place — no renamed head copy, no fresh variables
+    for head occurrences — and the put code instantiates the body into an
+    ordinary {!Clause.body}, sharing ground template subterms instead of
+    copying them.  All caller-visible bindings are trailed exactly as the
+    interpreter's, so choice points, MUSE copies and parcall unwinding
+    are unaffected. *)
+
+(** Head instructions.  [Get_*] match one goal argument; [U_*] run
+    against the cells of the nearest enclosing [*_struct] (closed by
+    [U_pop]), switching to write mode when the structure position was an
+    unbound variable. *)
+type instr =
+  | Get_atom of Ace_term.Symbol.t * int
+  | Get_int of int * int
+  | Get_var of int * int  (** frame slot <- goal argument (first occurrence) *)
+  | Get_val of int * int  (** general unify: frame slot vs goal argument *)
+  | Get_struct of Ace_term.Symbol.t * int * int  (** functor, arity, argument *)
+  | Get_ground of Ace_term.Term.t * int
+      (** ground argument: one general unify against the shared template *)
+  | U_atom of Ace_term.Symbol.t
+  | U_int of int
+  | U_var of int
+  | U_val of int
+  | U_struct of Ace_term.Symbol.t * int
+  | U_ground of Ace_term.Term.t
+  | U_pop
+
+(** Body put code; [P_const] shares the immutable template subterm. *)
+type put =
+  | P_const of Ace_term.Term.t
+  | P_var of int
+  | P_struct of Ace_term.Symbol.t * put array
+
+type bitem =
+  | B_call of put
+  | B_par of bitem list list
+
+type t = {
+  c_head : instr array;
+  c_body : bitem list;
+  c_nvars : int;
+}
+
+type Clause.code += Compiled of t
+
+(** Compiles a clause template (no caching). *)
+val compile : Clause.t -> t
+
+(** Cached compilation through the clause's {!Clause.code} slot. *)
+val of_clause : Clause.t -> t
+
+(** A fresh frame for one clause try: [c_nvars] slots holding the
+    {!unset} sentinel. *)
+val frame : t -> Ace_term.Term.t array
+
+(** The frame sentinel (compare with [==]). *)
+val unset : Ace_term.Term.t
+
+val no_args : Ace_term.Term.t array
+
+(** Per-domain execution scratch: the instruction/unify-step counters
+    and a frame buffer reused across clause tries (a frame is dead once
+    {!inst_body} has run, so one live buffer per domain suffices). *)
+type scratch = {
+  mutable s_instrs : int;
+  s_steps : int ref;  (** threads into the embedded general unifier *)
+  mutable s_buf : Ace_term.Term.t array;
+}
+
+(** This domain's scratch (domain-local storage; allocation-free after
+    the first call on each domain). *)
+val scratch : unit -> scratch
+
+(** A frame for [code] carved out of the scratch buffer, slots reset to
+    {!unset}.  Invalidated by the next [scratch_frame] call on this
+    domain — consume it (run the head, instantiate the body) before the
+    next clause try. *)
+val scratch_frame : scratch -> t -> Ace_term.Term.t array
+
+(** [run_head code ~trail ~sc frame args] executes the head code against
+    the goal arguments; [true] on match.  Adds executed instructions to
+    [sc.s_instrs] and the nodes visited by embedded general unifications
+    to [sc.s_steps] (the caller resets them).  Bindings stay trailed on
+    failure — the caller undoes to its own mark (same contract as a
+    failed {!Ace_term.Unify.unify}). *)
+val run_head :
+  t ->
+  trail:Ace_term.Trail.t ->
+  sc:scratch ->
+  Ace_term.Term.t array ->
+  Ace_term.Term.t array ->
+  bool
+
+(** Instantiates the body against a frame produced by {!run_head};
+    body-only variables become fresh here. *)
+val inst_body : t -> Ace_term.Term.t array -> Clause.body
+
+(** Seeded structure-preserving instruction mutation applied to every
+    head compiled while set ([Some k] rewrites the instruction at
+    [k mod length]).  CI's compile-smoke test sets this and requires the
+    differential oracle to fail.  Never set outside tests. *)
+val mutation : int option ref
+
+(** Human-readable instruction listing (golden tests). *)
+val pp_listing : Format.formatter -> t -> unit
+
+val listing : t -> string

@@ -82,6 +82,28 @@ let key_of_term t =
 
 type entry = { seq : int; e_key : key; e_clause : Clause.t }
 
+(* Switch-on-term dispatch tree with deep argument indexing (built by
+   {!freeze}, consumed by {!lookup_code} on the compiled execution path).
+
+   A [Dswitch] discriminates on the key found at [d_path] — a sequence of
+   argument positions from the call's root, so paths longer than one look
+   *inside* structure arguments, beyond the classic first-argument key.
+   [d_cases] maps each rigid key to the subtree over the clauses
+   compatible with it (bucket clauses plus the variable-at-path clauses,
+   merged in source order); a rigid call key with no case falls back to
+   [d_anys] (just the variable-at-path clauses) and a call with a
+   variable at the path to [d_all] (every clause of the subtree).
+   Dropping a clause therefore only ever happens on provably
+   non-unifiable rigid-key disagreement. *)
+type dtree =
+  | Dleaf of Clause.t list
+  | Dswitch of {
+      d_path : int array;
+      d_cases : dtree KeyTbl.t;
+      d_anys : Clause.t list;
+      d_all : Clause.t list;
+    }
+
 type pred = {
   p_name : Symbol.t;
   p_arity : int;
@@ -102,11 +124,19 @@ type pred = {
   mutable anys_cache : Clause.t list option;
     (* ascending Kany clauses: the result for keys with no bucket *)
   key_cache : Clause.t list KeyTbl.t; (* merged bucket + anys per key *)
+  mutable dtree : dtree option;
+    (* deep-indexing dispatch tree for the compiled path; built by
+       {!freeze}, invalidated by asserts *)
 }
 
-type t = { preds : pred PredTbl.t }
+type t = {
+  preds : pred PredTbl.t;
+  mutable frozen : bool;
+    (* caches are complete and the database is read-only; cleared by
+       asserts, making a second {!freeze} O(1) *)
+}
 
-let create () = { preds = PredTbl.create 64 }
+let create () = { preds = PredTbl.create 64; frozen = false }
 
 let clause_key clause =
   match Term.deref clause.Clause.head with
@@ -137,6 +167,7 @@ let get_pred db sym arity =
         all_cache = None;
         anys_cache = None;
         key_cache = KeyTbl.create 8;
+        dtree = None;
       }
     in
     PredTbl.add db.preds (Symbol.id sym, arity) p;
@@ -159,6 +190,7 @@ let index_entry p entry ~at_front =
 let invalidate p =
   p.all_cache <- None;
   p.anys_cache <- None;
+  p.dtree <- None;
   KeyTbl.reset p.key_cache
 
 let assertz db clause =
@@ -168,6 +200,7 @@ let assertz db clause =
   p.next_seq <- p.next_seq + 1;
   p.back_rev <- entry :: p.back_rev;
   p.count <- p.count + 1;
+  db.frozen <- false;
   invalidate p;
   index_entry p entry ~at_front:false
 
@@ -178,6 +211,7 @@ let asserta db clause =
   p.prev_seq <- p.prev_seq - 1;
   p.front <- entry :: p.front;
   p.count <- p.count + 1;
+  db.frozen <- false;
   invalidate p;
   index_entry p entry ~at_front:true
 
@@ -243,10 +277,180 @@ let lookup db call =
                  | None -> Some (merge_desc [] p.anys))
                | Some bucket -> Some (merge_desc bucket p.anys)))))
 
+(* ------------------------------------------------------------------ *)
+(* Deep-indexing dispatch tree (compiled execution path)               *)
+(* ------------------------------------------------------------------ *)
+
+(* Bounds on tree construction: paths never look more than [max_depth]
+   positions into the call, and a node tracks at most [max_paths]
+   candidate paths.  Both cap build time on wide fact tables while
+   leaving typical recursive predicates fully discriminated. *)
+let max_depth = 3
+let max_paths = 8
+
+(* Key of a clause head at an argument path; [Kany] when a variable sits
+   anywhere along it (such a clause matches any call, so it must be kept
+   in every case). *)
+let clause_key_at clause (path : int array) =
+  let rec go t i =
+    match Term.deref t with
+    | Term.Var _ -> Kany
+    | t' when i >= Array.length path -> key_of_term t'
+    | Term.Struct (_, args) when path.(i) < Array.length args ->
+      go args.(path.(i)) (i + 1)
+    | _ -> Kany (* cannot descend: treat as compatible with anything *)
+  in
+  match Term.deref clause.Clause.head with
+  | Term.Struct (_, args) when path.(0) < Array.length args ->
+    go args.(path.(0)) 1
+  | _ -> Kany
+
+let entry_clauses entries = List.map (fun e -> e.e_clause) entries
+
+(* Builds the tree over [entries] (ascending seq = source order).  A path
+   is worth switching on when it has at least two distinct rigid keys and
+   every case strictly shrinks (largest bucket + variable-keyed clauses
+   < total); the most discriminating such path wins.  Each [Kstruct]
+   case adds the positions inside that structure as new candidate paths —
+   that is the deep indexing. *)
+let rec build_dtree entries paths =
+  match entries with
+  | [] | [ _ ] -> Dleaf (entry_clauses entries)
+  | _ when paths = [] -> Dleaf (entry_clauses entries)
+  | _ ->
+    let total = List.length entries in
+    let score path =
+      let tbl = KeyTbl.create 8 in
+      let nanys = ref 0 in
+      List.iter
+        (fun e ->
+          match clause_key_at e.e_clause path with
+          | Kany -> incr nanys
+          | k -> KeyTbl.replace tbl k (1 + Option.value ~default:0 (KeyTbl.find_opt tbl k)))
+        entries;
+      let distinct = KeyTbl.length tbl in
+      let worst = KeyTbl.fold (fun _ n acc -> max n acc) tbl 0 in
+      if distinct >= 2 && worst + !nanys < total then Some (worst + !nanys)
+      else None
+    in
+    (* Prefer the earliest qualifying path over the best-scoring one:
+       calls instantiate early (input) arguments far more often than
+       late (output) ones, and a switch on a position that is unbound at
+       run time degenerates to [d_all] however well it discriminates the
+       clause heads.  Candidate order is leftmost-shallowest first, and
+       [sub_paths] below keeps refinements of the matched position ahead
+       of later arguments for the same reason. *)
+    let best =
+      List.find_map
+        (fun path -> Option.map (fun _ -> path) (score path))
+        paths
+    in
+    (match best with
+     | None -> Dleaf (entry_clauses entries)
+     | Some path ->
+       let buckets = KeyTbl.create 8 in
+       let anys_rev = ref [] in
+       List.iter
+         (fun e ->
+           match clause_key_at e.e_clause path with
+           | Kany -> anys_rev := e :: !anys_rev
+           | k ->
+             KeyTbl.replace buckets k
+               (e :: Option.value ~default:[] (KeyTbl.find_opt buckets k)))
+         entries;
+       let anys = List.rev !anys_rev in
+       let rest_paths = List.filter (fun p -> p != path) paths in
+       let cases = KeyTbl.create (KeyTbl.length buckets) in
+       KeyTbl.iter
+         (fun k bucket_rev ->
+           let bucket = List.rev bucket_rev in
+           (* merge bucket and anys back into source order (both ascending) *)
+           let rec merge a b =
+             match (a, b) with
+             | [], l | l, [] -> l
+             | x :: xs, y :: ys ->
+               if x.seq < y.seq then x :: merge xs b else y :: merge a ys
+           in
+           let sub_entries = merge bucket anys in
+           let sub_paths =
+             match k with
+             | Kstruct (_, arity) when Array.length path < max_depth ->
+               let ext =
+                 List.init arity (fun j -> Array.append path [| j |])
+               in
+               let paths' = ext @ rest_paths in
+               if List.length paths' > max_paths then
+                 List.filteri (fun i _ -> i < max_paths) paths'
+               else paths'
+             | _ -> rest_paths
+           in
+           KeyTbl.replace cases k (build_dtree sub_entries sub_paths))
+         buckets;
+       Dswitch
+         {
+           d_path = path;
+           d_cases = cases;
+           d_anys = entry_clauses anys;
+           d_all = entry_clauses entries;
+         })
+
+let build_pred_dtree p =
+  if p.p_arity = 0 then Dleaf (all_clauses p)
+  else
+    build_dtree (all_entries p)
+      (List.init p.p_arity (fun i -> [| i |]))
+
+(* Key of a call at a path; [None] when a variable is met along it (the
+   call could take any branch). *)
+let call_key_at call (path : int array) =
+  let rec go t i =
+    match Term.deref t with
+    | Term.Var _ -> None
+    | t' when i >= Array.length path -> Some (key_of_term t')
+    | Term.Struct (_, args) when path.(i) < Array.length args ->
+      go args.(path.(i)) (i + 1)
+    | _ -> None (* cannot descend; be conservative *)
+  in
+  match Term.deref call with
+  | Term.Struct (_, args) when path.(0) < Array.length args ->
+    go args.(path.(0)) 1
+  | _ -> None
+
+let rec walk_dtree tree call =
+  match tree with
+  | Dleaf clauses -> clauses
+  | Dswitch { d_path; d_cases; d_anys; d_all } -> (
+    match call_key_at call d_path with
+    | None | Some Kany -> d_all
+    | Some key -> (
+      match KeyTbl.find_opt d_cases key with
+      | Some sub -> walk_dtree sub call
+      | None -> d_anys))
+
+(* Candidate clauses via the dispatch tree — the compiled path's
+   {!lookup}.  Falls back to first-argument indexing when the database
+   has not been frozen (never mutates, so a frozen database stays
+   shareable across domains). *)
+let lookup_code db call =
+  match Term.functor_of (Term.deref call) with
+  | None -> invalid_arg "Database.lookup_code: callable expected"
+  | Some (sym, arity) -> (
+    match find_pred_sym db sym arity with
+    | None -> None
+    | Some p -> (
+      match p.dtree with
+      | Some tree -> Some (walk_dtree tree (Term.deref call))
+      | None -> lookup db call))
+
 (* Precomputes every lookup result reachable from the current clause set,
    so subsequent lookups are pure reads — safe to share across domains
-   (the next assert invalidates, so freeze again after updates). *)
-let freeze db =
+   (the next assert invalidates, so freeze again after updates).  Also
+   builds the dispatch trees and precompiles every clause to instruction
+   code, so parallel workers on the compiled path never write.
+
+   Idempotent: O(1) on an already-frozen database, so per-query freezing
+   (as the engine front end does) costs nothing after the first. *)
+let freeze_preds db =
   PredTbl.iter
     (fun _ p ->
       p.all_cache <- Some (List.map (fun e -> e.e_clause) (all_entries p));
@@ -255,8 +459,18 @@ let freeze db =
       KeyTbl.iter
         (fun key bucket ->
           KeyTbl.replace p.key_cache key (merge_desc bucket p.anys))
-        p.buckets)
+        p.buckets;
+      p.dtree <- Some (build_pred_dtree p);
+      List.iter
+        (fun e -> ignore (Code.of_clause e.e_clause))
+        (all_entries p))
     db.preds
+
+let freeze db =
+  if not db.frozen then begin
+    db.frozen <- true;
+    freeze_preds db
+  end
 
 let predicates db =
   PredTbl.fold

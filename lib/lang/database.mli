@@ -21,6 +21,15 @@ val clauses_of : t -> string -> int -> Clause.t list
     the predicate is undefined. *)
 val lookup : t -> Ace_term.Term.t -> Clause.t list option
 
+(** Candidate clauses for a call through the switch-on-term dispatch tree
+    with deep argument indexing (the compiled path's {!lookup}); built by
+    {!freeze}, falls back to {!lookup} on an unfrozen database.  Like
+    {!lookup}, [None] means the predicate is undefined, and the result is
+    in source order — only provably non-unifiable clauses are filtered
+    out, so solution sets are unchanged (choice-point counts may
+    shrink). *)
+val lookup_code : t -> Ace_term.Term.t -> Clause.t list option
+
 (** Precomputes every {!lookup} result so later lookups are allocation-free
     pure reads (safe to share across domains).  Asserting invalidates the
     affected predicate; freeze again after updates.  Idempotent. *)

@@ -25,6 +25,11 @@ type t = {
     (* or-parallel chunking: a published node's alternatives are shipped
        in tasks of at most this many alternatives each, so several thieves
        can share one wide node.  0 = all alternatives in one task. *)
+  compile : bool;
+    (* execute flat clause code (get/unify/put instructions) through the
+       switch-on-term dispatch tree instead of interpreting templates.
+       Off by default so [default] stays the interpreted oracle
+       reference; ace_run turns it on. *)
   cost : Cost.t;
   max_solutions : int option; (* stop after this many solutions; None = all *)
 }
@@ -40,6 +45,7 @@ let default =
     seq_threshold = 0;
     grain = 1;
     chunk = 0;
+    compile = false;
     cost = Cost.default;
     max_solutions = None;
   }
@@ -64,6 +70,7 @@ let pp ppf t =
   let opts =
     flag "lpco" t.lpco @ flag "lao" t.lao @ flag "spo" t.spo @ flag "pdo" t.pdo
     @ flag "par_and" t.par_and
+    @ flag "compiled" t.compile
     @ (if t.seq_threshold > 0 then [ Printf.sprintf "gc=%d" t.seq_threshold ] else [])
     @ (if t.grain > 1 then [ Printf.sprintf "grain=%d" t.grain ] else [])
     @ (if t.chunk > 0 then [ Printf.sprintf "chunk=%d" t.chunk ] else [])

@@ -20,6 +20,10 @@ type t = {
   chunk : int;
       (** or-parallel chunking: at most this many alternatives per
           published task (0 = whole node in one task) *)
+  compile : bool;
+      (** run clauses as flat instruction code through the switch-on-term
+          dispatch tree; off by default (the interpreted oracle
+          reference), on in ace_run *)
   cost : Cost.t;
   max_solutions : int option;
 }

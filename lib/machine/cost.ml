@@ -18,6 +18,7 @@
 type t = {
   (* resolution *)
   unify_step : int;          (* per unification node visited *)
+  code_instr : int;          (* per compiled clause-code instruction executed *)
   index_lookup : int;        (* per call: first-argument index consultation *)
   clause_try : int;          (* per candidate clause attempted *)
   builtin : int;             (* base cost of a builtin call *)
@@ -52,6 +53,7 @@ type t = {
 let default =
   {
     unify_step = 1;
+    code_instr = 1;
     index_lookup = 2;
     clause_try = 2;
     builtin = 3;

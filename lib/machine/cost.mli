@@ -3,6 +3,7 @@
 
 type t = {
   unify_step : int;
+  code_instr : int;
   index_lookup : int;
   clause_try : int;
   builtin : int;

@@ -6,6 +6,7 @@
 
 type t = {
   mutable unify_steps : int;
+  mutable code_instrs : int; (* compiled clause-code instructions executed *)
   mutable clause_tries : int;
   mutable builtin_calls : int;
   mutable trail_pushes : int;
@@ -47,6 +48,7 @@ type t = {
 let create () =
   {
     unify_steps = 0;
+    code_instrs = 0;
     clause_tries = 0;
     builtin_calls = 0;
     trail_pushes = 0;
@@ -81,6 +83,7 @@ let create () =
 
 let merge_into ~into:a b =
   a.unify_steps <- a.unify_steps + b.unify_steps;
+  a.code_instrs <- a.code_instrs + b.code_instrs;
   a.clause_tries <- a.clause_tries + b.clause_tries;
   a.builtin_calls <- a.builtin_calls + b.builtin_calls;
   a.trail_pushes <- a.trail_pushes + b.trail_pushes;
@@ -114,6 +117,7 @@ let merge_into ~into:a b =
 
 let fields t =
   [ ("unify_steps", t.unify_steps);
+    ("code_instrs", t.code_instrs);
     ("clause_tries", t.clause_tries);
     ("builtin_calls", t.builtin_calls);
     ("trail_pushes", t.trail_pushes);
@@ -151,6 +155,7 @@ let fields t =
 let set_field t name v =
   match name with
   | "unify_steps" -> t.unify_steps <- v
+  | "code_instrs" -> t.code_instrs <- v
   | "clause_tries" -> t.clause_tries <- v
   | "builtin_calls" -> t.builtin_calls <- v
   | "trail_pushes" -> t.trail_pushes <- v

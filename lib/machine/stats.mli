@@ -2,6 +2,9 @@
 
 type t = {
   mutable unify_steps : int;
+  mutable code_instrs : int;
+      (** compiled clause-code instructions executed (0 when
+          interpreting) *)
   mutable clause_tries : int;
   mutable builtin_calls : int;
   mutable trail_pushes : int;

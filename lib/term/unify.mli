@@ -1,5 +1,9 @@
 (** Unification over {!Term.t} with trailing and step counting. *)
 
+(** [bind trail v t] binds [v] to [t] and trails it — the single binding
+    primitive, also used by the compiled head code ({!Ace_lang.Code}). *)
+val bind : Trail.t -> Term.var -> Term.t -> unit
+
 (** [unify ~trail ~steps a b] unifies destructively, trailing each binding.
     [steps] is incremented per visited pair (engines charge time
     proportionally).  On failure, bindings made so far are NOT undone —

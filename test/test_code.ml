@@ -1,0 +1,178 @@
+(* The clause compiler: golden instruction listings, switch-on-term
+   dispatch through the frozen database, the seeded mutation hook, and
+   compiled-vs-interpreted solution equivalence. *)
+
+module Term = Ace_term.Term
+module Code = Ace_lang.Code
+module Clause = Ace_lang.Clause
+module Database = Ace_lang.Database
+module Program = Ace_lang.Program
+module Config = Ace_machine.Config
+module Engine = Ace_core.Engine
+module Canon = Ace_check.Canon
+module Gen_prog = Ace_check.Gen_prog
+
+let compiled = { Config.default with Config.compile = true }
+
+let clause_of program name arity idx =
+  let db = Program.db (Program.consult_string program) in
+  match List.nth_opt (Database.clauses_of db name arity) idx with
+  | Some c -> c
+  | None -> Alcotest.failf "no clause %d of %s/%d" idx name arity
+
+let check_listing msg program name arity expected =
+  let actual = Code.listing (Code.compile (clause_of program name arity 0)) in
+  Alcotest.(check string) msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Golden listings                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_listing_fact () =
+  check_listing "atom and int arguments" "p(a, 42)." "p" 2
+    "  get_atom a, A0\n  get_int 42, A1\n"
+
+let test_listing_ground () =
+  (* a fully ground compound argument collapses to one shared template *)
+  check_listing "ground argument" "d(point(1, 2))." "d" 1
+    "  get_ground point(1,2), A0\n"
+
+let test_listing_deep () =
+  (* nested structures open read/write-mode unify ranges closed by pop;
+     the list cell is ./2; X0 is the shared variable's frame slot *)
+  check_listing "deep structure head"
+    "p2(f(g(X), [H | T]), X) :- q(H, T)." "p2" 2
+    (String.concat "\n"
+       [ "  get_struct f/2, A0";
+         "    unify_struct g/1";
+         "      unify_var X0";
+         "    pop";
+         "    unify_struct ./2";
+         "      unify_var X1";
+         "      unify_var X2";
+         "    pop";
+         "  pop";
+         "  get_val X0, A1";
+         "  call q(X1,X2)";
+         "" ])
+
+let test_listing_arith () =
+  check_listing "arithmetic body"
+    "s(N, F) :- N > 0, M is N - 1, F is M * 2." "s" 2
+    (String.concat "\n"
+       [ "  get_var X0, A0";
+         "  get_var X1, A1";
+         "  call >(X0,0)";
+         "  call is(X2,-(X0,1))";
+         "  call is(X1,*(X2,2))";
+         "" ])
+
+(* ------------------------------------------------------------------ *)
+(* Switch-on-term dispatch                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Mixed first arguments: atoms, structures sharing a functor, lists and
+   a catch-all variable clause.  The dispatch tree must prune clauses a
+   bound first argument cannot match while keeping every variable clause
+   and preserving source order. *)
+let mixed =
+  "m(a, 1). m(b, 2). m(f(c), 3). m(f(d), 4). m([], 5). m([x], 6). m(X, 7)."
+
+let mixed_db =
+  lazy
+    (let db = Program.db (Program.consult_string mixed) in
+     Database.freeze db;
+     db)
+
+let candidates goal =
+  match Database.lookup_code (Lazy.force mixed_db) (Test_util.term goal) with
+  | Some cs -> List.length cs
+  | None -> Alcotest.failf "unexpectedly undefined: %s" goal
+
+let test_dispatch_counts () =
+  let expect = Alcotest.(check int) in
+  (* each bound atom keeps its own clause plus the variable clause *)
+  expect "m(a, R)" 2 (candidates "m(a, R)");
+  expect "m(b, R)" 2 (candidates "m(b, R)");
+  (* deep indexing splits f(c) from f(d) on the argument inside f/1 *)
+  expect "m(f(c), R)" 2 (candidates "m(f(c), R)");
+  expect "m(f(d), R)" 2 (candidates "m(f(d), R)");
+  (* f with an unbound argument keeps both f/1 clauses *)
+  expect "m(f(Z), R)" 3 (candidates "m(f(Z), R)");
+  expect "m([], R)" 2 (candidates "m([], R)");
+  expect "m([x], R)" 2 (candidates "m([x], R)");
+  (* [y] matches no list clause's content but still reaches ./2's
+     variable-argument clauses: only the catch-all plus m([x],_)'s
+     cons-cell shape survive *)
+  expect "m([y], R)" 2 (candidates "m([y], R)");
+  (* unbound first argument: no pruning at all *)
+  expect "m(X, R)" 7 (candidates "m(X, R)");
+  (* an integer matches only the variable clause *)
+  expect "m(99, R)" 1 (candidates "m(99, R)");
+  Alcotest.(check bool)
+    "undefined predicate is [None], not []" true
+    (Database.lookup_code (Lazy.force mixed_db) (Test_util.term "zz(1)")
+     = None)
+
+(* Pruning must be invisible to semantics: the compiled engine's answers
+   on every dispatch shape equal the interpreter's. *)
+let test_dispatch_solutions () =
+  List.iter
+    (fun goal ->
+      let query = goal ^ " ." in
+      let run config =
+        (Engine.solve_program Engine.Sequential config ~program:mixed ~query)
+          .Engine.solutions
+      in
+      Alcotest.(check (list string))
+        goal
+        (Canon.multiset (run Config.default))
+        (Canon.multiset (run compiled)))
+    [ "m(a, R)"; "m(f(c), R)"; "m(f(Z), R)"; "m([], R)"; "m([x], R)";
+      "m([y], R)"; "m(X, R)"; "m(99, R)" ]
+
+(* ------------------------------------------------------------------ *)
+(* Mutation hook                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_mutation_hook () =
+  let c = clause_of "p(a, 42)." "p" 2 0 in
+  let clean = Code.listing (Code.compile c) in
+  Fun.protect
+    ~finally:(fun () -> Code.mutation := None)
+    (fun () ->
+      Code.mutation := Some 0;
+      let mutated = Code.listing (Code.compile c) in
+      Alcotest.(check bool)
+        "seeded mutation rewrites an instruction" true (clean <> mutated));
+  Alcotest.(check string)
+    "clearing the hook restores clean compilation" clean
+    (Code.listing (Code.compile c))
+
+(* ------------------------------------------------------------------ *)
+(* Compiled = interpreted (property)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let equivalence_prop =
+  Test_util.qcheck ~count:100 "compiled = interpreted (seq, alpha-canonical)"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let p = Gen_prog.generate ~seed in
+      let program = Gen_prog.program_text p in
+      let query = Gen_prog.query_text p in
+      let run config =
+        (Engine.solve_program Engine.Sequential config ~program ~query)
+          .Engine.solutions
+      in
+      Canon.equal (run Config.default) (run compiled))
+
+let suite =
+  [ Alcotest.test_case "listing: fact" `Quick test_listing_fact;
+    Alcotest.test_case "listing: ground argument" `Quick test_listing_ground;
+    Alcotest.test_case "listing: deep structure" `Quick test_listing_deep;
+    Alcotest.test_case "listing: arithmetic body" `Quick test_listing_arith;
+    Alcotest.test_case "dispatch: candidate counts" `Quick test_dispatch_counts;
+    Alcotest.test_case "dispatch: solutions unchanged" `Quick
+      test_dispatch_solutions;
+    Alcotest.test_case "mutation hook" `Quick test_mutation_hook;
+    equivalence_prop ]

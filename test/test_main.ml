@@ -10,6 +10,7 @@ let () =
       ("obs", Test_obs.suite);
       ("builtins", Test_builtins.suite);
       ("kernel", Test_kernel.suite);
+      ("code", Test_code.suite);
       ("seq-engine", Test_seq_engine.suite);
       ("sim", Test_sim.suite);
       ("and-engine", Test_and_engine.suite);
