@@ -12,6 +12,8 @@
      dune exec bench/main.exe             # bechamel suite + par-or sweep
      dune exec bench/main.exe -- par_or   # only the domain sweep (CI smoke)
      dune exec bench/main.exe -- par_and  # and-parallel frame sweep (CI smoke)
+     dune exec bench/main.exe -- seq_core # engine hot-path wall clock + digests
+     dune exec bench/main.exe -- alloc    # minor-words/solution gate (CI smoke)
 
    The first two forms write BENCH_par_or.json (wall-clock runs of the
    hardware or-parallel engine at 1, 2 and 4 domains) to the current
@@ -199,6 +201,46 @@ let seq_core_run ~record () =
          List.iter (fun d -> Format.eprintf "seq-core drift: %s@." d) diffs;
          exit 1)
 
+(* The allocation-regression gate: minor GC words per solution of the
+   sequential engine (interpreted and compiled) on the seq-core suite,
+   compared against pinned baselines in bench/seq_core_alloc_expected.txt
+   with 10% relative tolerance.  Allocation counts are deterministic for
+   the single-domain engine, so one repeat suffices.  `record` pins the
+   current numbers. *)
+let alloc_run ~record () =
+  let rows =
+    Ace_harness.Extras.run_seq_core ~engines:[ Engine.Sequential ] ~repeat:1
+      ~size_of:(fun b ->
+        if b.Programs.name = "pderiv" then 4 * b.Programs.default_size
+        else b.Programs.default_size)
+      ()
+  in
+  Format.printf "@[<v>%a@]@." Ace_harness.Extras.pp_seq_core rows;
+  let json = Ace_harness.Extras.seq_core_json rows in
+  Out_channel.with_open_text "BENCH_alloc.json" (fun oc ->
+      Out_channel.output_string oc json);
+  Format.printf "wrote BENCH_alloc.json (%d rows)@." (List.length rows);
+  let expected_file = "bench/seq_core_alloc_expected.txt" in
+  if record then begin
+    Out_channel.with_open_text expected_file (fun oc ->
+        Out_channel.output_string oc
+          (Ace_harness.Extras.alloc_expected_of_rows rows));
+    Format.printf "recorded %s@." expected_file
+  end
+  else
+    match In_channel.with_open_text expected_file In_channel.input_all with
+    | exception Sys_error _ ->
+      Format.eprintf "missing %s (run `alloc record` once)@." expected_file;
+      exit 1
+    | expected ->
+      (match Ace_harness.Extras.check_alloc ~expected rows with
+       | [] -> Format.printf "allocation per solution within 10%% of the pinned baselines@."
+       | regressions ->
+         List.iter
+           (fun d -> Format.eprintf "alloc regression: %s@." d)
+           regressions;
+         exit 1)
+
 (* `fuzz [count=N] [seed=N] [schedules=N]`: differential-fuzz throughput —
    run the lib/check oracle over N generated cases and report cases/sec;
    exits 1 on any cross-engine discrepancy, so it doubles as a deep
@@ -237,6 +279,10 @@ let () =
       ~schedules:(keyed "schedules" 2);
   if has "seq_core" then begin
     seq_core_run ~record:(has "record") ();
+    exit 0
+  end;
+  if has "alloc" then begin
+    alloc_run ~record:(has "record") ();
     exit 0
   end;
   if has "par_and" then begin

@@ -137,8 +137,9 @@ let annotate_body (modes : modes) ~head_ground body =
     | [] -> List.rev (flush group acc)
     | item :: rest -> (
       match item with
-      | Clause.Par _ ->
-        (* already annotated by hand: keep as is *)
+      | Clause.Par _ | Clause.Exec _ ->
+        (* parallel conjunction already annotated by hand / compiled
+           frame resumption: opaque, keep as is *)
         go ground [] (item :: flush group acc) rest
       | Clause.Call g ->
         let ground' = grounded_after modes ground g in
@@ -195,11 +196,15 @@ let annotate_program program =
 let check_annotation (modes : modes) ~head_ground body =
   let rec goals_of_body b =
     List.concat_map
-      (function Clause.Call g -> [ g ] | Clause.Par bs -> List.concat_map goals_of_body bs)
+      (function
+        | Clause.Call g -> [ g ]
+        | Clause.Par bs -> List.concat_map goals_of_body bs
+        | Clause.Exec _ -> [])
       b
   in
   let rec go ground = function
     | [] -> true
+    | Clause.Exec _ :: rest -> go ground rest (* opaque: grounds nothing *)
     | Clause.Call g :: rest -> go (grounded_after modes ground g) rest
     | Clause.Par bodies :: rest ->
       let branch_vars =

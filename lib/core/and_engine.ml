@@ -37,6 +37,7 @@
 module Term = Ace_term.Term
 module Trail = Ace_term.Trail
 module Clause = Ace_lang.Clause
+module Code = Ace_lang.Code
 module Database = Ace_lang.Database
 module Cost = Ace_machine.Cost
 module Stats = Ace_machine.Stats
@@ -120,6 +121,7 @@ type t = {
   sim : Sim.t;
   ctx : Builtins.ctx; (* trail field is unused; per-exec trails are passed *)
   agents : agent_state array;
+  scratches : Code.scratch array; (* per-agent frame buffer + registers *)
   mutable pool : frame list; (* frames that may have free slots, oldest first *)
   mutable frame_counter : int;
   mutable finished : bool;
@@ -183,6 +185,10 @@ module K = Kernel.Resolver (struct
   let cost st = st.cost
   let stats = shard
   let charge = charge
+
+  (* One scratch per simulated agent: a context switch at a tick can
+     never hand one agent's half-loaded registers to another. *)
+  let scratch st = st.scratches.(cur st)
 end)
 
 let charge_bt_node st =
@@ -261,12 +267,13 @@ let rec aborting exec =
 (* Resolution within one exec                                          *)
 (* ------------------------------------------------------------------ *)
 
-let call_builtin st exec goal =
-  let ctx = { st.ctx with Builtins.trail = exec.x_trail } in
-  K.call_builtin st ctx goal
+let ctx_of st exec = { st.ctx with Builtins.trail = exec.x_trail }
+
+let call_builtin st exec goal = K.call_builtin st (ctx_of st exec) goal
 
 let try_clause st exec goal clause =
-  K.resolve st ~compiled:st.config.Config.compile ~trail:exec.x_trail goal clause
+  K.resolve st ~ctx:(ctx_of st exec) ~compiled:st.config.Config.compile
+    ~trail:exec.x_trail goal clause
 
 (* SPO: the procrastinated input marker materialises just before the first
    choice point of the slot. *)
@@ -295,6 +302,46 @@ let rec exec_run st (agent : agent_state) exec (cont : Clause.item list) : bool 
   | [] -> true
   | Clause.Par bodies :: rest -> exec_parcall st agent exec bodies rest
   | Clause.Call g :: rest -> dispatch st agent exec g rest
+  | Clause.Exec xf :: rest -> exec_frame_item st agent exec xf rest
+
+(* Resumes a compiled clause body from its saved pc.  No environment
+   trimming here: choice points on this exec's private stack may resume
+   the frame at an earlier pc, and recomputation may replay it. *)
+and exec_frame_item st agent exec xf cont =
+  match K.exec_body st ~ctx:(ctx_of st exec) xf with
+  | Kernel.Ex_fail -> exec_backtrack st agent exec
+  | Kernel.Ex_done -> exec_run st agent exec cont
+  | Kernel.Ex_goal (g, pc) ->
+    dispatch st agent exec g (Kernel.exec_cont xf pc cont)
+  | Kernel.Ex_par (bodies, pc) ->
+    exec_parcall st agent exec bodies (Kernel.exec_cont xf pc cont)
+  | Kernel.Ex_call (sym, arity, pc, _live) ->
+    user_call_regs st agent exec sym arity (Kernel.exec_cont xf pc cont)
+  | Kernel.Ex_exec (sym, arity) -> user_call_regs st agent exec sym arity cont
+
+(* Schedules what one clause try resolved to; [R_exec] re-enters clause
+   selection straight from the registers (last-call optimization). *)
+and continue st agent exec resolved cont =
+  match resolved with
+  | Kernel.R_fail -> exec_backtrack st agent exec
+  | Kernel.R_body body -> exec_run st agent exec (body @ cont)
+  | Kernel.R_exec (sym, arity) -> user_call_regs st agent exec sym arity cont
+
+and user_call_regs st agent exec sym arity cont =
+  if aborting exec then raise Killed;
+  let regs = st.scratches.(agent.ag_id).Code.s_regs in
+  match K.select_args st st.db sym arity regs with
+  | [] -> exec_backtrack st agent exec
+  | [ clause ] ->
+    continue st agent exec
+      (K.try_code_args st ~ctx:(ctx_of st exec) ~trail:exec.x_trail regs clause)
+      cont
+  | clause :: rest ->
+    (* nondeterminate: materialize the goal once — the alternatives in
+       the choice point must outlive the registers *)
+    let g = Kernel.goal_of_regs sym arity regs in
+    push_cp st exec ~goal:g ~alts:rest ~cont;
+    continue st agent exec (try_clause st exec g clause) cont
 
 and dispatch st agent exec g cont =
   let g = Term.deref g in
@@ -321,15 +368,10 @@ and dispatch st agent exec g cont =
 and user_call st agent exec g cont =
   match K.select st ~compiled:st.config.Config.compile st.db g with
   | [] -> exec_backtrack st agent exec
-  | [ clause ] -> (
-    match try_clause st exec g clause with
-    | Some body -> exec_run st agent exec (body @ cont)
-    | None -> exec_backtrack st agent exec)
-  | clause :: rest -> (
+  | [ clause ] -> continue st agent exec (try_clause st exec g clause) cont
+  | clause :: rest ->
     push_cp st exec ~goal:g ~alts:rest ~cont;
-    match try_clause st exec g clause with
-    | Some body -> exec_run st agent exec (body @ cont)
-    | None -> exec_backtrack st agent exec)
+    continue st agent exec (try_clause st exec g clause) cont
 
 (* Backtracking inside one exec.  Walks the private stack: choice points
    are retried; completed parcall frames get outside backtracking. *)
@@ -346,10 +388,12 @@ and exec_backtrack st agent exec : bool =
     | clause :: alts ->
       K.untrail st exec.x_trail cp.a_trail;
       charge st st.cost.Cost.cp_restore;
-      if alts = [] then exec.x_stack <- below else cp.a_alts <- alts;
-      (match try_clause st exec cp.a_goal clause with
-       | Some body -> exec_run st agent exec (body @ cp.a_cont)
-       | None -> exec_backtrack st agent exec))
+      if alts = [] then exec.x_stack <- below
+      else begin
+        cp.a_alts <- alts;
+        (shard st).Stats.cp_updates <- (shard st).Stats.cp_updates + 1
+      end;
+      continue st agent exec (try_clause st exec cp.a_goal clause) cp.a_cont)
   | Eframe (frame, mark) :: below ->
     charge st st.cost.Cost.frame_unwind;
     (shard st).Stats.bt_nodes_visited <- (shard st).Stats.bt_nodes_visited + 1;
@@ -837,6 +881,7 @@ let create ?output ?(trace = Trace.disabled) ?(chaos = Chaos.disabled)
     sim;
     ctx = Builtins.make_ctx ?output ~trail:(Trail.create ()) ();
     agents;
+    scratches = Array.init config.Config.agents (fun _ -> Code.create_scratch ());
     pool = [];
     frame_counter = 0;
     finished = false;

@@ -234,3 +234,109 @@ and call_unchecked ctx goal =
   | Term.Struct _ -> Not_builtin
   | Term.Int _ -> Errors.error "callable expected, got integer"
   | Term.Var _ -> Errors.error "unbound goal"
+
+(* Register-file entry point for the compiled body path: the goal's
+   arguments arrive spread in [args]'s first [arity] cells (the array
+   may be longer — it is the caller's shared register file, passed
+   through without copying; every implementation indexes only within its
+   arity).  The goal term for the arithmetic error message is built only
+   on the error path. *)
+let call_args ctx sym arity (args : Term.t array) =
+  if arity > 3 then Not_builtin
+  else
+    match Hashtbl.find_opt dispatch (key_of (Symbol.id sym) arity) with
+    | None -> Not_builtin
+    | Some f -> (
+      try f ctx args
+      with Arith.Error msg ->
+        let goal =
+          if arity = 0 then Term.Atom sym
+          else Term.Struct (sym, Array.sub args 0 arity)
+        in
+        raise
+          (Arith.Error (Format.asprintf "%s in %a" msg Ace_term.Pp.pp goal)))
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic over compiled put descriptors                            *)
+(* ------------------------------------------------------------------ *)
+
+module Code = Ace_lang.Code
+
+exception Non_arith
+
+(* Evaluates a compiled body step's put tree against the frame without
+   building the expression term; node counting matches [arith] on the
+   built term.  [Non_arith] aborts to the generic register path, which
+   rebuilds the term and reproduces the exact error behavior for
+   non-arithmetic shapes (unbound operands, unknown operators). *)
+let rec eval_put ctx frame (p : Code.put) =
+  match p with
+  | Code.P_const t -> arith ctx t
+  | Code.P_val slot -> arith ctx frame.(slot)
+  | Code.P_struct (op, [| x |]) -> (
+    match Arith.unary_op op with
+    | Some f ->
+      ctx.arith_nodes := !(ctx.arith_nodes) + 1;
+      f (eval_put ctx frame x)
+    | None -> raise Non_arith)
+  | Code.P_struct (op, [| x; y |]) -> (
+    match Arith.binary_op op with
+    | Some f ->
+      ctx.arith_nodes := !(ctx.arith_nodes) + 1;
+      let x = eval_put ctx frame x in
+      f x (eval_put ctx frame y)
+    | None -> raise Non_arith)
+  | Code.P_struct _ | Code.P_fresh _ | Code.P_void -> raise Non_arith
+
+let sym_is = Symbol.intern "is"
+
+(* The generic path's error message prints the goal term; rebuild it
+   from the puts on this cold path so the two are indistinguishable. *)
+let rebuilt_error frame (puts : Code.put array) sym msg =
+  let goal = Term.Struct (sym, Array.map (Code.build_put frame) puts) in
+  raise (Arith.Error (Format.asprintf "%s in %a" msg Ace_term.Pp.pp goal))
+
+(* [is/2] and the arithmetic comparisons straight off a compiled body
+   step's put descriptors: [Some outcome] when evaluated without
+   materializing the expression, [None] to fall back to the register
+   path.  A first-occurrence result variable stores its integer into
+   the frame slot directly — the slot is invisible to the caller until
+   read, so no fresh variable and no trail entry are needed (deeper
+   backtracking discards the whole frame). *)
+let call_put_args ctx (frame : Term.t array) (puts : Code.put array) sym arity =
+  if arity <> 2 then None
+  else if Symbol.equal sym sym_is then (
+    match try Some (eval_put ctx frame puts.(1)) with Non_arith -> None with
+    | exception Arith.Error msg -> rebuilt_error frame puts sym msg
+    | None -> None
+    | Some n -> (
+      match puts.(0) with
+      | Code.P_fresh slot ->
+        frame.(slot) <- Term.Int n;
+        Some Ok
+      | Code.P_void -> Some Ok
+      | lhs -> Some (unify2 ctx (Code.build_put frame lhs) (Term.Int n))))
+  else
+    match Arith.comparison_op sym with
+    | None -> None
+    | Some f -> (
+      match
+        (* operand order mirrors the generic call's right-to-left
+           argument evaluation, so error precedence is unchanged *)
+        try
+          let y = eval_put ctx frame puts.(1) in
+          let x = eval_put ctx frame puts.(0) in
+          Some (x, y)
+        with Non_arith -> None
+      with
+      | exception Arith.Error msg -> rebuilt_error frame puts sym msg
+      | None -> None
+      | Some (x, y) -> Some (bool_outcome (f x y)))
+
+(* Tell the clause compiler what a builtin is, so body goals classify
+   identically here and there (the compiler library sits below this
+   table and cannot ask it directly). *)
+let () =
+  Ace_lang.Code.builtin_hook :=
+    fun s arity ->
+      arity <= 3 && Hashtbl.mem dispatch (key_of (Symbol.id s) arity)

@@ -31,10 +31,28 @@ type result = {
        [Par_or] this is measured wall-clock nanoseconds instead *)
 }
 
+(* Samples the GC allocation counters around [f] and writes the deltas
+   into the result's stats.  [Gc.quick_stat] counters are per-domain in
+   OCaml 5, so for the multi-domain engine the deltas cover only the
+   calling domain's share — a lower bound, which is still the right
+   signal for the allocation-regression gate (the sequential engine, the
+   gate's subject, runs entirely on this domain). *)
+let with_alloc_counters f =
+  let g0 = Gc.quick_stat () in
+  let result = f () in
+  let g1 = Gc.quick_stat () in
+  let minor = int_of_float (g1.Gc.minor_words -. g0.Gc.minor_words) in
+  let promoted = int_of_float (g1.Gc.promoted_words -. g0.Gc.promoted_words) in
+  result.stats.Stats.minor_words <- result.stats.Stats.minor_words + minor;
+  result.stats.Stats.promoted_words <-
+    result.stats.Stats.promoted_words + promoted;
+  result
+
 let solve ?output ?trace ?chaos kind (config : Config.t) db goal =
   (* warm the lookup caches once; the run itself then reads the database
      without mutating it (required by the multi-domain engine) *)
   Database.freeze db;
+  with_alloc_counters @@ fun () ->
   match kind with
   | Sequential ->
     let solutions, m =

@@ -21,6 +21,7 @@ module type SCHEDULER = sig
   val cost : t -> Cost.t
   val stats : t -> Stats.t
   val charge : t -> int -> unit
+  val scratch : t -> Code.scratch
 end
 
 type cls =
@@ -82,6 +83,58 @@ let merge_shards shards =
   Array.iter (fun s -> Stats.merge_into ~into:total s) shards;
   total
 
+(* What one clause try resolved to.  [R_exec] is the last-call case: the
+   clause's body ran to its final user call entirely on the scratch
+   frame, the callee's arguments are loaded in the scratch registers,
+   and no continuation was stacked — the engine re-enters clause
+   selection directly (a determinate recursion loops here in constant
+   space, allocating nothing). *)
+type resolved =
+  | R_fail
+  | R_body of Clause.body
+  | R_exec of Symbol.t * int (* callee symbol, arity; args in registers *)
+
+(* Where {!Resolver.exec_body} stopped: the next thing the engine must
+   schedule.  Register-consuming cases ([Ex_call]/[Ex_exec]) have the
+   callee's arguments loaded in the scratch registers. *)
+type executed =
+  | Ex_fail
+  | Ex_done
+  | Ex_call of Symbol.t * int * int * int
+      (* callee, arity, pc after the call, frame slots still live *)
+  | Ex_exec of Symbol.t * int (* last call: the frame is dead *)
+  | Ex_goal of Term.t * int (* control construct (engine dispatch), next pc *)
+  | Ex_par of Clause.body list * int (* parallel conjunction, next pc *)
+
+let code_of_frame (xf : Clause.exec_frame) =
+  match xf.Clause.xf_code with
+  | Code.Compiled code -> code
+  | _ -> assert false (* Exec frames are built from compiled clauses only *)
+
+(* The continuation for resuming [xf] at [pc]: dropped entirely when the
+   body is exhausted (the last-call generalization — no empty frames are
+   ever stacked). *)
+let exec_cont xf pc rest =
+  if pc >= Array.length (code_of_frame xf).Code.c_body then rest
+  else Clause.Exec { xf with Clause.xf_pc = pc } :: rest
+
+(* Materializes a register call as an ordinary goal term — the slow
+   path, taken only when clause selection leaves more than one candidate
+   (the goal must outlive the scratch registers inside choice points). *)
+let goal_of_regs sym arity (args : Term.t array) =
+  if arity = 0 then Term.Atom sym else Term.Struct (sym, Array.sub args 0 arity)
+
+(* Environment trimming: clears the dead suffix of a frame so the terms
+   it holds become collectable.  Unsafe in general — the clears are not
+   trailed — so callers must prove the frame private first (the
+   sequential engine trims only when no choice point was pushed since
+   clause entry; resuming at an earlier pc is then impossible). *)
+let trim_env (xf : Clause.exec_frame) live =
+  let env = xf.Clause.xf_env in
+  for i = live to Array.length env - 1 do
+    env.(i) <- Code.unset
+  done
+
 module Resolver (S : SCHEDULER) = struct
   let call_builtin s (ctx : Builtins.ctx) goal =
     let cost = S.cost s and stats = S.stats s in
@@ -122,66 +175,209 @@ module Resolver (S : SCHEDULER) = struct
     if not ok then untrail s trail mark;
     ok
 
+  (* Charging epilogue shared by every builtin entry point: one
+     [builtin] charge plus the unify steps, arithmetic nodes and trail
+     pushes the call performed (counters passed as plain ints so the
+     hot path allocates nothing). *)
+  let builtin_epilogue s (ctx : Builtins.ctx) steps0 arith0 trail0 outcome =
+    let cost = S.cost s and stats = S.stats s in
+    let steps = !(ctx.Builtins.steps) - steps0 in
+    let arith = !(ctx.Builtins.arith_nodes) - arith0 in
+    let pushed = max 0 (Trail.size ctx.Builtins.trail - trail0) in
+    S.charge s cost.Cost.builtin;
+    S.charge s ((steps * cost.Cost.unify_step) + (arith * cost.Cost.arith_op));
+    S.charge s (pushed * cost.Cost.trail_push);
+    stats.Stats.builtin_calls <- stats.Stats.builtin_calls + 1;
+    stats.Stats.unify_steps <- stats.Stats.unify_steps + steps;
+    stats.Stats.trail_pushes <- stats.Stats.trail_pushes + pushed;
+    outcome
+
+  (* [call_builtin] with the goal's arguments spread in a register file
+     (no goal term exists; the compiled body path). *)
+  let call_builtin_args s (ctx : Builtins.ctx) sym arity args =
+    let steps0 = !(ctx.Builtins.steps)
+    and arith0 = !(ctx.Builtins.arith_nodes) in
+    let trail0 = Trail.size ctx.Builtins.trail in
+    builtin_epilogue s ctx steps0 arith0 trail0
+      (Builtins.call_args ctx sym arity args)
+
+  (* A compiled body step's builtin: arithmetic ([is/2], comparisons)
+     evaluates the put descriptors directly against the frame — no
+     expression term — and anything else loads the register file and
+     dispatches through the table.  [Not_builtin] implies the generic
+     path ran, so the registers are loaded. *)
+  let call_builtin_step s (ctx : Builtins.ctx) sym sc frame
+      (puts : Code.put array) =
+    let steps0 = !(ctx.Builtins.steps)
+    and arith0 = !(ctx.Builtins.arith_nodes) in
+    let trail0 = Trail.size ctx.Builtins.trail in
+    let arity = Array.length puts in
+    let outcome =
+      match Builtins.call_put_args ctx frame puts sym arity with
+      | Some outcome -> outcome
+      | None -> Builtins.call_args ctx sym arity (Code.load_regs sc frame puts)
+    in
+    builtin_epilogue s ctx steps0 arith0 trail0 outcome
+
   let try_clause s ~trail goal clause =
     S.charge s (S.cost s).Cost.clause_try;
     (S.stats s).Stats.clause_tries <- (S.stats s).Stats.clause_tries + 1;
     let head, fresh = Clause.rename_head clause in
     if charged_unify s ~trail head goal then
-      Some (Clause.rename_body clause fresh)
-    else None
+      R_body (Clause.rename_body clause fresh)
+    else R_fail
+
+  (* Runs a scratch-eligible body (builtins plus at most a final
+     execute) to completion against the scratch frame: nothing is
+     stacked and no goal terms are built.  [R_fail] restores the trail to
+     [mark] — the whole clause try failed as one unit, exactly as if the
+     head had not matched (the builtins here are the determinate prefix
+     of the body; running them before the engine stacks anything is
+     observably equivalent and is where the choice points and
+     environments die). *)
+  let rec run_scratch_body s ~ctx ~trail ~mark code sc frame pc =
+    let body = code.Code.c_body in
+    if pc >= Array.length body then R_body []
+    else begin
+      let step = body.(pc) in
+      let nput = Array.length step.Code.s_puts in
+      let cost = S.cost s and stats = S.stats s in
+      S.charge s ((nput + 1) * cost.Cost.code_instr);
+      stats.Stats.code_instrs <- stats.Stats.code_instrs + nput + 1;
+      match step.Code.s_op with
+      | Code.O_builtin sym -> (
+        match call_builtin_step s ctx sym sc frame step.Code.s_puts with
+        | Builtins.Ok -> run_scratch_body s ~ctx ~trail ~mark code sc frame (pc + 1)
+        | Builtins.Fail ->
+          untrail s trail mark;
+          R_fail
+        | Builtins.Not_builtin ->
+          (* seeded mutation retargeted the dispatch: hand the engine a
+             goal term so it raises its ordinary existence error; the
+             rest of the body escapes as an Exec over a private copy of
+             the (otherwise reusable) scratch frame *)
+          let rest =
+            if pc + 1 >= Array.length body then []
+            else
+              [ Clause.Exec
+                  {
+                    Clause.xf_code = Code.Compiled code;
+                    xf_pc = pc + 1;
+                    xf_env = Array.sub frame 0 code.Code.c_nvars;
+                  } ]
+          in
+          R_body (Clause.Call (goal_of_regs sym nput sc.Code.s_regs) :: rest))
+      | Code.O_execute sym ->
+        ignore (Code.load_regs sc frame step.Code.s_puts : Term.t array);
+        R_exec (sym, nput)
+      | Code.O_call _ | Code.O_goal _ | Code.O_par _ ->
+        assert false (* excluded by [c_scratch] *)
+    end
 
   (* The compiled counterpart of [try_clause]: runs the clause's flat
-     instruction code directly against the goal's argument cells (no
+     instruction code directly against the caller's argument cells (no
      renamed head copy), charging one [code_instr] per executed
      instruction plus the embedded general-unification steps.  Trail
      discipline is identical — bindings are marked and undone here on
      failure — so the engines' choice-point machinery cannot tell the
-     two apart. *)
-  let try_code s ~trail goal clause =
+     two apart.
+
+     Frame policy: a [c_scratch] clause runs head and body on the
+     agent's reusable scratch frame and never allocates; any other
+     clause gets a heap environment (counted in [env_allocs]) that
+     doubles as the instance's frame, and its body escapes as a single
+     [Clause.Exec] item — the engine executes it step by step through
+     [exec_body]. *)
+  let try_code_args s ~ctx ~trail (args : Term.t array) clause =
     let cost = S.cost s and stats = S.stats s in
     S.charge s cost.Cost.clause_try;
     stats.Stats.clause_tries <- stats.Stats.clause_tries + 1;
     let code = Code.of_clause clause in
-    let sc = Code.scratch () in
+    let sc = S.scratch s in
     let mark = Trail.mark trail in
-    (* Scratch-critical section: the simulated engines interleave their
-       workers at [S.charge] tick points on a single domain, so between
-       resetting the scratch and consuming the frame ([inst_body]) no
-       charge may be issued — another worker's clause try would clobber
-       the shared buffer.  Everything here is pure term work. *)
-    let frame = Code.scratch_frame sc code in
-    let args =
-      match Term.deref goal with
-      | Term.Struct (_, a) -> a
-      | Term.Atom _ | Term.Int _ | Term.Var _ -> Code.no_args
+    let frame =
+      if code.Code.c_scratch then Code.scratch_frame sc code
+      else begin
+        stats.Stats.env_allocs <- stats.Stats.env_allocs + 1;
+        Code.frame code
+      end
     in
     sc.Code.s_instrs <- 0;
     sc.Code.s_steps := 0;
-    let body =
-      if Code.run_head code ~trail ~sc frame args then
-        Some (Code.inst_body code frame)
-      else None
-    in
+    let ok = Code.run_head code ~trail ~sc frame args in
     let instrs = sc.Code.s_instrs and steps = !(sc.Code.s_steps) in
-    (* frame dead: charging (and with it simulated context switches) is
-       safe again *)
     S.charge s ((instrs * cost.Cost.code_instr) + (steps * cost.Cost.unify_step));
     stats.Stats.code_instrs <- stats.Stats.code_instrs + instrs;
     stats.Stats.unify_steps <- stats.Stats.unify_steps + steps;
     let pushed = Trail.size trail - mark in
     S.charge s (pushed * cost.Cost.trail_push);
     stats.Stats.trail_pushes <- stats.Stats.trail_pushes + pushed;
-    (match body with
-     | Some _ -> ()
-     | None -> untrail s trail mark);
-    body
+    if not ok then begin
+      untrail s trail mark;
+      R_fail
+    end
+    else if code.Code.c_scratch then
+      run_scratch_body s ~ctx ~trail ~mark code sc frame 0
+    else
+      R_body
+        [ Clause.Exec
+            { Clause.xf_code = clause.Clause.code; xf_pc = 0; xf_env = frame } ]
+
+  let try_code s ~ctx ~trail goal clause =
+    let args =
+      match Term.deref goal with
+      | Term.Struct (_, a) -> a
+      | Term.Atom _ | Term.Int _ | Term.Var _ -> Code.no_args
+    in
+    try_code_args s ~ctx ~trail args clause
 
   (* One entry point for both execution modes, so each engine threads a
      single [compiled] flag instead of duplicating its resolution
      sites. *)
-  let resolve s ~compiled ~trail goal clause =
-    if compiled then try_code s ~trail goal clause
+  let resolve s ~ctx ~compiled ~trail goal clause =
+    if compiled then try_code s ~ctx ~trail goal clause
     else try_clause s ~trail goal clause
+
+  (* Executes a compiled body from its saved pc: consecutive builtins
+     run inline (the common determinate prefix), and the first step the
+     kernel cannot finish by itself is decoded for the engine to
+     schedule.  Charges one [code_instr] per register load plus one per
+     operation.  On [Ex_fail] the trail is NOT unwound here — the engine
+     backtracks to its own choice-point mark, exactly as when an
+     interpreted body goal fails. *)
+  let exec_body s ~ctx (xf : Clause.exec_frame) =
+    let code = code_of_frame xf in
+    let body = code.Code.c_body in
+    let env = xf.Clause.xf_env in
+    let sc = S.scratch s in
+    let cost = S.cost s and stats = S.stats s in
+    let rec go pc =
+      if pc >= Array.length body then Ex_done
+      else begin
+        let step = body.(pc) in
+        let nput = Array.length step.Code.s_puts in
+        S.charge s ((nput + 1) * cost.Cost.code_instr);
+        stats.Stats.code_instrs <- stats.Stats.code_instrs + nput + 1;
+        match step.Code.s_op with
+        | Code.O_builtin sym -> (
+          match call_builtin_step s ctx sym sc env step.Code.s_puts with
+          | Builtins.Ok -> go (pc + 1)
+          | Builtins.Fail -> Ex_fail
+          | Builtins.Not_builtin ->
+            (* seeded mutation only: surface as a goal so the engine
+               raises its ordinary existence error *)
+            Ex_goal (goal_of_regs sym nput sc.Code.s_regs, pc + 1))
+        | Code.O_call (sym, live) ->
+          ignore (Code.load_regs sc env step.Code.s_puts : Term.t array);
+          Ex_call (sym, nput, pc + 1, live)
+        | Code.O_execute sym ->
+          ignore (Code.load_regs sc env step.Code.s_puts : Term.t array);
+          Ex_exec (sym, nput)
+        | Code.O_goal p -> Ex_goal (Code.build_put env p, pc + 1)
+        | Code.O_par bodies -> Ex_par (List.map (Code.inst_bbody env) bodies, pc + 1)
+      end
+    in
+    go xf.Clause.xf_pc
 
   let unify_goal s ~trail a b = charged_unify s ~trail a b
 
@@ -209,6 +405,15 @@ module Resolver (S : SCHEDULER) = struct
       | None -> existence goal
     end
 
+  (* Clause selection for a register call (compiled path only): walks
+     the dispatch tree rooted at the register file, so determinate
+     recursion selects its one clause without a goal term existing. *)
+  let select_args s db sym arity args =
+    S.charge s (S.cost s).Cost.index_lookup;
+    match Database.lookup_code_args db sym arity args with
+    | Some clauses -> clauses
+    | None -> Errors.existence_error (Symbol.name sym) arity
+
   let unsupported _s g =
     Errors.error "control construct %s not supported inside %s"
       (Ace_term.Pp.to_string g) S.name
@@ -233,6 +438,10 @@ module Schema = struct
       | Clause.Call g :: rest ->
         let budget = budget - goal_estimate g in
         if budget <= 0 then 0 else body_estimate budget rest
+      | Clause.Exec _ :: rest ->
+        (* a compiled continuation carries no term to measure; charge a
+           token unit (parcall branches never contain these anyway) *)
+        body_estimate (budget - 1) rest
       | Clause.Par inner :: rest ->
         let budget =
           List.fold_left
@@ -322,6 +531,16 @@ module Copy = struct
     List.map
       (function
         | Clause.Call g -> Clause.Call (snapshot_term table cells g)
+        | Clause.Exec xf ->
+          (* the environment is copied cell-wise through the same table,
+             so variables shared between the frame and the rest of the
+             continuation stay shared in the copy *)
+          Clause.Exec
+            {
+              xf with
+              Clause.xf_env =
+                Array.map (snapshot_term table cells) xf.Clause.xf_env;
+            }
         | Clause.Par bodies ->
           Clause.Par (List.map (snapshot_body table cells) bodies))
       body
@@ -349,6 +568,12 @@ module Copy = struct
     List.map
       (function
         | Clause.Call g -> Clause.Call (raw_term table cells g)
+        | Clause.Exec xf ->
+          Clause.Exec
+            {
+              xf with
+              Clause.xf_env = Array.map (raw_term table cells) xf.Clause.xf_env;
+            }
         | Clause.Par bodies ->
           Clause.Par (List.map (raw_items table cells) bodies))
       items
@@ -392,6 +617,10 @@ module Parcall = struct
         List.iter
           (function
             | Clause.Call g -> go g
+            | Clause.Exec _ ->
+              (* opaque compiled continuation: cannot enumerate its free
+                 variables, so refuse independence (sequential fallback) *)
+              raise Shared
             | Clause.Par bodies -> List.iter go_body bodies)
           body
       in

@@ -43,6 +43,13 @@ module type SCHEDULER = sig
   val charge : t -> int -> unit
   (** Abstract-cycle accounting.  The wall-clock engine passes a
       no-op. *)
+
+  val scratch : t -> Ace_lang.Code.scratch
+  (** The *current agent's* execution scratch (frame buffer + argument
+      registers).  Must be private to the scheduling context the other
+      accessors describe: one per simulated agent / per domain, so a
+      simulated context switch at a [charge] point can never hand one
+      agent's half-used registers to another. *)
 end
 
 (** Goal classification shared by every dispatch loop.  Constructors
@@ -76,25 +83,92 @@ val sentinel_body : Term.t -> Clause.body
     contract). *)
 val merge_shards : Stats.t array -> Stats.t
 
+(** What one clause try resolved to.  [R_exec] is the last-call case:
+    the clause body ran to its final user call entirely on the scratch
+    frame, the callee's arguments are loaded in the scratch registers
+    ([SCHEDULER.scratch]), and nothing was stacked — the engine
+    re-enters clause selection directly ({!Resolver.select_args}), so a
+    determinate recursion loops in constant space. *)
+type resolved =
+  | R_fail
+  | R_body of Clause.body
+  | R_exec of Ace_term.Symbol.t * int  (** callee, arity; args in registers *)
+
+(** Where {!Resolver.exec_body} stopped — the next thing the engine must
+    schedule.  [Ex_call]/[Ex_exec] have the callee's arguments loaded in
+    the scratch registers; [Ex_call] also carries the pc to resume the
+    frame at and the number of frame slots still live there (see
+    {!trim_env}). *)
+type executed =
+  | Ex_fail
+  | Ex_done
+  | Ex_call of Ace_term.Symbol.t * int * int * int
+  | Ex_exec of Ace_term.Symbol.t * int
+  | Ex_goal of Term.t * int
+  | Ex_par of Clause.body list * int
+
+(** The {!Ace_lang.Code.t} behind an [Exec] item's extensible code slot. *)
+val code_of_frame : Clause.exec_frame -> Ace_lang.Code.t
+
+(** [exec_cont xf pc rest] is the continuation that resumes [xf] at
+    [pc] — just [rest] when the body is exhausted, so no empty frames
+    are ever stacked (the last-call generalization). *)
+val exec_cont : Clause.exec_frame -> int -> Clause.body -> Clause.body
+
+(** Materializes a register call as a goal term (the multi-candidate
+    slow path: goals inside choice points must outlive the registers). *)
+val goal_of_regs : Ace_term.Symbol.t -> int -> Term.t array -> Term.t
+
+(** [trim_env xf live] clears the dead slot suffix of the frame so the
+    terms it holds become collectable.  The clears are not trailed:
+    callers must prove the frame private (no choice point pushed since
+    clause entry) before trimming. *)
+val trim_env : Clause.exec_frame -> int -> unit
+
 module Resolver (S : SCHEDULER) : sig
   val call_builtin : S.t -> Builtins.ctx -> Term.t -> Builtins.outcome
   (** Runs a builtin, translating its unification/arithmetic work and
       trail growth into charges and stats. *)
 
-  val try_clause : S.t -> trail:Trail.t -> Term.t -> Clause.t -> Clause.body option
-  (** Unifies a renamed clause head against the goal; on success returns
-      the instantiated body, on failure undoes the partial bindings
-      (charged). *)
+  val call_builtin_args :
+    S.t -> Builtins.ctx -> Ace_term.Symbol.t -> int -> Term.t array ->
+    Builtins.outcome
+  (** {!call_builtin} with the arguments spread in a register file — no
+      goal term exists on the compiled body path. *)
 
-  val try_code : S.t -> trail:Trail.t -> Term.t -> Clause.t -> Clause.body option
+  val try_clause : S.t -> trail:Trail.t -> Term.t -> Clause.t -> resolved
+  (** Unifies a renamed clause head against the goal; on success returns
+      the instantiated body ([R_body], never [R_exec]), on failure
+      undoes the partial bindings (charged). *)
+
+  val try_code :
+    S.t -> ctx:Builtins.ctx -> trail:Trail.t -> Term.t -> Clause.t -> resolved
   (** Compiled counterpart of {!try_clause}: executes the clause's flat
       instruction code ({!Ace_lang.Code}) against the goal arguments —
-      same success/failure and trail contract, charged per executed
-      instruction ([Cost.code_instr]) plus embedded unification steps. *)
+      same trail contract, charged per executed instruction
+      ([Cost.code_instr]) plus embedded unification steps.  A
+      scratch-eligible body (builtins + final execute) runs to its last
+      call inline, yielding [R_exec] or [R_body []]; any other body
+      escapes as one [Clause.Exec] item over a heap environment
+      (counted in [Stats.env_allocs]). *)
+
+  val try_code_args :
+    S.t -> ctx:Builtins.ctx -> trail:Trail.t -> Term.t array -> Clause.t ->
+    resolved
+  (** {!try_code} with the caller's arguments spread in a register file
+      (the [R_exec] fast path — no goal term on either side). *)
 
   val resolve :
-    S.t -> compiled:bool -> trail:Trail.t -> Term.t -> Clause.t -> Clause.body option
+    S.t -> ctx:Builtins.ctx -> compiled:bool -> trail:Trail.t -> Term.t ->
+    Clause.t -> resolved
   (** {!try_code} when [compiled], {!try_clause} otherwise. *)
+
+  val exec_body : S.t -> ctx:Builtins.ctx -> Clause.exec_frame -> executed
+  (** Executes a compiled body from its saved pc: consecutive builtins
+      run inline, the first step the kernel cannot finish is decoded for
+      the engine.  On [Ex_fail] the trail is NOT unwound here — the
+      engine backtracks to its own choice-point mark, exactly as when an
+      interpreted body goal fails. *)
 
   val unify_goal : S.t -> trail:Trail.t -> Term.t -> Term.t -> bool
   (** Plain goal-level unification with the same accounting as a clause
@@ -109,6 +183,12 @@ module Resolver (S : SCHEDULER) : sig
   (** Mode-aware {!lookup}: the compiled path selects through the
       deep-indexing dispatch tree ({!Database.lookup_code}), the
       interpreted path through first-argument indexing. *)
+
+  val select_args :
+    S.t -> Database.t -> Ace_term.Symbol.t -> int -> Term.t array ->
+    Clause.t list
+  (** Clause selection for a register call: the dispatch tree walked
+      from the register file (compiled path only). *)
 
   val untrail : S.t -> Trail.t -> int -> unit
   (** [untrail s trail mark] undoes to [mark], charging per entry. *)

@@ -32,6 +32,7 @@
 module Term = Ace_term.Term
 module Trail = Ace_term.Trail
 module Clause = Ace_lang.Clause
+module Code = Ace_lang.Code
 module Database = Ace_lang.Database
 module Cost = Ace_machine.Cost
 module Stats = Ace_machine.Stats
@@ -63,6 +64,7 @@ type t = {
   chaos : Chaos.agent array; (* per-worker schedule-jitter streams *)
   sim : Sim.t;
   workers : worker array;
+  scratches : Code.scratch array; (* per-agent frame buffer + registers *)
   goal : Term.t;
   output : Buffer.t option;
   mutable finished : bool;
@@ -105,6 +107,10 @@ module K = Kernel.Resolver (struct
   let cost st = st.cost
   let stats = shard
   let charge = charge
+
+  (* One scratch per simulated agent: a context switch at a tick can
+     never hand one agent's half-loaded registers to another. *)
+  let scratch st = st.scratches.(cur st)
 end)
 
 (* ------------------------------------------------------------------ *)
@@ -143,12 +149,13 @@ let copy_state st ~victim ~thief =
 (* Resolution                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let call_builtin st w goal =
-  let ctx = Builtins.make_ctx ?output:st.output ~trail:w.w_trail () in
-  K.call_builtin st ctx goal
+let ctx_of st w = Builtins.make_ctx ?output:st.output ~trail:w.w_trail ()
+
+let call_builtin st w goal = K.call_builtin st (ctx_of st w) goal
 
 let try_clause st w goal clause =
-  K.resolve st ~compiled:st.config.Config.compile ~trail:w.w_trail goal clause
+  K.resolve st ~ctx:(ctx_of st w) ~compiled:st.config.Config.compile
+    ~trail:w.w_trail goal clause
 
 (* Choice-point creation, with the LAO check: if the current top node is
    exhausted, refurbish it in place instead of allocating a new node. *)
@@ -197,6 +204,46 @@ let rec run_worker st w (cont : Clause.item list) : unit =
       (* the or-engine runs '&' sequentially *)
       run_worker st w (List.concat bodies @ rest)
     | Clause.Call g :: rest -> dispatch st w g rest
+    | Clause.Exec xf :: rest -> exec_frame st w xf rest
+
+(* Resumes a compiled clause body from its saved pc.  No environment
+   trimming here: a stolen (copied) stack may still reference the frame
+   at an earlier pc, so dead slots must survive. *)
+and exec_frame st w xf cont =
+  match K.exec_body st ~ctx:(ctx_of st w) xf with
+  | Kernel.Ex_fail -> backtrack st w
+  | Kernel.Ex_done -> run_worker st w cont
+  | Kernel.Ex_goal (g, pc) -> dispatch st w g (Kernel.exec_cont xf pc cont)
+  | Kernel.Ex_par (bodies, pc) ->
+    run_worker st w (List.concat bodies @ Kernel.exec_cont xf pc cont)
+  | Kernel.Ex_call (sym, arity, pc, _live) ->
+    user_call_regs st w sym arity (Kernel.exec_cont xf pc cont)
+  | Kernel.Ex_exec (sym, arity) -> user_call_regs st w sym arity cont
+
+(* Schedules what one clause try resolved to; [R_exec] re-enters clause
+   selection straight from the registers (last-call optimization). *)
+and continue st w resolved cont =
+  match resolved with
+  | Kernel.R_fail -> backtrack st w
+  | Kernel.R_body body -> run_worker st w (body @ cont)
+  | Kernel.R_exec (sym, arity) -> user_call_regs st w sym arity cont
+
+and user_call_regs st w sym arity cont =
+  if st.finished then ()
+  else
+    let regs = st.scratches.(w.w_id).Code.s_regs in
+    match K.select_args st st.db sym arity regs with
+    | [] -> backtrack st w
+    | [ clause ] ->
+      continue st w
+        (K.try_code_args st ~ctx:(ctx_of st w) ~trail:w.w_trail regs clause)
+        cont
+    | clause :: rest ->
+      (* nondeterminate: materialize the goal once — the alternatives in
+         the (shareable) choice point must outlive the registers *)
+      let g = Kernel.goal_of_regs sym arity regs in
+      push_cp st w ~goal:g ~alts:rest ~cont;
+      continue st w (try_clause st w g clause) cont
 
 and dispatch st w g cont =
   let g = Term.deref g in
@@ -240,15 +287,10 @@ and dispatch_control st w g cont =
 and user_call st w g cont =
   match K.select st ~compiled:st.config.Config.compile st.db g with
   | [] -> backtrack st w
-  | [ clause ] -> (
-    match try_clause st w g clause with
-    | Some body -> run_worker st w (body @ cont)
-    | None -> backtrack st w)
-  | clause :: rest -> (
+  | [ clause ] -> continue st w (try_clause st w g clause) cont
+  | clause :: rest ->
     push_cp st w ~goal:g ~alts:rest ~cont;
-    match try_clause st w g clause with
-    | Some body -> run_worker st w (body @ cont)
-    | None -> backtrack st w)
+    continue st w (try_clause st w g clause) cont
 
 (* Local backtracking: exhausted nodes are popped (each visit charged); a
    node with remaining shared alternatives yields the next one. *)
@@ -274,9 +316,7 @@ and backtrack st w =
         cp.o_alts := alts;
         K.untrail st w.w_trail cp.o_trail;
         charge st st.cost.Cost.cp_restore;
-        (match try_clause st w cp.o_goal clause with
-         | Some body -> run_worker st w (body @ cp.o_cont)
-         | None -> backtrack st w))
+        continue st w (try_clause st w cp.o_goal clause) cp.o_cont)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -370,9 +410,7 @@ let try_steal st (w : worker) =
 
 let worker_body st w ~initial () =
   let resume (cp, clause) =
-    match try_clause st w cp.o_goal clause with
-    | Some body -> run_worker st w (body @ cp.o_cont)
-    | None -> backtrack st w
+    continue st w (try_clause st w cp.o_goal clause) cp.o_cont
   in
   (match initial with
    | Some cont -> run_worker st w cont
@@ -441,6 +479,7 @@ let create ?output ?(trace = Trace.disabled) ?(chaos = Chaos.disabled)
     chaos = Array.init config.Config.agents (fun i -> Chaos.agent chaos i);
     sim;
     workers;
+    scratches = Array.init config.Config.agents (fun _ -> Code.create_scratch ());
     goal;
     output;
     finished = false;

@@ -45,6 +45,7 @@
 module Term = Ace_term.Term
 module Trail = Ace_term.Trail
 module Clause = Ace_lang.Clause
+module Code = Ace_lang.Code
 module Database = Ace_lang.Database
 module Stats = Ace_machine.Stats
 module Config = Ace_machine.Config
@@ -130,6 +131,10 @@ type worker = {
   chaos : Chaos.agent;
     (* per-worker fault-injection stream ([Chaos.null_agent] when off) *)
   root : mach;
+  w_scratch : Code.scratch;
+    (* domain-private frame buffer + argument registers; shared by the
+       root machine and slot sub-machines (register use never spans a
+       machine switch) *)
 }
 
 let stopped w = Atomic.get w.sh.stop
@@ -161,6 +166,7 @@ module K = Kernel.Resolver (struct
   let cost w = w.sh.config.Config.cost
   let stats w = w.stats
   let charge _ _ = ()
+  let scratch w = w.w_scratch
 end)
 
 (* ------------------------------------------------------------------ *)
@@ -254,10 +260,12 @@ let publish w m =
 
 let try_alt w m goal = function
   | Aclause clause ->
-    K.resolve w ~compiled:w.sh.config.Config.compile ~trail:m.m_trail goal clause
+    K.resolve w ~ctx:m.m_ctx ~compiled:w.sh.config.Config.compile
+      ~trail:m.m_trail goal clause
   | Acombo row ->
     (* join replay: bind the tuple template to one cross-product row *)
-    if K.unify_goal w ~trail:m.m_trail goal row then Some [] else None
+    if K.unify_goal w ~trail:m.m_trail goal row then Kernel.R_body []
+    else Kernel.R_fail
 
 let push_cp w m ~goal ~alts ~cont =
   w.stats.Stats.cp_allocs <- w.stats.Stats.cp_allocs + 1;
@@ -307,6 +315,50 @@ let rec run_mach w m (cont : Clause.body) : unit =
       backtrack w m
     | Clause.Par bodies :: rest -> exec_parcall w m bodies rest
     | Clause.Call g :: rest -> dispatch w m g rest
+    | Clause.Exec xf :: rest -> exec_frame w m xf rest
+
+(* Resumes a compiled clause body from its saved pc.  No environment
+   trimming here: choice points of this machine may resume the frame at
+   an earlier pc, and published snapshots may replay it. *)
+and exec_frame w m xf cont =
+  match K.exec_body w ~ctx:m.m_ctx xf with
+  | Kernel.Ex_fail -> backtrack w m
+  | Kernel.Ex_done -> run_mach w m cont
+  | Kernel.Ex_goal (g, pc) -> dispatch w m g (Kernel.exec_cont xf pc cont)
+  | Kernel.Ex_par (bodies, pc) ->
+    exec_parcall w m bodies (Kernel.exec_cont xf pc cont)
+  | Kernel.Ex_call (sym, arity, pc, _live) ->
+    user_call_regs w m sym arity (Kernel.exec_cont xf pc cont)
+  | Kernel.Ex_exec (sym, arity) -> user_call_regs w m sym arity cont
+
+(* Schedules what one clause try resolved to; [R_exec] re-enters clause
+   selection straight from the registers (last-call optimization). *)
+and continue w m resolved cont =
+  match resolved with
+  | Kernel.R_fail -> backtrack w m
+  | Kernel.R_body body -> run_mach w m (body @ cont)
+  | Kernel.R_exec (sym, arity) -> user_call_regs w m sym arity cont
+
+and user_call_regs w m sym arity cont =
+  if aborted w m then ()
+  else
+    let regs = w.w_scratch.Code.s_regs in
+    match K.select_args w w.sh.db sym arity regs with
+    | [] -> backtrack w m
+    | [ clause ] ->
+      continue w m
+        (K.try_code_args w ~ctx:m.m_ctx ~trail:m.m_trail regs clause)
+        cont
+    | clause :: rest ->
+      (* nondeterminate: materialize the goal once — the alternatives in
+         the (publishable) choice point must outlive the registers *)
+      let g = Kernel.goal_of_regs sym arity regs in
+      push_cp w m ~goal:g ~alts:(List.map (fun c -> Aclause c) rest) ~cont;
+      if should_publish w m then publish w m;
+      continue w m
+        (K.resolve w ~ctx:m.m_ctx ~compiled:w.sh.config.Config.compile
+           ~trail:m.m_trail g clause)
+        cont
 
 and dispatch w m g cont =
   let g = Term.deref g in
@@ -338,17 +390,15 @@ and user_call w m g cont =
   let compiled = w.sh.config.Config.compile in
   match K.select w ~compiled w.sh.db g with
   | [] -> backtrack w m
-  | [ clause ] -> (
+  | [ clause ] ->
     (* determinate after indexing: no choice point *)
-    match K.resolve w ~compiled ~trail:m.m_trail g clause with
-    | Some body -> run_mach w m (body @ cont)
-    | None -> backtrack w m)
-  | clause :: rest -> (
+    continue w m (K.resolve w ~ctx:m.m_ctx ~compiled ~trail:m.m_trail g clause)
+      cont
+  | clause :: rest ->
     push_cp w m ~goal:g ~alts:(List.map (fun c -> Aclause c) rest) ~cont;
     if should_publish w m then publish w m;
-    match K.resolve w ~compiled ~trail:m.m_trail g clause with
-    | Some body -> run_mach w m (body @ cont)
-    | None -> backtrack w m)
+    continue w m (K.resolve w ~ctx:m.m_ctx ~compiled ~trail:m.m_trail g clause)
+      cont
 
 (* Private backtracking.  Taking the last alternative of an owned node
    trust-pops it and continues in place — the engine's structural LAO. *)
@@ -376,10 +426,11 @@ and backtrack w m =
           w.stats.Stats.lao_hits <- w.stats.Stats.lao_hits + 1;
           Trace.record w.tbuf Trace.Lao_hit 0
         end
-        else cp.cp_alts <- rest;
-        (match try_alt w m cp.cp_goal alt with
-         | Some body -> run_mach w m (body @ cp.cp_cont)
-         | None -> backtrack w m))
+        else begin
+          cp.cp_alts <- rest;
+          w.stats.Stats.cp_updates <- w.stats.Stats.cp_updates + 1
+        end;
+        continue w m (try_alt w m cp.cp_goal alt) cp.cp_cont)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -557,9 +608,7 @@ let run_task w task =
        | first :: rest ->
          if rest <> [] then
            push_cp w w.root ~goal:n_goal ~alts:rest ~cont:n_cont;
-         (match try_alt w w.root n_goal first with
-          | Some body -> run_mach w w.root (body @ n_cont)
-          | None -> backtrack w w.root));
+         continue w w.root (try_alt w w.root n_goal first) n_cont);
       ignore (Trail.undo_to w.root.m_trail 0);
       w.root.m_cps <- [];
       w.root.m_live <- 0;
@@ -699,6 +748,7 @@ let solve ?output ?(trace = Trace.disabled) ?(chaos = Chaos.disabled)
           out;
           chaos = Chaos.agent chaos i;
           root = make_mach ?output:out ();
+          w_scratch = Code.create_scratch ();
         })
   in
   Deque.push_bottom sh.deques.(0) (Root (Kernel.sentinel_body goal));

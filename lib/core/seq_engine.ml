@@ -15,6 +15,7 @@
 module Term = Ace_term.Term
 module Trail = Ace_term.Trail
 module Clause = Ace_lang.Clause
+module Code = Ace_lang.Code
 module Database = Ace_lang.Database
 module Cost = Ace_machine.Cost
 module Stats = Ace_machine.Stats
@@ -52,6 +53,7 @@ type t = {
     (* jitter charges extra abstract cycles at yield sites; answers must
        not depend on it (there is no concurrency here — the hook exists so
        the checker can assert cycle-jitter invariance uniformly) *)
+  sc : Code.scratch; (* frame buffer + argument registers (compiled path) *)
   mutable cps : cp list;
   mutable height : int;
   mutable charge : int; (* accumulated abstract cycles *)
@@ -72,6 +74,7 @@ let create ?(cost = Cost.default) ?(compile = false) ?output
     compile;
     tbuf = Trace.buffer trace ~dom:0;
     chaos = Chaos.agent chaos 0;
+    sc = Code.create_scratch ();
     cps = [];
     height = 0;
     charge = 0;
@@ -91,6 +94,7 @@ module K = Kernel.Resolver (struct
   let cost m = m.cost
   let stats m = m.stats
   let charge = spend
+  let scratch m = m.sc
 end)
 
 (* [mark] is the trail height the choice point restores on backtracking —
@@ -115,13 +119,6 @@ let push_cp m ~mark ~goal ~alts ~cont =
   m.height <- m.height + 1
 
 let undo_to m mark = K.untrail m m.trail mark
-
-(* Unifies a renamed clause head against the goal; on success returns the
-   body segment to execute. *)
-let try_clause m goal clause ~barrier =
-  match K.resolve m ~compiled:m.compile ~trail:m.trail goal clause with
-  | Some items -> Some { items; barrier }
-  | None -> None
 
 let cut m barrier =
   while m.height > barrier do
@@ -149,7 +146,38 @@ let rec run m (cont : seg list) : bool =
     | Clause.Par bodies ->
       (* Sequential semantics of '&': plain conjunction. *)
       run m (List.map (fun body -> { items = body; barrier }) bodies @ cont')
-    | Clause.Call g -> dispatch m g ~barrier cont')
+    | Clause.Call g -> dispatch m g ~barrier cont'
+    | Clause.Exec xf -> exec_frame m xf ~barrier cont')
+
+(* Resumes a compiled clause body from its saved pc.  The kernel runs
+   consecutive builtins inline and decodes the first step it cannot
+   finish; trimming and calling are scheduling policy, so they live
+   here. *)
+and exec_frame m xf ~barrier cont =
+  match K.exec_body m ~ctx:m.ctx xf with
+  | Kernel.Ex_fail -> backtrack m
+  | Kernel.Ex_done -> run m cont
+  | Kernel.Ex_goal (g, pc) -> dispatch m g ~barrier (resume xf pc ~barrier cont)
+  | Kernel.Ex_par (bodies, pc) ->
+    (* Sequential semantics of '&', as in [run]. *)
+    run m
+      (List.map (fun body -> { items = body; barrier }) bodies
+      @ resume xf pc ~barrier cont)
+  | Kernel.Ex_call (sym, arity, pc, live) ->
+    (* Environment trimming: untrailed clears, legal only while the
+       frame is provably private — no choice point pushed (and still
+       alive) since clause entry, so no earlier pc of this frame can
+       ever be resumed. *)
+    if m.height = barrier then Kernel.trim_env xf live;
+    user_call_regs m sym arity (resume xf pc ~barrier cont)
+  | Kernel.Ex_exec (sym, arity) ->
+    (* Last call: the frame is dropped before the callee runs. *)
+    user_call_regs m sym arity cont
+
+and resume xf pc ~barrier cont =
+  match Kernel.exec_cont xf pc [] with
+  | [] -> cont
+  | items -> { items; barrier } :: cont
 
 and dispatch m g ~barrier cont =
   let g = Term.deref g in
@@ -214,13 +242,37 @@ and solve_once m g =
 and user_call m g cont =
   match K.select m ~compiled:m.compile m.db g with
   | [] -> backtrack m
-  | [ clause ] -> (
+  | [ clause ] ->
     (* Determinate after indexing: no choice point (the property LPCO and
        SPO key on in the parallel engines). *)
-    match try_clause m g clause ~barrier:m.height with
-    | Some seg -> run m (seg :: cont)
-    | None -> backtrack m)
+    continue m (K.resolve m ~ctx:m.ctx ~compiled:m.compile ~trail:m.trail g clause)
+      cont
   | clauses -> shallow m g clauses cont
+
+(* Schedules what one clause try resolved to.  [R_exec] is the last-call
+   case: the callee's arguments sit in the registers and nothing was
+   stacked, so a determinate recursion bounces between [continue] and
+   [user_call_regs] in constant space (both calls are tail calls). *)
+and continue m resolved cont =
+  match resolved with
+  | Kernel.R_fail -> backtrack m
+  | Kernel.R_body [] -> run m cont
+  | Kernel.R_body items -> run m ({ items; barrier = m.height } :: cont)
+  | Kernel.R_exec (sym, arity) -> user_call_regs m sym arity cont
+
+(* A user call whose arguments live in the scratch registers: clause
+   selection walks the dispatch tree straight from the register file.
+   Only the nondeterminate case materializes a goal term — alternatives
+   stored in a choice point must outlive the registers. *)
+and user_call_regs m sym arity cont =
+  match K.select_args m m.db sym arity m.sc.Code.s_regs with
+  | [] -> backtrack m
+  | [ clause ] ->
+    continue m (K.try_code_args m ~ctx:m.ctx ~trail:m.trail m.sc.Code.s_regs clause)
+      cont
+  | clauses ->
+    let g = Kernel.goal_of_regs sym arity m.sc.Code.s_regs in
+    shallow m g clauses cont
 
 (* Shallow backtracking (WAM-style): scan the candidates for the first
    one whose head matches before allocating a choice point, so clauses
@@ -233,15 +285,20 @@ and shallow m g clauses cont =
   let rec scan = function
     | [] -> backtrack m
     | clause :: rest -> (
-      match K.resolve m ~compiled:m.compile ~trail:m.trail g clause with
-      | Some items ->
+      match K.resolve m ~ctx:m.ctx ~compiled:m.compile ~trail:m.trail g clause with
+      | Kernel.R_fail ->
+        undo_to m mark;
+        scan rest
+      | resolved ->
+        (* The choice point is pushed before [continue] consumes the
+           resolution, so an [R_exec] callee's segments sit above it —
+           its barrier (the pre-push height) is captured first. *)
         let barrier = m.height in
         if rest <> [] then
           push_cp m ~mark ~goal:(Some g) ~alts:(Aclauses rest) ~cont;
-        run m ({ items; barrier } :: cont)
-      | None ->
-        undo_to m mark;
-        scan rest)
+        (match resolved with
+        | Kernel.R_body items -> run m ({ items; barrier } :: cont)
+        | resolved -> continue m resolved cont))
   in
   scan clauses
 
@@ -267,17 +324,27 @@ and backtrack m =
           m.height <- m.height - 1;
           backtrack m
         | clause :: alts -> (
-          match K.resolve m ~compiled:m.compile ~trail:m.trail goal clause with
-          | Some items ->
+          match
+            K.resolve m ~ctx:m.ctx ~compiled:m.compile ~trail:m.trail goal clause
+          with
+          | Kernel.R_fail ->
+            undo_to m cp.cp_trail;
+            rescan alts
+          | resolved ->
             if alts = [] then begin
               m.cps <- below;
               m.height <- m.height - 1
             end
-            else cp.cp_alts <- Aclauses alts;
-            run m ({ items; barrier = cp.cp_height } :: cp.cp_cont)
-          | None ->
-            undo_to m cp.cp_trail;
-            rescan alts)
+            else begin
+              (* the retained choice point is updated in place with the
+                 shrunken alternative list *)
+              cp.cp_alts <- Aclauses alts;
+              m.stats.Stats.cp_updates <- m.stats.Stats.cp_updates + 1
+            end;
+            (match resolved with
+            | Kernel.R_body items ->
+              run m ({ items; barrier = cp.cp_height } :: cp.cp_cont)
+            | resolved -> continue m resolved cp.cp_cont))
       in
       rescan clauses
     | Agoal body ->

@@ -551,14 +551,40 @@ let seq_core_speedups rows =
         Some (tag, g))
     tags
 
+(* GC minor words allocated per solution (the engine facade samples the
+   deltas into the row's stats). *)
+let words_per_solution r =
+  float_of_int r.c_stats.Stats.minor_words
+  /. float_of_int (max 1 r.c_solutions)
+
+(* For a compiled row, the interpreted counterpart's minor-words/solution
+   divided by the compiled row's: > 1 means the compiled path allocates
+   less.  [None] for interpreted rows and unpaired tags. *)
+let alloc_ratio rows r =
+  match String.index_opt r.c_engine '/' with
+  | None -> None
+  | Some i ->
+    let tag = String.sub r.c_engine 0 i in
+    List.find_opt
+      (fun r' -> r'.c_label = r.c_label && r'.c_engine = tag)
+      rows
+    |> Option.map (fun r' ->
+           (* a zero-allocation compiled row divides by one word so the
+              ratio stays finite while still reporting the full win *)
+           words_per_solution r' /. Float.max (words_per_solution r) 1.0)
+
 let pp_seq_core ppf rows =
   Format.fprintf ppf "== sequential-core hot path: wall-clock per run ==@,";
-  Format.fprintf ppf "%-12s %6s %12s %10s  %s@," "benchmark" "engine" "wall-ms"
-    "solutions" "digest";
+  Format.fprintf ppf "%-12s %6s %12s %10s %12s %8s  %s@," "benchmark" "engine"
+    "wall-ms" "solutions" "wds/sol" "alloc-x" "digest";
   List.iter
     (fun r ->
-      Format.fprintf ppf "%-12s %6s %12.2f %10d  %s@," r.c_label r.c_engine
-        r.c_wall_ms r.c_solutions r.c_digest)
+      Format.fprintf ppf "%-12s %6s %12.2f %10d %12.1f %8s  %s@," r.c_label
+        r.c_engine r.c_wall_ms r.c_solutions (words_per_solution r)
+        (match alloc_ratio rows r with
+        | Some x -> Printf.sprintf "%.2fx" x
+        | None -> "-")
+        r.c_digest)
     rows;
   List.iter
     (fun (tag, g) ->
@@ -569,14 +595,18 @@ let pp_seq_core ppf rows =
 let seq_core_json rows =
   let row r =
     Json.Obj
-      [ ("benchmark", Json.Str r.c_label);
-        ("engine", Json.Str r.c_engine);
-        ("wall_ms", Json.Num r.c_wall_ms);
-        ("solutions", Json.int r.c_solutions);
-        ("digest", Json.Str r.c_digest);
-        ("host_cores", Json.int (host_cores ()));
-        ("recommended_domains", Json.int (recommended_domains ()));
-        ("stats", Metrics.stats_to_json r.c_stats) ]
+      ([ ("benchmark", Json.Str r.c_label);
+         ("engine", Json.Str r.c_engine);
+         ("wall_ms", Json.Num r.c_wall_ms);
+         ("solutions", Json.int r.c_solutions);
+         ("digest", Json.Str r.c_digest);
+         ("words_per_solution", Json.Num (words_per_solution r)) ]
+      @ (match alloc_ratio rows r with
+        | Some x -> [ ("alloc_ratio_vs_interpreted", Json.Num x) ]
+        | None -> [])
+      @ [ ("host_cores", Json.int (host_cores ()));
+          ("recommended_domains", Json.int (recommended_domains ()));
+          ("stats", Metrics.stats_to_json r.c_stats) ])
   in
   let speedups =
     Json.Obj
@@ -624,6 +654,56 @@ let check_seq_core ~expected rows =
             (Printf.sprintf
                "%s/%s: expected %d solutions (digest %s), got %d (digest %s)"
                r.c_label r.c_engine sols digest r.c_solutions r.c_digest))
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Allocation-regression gate                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Pinned-baseline file: one "benchmark engine words_per_solution" line
+   per row (see bench/seq_core_alloc_expected.txt).  Allocation per
+   solution is deterministic up to small GC-sampling noise, so a wide
+   relative tolerance suffices and wall-clock noise never enters. *)
+let alloc_expected_of_rows rows =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s %.1f\n" r.c_label r.c_engine
+           (words_per_solution r)))
+    rows;
+  Buffer.contents buf
+
+let parse_alloc_expected text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         match String.split_on_char ' ' (String.trim line) with
+         | [ bench; engine; words ] ->
+           Some ((bench, engine), float_of_string words)
+         | _ -> None)
+
+(* Checks rows against the pinned baselines; a row regresses when its
+   minor-words/solution exceeds the pinned value by more than
+   [tolerance] (relative, default 10%).  Rows without a pinned value
+   pass (benchmark added after recording).  Returns the regressions. *)
+let check_alloc ?(tolerance = 0.10) ~expected rows =
+  let table = parse_alloc_expected expected in
+  List.filter_map
+    (fun r ->
+      match List.assoc_opt (r.c_label, r.c_engine) table with
+      | None -> None
+      | Some pinned ->
+        let current = words_per_solution r in
+        (* an extra word of slack keeps near-zero baselines meaningful *)
+        if current <= (pinned *. (1.0 +. tolerance)) +. 1.0 then None
+        else
+          Some
+            (Printf.sprintf
+               "%s/%s: %.1f minor words/solution, pinned %.1f (+%.0f%% > %.0f%% \
+                tolerance)"
+               r.c_label r.c_engine current pinned
+               ((current /. Float.max pinned 1e-9 -. 1.0) *. 100.0)
+               (tolerance *. 100.0)))
     rows
 
 let pp_memory ppf rows =

@@ -163,3 +163,23 @@ val expected_of_rows : seq_core_row list -> string
     "benchmark engine solutions digest" line per row); returns the list of
     divergence messages, empty when every solution set matches. *)
 val check_seq_core : expected:string -> seq_core_row list -> string list
+
+(** GC minor words allocated per solution in a row (sampled into the
+    row's stats by the {!Ace_core.Engine} facade). *)
+val words_per_solution : seq_core_row -> float
+
+(** For a compiled ("tag/c") row, the interpreted counterpart's
+    minor-words/solution divided by the compiled row's ([> 1.] = the
+    compiled path allocates less); [None] for interpreted rows. *)
+val alloc_ratio : seq_core_row list -> seq_core_row -> float option
+
+(** Renders rows in the "benchmark engine words_per_solution" line format
+    of [bench/seq_core_alloc_expected.txt]. *)
+val alloc_expected_of_rows : seq_core_row list -> string
+
+(** Compares rows against pinned allocation baselines; a row regresses
+    when its minor-words/solution exceeds the pinned value by more than
+    [tolerance] (relative, default 0.10) plus one word of slack.
+    Returns the regression messages, empty when the gate passes. *)
+val check_alloc :
+  ?tolerance:float -> expected:string -> seq_core_row list -> string list

@@ -8,11 +8,27 @@
 module Term = Ace_term.Term
 module Symbol = Ace_term.Symbol
 
+(* Slot for the flat instruction code of {!Code}.  Extensible so this
+   module needs no forward reference to the compiler: [Code] adds its own
+   constructor and caches the compiled form here (filled in by
+   {!Database.freeze}, or lazily on first compiled execution). *)
+type code = ..
+
+type code += No_code
+
 type body = item list
 
 and item =
   | Call of Term.t
   | Par of body list
+  | Exec of exec_frame
+
+(* A compiled-body continuation: resume [xf_code]'s body steps at
+   [xf_pc] against the clause instance's environment.  Built only by the
+   engines (via {!Kernel}) when a compiled clause's body cannot run to
+   completion inside the resolver — it never appears in consult-time
+   templates, so renaming and analysis treat it as opaque. *)
+and exec_frame = { xf_code : code; xf_pc : int; xf_env : Term.t array }
 
 (* How a fresh instance maps template variables to slots of a fresh-var
    array.  [Closed] clauses (no variables — fact tables, mostly) rename to
@@ -23,14 +39,6 @@ type renamer =
   | Closed
   | Dense of int (* slot = vid - base *)
   | Sparse of (int, int) Hashtbl.t (* vid -> slot *)
-
-(* Slot for the flat instruction code of {!Code}.  Extensible so this
-   module needs no forward reference to the compiler: [Code] adds its own
-   constructor and caches the compiled form here (filled in by
-   {!Database.freeze}, or lazily on first compiled execution). *)
-type code = ..
-
-type code += No_code
 
 type t = {
   head : Term.t;
@@ -68,6 +76,7 @@ let rec term_of_body = function
 
 and term_of_item = function
   | Call g -> g
+  | Exec _ -> Term.Atom (Symbol.intern "$code")
   | Par bodies ->
     (match List.rev_map term_of_body bodies with
      | [] -> Term.true_
@@ -93,6 +102,7 @@ let compile head body =
   and go_item = function
     | Call g -> Call (Term.rename_with table g)
     | Par bodies -> Par (List.map go_body bodies)
+    | Exec _ as item -> item (* runtime-only; never in parsed clauses *)
   in
   let body = go_body body in
   let nvars = Hashtbl.length table in
@@ -189,6 +199,7 @@ let rename_body c fresh =
     and go_item = function
       | Call g -> Call (inst_term c fresh g)
       | Par bodies -> Par (List.map go_body bodies)
+      | Exec _ as item -> item (* runtime-only; never in templates *)
     in
     go_body c.body
 
@@ -202,14 +213,19 @@ let rename c =
 
 let rec body_goals body =
   List.concat_map
-    (function Call g -> [ g ] | Par bodies -> List.concat_map body_goals bodies)
+    (function
+      | Call g -> [ g ]
+      | Exec _ -> []
+      | Par bodies -> List.concat_map body_goals bodies)
     body
 
 (* True when the body contains a parallel conjunction at any depth. *)
 let rec has_par body =
-  List.exists (function Call _ -> false | Par _ -> true) body
+  List.exists (function Call _ | Exec _ -> false | Par _ -> true) body
   || List.exists
-       (function Call _ -> false | Par bodies -> List.exists has_par bodies)
+       (function
+         | Call _ | Exec _ -> false
+         | Par bodies -> List.exists has_par bodies)
        body
 
 let pp ppf c = Ace_term.Pp.pp ppf (to_term c)

@@ -1,21 +1,31 @@
 (** Compiled clauses: flattened sequential conjunctions with explicit
     parallel-conjunction ([Par]) nodes. *)
 
-type body = item list
-
-and item =
-  | Call of Ace_term.Term.t
-  | Par of body list  (** one compiled body per '&' branch *)
-
-(** Maps template variables to fresh-instance slots (see {!rename}). *)
-type renamer
-
 (** Cache slot for the flat instruction code of {!Code}.  Extensible so
     the clause representation carries compiled code without a forward
     dependency on the compiler; [No_code] means "not compiled yet". *)
 type code = ..
 
 type code += No_code
+
+type body = item list
+
+and item =
+  | Call of Ace_term.Term.t
+  | Par of body list  (** one compiled body per '&' branch *)
+  | Exec of exec_frame
+      (** resume a compiled clause body (runtime-only: built by the
+          engines through {!Ace_core.Kernel}, never present in
+          consult-time templates) *)
+
+and exec_frame = {
+  xf_code : code;  (** the clause's compiled code ([Code.Compiled]) *)
+  xf_pc : int;  (** body step to resume at *)
+  xf_env : Ace_term.Term.t array;  (** the instance's environment frame *)
+}
+
+(** Maps template variables to fresh-instance slots (see {!rename}). *)
+type renamer
 
 type t = {
   head : Ace_term.Term.t;

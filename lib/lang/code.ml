@@ -3,18 +3,30 @@
    Head arguments become get_*/unify_* instructions executed directly
    against the caller's goal arguments — no renamed head copy is
    allocated and the goal is walked exactly once.  Clause variables live
-   in a per-try frame (a [Term.t array] indexed by the template's dense
-   slots, see {!Clause.var_slot}); a head first occurrence stores the
-   goal subterm into its slot without allocating a variable at all, so a
-   fully instantiated call binds nothing and trails nothing.
+   in a per-try frame (a [Term.t array]); a head first occurrence stores
+   the goal subterm into its slot without allocating a variable at all,
+   so a fully instantiated call binds nothing and trails nothing.
 
-   Bodies become put code: a tree of {!put} nodes mirroring the template
-   with variables replaced by slots and ground subtrees replaced by
-   [P_const] nodes that *share* the immutable template subterm instead of
-   copying it.  Executing the puts yields an ordinary {!Clause.body}, so
-   everything downstream of head unification — continuations, cut
-   barriers, parcall frames, or-parallel publication snapshots — is
-   untouched by compilation.
+   Bodies become register-machine code: each body goal is one {!step} —
+   [put_*] loads of the goal's arguments into the argument registers
+   followed by an operation.  Builtin goals ([O_builtin]) dispatch from
+   the registers without ever building a goal term; plain user calls
+   ([O_call]) jump into the callee's clause selection with the registers
+   as the goal arguments; the final user call compiles to [O_execute]
+   (last-call optimization — the caller's frame is dead, so the callee
+   may reuse the machinery without stacking a continuation).  Control
+   constructs (cut, ';', '->', naf, call/1, the solver's solution/1
+   sentinel) and parallel conjunctions keep term-building form
+   ([O_goal]/[O_par]) and drop back into each engine's interpreted
+   control machinery, so cut barriers, parcall frames and or-parallel
+   publication are untouched by compilation.
+
+   Frame slots are ordered by *descending last occurrence* (a step index;
+   head-only variables sort last), so the live slots after any step form
+   a prefix: [O_call] carries the size of that prefix and engines that
+   can prove the frame private may trim the dead suffix (environment
+   trimming).  Variables occurring exactly once are voids — they get no
+   slot at all ([U_void] in heads, [P_void] in bodies).
 
    Trail discipline is the interpreter's: every binding of a caller-side
    variable goes through {!Unify.bind} on the worker's trail (structure
@@ -44,42 +56,76 @@ type instr =
   | U_int of int
   | U_var of int
   | U_val of int
+  | U_void (* single-occurrence variable: matches anything, stores nothing *)
   | U_struct of Symbol.t * int (* functor, arity *)
   | U_ground of Term.t
   | U_pop
 
-(* Body put code: builds goal terms from the frame.  [P_const] shares the
-   (ground, hence immutable) template subterm. *)
+(* Body put code: builds argument-register (or goal-term) contents from
+   the frame.  [P_const] shares the (ground, hence immutable) template
+   subterm; [P_fresh] is a variable's first occurrence — the fresh
+   variable is stored into its slot for later [P_val] reads; [P_void] is
+   a single-occurrence variable (fresh, unstored). *)
 type put =
   | P_const of Term.t
-  | P_var of int
+  | P_fresh of int
+  | P_val of int
+  | P_void
   | P_struct of Symbol.t * put array
 
+(* Parallel-conjunction branches keep the term-building item form: their
+   bodies are instantiated wholesale into a {!Clause.body} when the
+   parcall is reached. *)
 type bitem =
   | B_call of put
   | B_par of bitem list list
 
+(* One body goal.  [s_puts] loads the argument registers (empty for
+   [O_goal]/[O_par], whose payload carries its own puts); [s_op] then
+   consumes them. *)
+type op =
+  | O_builtin of Symbol.t (* dispatch from the registers *)
+  | O_call of Symbol.t * int (* user call; [int] = live slots after it *)
+  | O_execute of Symbol.t (* last user call: frame is dead, no return *)
+  | O_goal of put (* control construct: build the term, let the engine
+                     classify and dispatch it *)
+  | O_par of bitem list list (* parallel conjunction *)
+
+type step = { s_puts : put array; s_op : op }
+
 type t = {
   c_head : instr array;
-  c_body : bitem list;
-  c_nvars : int;
+  c_body : step array;
+  c_nvars : int; (* frame slots after void elimination *)
+  c_scratch : bool;
+      (* body is all builtins plus at most a final execute: the whole
+         clause try can run on the reusable scratch frame (no heap
+         environment, no continuation) *)
 }
+
+(* The engines' builtin table lives above this library; it registers its
+   membership test here at startup so the compiler can classify body
+   goals.  Defaults to "nothing is a builtin", which is only correct
+   before {!Ace_core.Builtins} initializes — i.e. never at runtime. *)
+let builtin_hook : (Symbol.t -> int -> bool) ref = ref (fun _ _ -> false)
 
 (* ------------------------------------------------------------------ *)
 (* Compilation                                                         *)
 (* ------------------------------------------------------------------ *)
 
 (* Seeded mutation hook for the CI compile-smoke test: when set to
-   [Some k], one structure-preserving instruction rewrite is applied to
-   every subsequently compiled head (at index [k mod length]), so the
+   [Some k], one structure-preserving rewrite is applied to every
+   subsequently compiled clause (at point [k mod points], scanning
+   forward to the first rewritable point; body steps come before head
+   instructions so small seeds exercise the new body code), and the
    differential oracle must report compiled-vs-interpreted
    discrepancies.  Never set outside tests. *)
 let mutation : int option ref = ref None
 
 let mutant_atom = lazy (Symbol.intern "$mutant")
 
-(* Rewrites one instruction without changing the code's structure (cell
-   counts and struct nesting preserved), twisting its matching
+(* Rewrites one head instruction without changing the code's structure
+   (cell counts and struct nesting preserved), twisting its matching
    semantics. *)
 let mutate_instr = function
   | Get_atom (_, i) -> Some (Get_atom (Lazy.force mutant_atom, i))
@@ -94,40 +140,141 @@ let mutate_instr = function
   | U_val s -> Some (U_var s)
   | U_struct (_, n) -> Some (U_struct (Lazy.force mutant_atom, n))
   | U_ground _ -> Some (U_atom (Lazy.force mutant_atom))
-  | U_pop -> None (* structural; never rewritten *)
+  | U_void | U_pop -> None (* structural; never rewritten *)
 
-let apply_mutation code =
+let rec mutate_put = function
+  | P_const (Term.Int n) -> Some (P_const (Term.Int (n + 1)))
+  | P_const _ -> Some (P_const (Term.Atom (Lazy.force mutant_atom)))
+  | P_val _ -> Some P_void (* reads a fresh variable instead of the slot *)
+  | P_fresh _ | P_void -> None
+  | P_struct (f, ps) ->
+    (* rewrite the first rewritable argument, else the functor *)
+    let n = Array.length ps in
+    let rec go i =
+      if i >= n then Some (P_struct (Lazy.force mutant_atom, ps))
+      else
+        match mutate_put ps.(i) with
+        | Some p ->
+          let ps = Array.copy ps in
+          ps.(i) <- p;
+          Some (P_struct (f, ps))
+        | None -> go (i + 1)
+    in
+    go 0
+
+(* Retargets a step's operation (call/execute/builtin aimed at the
+   [$mutant] predicate — an existence error or a failed dispatch on the
+   compiled path only), falling back to put rewrites for [O_goal]. *)
+let mutate_step step =
+  match step.s_op with
+  | O_builtin _ -> Some { step with s_op = O_builtin (Lazy.force mutant_atom) }
+  | O_call (_, trim) ->
+    Some { step with s_op = O_call (Lazy.force mutant_atom, trim) }
+  | O_execute _ -> Some { step with s_op = O_execute (Lazy.force mutant_atom) }
+  | O_goal p ->
+    (match mutate_put p with
+     | Some p -> Some { step with s_op = O_goal p }
+     | None -> None)
+  | O_par _ -> None
+
+(* Mutation points are the body steps (first) then the head
+   instructions, so the small seeds used by CI land on body code
+   whenever the clause has a body. *)
+let apply_mutation head body =
   match !mutation with
-  | None -> code
+  | None -> (head, body)
   | Some k ->
-    let n = Array.length code in
-    if n = 0 then code
+    let nb = Array.length body and nh = Array.length head in
+    let total = nb + nh in
+    if total = 0 then (head, body)
     else begin
-      let code = Array.copy code in
-      (* first rewritable instruction at or after k mod n *)
+      let head = Array.copy head and body = Array.copy body in
       let rec go tries i =
-        if tries >= n then ()
+        if tries >= total then ()
+        else if i < nb then (
+          match mutate_step body.(i) with
+          | Some s -> body.(i) <- s
+          | None -> go (tries + 1) ((i + 1) mod total))
         else
-          match mutate_instr code.(i) with
-          | Some ins -> code.(i) <- ins
-          | None -> go (tries + 1) ((i + 1) mod n)
+          match mutate_instr head.(i - nb) with
+          | Some ins -> head.(i - nb) <- ins
+          | None -> go (tries + 1) ((i + 1) mod total)
       in
-      go 0 (k mod n);
-      code
+      go 0 (k mod total);
+      (head, body)
     end
 
 let is_ground_template t =
   (* template variables are never bound, so plain groundness is right *)
   Term.is_ground t
 
-let compile_head clause =
-  let seen = Array.make (max 1 clause.Clause.nvars) false in
-  let slot v =
-    let s = Clause.var_slot clause v in
-    let first = not seen.(s) in
-    seen.(s) <- true;
-    (s, first)
+(* Goals the engines treat as control rather than plain calls — must
+   mirror [Kernel.is_plain]/[Kernel.classify] exactly, or compiled
+   dispatch would disagree with the interpreter on what is a
+   predicate. *)
+let is_control g =
+  match g with
+  | Term.Atom s -> Symbol.equal s Symbol.cut
+  | Term.Struct (s, [| _ |]) ->
+    Symbol.equal s Symbol.naf || Symbol.equal s Symbol.call
+    || Symbol.equal s Symbol.solution
+  | Term.Struct (s, [| _; _ |]) ->
+    Symbol.equal s Symbol.comma || Symbol.equal s Symbol.amp
+    || Symbol.equal s Symbol.semicolon || Symbol.equal s Symbol.arrow
+  | _ -> false
+
+(* Occurrence analysis over the whole template: per canonical slot, the
+   total occurrence count and the last step index that mentions it (-1 =
+   head only).  Single-occurrence variables are voids; the rest are
+   renumbered by descending last occurrence so trimming keeps a
+   prefix. *)
+let analyze clause =
+  let n = max 1 clause.Clause.nvars in
+  let occ = Array.make n 0 in
+  let last = Array.make n (-1) in
+  let rec scan step t =
+    match Term.deref t with
+    | Term.Atom _ | Term.Int _ -> ()
+    | Term.Var v ->
+      let s = Clause.var_slot clause v in
+      occ.(s) <- occ.(s) + 1;
+      if step > last.(s) then last.(s) <- step
+    | Term.Struct (_, args) -> Array.iter (scan step) args
   in
+  (match Term.deref clause.Clause.head with
+   | Term.Struct (_, args) -> Array.iter (scan (-1)) args
+   | _ -> ());
+  let rec scan_item step = function
+    | Clause.Call g -> scan step g
+    | Clause.Par bodies -> List.iter (List.iter (scan_item step)) bodies
+    | Clause.Exec _ -> ()
+  in
+  List.iteri scan_item clause.Clause.body;
+  let order =
+    List.filter (fun s -> occ.(s) > 1) (List.init clause.Clause.nvars Fun.id)
+  in
+  (* stable: equal last occurrences keep canonical (first-appearance)
+     order, so listings stay readable *)
+  let order = List.stable_sort (fun a b -> compare last.(b) last.(a)) order in
+  let slot_map = Array.make n (-1) in
+  List.iteri (fun ns cs -> slot_map.(cs) <- ns) order;
+  let trim_at k = List.length (List.filter (fun cs -> last.(cs) > k) order) in
+  (occ, slot_map, List.length order, trim_at)
+
+let compile clause =
+  let occ, slot_map, nslots, trim_at = analyze clause in
+  let seen = Array.make (max 1 nslots) false in
+  let slot v =
+    let cs = Clause.var_slot clause v in
+    if occ.(cs) = 1 then None
+    else begin
+      let s = slot_map.(cs) in
+      let first = not seen.(s) in
+      seen.(s) <- true;
+      Some (s, first)
+    end
+  in
+  (* head *)
   let acc = ref [] in
   let emit i = acc := i :: !acc in
   let rec emit_cell t =
@@ -135,8 +282,9 @@ let compile_head clause =
     | Term.Atom s -> emit (U_atom s)
     | Term.Int n -> emit (U_int n)
     | Term.Var v ->
-      let s, first = slot v in
-      emit (if first then U_var s else U_val s)
+      (match slot v with
+       | None -> emit U_void
+       | Some (s, first) -> emit (if first then U_var s else U_val s))
     | Term.Struct (f, args) ->
       if is_ground_template t then emit (U_ground (Term.deref t))
       else begin
@@ -150,8 +298,9 @@ let compile_head clause =
     | Term.Atom s -> emit (Get_atom (s, i))
     | Term.Int n -> emit (Get_int (n, i))
     | Term.Var v ->
-      let s, first = slot v in
-      emit (if first then Get_var (s, i) else Get_val (s, i))
+      (match slot v with
+       | None -> () (* a top-level void argument matches anything *)
+       | Some (s, first) -> emit (if first then Get_var (s, i) else Get_val (s, i)))
     | Term.Struct (f, args) ->
       if is_ground_template t then emit (Get_ground (Term.deref t, i))
       else begin
@@ -164,31 +313,64 @@ let compile_head clause =
    | Term.Atom _ -> ()
    | Term.Struct (_, args) -> Array.iteri emit_arg args
    | Term.Int _ | Term.Var _ -> assert false (* checked at clause construction *));
-  apply_mutation (Array.of_list (List.rev !acc))
-
-let compile_body clause =
-  let slot v = Clause.var_slot clause v in
+  let head = Array.of_list (List.rev !acc) in
+  (* body.  Put trees are built in execution order, so the compile-time
+     first-occurrence marking ([P_fresh] vs [P_val]) matches the runtime
+     order in which [build_put] fills slots. *)
   let rec put_of t =
     match Term.deref t with
     | (Term.Atom _ | Term.Int _) as t' -> P_const t'
-    | Term.Var v -> P_var (slot v)
+    | Term.Var v ->
+      (match slot v with
+       | None -> P_void
+       | Some (s, first) -> if first then P_fresh s else P_val s)
     | Term.Struct (f, args) as t' ->
       if is_ground_template t' then P_const t'
       else P_struct (f, Array.map put_of args)
   in
-  let rec go_body b = List.map go_item b
-  and go_item = function
+  let rec go_bbody b = List.map go_bitem b
+  and go_bitem = function
     | Clause.Call g -> B_call (put_of g)
-    | Clause.Par bodies -> B_par (List.map go_body bodies)
+    | Clause.Par bodies -> B_par (List.map go_bbody bodies)
+    | Clause.Exec _ -> assert false (* runtime-only, never in templates *)
   in
-  go_body clause.Clause.body
-
-let compile clause =
-  {
-    c_head = compile_head clause;
-    c_body = compile_body clause;
-    c_nvars = clause.Clause.nvars;
-  }
+  let nsteps = List.length clause.Clause.body in
+  let step_of k item =
+    match item with
+    | Clause.Par bodies -> { s_puts = [||]; s_op = O_par (List.map go_bbody bodies) }
+    | Clause.Exec _ -> assert false (* runtime-only, never in templates *)
+    | Clause.Call g ->
+      (match Term.deref g with
+       | g' when is_control g' -> { s_puts = [||]; s_op = O_goal (put_of g') }
+       | Term.Atom s ->
+         if !builtin_hook s 0 then { s_puts = [||]; s_op = O_builtin s }
+         else if k = nsteps - 1 then { s_puts = [||]; s_op = O_execute s }
+         else { s_puts = [||]; s_op = O_call (s, trim_at k) }
+       | Term.Struct (s, args) ->
+         let puts = Array.map put_of args in
+         if !builtin_hook s (Array.length args) then
+           { s_puts = puts; s_op = O_builtin s }
+         else if k = nsteps - 1 then { s_puts = puts; s_op = O_execute s }
+         else { s_puts = puts; s_op = O_call (s, trim_at k) }
+       | (Term.Var _ | Term.Int _) as g' ->
+         (* runtime dispatch decides (meta-variable or type error) *)
+         { s_puts = [||]; s_op = O_goal (put_of g') })
+  in
+  let body = Array.of_list (List.mapi step_of clause.Clause.body) in
+  let head, body = apply_mutation head body in
+  let scratch_ok =
+    let n = Array.length body in
+    let rec ok i =
+      if i >= n then true
+      else
+        match body.(i).s_op with
+        | O_builtin _ -> ok (i + 1)
+        | O_execute _ -> i = n - 1
+        | O_call _ | O_goal _ | O_par _ -> false
+    in
+    ok 0
+  in
+  { c_head = head; c_body = body; c_nvars = nslots; c_scratch = scratch_ok }
 
 (* The compiled form is cached on the clause through the extensible
    {!Clause.code} slot.  {!Database.freeze} precompiles every clause
@@ -211,32 +393,34 @@ let of_clause clause =
 (* ------------------------------------------------------------------ *)
 
 (* Frame slots start as this sentinel (compared with [==]): a head first
-   occurrence overwrites it with a goal subterm, and body puts replace a
-   still-unset slot with a fresh variable on demand — variables never
-   mentioned by the surviving execution path are never allocated. *)
+   occurrence overwrites it with a goal subterm, and a body [P_fresh]
+   stores a fresh variable — variables never mentioned by the surviving
+   execution path are never allocated. *)
 let unset : Term.t = Term.Atom (Symbol.intern "$unset")
 
 let no_args : Term.t array = [||]
 
+(* A heap environment frame for one clause instance (used when the body
+   needs a continuation — [c_scratch] bodies never allocate one). *)
 let frame code =
   if code.c_nvars = 0 then no_args else Array.make code.c_nvars unset
 
-(* Per-domain scratch reused across clause tries: the two counters and a
-   frame buffer.  A frame is dead as soon as {!inst_body} has built the
-   body (neither the goal subterms it holds nor the body terms reference
-   the array itself), so one live buffer per domain suffices;
-   domain-local storage keeps the parallel engines race-free without a
+(* Per-agent execution scratch reused across clause tries: the two
+   counters, a frame buffer and the argument-register file.  A scratch
+   frame is dead as soon as the clause try has either failed or handed
+   off (built its registers / heap environment), so one live buffer per
+   scheduler agent suffices; each engine owns one scratch per worker or
+   simulated agent, which keeps the parallel engines race-free without
    per-try allocation. *)
 type scratch = {
   mutable s_instrs : int;
   s_steps : int ref; (* a ref so it threads into the general unifier *)
   mutable s_buf : Term.t array;
+  mutable s_regs : Term.t array; (* the argument registers *)
 }
 
-let scratch_key =
-  Domain.DLS.new_key (fun () -> { s_instrs = 0; s_steps = ref 0; s_buf = [||] })
-
-let scratch () = Domain.DLS.get scratch_key
+let create_scratch () =
+  { s_instrs = 0; s_steps = ref 0; s_buf = [||]; s_regs = [||] }
 
 (* A frame for [code] carved out of the scratch buffer: slots [0 ..
    c_nvars-1] reset to [unset] (the buffer may be longer; slots past
@@ -304,6 +488,10 @@ let rec exec_sub code sc frame trail ip (cells : Term.t array) pos write =
       | U_val slot ->
         if write then cells.(pos) <- frame.(slot)
         else unify_cell sc trail frame.(slot) cells.(pos);
+        ip + 1
+      | U_void ->
+        (* matches anything; in write mode the cell still needs a value *)
+        if write then cells.(pos) <- Term.var ();
         ip + 1
       | U_ground t ->
         (if write then cells.(pos) <- t
@@ -374,8 +562,8 @@ let rec exec_top code n sc frame trail (args : Term.t array) ip =
           Unify.bind trail v (Term.Struct (f, cs));
           exec_sub code sc frame trail (ip + 1) cs 0 true
         | _ -> raise Fail)
-      | U_atom _ | U_int _ | U_var _ | U_val _ | U_struct _ | U_ground _
-      | U_pop ->
+      | U_atom _ | U_int _ | U_var _ | U_val _ | U_void | U_struct _
+      | U_ground _ | U_pop ->
         raise Fail (* see the mutation note above *)
     in
     exec_top code n sc frame trail args ip'
@@ -387,28 +575,40 @@ let run_head code ~trail ~sc (frame : Term.t array) (args : Term.t array) =
   | () -> true
   | exception Fail -> false
 
-(* Builds the body against the frame.  A slot still unset here belongs to
-   a variable whose first occurrence is in the body: it becomes fresh
-   now. *)
+(* Builds one register (or goal subterm) from the frame.  [P_fresh]
+   allocates the variable's one fresh cell and publishes it in the slot
+   for later [P_val] reads; under a mutated program a [P_val] can read a
+   still-unset slot — it then harmlessly produces the sentinel atom. *)
 let rec build_put frame = function
   | P_const t -> t
-  | P_var slot ->
-    let t = frame.(slot) in
-    if t == unset then begin
-      let v = Term.var () in
-      frame.(slot) <- v;
-      v
-    end
-    else t
+  | P_val slot -> frame.(slot)
+  | P_fresh slot ->
+    let v = Term.var () in
+    frame.(slot) <- v;
+    v
+  | P_void -> Term.var ()
   | P_struct (f, ps) -> Term.Struct (f, Array.map (build_put frame) ps)
 
-let inst_body code frame : Clause.body =
-  let rec go_body b = List.map go_item b
-  and go_item = function
-    | B_call p -> Clause.Call (build_put frame p)
-    | B_par bodies -> Clause.Par (List.map go_body bodies)
-  in
-  go_body code.c_body
+(* Loads a step's argument registers.  The register file is scratch
+   state: put trees only read the frame and constants, never the
+   registers, so an [O_execute] may overwrite the registers that hold
+   its own caller's arguments in place. *)
+let load_regs sc frame (puts : put array) =
+  let n = Array.length puts in
+  if Array.length sc.s_regs < n then sc.s_regs <- Array.make (max n 8) unset;
+  let regs = sc.s_regs in
+  for i = 0 to n - 1 do
+    regs.(i) <- build_put frame puts.(i)
+  done;
+  regs
+
+(* Instantiates parallel-conjunction branches into an ordinary
+   {!Clause.body} (the parcall machinery consumes items, not code). *)
+let rec inst_bbody frame b : Clause.body = List.map (inst_bitem frame) b
+
+and inst_bitem frame = function
+  | B_call p -> Clause.Call (build_put frame p)
+  | B_par bodies -> Clause.Par (List.map (inst_bbody frame) bodies)
 
 (* ------------------------------------------------------------------ *)
 (* Listings (golden tests, debugging)                                  *)
@@ -428,6 +628,7 @@ let pp_instr ppf = function
   | U_int n -> Format.fprintf ppf "unify_int %d" n
   | U_var s -> Format.fprintf ppf "unify_var X%d" s
   | U_val s -> Format.fprintf ppf "unify_val X%d" s
+  | U_void -> Format.fprintf ppf "unify_void"
   | U_struct (f, n) ->
     Format.fprintf ppf "unify_struct %s/%d" (Symbol.name f) n
   | U_ground t -> Format.fprintf ppf "unify_ground %a" pp_term t
@@ -435,7 +636,8 @@ let pp_instr ppf = function
 
 let rec pp_put ppf = function
   | P_const t -> pp_term ppf t
-  | P_var s -> Format.fprintf ppf "X%d" s
+  | P_fresh s | P_val s -> Format.fprintf ppf "X%d" s
+  | P_void -> Format.fprintf ppf "_"
   | P_struct (f, ps) ->
     Format.fprintf ppf "%s(" (Symbol.name f);
     Array.iteri
@@ -444,6 +646,19 @@ let rec pp_put ppf = function
         pp_put ppf p)
       ps;
     Format.fprintf ppf ")"
+
+(* One register load.  The top-level put determines the mnemonic, WAM
+   style; nested puts render as terms with slots written X<n>. *)
+let pp_reg_put ppf i p =
+  match p with
+  | P_const (Term.Atom s) ->
+    Format.fprintf ppf "put_atom %s, A%d" (Symbol.name s) i
+  | P_const (Term.Int n) -> Format.fprintf ppf "put_int %d, A%d" n i
+  | P_const t -> Format.fprintf ppf "put_ground %a, A%d" pp_term t i
+  | P_fresh s -> Format.fprintf ppf "put_var X%d, A%d" s i
+  | P_val s -> Format.fprintf ppf "put_val X%d, A%d" s i
+  | P_void -> Format.fprintf ppf "put_void A%d" i
+  | P_struct _ -> Format.fprintf ppf "put_struct %a, A%d" pp_put p i
 
 let pp_listing ppf code =
   let depth = ref 0 in
@@ -469,6 +684,21 @@ let pp_listing ppf code =
             bodies)
       items
   in
-  pp_items "" code.c_body
+  Array.iter
+    (fun step ->
+      Array.iteri (fun i p -> Format.fprintf ppf "  %a@." (fun ppf -> pp_reg_put ppf i) p) step.s_puts;
+      match step.s_op with
+      | O_builtin s ->
+        Format.fprintf ppf "  builtin %s/%d@." (Symbol.name s)
+          (Array.length step.s_puts)
+      | O_call (s, trim) ->
+        Format.fprintf ppf "  call %s/%d, trim %d@." (Symbol.name s)
+          (Array.length step.s_puts) trim
+      | O_execute s ->
+        Format.fprintf ppf "  execute %s/%d@." (Symbol.name s)
+          (Array.length step.s_puts)
+      | O_goal p -> Format.fprintf ppf "  goal %a@." pp_put p
+      | O_par bodies -> pp_items "" [ B_par bodies ])
+    code.c_body
 
 let listing code = Format.asprintf "%a" pp_listing code

@@ -442,6 +442,67 @@ let lookup_code db call =
       | Some tree -> Some (walk_dtree tree (Term.deref call))
       | None -> lookup db call))
 
+(* ------------------------------------------------------------------ *)
+(* Register-rooted lookups                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The compiled body path calls with the goal's arguments spread in a
+   register file instead of packed in a [Term.Struct]: these variants
+   root the key computations at the register array.  [args] may be
+   longer than [arity] (a shared register buffer) — only the first
+   [arity] cells are the call. *)
+
+let call_key_at_args arity (args : Term.t array) (path : int array) =
+  let rec go t i =
+    match Term.deref t with
+    | Term.Var _ -> None
+    | t' when i >= Array.length path -> Some (key_of_term t')
+    | Term.Struct (_, cells) when path.(i) < Array.length cells ->
+      go cells.(path.(i)) (i + 1)
+    | _ -> None (* cannot descend; be conservative *)
+  in
+  if path.(0) < arity then go args.(path.(0)) 1 else None
+
+let rec walk_dtree_args tree arity args =
+  match tree with
+  | Dleaf clauses -> clauses
+  | Dswitch { d_path; d_cases; d_anys; d_all } -> (
+    match call_key_at_args arity args d_path with
+    | None | Some Kany -> d_all
+    | Some key -> (
+      match KeyTbl.find_opt d_cases key with
+      | Some sub -> walk_dtree_args sub arity args
+      | None -> d_anys))
+
+(* {!lookup} rooted at a register file. *)
+let lookup_args db sym arity (args : Term.t array) =
+  match find_pred_sym db sym arity with
+  | None -> None
+  | Some p ->
+    if arity = 0 then Some (all_clauses p)
+    else (
+      match key_of_term args.(0) with
+      | Kany -> Some (all_clauses p)
+      | key ->
+        (match KeyTbl.find_opt p.key_cache key with
+         | Some clauses -> Some clauses
+         | None -> (
+           match KeyTbl.find_opt p.buckets key with
+           | None -> (
+             match p.anys_cache with
+             | Some anys -> Some anys
+             | None -> Some (merge_desc [] p.anys))
+           | Some bucket -> Some (merge_desc bucket p.anys))))
+
+(* {!lookup_code} rooted at a register file. *)
+let lookup_code_args db sym arity (args : Term.t array) =
+  match find_pred_sym db sym arity with
+  | None -> None
+  | Some p -> (
+    match p.dtree with
+    | Some tree -> Some (walk_dtree_args tree arity args)
+    | None -> lookup_args db sym arity args)
+
 (* Precomputes every lookup result reachable from the current clause set,
    so subsequent lookups are pure reads — safe to share across domains
    (the next assert invalidates, so freeze again after updates).  Also

@@ -30,6 +30,16 @@ val lookup : t -> Ace_term.Term.t -> Clause.t list option
     shrink). *)
 val lookup_code : t -> Ace_term.Term.t -> Clause.t list option
 
+(** {!lookup} with the call spread in a register file (the compiled body
+    path never packs a [Term.Struct] for the call): [args] holds the
+    goal's arguments in its first [arity] cells and may be longer. *)
+val lookup_args :
+  t -> Ace_term.Symbol.t -> int -> Ace_term.Term.t array -> Clause.t list option
+
+(** {!lookup_code} rooted at a register file (see {!lookup_args}). *)
+val lookup_code_args :
+  t -> Ace_term.Symbol.t -> int -> Ace_term.Term.t array -> Clause.t list option
+
 (** Precomputes every {!lookup} result so later lookups are allocation-free
     pure reads (safe to share across domains).  Asserting invalidates the
     affected predicate; freeze again after updates.  Idempotent. *)

@@ -7,6 +7,9 @@
 type t = {
   mutable unify_steps : int;
   mutable code_instrs : int; (* compiled clause-code instructions executed *)
+  mutable env_allocs : int;
+    (* heap environments allocated for compiled bodies; 0 on a pure
+       scratch-frame (LCO) run *)
   mutable clause_tries : int;
   mutable builtin_calls : int;
   mutable trail_pushes : int;
@@ -43,12 +46,15 @@ type t = {
   (* outcomes *)
   mutable solutions : int;
   mutable stack_words : int;      (* cumulative control-stack allocation *)
+  mutable minor_words : int;      (* GC minor words allocated by the solve *)
+  mutable promoted_words : int;   (* GC words promoted to the major heap *)
 }
 
 let create () =
   {
     unify_steps = 0;
     code_instrs = 0;
+    env_allocs = 0;
     clause_tries = 0;
     builtin_calls = 0;
     trail_pushes = 0;
@@ -79,11 +85,14 @@ let create () =
     seq_hits = 0;
     solutions = 0;
     stack_words = 0;
+    minor_words = 0;
+    promoted_words = 0;
   }
 
 let merge_into ~into:a b =
   a.unify_steps <- a.unify_steps + b.unify_steps;
   a.code_instrs <- a.code_instrs + b.code_instrs;
+  a.env_allocs <- a.env_allocs + b.env_allocs;
   a.clause_tries <- a.clause_tries + b.clause_tries;
   a.builtin_calls <- a.builtin_calls + b.builtin_calls;
   a.trail_pushes <- a.trail_pushes + b.trail_pushes;
@@ -113,11 +122,14 @@ let merge_into ~into:a b =
   a.pdo_hits <- a.pdo_hits + b.pdo_hits;
   a.seq_hits <- a.seq_hits + b.seq_hits;
   a.solutions <- a.solutions + b.solutions;
-  a.stack_words <- a.stack_words + b.stack_words
+  a.stack_words <- a.stack_words + b.stack_words;
+  a.minor_words <- a.minor_words + b.minor_words;
+  a.promoted_words <- a.promoted_words + b.promoted_words
 
 let fields t =
   [ ("unify_steps", t.unify_steps);
     ("code_instrs", t.code_instrs);
+    ("env_allocs", t.env_allocs);
     ("clause_tries", t.clause_tries);
     ("builtin_calls", t.builtin_calls);
     ("trail_pushes", t.trail_pushes);
@@ -147,7 +159,9 @@ let fields t =
     ("pdo_hits", t.pdo_hits);
     ("seq_hits", t.seq_hits);
     ("solutions", t.solutions);
-    ("stack_words", t.stack_words) ]
+    ("stack_words", t.stack_words);
+    ("minor_words", t.minor_words);
+    ("promoted_words", t.promoted_words) ]
 
 (* Writes one named counter.  Must stay in sync with [fields]; the
    unknown-name case is reserved for forward compatibility of
@@ -156,6 +170,7 @@ let set_field t name v =
   match name with
   | "unify_steps" -> t.unify_steps <- v
   | "code_instrs" -> t.code_instrs <- v
+  | "env_allocs" -> t.env_allocs <- v
   | "clause_tries" -> t.clause_tries <- v
   | "builtin_calls" -> t.builtin_calls <- v
   | "trail_pushes" -> t.trail_pushes <- v
@@ -186,6 +201,8 @@ let set_field t name v =
   | "seq_hits" -> t.seq_hits <- v
   | "solutions" -> t.solutions <- v
   | "stack_words" -> t.stack_words <- v
+  | "minor_words" -> t.minor_words <- v
+  | "promoted_words" -> t.promoted_words <- v
   | _ -> ()
 
 let of_fields pairs =

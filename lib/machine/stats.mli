@@ -5,6 +5,10 @@ type t = {
   mutable code_instrs : int;
       (** compiled clause-code instructions executed (0 when
           interpreting) *)
+  mutable env_allocs : int;
+      (** heap environments allocated for compiled clause bodies; a
+          last-call-optimized recursion runs entirely in the reusable
+          scratch frame and keeps this at 0 *)
   mutable clause_tries : int;
   mutable builtin_calls : int;
   mutable trail_pushes : int;
@@ -37,6 +41,14 @@ type t = {
   mutable seq_hits : int;
   mutable solutions : int;
   mutable stack_words : int;
+  mutable minor_words : int;
+      (** GC minor-heap words allocated during the solve (measured as a
+          [Gc.minor_words] delta by the {!Ace_core.Engine} facade; on the
+          multi-domain engine only the joining domain's counter is
+          sampled, so treat multi-domain values as a lower bound) *)
+  mutable promoted_words : int;
+      (** GC words promoted to the major heap during the solve (same
+          measurement caveats as [minor_words]) *)
 }
 
 val create : unit -> t

@@ -91,3 +91,10 @@ let compare_op op x y =
   match Hashtbl.find_opt comparison (Symbol.id op) with
   | Some f -> f x y
   | None -> error "arithmetic: unknown comparison %s" (Symbol.name op)
+
+(* Operator lookups for the compiled-body fast path, which evaluates
+   put descriptors directly instead of building the expression term
+   (lib/core/builtins.ml). *)
+let unary_op sym = Hashtbl.find_opt unary (Symbol.id sym)
+let binary_op sym = Hashtbl.find_opt binary (Symbol.id sym)
+let comparison_op sym = Hashtbl.find_opt comparison (Symbol.id sym)

@@ -10,3 +10,11 @@ val eval : Term.t -> int
 
 (** [compare_op op x y] applies one of [< > =< >= =:= =\=] (by symbol). *)
 val compare_op : Symbol.t -> int -> int -> bool
+
+(** Operator table lookups, for callers that evaluate expression shapes
+    without building the term (the compiled-body fast path). *)
+val unary_op : Symbol.t -> (int -> int) option
+
+val binary_op : Symbol.t -> (int -> int -> int) option
+
+val comparison_op : Symbol.t -> (int -> int -> bool) option

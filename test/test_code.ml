@@ -39,32 +39,63 @@ let test_listing_ground () =
 
 let test_listing_deep () =
   (* nested structures open read/write-mode unify ranges closed by pop;
-     the list cell is ./2; X0 is the shared variable's frame slot *)
+     the list cell is ./2.  Frame slots are ordered by descending last
+     occurrence (environment trimming), so H and T — live until the
+     final call — get X0/X1 and the head-only X gets the last slot.  The
+     body loads the callee's arguments into registers and [execute]s it:
+     the last call drops the frame before the callee runs. *)
   check_listing "deep structure head"
     "p2(f(g(X), [H | T]), X) :- q(H, T)." "p2" 2
     (String.concat "\n"
        [ "  get_struct f/2, A0";
          "    unify_struct g/1";
-         "      unify_var X0";
-         "    pop";
-         "    unify_struct ./2";
-         "      unify_var X1";
          "      unify_var X2";
          "    pop";
+         "    unify_struct ./2";
+         "      unify_var X0";
+         "      unify_var X1";
+         "    pop";
          "  pop";
-         "  get_val X0, A1";
-         "  call q(X1,X2)";
+         "  get_val X2, A1";
+         "  put_val X0, A0";
+         "  put_val X1, A1";
+         "  execute q/2";
          "" ])
 
 let test_listing_arith () =
+  (* builtins dispatch straight from the registers — no goal term is
+     ever built for them, so the whole body runs on the scratch frame *)
   check_listing "arithmetic body"
     "s(N, F) :- N > 0, M is N - 1, F is M * 2." "s" 2
     (String.concat "\n"
-       [ "  get_var X0, A0";
-         "  get_var X1, A1";
-         "  call >(X0,0)";
-         "  call is(X2,-(X0,1))";
-         "  call is(X1,*(X2,2))";
+       [ "  get_var X2, A0";
+         "  get_var X0, A1";
+         "  put_val X2, A0";
+         "  put_int 0, A1";
+         "  builtin >/2";
+         "  put_var X1, A0";
+         "  put_struct -(X2,1), A1";
+         "  builtin is/2";
+         "  put_val X0, A0";
+         "  put_struct *(X1,2), A1";
+         "  builtin is/2";
+         "" ])
+
+let test_listing_chain () =
+  (* a non-final user call spills the frame: [call] carries the number of
+     slots still live after it — X2 (only occurrence in the head and the
+     first call) is trimmed away, X0/X1 survive to the last call *)
+  check_listing "chained calls"
+    "r(X, Y) :- q(X, Z), t(Z, Y)." "r" 2
+    (String.concat "\n"
+       [ "  get_var X2, A0";
+         "  get_var X0, A1";
+         "  put_val X2, A0";
+         "  put_var X1, A1";
+         "  call q/2, trim 2";
+         "  put_val X1, A0";
+         "  put_val X0, A1";
+         "  execute t/2";
          "" ])
 
 (* ------------------------------------------------------------------ *)
@@ -149,6 +180,46 @@ let test_mutation_hook () =
     "clearing the hook restores clean compilation" clean
     (Code.listing (Code.compile c))
 
+let test_mutation_body () =
+  (* the mutation point ordering visits body steps before head
+     instructions, so seed 0 must rewrite body code while leaving the
+     head untouched — this is what keeps the differential checker's
+     must-fail smoke sensitive to the body compiler *)
+  let c = clause_of "r(X, Y) :- q(X, Z), t(Z, Y)." "r" 2 0 in
+  let clean = Code.listing (Code.compile c) in
+  let head_lines s =
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> String.length l > 4 && l.[2] = 'g' (* get_* *))
+  in
+  Fun.protect
+    ~finally:(fun () -> Code.mutation := None)
+    (fun () ->
+      Code.mutation := Some 0;
+      let mutated = Code.listing (Code.compile c) in
+      Alcotest.(check bool)
+        "seed 0 rewrites a body step" true (clean <> mutated);
+      Alcotest.(check (list string))
+        "head instructions untouched" (head_lines clean) (head_lines mutated))
+
+(* ------------------------------------------------------------------ *)
+(* Last-call optimization                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_lco_constant_space () =
+  (* a determinate recursion whose body is builtins + a final call runs
+     entirely on the reusable scratch frame: tens of thousands of
+     iterations must allocate zero environments (and, incidentally, no
+     choice points until the base case) *)
+  let program = "count(0). count(N) :- N > 0, M is N - 1, count(M)." in
+  let r =
+    Engine.solve_program Engine.Sequential compiled ~program
+      ~query:"count(20000) ."
+  in
+  Alcotest.(check int) "one solution" 1 (List.length r.Engine.solutions);
+  Alcotest.(check int)
+    "no environment allocated over 20k iterations" 0
+    r.Engine.stats.Ace_machine.Stats.env_allocs
+
 (* ------------------------------------------------------------------ *)
 (* Compiled = interpreted (property)                                   *)
 (* ------------------------------------------------------------------ *)
@@ -171,8 +242,12 @@ let suite =
     Alcotest.test_case "listing: ground argument" `Quick test_listing_ground;
     Alcotest.test_case "listing: deep structure" `Quick test_listing_deep;
     Alcotest.test_case "listing: arithmetic body" `Quick test_listing_arith;
+    Alcotest.test_case "listing: chained calls" `Quick test_listing_chain;
     Alcotest.test_case "dispatch: candidate counts" `Quick test_dispatch_counts;
     Alcotest.test_case "dispatch: solutions unchanged" `Quick
       test_dispatch_solutions;
     Alcotest.test_case "mutation hook" `Quick test_mutation_hook;
+    Alcotest.test_case "mutation: body code" `Quick test_mutation_body;
+    Alcotest.test_case "lco: constant environment space" `Quick
+      test_lco_constant_space;
     equivalence_prop ]
