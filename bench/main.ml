@@ -241,16 +241,154 @@ let alloc_run ~record () =
            regressions;
          exit 1)
 
+(* `profile`: run the seq-core suite on the compiled sequential engine
+   under the per-predicate profiler, assert the known top-1 hotspot per
+   benchmark, and measure profiler overhead two ways: enabled vs
+   disabled in this process, and disabled vs the pinned wall times in
+   BENCH_seq_core.json.  The hooks compile to a load and a branch when
+   profiling is off, so the disabled delta must stay within wall-clock
+   noise (< 2%% target on the geomean). *)
+module Prof = Ace_obs.Prof
+module Json = Ace_obs.Json
+
+(* Known hotspots, pinned: the top-ranked user predicate by exclusive
+   cost.  A benchmark absent from this table is printed but not
+   asserted. *)
+let profile_expected =
+  [ ("queen1", [ "noatt/3" ]);
+    ("queen2", [ "noatt/3" ]);
+    ("puzzle", [ "sel/3" ]);
+    ("members", [ "member/2" ]);
+    ("maps", [ "color/1"; "next/2" ]);
+    ("pderiv", [ "d/2" ]);
+    ("matrix", [ "dot/3"; "mult/3" ]);
+    ("hanoi", [ "app/3"; "hanoi/5" ]);
+    ("takeuchi", [ "tak/4" ]);
+    ("bt_cluster", [ "cluster/3" ]);
+    ("quick_sort", [ "qsort/2"; "part/4" ]) ]
+
+let profile_size b =
+  if b.Programs.name = "pderiv" then 4 * b.Programs.default_size
+  else b.Programs.default_size
+
+let profile_config = { Config.default with Config.agents = 1; compile = true }
+
+let profile_run () =
+  let failures = ref [] in
+  let fail fmt = Format.kasprintf (fun s -> failures := s :: !failures) fmt in
+  List.iter
+    (fun name ->
+      let b = Programs.find name in
+      let size = profile_size b in
+      let program = b.Programs.program size and query = b.Programs.query size in
+      let prof = Prof.create () in
+      ignore
+        (Engine.solve_program ~prof Engine.Sequential profile_config ~program
+           ~query);
+      match Prof.top_hotspot prof with
+      | None -> fail "%s: empty profile" name
+      | Some row ->
+        Format.printf "%-12s hotspot %-16s %9d calls %12d cycles@." name
+          row.Prof.r_name row.Prof.r_calls row.Prof.r_cycles;
+        (match List.assoc_opt name profile_expected with
+         | Some allowed when not (List.mem row.Prof.r_name allowed) ->
+           fail "%s: hotspot %s, expected one of [%s]" name row.Prof.r_name
+             (String.concat "; " allowed)
+         | _ -> ()))
+    Ace_harness.Extras.seq_core_benchmarks;
+  (* Enabled-vs-disabled overhead, best-of-5 in this process. *)
+  let measure ~profiled name =
+    let b = Programs.find name in
+    let size = profile_size b in
+    let program = b.Programs.program size and query = b.Programs.query size in
+    let p = Ace_lang.Program.consult_string program in
+    let q = Ace_lang.Program.parse_query query in
+    let db = Ace_lang.Program.db p in
+    Ace_lang.Database.freeze db;
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      Gc.full_major ();
+      let prof = if profiled then Prof.create () else Prof.disabled in
+      let t0 = Unix.gettimeofday () in
+      ignore
+        (Engine.solve ~prof Engine.Sequential profile_config db
+           q.Ace_lang.Program.goal);
+      let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+      if ms < !best then best := ms
+    done;
+    !best
+  in
+  let overhead_benchmarks = [ "queen1"; "takeuchi"; "quick_sort" ] in
+  let log_sum = ref 0. in
+  List.iter
+    (fun name ->
+      let off = measure ~profiled:false name in
+      let on = measure ~profiled:true name in
+      log_sum := !log_sum +. log (on /. off);
+      Format.printf "%-12s disabled %8.3f ms   enabled %8.3f ms   x%.3f@."
+        name off on (on /. off))
+    overhead_benchmarks;
+  Format.printf "profiler-enabled overhead geomean: x%.3f@."
+    (exp (!log_sum /. float_of_int (List.length overhead_benchmarks)));
+  (* Disabled wall clock vs the pinned baseline recording. *)
+  (match In_channel.with_open_text "BENCH_seq_core.json" In_channel.input_all with
+   | exception Sys_error _ ->
+     Format.printf "no BENCH_seq_core.json; skipping the baseline comparison@."
+   | text -> (
+     let baseline =
+       match Json.parse text with
+       | Error _ -> []
+       | Ok doc ->
+         let rows =
+           Option.bind (Json.member "rows" doc) Json.to_list
+           |> Option.value ~default:[]
+         in
+         List.filter_map
+           (fun row ->
+             match
+               ( Json.member "benchmark" row,
+                 Json.member "engine" row,
+                 Json.member "wall_ms" row )
+             with
+             | Some (Json.Str b), Some (Json.Str "seq/c"), Some (Json.Num w) ->
+               Some (b, w)
+             | _ -> None)
+           rows
+     in
+     match baseline with
+     | [] -> Format.printf "BENCH_seq_core.json has no seq/c rows; skipping@."
+     | baseline ->
+       let log_sum = ref 0. and n = ref 0 in
+       List.iter
+         (fun (name, base_ms) ->
+           let now_ms = measure ~profiled:false name in
+           log_sum := !log_sum +. log (now_ms /. base_ms);
+           incr n)
+         baseline;
+       let geo = exp (!log_sum /. float_of_int !n) in
+       Format.printf
+         "disabled-profiler geomean vs BENCH_seq_core.json (seq/c): x%.3f \
+          (target < 1.02)@."
+         geo;
+       if geo > 1.15 then
+         fail "disabled-profiler wall clock regressed x%.3f vs baseline" geo));
+  match !failures with
+  | [] -> Format.printf "profile: all hotspot assertions passed@."
+  | fs ->
+    List.iter (fun f -> Format.eprintf "profile: %s@." f) (List.rev fs);
+    exit 1
+
 (* `fuzz [count=N] [seed=N] [schedules=N]`: differential-fuzz throughput —
    run the lib/check oracle over N generated cases and report cases/sec;
    exits 1 on any cross-engine discrepancy, so it doubles as a deep
    correctness sweep. *)
-let fuzz_run ~count ~seed ~schedules =
-  Format.printf "fuzz: %d cases from seed %d, %d chaos schedules@." count seed
-    schedules;
+let fuzz_run ~count ~seed ~schedules ~profile_all =
+  Format.printf "fuzz: %d cases from seed %d, %d chaos schedules%s@." count
+    seed schedules
+    (if profile_all then ", profiler on every row" else "");
   let t0 = Unix.gettimeofday () in
   let report =
-    Ace_check.Fuzz.run ~count ~seed ~schedules
+    Ace_check.Fuzz.run ~count ~seed ~schedules ~profile_all
       ~log:(Format.eprintf "fuzz: %s@.")
       ()
   in
@@ -276,7 +414,12 @@ let () =
   in
   if has "fuzz" then
     fuzz_run ~count:(keyed "count" 200) ~seed:(keyed "seed" 0)
-      ~schedules:(keyed "schedules" 2);
+      ~schedules:(keyed "schedules" 2)
+      ~profile_all:(keyed "profile_all" 0 <> 0);
+  if has "profile" then begin
+    profile_run ();
+    exit 0
+  end;
   if has "seq_core" then begin
     seq_core_run ~record:(has "record") ();
     exit 0

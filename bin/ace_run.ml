@@ -11,6 +11,7 @@ module Engine = Ace_core.Engine
 module Program = Ace_lang.Program
 module Trace = Ace_obs.Trace
 module Metrics = Ace_obs.Metrics
+module Prof = Ace_obs.Prof
 
 let read_stdin () =
   let buf = Buffer.create 4096 in
@@ -73,7 +74,8 @@ let run_check ~count ~seed ~schedules ~chaos_spec ~mutate =
 let run check check_count check_seed check_schedules check_chaos check_mutate
     check_code_mutate source query engine agents compile lpco lao spo pdo all
     par_and gc grain chunk limit show_stats verbose_stats annotate trace_file
-    trace_jsonl trace_buf stats_json utilization =
+    trace_jsonl trace_buf stats_json utilization profile profile_json
+    profile_folded =
   (match check_code_mutate with
    | Some k -> Ace_lang.Code.mutation := Some k
    | None -> ());
@@ -131,8 +133,12 @@ let run check check_count check_seed check_schedules check_chaos check_mutate
         if tracing then Trace.create ~capacity:trace_buf ()
         else Trace.disabled
       in
+      let profiling =
+        profile || profile_json <> None || profile_folded <> None
+      in
+      let prof = if profiling then Prof.create () else Prof.disabled in
       let t0 = Unix.gettimeofday () in
-      let result = Engine.solve ~trace kind config db q.Program.goal in
+      let result = Engine.solve ~trace ~prof kind config db q.Program.goal in
       let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
       List.iteri
         (fun i solution ->
@@ -170,6 +176,13 @@ let run check check_count check_seed check_schedules check_chaos check_mutate
        | None -> ());
       (match trace_jsonl with
        | Some path -> write_file path (Trace.to_jsonl trace)
+       | None -> ());
+      if profile then print_string (Prof.report prof);
+      (match profile_json with
+       | Some path -> write_file path (Ace_obs.Json.to_string (Prof.to_json prof))
+       | None -> ());
+      (match profile_folded with
+       | Some path -> write_file path (Prof.to_folded prof)
        | None -> ());
       0
     with
@@ -225,6 +238,9 @@ let groups =
         ("trace-buf N", "per-agent trace ring capacity");
         ("stats-json FILE", "statistics as JSON (totals + shards)");
         ("utilization", "per-agent busy/idle table");
+        ("profile", "per-predicate 4-port profile table");
+        ("profile-json FILE", "per-predicate profile as JSON");
+        ("profile-folded FILE", "folded stacks for flamegraph tooling");
       ] );
     ( g_check,
       [
@@ -460,7 +476,20 @@ let cmd =
                      histograms.")
       $ flag ~docs:g_obs [ "utilization" ]
           "Print the per-agent utilization table (busy/idle fractions, \
-           tasks, steals, copies).")
+           tasks, steals, copies)."
+      $ flag ~docs:g_obs [ "profile" ]
+          "Per-predicate profiling: print the ranked hotspot table (4-port \
+           call/exit/redo/fail counters plus exclusive instruction, \
+           clause-try, cycle and allocation costs)."
+      $ Arg.(value & opt (some string) None & info [ "profile-json" ]
+               ~docv:"FILE" ~docs:g_obs
+               ~doc:"Write the per-predicate profile (counters, costs and \
+                     call-graph edges) to FILE as JSON.")
+      $ Arg.(value & opt (some string) None & info [ "profile-folded" ]
+               ~docv:"FILE" ~docs:g_obs
+               ~doc:"Write folded call stacks ('a;b;c COST' lines, exclusive \
+                     cycles per calling context) to FILE, directly \
+                     consumable by flamegraph.pl or speedscope."))
 
 let () =
   check_argv ();

@@ -49,8 +49,14 @@ let pp_outcome ppf o =
 
 (* ------------------------------------------------------------------ *)
 
-let run_engine ?chaos kind config ~program ~query =
-  match Engine.solve_program ?chaos kind config ~program ~query with
+let run_engine ?chaos ?(profiled = false) kind config ~program ~query =
+  (* a fresh enabled profile per run: profiling must observe without
+     perturbing, so a profiled row's solutions are compared like any
+     other's *)
+  let prof =
+    if profiled then Ace_obs.Prof.create () else Ace_obs.Prof.disabled
+  in
+  match Engine.solve_program ?chaos ~prof kind config ~program ~query with
   | r -> Solutions (Canon.multiset r.Engine.solutions)
   | exception Ace_core.Errors.Engine_error m -> Error m
   | exception Ace_term.Arith.Error m -> Error ("arith: " ^ m)
@@ -105,6 +111,11 @@ let matrix ?extra_chaos ~seed ~schedules () =
        { andor4 with Config.spo = false }, None);
     ]
   in
+  (* one always-profiled row: profiling must never perturb solutions *)
+  let profiled_row =
+    [ ("par@4 compiled profiled", Engine.Par_or,
+       { andor4 with Config.compile = true }, None) ]
+  in
   let sched =
     List.concat
       (List.init schedules (fun k ->
@@ -130,9 +141,10 @@ let matrix ?extra_chaos ~seed ~schedules () =
         ("par@4 replay", Engine.Par_or, all4, Some c);
       ]
   in
-  fixed @ sched @ extra
+  (fixed @ sched @ extra, profiled_row)
 
-let check ?(schedules = 2) ?mutation ?extra_chaos (case : Gen_prog.t) =
+let check ?(schedules = 2) ?mutation ?extra_chaos ?(profile_all = false)
+    (case : Gen_prog.t) =
   let program = Gen_prog.program_text case in
   let query = Gen_prog.query_text case in
   let mutated_program kind =
@@ -151,12 +163,19 @@ let check ?(schedules = 2) ?mutation ?extra_chaos (case : Gen_prog.t) =
   | Solutions ss when List.length ss > solution_cap ->
     Skip (Printf.sprintf "more than %d solutions" solution_cap)
   | _ ->
-    let runs = matrix ?extra_chaos ~seed:case.Gen_prog.seed ~schedules () in
+    let plain, profiled =
+      matrix ?extra_chaos ~seed:case.Gen_prog.seed ~schedules ()
+    in
+    let runs =
+      List.map (fun (l, k, c, ch) -> (l, k, c, ch, profile_all)) plain
+      @ List.map (fun (l, k, c, ch) -> (l, k, c, ch, true)) profiled
+    in
     let rec go n = function
       | [] -> Agree n
-      | (label, kind, config, chaos) :: rest -> (
+      | (label, kind, config, chaos, profiled) :: rest -> (
         let got =
-          run_engine ?chaos kind config ~program:(mutated_program kind) ~query
+          run_engine ?chaos ~profiled kind config
+            ~program:(mutated_program kind) ~query
         in
         if agrees ~reference got then go (n + 1) rest
         else
@@ -174,7 +193,7 @@ let check ?(schedules = 2) ?mutation ?extra_chaos (case : Gen_prog.t) =
     go 1 runs
 
 (* True when the case still FAILS the oracle — the shrinker's property. *)
-let fails ?schedules ?mutation ?extra_chaos case =
-  match check ?schedules ?mutation ?extra_chaos case with
+let fails ?schedules ?mutation ?extra_chaos ?profile_all case =
+  match check ?schedules ?mutation ?extra_chaos ?profile_all case with
   | Disagree _ -> true
   | Agree _ | Skip _ -> false

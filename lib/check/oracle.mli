@@ -27,6 +27,7 @@ val pp_outcome : Format.formatter -> outcome -> unit
     [Error]. *)
 val run_engine :
   ?chaos:Ace_sched.Chaos.t ->
+  ?profiled:bool ->
   Ace_core.Engine.kind ->
   Ace_machine.Config.t ->
   program:string ->
@@ -39,11 +40,16 @@ val run_engine :
     [schedules] seeded chaos schedules per parallel engine (derived from
     the case seed, so counterexamples replay from the printed pair).
     [extra_chaos] appends one run per engine under exactly that spec —
-    counterexample replay from a printed [--check-chaos] line. *)
+    counterexample replay from a printed [--check-chaos] line.
+
+    One matrix row always runs with the per-predicate profiler enabled;
+    [profile_all] enables it on {e every} row — profiling must never
+    perturb the solution multiset. *)
 val check :
   ?schedules:int ->
   ?mutation:mutation ->
   ?extra_chaos:Ace_sched.Chaos.t ->
+  ?profile_all:bool ->
   Gen_prog.t ->
   verdict
 
@@ -52,5 +58,6 @@ val fails :
   ?schedules:int ->
   ?mutation:mutation ->
   ?extra_chaos:Ace_sched.Chaos.t ->
+  ?profile_all:bool ->
   Gen_prog.t ->
   bool

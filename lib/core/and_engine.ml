@@ -45,6 +45,7 @@ module Config = Ace_machine.Config
 module Sim = Ace_sched.Sim
 module Chaos = Ace_sched.Chaos
 module Trace = Ace_obs.Trace
+module Prof = Ace_obs.Prof
 
 type acp = {
   a_goal : Term.t;
@@ -122,6 +123,7 @@ type t = {
   ctx : Builtins.ctx; (* trail field is unused; per-exec trails are passed *)
   agents : agent_state array;
   scratches : Code.scratch array; (* per-agent frame buffer + registers *)
+  pshards : Prof.shard array; (* per-agent profiler shards *)
   mutable pool : frame list; (* frames that may have free slots, oldest first *)
   mutable frame_counter : int;
   mutable finished : bool;
@@ -150,6 +152,7 @@ let cur st =
   if c < 0 then 0 else c
 
 let shard st = st.shards.(cur st)
+let psh st = st.pshards.(cur st)
 
 let tbuf st = st.tbufs.(cur st)
 
@@ -189,6 +192,7 @@ module K = Kernel.Resolver (struct
   (* One scratch per simulated agent: a context switch at a tick can
      never hand one agent's half-loaded registers to another. *)
   let scratch st = st.scratches.(cur st)
+  let prof = psh
 end)
 
 let charge_bt_node st =
@@ -383,9 +387,11 @@ and exec_backtrack st agent exec : bool =
     charge_bt_node st;
     match cp.a_alts with
     | [] ->
+      if Prof.live (psh st) then Prof.fail (psh st) (Prof.key_of_term cp.a_goal);
       exec.x_stack <- below;
       exec_backtrack st agent exec
     | clause :: alts ->
+      if Prof.live (psh st) then Prof.redo (psh st) (Prof.key_of_term cp.a_goal);
       K.untrail st exec.x_trail cp.a_trail;
       charge st st.cost.Cost.cp_restore;
       if alts = [] then exec.x_stack <- below
@@ -481,6 +487,10 @@ and alloc_frame st agent exec bodies rest =
   charge st (st.cost.Cost.frame_alloc + (n * st.cost.Cost.slot_init));
   (shard st).Stats.frames <- (shard st).Stats.frames + 1;
   (shard st).Stats.slots <- (shard st).Stats.slots + n;
+  (if Prof.live (psh st) then begin
+     Prof.slots (psh st) n;
+     Prof.spawned (psh st) n
+   end);
   (shard st).Stats.stack_words <-
     (shard st).Stats.stack_words + Cost.words_frame_base + (n * Cost.words_per_slot);
   let depth =
@@ -520,6 +530,10 @@ and splice_slots st frame ~after_slot bodies =
   let k = List.length bodies in
   charge st (k * st.cost.Cost.slot_init);
   (shard st).Stats.slots <- (shard st).Stats.slots + k;
+  (if Prof.live (psh st) then begin
+     Prof.slots (psh st) k;
+     Prof.spawned (psh st) k
+   end);
   (shard st).Stats.stack_words <-
     (shard st).Stats.stack_words + (k * Cost.words_per_slot);
   (* the delegator's index is read *after* the tick above: a concurrent
@@ -658,6 +672,10 @@ and steal st agent =
    | Some slot ->
      charge st ((!visited * st.cost.Cost.steal_poll) + st.cost.Cost.steal_grab);
      (shard st).Stats.steals <- (shard st).Stats.steals + 1;
+     (if Prof.live (psh st) then
+        match slot.sl_body with
+        | Clause.Call g :: _ -> Prof.stole (psh st) (Prof.key_of_term g)
+        | _ -> ());
      record_ev st Trace.Steal slot.sl_frame.f_owner
    | None -> charge st (max 1 !visited * st.cost.Cost.steal_poll));
   result
@@ -864,24 +882,34 @@ let root_body st () =
   Sim.stop st.sim
 
 let create ?output ?(trace = Trace.disabled) ?(chaos = Chaos.disabled)
-    (config : Config.t) db goal =
+    ?(prof = Prof.disabled) (config : Config.t) db goal =
   let config = Config.validate config in
   let sim = Sim.create ~max_steps:3_000_000 () in
   let agents =
     Array.init config.Config.agents (fun i ->
         { ag_id = i; ag_last_done = None; ag_pending_end = None })
   in
+  let shards = Array.init config.Config.agents (fun _ -> Stats.create ()) in
+  let pshards =
+    Array.init config.Config.agents (fun i ->
+        if Prof.enabled prof then
+          Prof.shard prof ~dom:i ~stats:shards.(i)
+            ~clock:(fun () -> Sim.now sim)
+            ()
+        else Prof.null)
+  in
   {
     db;
     config;
     cost = config.Config.cost;
-    shards = Array.init config.Config.agents (fun _ -> Stats.create ());
+    shards;
     tbufs = Array.init config.Config.agents (fun i -> Trace.buffer trace ~dom:i);
     chaos = Array.init config.Config.agents (fun i -> Chaos.agent chaos i);
     sim;
     ctx = Builtins.make_ctx ?output ~trail:(Trail.create ()) ();
     agents;
     scratches = Array.init config.Config.agents (fun _ -> Code.create_scratch ());
+    pshards;
     pool = [];
     frame_counter = 0;
     finished = false;
@@ -910,5 +938,5 @@ let run st =
     time = Sim.stop_time st.sim;
   }
 
-let solve ?output ?trace ?chaos config db goal =
-  run (create ?output ?trace ?chaos config db goal)
+let solve ?output ?trace ?chaos ?prof config db goal =
+  run (create ?output ?trace ?chaos ?prof config db goal)

@@ -32,11 +32,17 @@ type result = {
     injection for the correctness checker: seeded schedule jitter on the
     simulated engines, steal-failure / publish-delay / forced-preemption
     on [Par_or].  Faults only reorder or delay work — the solution
-    multiset must not depend on the chaos seed. *)
+    multiset must not depend on the chaos seed.
+
+    [prof] (default {!Ace_obs.Prof.disabled}) attaches the per-predicate
+    profiler: 4-port counters, exclusive cost attribution and call-graph
+    edges, sharded per agent/domain.  Profiling observes the run without
+    perturbing it — solutions are unchanged. *)
 val solve :
   ?output:Buffer.t ->
   ?trace:Ace_obs.Trace.t ->
   ?chaos:Ace_sched.Chaos.t ->
+  ?prof:Ace_obs.Prof.t ->
   kind ->
   Ace_machine.Config.t ->
   Ace_lang.Database.t ->
@@ -48,6 +54,7 @@ val solve_program :
   ?output:Buffer.t ->
   ?trace:Ace_obs.Trace.t ->
   ?chaos:Ace_sched.Chaos.t ->
+  ?prof:Ace_obs.Prof.t ->
   kind ->
   Ace_machine.Config.t ->
   program:string ->

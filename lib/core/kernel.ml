@@ -13,6 +13,7 @@ module Database = Ace_lang.Database
 module Cost = Ace_machine.Cost
 module Stats = Ace_machine.Stats
 module Config = Ace_machine.Config
+module Prof = Ace_obs.Prof
 
 module type SCHEDULER = sig
   type t
@@ -22,6 +23,7 @@ module type SCHEDULER = sig
   val stats : t -> Stats.t
   val charge : t -> int -> unit
   val scratch : t -> Code.scratch
+  val prof : t -> Prof.shard
 end
 
 type cls =
@@ -151,6 +153,12 @@ module Resolver (S : SCHEDULER) = struct
     stats.Stats.builtin_calls <- stats.Stats.builtin_calls + 1;
     stats.Stats.unify_steps <- stats.Stats.unify_steps + steps;
     stats.Stats.trail_pushes <- stats.Stats.trail_pushes + pushed;
+    let psh = S.prof s in
+    (if Prof.live psh then
+       match outcome with
+       | Builtins.Ok -> Prof.builtin psh (Prof.key_of_term goal) ~ok:true
+       | Builtins.Fail -> Prof.builtin psh (Prof.key_of_term goal) ~ok:false
+       | Builtins.Not_builtin -> ());
     outcome
 
   let untrail s trail mark =
@@ -198,8 +206,17 @@ module Resolver (S : SCHEDULER) = struct
     let steps0 = !(ctx.Builtins.steps)
     and arith0 = !(ctx.Builtins.arith_nodes) in
     let trail0 = Trail.size ctx.Builtins.trail in
-    builtin_epilogue s ctx steps0 arith0 trail0
-      (Builtins.call_args ctx sym arity args)
+    let outcome =
+      builtin_epilogue s ctx steps0 arith0 trail0
+        (Builtins.call_args ctx sym arity args)
+    in
+    let psh = S.prof s in
+    (if Prof.live psh then
+       match outcome with
+       | Builtins.Ok -> Prof.builtin psh (Prof.key sym arity) ~ok:true
+       | Builtins.Fail -> Prof.builtin psh (Prof.key sym arity) ~ok:false
+       | Builtins.Not_builtin -> ());
+    outcome
 
   (* A compiled body step's builtin: arithmetic ([is/2], comparisons)
      evaluates the put descriptors directly against the frame — no
@@ -217,14 +234,26 @@ module Resolver (S : SCHEDULER) = struct
       | Some outcome -> outcome
       | None -> Builtins.call_args ctx sym arity (Code.load_regs sc frame puts)
     in
-    builtin_epilogue s ctx steps0 arith0 trail0 outcome
+    let outcome = builtin_epilogue s ctx steps0 arith0 trail0 outcome in
+    let psh = S.prof s in
+    (if Prof.live psh then
+       match outcome with
+       | Builtins.Ok -> Prof.builtin psh (Prof.key sym arity) ~ok:true
+       | Builtins.Fail -> Prof.builtin psh (Prof.key sym arity) ~ok:false
+       | Builtins.Not_builtin -> ());
+    outcome
 
   let try_clause s ~trail goal clause =
     S.charge s (S.cost s).Cost.clause_try;
     (S.stats s).Stats.clause_tries <- (S.stats s).Stats.clause_tries + 1;
     let head, fresh = Clause.rename_head clause in
-    if charged_unify s ~trail head goal then
-      R_body (Clause.rename_body clause fresh)
+    if charged_unify s ~trail head goal then begin
+      let body = Clause.rename_body clause fresh in
+      (if body = [] then
+         let psh = S.prof s in
+         if Prof.live psh then Prof.exit_key psh (Prof.key_of_term goal));
+      R_body body
+    end
     else R_fail
 
   (* Runs a scratch-eligible body (builtins plus at most a final
@@ -316,8 +345,16 @@ module Resolver (S : SCHEDULER) = struct
       untrail s trail mark;
       R_fail
     end
-    else if code.Code.c_scratch then
-      run_scratch_body s ~ctx ~trail ~mark code sc frame 0
+    else if code.Code.c_scratch then begin
+      let r = run_scratch_body s ~ctx ~trail ~mark code sc frame 0 in
+      (match r with
+      | R_body [] ->
+        let psh = S.prof s in
+        if Prof.live psh then
+          Prof.exit_key psh (Prof.key_of_term clause.Clause.head)
+      | R_fail | R_body _ | R_exec _ -> ());
+      r
+    end
     else
       R_body
         [ Clause.Exec
@@ -352,7 +389,11 @@ module Resolver (S : SCHEDULER) = struct
     let sc = S.scratch s in
     let cost = S.cost s and stats = S.stats s in
     let rec go pc =
-      if pc >= Array.length body then Ex_done
+      if pc >= Array.length body then begin
+        let psh = S.prof s in
+        if Prof.live psh then Prof.exit_top psh;
+        Ex_done
+      end
       else begin
         let step = body.(pc) in
         let nput = Array.length step.Code.s_puts in
@@ -397,22 +438,40 @@ module Resolver (S : SCHEDULER) = struct
      deep-indexing dispatch tree, the interpreted path through classic
      first-argument indexing. *)
   let select s ~compiled db goal =
-    if not compiled then lookup s db goal
-    else begin
-      S.charge s (S.cost s).Cost.index_lookup;
-      match Database.lookup_code db goal with
-      | Some clauses -> clauses
-      | None -> existence goal
-    end
+    let clauses =
+      if not compiled then lookup s db goal
+      else begin
+        S.charge s (S.cost s).Cost.index_lookup;
+        match Database.lookup_code db goal with
+        | Some clauses -> clauses
+        | None -> existence goal
+      end
+    in
+    let psh = S.prof s in
+    (if Prof.live psh then begin
+       let k = Prof.key_of_term goal in
+       Prof.call psh k;
+       if clauses = [] then Prof.fail psh k
+     end);
+    clauses
 
   (* Clause selection for a register call (compiled path only): walks
      the dispatch tree rooted at the register file, so determinate
      recursion selects its one clause without a goal term existing. *)
   let select_args s db sym arity args =
     S.charge s (S.cost s).Cost.index_lookup;
-    match Database.lookup_code_args db sym arity args with
-    | Some clauses -> clauses
-    | None -> Errors.existence_error (Symbol.name sym) arity
+    let clauses =
+      match Database.lookup_code_args db sym arity args with
+      | Some clauses -> clauses
+      | None -> Errors.existence_error (Symbol.name sym) arity
+    in
+    let psh = S.prof s in
+    (if Prof.live psh then begin
+       let k = Prof.key sym arity in
+       Prof.call psh k;
+       if clauses = [] then Prof.fail psh k
+     end);
+    clauses
 
   let unsupported _s g =
     Errors.error "control construct %s not supported inside %s"

@@ -50,6 +50,12 @@ module type SCHEDULER = sig
       accessors describe: one per simulated agent / per domain, so a
       simulated context switch at a [charge] point can never hand one
       agent's half-used registers to another. *)
+
+  val prof : t -> Ace_obs.Prof.shard
+  (** The current context's profiler shard ({!Ace_obs.Prof.null} when
+      profiling is off — every kernel hook is then a load and a
+      branch).  Same single-writer discipline as [stats] and
+      [scratch]. *)
 end
 
 (** Goal classification shared by every dispatch loop.  Constructors

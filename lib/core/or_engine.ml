@@ -40,6 +40,7 @@ module Config = Ace_machine.Config
 module Sim = Ace_sched.Sim
 module Chaos = Ace_sched.Chaos
 module Trace = Ace_obs.Trace
+module Prof = Ace_obs.Prof
 
 type ocp = {
   mutable o_goal : Term.t;
@@ -65,6 +66,7 @@ type t = {
   sim : Sim.t;
   workers : worker array;
   scratches : Code.scratch array; (* per-agent frame buffer + registers *)
+  pshards : Prof.shard array; (* per-agent profiler shards *)
   goal : Term.t;
   output : Buffer.t option;
   mutable finished : bool;
@@ -83,6 +85,7 @@ let cur st =
   if c < 0 then 0 else c
 
 let shard st = st.shards.(cur st)
+let psh st = st.pshards.(cur st)
 
 let tbuf st = st.tbufs.(cur st)
 
@@ -111,6 +114,7 @@ module K = Kernel.Resolver (struct
   (* One scratch per simulated agent: a context switch at a tick can
      never hand one agent's half-loaded registers to another. *)
   let scratch st = st.scratches.(cur st)
+  let prof = psh
 end)
 
 (* ------------------------------------------------------------------ *)
@@ -143,6 +147,7 @@ let copy_state st ~victim ~thief =
   charge st (st.cost.Cost.copy_setup + (!cells * st.cost.Cost.copy_cell));
   (shard st).Stats.copies <- (shard st).Stats.copies + 1;
   (shard st).Stats.copied_cells <- (shard st).Stats.copied_cells + !cells;
+  if Prof.live (psh st) then Prof.copied (psh st) !cells;
   record st Trace.Copy !cells
 
 (* ------------------------------------------------------------------ *)
@@ -309,10 +314,12 @@ and backtrack st w =
       (shard st).Stats.bt_nodes_visited <- (shard st).Stats.bt_nodes_visited + 1;
       match !(cp.o_alts) with
       | [] ->
+        if Prof.live (psh st) then Prof.fail (psh st) (Prof.key_of_term cp.o_goal);
         w.w_cps <- below;
         backtrack st w
       | clause :: alts ->
         if !debug then Format.eprintf "[w%d] retry %s@." w.w_id (Ace_term.Pp.to_string cp.o_goal);
+        if Prof.live (psh st) then Prof.redo (psh st) (Prof.key_of_term cp.o_goal);
         cp.o_alts := alts;
         K.untrail st w.w_trail cp.o_trail;
         charge st st.cost.Cost.cp_restore;
@@ -377,6 +384,11 @@ let try_steal st (w : worker) =
                claimed work and declare premature exhaustion. *)
             let claimed_ref = target.o_alts in
             claimed_ref := alts;
+            (if Prof.live (psh st) then begin
+               let k = Prof.key_of_term target.o_goal in
+               Prof.stole (psh st) k;
+               Prof.redo (psh st) k
+             end);
             if w.w_idle then begin
               w.w_idle <- false;
               st.idle_count <- st.idle_count - 1
@@ -463,23 +475,33 @@ type result = {
 }
 
 let create ?output ?(trace = Trace.disabled) ?(chaos = Chaos.disabled)
-    (config : Config.t) db goal =
+    ?(prof = Prof.disabled) (config : Config.t) db goal =
   let config = Config.validate config in
   let sim = Sim.create ~max_steps:3_000_000 () in
   let workers =
     Array.init config.Config.agents (fun i ->
         { w_id = i; w_cps = []; w_trail = Trail.create (); w_idle = false })
   in
+  let shards = Array.init config.Config.agents (fun _ -> Stats.create ()) in
+  let pshards =
+    Array.init config.Config.agents (fun i ->
+        if Prof.enabled prof then
+          Prof.shard prof ~dom:i ~stats:shards.(i)
+            ~clock:(fun () -> Sim.now sim)
+            ()
+        else Prof.null)
+  in
   {
     db;
     config;
     cost = config.Config.cost;
-    shards = Array.init config.Config.agents (fun _ -> Stats.create ());
+    shards;
     tbufs = Array.init config.Config.agents (fun i -> Trace.buffer trace ~dom:i);
     chaos = Array.init config.Config.agents (fun i -> Chaos.agent chaos i);
     sim;
     workers;
     scratches = Array.init config.Config.agents (fun _ -> Code.create_scratch ());
+    pshards;
     goal;
     output;
     finished = false;
@@ -503,5 +525,5 @@ let run st =
     time = Sim.stop_time st.sim;
   }
 
-let solve ?output ?trace ?chaos config db goal =
-  run (create ?output ?trace ?chaos config db goal)
+let solve ?output ?trace ?chaos ?prof config db goal =
+  run (create ?output ?trace ?chaos ?prof config db goal)

@@ -53,6 +53,7 @@ module Deque = Ace_sched.Deque
 module Chaos = Ace_sched.Chaos
 module Trace = Ace_obs.Trace
 module Metrics = Ace_obs.Metrics
+module Prof = Ace_obs.Prof
 module Schema = Kernel.Schema
 
 (* An alternative of a choice point: a program clause, or a recorded
@@ -131,6 +132,8 @@ type worker = {
   chaos : Chaos.agent;
     (* per-worker fault-injection stream ([Chaos.null_agent] when off) *)
   root : mach;
+  w_prof : Prof.shard;
+    (* worker-private profiler shard ([Prof.null] when profiling is off) *)
   w_scratch : Code.scratch;
     (* domain-private frame buffer + argument registers; shared by the
        root machine and slot sub-machines (register use never spans a
@@ -167,6 +170,7 @@ module K = Kernel.Resolver (struct
   let stats w = w.stats
   let charge _ _ = ()
   let scratch w = w.w_scratch
+  let prof w = w.w_prof
 end)
 
 (* ------------------------------------------------------------------ *)
@@ -231,6 +235,7 @@ let publish w m =
           let cont = snapshot_body table cells cp.cp_cont in
           w.stats.Stats.copies <- w.stats.Stats.copies + 1;
           w.stats.Stats.copied_cells <- w.stats.Stats.copied_cells + !cells;
+          if Prof.live w.w_prof then Prof.copied w.w_prof !cells;
           Metrics.hist_add w.shard.Metrics.s_copy_cells !cells;
           Trace.record w.tbuf Trace.Copy !cells;
           Node { n_goal = goal; n_alts; n_cont = cont })
@@ -239,6 +244,7 @@ let publish w m =
     Array.iteri (fun i (v : Term.var) -> v.Term.binding <- saved.(i)) seg;
     cp.cp_alts <- [];
     m.m_live <- m.m_live - 1;
+    if Prof.live w.w_prof then Prof.spawned w.w_prof (List.length tasks);
     Trace.record w.tbuf Trace.Publish (List.length tasks);
     List.iter
       (fun task ->
@@ -415,9 +421,13 @@ and backtrack w m =
       match cp.cp_alts with
       | [] ->
         (* published or spent node: pop and keep unwinding *)
+        if Prof.live w.w_prof then
+          Prof.fail w.w_prof (Prof.key_of_term cp.cp_goal);
         m.m_cps <- below;
         backtrack w m
       | alt :: rest ->
+        if Prof.live w.w_prof then
+          Prof.redo w.w_prof (Prof.key_of_term cp.cp_goal);
         w.stats.Stats.untrails <-
           w.stats.Stats.untrails + Trail.undo_to m.m_trail cp.cp_trail;
         if rest = [] then begin
@@ -509,6 +519,10 @@ and run_parcall w m bodies tuples cont =
   in
   w.stats.Stats.frames <- w.stats.Stats.frames + 1;
   w.stats.Stats.slots <- w.stats.Stats.slots + n;
+  (if Prof.live w.w_prof then begin
+     Prof.slots w.w_prof n;
+     Prof.spawned w.w_prof (n - 1)
+   end);
   (* Offer every non-first slot to the thieves.  Pushed highest-index
      first so the oldest deque entry (what a thief steals first) is the
      slot farthest from the owner's own PDO-ordered claims. *)
@@ -674,6 +688,20 @@ and steal_loop w =
       | Some (victim, task) ->
         Atomic.decr sh.hungry;
         w.stats.Stats.steals <- w.stats.Stats.steals + 1;
+        (if Prof.live w.w_prof then
+           match task with
+           | Node { n_goal; _ } ->
+             let k = Prof.key_of_term n_goal in
+             Prof.stole w.w_prof k;
+             Prof.redo w.w_prof k
+           | Slot s -> (
+             match s.ps_body with
+             | Clause.Call g :: _ ->
+               let k = Prof.key_of_term g in
+               Prof.stole w.w_prof k;
+               Prof.redo w.w_prof k
+             | _ -> ())
+           | Root _ -> ());
         Metrics.hist_add w.shard.Metrics.s_steal_tries (misses + 1);
         end_idle ();
         Trace.record w.tbuf Trace.Steal victim;
@@ -714,7 +742,7 @@ type result = {
 }
 
 let solve ?output ?(trace = Trace.disabled) ?(chaos = Chaos.disabled)
-    (config : Config.t) db goal =
+    ?(prof = Prof.disabled) (config : Config.t) db goal =
   let config = Config.validate config in
   let p = config.Config.agents in
   let metrics = Metrics.create ~domains:p in
@@ -739,15 +767,26 @@ let solve ?output ?(trace = Trace.disabled) ?(chaos = Chaos.disabled)
           match output with None -> None | Some _ -> Some (Buffer.create 64)
         in
         let shard = Metrics.shard metrics i in
+        let tbuf = Trace.buffer trace ~dom:i in
+        let w_prof =
+          (* registered on the spawning domain, before the workers start:
+             the profile registry is never touched concurrently *)
+          if Prof.enabled prof then
+            Prof.shard prof ~dom:i ~stats:shard.Metrics.s_stats
+              ~clock:(fun () -> Trace.now_ns tbuf)
+              ()
+          else Prof.null
+        in
         {
           w_id = i;
           sh;
           shard;
           stats = shard.Metrics.s_stats;
-          tbuf = Trace.buffer trace ~dom:i;
+          tbuf;
           out;
           chaos = Chaos.agent chaos i;
           root = make_mach ?output:out ();
+          w_prof;
           w_scratch = Code.create_scratch ();
         })
   in

@@ -56,6 +56,7 @@ val solve :
   ?output:Buffer.t ->
   ?trace:Ace_obs.Trace.t ->
   ?chaos:Ace_sched.Chaos.t ->
+  ?prof:Ace_obs.Prof.t ->
   Ace_machine.Config.t ->
   Ace_lang.Database.t ->
   Ace_term.Term.t ->

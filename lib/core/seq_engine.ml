@@ -21,6 +21,7 @@ module Cost = Ace_machine.Cost
 module Stats = Ace_machine.Stats
 module Chaos = Ace_sched.Chaos
 module Trace = Ace_obs.Trace
+module Prof = Ace_obs.Prof
 
 type alts =
   | Aclauses of Clause.t list
@@ -54,6 +55,9 @@ type t = {
        not depend on it (there is no concurrency here — the hook exists so
        the checker can assert cycle-jitter invariance uniformly) *)
   sc : Code.scratch; (* frame buffer + argument registers (compiled path) *)
+  mutable prof : Prof.shard;
+    (* per-predicate profiler shard ([Prof.null] when off); mutable only
+       because its clock closure needs the machine *)
   mutable cps : cp list;
   mutable height : int;
   mutable charge : int; (* accumulated abstract cycles *)
@@ -62,25 +66,33 @@ type t = {
 }
 
 let create ?(cost = Cost.default) ?(compile = false) ?output
-    ?(trace = Trace.disabled) ?(chaos = Chaos.disabled) db goal =
+    ?(trace = Trace.disabled) ?(chaos = Chaos.disabled)
+    ?(prof = Prof.disabled) db goal =
   let trail = Trail.create () in
-  {
-    db;
-    trail;
-    stats = Stats.create ();
-    cost;
-    ctx = Builtins.make_ctx ?output ~trail ();
-    goal;
-    compile;
-    tbuf = Trace.buffer trace ~dom:0;
-    chaos = Chaos.agent chaos 0;
-    sc = Code.create_scratch ();
-    cps = [];
-    height = 0;
-    charge = 0;
-    started = false;
-    exhausted = false;
-  }
+  let m =
+    {
+      db;
+      trail;
+      stats = Stats.create ();
+      cost;
+      ctx = Builtins.make_ctx ?output ~trail ();
+      goal;
+      compile;
+      tbuf = Trace.buffer trace ~dom:0;
+      chaos = Chaos.agent chaos 0;
+      sc = Code.create_scratch ();
+      prof = Prof.null;
+      cps = [];
+      height = 0;
+      charge = 0;
+      started = false;
+      exhausted = false;
+    }
+  in
+  if Prof.enabled prof then
+    m.prof <-
+      Prof.shard prof ~dom:0 ~stats:m.stats ~clock:(fun () -> m.charge) ();
+  m
 
 let spend m n = m.charge <- m.charge + n
 
@@ -95,6 +107,7 @@ module K = Kernel.Resolver (struct
   let stats m = m.stats
   let charge = spend
   let scratch m = m.sc
+  let prof m = m.prof
 end)
 
 (* [mark] is the trail height the choice point restores on backtracking —
@@ -283,7 +296,9 @@ and user_call_regs m sym arity cont =
 and shallow m g clauses cont =
   let mark = Trail.mark m.trail in
   let rec scan = function
-    | [] -> backtrack m
+    | [] ->
+      if Prof.live m.prof then Prof.fail m.prof (Prof.key_of_term g);
+      backtrack m
     | clause :: rest -> (
       match K.resolve m ~ctx:m.ctx ~compiled:m.compile ~trail:m.trail g clause with
       | Kernel.R_fail ->
@@ -315,11 +330,13 @@ and backtrack m =
       undo_to m cp.cp_trail;
       spend m m.cost.Cost.cp_restore;
       let goal = match cp.cp_goal with Some g -> g | None -> assert false in
+      if Prof.live m.prof then Prof.redo m.prof (Prof.key_of_term goal);
       (* Shallow scan, as in [shallow]: head-rejected alternatives are
          dropped without re-entering the backtracker; the last matching
          alternative pops the choice point (WAM "trust"). *)
       let rec rescan = function
         | [] ->
+          if Prof.live m.prof then Prof.fail m.prof (Prof.key_of_term goal);
           m.cps <- below;
           m.height <- m.height - 1;
           backtrack m
@@ -399,7 +416,7 @@ let stats m = m.stats
 
 let time m = m.charge
 
-let solve ?cost ?compile ?output ?trace ?chaos ?limit db goal =
-  let m = create ?cost ?compile ?output ?trace ?chaos db goal in
+let solve ?cost ?compile ?output ?trace ?chaos ?prof ?limit db goal =
+  let m = create ?cost ?compile ?output ?trace ?chaos ?prof db goal in
   let solutions = all_solutions ?limit m in
   (solutions, m)

@@ -16,13 +16,18 @@ type t
 
     [compile] (default [false]) executes clauses as flat instruction code
     through the deep-indexing dispatch tree; identical solutions, fewer
-    cycles. *)
+    cycles.
+
+    [prof] (default {!Ace_obs.Prof.disabled}) attributes 4-port counters
+    and exclusive costs per predicate, stamped against the abstract-cycle
+    clock. *)
 val create :
   ?cost:Ace_machine.Cost.t ->
   ?compile:bool ->
   ?output:Buffer.t ->
   ?trace:Ace_obs.Trace.t ->
   ?chaos:Ace_sched.Chaos.t ->
+  ?prof:Ace_obs.Prof.t ->
   Ace_lang.Database.t ->
   Ace_term.Term.t ->
   t
@@ -50,6 +55,7 @@ val solve :
   ?output:Buffer.t ->
   ?trace:Ace_obs.Trace.t ->
   ?chaos:Ace_sched.Chaos.t ->
+  ?prof:Ace_obs.Prof.t ->
   ?limit:int ->
   Ace_lang.Database.t ->
   Ace_term.Term.t ->

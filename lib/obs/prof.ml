@@ -1,0 +1,529 @@
+(* Per-predicate profiler: 4-port counters, differential cost
+   attribution, call-graph edges and a bounded-depth calling-context
+   tree per shard.  See prof.mli for the discipline and DESIGN.md
+   § Profiling for the port mapping. *)
+
+module Symbol = Ace_term.Symbol
+module Term = Ace_term.Term
+module Stats = Ace_machine.Stats
+
+(* Ancestor stacks deeper than this are truncated (counted, not
+   pushed): recursion still profiles, folded stacks stay bounded. *)
+let max_depth = 64
+
+(* Packed predicate key: symbol id * 256 + arity.  Hot-path hooks hash
+   machine integers only; names reappear at view time via
+   [Symbol.of_id]. *)
+let key sym arity = (Symbol.id sym lsl 8) lor (arity land 255)
+let root_key = key (Symbol.intern "$root") 0
+let unknown_key = key (Symbol.intern "?") 0
+
+let key_of_term g =
+  match Term.deref g with
+  | Term.Atom s -> key s 0
+  | Term.Struct (f, args) -> key f (Array.length args)
+  | Term.Int _ | Term.Var _ -> unknown_key
+
+let key_name k =
+  let sym = Symbol.of_id (k lsr 8) and arity = k land 255 in
+  if arity = 0 then Symbol.name sym
+  else Printf.sprintf "%s/%d" (Symbol.name sym) arity
+
+(* Per-predicate counters: the four ports, exclusive costs (charged
+   differentially at port events) and the parallel attribution. *)
+type counts = {
+  mutable calls : int;
+  mutable exits : int;
+  mutable redos : int;
+  mutable fails : int;
+  mutable instrs : int;
+  mutable tries : int;
+  mutable envs : int;
+  mutable trail : int;
+  mutable cycles : int;
+  mutable minor : int;
+  mutable tasks : int;
+  mutable steals : int;
+  mutable copied : int;
+  mutable pslots : int;
+  mutable is_builtin : bool;
+}
+
+let fresh_counts () =
+  {
+    calls = 0;
+    exits = 0;
+    redos = 0;
+    fails = 0;
+    instrs = 0;
+    tries = 0;
+    envs = 0;
+    trail = 0;
+    cycles = 0;
+    minor = 0;
+    tasks = 0;
+    steals = 0;
+    copied = 0;
+    pslots = 0;
+    is_builtin = false;
+  }
+
+(* One calling-context-tree node: interned per (parent, predicate), so
+   a path's exclusive cost accumulates in one cell. *)
+type node = { n_key : int; n_parent : int; mutable n_cost : int }
+
+type shard = {
+  p_on : bool;
+  p_dom : int;
+  p_stats : Stats.t;
+  p_clock : unit -> int;
+  (* last-sample snapshot for differential attribution *)
+  mutable l_instrs : int;
+  mutable l_tries : int;
+  mutable l_envs : int;
+  mutable l_trail : int;
+  mutable l_clock : int;
+  mutable l_minor : float;
+  tab : (int, counts) Hashtbl.t;
+  edges : (int * int, int ref) Hashtbl.t;
+  mutable nodes : node array;
+  mutable n_nodes : int;
+  children : (int * int, int) Hashtbl.t; (* (parent node, key) -> node *)
+  stack : int array; (* node ids; stack.(0) is the root *)
+  mutable depth : int;
+  mutable truncated : int;
+}
+
+type t = { t_on : bool; t_lock : Mutex.t; mutable t_shards : shard list }
+
+let null =
+  {
+    p_on = false;
+    p_dom = 0;
+    p_stats = Stats.create ();
+    p_clock = (fun () -> 0);
+    l_instrs = 0;
+    l_tries = 0;
+    l_envs = 0;
+    l_trail = 0;
+    l_clock = 0;
+    l_minor = 0.0;
+    tab = Hashtbl.create 1;
+    edges = Hashtbl.create 1;
+    nodes = [||];
+    n_nodes = 0;
+    children = Hashtbl.create 1;
+    stack = [| 0 |];
+    depth = 1;
+    truncated = 0;
+  }
+
+let create () = { t_on = true; t_lock = Mutex.create (); t_shards = [] }
+let disabled = { t_on = false; t_lock = Mutex.create (); t_shards = [] }
+let enabled t = t.t_on
+
+let shard t ~dom ?stats ?clock () =
+  if not t.t_on then null
+  else begin
+    let root = { n_key = root_key; n_parent = -1; n_cost = 0 } in
+    let nodes = Array.make 64 root in
+    let sh =
+      {
+        p_on = true;
+        p_dom = dom;
+        p_stats = (match stats with Some s -> s | None -> Stats.create ());
+        p_clock = (match clock with Some c -> c | None -> fun () -> 0);
+        l_instrs = 0;
+        l_tries = 0;
+        l_envs = 0;
+        l_trail = 0;
+        l_clock = 0;
+        l_minor = 0.0;
+        tab = Hashtbl.create 64;
+        edges = Hashtbl.create 64;
+        nodes;
+        n_nodes = 1;
+        children = Hashtbl.create 64;
+        stack = Array.make (max_depth + 1) 0;
+        depth = 1;
+        truncated = 0;
+      }
+    in
+    (* sampling baseline: counters accumulated before profiling started
+       must not be charged to the first predicate *)
+    sh.l_instrs <- sh.p_stats.Stats.code_instrs;
+    sh.l_tries <- sh.p_stats.Stats.clause_tries;
+    sh.l_envs <- sh.p_stats.Stats.env_allocs;
+    sh.l_trail <- sh.p_stats.Stats.trail_pushes + sh.p_stats.Stats.untrails;
+    sh.l_clock <- sh.p_clock ();
+    sh.l_minor <- Gc.minor_words ();
+    Mutex.lock t.t_lock;
+    t.t_shards <- sh :: t.t_shards;
+    Mutex.unlock t.t_lock;
+    sh
+  end
+
+let live sh = sh.p_on
+
+let counts_for sh k =
+  match Hashtbl.find_opt sh.tab k with
+  | Some c -> c
+  | None ->
+    let c = fresh_counts () in
+    Hashtbl.add sh.tab k c;
+    c
+
+let top_key sh = sh.nodes.(sh.stack.(sh.depth - 1)).n_key
+let top_node sh = sh.nodes.(sh.stack.(sh.depth - 1))
+
+(* Charge everything since the last port event to the current stack
+   top: exclusive attribution (a callee's first port event closes the
+   caller's window). *)
+let flush sh =
+  let st = sh.p_stats in
+  let instrs = st.Stats.code_instrs
+  and tries = st.Stats.clause_tries
+  and envs = st.Stats.env_allocs
+  and trail = st.Stats.trail_pushes + st.Stats.untrails
+  and clock = sh.p_clock ()
+  and minor = Gc.minor_words () in
+  let c = counts_for sh (top_key sh) in
+  c.instrs <- c.instrs + instrs - sh.l_instrs;
+  c.tries <- c.tries + tries - sh.l_tries;
+  c.envs <- c.envs + envs - sh.l_envs;
+  c.trail <- c.trail + trail - sh.l_trail;
+  let dt = clock - sh.l_clock in
+  c.cycles <- c.cycles + dt;
+  (top_node sh).n_cost <- (top_node sh).n_cost + dt;
+  c.minor <- c.minor + int_of_float (minor -. sh.l_minor);
+  sh.l_instrs <- instrs;
+  sh.l_tries <- tries;
+  sh.l_envs <- envs;
+  sh.l_trail <- trail;
+  sh.l_clock <- clock;
+  sh.l_minor <- minor
+
+let edge sh caller callee =
+  match Hashtbl.find_opt sh.edges (caller, callee) with
+  | Some r -> incr r
+  | None -> Hashtbl.add sh.edges (caller, callee) (ref 1)
+
+let intern_child sh parent k =
+  match Hashtbl.find_opt sh.children (parent, k) with
+  | Some id -> id
+  | None ->
+    if sh.n_nodes = Array.length sh.nodes then begin
+      let bigger = Array.make (2 * sh.n_nodes) sh.nodes.(0) in
+      Array.blit sh.nodes 0 bigger 0 sh.n_nodes;
+      sh.nodes <- bigger
+    end;
+    let id = sh.n_nodes in
+    sh.nodes.(id) <- { n_key = k; n_parent = parent; n_cost = 0 };
+    sh.n_nodes <- id + 1;
+    Hashtbl.add sh.children (parent, k) id;
+    id
+
+let push sh k =
+  if sh.depth > max_depth then sh.truncated <- sh.truncated + 1
+  else begin
+    let id = intern_child sh sh.stack.(sh.depth - 1) k in
+    sh.stack.(sh.depth) <- id;
+    sh.depth <- sh.depth + 1
+  end
+
+(* Shallowest-from-top occurrence of [k] on the stack (never the root
+   slot), or -1. *)
+let find_on_stack sh k =
+  let rec go i =
+    if i < 1 then -1
+    else if sh.nodes.(sh.stack.(i)).n_key = k then i
+    else go (i - 1)
+  in
+  go (sh.depth - 1)
+
+let call sh k =
+  if sh.p_on then begin
+    flush sh;
+    let c = counts_for sh k in
+    c.calls <- c.calls + 1;
+    edge sh (top_key sh) k;
+    push sh k
+  end
+
+let exit_key sh k =
+  if sh.p_on then begin
+    flush sh;
+    let c = counts_for sh k in
+    c.exits <- c.exits + 1;
+    match find_on_stack sh k with
+    | -1 -> ()
+    | i -> sh.depth <- i (* pop through it: LCO frames above never exit *)
+  end
+
+let exit_top sh =
+  if sh.p_on then begin
+    flush sh;
+    let c = counts_for sh (top_key sh) in
+    c.exits <- c.exits + 1;
+    if sh.depth > 1 then sh.depth <- sh.depth - 1
+  end
+
+let redo sh k =
+  if sh.p_on then begin
+    flush sh;
+    let c = counts_for sh k in
+    c.redos <- c.redos + 1;
+    match find_on_stack sh k with
+    | -1 ->
+      (* a context this shard never entered (stolen task, copied
+         machine): re-root the stack at the retried predicate *)
+      sh.depth <- 1;
+      push sh k
+    | i -> sh.depth <- i + 1
+  end
+
+let fail sh k =
+  if sh.p_on then begin
+    flush sh;
+    let c = counts_for sh k in
+    c.fails <- c.fails + 1;
+    match find_on_stack sh k with -1 -> () | i -> sh.depth <- i
+  end
+
+let builtin sh k ~ok =
+  if sh.p_on then begin
+    flush sh;
+    let c = counts_for sh k in
+    c.is_builtin <- true;
+    c.calls <- c.calls + 1;
+    if ok then c.exits <- c.exits + 1 else c.fails <- c.fails + 1;
+    edge sh (top_key sh) k
+  end
+
+let spawned sh n =
+  if sh.p_on then begin
+    let c = counts_for sh (top_key sh) in
+    c.tasks <- c.tasks + n
+  end
+
+let stole sh k =
+  if sh.p_on then begin
+    let c = counts_for sh k in
+    c.steals <- c.steals + 1
+  end
+
+let copied sh cells =
+  if sh.p_on then begin
+    let c = counts_for sh (top_key sh) in
+    c.copied <- c.copied + cells
+  end
+
+let slots sh n =
+  if sh.p_on then begin
+    let c = counts_for sh (top_key sh) in
+    c.pslots <- c.pslots + n
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Views                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type row = {
+  r_name : string;
+  r_calls : int;
+  r_exits : int;
+  r_redos : int;
+  r_fails : int;
+  r_instrs : int;
+  r_tries : int;
+  r_envs : int;
+  r_trail : int;
+  r_cycles : int;
+  r_minor : int;
+  r_tasks : int;
+  r_steals : int;
+  r_copied : int;
+  r_slots : int;
+}
+
+(* Merge the shards' per-predicate tables (reads only; call after the
+   run, like [Metrics.total]). *)
+let merged t =
+  let agg : (int, counts) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun sh ->
+      Hashtbl.iter
+        (fun k (c : counts) ->
+          let m =
+            match Hashtbl.find_opt agg k with
+            | Some m -> m
+            | None ->
+              let m = fresh_counts () in
+              Hashtbl.add agg k m;
+              m
+          in
+          m.calls <- m.calls + c.calls;
+          m.exits <- m.exits + c.exits;
+          m.redos <- m.redos + c.redos;
+          m.fails <- m.fails + c.fails;
+          m.instrs <- m.instrs + c.instrs;
+          m.tries <- m.tries + c.tries;
+          m.envs <- m.envs + c.envs;
+          m.trail <- m.trail + c.trail;
+          m.cycles <- m.cycles + c.cycles;
+          m.minor <- m.minor + c.minor;
+          m.tasks <- m.tasks + c.tasks;
+          m.steals <- m.steals + c.steals;
+          m.copied <- m.copied + c.copied;
+          m.pslots <- m.pslots + c.pslots;
+          m.is_builtin <- m.is_builtin || c.is_builtin)
+        sh.tab)
+    t.t_shards;
+  agg
+
+let rank (ka, (a : counts)) (kb, (b : counts)) =
+  if a.cycles <> b.cycles then compare b.cycles a.cycles
+  else if a.instrs <> b.instrs then compare b.instrs a.instrs
+  else if a.calls <> b.calls then compare b.calls a.calls
+  else compare (key_name ka) (key_name kb)
+
+let ranked t =
+  merged t |> Hashtbl.to_seq |> List.of_seq
+  |> List.filter (fun (k, _) -> k <> root_key)
+  |> List.sort rank
+
+let row_of (k, (c : counts)) =
+  {
+    r_name = key_name k;
+    r_calls = c.calls;
+    r_exits = c.exits;
+    r_redos = c.redos;
+    r_fails = c.fails;
+    r_instrs = c.instrs;
+    r_tries = c.tries;
+    r_envs = c.envs;
+    r_trail = c.trail;
+    r_cycles = c.cycles;
+    r_minor = c.minor;
+    r_tasks = c.tasks;
+    r_steals = c.steals;
+    r_copied = c.copied;
+    r_slots = c.pslots;
+  }
+
+let rows t = List.map row_of (ranked t)
+
+let user_pred (k, (c : counts)) =
+  (not c.is_builtin) && k <> unknown_key
+  && String.length (key_name k) > 0
+  && (key_name k).[0] <> '$'
+
+let top_hotspot t =
+  match List.filter user_pred (ranked t) with
+  | [] -> None
+  | best :: _ -> Some (row_of best)
+
+let report ?(limit = 20) t =
+  let buf = Buffer.create 1024 in
+  let rs = rows t in
+  let shown = List.filteri (fun i _ -> i < limit) rs in
+  Buffer.add_string buf
+    (Printf.sprintf "%-24s %9s %9s %9s %9s %11s %9s %12s %11s\n" "predicate"
+       "calls" "exits" "redos" "fails" "instrs" "tries" "cycles" "minor_w");
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-24s %9d %9d %9d %9d %11d %9d %12d %11d\n" r.r_name
+           r.r_calls r.r_exits r.r_redos r.r_fails r.r_instrs r.r_tries
+           r.r_cycles r.r_minor))
+    shown;
+  let par =
+    List.filter
+      (fun r -> r.r_tasks + r.r_steals + r.r_copied + r.r_slots > 0)
+      rs
+  in
+  if par <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "\n%-24s %9s %9s %12s %9s\n" "predicate" "tasks" "steals"
+         "copied" "slots");
+    List.iter
+      (fun r ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-24s %9d %9d %12d %9d\n" r.r_name r.r_tasks
+             r.r_steals r.r_copied r.r_slots))
+      par
+  end;
+  Buffer.contents buf
+
+let to_json t =
+  let preds =
+    List.map
+      (fun r ->
+        Json.Obj
+          [ ("name", Json.Str r.r_name);
+            ("calls", Json.int r.r_calls);
+            ("exits", Json.int r.r_exits);
+            ("redos", Json.int r.r_redos);
+            ("fails", Json.int r.r_fails);
+            ("code_instrs", Json.int r.r_instrs);
+            ("clause_tries", Json.int r.r_tries);
+            ("env_allocs", Json.int r.r_envs);
+            ("trail_ops", Json.int r.r_trail);
+            ("cycles", Json.int r.r_cycles);
+            ("minor_words", Json.int r.r_minor);
+            ("tasks", Json.int r.r_tasks);
+            ("steals", Json.int r.r_steals);
+            ("copied_cells", Json.int r.r_copied);
+            ("parcall_slots", Json.int r.r_slots) ])
+      (rows t)
+  in
+  let edges : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun sh ->
+      Hashtbl.iter
+        (fun e r ->
+          Hashtbl.replace edges e
+            (!r + match Hashtbl.find_opt edges e with Some n -> n | None -> 0))
+        sh.edges)
+    t.t_shards;
+  let edge_rows =
+    Hashtbl.to_seq edges |> List.of_seq
+    |> List.sort (fun ((a, b), _) ((c, d), _) -> compare (a, b) (c, d))
+    |> List.map (fun ((caller, callee), n) ->
+           Json.Obj
+             [ ("caller", Json.Str (key_name caller));
+               ("callee", Json.Str (key_name callee));
+               ("count", Json.int n) ])
+  in
+  let truncated = List.fold_left (fun n sh -> n + sh.truncated) 0 t.t_shards in
+  Json.Obj
+    [ ("domains", Json.int (List.length t.t_shards));
+      ("truncated", Json.int truncated);
+      ("predicates", Json.List preds);
+      ("edges", Json.List edge_rows) ]
+
+let to_folded t =
+  let paths : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun sh ->
+      for i = 0 to sh.n_nodes - 1 do
+        let node = sh.nodes.(i) in
+        if node.n_cost > 0 then begin
+          let rec path id acc =
+            if id < 0 then acc
+            else
+              let n = sh.nodes.(id) in
+              path n.n_parent (key_name n.n_key :: acc)
+          in
+          let line = String.concat ";" (path i []) in
+          Hashtbl.replace paths line
+            (node.n_cost
+            + match Hashtbl.find_opt paths line with Some n -> n | None -> 0)
+        end
+      done)
+    t.t_shards;
+  Hashtbl.to_seq paths |> List.of_seq
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map (fun (p, n) -> Printf.sprintf "%s %d" p n)
+  |> String.concat "\n"
+  |> fun s -> if s = "" then s else s ^ "\n"

@@ -30,6 +30,7 @@ let store = Atomic.make { arr = Array.make 64 ""; len = 0 }
 let equal (a : t) (b : t) = a = b
 
 let id (s : t) : int = s
+let of_id (i : int) : t = i
 
 let hash (s : t) = s
 

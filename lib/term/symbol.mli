@@ -18,6 +18,11 @@ val name : t -> string
 (** The raw integer id (dense, starting at 0). *)
 val id : t -> int
 
+(** The symbol with raw id [i] — the inverse of {!id}.  [i] must have
+    been obtained from {!id} in this process (ids are not stable across
+    runs). *)
+val of_id : int -> t
+
 (** Integer equality — the whole point. *)
 val equal : t -> t -> bool
 

@@ -54,6 +54,66 @@ let test_stats_fields_cover_record () =
   Alcotest.(check (option int)) "last field" (Some 2)
     (List.assoc_opt "stack_words" fields)
 
+(* Reflective completeness: every record field of Stats.t must be
+   reachable through [fields] (and therefore through of_fields,
+   merge_into, to_json and pp ~verbose, which the tests below pin to the
+   same list).  Stats.t is all-int, so its runtime representation is a
+   flat block whose size is the field count — a new counter that is not
+   added to [fields] fails here immediately. *)
+let test_stats_fields_reflect_record () =
+  let s = Stats.create () in
+  Alcotest.(check int) "fields covers every record field"
+    (Obj.size (Obj.repr s))
+    (List.length (Stats.fields s));
+  (* distinct values survive an of_fields round-trip field-for-field *)
+  let numbered =
+    List.mapi (fun i (name, _) -> (name, i + 1)) (Stats.fields s)
+  in
+  let s' = Stats.of_fields numbered in
+  Alcotest.(check bool) "of_fields sets every field" true
+    (Stats.fields s' = numbered);
+  (* to_json exports every field, with the round-tripped values *)
+  (match Ace_obs.Json.parse (Stats.to_json s') with
+   | Error msg -> Alcotest.failf "Stats.to_json: %s" msg
+   | Ok v ->
+     List.iter
+       (fun (name, n) ->
+         Alcotest.(check (option int))
+           (Printf.sprintf "to_json exports %s" name)
+           (Some n)
+           (match Ace_obs.Json.member name v with
+            | Some (Ace_obs.Json.Num f) -> Some (int_of_float f)
+            | _ -> None))
+       numbered);
+  (* pp ~verbose prints every field name *)
+  let verbose =
+    Format.asprintf "@[<v>%a@]" (fun ppf -> Stats.pp ~verbose:true ppf) s'
+  in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun (name, _) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "pp ~verbose prints %s" name)
+        true (contains verbose name))
+    numbered;
+  (* merge_into touches every summed counter: merging the numbered stats
+     into a fresh record reproduces at least the summed fields, and no
+     field of the merge result stays at 0 (max-fields included, since
+     every input is positive) *)
+  let fresh = Stats.create () in
+  Stats.merge_into ~into:fresh s';
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "merge_into covers %s" name)
+        true
+        (v > 0))
+    (Stats.fields fresh)
+
 let test_stats_json_roundtrip () =
   let s = Stats.create () in
   s.Stats.unify_steps <- 12345;
@@ -161,6 +221,8 @@ let suite =
       test_cost_model_calibration_invariants;
     Alcotest.test_case "stats merge" `Quick test_stats_merge;
     Alcotest.test_case "stats fields" `Quick test_stats_fields_cover_record;
+    Alcotest.test_case "stats fields reflect the record" `Quick
+      test_stats_fields_reflect_record;
     Alcotest.test_case "stats json roundtrip" `Quick test_stats_json_roundtrip;
     Alcotest.test_case "stats pp verbose" `Quick test_stats_pp_verbose;
     Alcotest.test_case "config validation" `Quick test_config_validate;

@@ -8,6 +8,7 @@ let () =
       ("lang", Test_lang.suite);
       ("machine", Test_machine.suite);
       ("obs", Test_obs.suite);
+      ("prof", Test_prof.suite);
       ("builtins", Test_builtins.suite);
       ("kernel", Test_kernel.suite);
       ("code", Test_code.suite);

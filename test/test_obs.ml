@@ -47,6 +47,47 @@ let test_json_parse_misc () =
     Alcotest.(check bool) "nested null" true (Json.member "c" b = Some Json.Null)
   | None -> Alcotest.fail "missing b"
 
+(* The profiler JSON carries per-predicate nanosecond totals, so Num
+   printing must be lossless for every integer up to 2^53 and must
+   round-trip exponent-form floats. *)
+let test_json_float_roundtrip () =
+  let roundtrip v =
+    match Json.parse (Json.to_string v) with
+    | Ok v' -> v'
+    | Error m -> Alcotest.failf "reparse %s: %s" (Json.to_string v) m
+  in
+  (* large integral timestamps, lossless up to 2^53 *)
+  List.iter
+    (fun n ->
+      let v = Json.Num n in
+      match roundtrip v with
+      | Json.Num n' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "lossless integral %.0f" n)
+          true (n = n')
+      | _ -> Alcotest.fail "number reparsed as non-number")
+    [ 0.; 1.; 1.7e9; 1_702_000_123_456_789.; 2. ** 53.; -.(2. ** 53.);
+      (2. ** 53.) -. 1. ];
+  (* exponent-form and fractional floats *)
+  List.iter
+    (fun n ->
+      match roundtrip (Json.Num n) with
+      | Json.Num n' ->
+        Alcotest.(check (float 1e-12))
+          (Printf.sprintf "float %g" n)
+          n n'
+      | _ -> Alcotest.fail "number reparsed as non-number")
+    [ 1.5; -2.5e1; 6.02e23; 1e-9; 3.14159265358979 ];
+  (* exponent syntax variants parse to the same value *)
+  List.iter
+    (fun (s, expect) ->
+      match Json.parse s with
+      | Ok (Json.Num n) ->
+        Alcotest.(check (float 1e-9)) ("parse " ^ s) expect n
+      | Ok _ -> Alcotest.failf "parse %s: not a number" s
+      | Error m -> Alcotest.failf "parse %s: %s" s m)
+    [ ("1e15", 1e15); ("2.5E-3", 2.5e-3); ("-1.25e+2", -125.) ]
+
 (* ------------------------------------------------------------------ *)
 (* Trace rings                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -76,6 +117,31 @@ let test_ring_monotone_clamp () =
   List.iter
     (fun e -> Alcotest.(check int) "domain tag" 3 e.Trace.e_dom)
     (Trace.events t)
+
+(* Overflow combined with the monotone clamp: wrap the ring with
+   deliberately non-monotone input stamps and assert drop-oldest
+   semantics plus still-monotone surviving timestamps. *)
+let test_ring_wrap_monotone () =
+  let t = Trace.create ~capacity:8 () in
+  let b = Trace.buffer t ~dom:0 in
+  for i = 1 to 30 do
+    (* stamps zig-zag: 10, 9, 12, 11, 14, ... *)
+    let ts = (10 + i) - (2 * (i mod 2)) in
+    Trace.record_at b ~ts Trace.Copy i
+  done;
+  let events = Trace.events t in
+  Alcotest.(check int) "capacity kept after wrap" 8 (List.length events);
+  Alcotest.(check int) "dropped oldest" 22 (Trace.dropped t);
+  Alcotest.(check (list int)) "newest args survive in order"
+    [ 23; 24; 25; 26; 27; 28; 29; 30 ]
+    (List.map (fun e -> e.Trace.e_arg) events);
+  ignore
+    (List.fold_left
+       (fun last e ->
+         Alcotest.(check bool) "timestamps strictly monotone after wrap" true
+           (e.Trace.e_ts > last);
+         e.Trace.e_ts)
+       min_int events)
 
 let test_disabled_noop () =
   let b = Trace.buffer Trace.disabled ~dom:0 in
@@ -266,8 +332,11 @@ let test_metrics_json () =
 let suite =
   [ Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
     Alcotest.test_case "json parse misc" `Quick test_json_parse_misc;
+    Alcotest.test_case "json float roundtrip" `Quick test_json_float_roundtrip;
     Alcotest.test_case "ring overflow" `Quick test_ring_overflow;
     Alcotest.test_case "ring monotone clamp" `Quick test_ring_monotone_clamp;
+    Alcotest.test_case "ring wrap stays monotone" `Quick
+      test_ring_wrap_monotone;
     Alcotest.test_case "disabled no-op" `Quick test_disabled_noop;
     Alcotest.test_case "concurrent domains" `Quick test_concurrent_domains;
     Alcotest.test_case "chrome export" `Quick test_chrome_export;
