@@ -14,6 +14,7 @@
      dune exec bench/main.exe -- par_and  # and-parallel frame sweep (CI smoke)
      dune exec bench/main.exe -- seq_core # engine hot-path wall clock + digests
      dune exec bench/main.exe -- alloc    # minor-words/solution gate (CI smoke)
+     dune exec bench/main.exe -- tabling  # SLG answer-table suite (CI smoke)
 
    The first two forms write BENCH_par_or.json (wall-clock runs of the
    hardware or-parallel engine at 1, 2 and 4 domains) to the current
@@ -378,6 +379,126 @@ let profile_run () =
     List.iter (fun f -> Format.eprintf "profile: %s@." f) (List.rev fs);
     exit 1
 
+(* `tabling`: wall-clock suite for the SLG answer table — left-recursive
+   reachability over a cyclic graph, same-generation over a complete
+   binary tree, and doubly-recursive transitive closure — on all four
+   engines.  Tabled results are answer *sets*, so each run's solution
+   count is asserted exactly; a lost or duplicated answer fails the
+   bench.  Writes BENCH_tabling.json (wall clock, answer counts and
+   table counters per row) with the standard host object. *)
+
+let tabling_workloads =
+  let path_cycle n =
+    let b = Buffer.create 4096 in
+    Buffer.add_string b ":- table(path/2).\n";
+    for i = 0 to n - 1 do
+      Printf.bprintf b "edge(n%d, n%d).\n" i ((i + 1) mod n)
+    done;
+    for i = 0 to (n / 10) - 1 do
+      Printf.bprintf b "edge(n%d, n%d).\n" (i * 10) ((i * 10 + 13) mod n)
+    done;
+    Buffer.add_string b "path(X, Y) :- edge(X, Y).\n";
+    Buffer.add_string b "path(X, Y) :- path(X, Z), edge(Z, Y).\n";
+    Buffer.contents b
+  in
+  let tc_double n =
+    let b = Buffer.create 4096 in
+    Buffer.add_string b ":- table(path/2).\n";
+    for i = 0 to n - 1 do
+      Printf.bprintf b "edge(n%d, n%d).\n" i ((i + 1) mod n)
+    done;
+    Buffer.add_string b "path(X, Y) :- edge(X, Y).\n";
+    Buffer.add_string b "path(X, Y) :- path(X, Z), path(Z, Y).\n";
+    Buffer.contents b
+  in
+  let same_gen depth =
+    (* complete binary tree, heap numbering: node 1 is the root and the
+       leaves are 2^depth .. 2^(depth+1)-1 *)
+    let b = Buffer.create 4096 in
+    Buffer.add_string b ":- table(sg/2).\n";
+    let last = (1 lsl (depth + 1)) - 1 in
+    for i = 1 to last do
+      Printf.bprintf b "node(n%d).\n" i;
+      if 2 * i <= last then Printf.bprintf b "edge(n%d, n%d).\n" i (2 * i);
+      if (2 * i) + 1 <= last then
+        Printf.bprintf b "edge(n%d, n%d).\n" i ((2 * i) + 1)
+    done;
+    Buffer.add_string b "sg(X, X) :- node(X).\n";
+    Buffer.add_string b "sg(X, Y) :- edge(P, X), sg(P, Q), edge(Q, Y).\n";
+    Buffer.contents b
+  in
+  [ ("path_cycle", path_cycle 120, "path(n0, X)", 120);
+    ("tc_double", tc_double 60, "path(n0, X)", 60);
+    (* every leaf is the same generation as the leftmost leaf *)
+    ("same_gen", same_gen 6, "sg(n64, X)", 64) ]
+
+let tabling_run () =
+  let engines =
+    [ (Engine.Sequential, 1); (Engine.And_parallel, 4);
+      (Engine.Or_parallel, 4); (Engine.Par_or, 2); (Engine.Par_or, 4) ]
+  in
+  let rows = ref [] in
+  let failed = ref false in
+  List.iter
+    (fun (bench, program, query, expected) ->
+      List.iter
+        (fun (kind, agents) ->
+          let config =
+            { (Config.all_optimizations ~agents ()) with Config.compile = true }
+          in
+          let best = ref infinity and answers = ref 0 in
+          let stats = ref None in
+          for _ = 1 to 3 do
+            let t0 = Unix.gettimeofday () in
+            let r = Engine.solve_program kind config ~program ~query in
+            let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+            if ms < !best then best := ms;
+            answers := List.length r.Engine.solutions;
+            stats := Some r.Engine.stats;
+            if !answers <> expected then begin
+              Format.eprintf
+                "tabling: %s on %s@%d produced %d answers, expected %d@."
+                bench (Engine.kind_to_string kind) agents !answers expected;
+              failed := true
+            end
+          done;
+          let st = Option.get !stats in
+          Format.printf
+            "%-12s %s@%d %5d answers %10.2f ms   subgoals %d  answers %d  hits %d@."
+            bench (Engine.kind_to_string kind) agents !answers !best
+            st.Ace_machine.Stats.table_subgoals
+            st.Ace_machine.Stats.table_answers
+            st.Ace_machine.Stats.table_answer_hits;
+          rows :=
+            Json.Obj
+              [ ("benchmark", Json.Str bench);
+                ("engine", Json.Str (Engine.kind_to_string kind));
+                ("agents", Json.int agents);
+                ("wall_ms", Json.Num !best);
+                ("answers", Json.int !answers);
+                ("table_subgoals", Json.int st.Ace_machine.Stats.table_subgoals);
+                ("table_answers", Json.int st.Ace_machine.Stats.table_answers);
+                ("answer_hits", Json.int st.Ace_machine.Stats.table_answer_hits);
+                ("variant_hits", Json.int st.Ace_machine.Stats.table_variant_hits);
+                ("suspends", Json.int st.Ace_machine.Stats.table_suspends);
+                ("resumes", Json.int st.Ace_machine.Stats.table_resumes) ]
+            :: !rows)
+        engines)
+    tabling_workloads;
+  let json =
+    Json.to_string
+      (Json.Obj
+         [ ("host", Ace_harness.Extras.host_json ());
+           ("rows", Json.List (List.rev !rows)) ])
+  in
+  Out_channel.with_open_text "BENCH_tabling.json" (fun oc ->
+      Out_channel.output_string oc json);
+  Format.printf "wrote BENCH_tabling.json (%d rows)@." (List.length !rows);
+  if !failed then begin
+    Format.eprintf "tabling: an engine lost or duplicated tabled answers@.";
+    exit 1
+  end
+
 (* `fuzz [count=N] [seed=N] [schedules=N]`: differential-fuzz throughput —
    run the lib/check oracle over N generated cases and report cases/sec;
    exits 1 on any cross-engine discrepancy, so it doubles as a deep
@@ -430,6 +551,10 @@ let () =
   end;
   if has "par_and" then begin
     par_and_sweep ();
+    exit 0
+  end;
+  if has "tabling" then begin
+    tabling_run ();
     exit 0
   end;
   let par_or_only = has "par_or" in

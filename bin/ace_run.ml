@@ -72,12 +72,15 @@ let run_check ~count ~seed ~schedules ~chaos_spec ~mutate =
     if Ace_check.Fuzz.ok report then 0 else 1
 
 let run check check_count check_seed check_schedules check_chaos check_mutate
-    check_code_mutate source query engine agents compile lpco lao spo pdo all
-    par_and gc grain chunk limit show_stats verbose_stats annotate trace_file
-    trace_jsonl trace_buf stats_json utilization profile profile_json
-    profile_folded =
+    check_code_mutate check_table_mutate source query engine agents compile
+    lpco lao spo pdo all par_and gc grain chunk limit table_max show_stats
+    verbose_stats annotate trace_file trace_jsonl trace_buf stats_json
+    utilization profile profile_json profile_folded =
   (match check_code_mutate with
    | Some k -> Ace_lang.Code.mutation := Some k
+   | None -> ());
+  (match check_table_mutate with
+   | Some k -> Ace_lang.Table.mutation := Some k
    | None -> ());
   if check then
     run_check ~count:check_count ~seed:check_seed ~schedules:check_schedules
@@ -118,6 +121,7 @@ let run check check_count check_seed check_schedules check_chaos check_mutate
           chunk;
           compile;
           max_solutions = limit;
+          table_max_answers = table_max;
         }
       in
       (* A 1-core box "running" 8 domains produces <1x speedups that say
@@ -216,6 +220,7 @@ let groups =
         ("annotate", "run the strict-independence annotator first");
         ("compile", "execute compiled clause code (default)");
         ("no-compile", "interpret clause templates (the oracle reference)");
+        ("table-max-answers N", "cap per tabled subgoal (0 = unlimited)");
       ] );
     ( g_schemas,
       [
@@ -251,6 +256,7 @@ let groups =
         ("check-chaos SPEC", "replay one exact chaos spec");
         ("check-mutate ENGINE:CLAUSE", "mutation smoke test");
         ("check-code-mutate K", "compiled-code instruction mutation smoke test");
+        ("check-table-mutate K", "answer-table truncation smoke test");
       ] )
   ]
 
@@ -408,6 +414,13 @@ let cmd =
                      mod code length) to every compiled clause head; \
                      --check must then report a counterexample on its \
                      compiled rows (exit 1).")
+      $ Arg.(value & opt (some int) None & info [ "check-table-mutate" ]
+               ~docv:"K" ~docs:g_check
+               ~doc:"Tabling mutation smoke test: silently truncate every \
+                     tabled answer set to its first K answers.  All engines \
+                     share the broken table and still agree with each \
+                     other; --check must catch it on the tabled rows \
+                     against the independent bottom-up reference (exit 1).")
       $ source $ query $ engine $ agents
       $ Arg.(value & vflag true
                [ (true,
@@ -448,6 +461,11 @@ let cmd =
                      node's alternatives in tasks of at most N alternatives \
                      each (0 = whole node in one task).")
       $ limit
+      $ Arg.(value & opt int 0 & info [ "table-max-answers" ] ~docv:"N"
+               ~docs:g_engine
+               ~doc:"Abort with an error if any tabled subgoal accumulates \
+                     more than N answers (0 = unlimited) — a guard against \
+                     accidentally huge tables.")
       $ flag ~docs:g_obs [ "stats" ] "Print execution statistics."
       $ flag ~docs:g_obs [ "verbose-stats" ]
           "Print execution statistics including zero-valued counters (so \

@@ -1,0 +1,23 @@
+% Tabled reachability over a cyclic graph.
+%
+% The left-recursive path/2 below would loop forever under plain SLD
+% resolution; under :- table it terminates with the exact reachable
+% set, on every engine:
+%
+%   ace_run examples/reach.pl 'path(a, X)'
+%   ace_run --engine par --agents 4 examples/reach.pl 'path(X, Y)'
+%
+% Expected: path(a, X) has 6 answers (every node is reachable from a,
+% including a itself through the a-b-c cycle).
+
+:- table(path/2).
+
+edge(a, b).
+edge(b, c).
+edge(c, a).
+edge(c, d).
+edge(d, e).
+edge(a, f).
+
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- path(X, Z), edge(Z, Y).

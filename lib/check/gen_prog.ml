@@ -34,6 +34,7 @@ type t = {
   arities : int array; (* arity of generated predicate [i] *)
   clauses : clause list; (* flat, grouped by predicate in order *)
   query : goal list;
+  tabled : (string * int) list; (* predicates under [:- table] (else []) *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -104,6 +105,9 @@ let prelude =
 
 let program_text ?drop t =
   let b = Buffer.create 512 in
+  List.iter
+    (fun (name, arity) -> Printf.bprintf b ":- table(%s/%d).\n" name arity)
+    t.tabled;
   Buffer.add_string b prelude;
   List.iteri
     (fun i c -> if drop <> Some i then bpp_clause b c)
@@ -247,8 +251,98 @@ let gen_clause st ~i arities =
   let body = List.init ngoals (fun _ -> body_goal st ~i arities pool) in
   { c_head = head; c_body = body }
 
+(* ------------------------------------------------------------------ *)
+(* Tabled (Datalog) cases                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Every fourth seed generates a *tabled* case instead: a ground edge
+   relation over a small node universe plus [:- table]d recursive rules —
+   left-recursive, right-recursive, doubly recursive, mutually recursive
+   or same-generation — and a single tabled (or tabled-via-wrapper) query.
+   These would loop forever under plain SLD; termination comes from the
+   answer table, and the oracle checks them against the independent
+   bottom-up evaluator ({!Naive}) rather than the sequential engine. *)
+
+let generate_tabled st seed =
+  let nnodes = 4 + Rng.int st.rng 5 in
+  let node i = Atm (Printf.sprintf "n%d" i) in
+  let rand_node () = node (Rng.int st.rng nnodes) in
+  (* a spine cycle (usually) so recursion must cross a loop, plus extras *)
+  let edge_facts =
+    let ring =
+      List.concat
+        (List.init nnodes (fun i ->
+             if Rng.int st.rng 4 > 0 then
+               [ { c_head = App ("e0", [ node i; node ((i + 1) mod nnodes) ]);
+                   c_body = [] } ]
+             else []))
+    in
+    let extras =
+      List.init
+        (1 + Rng.int st.rng nnodes)
+        (fun _ ->
+          { c_head = App ("e0", [ rand_node (); rand_node () ]); c_body = [] })
+    in
+    ring @ extras
+  in
+  let x = Var "X" and y = Var "Y" and z = Var "Z" and w = Var "W" in
+  let e a b = Call (App ("e0", [ a; b ])) in
+  let t0 a b = App ("t0", [ a; b ]) in
+  let t1 a b = App ("t1", [ a; b ]) in
+  let base = { c_head = t0 x y; c_body = [ e x y ] } in
+  let rules, tabled =
+    match Rng.int st.rng 5 with
+    | 0 ->
+      (* left-recursive transitive closure *)
+      ( [ base; { c_head = t0 x y; c_body = [ Call (t0 x z); e z y ] } ],
+        [ ("t0", 2) ] )
+    | 1 ->
+      (* right-recursive transitive closure *)
+      ( [ base; { c_head = t0 x y; c_body = [ e x z; Call (t0 z y) ] } ],
+        [ ("t0", 2) ] )
+    | 2 ->
+      (* doubly recursive transitive closure *)
+      ( [ base; { c_head = t0 x y; c_body = [ Call (t0 x z); Call (t0 z y) ] } ],
+        [ ("t0", 2) ] )
+    | 3 ->
+      (* mutual recursion through a tabled alias *)
+      ( [ base;
+          { c_head = t0 x y; c_body = [ Call (t1 x z); e z y ] };
+          { c_head = t1 x y; c_body = [ Call (t0 x y) ] } ],
+        [ ("t0", 2); ("t1", 2) ] )
+    | _ ->
+      (* same generation over the edge relation *)
+      ( List.init nnodes (fun i ->
+            { c_head = App ("t0", [ node i; node i ]); c_body = [] })
+        @ [ { c_head = t0 x y;
+              c_body = [ e z x; Call (t0 z w); e w y ] } ],
+        [ ("t0", 2) ] )
+  in
+  (* sometimes query through an untabled wrapper, so plain SLD clauses
+     resolve against a completed table *)
+  let wrapper, qname =
+    if Rng.int st.rng 3 = 0 then
+      ([ { c_head = App ("q0", [ x; y ]); c_body = [ Call (t0 x y) ] } ], "q0")
+    else ([], "t0")
+  in
+  let qarg bound = if bound then rand_node () else fresh_var st in
+  let query =
+    let pattern = Rng.int st.rng 3 in
+    [ Call
+        (App (qname, [ qarg (pattern = 0); qarg (pattern = 2) ])) ]
+  in
+  {
+    seed;
+    arities = [| 2 |];
+    clauses = edge_facts @ rules @ wrapper;
+    query;
+    tabled;
+  }
+
 let generate ~seed =
   let st = { rng = Rng.create seed; fresh = 0; nondet = 0 } in
+  if seed mod 4 = 3 then generate_tabled st seed
+  else
   let npreds = 2 + Rng.int st.rng 4 in
   let arities = Array.init npreds (fun _ -> 1 + Rng.int st.rng 2) in
   let clauses =
@@ -271,4 +365,4 @@ let generate ~seed =
       [ query_goal top; query_goal (Rng.int st.rng top) ]
     else [ query_goal top ]
   in
-  { seed; arities; clauses; query }
+  { seed; arities; clauses; query; tabled = [] }

@@ -23,9 +23,15 @@ type t = {
   arities : int array;
   clauses : clause list;  (** generated clauses only (prelude excluded) *)
   query : goal list;
+  tabled : (string * int) list;
+      (** predicates under [:- table] — non-empty exactly for the tabled
+          (Datalog) cases, which the oracle checks against {!Naive} *)
 }
 
-(** Same seed, same program — byte for byte. *)
+(** Same seed, same program — byte for byte.  Every fourth seed
+    ([seed mod 4 = 3]) generates a {e tabled} case: a ground edge
+    relation plus [:- table]d recursive rules (left/right/doubly/mutually
+    recursive or same-generation) that only terminate under SLG. *)
 val generate : seed:int -> t
 
 (** Full program source (prelude + generated clauses).  [drop] omits the

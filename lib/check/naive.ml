@@ -1,0 +1,215 @@
+(* Bounded semi-naive bottom-up evaluation of the tabled (Datalog)
+   cases: an independent reference for the tabled oracle rows.
+
+   The evaluator shares nothing with the engines — no terms, no
+   unification, no tables — so a bug in the SLG machinery (or a seeded
+   [Table.mutation]) cannot cancel out of the comparison.  It handles
+   exactly the fragment the tabled generator emits: constant arguments
+   (atoms / integers), variables, and bodies made of user-predicate
+   calls.  Anything else — builtins, compound arguments, parallel
+   conjunctions, rules whose head variables do not all occur in the
+   body — is [Unsupported], which the oracle reports as a skip.
+
+   Semi-naive iteration: each round joins every rule with at least one
+   body literal restricted to the previous round's delta, so already
+   drawn conclusions are not re-derived.  The total fact count is
+   bounded ([Overflow] beyond it) — termination does not depend on the
+   generator's well-formedness. *)
+
+open Gen_prog
+
+type outcome =
+  | Solutions of Ace_term.Term.t list
+  | Overflow
+  | Unsupported of string
+
+(* ------------------------------------------------------------------ *)
+(* The Datalog fragment                                                *)
+(* ------------------------------------------------------------------ *)
+
+type arg = C of term (* Atm or Int — compared structurally *) | V of string
+
+exception Out of string
+
+let arg_of_term = function
+  | Atm _ | Int _ as c -> C c
+  | Var v -> V v
+  | Lst _ | App _ -> raise (Out "compound argument")
+
+let atom_of_term t =
+  match t with
+  | App (p, args) -> (p, List.map arg_of_term args)
+  | Atm p -> (p, [])
+  | _ -> raise (Out "head/goal is not a predicate call")
+
+let atom_of_goal = function
+  | Call t -> atom_of_term t
+  | Par _ -> raise (Out "parallel conjunction")
+
+type rule = { r_head : string * arg list; r_body : (string * arg list) list }
+
+let range_restricted { r_head = _, hargs; r_body } =
+  let bound =
+    List.concat_map (fun (_, args) ->
+        List.filter_map (function V v -> Some v | C _ -> None) args)
+      r_body
+  in
+  List.for_all (function C _ -> true | V v -> List.mem v bound) hargs
+
+(* ------------------------------------------------------------------ *)
+(* Fact store                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type store = {
+  seen : (string * term list, unit) Hashtbl.t;
+  by_pred : (string, term list list ref) Hashtbl.t;
+  mutable count : int;
+}
+
+let facts_of store p =
+  match Hashtbl.find_opt store.by_pred p with Some r -> !r | None -> []
+
+let add store (p, tuple) =
+  if Hashtbl.mem store.seen (p, tuple) then false
+  else begin
+    Hashtbl.replace store.seen (p, tuple) ();
+    let r =
+      match Hashtbl.find_opt store.by_pred p with
+      | Some r -> r
+      | None ->
+        let r = ref [] in
+        Hashtbl.replace store.by_pred p r;
+        r
+    in
+    r := tuple :: !r;
+    store.count <- store.count + 1;
+    true
+  end
+
+(* Environment: variable name -> constant, built by matching. *)
+let match_args args tuple env =
+  let rec go args tuple env =
+    match (args, tuple) with
+    | [], [] -> Some env
+    | C c :: args, t :: tuple -> if c = t then go args tuple env else None
+    | V v :: args, t :: tuple -> (
+      match List.assoc_opt v env with
+      | Some t' -> if t = t' then go args tuple env else None
+      | None -> go args tuple ((v, t) :: env))
+    | _ -> None
+  in
+  go args tuple env
+
+let instantiate env args =
+  List.map (function C c -> c | V v -> List.assoc v env) args
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let default_max_facts = 20_000
+
+let term_to_engine = function
+  | Atm a -> Ace_term.Term.atom a
+  | Int n -> Ace_term.Term.int n
+  | Lst _ | App _ | Var _ -> assert false (* store holds constants only *)
+
+let run ?(max_facts = default_max_facts) (case : Gen_prog.t) =
+  match
+    let rules =
+      List.map
+        (fun c ->
+          let r =
+            { r_head = atom_of_term c.c_head;
+              r_body = List.map atom_of_goal c.c_body }
+          in
+          if not (range_restricted r) then
+            raise (Out "head variable unbound by the body");
+          r)
+        case.clauses
+    in
+    let query =
+      match case.query with
+      | [ g ] -> atom_of_goal g
+      | _ -> raise (Out "query is not a single call")
+    in
+    (rules, query)
+  with
+  | exception Out msg -> Unsupported msg
+  | rules, (qp, qargs) -> (
+    let store =
+      { seen = Hashtbl.create 256; by_pred = Hashtbl.create 16; count = 0 }
+    in
+    (* delta per predicate from the previous round; round 0 treats every
+       rule as all-delta so facts (empty bodies) seed the store *)
+    let delta = ref None in
+    let delta_of p =
+      match !delta with
+      | None -> facts_of store p
+      | Some d -> ( match Hashtbl.find_opt d p with Some r -> !r | None -> [])
+    in
+    let exception Too_many in
+    let eval_round () =
+      let fresh = Hashtbl.create 16 in
+      let emit (p, tuple) =
+        if add store (p, tuple) then begin
+          if store.count > max_facts then raise Too_many;
+          let r =
+            match Hashtbl.find_opt fresh p with
+            | Some r -> r
+            | None ->
+              let r = ref [] in
+              Hashtbl.replace fresh p r;
+              r
+          in
+          r := tuple :: !r
+        end
+      in
+      List.iter
+        (fun rule ->
+          let nbody = List.length rule.r_body in
+          (* literal [d] reads the delta, the rest read the full store;
+             round 0 (delta = None) evaluates each rule once, all-full *)
+          let splits = if !delta = None then [ -1 ] else List.init nbody Fun.id in
+          List.iter
+            (fun d ->
+              let rec join i body env =
+                match body with
+                | [] -> emit (fst rule.r_head, instantiate env (snd rule.r_head))
+                | (p, args) :: rest ->
+                  let source = if i = d then delta_of p else facts_of store p in
+                  List.iter
+                    (fun tuple ->
+                      match match_args args tuple env with
+                      | Some env -> join (i + 1) rest env
+                      | None -> ())
+                    source
+              in
+              join 0 rule.r_body [])
+            splits)
+        rules;
+      delta := Some fresh;
+      Hashtbl.fold (fun _ r any -> any || !r <> []) fresh false
+    in
+    match
+      let continue = ref true in
+      while !continue do
+        continue := eval_round ()
+      done
+    with
+    | exception Too_many -> Overflow
+    | () ->
+      (* solutions are the instantiated query goal, matching what the
+         engines record for a solved query *)
+      let sols =
+        List.filter_map
+          (fun tuple ->
+            match match_args qargs tuple [] with
+            | Some env ->
+              Some
+                (Ace_term.Term.app qp
+                   (List.map term_to_engine (instantiate env qargs)))
+            | None -> None)
+          (facts_of store qp)
+      in
+      Solutions sols)

@@ -1,0 +1,19 @@
+(** Bounded semi-naive bottom-up (Datalog) evaluation of the tabled
+    cases — the independent reference for the tabled oracle rows.  Shares
+    no code with the engines: no terms, no unification, no answer
+    tables, so an SLG bug (or a seeded {!Ace_lang.Table.mutation})
+    cannot cancel out of the differential comparison. *)
+
+type outcome =
+  | Solutions of Ace_term.Term.t list
+      (** instantiated query goals, one per derived fact matching the
+          query — ground, so multiset comparison via {!Canon} is exact *)
+  | Overflow  (** more than [max_facts] derived facts *)
+  | Unsupported of string
+      (** outside the Datalog fragment (builtins, compound arguments,
+          parallel conjunctions, non-range-restricted rules) *)
+
+(** Evaluates the case bottom-up to fixpoint; [max_facts]
+    (default 20000) bounds the derived-fact count, so termination does
+    not depend on the generator. *)
+val run : ?max_facts:int -> Gen_prog.t -> outcome

@@ -143,6 +143,55 @@ let matrix ?extra_chaos ~seed ~schedules () =
   in
   (fixed @ sched @ extra, profiled_row)
 
+(* The matrix for a *tabled* (Datalog) case: every engine, compiled and
+   interpreted, plus chaos schedules — all compared against the
+   independent bottom-up evaluator ({!Naive}), not the sequential
+   engine, so a bug in the shared SLG machinery cannot cancel out.  A
+   tabled query is a single call whose answers the table deduplicates,
+   so set-vs-multiset comparison is exact. *)
+let tabled_matrix ?extra_chaos ~seed ~schedules () =
+  let seq1 = Config.default in
+  let all4 = Config.all_optimizations ~agents:4 () in
+  let c cfg = { cfg with Config.compile = true } in
+  let chaos k = Some (Chaos.make ~seed:(seed + k) ()) in
+  let fixed =
+    [
+      ("seq tabled", Engine.Sequential, seq1, None);
+      ("seq tabled compiled", Engine.Sequential, c seq1, None);
+      ("and@4 tabled", Engine.And_parallel, all4, None);
+      ("and@4 tabled compiled", Engine.And_parallel, c all4, None);
+      ("or@4 tabled", Engine.Or_parallel, all4, None);
+      ("or@4 tabled compiled", Engine.Or_parallel, c all4, None);
+      ("par@4 tabled", Engine.Par_or, all4, None);
+      ("par@4 tabled compiled", Engine.Par_or, c all4, None);
+    ]
+  in
+  let sched =
+    List.concat
+      (List.init schedules (fun k ->
+           [
+             (Printf.sprintf "and@4 tabled chaos#%d" k, Engine.And_parallel,
+              all4, chaos (1 + k));
+             (Printf.sprintf "or@4 tabled chaos#%d" k, Engine.Or_parallel,
+              all4, chaos (101 + k));
+             (Printf.sprintf "par@4 tabled chaos#%d" k, Engine.Par_or,
+              c all4, chaos (201 + k));
+           ]))
+  in
+  let extra =
+    match extra_chaos with
+    | None -> []
+    | Some ch ->
+      [
+        ("seq tabled replay", Engine.Sequential, seq1, Some ch);
+        ("par@4 tabled replay", Engine.Par_or, c all4, Some ch);
+      ]
+  in
+  let profiled_row =
+    [ ("par@4 tabled profiled", Engine.Par_or, c all4, None) ]
+  in
+  (fixed @ sched @ extra, profiled_row)
+
 let check ?(schedules = 2) ?mutation ?extra_chaos ?(profile_all = false)
     (case : Gen_prog.t) =
   let program = Gen_prog.program_text case in
@@ -154,17 +203,28 @@ let check ?(schedules = 2) ?mutation ?extra_chaos ?(profile_all = false)
       Gen_prog.program_text ~drop:(m_drop mod Gen_prog.clause_count case) case
     | _ -> program
   in
+  let tabled = case.Gen_prog.tabled <> [] in
+  (* tabled cases loop under plain SLD, so the reference is the
+     independent bottom-up evaluator instead of the sequential engine *)
   let reference =
-    let cfg = { Config.default with Config.max_solutions = Some (solution_cap + 1) } in
-    run_engine Engine.Sequential cfg ~program:(mutated_program Engine.Sequential)
-      ~query
+    if tabled then
+      match Naive.run case with
+      | Naive.Solutions ts -> Ok (Solutions (Canon.multiset ts))
+      | Naive.Overflow -> Error "tabled reference overflowed"
+      | Naive.Unsupported m -> Error ("tabled reference: " ^ m)
+    else
+      let cfg = { Config.default with Config.max_solutions = Some (solution_cap + 1) } in
+      Ok (run_engine Engine.Sequential cfg
+            ~program:(mutated_program Engine.Sequential) ~query)
   in
   match reference with
-  | Solutions ss when List.length ss > solution_cap ->
+  | Error why -> Skip why
+  | Ok (Solutions ss) when List.length ss > solution_cap ->
     Skip (Printf.sprintf "more than %d solutions" solution_cap)
-  | _ ->
+  | Ok reference ->
     let plain, profiled =
-      matrix ?extra_chaos ~seed:case.Gen_prog.seed ~schedules ()
+      (if tabled then tabled_matrix else matrix)
+        ?extra_chaos ~seed:case.Gen_prog.seed ~schedules ()
     in
     let runs =
       List.map (fun (l, k, c, ch) -> (l, k, c, ch, profile_all)) plain

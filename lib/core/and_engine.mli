@@ -32,6 +32,7 @@ val create :
   ?trace:Ace_obs.Trace.t ->
   ?chaos:Ace_sched.Chaos.t ->
   ?prof:Ace_obs.Prof.t ->
+  ?table:Ace_lang.Table.t ->
   Ace_machine.Config.t ->
   Ace_lang.Database.t ->
   Ace_term.Term.t ->
@@ -45,6 +46,7 @@ val solve :
   ?trace:Ace_obs.Trace.t ->
   ?chaos:Ace_sched.Chaos.t ->
   ?prof:Ace_obs.Prof.t ->
+  ?table:Ace_lang.Table.t ->
   Ace_machine.Config.t ->
   Ace_lang.Database.t ->
   Ace_term.Term.t ->

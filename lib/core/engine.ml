@@ -48,17 +48,27 @@ let with_alloc_counters f =
     result.stats.Stats.promoted_words + promoted;
   result
 
-let solve ?output ?trace ?chaos ?prof kind (config : Config.t) db goal =
+let solve ?output ?trace ?chaos ?prof ?table kind (config : Config.t) db goal =
   (* warm the lookup caches once; the run itself then reads the database
      without mutating it (required by the multi-domain engine) *)
   Database.freeze db;
+  (* one answer table per run unless the caller shares one across runs;
+     only the multi-domain engine needs the per-shard locks *)
+  let table =
+    match table with
+    | Some t -> t
+    | None ->
+      Ace_lang.Table.create
+        ~locked:(kind = Par_or)
+        ~max_answers:config.Config.table_max_answers ()
+  in
   with_alloc_counters @@ fun () ->
   match kind with
   | Sequential ->
     let solutions, m =
       Seq_engine.solve ?output ?trace ?chaos ?prof ~cost:config.Config.cost
-        ~compile:config.Config.compile ?limit:config.Config.max_solutions db
-        goal
+        ~compile:config.Config.compile ~table
+        ?limit:config.Config.max_solutions db goal
     in
     let stats = Seq_engine.stats m in
     {
@@ -68,7 +78,7 @@ let solve ?output ?trace ?chaos ?prof kind (config : Config.t) db goal =
       time = Seq_engine.time m;
     }
   | And_parallel ->
-    let r = And_engine.solve ?output ?trace ?chaos ?prof config db goal in
+    let r = And_engine.solve ?output ?trace ?chaos ?prof ~table config db goal in
     {
       solutions = r.And_engine.solutions;
       stats = r.And_engine.stats;
@@ -76,7 +86,7 @@ let solve ?output ?trace ?chaos ?prof kind (config : Config.t) db goal =
       time = r.And_engine.time;
     }
   | Or_parallel ->
-    let r = Or_engine.solve ?output ?trace ?chaos ?prof config db goal in
+    let r = Or_engine.solve ?output ?trace ?chaos ?prof ~table config db goal in
     {
       solutions = r.Or_engine.solutions;
       stats = r.Or_engine.stats;
@@ -84,7 +94,7 @@ let solve ?output ?trace ?chaos ?prof kind (config : Config.t) db goal =
       time = r.Or_engine.time;
     }
   | Par_or ->
-    let r = Par_or_engine.solve ?output ?trace ?chaos ?prof config db goal in
+    let r = Par_or_engine.solve ?output ?trace ?chaos ?prof ~table config db goal in
     {
       solutions = r.Par_or_engine.solutions;
       stats = r.Par_or_engine.stats;
@@ -93,10 +103,10 @@ let solve ?output ?trace ?chaos ?prof kind (config : Config.t) db goal =
     }
 
 (* Convenience: consult a program and run a query in one call. *)
-let solve_program ?output ?trace ?chaos ?prof kind config ~program ~query =
+let solve_program ?output ?trace ?chaos ?prof ?table kind config ~program ~query =
   let p = Ace_lang.Program.consult_string program in
   let q = Ace_lang.Program.parse_query query in
-  solve ?output ?trace ?chaos ?prof kind config (Ace_lang.Program.db p)
+  solve ?output ?trace ?chaos ?prof ?table kind config (Ace_lang.Program.db p)
     q.Ace_lang.Program.goal
 
 (* Solutions as a sorted list (for multiset comparison between engines,

@@ -37,12 +37,19 @@ type result = {
     [prof] (default {!Ace_obs.Prof.disabled}) attaches the per-predicate
     profiler: 4-port counters, exclusive cost attribution and call-graph
     edges, sharded per agent/domain.  Profiling observes the run without
-    perturbing it — solutions are unchanged. *)
+    perturbing it — solutions are unchanged.
+
+    [table] (default: a fresh table sized by
+    [config.table_max_answers], sharded with per-shard locks only for
+    [Par_or]) is the shared SLG answer table for [:- table] predicates.
+    Pass one explicitly to share answers across runs or to inspect
+    entries and the completion log after the run. *)
 val solve :
   ?output:Buffer.t ->
   ?trace:Ace_obs.Trace.t ->
   ?chaos:Ace_sched.Chaos.t ->
   ?prof:Ace_obs.Prof.t ->
+  ?table:Ace_lang.Table.t ->
   kind ->
   Ace_machine.Config.t ->
   Ace_lang.Database.t ->
@@ -55,6 +62,7 @@ val solve_program :
   ?trace:Ace_obs.Trace.t ->
   ?chaos:Ace_sched.Chaos.t ->
   ?prof:Ace_obs.Prof.t ->
+  ?table:Ace_lang.Table.t ->
   kind ->
   Ace_machine.Config.t ->
   program:string ->

@@ -14,6 +14,8 @@ module Cost = Ace_machine.Cost
 module Stats = Ace_machine.Stats
 module Config = Ace_machine.Config
 module Prof = Ace_obs.Prof
+module Trace = Ace_obs.Trace
+module Table = Ace_lang.Table
 
 module type SCHEDULER = sig
   type t
@@ -24,6 +26,7 @@ module type SCHEDULER = sig
   val charge : t -> int -> unit
   val scratch : t -> Code.scratch
   val prof : t -> Prof.shard
+  val record : t -> Trace.kind -> int -> unit
 end
 
 type cls =
@@ -476,6 +479,399 @@ module Resolver (S : SCHEDULER) = struct
   let unsupported _s g =
     Errors.error "control construct %s not supported inside %s"
       (Ace_term.Pp.to_string g) S.name
+
+  (* ---------------------------------------------------------------- *)
+  (* Tabling: SLG evaluation of tabled subgoals                        *)
+  (*                                                                   *)
+  (* A tabled call is answered from the shared answer table; when the  *)
+  (* table is incomplete the calling worker evaluates the subgoal to   *)
+  (* completion right here, with a private mini-solver, and only then  *)
+  (* returns to the engine.  The engine consumes the finished answers  *)
+  (* as pseudo-fact clauses through its ordinary choice-point/trail    *)
+  (* machinery, so tabling never adds frame kinds to the engines.      *)
+  (*                                                                   *)
+  (* The mini-solver is an SLD interpreter in CPS over a private       *)
+  (* trail, with generator frames kept on an explicit stack.  Mutual   *)
+  (* recursion between tabled predicates is handled with a lowlink     *)
+  (* (Tarjan-style leader) check: a frame whose evaluation consumed an *)
+  (* older on-stack entry is subordinate and stays on the stack; the   *)
+  (* region's oldest frame (the leader) drives naive fixpoint rounds — *)
+  (* every region frame is re-passed until a round inserts no new      *)
+  (* answer and every consumption of an incomplete table saw the       *)
+  (* table's final answer count.  Answer sets only grow (inserts are   *)
+  (* deduplicated in the shared trie), so count stability means the    *)
+  (* least fixpoint was reached even when several workers evaluate the *)
+  (* same region concurrently: workers never wait on each other, they  *)
+  (* at worst re-derive answers the trie rejects as duplicates.        *)
+
+  exception Cut_hit of int
+
+  type tframe = {
+    fr_entry : Table.entry;
+    fr_depth : int;            (* position on the generator stack *)
+    mutable fr_low : int;      (* shallowest on-stack entry consumed *)
+    mutable fr_passes : int;
+  }
+
+  (* Per-fixpoint-round bookkeeping.  Rounds nest (an inner independent
+     SCC completes inside an outer round), so each leader scopes its own
+     record and a subordinate first pass merges its records upward. *)
+  type tround = {
+    mutable rc_inserts : int;
+    rc_consumed : (int, Table.entry * int) Hashtbl.t;
+      (* entry id -> smallest incomplete snapshot consumed this round *)
+  }
+
+  type teval = {
+    tv_s : S.t;
+    tv_table : Table.t;
+    tv_db : Database.t;
+    tv_compiled : bool;
+    tv_ctx : Builtins.ctx;     (* engine ctx rebased on the private trail *)
+    tv_trail : Trail.t;
+    mutable tv_frames : tframe list;        (* generator stack, newest first *)
+    tv_on_stack : (int, tframe) Hashtbl.t;  (* entry id -> its frame *)
+    mutable tv_cur : tframe option;         (* the generator being passed *)
+    mutable tv_round : tround;
+    mutable tv_cuts : int;                  (* fresh cut-barrier ids *)
+  }
+
+  let fresh_round () = { rc_inserts = 0; rc_consumed = Hashtbl.create 8 }
+
+  (* Records that a consumer read [n] answers of the incomplete [entry];
+     the round is only quiescent if the smallest such snapshot equals the
+     entry's final count (a smaller one means some rule evaluation missed
+     answers and must be re-passed). *)
+  let note_consumed rc (entry : Table.entry) n =
+    match Hashtbl.find_opt rc.rc_consumed entry.Table.id with
+    | Some (_, m) when m <= n -> ()
+    | _ -> Hashtbl.replace rc.rc_consumed entry.Table.id (entry, n)
+
+  (* Quiescent if nothing incomplete was consumed (the round was plain
+     SLD over complete tables, hence exhaustive), or if no new answer
+     was derived and every snapshot consumed was already final. *)
+  let round_stable rc =
+    Hashtbl.length rc.rc_consumed = 0
+    || rc.rc_inserts = 0
+       && Hashtbl.fold
+            (fun _ ((entry : Table.entry), n) ok ->
+              ok && Table.answer_count entry = n)
+            rc.rc_consumed true
+
+  (* A solution of the current generator: resolve the bindings away and
+     publish into the shared answer trie (insert-if-new). *)
+  let tinsert tv (entry : Table.entry) goal =
+    let stats = S.stats tv.tv_s in
+    match Table.insert tv.tv_table entry (Term.copy_resolved goal) with
+    | Table.Inserted ->
+      tv.tv_round.rc_inserts <- tv.tv_round.rc_inserts + 1;
+      stats.Stats.table_answers <- stats.Stats.table_answers + 1;
+      S.record tv.tv_s Trace.Table_answer entry.Table.id
+    | Table.Duplicate -> ()
+    | Table.Overflow ->
+      Errors.error "tabled subgoal %s exceeded the answer limit %d (raise it with --table-max-answers)"
+        (Ace_term.Pp.to_canonical_string entry.Table.subgoal)
+        (Table.max_answers tv.tv_table)
+
+  (* Enumerates an entry's current answers against [goal].  For an
+     incomplete entry this is a consumer reading a snapshot; the size it
+     saw is noted for the leader's quiescence check. *)
+  let tconsume tv ~complete (entry : Table.entry) goal sk =
+    let s = tv.tv_s in
+    let answers = Table.answers entry in
+    if not complete then
+      note_consumed tv.tv_round entry (List.length answers);
+    List.iter
+      (fun ans ->
+        let inst = if Term.is_ground ans then ans else Term.rename ans in
+        let mark = Trail.mark tv.tv_trail in
+        if unify_goal s ~trail:tv.tv_trail goal inst then begin
+          sk ();
+          untrail s tv.tv_trail mark
+        end
+        else untrail s tv.tv_trail mark)
+      answers
+
+  let tsuspend tv (entry : Table.entry) goal sk =
+    let stats = S.stats tv.tv_s in
+    stats.Stats.table_suspends <- stats.Stats.table_suspends + 1;
+    S.record tv.tv_s Trace.Table_suspend entry.Table.id;
+    tconsume tv ~complete:false entry goal sk
+
+  (* The body solver: SLD resolution in CPS.  Invariant: every entry
+     point returns with the private trail restored to its state at the
+     call, and [sk] is invoked once per solution with the bindings in
+     place.  Cut is an exception barrier: each predicate invocation (and
+     each cut-opaque construct) allocates a fresh id; [!] succeeds and
+     then raises to its barrier, whose handler restores the trail. *)
+  let rec tsolve tv ~cut goal sk =
+    let g = Term.deref goal in
+    if is_plain g then tcall tv g sk
+    else
+      match classify g with
+      | Cut ->
+        sk ();
+        raise (Cut_hit cut)
+      | Conj g' | Amp g' -> (
+        (* no parallel machinery inside a generator: '&' runs as ',' *)
+        match Term.deref g' with
+        | Term.Struct (_, [| a; b |]) ->
+          tsolve tv ~cut a (fun () -> tsolve tv ~cut b sk)
+        | _ -> assert false)
+      | Disj (a, b) ->
+        tsolve tv ~cut a sk;
+        tsolve tv ~cut b sk
+      | Ite (c, t, e) ->
+        let s = tv.tv_s in
+        let mark = Trail.mark tv.tv_trail in
+        tv.tv_cuts <- tv.tv_cuts + 1;
+        let bid = tv.tv_cuts in
+        let taken = ref false in
+        (try
+           tsolve tv ~cut:bid c (fun () ->
+               taken := true;
+               raise (Cut_hit bid))
+         with Cut_hit i when i = bid -> ());
+        if !taken then begin
+          (* committed to the condition's first solution: its bindings
+             are still in place (the barrier raise skipped the undos) *)
+          tsolve tv ~cut t sk;
+          untrail s tv.tv_trail mark
+        end
+        else tsolve tv ~cut e sk
+      | Naf g' ->
+        let s = tv.tv_s in
+        let mark = Trail.mark tv.tv_trail in
+        tv.tv_cuts <- tv.tv_cuts + 1;
+        let bid = tv.tv_cuts in
+        let found = ref false in
+        (try
+           tsolve tv ~cut:bid g' (fun () ->
+               found := true;
+               raise (Cut_hit bid))
+         with Cut_hit i when i = bid -> ());
+        untrail s tv.tv_trail mark;
+        if not !found then sk ()
+      | Meta g' ->
+        (* call/1 is cut-opaque: a fresh barrier, absorbed here *)
+        tv.tv_cuts <- tv.tv_cuts + 1;
+        let bid = tv.tv_cuts in
+        let mark = Trail.mark tv.tv_trail in
+        (try tsolve tv ~cut:bid g' sk
+         with Cut_hit i when i = bid -> untrail tv.tv_s tv.tv_trail mark)
+      | Sentinel _ ->
+        Errors.error "solution sentinel inside a tabled generator"
+      | Goal g' -> tcall tv g' sk
+
+  and tcall tv g sk =
+    let s = tv.tv_s in
+    let mark = Trail.mark tv.tv_trail in
+    match call_builtin s tv.tv_ctx g with
+    | Builtins.Ok ->
+      sk ();
+      untrail s tv.tv_trail mark
+    | Builtins.Fail -> untrail s tv.tv_trail mark
+    | Builtins.Not_builtin ->
+      if Database.is_tabled_goal tv.tv_db g then ttabled tv g sk
+      else tresolve tv g sk
+
+  (* Plain (untabled) user predicate: ordinary clause resolution.  The
+     compiled flag only steers clause selection through the dispatch
+     tree; bodies are resolved interpreted, which is observationally
+     equivalent and keeps the generator solver small. *)
+  and tresolve tv goal sk =
+    let s = tv.tv_s in
+    let clauses = select s ~compiled:tv.tv_compiled tv.tv_db goal in
+    tv.tv_cuts <- tv.tv_cuts + 1;
+    let bid = tv.tv_cuts in
+    let mark = Trail.mark tv.tv_trail in
+    try
+      List.iter
+        (fun clause ->
+          let m = Trail.mark tv.tv_trail in
+          (match try_clause s ~trail:tv.tv_trail goal clause with
+          | R_fail -> ()
+          | R_body body -> tbody tv ~cut:bid body sk
+          | R_exec _ -> assert false (* try_clause never answers R_exec *));
+          untrail s tv.tv_trail m)
+        clauses
+    with Cut_hit i when i = bid -> untrail s tv.tv_trail mark
+
+  and tbody tv ~cut body sk =
+    match body with
+    | [] -> sk ()
+    | Clause.Call g :: rest -> tsolve tv ~cut g (fun () -> tbody tv ~cut rest sk)
+    | Clause.Par bodies :: rest ->
+      (* parallel conjunctions run sequentially inside a generator *)
+      tseq tv ~cut bodies (fun () -> tbody tv ~cut rest sk)
+    | Clause.Exec _ :: _ -> assert false (* interpreted bodies only *)
+
+  and tseq tv ~cut bodies sk =
+    match bodies with
+    | [] -> sk ()
+    | b :: rest -> tbody tv ~cut b (fun () -> tseq tv ~cut rest sk)
+
+  (* A tabled call inside a generator. *)
+  and ttabled tv g sk =
+    let stats = S.stats tv.tv_s in
+    let entry, created = Table.subgoal_entry tv.tv_table g in
+    if created then begin
+      stats.Stats.table_subgoals <- stats.Stats.table_subgoals + 1;
+      S.record tv.tv_s Trace.Table_subgoal entry.Table.id
+    end
+    else stats.Stats.table_variant_hits <- stats.Stats.table_variant_hits + 1;
+    if Table.is_complete entry then begin
+      stats.Stats.table_answer_hits <- stats.Stats.table_answer_hits + 1;
+      tconsume tv ~complete:true entry g sk
+    end
+    else
+      match Hashtbl.find_opt tv.tv_on_stack entry.Table.id with
+      | Some fr ->
+        (* consumer of an on-stack generator: the running generator's
+           region now reaches down to [fr] *)
+        (match tv.tv_cur with
+        | Some cur -> cur.fr_low <- min cur.fr_low fr.fr_depth
+        | None -> assert false (* on-stack entries imply a running pass *));
+        tsuspend tv entry g sk
+      | None -> (
+        teval_entry tv entry;
+        if Table.is_complete entry then begin
+          stats.Stats.table_answer_hits <- stats.Stats.table_answer_hits + 1;
+          tconsume tv ~complete:true entry g sk
+        end
+        else
+          (* the new entry joined an enclosing region (its lowlink
+             reached below it); consume the snapshot built so far *)
+          tsuspend tv entry g sk)
+
+  (* One generator pass: a fresh instance of the subgoal resolved
+     against the program, every solution published into the entry. *)
+  and tpass tv fr =
+    let s = tv.tv_s in
+    let stats = S.stats s in
+    fr.fr_passes <- fr.fr_passes + 1;
+    if fr.fr_passes > 1 then begin
+      stats.Stats.table_resumes <- stats.Stats.table_resumes + 1;
+      S.record s Trace.Table_resume fr.fr_entry.Table.id
+    end;
+    let saved_cur = tv.tv_cur in
+    tv.tv_cur <- Some fr;
+    let goal = Term.rename fr.fr_entry.Table.subgoal in
+    tresolve tv goal (fun () -> tinsert tv fr.fr_entry goal);
+    tv.tv_cur <- saved_cur
+
+  (* Evaluates a new entry: push a generator frame and run its first
+     pass.  If the pass consumed an older on-stack entry the frame is
+     subordinate — it stays on the stack and its bookkeeping merges into
+     the enclosing round, whose leader will re-pass it.  Otherwise the
+     frame leads its own region: iterate fixpoint rounds over every
+     frame at or below it, then pop and complete the whole region. *)
+  and teval_entry tv entry =
+    let s = tv.tv_s in
+    S.charge s (S.cost s).Cost.index_lookup;
+    let depth =
+      match tv.tv_frames with [] -> 0 | f :: _ -> f.fr_depth + 1
+    in
+    let fr =
+      { fr_entry = entry; fr_depth = depth; fr_low = depth; fr_passes = 0 }
+    in
+    tv.tv_frames <- fr :: tv.tv_frames;
+    Hashtbl.replace tv.tv_on_stack entry.Table.id fr;
+    let saved_round = tv.tv_round in
+    let rc = fresh_round () in
+    tv.tv_round <- rc;
+    tpass tv fr;
+    if fr.fr_low < fr.fr_depth then begin
+      (* subordinate: hand the bookkeeping up to the enclosing round and
+         propagate the lowlink to the generator that called us *)
+      tv.tv_round <- saved_round;
+      saved_round.rc_inserts <- saved_round.rc_inserts + rc.rc_inserts;
+      Hashtbl.iter
+        (fun _ (e, n) -> note_consumed saved_round e n)
+        rc.rc_consumed;
+      match tv.tv_cur with
+      | Some parent -> parent.fr_low <- min parent.fr_low fr.fr_low
+      | None -> assert false (* a lowered lowlink implies an outer pass *)
+    end
+    else begin
+      (* leader: fixpoint rounds over the region (frames may join it
+         mid-round; they are passed on entry, within the round) *)
+      while not (round_stable rc) do
+        rc.rc_inserts <- 0;
+        Hashtbl.reset rc.rc_consumed;
+        let region =
+          List.rev
+            (List.filter (fun f -> f.fr_depth >= fr.fr_depth) tv.tv_frames)
+        in
+        List.iter (fun f -> tpass tv f) region
+      done;
+      tv.tv_round <- saved_round;
+      (* completion, deepest frame first (the leader logs last) *)
+      let rec pop () =
+        match tv.tv_frames with
+        | f :: rest when f.fr_depth >= fr.fr_depth ->
+          tv.tv_frames <- rest;
+          Hashtbl.remove tv.tv_on_stack f.fr_entry.Table.id;
+          Table.set_complete tv.tv_table f.fr_entry;
+          S.record s Trace.Table_complete f.fr_entry.Table.id;
+          pop ()
+        | _ -> ()
+      in
+      pop ()
+    end
+
+  (* The engine entry point.  Ensures [goal]'s table is complete —
+     evaluating the subgoal synchronously when it is not — and returns
+     the answers as pseudo-fact clauses, so the engine's ordinary clause
+     machinery (choice points, trail, publication, profiling) enumerates
+     them exactly like a predicate of facts. *)
+  let table_call s ~table ~ctx ~compiled ~db goal =
+    let stats = S.stats s in
+    let entry, created = Table.subgoal_entry table goal in
+    if created then begin
+      stats.Stats.table_subgoals <- stats.Stats.table_subgoals + 1;
+      S.record s Trace.Table_subgoal entry.Table.id
+    end
+    else stats.Stats.table_variant_hits <- stats.Stats.table_variant_hits + 1;
+    if Table.is_complete entry then
+      stats.Stats.table_answer_hits <- stats.Stats.table_answer_hits + 1
+    else begin
+      let trail = Trail.create () in
+      let tv =
+        {
+          tv_s = s;
+          tv_table = table;
+          tv_db = db;
+          tv_compiled = compiled;
+          tv_ctx = { ctx with Builtins.trail };
+          tv_trail = trail;
+          tv_frames = [];
+          tv_on_stack = Hashtbl.create 16;
+          tv_cur = None;
+          tv_round = fresh_round ();
+          tv_cuts = 0;
+        }
+      in
+      teval_entry tv entry;
+      (* with no enclosing generator the entry's lowlink cannot drop
+         below its depth, so it led its own region and is complete *)
+      assert (Table.is_complete entry)
+    end;
+    match entry.Table.answer_clauses with
+    | Some clauses -> clauses
+    | None ->
+      let clauses =
+        List.map
+          (fun ans ->
+            let c = Clause.of_term ans in
+            (* precompile before publishing the clause so concurrent
+               readers never race on the mutable code slot *)
+            ignore (Code.of_clause c : Code.t);
+            c)
+          (Table.answers entry)
+      in
+      entry.Table.answer_clauses <- Some clauses;
+      clauses
 end
 
 (* ------------------------------------------------------------------ *)

@@ -56,6 +56,11 @@ module type SCHEDULER = sig
       profiling is off — every kernel hook is then a load and a
       branch).  Same single-writer discipline as [stats] and
       [scratch]. *)
+
+  val record : t -> Ace_obs.Trace.kind -> int -> unit
+  (** Records a trace event into the current context's ring buffer (the
+      simulated engines stamp it with their virtual clock).  A no-op
+      when tracing is off. *)
 end
 
 (** Goal classification shared by every dispatch loop.  Constructors
@@ -201,6 +206,20 @@ module Resolver (S : SCHEDULER) : sig
 
   val unsupported : S.t -> Term.t -> 'a
   (** Raises the "control construct not supported" engine error. *)
+
+  val table_call :
+    S.t -> table:Ace_lang.Table.t -> ctx:Builtins.ctx -> compiled:bool ->
+    db:Database.t -> Term.t -> Clause.t list
+  (** SLG evaluation of a tabled call.  Ensures the call's subgoal table
+      is complete — when it is not, the calling worker evaluates the
+      subgoal to completion right here with a private solver (fixpoint
+      rounds over the subgoal's strongly-connected region; see
+      DESIGN.md, "Tabling") — then returns the answers as pseudo-fact
+      clauses, precompiled, so the engine enumerates them through its
+      ordinary clause machinery.  Workers never block on each other:
+      concurrent callers of an incomplete subgoal evaluate redundantly
+      and deduplicate through the shared answer trie.  Raises the
+      engine error when a subgoal exceeds [Table.max_answers]. *)
 end
 
 (** The paper's optimization schemas as pure decisions (unit-tested in

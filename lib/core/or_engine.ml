@@ -34,6 +34,7 @@ module Trail = Ace_term.Trail
 module Clause = Ace_lang.Clause
 module Code = Ace_lang.Code
 module Database = Ace_lang.Database
+module Table = Ace_lang.Table
 module Cost = Ace_machine.Cost
 module Stats = Ace_machine.Stats
 module Config = Ace_machine.Config
@@ -58,6 +59,7 @@ type worker = {
 
 type t = {
   db : Database.t;
+  table : Table.t; (* shared answer table for tabled predicates *)
   config : Config.t;
   cost : Cost.t;
   shards : Stats.t array; (* one per simulated worker *)
@@ -115,6 +117,7 @@ module K = Kernel.Resolver (struct
      never hand one agent's half-loaded registers to another. *)
   let scratch st = st.scratches.(cur st)
   let prof = psh
+  let record = record
 end)
 
 (* ------------------------------------------------------------------ *)
@@ -237,6 +240,11 @@ and user_call_regs st w sym arity cont =
   if st.finished then ()
   else
     let regs = st.scratches.(w.w_id).Code.s_regs in
+    if Database.is_tabled st.db sym arity then
+      (* materialize the register call: tabled answers must outlive the
+         registers, and the table keys on the goal term *)
+      user_call st w (Kernel.goal_of_regs sym arity regs) cont
+    else
     match K.select_args st st.db sym arity regs with
     | [] -> backtrack st w
     | [ clause ] ->
@@ -290,7 +298,15 @@ and dispatch_control st w g cont =
     | Builtins.Not_builtin -> user_call st w g cont)
 
 and user_call st w g cont =
-  match K.select st ~compiled:st.config.Config.compile st.db g with
+  let clauses =
+    (* tabled predicates answer from the shared table; the kernel
+       completes the subgoal first when needed (see Kernel.table_call) *)
+    if Database.is_tabled_goal st.db g then
+      K.table_call st ~table:st.table ~ctx:(ctx_of st w)
+        ~compiled:st.config.Config.compile ~db:st.db g
+    else K.select st ~compiled:st.config.Config.compile st.db g
+  in
+  match clauses with
   | [] -> backtrack st w
   | [ clause ] -> continue st w (try_clause st w g clause) cont
   | clause :: rest ->
@@ -475,7 +491,7 @@ type result = {
 }
 
 let create ?output ?(trace = Trace.disabled) ?(chaos = Chaos.disabled)
-    ?(prof = Prof.disabled) (config : Config.t) db goal =
+    ?(prof = Prof.disabled) ?table (config : Config.t) db goal =
   let config = Config.validate config in
   let sim = Sim.create ~max_steps:3_000_000 () in
   let workers =
@@ -493,6 +509,10 @@ let create ?output ?(trace = Trace.disabled) ?(chaos = Chaos.disabled)
   in
   {
     db;
+    table =
+      (match table with
+      | Some t -> t
+      | None -> Table.create ~max_answers:config.Config.table_max_answers ());
     config;
     cost = config.Config.cost;
     shards;
@@ -525,5 +545,5 @@ let run st =
     time = Sim.stop_time st.sim;
   }
 
-let solve ?output ?trace ?chaos ?prof config db goal =
-  run (create ?output ?trace ?chaos ?prof config db goal)
+let solve ?output ?trace ?chaos ?prof ?table config db goal =
+  run (create ?output ?trace ?chaos ?prof ?table config db goal)

@@ -47,6 +47,7 @@ module Trail = Ace_term.Trail
 module Clause = Ace_lang.Clause
 module Code = Ace_lang.Code
 module Database = Ace_lang.Database
+module Table = Ace_lang.Table
 module Stats = Ace_machine.Stats
 module Config = Ace_machine.Config
 module Deque = Ace_sched.Deque
@@ -98,6 +99,7 @@ type cp = {
 
 type shared = {
   db : Database.t;
+  table : Table.t; (* shared answer table for tabled predicates (locked) *)
   config : Config.t;
   deques : task Deque.t array;
   hungry : int Atomic.t;      (* workers currently idle and stealing *)
@@ -171,6 +173,7 @@ module K = Kernel.Resolver (struct
   let charge _ _ = ()
   let scratch w = w.w_scratch
   let prof w = w.w_prof
+  let record w kind arg = Trace.record w.tbuf kind arg
 end)
 
 (* ------------------------------------------------------------------ *)
@@ -349,6 +352,11 @@ and user_call_regs w m sym arity cont =
   if aborted w m then ()
   else
     let regs = w.w_scratch.Code.s_regs in
+    if Database.is_tabled w.sh.db sym arity then
+      (* materialize the register call: tabled answers must outlive the
+         registers, and the table keys on the goal term *)
+      user_call w m (Kernel.goal_of_regs sym arity regs) cont
+    else
     match K.select_args w w.sh.db sym arity regs with
     | [] -> backtrack w m
     | [ clause ] ->
@@ -394,7 +402,16 @@ and dispatch_control w m g cont =
 
 and user_call w m g cont =
   let compiled = w.sh.config.Config.compile in
-  match K.select w ~compiled w.sh.db g with
+  let clauses =
+    (* tabled predicates answer from the shared (locked) table; the
+       kernel completes the subgoal first when needed.  Workers never
+       block on each other: concurrent callers evaluate redundantly and
+       deduplicate through the shared answer trie. *)
+    if Database.is_tabled_goal w.sh.db g then
+      K.table_call w ~table:w.sh.table ~ctx:m.m_ctx ~compiled ~db:w.sh.db g
+    else K.select w ~compiled w.sh.db g
+  in
+  match clauses with
   | [] -> backtrack w m
   | [ clause ] ->
     (* determinate after indexing: no choice point *)
@@ -742,13 +759,19 @@ type result = {
 }
 
 let solve ?output ?(trace = Trace.disabled) ?(chaos = Chaos.disabled)
-    ?(prof = Prof.disabled) (config : Config.t) db goal =
+    ?(prof = Prof.disabled) ?table (config : Config.t) db goal =
   let config = Config.validate config in
   let p = config.Config.agents in
   let metrics = Metrics.create ~domains:p in
   let sh =
     {
       db;
+      table =
+        (match table with
+        | Some t -> t
+        | None ->
+          Table.create ~locked:true
+            ~max_answers:config.Config.table_max_answers ());
       config;
       deques = Array.init p (fun _ -> Deque.create ());
       hungry = Atomic.make 0;

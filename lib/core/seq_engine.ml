@@ -17,6 +17,7 @@ module Trail = Ace_term.Trail
 module Clause = Ace_lang.Clause
 module Code = Ace_lang.Code
 module Database = Ace_lang.Database
+module Table = Ace_lang.Table
 module Cost = Ace_machine.Cost
 module Stats = Ace_machine.Stats
 module Chaos = Ace_sched.Chaos
@@ -43,6 +44,7 @@ type cp = {
 
 type t = {
   db : Database.t;
+  table : Table.t; (* shared answer table for tabled predicates *)
   trail : Trail.t;
   stats : Stats.t;
   cost : Cost.t;
@@ -67,11 +69,12 @@ type t = {
 
 let create ?(cost = Cost.default) ?(compile = false) ?output
     ?(trace = Trace.disabled) ?(chaos = Chaos.disabled)
-    ?(prof = Prof.disabled) db goal =
+    ?(prof = Prof.disabled) ?table db goal =
   let trail = Trail.create () in
   let m =
     {
       db;
+      table = (match table with Some t -> t | None -> Table.create ());
       trail;
       stats = Stats.create ();
       cost;
@@ -108,6 +111,7 @@ module K = Kernel.Resolver (struct
   let charge = spend
   let scratch m = m.sc
   let prof m = m.prof
+  let record m kind arg = Trace.record_at m.tbuf ~ts:m.charge kind arg
 end)
 
 (* [mark] is the trail height the choice point restores on backtracking —
@@ -253,7 +257,15 @@ and solve_once m g =
   found
 
 and user_call m g cont =
-  match K.select m ~compiled:m.compile m.db g with
+  let clauses =
+    (* tabled predicates are answered from the shared answer table; the
+       kernel completes the subgoal first if needed and the pseudo-fact
+       answers flow through the ordinary clause machinery below *)
+    if Database.is_tabled_goal m.db g then
+      K.table_call m ~table:m.table ~ctx:m.ctx ~compiled:m.compile ~db:m.db g
+    else K.select m ~compiled:m.compile m.db g
+  in
+  match clauses with
   | [] -> backtrack m
   | [ clause ] ->
     (* Determinate after indexing: no choice point (the property LPCO and
@@ -278,6 +290,11 @@ and continue m resolved cont =
    Only the nondeterminate case materializes a goal term — alternatives
    stored in a choice point must outlive the registers. *)
 and user_call_regs m sym arity cont =
+  if Database.is_tabled m.db sym arity then
+    (* materialize the register call: tabled answers must outlive the
+       registers, and the table keys on the goal term *)
+    user_call m (Kernel.goal_of_regs sym arity m.sc.Code.s_regs) cont
+  else
   match K.select_args m m.db sym arity m.sc.Code.s_regs with
   | [] -> backtrack m
   | [ clause ] ->
@@ -416,7 +433,7 @@ let stats m = m.stats
 
 let time m = m.charge
 
-let solve ?cost ?compile ?output ?trace ?chaos ?prof ?limit db goal =
-  let m = create ?cost ?compile ?output ?trace ?chaos ?prof db goal in
+let solve ?cost ?compile ?output ?trace ?chaos ?prof ?table ?limit db goal =
+  let m = create ?cost ?compile ?output ?trace ?chaos ?prof ?table db goal in
   let solutions = all_solutions ?limit m in
   (solutions, m)

@@ -28,6 +28,7 @@ val create :
   ?trace:Ace_obs.Trace.t ->
   ?chaos:Ace_sched.Chaos.t ->
   ?prof:Ace_obs.Prof.t ->
+  ?table:Ace_lang.Table.t ->
   Ace_lang.Database.t ->
   Ace_term.Term.t ->
   t
@@ -56,6 +57,7 @@ val solve :
   ?trace:Ace_obs.Trace.t ->
   ?chaos:Ace_sched.Chaos.t ->
   ?prof:Ace_obs.Prof.t ->
+  ?table:Ace_lang.Table.t ->
   ?limit:int ->
   Ace_lang.Database.t ->
   Ace_term.Term.t ->

@@ -19,6 +19,10 @@ val host_cores : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 val recommended_domains : unit -> int
 
+(** The standard host object embedded in every BENCH_*.json: core
+    count, recommended domains and the OCaml version. *)
+val host_json : unit -> Ace_obs.Json.t
+
 (** Prints a warning on stderr when a sweep requests more domains than
     the host has cores. *)
 val warn_domains : requested:int -> unit

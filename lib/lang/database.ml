@@ -134,9 +134,22 @@ type t = {
   mutable frozen : bool;
     (* caches are complete and the database is read-only; cleared by
        asserts, making a second {!freeze} O(1) *)
+  tabled : string PredTbl.t;
+    (* predicates declared [:- table name/arity]; the value is the
+       predicate name (cold-path introspection only).  Registered at
+       consult time, read-only afterwards. *)
+  mutable has_tabled : bool;
+    (* fast gate so the engines' dispatch loops pay one load per call
+       on programs with no tabled predicate *)
 }
 
-let create () = { preds = PredTbl.create 64; frozen = false }
+let create () =
+  {
+    preds = PredTbl.create 64;
+    frozen = false;
+    tabled = PredTbl.create 4;
+    has_tabled = false;
+  }
 
 let clause_key clause =
   match Term.deref clause.Clause.head with
@@ -532,6 +545,29 @@ let freeze db =
     db.frozen <- true;
     freeze_preds db
   end
+
+(* ------------------------------------------------------------------ *)
+(* Tabling registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let set_tabled db name arity =
+  let sym = Symbol.intern name in
+  PredTbl.replace db.tabled (Symbol.id sym, arity) name;
+  db.has_tabled <- true
+
+let is_tabled db sym arity =
+  db.has_tabled && PredTbl.mem db.tabled (Symbol.id sym, arity)
+
+let is_tabled_goal db goal =
+  db.has_tabled
+  &&
+  match Term.functor_of (Term.deref goal) with
+  | Some (sym, arity) -> PredTbl.mem db.tabled (Symbol.id sym, arity)
+  | None -> false
+
+let tabled_preds db =
+  PredTbl.fold (fun (_, arity) name acc -> (name, arity) :: acc) db.tabled []
+  |> List.sort compare
 
 let predicates db =
   PredTbl.fold

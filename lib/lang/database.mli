@@ -45,6 +45,20 @@ val lookup_code_args :
     affected predicate; freeze again after updates.  Idempotent. *)
 val freeze : t -> unit
 
+(** Registers a predicate for SLG tabling (the [:- table name/arity]
+    directive, applied by {!Program} at consult time). *)
+val set_tabled : t -> string -> int -> unit
+
+(** Whether [sym/arity] is tabled — integer-keyed and gated on a single
+    boolean, so untabled programs pay one load per call. *)
+val is_tabled : t -> Ace_term.Symbol.t -> int -> bool
+
+(** {!is_tabled} of a goal term's functor. *)
+val is_tabled_goal : t -> Ace_term.Term.t -> bool
+
+(** Tabled predicates, sorted. *)
+val tabled_preds : t -> (string * int) list
+
 (** Defined predicates, sorted. *)
 val predicates : t -> (string * int) list
 

@@ -9,10 +9,38 @@ let create () = { db = Database.create (); directives = [] }
 
 exception Error of string
 
+(* [:- table(name/arity)] — the spec may be a ','-separated sequence of
+   [name/arity] terms, as in [:- table(path/2, edge/2)]. *)
+let slash = Symbol.intern "/"
+let table_sym = Symbol.intern "table"
+
+let rec table_specs t acc =
+  match Term.deref t with
+  | Term.Struct (c, [| a; b |]) when Symbol.equal c Symbol.comma ->
+    table_specs a (table_specs b acc)
+  | Term.Struct (s, [| name; arity |]) when Symbol.equal s slash -> (
+    match Term.deref name, Term.deref arity with
+    | Term.Atom n, Term.Int k when k >= 0 -> (Symbol.name n, k) :: acc
+    | _ -> raise (Error "table directive expects name/arity specs"))
+  | _ -> raise (Error "table directive expects name/arity specs")
+
+let apply_directive program d =
+  match Term.deref d with
+  | Term.Struct (s, args) when Symbol.equal s table_sym && Array.length args >= 1
+    ->
+    Array.iter
+      (fun spec ->
+        List.iter
+          (fun (name, arity) -> Database.set_tabled program.db name arity)
+          (table_specs spec []))
+      args
+  | _ -> ()
+
 let add_term program t =
   match Term.deref t with
   | Term.Struct (s, [| d |])
     when Symbol.equal s Symbol.neck || Symbol.equal s Symbol.query ->
+    apply_directive program d;
     program.directives <- program.directives @ [ d ]
   | _ -> (
     match Clause.of_term t with

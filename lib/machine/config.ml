@@ -30,6 +30,11 @@ type t = {
        switch-on-term dispatch tree instead of interpreting templates.
        Off by default so [default] stays the interpreted oracle
        reference; ace_run turns it on. *)
+  table_max_answers : int;
+    (* tabling guard: a tabled subgoal accumulating more than this many
+       distinct answers aborts the run with an engine error (runaway
+       recursion over an unexpectedly large domain).  0 disables the
+       guard. *)
   cost : Cost.t;
   max_solutions : int option; (* stop after this many solutions; None = all *)
 }
@@ -46,6 +51,7 @@ let default =
     grain = 1;
     chunk = 0;
     compile = false;
+    table_max_answers = 0;
     cost = Cost.default;
     max_solutions = None;
   }
@@ -60,6 +66,8 @@ let validate t =
   if t.seq_threshold < 0 then invalid_arg "Config: seq_threshold must be >= 0";
   if t.grain < 1 then invalid_arg "Config: grain must be >= 1";
   if t.chunk < 0 then invalid_arg "Config: chunk must be >= 0";
+  if t.table_max_answers < 0 then
+    invalid_arg "Config: table_max_answers must be >= 0";
   (match t.max_solutions with
    | Some n when n < 1 -> invalid_arg "Config: max_solutions must be >= 1"
    | Some _ | None -> ());
@@ -74,5 +82,8 @@ let pp ppf t =
     @ (if t.seq_threshold > 0 then [ Printf.sprintf "gc=%d" t.seq_threshold ] else [])
     @ (if t.grain > 1 then [ Printf.sprintf "grain=%d" t.grain ] else [])
     @ (if t.chunk > 0 then [ Printf.sprintf "chunk=%d" t.chunk ] else [])
+    @ (if t.table_max_answers > 0 then
+         [ Printf.sprintf "table_max=%d" t.table_max_answers ]
+       else [])
   in
   Format.fprintf ppf "agents=%d opts={%s}" t.agents (String.concat "," opts)

@@ -24,6 +24,9 @@ type t = {
       (** run clauses as flat instruction code through the switch-on-term
           dispatch tree; off by default (the interpreted oracle
           reference), on in ace_run *)
+  table_max_answers : int;
+      (** tabling guard: abort with an engine error when a tabled subgoal
+          accumulates more than this many distinct answers (0 = off) *)
   cost : Cost.t;
   max_solutions : int option;
 }

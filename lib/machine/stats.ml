@@ -43,6 +43,13 @@ type t = {
   mutable spo_hits : int;
   mutable pdo_hits : int;
   mutable seq_hits : int; (* granularity control: parcalls sequentialized *)
+  (* tabling *)
+  mutable table_subgoals : int;    (* subgoal-table entries created *)
+  mutable table_answers : int;     (* distinct answers inserted *)
+  mutable table_answer_hits : int; (* tabled calls served from a complete table *)
+  mutable table_variant_hits : int;(* variant calls that reused an entry *)
+  mutable table_suspends : int;    (* consumer reads of an incomplete table *)
+  mutable table_resumes : int;     (* generator re-passes after new answers *)
   (* outcomes *)
   mutable solutions : int;
   mutable stack_words : int;      (* cumulative control-stack allocation *)
@@ -83,6 +90,12 @@ let create () =
     spo_hits = 0;
     pdo_hits = 0;
     seq_hits = 0;
+    table_subgoals = 0;
+    table_answers = 0;
+    table_answer_hits = 0;
+    table_variant_hits = 0;
+    table_suspends = 0;
+    table_resumes = 0;
     solutions = 0;
     stack_words = 0;
     minor_words = 0;
@@ -121,6 +134,12 @@ let merge_into ~into:a b =
   a.spo_hits <- a.spo_hits + b.spo_hits;
   a.pdo_hits <- a.pdo_hits + b.pdo_hits;
   a.seq_hits <- a.seq_hits + b.seq_hits;
+  a.table_subgoals <- a.table_subgoals + b.table_subgoals;
+  a.table_answers <- a.table_answers + b.table_answers;
+  a.table_answer_hits <- a.table_answer_hits + b.table_answer_hits;
+  a.table_variant_hits <- a.table_variant_hits + b.table_variant_hits;
+  a.table_suspends <- a.table_suspends + b.table_suspends;
+  a.table_resumes <- a.table_resumes + b.table_resumes;
   a.solutions <- a.solutions + b.solutions;
   a.stack_words <- a.stack_words + b.stack_words;
   a.minor_words <- a.minor_words + b.minor_words;
@@ -158,6 +177,12 @@ let fields t =
     ("spo_hits", t.spo_hits);
     ("pdo_hits", t.pdo_hits);
     ("seq_hits", t.seq_hits);
+    ("table_subgoals", t.table_subgoals);
+    ("table_answers", t.table_answers);
+    ("table_answer_hits", t.table_answer_hits);
+    ("table_variant_hits", t.table_variant_hits);
+    ("table_suspends", t.table_suspends);
+    ("table_resumes", t.table_resumes);
     ("solutions", t.solutions);
     ("stack_words", t.stack_words);
     ("minor_words", t.minor_words);
@@ -199,6 +224,12 @@ let set_field t name v =
   | "spo_hits" -> t.spo_hits <- v
   | "pdo_hits" -> t.pdo_hits <- v
   | "seq_hits" -> t.seq_hits <- v
+  | "table_subgoals" -> t.table_subgoals <- v
+  | "table_answers" -> t.table_answers <- v
+  | "table_answer_hits" -> t.table_answer_hits <- v
+  | "table_variant_hits" -> t.table_variant_hits <- v
+  | "table_suspends" -> t.table_suspends <- v
+  | "table_resumes" -> t.table_resumes <- v
   | "solutions" -> t.solutions <- v
   | "stack_words" -> t.stack_words <- v
   | "minor_words" -> t.minor_words <- v

@@ -39,6 +39,21 @@ type t = {
   mutable spo_hits : int;
   mutable pdo_hits : int;
   mutable seq_hits : int;
+  mutable table_subgoals : int;
+      (** tabling: subgoal-table entries created (one per variant class
+          of tabled calls) *)
+  mutable table_answers : int;
+      (** tabling: distinct answers inserted into answer tries *)
+  mutable table_answer_hits : int;
+      (** tabling: tabled calls served straight from a complete table *)
+  mutable table_variant_hits : int;
+      (** tabling: calls that mapped onto an existing subgoal entry *)
+  mutable table_suspends : int;
+      (** tabling: consumer reads of an incomplete table (the
+          suspension events of the SLG protocol) *)
+  mutable table_resumes : int;
+      (** tabling: generator re-passes scheduled because new answers or
+          subgoals appeared during the previous pass *)
   mutable solutions : int;
   mutable stack_words : int;
   mutable minor_words : int;

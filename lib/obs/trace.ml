@@ -39,10 +39,16 @@ type kind =
   | Solution      (* a solution was recorded *)
   | Idle_begin    (* worker went hungry (stealing/polling) *)
   | Idle_end      (* worker found work or the run ended *)
+  | Table_subgoal (* tabling: new subgoal entry; arg = entry id *)
+  | Table_answer  (* tabling: distinct answer inserted; arg = entry id *)
+  | Table_suspend (* tabling: consumer read an incomplete table; arg = entry id *)
+  | Table_resume  (* tabling: generator re-pass scheduled; arg = entry id *)
+  | Table_complete(* tabling: entry marked complete; arg = entry id *)
 
 let all_kinds =
   [ Task_spawn; Task_start; Task_finish; Steal; Publish; Publish_skip; Copy;
-    Lao_hit; Lpco_hit; Spo_hit; Pdo_hit; Solution; Idle_begin; Idle_end ]
+    Lao_hit; Lpco_hit; Spo_hit; Pdo_hit; Solution; Idle_begin; Idle_end;
+    Table_subgoal; Table_answer; Table_suspend; Table_resume; Table_complete ]
 
 let kind_to_string = function
   | Task_spawn -> "task_spawn"
@@ -59,6 +65,11 @@ let kind_to_string = function
   | Solution -> "solution"
   | Idle_begin -> "idle_begin"
   | Idle_end -> "idle_end"
+  | Table_subgoal -> "table_subgoal"
+  | Table_answer -> "table_answer"
+  | Table_suspend -> "table_suspend"
+  | Table_resume -> "table_resume"
+  | Table_complete -> "table_complete"
 
 let kind_to_int = function
   | Task_spawn -> 0
@@ -75,6 +86,11 @@ let kind_to_int = function
   | Solution -> 11
   | Idle_begin -> 12
   | Idle_end -> 13
+  | Table_subgoal -> 14
+  | Table_answer -> 15
+  | Table_suspend -> 16
+  | Table_resume -> 17
+  | Table_complete -> 18
 
 let kind_of_int i = List.nth all_kinds i
 

@@ -20,6 +20,11 @@ type kind =
   | Solution      (** a solution was recorded *)
   | Idle_begin    (** worker went hungry *)
   | Idle_end      (** worker found work or the run ended *)
+  | Table_subgoal (** tabling: new subgoal entry; arg = entry id *)
+  | Table_answer  (** tabling: distinct answer inserted; arg = entry id *)
+  | Table_suspend (** tabling: consumer read an incomplete table *)
+  | Table_resume  (** tabling: generator re-pass scheduled *)
+  | Table_complete  (** tabling: entry marked complete; arg = entry id *)
 
 val all_kinds : kind list
 

@@ -20,6 +20,7 @@ let () =
       ("par-or-engine", Test_par_or_engine.suite);
       ("errors", Test_errors.suite);
       ("check", Test_check.suite);
+      ("table", Test_table.suite);
       ("analysis", Test_analysis.suite);
       ("benchmarks", Test_benchmarks.suite);
       ("harness", Test_harness.suite) ]
