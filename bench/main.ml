@@ -499,6 +499,199 @@ let tabling_run () =
     exit 1
   end
 
+(* `serve [clients=N] [queries=Q]`: wall-clock suite for the query
+   server (lib/serve) — an in-process Server on a Unix socket, each
+   client thread holding one connection (one session) and running Q
+   line-delimited JSON queries back to back.  Rows report queries/sec
+   and p50/p99 latency at clients x domains; a final deadline row sends
+   a non-terminating query with a wall-clock deadline and asserts the
+   cancellation lands within a bounded interval.  Writes
+   BENCH_serve.json with the standard host object. *)
+
+let serve_program =
+  let b = Buffer.create 4096 in
+  let n = 40 in
+  for i = 0 to n - 2 do
+    Printf.bprintf b "edge(n%d, n%d).\n" i (i + 1);
+    if i mod 8 = 0 && i + 9 < n then
+      Printf.bprintf b "edge(n%d, n%d).\n" i (i + 9)
+  done;
+  Buffer.add_string b "path(X, Y) :- edge(X, Y).\n";
+  Buffer.add_string b "path(X, Y) :- edge(X, Z), path(Z, Y).\n";
+  (* unbounded backtracking, zero solutions: the deadline row's query *)
+  Buffer.add_string b "gen(z).\ngen(s(N)) :- gen(N).\n";
+  Buffer.add_string b "spin :- gen(N), never(N).\nnever(none).\n";
+  Buffer.contents b
+
+let serve_goal = "path(n0, X)"
+
+(* One request/response round trip on an open connection. *)
+let serve_roundtrip ic oc req =
+  output_string oc (Json.to_string req);
+  output_char oc '\n';
+  flush oc;
+  match Json.parse (input_line ic) with
+  | Ok j -> j
+  | Error m -> failwith ("serve bench: bad response json: " ^ m)
+
+let serve_connect addr =
+  let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  Unix.connect fd addr;
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let serve_client addr ~queries ~expected ~failed () =
+  let fd, ic, oc = serve_connect addr in
+  let lat = ref [] in
+  for i = 1 to queries do
+    let t0 = Unix.gettimeofday () in
+    let j =
+      serve_roundtrip ic oc
+        (Json.Obj
+           [ ("op", Json.Str "query"); ("id", Json.int i);
+             ("goal", Json.Str serve_goal) ])
+    in
+    lat := ((Unix.gettimeofday () -. t0) *. 1e3) :: !lat;
+    (match Json.member "count" j with
+    | Some (Json.Num c) when int_of_float c = expected -> ()
+    | _ ->
+      Format.eprintf "serve: bad answer %s@." (Json.to_string j);
+      Atomic.set failed true)
+  done;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  !lat
+
+let serve_percentile sorted p =
+  let n = Array.length sorted in
+  sorted.(max 0 (min (n - 1) (int_of_float (p *. float_of_int (n - 1)))))
+
+let serve_run ~clients ~queries =
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ace_bench_serve_%d.sock" (Unix.getpid ()))
+  in
+  let addr = Unix.ADDR_UNIX sock in
+  let prepared = Engine.prepare_string serve_program in
+  let expected =
+    let r =
+      Engine.solve Engine.Sequential Config.default (Engine.database prepared)
+        (Ace_lang.Program.parse_query serve_goal).Ace_lang.Program.goal
+    in
+    List.length r.Engine.solutions
+  in
+  Format.printf "serve: %d solutions per query, socket %s@." expected sock;
+  let failed = Atomic.make false in
+  let rows = ref [] in
+  let combos =
+    (* the CI host may be single-core: modest domain counts only *)
+    [ (1, Engine.Sequential, 1); (2, Engine.Sequential, 1);
+      (clients, Engine.Sequential, 1); (2, Engine.Par_or, 2) ]
+  in
+  List.iter
+    (fun (nclients, kind, agents) ->
+      let config =
+        { (Config.all_optimizations ~agents ()) with Config.compile = true }
+      in
+      let srv =
+        Ace_server.Server.create ~workers:4 ~engine:kind ~config ~listen:addr
+          prepared
+      in
+      let results = Array.make nclients [] in
+      let t0 = Unix.gettimeofday () in
+      let threads =
+        List.init nclients (fun i ->
+            Thread.create
+              (fun () ->
+                try results.(i) <- serve_client addr ~queries ~expected ~failed ()
+                with e ->
+                  Format.eprintf "serve: client died: %s@."
+                    (Printexc.to_string e);
+                  Atomic.set failed true)
+              ())
+      in
+      List.iter Thread.join threads;
+      let wall_s = Unix.gettimeofday () -. t0 in
+      Ace_server.Server.drain srv;
+      Ace_server.Server.wait srv;
+      let lats = Array.of_list (List.concat (Array.to_list results)) in
+      Array.sort compare lats;
+      if Array.length lats = 0 then Atomic.set failed true
+      else begin
+        let total = nclients * queries in
+        let qps = float_of_int total /. wall_s in
+        let p50 = serve_percentile lats 0.50
+        and p99 = serve_percentile lats 0.99 in
+        Format.printf
+          "serve %d client(s) %s@%d  %4d queries %8.1f q/s  p50 %6.2f ms  \
+           p99 %6.2f ms@."
+          nclients (Engine.kind_to_string kind) agents total qps p50 p99;
+        rows :=
+          Json.Obj
+            [ ("clients", Json.int nclients);
+              ("engine", Json.Str (Engine.kind_to_string kind));
+              ("domains", Json.int agents);
+              ("workers", Json.int 4);
+              ("queries", Json.int total);
+              ("qps", Json.Num qps);
+              ("p50_ms", Json.Num p50);
+              ("p99_ms", Json.Num p99) ]
+          :: !rows
+      end)
+    combos;
+  (* deadline row: a query that never terminates on its own must come
+     back cancelled within a bounded interval of its deadline *)
+  let deadline_ms = 80 in
+  let overshoot_bound_ms = 2000.0 in
+  let srv =
+    Ace_server.Server.create ~workers:2 ~engine:Engine.Sequential
+      ~config:{ Config.default with Config.compile = true }
+      ~listen:addr prepared
+  in
+  let fd, ic, oc = serve_connect addr in
+  let t0 = Unix.gettimeofday () in
+  let j =
+    serve_roundtrip ic oc
+      (Json.Obj
+         [ ("op", Json.Str "query"); ("id", Json.int 1);
+           ("goal", Json.Str "spin"); ("deadline_ms", Json.int deadline_ms) ])
+  in
+  let observed_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Ace_server.Server.drain srv;
+  Ace_server.Server.wait srv;
+  let cancelled =
+    match Json.member "cancelled" j with Some (Json.Str s) -> s | _ -> ""
+  in
+  let overshoot_ms = observed_ms -. float_of_int deadline_ms in
+  Format.printf
+    "serve deadline: %d ms deadline, answered in %.1f ms (overshoot %.1f ms, \
+     cancelled=%S)@."
+    deadline_ms observed_ms overshoot_ms cancelled;
+  if cancelled <> "deadline" || overshoot_ms > overshoot_bound_ms then begin
+    Format.eprintf "serve: deadline cancellation out of bounds@.";
+    Atomic.set failed true
+  end;
+  let json =
+    Json.to_string
+      (Json.Obj
+         [ ("host", Ace_harness.Extras.host_json ());
+           ("rows", Json.List (List.rev !rows));
+           ("deadline",
+            Json.Obj
+              [ ("deadline_ms", Json.int deadline_ms);
+                ("observed_ms", Json.Num observed_ms);
+                ("overshoot_ms", Json.Num overshoot_ms);
+                ("overshoot_bound_ms", Json.Num overshoot_bound_ms);
+                ("cancelled", Json.Str cancelled) ]) ])
+  in
+  Out_channel.with_open_text "BENCH_serve.json" (fun oc ->
+      Out_channel.output_string oc json);
+  Format.printf "wrote BENCH_serve.json (%d rows)@." (List.length !rows);
+  (try Unix.unlink sock with Unix.Unix_error _ | Sys_error _ -> ());
+  if Atomic.get failed then begin
+    Format.eprintf "serve: bench failed@.";
+    exit 1
+  end
+
 (* `fuzz [count=N] [seed=N] [schedules=N]`: differential-fuzz throughput —
    run the lib/check oracle over N generated cases and report cases/sec;
    exits 1 on any cross-engine discrepancy, so it doubles as a deep
@@ -555,6 +748,10 @@ let () =
   end;
   if has "tabling" then begin
     tabling_run ();
+    exit 0
+  end;
+  if has "serve" then begin
+    serve_run ~clients:(keyed "clients" 4) ~queries:(keyed "queries" 25);
     exit 0
   end;
   let par_or_only = has "par_or" in

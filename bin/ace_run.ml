@@ -73,7 +73,7 @@ let run_check ~count ~seed ~schedules ~chaos_spec ~mutate =
 
 let run check check_count check_seed check_schedules check_chaos check_mutate
     check_code_mutate check_table_mutate source query engine agents compile
-    lpco lao spo pdo all par_and gc grain chunk limit table_max show_stats
+    lpco lao spo pdo all par_and gc grain chunk limit deadline table_max show_stats
     verbose_stats annotate trace_file trace_jsonl trace_buf stats_json
     utilization profile profile_json profile_folded =
   (match check_code_mutate with
@@ -141,8 +141,13 @@ let run check check_count check_seed check_schedules check_chaos check_mutate
         profile || profile_json <> None || profile_folded <> None
       in
       let prof = if profiling then Prof.create () else Prof.disabled in
+      let cancel =
+        match deadline with
+        | Some ms -> Ace_core.Cancel.create ~deadline_ms:ms ()
+        | None -> Ace_core.Cancel.none
+      in
       let t0 = Unix.gettimeofday () in
-      let result = Engine.solve ~trace ~prof kind config db q.Program.goal in
+      let result = Engine.solve ~trace ~prof ~cancel kind config db q.Program.goal in
       let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
       List.iteri
         (fun i solution ->
@@ -188,7 +193,19 @@ let run check check_count check_seed check_schedules check_chaos check_mutate
       (match profile_folded with
        | Some path -> write_file path (Prof.to_folded prof)
        | None -> ());
-      0
+      (match result.Engine.cancelled with
+       | Some reason ->
+         (* distinct exit status (the timeout(1) convention) so scripts
+            can tell "deadline fired, partial answers above" from both
+            success and error *)
+         Format.printf
+           "cancelled (%s) after %.3f wall-clock ms: the %d solution(s) \
+            above are the ones completed before the abort@."
+           (Ace_core.Cancel.reason_to_string reason)
+           wall_ms
+           (List.length result.Engine.solutions);
+         124
+       | None -> 0)
     with
     | Program.Error msg | Ace_core.Errors.Engine_error msg ->
       Format.eprintf "error: %s@." msg;
@@ -217,6 +234,7 @@ let groups =
         ("engine, -e ENGINE", "seq | and | or | par (hardware domains)");
         ("agents, -p N", "processors (par: domains)");
         ("limit, -n N", "stop after N solutions");
+        ("deadline MS", "cancel the query after MS milliseconds (exit 124)");
         ("annotate", "run the strict-independence annotator first");
         ("compile", "execute compiled clause code (default)");
         ("no-compile", "interpret clause templates (the oracle reference)");
@@ -461,6 +479,12 @@ let cmd =
                      node's alternatives in tasks of at most N alternatives \
                      each (0 = whole node in one task).")
       $ limit
+      $ Arg.(value & opt (some int) None & info [ "deadline" ] ~docv:"MS"
+               ~docs:g_engine
+               ~doc:"Cancel the query MS milliseconds after it starts.  The \
+                     solutions completed before the abort are printed as \
+                     usual and the exit status is 124 (as for timeout(1)), \
+                     with a partial-solutions report on stdout.")
       $ Arg.(value & opt int 0 & info [ "table-max-answers" ] ~docv:"N"
                ~docs:g_engine
                ~doc:"Abort with an error if any tabled subgoal accumulates \

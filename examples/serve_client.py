@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Minimal ace_serve client: line-delimited JSON over a Unix or TCP socket.
+
+Usage:
+    serve_client.py /tmp/ace.sock 'path(a, X)' ['goal2' ...]
+    serve_client.py localhost:7071 'path(a, X)'
+
+Each goal is sent as one query (ids 1, 2, ...); one response line is
+printed per query, verbatim.  A goal may carry a deadline by prefixing
+it with 'N@', e.g. '200@spin' sends {"deadline_ms": 200}.  Exits
+non-zero if any query comes back with ok=false or the connection drops.
+"""
+
+import json
+import socket
+import sys
+
+
+def connect(target):
+    if ":" in target and not target.startswith("/"):
+        host, port = target.rsplit(":", 1)
+        return socket.create_connection((host, int(port)))
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    s.connect(target)
+    return s
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    target, goals = sys.argv[1], sys.argv[2:]
+    f = connect(target).makefile("rw", encoding="utf-8", newline="\n")
+    ok = True
+    for i, goal in enumerate(goals, 1):
+        req = {"op": "query", "id": i, "goal": goal}
+        if "@" in goal and goal.split("@", 1)[0].isdigit():
+            ms, req["goal"] = goal.split("@", 1)
+            req["deadline_ms"] = int(ms)
+        f.write(json.dumps(req) + "\n")
+        f.flush()
+        line = f.readline()
+        if not line:
+            print(json.dumps({"ok": False, "error": "connection closed"}))
+            return 1
+        print(line, end="")
+        if not json.loads(line).get("ok"):
+            ok = False
+    try:
+        f.write(json.dumps({"op": "quit"}) + "\n")
+        f.flush()
+    except OSError:
+        pass
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

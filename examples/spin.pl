@@ -1,0 +1,10 @@
+% An infinitely backtracking goal with no solutions: spin/0 never
+% terminates on its own.  Demonstrates cooperative cancellation —
+% `ace_run --deadline 100 examples/spin.pl spin` (exit 124), the wire
+% deadline_ms field of ace_serve, and server drain on SIGTERM.
+
+gen(z).
+gen(s(N)) :- gen(N).
+
+spin :- gen(N), never(N).
+never(none).

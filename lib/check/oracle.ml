@@ -62,6 +62,24 @@ let run_engine ?chaos ?(profiled = false) kind config ~program ~query =
   | exception Ace_term.Arith.Error m -> Error ("arith: " ^ m)
   | exception Ace_lang.Program.Error m -> Error ("syntax: " ^ m)
 
+(* A sample of cases also round-trips through an in-process server
+   session (lib/serve): the program is prepared once, the query routed
+   through [Session.query] over the session's overlay database.  This
+   differentially checks the prepare/run facade, the overlay lookup
+   path and the session locking against the same reference multiset as
+   the direct engine rows. *)
+let run_serve kind config ~program ~query =
+  match
+    let prepared = Engine.prepare_string program in
+    let session = Ace_server.Session.create ~engine:kind ~config prepared in
+    Ace_server.Session.query session query
+  with
+  | Ok a -> Solutions (Canon.multiset a.Ace_server.Session.terms)
+  | Error m -> Error m
+  | exception Ace_core.Errors.Engine_error m -> Error m
+  | exception Ace_term.Arith.Error m -> Error ("arith: " ^ m)
+  | exception Ace_lang.Program.Error m -> Error ("syntax: " ^ m)
+
 let agrees ~reference outcome =
   match (reference, outcome) with
   | Solutions a, Solutions b -> a = b
@@ -230,8 +248,32 @@ let check ?(schedules = 2) ?mutation ?extra_chaos ?(profile_all = false)
       List.map (fun (l, k, c, ch) -> (l, k, c, ch, profile_all)) plain
       @ List.map (fun (l, k, c, ch) -> (l, k, c, ch, true)) profiled
     in
-    let rec go n = function
+    let serve_rows =
+      (* every fourth case: cheap enough to ride along on each fuzz run,
+         frequent enough that an overlay or facade regression is caught
+         within a handful of cases *)
+      if case.Gen_prog.seed land 3 <> 0 then []
+      else
+        [
+          ("serve seq", Engine.Sequential,
+           { Config.default with Config.compile = true });
+          ("serve par@4", Engine.Par_or,
+           { (Config.all_optimizations ~agents:4 ()) with
+             Config.compile = true });
+        ]
+    in
+    let rec go_serve n = function
       | [] -> Agree n
+      | (label, kind, config) :: rest ->
+        let got = run_serve kind config ~program ~query in
+        if agrees ~reference got then go_serve (n + 1) rest
+        else
+          Disagree
+            { d_label = label; d_expected = reference; d_got = got;
+              d_chaos = "off" }
+    in
+    let rec go n = function
+      | [] -> go_serve n serve_rows
       | (label, kind, config, chaos, profiled) :: rest -> (
         let got =
           run_engine ?chaos ~profiled kind config

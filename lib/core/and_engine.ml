@@ -128,6 +128,9 @@ type t = {
   pshards : Prof.shard array; (* per-agent profiler shards *)
   mutable pool : frame list; (* frames that may have free slots, oldest first *)
   mutable frame_counter : int;
+  cancel : Cancel.t;
+    (* polled at the exec/backtrack chokepoints and the steal loop; once
+       fired the run stops like a satisfied solution limit *)
   mutable finished : bool;
   mutable sol_count : int; (* global solution count (shards hold per-agent) *)
   mutable solutions : Term.t list; (* newest first *)
@@ -196,7 +199,20 @@ module K = Kernel.Resolver (struct
   let scratch st = st.scratches.(cur st)
   let prof = psh
   let record = record_ev
+  let cancel st = st.cancel
 end)
+
+(* Cancellation observed at a chokepoint: stop the simulation (pending
+   coroutines are abandoned mid-flight, as on a solution limit) and
+   unwind the current agent with [Cancel.Cancelled], caught at its body
+   top — no failure path runs under a fired token, so the solutions
+   already recorded stay exactly the ones completed before the abort. *)
+let check_cancel st =
+  if Cancel.poll st.cancel then begin
+    st.finished <- true;
+    Sim.stop st.sim;
+    raise Cancel.Cancelled
+  end
 
 let charge_bt_node st =
   charge st st.cost.Cost.backtrack_node;
@@ -304,6 +320,7 @@ let push_cp st exec ~goal ~alts ~cont =
    continuation.  May recursively create and wait on parcall frames.
    Raises [Killed] if an ancestor frame starts failing. *)
 let rec exec_run st (agent : agent_state) exec (cont : Clause.item list) : bool =
+  check_cancel st;
   if aborting exec then raise Killed;
   match cont with
   | [] -> true
@@ -335,6 +352,7 @@ and continue st agent exec resolved cont =
   | Kernel.R_exec (sym, arity) -> user_call_regs st agent exec sym arity cont
 
 and user_call_regs st agent exec sym arity cont =
+  check_cancel st;
   if aborting exec then raise Killed;
   let regs = st.scratches.(agent.ag_id).Code.s_regs in
   if Database.is_tabled st.db sym arity then
@@ -396,6 +414,7 @@ and user_call st agent exec g cont =
 (* Backtracking inside one exec.  Walks the private stack: choice points
    are retried; completed parcall frames get outside backtracking. *)
 and exec_backtrack st agent exec : bool =
+  check_cancel st;
   (shard st).Stats.backtracks <- (shard st).Stats.backtracks + 1;
   match exec.x_stack with
   | [] -> false
@@ -863,13 +882,20 @@ let worker_body st agent () =
   let rec loop () =
     if st.finished then ()
     else begin
+      check_cancel st;
       (match steal st agent with
        | Some slot -> run_slot st agent slot
        | None -> ());
       loop ()
     end
   in
-  loop ()
+  (* a fired token unwinds out of a stolen slot (or the steal loop itself);
+     stop the simulation and park — idempotent when [check_cancel] already
+     stopped it, and needed when the kernel's tabling chokepoint raised *)
+  try loop ()
+  with Cancel.Cancelled ->
+    st.finished <- true;
+    Sim.stop st.sim
 
 let root_body st () =
   let agent = st.agents.(0) in
@@ -893,12 +919,15 @@ let root_body st () =
     else ()
   in
   (try drive (exec_run st agent exec (Clause.compile_body st.goal))
-   with Killed -> assert false (* the root exec has no ancestor frames *));
+   with
+   | Killed -> assert false (* the root exec has no ancestor frames *)
+   | Cancel.Cancelled -> () (* solutions recorded so far stand *));
   st.finished <- true;
   Sim.stop st.sim
 
 let create ?output ?(trace = Trace.disabled) ?(chaos = Chaos.disabled)
-    ?(prof = Prof.disabled) ?table (config : Config.t) db goal =
+    ?(prof = Prof.disabled) ?table ?(cancel = Cancel.none) (config : Config.t)
+    db goal =
   let config = Config.validate config in
   let sim = Sim.create ~max_steps:3_000_000 () in
   let agents =
@@ -932,6 +961,7 @@ let create ?output ?(trace = Trace.disabled) ?(chaos = Chaos.disabled)
     pshards;
     pool = [];
     frame_counter = 0;
+    cancel;
     finished = false;
     sol_count = 0;
     solutions = [];
@@ -958,5 +988,5 @@ let run st =
     time = Sim.stop_time st.sim;
   }
 
-let solve ?output ?trace ?chaos ?prof ?table config db goal =
-  run (create ?output ?trace ?chaos ?prof ?table config db goal)
+let solve ?output ?trace ?chaos ?prof ?table ?cancel config db goal =
+  run (create ?output ?trace ?chaos ?prof ?table ?cancel config db goal)

@@ -26,13 +26,18 @@ type result = {
     [chaos] (default {!Ace_sched.Chaos.disabled}) charges seeded extra
     virtual cycles at choice-point and steal yield sites and skips frames
     during steal scans — deterministic schedule exploration on the
-    simulator; the solution multiset must be invariant across seeds. *)
+    simulator; the solution multiset must be invariant across seeds.
+
+    [cancel] (default {!Cancel.none}) is polled at the exec, backtrack
+    and steal chokepoints; once fired the simulation stops like a
+    satisfied solution limit, returning the solutions recorded so far. *)
 val create :
   ?output:Buffer.t ->
   ?trace:Ace_obs.Trace.t ->
   ?chaos:Ace_sched.Chaos.t ->
   ?prof:Ace_obs.Prof.t ->
   ?table:Ace_lang.Table.t ->
+  ?cancel:Cancel.t ->
   Ace_machine.Config.t ->
   Ace_lang.Database.t ->
   Ace_term.Term.t ->
@@ -47,6 +52,7 @@ val solve :
   ?chaos:Ace_sched.Chaos.t ->
   ?prof:Ace_obs.Prof.t ->
   ?table:Ace_lang.Table.t ->
+  ?cancel:Cancel.t ->
   Ace_machine.Config.t ->
   Ace_lang.Database.t ->
   Ace_term.Term.t ->

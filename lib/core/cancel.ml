@@ -1,0 +1,93 @@
+(* Cooperative cancellation tokens: one atomic flag, an optional
+   wall-clock deadline, an optional poll budget.  See cancel.mli.
+
+   The poll counter is a plain mutable field on purpose: under the
+   multi-domain engine concurrent polls may lose increments, but the
+   counter only decimates deadline clock reads (any domain's ticks keep
+   the clock checked often enough) and the poll-budget tokens are a
+   single-domain test device.  The fired state itself is atomic. *)
+
+type reason = Requested | Deadline | Budget
+
+exception Cancelled
+
+type t = {
+  flag : bool Atomic.t; (* the one word every chokepoint loads *)
+  why : int Atomic.t; (* 0 = live, else reason code; first writer wins *)
+  deadline : float; (* absolute [Unix.gettimeofday]; [infinity] = none *)
+  budget : int; (* fire on this poll count; [max_int] = none *)
+  mutable polls : int;
+}
+
+let code_of_reason = function Requested -> 1 | Deadline -> 2 | Budget -> 3
+
+let reason_of_code = function
+  | 1 -> Requested
+  | 2 -> Deadline
+  | _ -> Budget
+
+let reason_to_string = function
+  | Requested -> "requested"
+  | Deadline -> "deadline"
+  | Budget -> "budget"
+
+let make ~deadline ~budget =
+  {
+    flag = Atomic.make false;
+    why = Atomic.make 0;
+    deadline;
+    budget;
+    polls = 0;
+  }
+
+let none = make ~deadline:infinity ~budget:max_int
+
+let create ?deadline_ms () =
+  let deadline =
+    match deadline_ms with
+    | None -> infinity
+    | Some ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.)
+  in
+  make ~deadline ~budget:max_int
+
+let at_polls n = make ~deadline:infinity ~budget:(max n 1)
+
+let fire t reason =
+  if t != none then begin
+    (* first reason wins; the flag is set after so [fired] never returns
+       [None] for a token whose flag reads true *)
+    ignore (Atomic.compare_and_set t.why 0 (code_of_reason reason));
+    Atomic.set t.flag true
+  end
+
+let cancel t = fire t Requested
+
+let fired t =
+  match Atomic.get t.why with 0 -> None | c -> Some (reason_of_code c)
+
+(* How many polls between wall-clock reads.  Chokepoints fire every few
+   hundred nanoseconds of engine work, so 16 keeps deadline overshoot in
+   the microseconds while keeping [gettimeofday] off the hot path. *)
+let clock_stride = 16
+
+let poll t =
+  t != none
+  && (Atomic.get t.flag
+     ||
+     let n = t.polls + 1 in
+     t.polls <- n;
+     if n >= t.budget then begin
+       fire t Budget;
+       true
+     end
+     else if
+       t.deadline < infinity
+       && n land (clock_stride - 1) = 0
+       && Unix.gettimeofday () >= t.deadline
+     then begin
+       fire t Deadline;
+       true
+     end
+     else false)
+
+let check t = if poll t then raise Cancelled

@@ -1,0 +1,54 @@
+(** Cooperative cancellation tokens with optional deadlines.
+
+    Generalizes the par engine's atomic kill flags into one primitive
+    that every engine polls at its existing yield/backtrack chokepoints.
+    A token is a single atomic flag plus an optional wall-clock deadline
+    and an optional poll budget; [poll] is cheap enough for the
+    sequential hot path (one load on the fast no-token path, one load
+    plus a decimated clock check otherwise) and safe to share across
+    domains.
+
+    Cancellation is cooperative: an engine that observes a fired token
+    stops starting new work and unwinds through its normal failure path,
+    so the trail, scratch frames and the shared answer table stay
+    consistent — exactly as when a solution limit fires. *)
+
+type t
+
+(** Why a token fired. *)
+type reason =
+  | Requested  (** [cancel] was called (client abort, server drain) *)
+  | Deadline  (** the wall-clock deadline passed *)
+  | Budget  (** the poll budget ran out (deterministic test aborts) *)
+
+(** Raised by [check]; engines translate it into their stop path. *)
+exception Cancelled
+
+(** The never-fired token: [poll] is one physical-equality test.
+    [cancel] on it is ignored. *)
+val none : t
+
+(** A fresh token; [deadline_ms] arms a wall-clock deadline that many
+    milliseconds from now. *)
+val create : ?deadline_ms:int -> unit -> t
+
+(** A token that fires [Budget] on the [n]-th poll — a deterministic
+    abort point for chaos tests ([n] counts polls from any engine
+    chokepoint, so a fixed [n] replays the same abort site on the
+    deterministic engines). *)
+val at_polls : int -> t
+
+(** Fires the token with [Requested]; idempotent, first reason wins. *)
+val cancel : t -> unit
+
+(** True once the token has fired.  Checks the deadline (every few
+    polls) and the poll budget as a side effect. *)
+val poll : t -> bool
+
+(** [if poll t then raise Cancelled]. *)
+val check : t -> unit
+
+(** Why the token fired, if it has. *)
+val fired : t -> reason option
+
+val reason_to_string : reason -> string

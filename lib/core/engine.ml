@@ -29,6 +29,9 @@ type result = {
   time : int;
     (* abstract cycles: charged total (seq) or simulated makespan; for
        [Par_or] this is measured wall-clock nanoseconds instead *)
+  cancelled : Cancel.reason option;
+    (* [Some _]: the run was aborted and [solutions] is the partial set
+       completed before the token fired *)
 }
 
 (* Samples the GC allocation counters around [f] and writes the deltas
@@ -48,9 +51,30 @@ let with_alloc_counters f =
     result.stats.Stats.promoted_words + promoted;
   result
 
-let solve ?output ?trace ?chaos ?prof ?table kind (config : Config.t) db goal =
-  (* warm the lookup caches once; the run itself then reads the database
-     without mutating it (required by the multi-domain engine) *)
+(* The shared, immutable artifact of the run lifecycle split: consulting,
+   freezing and clause compilation happen once in [prepare]; [run] is the
+   cheap per-query step, safe to issue concurrently against one
+   [prepared] (sessions overlay it, they never mutate it). *)
+type prepared = { pbase : Database.t }
+
+let prepare db =
+  (* warm the lookup caches and precompile clause code once; runs then
+     read the database without mutating it (required by the multi-domain
+     engine) *)
+  Database.freeze db;
+  { pbase = db }
+
+let prepare_string program =
+  prepare (Ace_lang.Program.db (Ace_lang.Program.consult_string program))
+
+let database p = p.pbase
+let session p = Database.overlay p.pbase
+
+let run ?output ?trace ?chaos ?prof ?table ?(cancel = Cancel.none) ?session
+    kind (config : Config.t) p goal =
+  let db = match session with Some s -> s | None -> p.pbase in
+  (* idempotent on the shared base; for a session overlay this re-caches
+     and re-compiles only the session's own asserted clauses *)
   Database.freeze db;
   (* one answer table per run unless the caller shares one across runs;
      only the multi-domain engine needs the per-shard locks *)
@@ -67,7 +91,7 @@ let solve ?output ?trace ?chaos ?prof ?table kind (config : Config.t) db goal =
   | Sequential ->
     let solutions, m =
       Seq_engine.solve ?output ?trace ?chaos ?prof ~cost:config.Config.cost
-        ~compile:config.Config.compile ~table
+        ~compile:config.Config.compile ~table ~cancel
         ?limit:config.Config.max_solutions db goal
     in
     let stats = Seq_engine.stats m in
@@ -76,37 +100,52 @@ let solve ?output ?trace ?chaos ?prof ?table kind (config : Config.t) db goal =
       stats;
       metrics = Metrics.of_stats stats;
       time = Seq_engine.time m;
+      cancelled = Cancel.fired cancel;
     }
   | And_parallel ->
-    let r = And_engine.solve ?output ?trace ?chaos ?prof ~table config db goal in
+    let r =
+      And_engine.solve ?output ?trace ?chaos ?prof ~table ~cancel config db goal
+    in
     {
       solutions = r.And_engine.solutions;
       stats = r.And_engine.stats;
       metrics = Metrics.of_stats_array r.And_engine.per_agent;
       time = r.And_engine.time;
+      cancelled = Cancel.fired cancel;
     }
   | Or_parallel ->
-    let r = Or_engine.solve ?output ?trace ?chaos ?prof ~table config db goal in
+    let r =
+      Or_engine.solve ?output ?trace ?chaos ?prof ~table ~cancel config db goal
+    in
     {
       solutions = r.Or_engine.solutions;
       stats = r.Or_engine.stats;
       metrics = Metrics.of_stats_array r.Or_engine.per_agent;
       time = r.Or_engine.time;
+      cancelled = Cancel.fired cancel;
     }
   | Par_or ->
-    let r = Par_or_engine.solve ?output ?trace ?chaos ?prof ~table config db goal in
+    let r =
+      Par_or_engine.solve ?output ?trace ?chaos ?prof ~table ~cancel config db
+        goal
+    in
     {
       solutions = r.Par_or_engine.solutions;
       stats = r.Par_or_engine.stats;
       metrics = r.Par_or_engine.metrics;
       time = r.Par_or_engine.wall_ns;
+      cancelled = Cancel.fired cancel;
     }
 
+let solve ?output ?trace ?chaos ?prof ?table ?cancel kind config db goal =
+  run ?output ?trace ?chaos ?prof ?table ?cancel kind config (prepare db) goal
+
 (* Convenience: consult a program and run a query in one call. *)
-let solve_program ?output ?trace ?chaos ?prof ?table kind config ~program ~query =
-  let p = Ace_lang.Program.consult_string program in
+let solve_program ?output ?trace ?chaos ?prof ?table ?cancel kind config
+    ~program ~query =
+  let p = prepare_string program in
   let q = Ace_lang.Program.parse_query query in
-  solve ?output ?trace ?chaos ?prof ?table kind config (Ace_lang.Program.db p)
+  run ?output ?trace ?chaos ?prof ?table ?cancel kind config p
     q.Ace_lang.Program.goal
 
 (* Solutions as a sorted list (for multiset comparison between engines,

@@ -21,7 +21,37 @@ type result = {
       (** abstract cycles: total charge (sequential) or simulated makespan
           (parallel engines); measured wall-clock nanoseconds for
           [Par_or] *)
+  cancelled : Cancel.reason option;
+      (** [Some _] when the run's cancel token fired: [solutions] holds
+          the solutions completed before the abort (each one was complete
+          when recorded, so the partial set is sound) *)
 }
+
+(** {1 Prepared programs and sessions}
+
+    The run lifecycle in two steps: {!prepare} does the expensive,
+    shareable part once (consult, freeze, clause compilation); {!run} is
+    the cheap per-query part.  A [prepared] value is immutable — many
+    queries, including concurrent ones from different domains, can [run]
+    against the same [prepared].  Per-client [assert]/[retract] go
+    through a {!session} overlay, never the shared base. *)
+
+type prepared
+
+(** Freezes (and thereby compiles) the database.  The database must not
+    be mutated afterwards except through {!session} overlays. *)
+val prepare : Ace_lang.Database.t -> prepared
+
+(** Consults [program] source and prepares it. *)
+val prepare_string : string -> prepared
+
+(** The underlying frozen database. *)
+val database : prepared -> Ace_lang.Database.t
+
+(** A fresh session overlay: assert/retract on it are private to the
+    session and shadow the shared base (see
+    {!Ace_lang.Database.overlay}). *)
+val session : prepared -> Ace_lang.Database.t
 
 (** [trace] (default {!Ace_obs.Trace.disabled}) collects per-agent event
     rings; export with {!Ace_obs.Trace.to_chrome_json} or
@@ -43,13 +73,38 @@ type result = {
     [config.table_max_answers], sharded with per-shard locks only for
     [Par_or]) is the shared SLG answer table for [:- table] predicates.
     Pass one explicitly to share answers across runs or to inspect
-    entries and the completion log after the run. *)
+    entries and the completion log after the run.
+
+    [cancel] (default {!Cancel.none}) aborts the run cooperatively —
+    on request, on a wall-clock deadline or on a poll budget — and the
+    result reports [cancelled = Some reason] with the solutions found so
+    far.
+
+    [session] runs the query against a session overlay (from {!session})
+    instead of the shared base. *)
+val run :
+  ?output:Buffer.t ->
+  ?trace:Ace_obs.Trace.t ->
+  ?chaos:Ace_sched.Chaos.t ->
+  ?prof:Ace_obs.Prof.t ->
+  ?table:Ace_lang.Table.t ->
+  ?cancel:Cancel.t ->
+  ?session:Ace_lang.Database.t ->
+  kind ->
+  Ace_machine.Config.t ->
+  prepared ->
+  Ace_term.Term.t ->
+  result
+
+(** [prepare] + {!run} in one call — the one-shot convenience used by the
+    harness and tests. *)
 val solve :
   ?output:Buffer.t ->
   ?trace:Ace_obs.Trace.t ->
   ?chaos:Ace_sched.Chaos.t ->
   ?prof:Ace_obs.Prof.t ->
   ?table:Ace_lang.Table.t ->
+  ?cancel:Cancel.t ->
   kind ->
   Ace_machine.Config.t ->
   Ace_lang.Database.t ->
@@ -63,6 +118,7 @@ val solve_program :
   ?chaos:Ace_sched.Chaos.t ->
   ?prof:Ace_obs.Prof.t ->
   ?table:Ace_lang.Table.t ->
+  ?cancel:Cancel.t ->
   kind ->
   Ace_machine.Config.t ->
   program:string ->

@@ -27,6 +27,11 @@ module type SCHEDULER = sig
   val scratch : t -> Code.scratch
   val prof : t -> Prof.shard
   val record : t -> Trace.kind -> int -> unit
+
+  val cancel : t -> Cancel.t
+  (* the run's cancellation token ({!Cancel.none} when the caller set no
+     deadline); the kernel polls it inside the tabling mini-solver, whose
+     fixpoint rounds never pass through an engine chokepoint *)
 end
 
 type cls =
@@ -665,6 +670,12 @@ module Resolver (S : SCHEDULER) = struct
 
   and tcall tv g sk =
     let s = tv.tv_s in
+    (* the generator's chokepoint: a fixpoint round over a large region
+       never returns to the engine, so an abort must fire here.  The
+       raise unwinds out of [table_call] before [set_complete]: the
+       entry keeps its (monotone, deduplicated) partial answers and is
+       simply re-evaluated by the next caller. *)
+    Cancel.check (S.cancel s);
     let mark = Trail.mark tv.tv_trail in
     match call_builtin s tv.tv_ctx g with
     | Builtins.Ok ->

@@ -61,6 +61,14 @@ module type SCHEDULER = sig
   (** Records a trace event into the current context's ring buffer (the
       simulated engines stamp it with their virtual clock).  A no-op
       when tracing is off. *)
+
+  val cancel : t -> Cancel.t
+  (** The run's cancellation token ({!Cancel.none} when the caller set
+      no deadline).  The kernel polls it inside the tabling mini-solver
+      — whose fixpoint rounds never pass through an engine chokepoint —
+      and raises {!Cancel.Cancelled} out of {!Resolver.table_call},
+      leaving the entry incomplete but consistent (monotone partial
+      answers; the next caller re-evaluates). *)
 end
 
 (** Goal classification shared by every dispatch loop.  Constructors

@@ -71,6 +71,9 @@ type t = {
   pshards : Prof.shard array; (* per-agent profiler shards *)
   goal : Term.t;
   output : Buffer.t option;
+  cancel : Cancel.t;
+    (* polled at the call/backtrack chokepoints; once fired the run stops
+       through the same finished+stop path as a solution limit *)
   mutable finished : bool;
   mutable idle_count : int;
   mutable sol_count : int;
@@ -118,7 +121,16 @@ module K = Kernel.Resolver (struct
   let scratch st = st.scratches.(cur st)
   let prof = psh
   let record = record
+  let cancel st = st.cancel
 end)
+
+(* Cancellation observed: stop the whole search exactly like a solution
+   limit — [Sim.stop] discards the other agents' pending continuations,
+   abandoning their (private) stacks and trails mid-flight, as when a
+   real query completes. *)
+let stop st =
+  st.finished <- true;
+  Sim.stop st.sim
 
 (* ------------------------------------------------------------------ *)
 (* Raw state copying (the MUSE stack copy)                             *)
@@ -298,15 +310,20 @@ and dispatch_control st w g cont =
     | Builtins.Not_builtin -> user_call st w g cont)
 
 and user_call st w g cont =
-  let clauses =
+  if Cancel.poll st.cancel then stop st
+  else
+  match
     (* tabled predicates answer from the shared table; the kernel
        completes the subgoal first when needed (see Kernel.table_call) *)
     if Database.is_tabled_goal st.db g then
       K.table_call st ~table:st.table ~ctx:(ctx_of st w)
         ~compiled:st.config.Config.compile ~db:st.db g
     else K.select st ~compiled:st.config.Config.compile st.db g
-  in
-  match clauses with
+  with
+  | exception Cancel.Cancelled ->
+    (* an abort inside the tabling mini-solver: the entry stays
+       incomplete but consistent (Kernel.table_call's contract) *)
+    stop st
   | [] -> backtrack st w
   | [ clause ] -> continue st w (try_clause st w g clause) cont
   | clause :: rest ->
@@ -321,6 +338,7 @@ and backtrack st w =
       (match w.w_cps with [] -> "-" | cp :: _ -> string_of_int (List.length !(cp.o_alts)));
   (shard st).Stats.backtracks <- (shard st).Stats.backtracks + 1;
   if st.finished then ()
+  else if Cancel.poll st.cancel then stop st
   else begin
     chaos_yield st;
     match w.w_cps with
@@ -454,6 +472,10 @@ let worker_body st w ~initial () =
       record st Trace.Idle_begin 0;
       let rec poll () =
         if st.finished then record st Trace.Idle_end 0
+        else if Cancel.poll st.cancel then begin
+          stop st;
+          record st Trace.Idle_end 0
+        end
         else
           match try_steal st w with
           | Some work ->
@@ -491,7 +513,8 @@ type result = {
 }
 
 let create ?output ?(trace = Trace.disabled) ?(chaos = Chaos.disabled)
-    ?(prof = Prof.disabled) ?table (config : Config.t) db goal =
+    ?(prof = Prof.disabled) ?table ?(cancel = Cancel.none) (config : Config.t)
+    db goal =
   let config = Config.validate config in
   let sim = Sim.create ~max_steps:3_000_000 () in
   let workers =
@@ -524,6 +547,7 @@ let create ?output ?(trace = Trace.disabled) ?(chaos = Chaos.disabled)
     pshards;
     goal;
     output;
+    cancel;
     finished = false;
     idle_count = 0;
     sol_count = 0;
@@ -545,5 +569,5 @@ let run st =
     time = Sim.stop_time st.sim;
   }
 
-let solve ?output ?trace ?chaos ?prof ?table config db goal =
-  run (create ?output ?trace ?chaos ?prof ?table config db goal)
+let solve ?output ?trace ?chaos ?prof ?table ?cancel config db goal =
+  run (create ?output ?trace ?chaos ?prof ?table ?cancel config db goal)

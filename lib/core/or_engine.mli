@@ -26,13 +26,18 @@ type result = {
     virtual cycles at yield sites and skips steal victims; because the
     simulator is deterministic, each chaos seed selects one exact
     alternative interleaving — deterministic schedule exploration.  The
-    solution multiset must be invariant across seeds. *)
+    solution multiset must be invariant across seeds.
+
+    [cancel] (default {!Cancel.none}) is polled at every worker's call
+    and backtrack chokepoints; once fired the run stops through the same
+    path as a solution limit, returning the solutions recorded so far. *)
 val create :
   ?output:Buffer.t ->
   ?trace:Ace_obs.Trace.t ->
   ?chaos:Ace_sched.Chaos.t ->
   ?prof:Ace_obs.Prof.t ->
   ?table:Ace_lang.Table.t ->
+  ?cancel:Cancel.t ->
   Ace_machine.Config.t ->
   Ace_lang.Database.t ->
   Ace_term.Term.t ->
@@ -46,6 +51,7 @@ val solve :
   ?chaos:Ace_sched.Chaos.t ->
   ?prof:Ace_obs.Prof.t ->
   ?table:Ace_lang.Table.t ->
+  ?cancel:Cancel.t ->
   Ace_machine.Config.t ->
   Ace_lang.Database.t ->
   Ace_term.Term.t ->

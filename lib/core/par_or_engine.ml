@@ -105,6 +105,9 @@ type shared = {
   hungry : int Atomic.t;      (* workers currently idle and stealing *)
   outstanding : int Atomic.t; (* tasks created but not yet exhausted *)
   frame_ids : int Atomic.t;
+  cancel : Cancel.t;
+    (* the generalized kill switch: polled through [stopped] at the same
+       chokepoints as [stop], folded into [stop] once fired *)
   stop : bool Atomic.t;
   failure : exn option Atomic.t; (* first worker exception, re-raised *)
   sol_mutex : Mutex.t;
@@ -142,7 +145,15 @@ type worker = {
        machine switch) *)
 }
 
-let stopped w = Atomic.get w.sh.stop
+let stopped w =
+  Atomic.get w.sh.stop
+  || (Cancel.poll w.sh.cancel
+      && begin
+           (* fold into the atomic flag so siblings stop on their next
+              check even if their own poll is decimated *)
+           Atomic.set w.sh.stop true;
+           true
+         end)
 
 (* A slot enumeration aborts as soon as a sibling fails the frame. *)
 let aborted w m =
@@ -174,6 +185,7 @@ module K = Kernel.Resolver (struct
   let scratch w = w.w_scratch
   let prof w = w.w_prof
   let record w kind arg = Trace.record w.tbuf kind arg
+  let cancel w = w.sh.cancel
 end)
 
 (* ------------------------------------------------------------------ *)
@@ -740,8 +752,12 @@ and steal_loop w =
   poll 0
 
 let worker_main w =
-  try main_loop w
-  with e ->
+  try main_loop w with
+  | Cancel.Cancelled ->
+    (* the kernel's tabling chokepoint unwound this worker: an orderly
+       stop, not a failure — solutions already published stand *)
+    Atomic.set w.sh.stop true
+  | e ->
     (* first failure wins; stop the others and re-raise after the join *)
     ignore (Atomic.compare_and_set w.sh.failure None (Some e));
     Atomic.set w.sh.stop true
@@ -759,7 +775,8 @@ type result = {
 }
 
 let solve ?output ?(trace = Trace.disabled) ?(chaos = Chaos.disabled)
-    ?(prof = Prof.disabled) ?table (config : Config.t) db goal =
+    ?(prof = Prof.disabled) ?table ?(cancel = Cancel.none) (config : Config.t)
+    db goal =
   let config = Config.validate config in
   let p = config.Config.agents in
   let metrics = Metrics.create ~domains:p in
@@ -777,6 +794,7 @@ let solve ?output ?(trace = Trace.disabled) ?(chaos = Chaos.disabled)
       hungry = Atomic.make 0;
       outstanding = Atomic.make 1;
       frame_ids = Atomic.make 0;
+      cancel;
       stop = Atomic.make false;
       failure = Atomic.make None;
       sol_mutex = Mutex.create ();

@@ -51,13 +51,19 @@ type result = {
     delayed publishes, and forced preemption around publish, steal and the
     solution channel.  Injection reorders and delays work but never drops
     it, so the solution multiset must not change — the invariant the
-    differential checker ({!Ace_check}) exercises. *)
+    differential checker ({!Ace_check}) exercises.
+
+    [cancel] (default {!Cancel.none}) is polled by every domain at its
+    stop-flag chokepoints; once fired it is folded into the shared stop
+    flag, all domains wind down and join, and the solutions recorded so
+    far are returned. *)
 val solve :
   ?output:Buffer.t ->
   ?trace:Ace_obs.Trace.t ->
   ?chaos:Ace_sched.Chaos.t ->
   ?prof:Ace_obs.Prof.t ->
   ?table:Ace_lang.Table.t ->
+  ?cancel:Cancel.t ->
   Ace_machine.Config.t ->
   Ace_lang.Database.t ->
   Ace_term.Term.t ->

@@ -57,6 +57,9 @@ type t = {
        not depend on it (there is no concurrency here — the hook exists so
        the checker can assert cycle-jitter invariance uniformly) *)
   sc : Code.scratch; (* frame buffer + argument registers (compiled path) *)
+  cancel : Cancel.t;
+    (* polled at the call and backtrack chokepoints; {!Cancel.none} costs
+       one physical-equality test there (the allocation gate covers it) *)
   mutable prof : Prof.shard;
     (* per-predicate profiler shard ([Prof.null] when off); mutable only
        because its clock closure needs the machine *)
@@ -69,7 +72,7 @@ type t = {
 
 let create ?(cost = Cost.default) ?(compile = false) ?output
     ?(trace = Trace.disabled) ?(chaos = Chaos.disabled)
-    ?(prof = Prof.disabled) ?table db goal =
+    ?(prof = Prof.disabled) ?table ?(cancel = Cancel.none) db goal =
   let trail = Trail.create () in
   let m =
     {
@@ -84,6 +87,7 @@ let create ?(cost = Cost.default) ?(compile = false) ?output
       tbuf = Trace.buffer trace ~dom:0;
       chaos = Chaos.agent chaos 0;
       sc = Code.create_scratch ();
+      cancel;
       prof = Prof.null;
       cps = [];
       height = 0;
@@ -112,6 +116,7 @@ module K = Kernel.Resolver (struct
   let scratch m = m.sc
   let prof m = m.prof
   let record m kind arg = Trace.record_at m.tbuf ~ts:m.charge kind arg
+  let cancel m = m.cancel
 end)
 
 (* [mark] is the trail height the choice point restores on backtracking —
@@ -257,6 +262,10 @@ and solve_once m g =
   found
 
 and user_call m g cont =
+  (* call chokepoint: a fired token unwinds out of [next] through the
+     [Cancelled] handler, so no further (possibly wrong-under-
+     cancellation) solution can be reported *)
+  Cancel.check m.cancel;
   let clauses =
     (* tabled predicates are answered from the shared answer table; the
        kernel completes the subgoal first if needed and the pseudo-fact
@@ -290,6 +299,7 @@ and continue m resolved cont =
    Only the nondeterminate case materializes a goal term — alternatives
    stored in a choice point must outlive the registers. *)
 and user_call_regs m sym arity cont =
+  Cancel.check m.cancel;
   if Database.is_tabled m.db sym arity then
     (* materialize the register call: tabled answers must outlive the
        registers, and the table keys on the goal term *)
@@ -335,6 +345,7 @@ and shallow m g clauses cont =
   scan clauses
 
 and backtrack m =
+  Cancel.check m.cancel;
   m.stats.Stats.backtracks <- m.stats.Stats.backtracks + 1;
   spend m (Chaos.jitter m.chaos);
   match m.cps with
@@ -397,11 +408,18 @@ let next m =
   if m.exhausted then None
   else begin
     let found =
-      if not m.started then begin
-        m.started <- true;
-        run m [ { items = Clause.compile_body m.goal; barrier = 0 } ]
-      end
-      else backtrack m
+      (* a fired cancel token unwinds here like exhaustion: solutions
+         already reported stay valid (each was complete when copied),
+         the machine just stops producing more *)
+      match
+        if not m.started then begin
+          m.started <- true;
+          run m [ { items = Clause.compile_body m.goal; barrier = 0 } ]
+        end
+        else backtrack m
+      with
+      | found -> found
+      | exception Cancel.Cancelled -> false
     in
     if found then begin
       m.stats.Stats.solutions <- m.stats.Stats.solutions + 1;
@@ -433,7 +451,10 @@ let stats m = m.stats
 
 let time m = m.charge
 
-let solve ?cost ?compile ?output ?trace ?chaos ?prof ?table ?limit db goal =
-  let m = create ?cost ?compile ?output ?trace ?chaos ?prof ?table db goal in
+let solve ?cost ?compile ?output ?trace ?chaos ?prof ?table ?cancel ?limit db
+    goal =
+  let m = create ?cost ?compile ?output ?trace ?chaos ?prof ?table ?cancel db
+      goal
+  in
   let solutions = all_solutions ?limit m in
   (solutions, m)

@@ -20,7 +20,13 @@ type t
 
     [prof] (default {!Ace_obs.Prof.disabled}) attributes 4-port counters
     and exclusive costs per predicate, stamped against the abstract-cycle
-    clock. *)
+    clock.
+
+    [cancel] (default {!Cancel.none}) is polled at the call and
+    backtrack chokepoints; once fired, {!next} answers [None] (and
+    {!all_solutions} returns the solutions found so far) — each already
+    reported solution was complete when copied, so partial results stay
+    valid. *)
 val create :
   ?cost:Ace_machine.Cost.t ->
   ?compile:bool ->
@@ -29,6 +35,7 @@ val create :
   ?chaos:Ace_sched.Chaos.t ->
   ?prof:Ace_obs.Prof.t ->
   ?table:Ace_lang.Table.t ->
+  ?cancel:Cancel.t ->
   Ace_lang.Database.t ->
   Ace_term.Term.t ->
   t
@@ -58,6 +65,7 @@ val solve :
   ?chaos:Ace_sched.Chaos.t ->
   ?prof:Ace_obs.Prof.t ->
   ?table:Ace_lang.Table.t ->
+  ?cancel:Cancel.t ->
   ?limit:int ->
   Ace_lang.Database.t ->
   Ace_term.Term.t ->

@@ -134,21 +134,35 @@ type t = {
   mutable frozen : bool;
     (* caches are complete and the database is read-only; cleared by
        asserts, making a second {!freeze} O(1) *)
+  freeze_lock : Mutex.t;
+    (* serializes cache construction: two sessions freezing the shared
+       base concurrently must not race the dispatch-tree build *)
   tabled : string PredTbl.t;
     (* predicates declared [:- table name/arity]; the value is the
        predicate name (cold-path introspection only).  Registered at
-       consult time, read-only afterwards. *)
+       consult time, read-only afterwards.  An overlay shares its
+       base's registry (sessions never declare tables). *)
   mutable has_tabled : bool;
     (* fast gate so the engines' dispatch loops pay one load per call
        on programs with no tabled predicate *)
+  base : t option;
+    (* [Some b]: this database is a session overlay over the frozen
+       base [b] — its own preds hold only the session's asserts, and
+       every lookup merges them around [b]'s (never-mutated) result *)
+  mutable removed : Clause.t list;
+    (* overlay only: clauses retracted by this session, tombstoned by
+       physical identity so the shared base stays untouched *)
 }
 
 let create () =
   {
     preds = PredTbl.create 64;
     frozen = false;
+    freeze_lock = Mutex.create ();
     tabled = PredTbl.create 4;
     has_tabled = false;
+    base = None;
+    removed = [];
   }
 
 let clause_key clause =
@@ -227,8 +241,6 @@ let asserta db clause =
   db.frozen <- false;
   invalidate p;
   index_entry p entry ~at_front:true
-
-let mem db name arity = find_pred db name arity <> None
 
 (* All clauses in source order: the ascending front then the reversed
    back. *)
@@ -540,11 +552,209 @@ let freeze_preds db =
         (all_entries p))
     db.preds
 
-let freeze db =
+let rec freeze db =
+  (match db.base with Some b -> freeze b | None -> ());
+  (* Double-checked under the lock, and the flag is set only AFTER the
+     caches are built: a concurrent freezer that loses the race blocks on
+     the mutex until the build is done, and one that reads [frozen =
+     true] without the lock can only do so once the caches are complete.
+     (The unlocked fast path makes the per-query re-freeze of an
+     already-frozen database one load, as before.) *)
   if not db.frozen then begin
-    db.frozen <- true;
-    freeze_preds db
+    Mutex.lock db.freeze_lock;
+    match
+      if not db.frozen then begin
+        freeze_preds db;
+        db.frozen <- true
+      end
+    with
+    | () -> Mutex.unlock db.freeze_lock
+    | exception e ->
+      Mutex.unlock db.freeze_lock;
+      raise e
   end
+
+(* ------------------------------------------------------------------ *)
+(* Session overlays                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let overlay b =
+  if b.base <> None then
+    invalid_arg "Database.overlay: the base is itself an overlay";
+  freeze b;
+  {
+    preds = PredTbl.create 8;
+    frozen = true; (* nothing to cache yet *)
+    freeze_lock = Mutex.create ();
+    tabled = b.tabled; (* shared: sessions never declare tables *)
+    has_tabled = b.has_tabled;
+    base = Some b;
+    removed = [];
+  }
+
+let base db = db.base
+
+(* The overlay's own entries surviving first-argument indexing for
+   [key], ascending seq.  Overlays are small and mutate often, so this
+   reads the buckets directly instead of the freeze caches. *)
+let overlay_entries p key =
+  match key with
+  | Kany -> all_entries p
+  | key ->
+    let bucket = Option.value ~default:[] (KeyTbl.find_opt p.buckets key) in
+    let rec go a b acc =
+      match a, b with
+      | [], [] -> acc
+      | x :: xs, [] -> go xs [] (x :: acc)
+      | [], y :: ys -> go [] ys (y :: acc)
+      | x :: xs, y :: ys ->
+        if x.seq > y.seq then go xs b (x :: acc) else go a ys (y :: acc)
+    in
+    go bucket p.anys []
+
+(* The session view of one (keyed) lookup, in overlay source order:
+   asserta'd session clauses (negative seq), then the base's (cached,
+   indexed) answer, then assertz'd session clauses — with this session's
+   tombstones filtered out of every part.  [None] exactly when neither
+   side defines the predicate. *)
+let overlay_view db p_opt key base_part =
+  let keep =
+    match db.removed with
+    | [] -> fun _ -> true
+    | removed -> fun c -> not (List.memq c removed)
+  in
+  match p_opt, base_part with
+  | None, None -> None
+  | None, Some bs -> Some (List.filter keep bs)
+  | Some p, _ ->
+    let front, back =
+      List.partition (fun e -> e.seq < 0) (overlay_entries p key)
+    in
+    let part es =
+      List.filter_map
+        (fun e -> if keep e.e_clause then Some e.e_clause else None)
+        es
+    in
+    let bs =
+      match base_part with None -> [] | Some bs -> List.filter keep bs
+    in
+    Some (part front @ bs @ part back)
+
+(* Retracts the first clause of the session view whose [H :- B] term
+   unifies with [pattern]'s, by tombstoning it in the overlay; the base
+   database is never written.  Returns [false] when nothing matched. *)
+let retract db pattern =
+  match db.base with
+  | None -> invalid_arg "Database.retract: session overlay expected"
+  | Some b ->
+    let sym, arity = Clause.functor_arity pattern in
+    let own_front, own_back =
+      match find_pred_sym db sym arity with
+      | None -> ([], [])
+      | Some p ->
+        let f, bk = List.partition (fun e -> e.seq < 0) (all_entries p) in
+        (List.map (fun e -> e.e_clause) f, List.map (fun e -> e.e_clause) bk)
+    in
+    let base_cs =
+      match find_pred_sym b sym arity with
+      | None -> []
+      | Some p -> List.map (fun e -> e.e_clause) (all_entries p)
+    in
+    let pat = Clause.to_term (Clause.rename pattern) in
+    let live c = not (List.memq c db.removed) in
+    let rec go = function
+      | [] -> false
+      | c :: rest ->
+        if live c && Ace_term.Unify.matches (Clause.to_term c) pat then begin
+          db.removed <- c :: db.removed;
+          true
+        end
+        else go rest
+    in
+    go (own_front @ base_cs @ own_back)
+
+(* Overlay-aware public lookups, shadowing the direct versions above.
+   A database without a base pays exactly one extra load and branch;
+   an overlay merges its (bucket-indexed) delta around the base's
+   answer, never touching the base's caches.  The compiled-path
+   variants run the base through its dispatch tree and filter the
+   overlay part by first-argument key only — both filters drop only
+   provably non-unifiable clauses, so the combination is still sound. *)
+
+let overlay_call_key call arity =
+  if arity = 0 then Kany
+  else
+    match Term.deref call with
+    | Term.Struct (_, args) -> key_of_term args.(0)
+    | Term.Atom _ | Term.Int _ | Term.Var _ -> Kany
+
+let direct_lookup = lookup
+let direct_lookup_code = lookup_code
+let direct_lookup_args = lookup_args
+let direct_lookup_code_args = lookup_code_args
+
+let overlay_lookup db b ~base_part call =
+  match Term.functor_of (Term.deref call) with
+  | None -> invalid_arg "Database.lookup: callable expected"
+  | Some (sym, arity) ->
+    let key = overlay_call_key call arity in
+    overlay_view db (find_pred_sym db sym arity) key (base_part b call)
+
+let lookup db call =
+  match db.base with
+  | None -> direct_lookup db call
+  | Some b -> overlay_lookup db b ~base_part:direct_lookup call
+
+let lookup_code db call =
+  match db.base with
+  | None -> direct_lookup_code db call
+  | Some b -> overlay_lookup db b ~base_part:direct_lookup_code call
+
+let lookup_args db sym arity (args : Term.t array) =
+  match db.base with
+  | None -> direct_lookup_args db sym arity args
+  | Some b ->
+    let key = if arity = 0 then Kany else key_of_term args.(0) in
+    overlay_view db
+      (find_pred_sym db sym arity)
+      key
+      (direct_lookup_args b sym arity args)
+
+let lookup_code_args db sym arity (args : Term.t array) =
+  match db.base with
+  | None -> direct_lookup_code_args db sym arity args
+  | Some b ->
+    let key = if arity = 0 then Kany else key_of_term args.(0) in
+    overlay_view db
+      (find_pred_sym db sym arity)
+      key
+      (direct_lookup_code_args b sym arity args)
+
+(* Overlay-aware introspection (cold paths). *)
+
+let mem db name arity =
+  find_pred db name arity <> None
+  || match db.base with None -> false | Some b -> find_pred b name arity <> None
+
+let clauses_of db name arity =
+  match db.base with
+  | None -> clauses_of db name arity
+  | Some b ->
+    let keep =
+      match db.removed with
+      | [] -> fun _ -> true
+      | removed -> fun c -> not (List.memq c removed)
+    in
+    let split =
+      match find_pred db name arity with
+      | None -> ([], [])
+      | Some p ->
+        let f, bk = List.partition (fun e -> e.seq < 0) (all_entries p) in
+        ( List.map (fun e -> e.e_clause) f,
+          List.map (fun e -> e.e_clause) bk )
+    in
+    let front, back = split in
+    List.filter keep (front @ clauses_of b name arity @ back)
 
 (* ------------------------------------------------------------------ *)
 (* Tabling registry                                                    *)
@@ -570,13 +780,23 @@ let tabled_preds db =
   |> List.sort compare
 
 let predicates db =
-  PredTbl.fold
-    (fun _ p acc -> (Symbol.name p.p_name, p.p_arity) :: acc)
-    db.preds []
-  |> List.sort compare
+  let fold db acc =
+    PredTbl.fold
+      (fun _ p acc -> (Symbol.name p.p_name, p.p_arity) :: acc)
+      db.preds acc
+  in
+  let own = fold db [] in
+  (match db.base with None -> own | Some b -> fold b own)
+  |> List.sort_uniq compare
 
 let total_clauses db =
-  PredTbl.fold (fun _ p acc -> acc + p.count) db.preds 0
+  let own = PredTbl.fold (fun _ p acc -> acc + p.count) db.preds 0 in
+  match db.base with
+  | None -> own
+  | Some b ->
+    own
+    + PredTbl.fold (fun _ p acc -> acc + p.count) b.preds 0
+    - List.length db.removed
 
 (* A predicate is statically determinate-on-first-arg when no two of its
    clauses can match the same (non-variable) first argument.  Used by the
@@ -586,9 +806,16 @@ let total_clauses db =
    they share a bucket — so with two or more clauses the predicate is
    exclusive iff no clause is variable-headed and every bucket is a
    singleton. *)
-let first_arg_exclusive db name arity =
+let rec first_arg_exclusive db name arity =
   match find_pred db name arity with
-  | None -> false
+  | None -> (
+    (* an overlay that does not touch the predicate inherits the base's
+       answer; one that does is conservatively non-exclusive *)
+    match db.base with
+    | Some b when db.removed = [] -> first_arg_exclusive b name arity
+    | _ -> false)
+  | Some _ when db.base <> None ->
+    false (* session clauses may overlap the base's: stay conservative *)
   | Some p ->
     p.count <= 1
     || (p.anys = []

@@ -42,8 +42,37 @@ val lookup_code_args :
 
 (** Precomputes every {!lookup} result so later lookups are allocation-free
     pure reads (safe to share across domains).  Asserting invalidates the
-    affected predicate; freeze again after updates.  Idempotent. *)
+    affected predicate; freeze again after updates.  Idempotent, and
+    thread-safe: concurrent freezes serialize on an internal lock and the
+    frozen flag is published only after the caches (including the
+    dispatch trees) are completely built, so two sessions freezing the
+    same base cannot race the build or observe a half-built index. *)
 val freeze : t -> unit
+
+(** {2 Session overlays}
+
+    A session overlay is a private delta over a shared frozen base:
+    clauses asserted into the overlay are visible only through it
+    ([asserta]'d ones before the base's clauses, [assertz]'d ones
+    after), {!retract} tombstones clauses without writing the base, and
+    every lookup merges the delta around the base's indexed answer.
+    The base is never mutated, so any number of sessions can overlay
+    the same database while engines run queries against it. *)
+
+(** [overlay base] freezes [base] and returns a fresh empty overlay
+    over it.  Raises [Invalid_argument] if [base] is itself an overlay
+    (deltas do not stack). *)
+val overlay : t -> t
+
+(** The overlay's base database; [None] for an ordinary database. *)
+val base : t -> t option
+
+(** [retract db pattern] removes the first clause of the session view
+    (overlay [asserta]s, then base, then overlay [assertz]s) whose
+    [H :- B] term unifies with [pattern]'s; returns [false] when no
+    clause matches.  Overlay-only: raises [Invalid_argument] on a
+    database without a base. *)
+val retract : t -> Clause.t -> bool
 
 (** Registers a predicate for SLG tabling (the [:- table name/arity]
     directive, applied by {!Program} at consult time). *)

@@ -1,0 +1,119 @@
+(* Line-delimited JSON framing for the query server.  Kept data-only (no
+   sockets, no sessions) so the in-process oracle row and the tests can
+   speak the exact wire format without a connection. *)
+
+module Json = Ace_obs.Json
+
+type request =
+  | Query of {
+      id : int;
+      goal : string;
+      engine : Ace_core.Engine.kind option;
+      agents : int option;
+      limit : int option;
+      deadline_ms : int option;
+    }
+  | Cancel of { id : int }
+  | Assert of { clause : string; front : bool }
+  | Retract of { clause : string }
+  | Ping
+  | Stats
+  | Quit
+
+let engine_of_string = function
+  | "seq" -> Ok Ace_core.Engine.Sequential
+  | "and" -> Ok Ace_core.Engine.And_parallel
+  | "or" -> Ok Ace_core.Engine.Or_parallel
+  | "par" -> Ok Ace_core.Engine.Par_or
+  | s -> Error (Printf.sprintf "unknown engine %S (seq|and|or|par)" s)
+
+let int_field j name =
+  match Json.member name j with
+  | Some (Json.Num n) when Float.is_integer n -> Some (int_of_float n)
+  | _ -> None
+
+let str_field j name =
+  match Json.member name j with Some (Json.Str s) -> Some s | _ -> None
+
+let bool_field j name =
+  match Json.member name j with Some (Json.Bool b) -> Some b | _ -> None
+
+let parse_request line =
+  match Json.parse line with
+  | Error msg -> Error ("bad json: " ^ msg)
+  | Ok j -> (
+    match str_field j "op" with
+    | None -> Error "missing op"
+    | Some "ping" -> Ok Ping
+    | Some "stats" -> Ok Stats
+    | Some "quit" -> Ok Quit
+    | Some "cancel" -> (
+      match int_field j "id" with
+      | Some id -> Ok (Cancel { id })
+      | None -> Error "cancel: missing id")
+    | Some "assert" -> (
+      match str_field j "clause" with
+      | Some clause ->
+        let front = Option.value ~default:false (bool_field j "front") in
+        Ok (Assert { clause; front })
+      | None -> Error "assert: missing clause")
+    | Some "retract" -> (
+      match str_field j "clause" with
+      | Some clause -> Ok (Retract { clause })
+      | None -> Error "retract: missing clause")
+    | Some "query" -> (
+      match (int_field j "id", str_field j "goal") with
+      | None, _ -> Error "query: missing id"
+      | _, None -> Error "query: missing goal"
+      | Some id, Some goal -> (
+        match
+          match str_field j "engine" with
+          | None -> Ok None
+          | Some s -> Result.map Option.some (engine_of_string s)
+        with
+        | Error msg -> Error msg
+        | Ok engine ->
+          Ok
+            (Query
+               {
+                 id;
+                 goal;
+                 engine;
+                 agents = int_field j "agents";
+                 limit = int_field j "limit";
+                 deadline_ms = int_field j "deadline_ms";
+               })))
+    | Some op -> Error (Printf.sprintf "unknown op %S" op))
+
+type response =
+  | Answer of {
+      id : int;
+      solutions : string list;
+      cancelled : string option;
+      time_ns : int;
+    }
+  | Failure of { id : int option; message : string }
+  | Reply of (string * Json.t) list
+
+let overloaded = "overloaded"
+
+let print_response = function
+  | Answer { id; solutions; cancelled; time_ns } ->
+    Json.to_string
+      (Json.Obj
+         ([
+            ("id", Json.int id);
+            ("ok", Json.Bool true);
+            ("solutions", Json.List (List.map (fun s -> Json.Str s) solutions));
+            ("count", Json.int (List.length solutions));
+          ]
+         @ (match cancelled with
+           | Some why -> [ ("cancelled", Json.Str why) ]
+           | None -> [])
+         @ [ ("time_ns", Json.int time_ns) ]))
+  | Failure { id; message } ->
+    Json.to_string
+      (Json.Obj
+         ((match id with Some id -> [ ("id", Json.int id) ] | None -> [])
+         @ [ ("ok", Json.Bool false); ("error", Json.Str message) ]))
+  | Reply fields -> Json.to_string (Json.Obj (("ok", Json.Bool true) :: fields))

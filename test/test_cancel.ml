@@ -1,0 +1,329 @@
+(* Cancellation tokens, session overlays, and cancelled runs.
+
+   Covers the run-lifecycle refactor: the Cancel primitive itself, the
+   thread-safety of Database.freeze, assert/retract session overlays
+   over a frozen base, and cooperative aborts on all four engines —
+   including deterministic poll-budget aborts (the chaos story: a fixed
+   budget replays the same abort site) and answer-table consistency
+   across a cancelled tabled run. *)
+
+module Cancel = Ace_core.Cancel
+module Chaos = Ace_sched.Chaos
+module Clause = Ace_lang.Clause
+module Config = Ace_machine.Config
+module Database = Ace_lang.Database
+module Engine = Ace_core.Engine
+module Program = Ace_lang.Program
+module Table = Ace_lang.Table
+open Test_util
+
+(* Infinite backtracking, zero solutions: only a fired token ends it. *)
+let spin =
+  "gen(z). gen(s(N)) :- gen(N). spin :- gen(N), never(N). never(none)."
+
+let chain n =
+  let b = Buffer.create 1024 in
+  for i = 0 to n - 2 do
+    Printf.bprintf b "edge(n%d, n%d).\n" i (i + 1)
+  done;
+  Buffer.add_string b "path(X, Y) :- edge(X, Y).\n";
+  Buffer.add_string b "path(X, Y) :- edge(X, Z), path(Z, Y).\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* The token                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let reason = Alcotest.testable
+    (Fmt.of_to_string (function
+       | Some r -> Cancel.reason_to_string r
+       | None -> "none"))
+    ( = )
+
+let test_token_none () =
+  Alcotest.(check bool) "never fires" false (Cancel.poll Cancel.none);
+  Cancel.cancel Cancel.none;
+  Alcotest.(check bool) "cancel ignored" false (Cancel.poll Cancel.none);
+  Alcotest.check reason "no reason" None (Cancel.fired Cancel.none)
+
+let test_token_request () =
+  let t = Cancel.create () in
+  Alcotest.(check bool) "fresh" false (Cancel.poll t);
+  Alcotest.check reason "unfired" None (Cancel.fired t);
+  Cancel.cancel t;
+  Alcotest.(check bool) "fires" true (Cancel.poll t);
+  Alcotest.check reason "requested" (Some Cancel.Requested) (Cancel.fired t)
+
+let test_token_deadline () =
+  let t = Cancel.create ~deadline_ms:15 () in
+  Alcotest.(check bool) "before the deadline" false (Cancel.poll t);
+  Unix.sleepf 0.03;
+  (* the clock check is decimated: poll enough times to cross a stride *)
+  let fired = ref false in
+  for _ = 1 to 64 do
+    if Cancel.poll t then fired := true
+  done;
+  Alcotest.(check bool) "after the deadline" true !fired;
+  Alcotest.check reason "deadline" (Some Cancel.Deadline) (Cancel.fired t)
+
+let test_token_budget () =
+  let t = Cancel.at_polls 5 in
+  let polls = ref 0 in
+  while not (Cancel.poll t) && !polls < 100 do
+    incr polls
+  done;
+  Alcotest.(check int) "fires on the n-th poll" 4 !polls;
+  Alcotest.check reason "budget" (Some Cancel.Budget) (Cancel.fired t)
+
+let test_token_first_reason_wins () =
+  let t = Cancel.create () in
+  Cancel.cancel t;
+  Cancel.cancel t;
+  Alcotest.check reason "still requested" (Some Cancel.Requested)
+    (Cancel.fired t);
+  let b = Cancel.at_polls 1 in
+  ignore (Cancel.poll b);
+  Cancel.cancel b;
+  Alcotest.check reason "budget won" (Some Cancel.Budget) (Cancel.fired b)
+
+let test_check_raises () =
+  let t = Cancel.create () in
+  Cancel.check t;
+  Cancel.cancel t;
+  Alcotest.check_raises "check raises" Cancel.Cancelled (fun () ->
+      Cancel.check t)
+
+(* ------------------------------------------------------------------ *)
+(* Freeze thread-safety and overlays                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_freeze_race () =
+  (* regression: concurrent freezes of one database must build the
+     dispatch cache exactly once and never expose a half-built one *)
+  for _ = 1 to 10 do
+    let db = Program.db (Program.consult_string "p(1). p(2). q(X) :- p(X).") in
+    let domains =
+      Array.init 4 (fun _ -> Domain.spawn (fun () -> Database.freeze db))
+    in
+    Array.iter Domain.join domains;
+    Database.freeze db;
+    let r =
+      Engine.solve Engine.Sequential
+        { Config.default with Config.compile = true }
+        db (term "q(X)")
+    in
+    Alcotest.(check int) "solutions after racy freeze" 2
+      (List.length r.Engine.solutions)
+  done
+
+let session_solutions p sdb query =
+  let r = Engine.run ~session:sdb Engine.Sequential Config.default p query in
+  List.map Ace_term.Pp.to_string r.Engine.solutions
+
+let test_overlay_semantics () =
+  let p = Engine.prepare_string "p(1). p(2)." in
+  let s1 = Engine.session p and s2 = Engine.session p in
+  Database.assertz s1 (Clause.of_term (term "p(3)"));
+  Database.asserta s1 (Clause.of_term (term "p(0)"));
+  Alcotest.(check (list string)) "asserta front, assertz back"
+    [ "p(0)"; "p(1)"; "p(2)"; "p(3)" ]
+    (session_solutions p s1 (term "p(X)"));
+  Alcotest.(check (list string)) "other session isolated" [ "p(1)"; "p(2)" ]
+    (session_solutions p s2 (term "p(X)"))
+
+let test_overlay_retract () =
+  let p = Engine.prepare_string "p(1). p(2)." in
+  let s1 = Engine.session p and s2 = Engine.session p in
+  Alcotest.(check bool) "retract shadows a base clause" true
+    (Database.retract s1 (Clause.of_term (term "p(1)")));
+  Alcotest.(check (list string)) "shadowed" [ "p(2)" ]
+    (session_solutions p s1 (term "p(X)"));
+  Alcotest.(check (list string)) "base untouched" [ "p(1)"; "p(2)" ]
+    (session_solutions p s2 (term "p(X)"));
+  let r = Engine.run Engine.Sequential Config.default p (term "p(X)") in
+  Alcotest.(check int) "shared base direct" 2 (List.length r.Engine.solutions);
+  Alcotest.(check bool) "retract misses" false
+    (Database.retract s1 (Clause.of_term (term "p(9)")))
+
+(* ------------------------------------------------------------------ *)
+(* Cancelled runs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let engines =
+  [ (Engine.Sequential, 1); (Engine.And_parallel, 2);
+    (Engine.Or_parallel, 2); (Engine.Par_or, 2) ]
+
+let test_deadline_all_engines () =
+  List.iter
+    (fun (kind, agents) ->
+      let name = Engine.kind_to_string kind in
+      let config =
+        { (Config.all_optimizations ~agents ()) with Config.compile = true }
+      in
+      let cancel = Cancel.create ~deadline_ms:50 () in
+      let t0 = Unix.gettimeofday () in
+      let r =
+        Engine.solve_program ~cancel kind config ~program:spin ~query:"spin"
+      in
+      let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+      Alcotest.check reason (name ^ " cancelled") (Some Cancel.Deadline)
+        r.Engine.cancelled;
+      Alcotest.(check int) (name ^ " no solutions") 0
+        (List.length r.Engine.solutions);
+      (* bounded interval after the deadline: generous for loaded CI *)
+      Alcotest.(check bool) (name ^ " stops promptly") true (ms < 5000.0))
+    engines
+
+let test_budget_partial_and_deterministic () =
+  let program = chain 30 and query = "path(n0, X)" in
+  let full =
+    Ace_check.Canon.multiset
+      (Engine.solve_program Engine.Sequential Config.default ~program ~query)
+        .Engine.solutions
+  in
+  List.iter
+    (fun (kind, agents) ->
+      let name = Engine.kind_to_string kind in
+      let config =
+        { (Config.all_optimizations ~agents ()) with Config.compile = true }
+      in
+      let run () =
+        Engine.solve_program ~cancel:(Cancel.at_polls 60) kind config ~program
+          ~query
+      in
+      let r1 = run () in
+      Alcotest.check reason (name ^ " budget fired") (Some Cancel.Budget)
+        r1.Engine.cancelled;
+      let part = Ace_check.Canon.multiset r1.Engine.solutions in
+      Alcotest.(check bool) (name ^ " proper partial") true
+        (List.length part < List.length full);
+      (* every recorded solution was complete when recorded *)
+      List.iter
+        (fun s ->
+          Alcotest.(check bool) (name ^ " partial within full") true
+            (List.mem s full))
+        part;
+      (* the deterministic engines replay the same abort site *)
+      if kind <> Engine.Par_or then begin
+        let r2 = run () in
+        Alcotest.(check (list string)) (name ^ " deterministic abort")
+          (List.map Ace_term.Pp.to_string r1.Engine.solutions)
+          (List.map Ace_term.Pp.to_string r2.Engine.solutions)
+      end)
+    engines
+
+let test_budget_deterministic_under_chaos () =
+  (* fixed chaos seed + fixed poll budget => identical partial run *)
+  let program = chain 30 and query = "path(n0, X)" in
+  let config =
+    { (Config.all_optimizations ~agents:2 ()) with Config.compile = true }
+  in
+  List.iter
+    (fun kind ->
+      let run () =
+        Engine.solve_program ~chaos:(Chaos.make ~seed:7 ())
+          ~cancel:(Cancel.at_polls 60) kind config ~program ~query
+      in
+      let r1 = run () and r2 = run () in
+      Alcotest.check reason
+        (Engine.kind_to_string kind ^ " chaos budget fired")
+        (Some Cancel.Budget) r1.Engine.cancelled;
+      Alcotest.(check (list string))
+        (Engine.kind_to_string kind ^ " chaos deterministic")
+        (List.map Ace_term.Pp.to_string r1.Engine.solutions)
+        (List.map Ace_term.Pp.to_string r2.Engine.solutions))
+    [ Engine.And_parallel; Engine.Or_parallel ]
+
+let tabled_chain =
+  ":- table(path/2).\n" ^ chain 25
+
+let test_cancelled_table_consistent () =
+  (* a budget abort mid-evaluation leaves the shared table reusable: a
+     second run over the same table completes and the answer set is the
+     full one (publication is monotone; incomplete entries re-evaluate) *)
+  let program = tabled_chain and query = "path(n0, X)" in
+  let full =
+    Ace_check.Canon.multiset
+      (Engine.solve_program Engine.Sequential Config.default ~program ~query)
+        .Engine.solutions
+  in
+  let table = Table.create () in
+  let r1 =
+    Engine.solve_program ~table ~cancel:(Cancel.at_polls 40) Engine.Sequential
+      Config.default ~program ~query
+  in
+  Alcotest.check reason "tabled run aborted" (Some Cancel.Budget)
+    r1.Engine.cancelled;
+  List.iter
+    (fun e ->
+      if Table.is_complete e then
+        Alcotest.(check bool) "complete entries keep their answers" true
+          (Table.answer_count e > 0))
+    (Table.entries table);
+  let r2 =
+    Engine.solve_program ~table Engine.Sequential Config.default ~program
+      ~query
+  in
+  Alcotest.check reason "second run completes" None r2.Engine.cancelled;
+  Alcotest.(check (list string)) "full answers from the reused table" full
+    (Ace_check.Canon.multiset r2.Engine.solutions)
+
+let test_par_cancel_no_leak () =
+  (* a cancelled par run must join all its domains: three back-to-back
+     cancelled runs complete (leaked domains would accumulate or hang) *)
+  let config =
+    { (Config.all_optimizations ~agents:2 ()) with Config.compile = true }
+  in
+  for _ = 1 to 3 do
+    let r =
+      Engine.solve_program
+        ~cancel:(Cancel.create ~deadline_ms:30 ())
+        Engine.Par_or config ~program:spin ~query:"spin"
+    in
+    Alcotest.(check bool) "cancelled" true (r.Engine.cancelled <> None)
+  done
+
+let test_requested_cancel_from_thread () =
+  (* cancel fired from another thread mid-run: the seq engine aborts *)
+  let cancel = Cancel.create () in
+  let th =
+    Thread.create
+      (fun () ->
+        Unix.sleepf 0.03;
+        Cancel.cancel cancel)
+      ()
+  in
+  let r =
+    Engine.solve_program ~cancel Engine.Sequential Config.default
+      ~program:spin ~query:"spin"
+  in
+  Thread.join th;
+  Alcotest.check reason "requested" (Some Cancel.Requested) r.Engine.cancelled
+
+let suite =
+  [
+    Alcotest.test_case "token: none" `Quick test_token_none;
+    Alcotest.test_case "token: request" `Quick test_token_request;
+    Alcotest.test_case "token: deadline" `Quick test_token_deadline;
+    Alcotest.test_case "token: poll budget" `Quick test_token_budget;
+    Alcotest.test_case "token: first reason wins" `Quick
+      test_token_first_reason_wins;
+    Alcotest.test_case "token: check raises" `Quick test_check_raises;
+    Alcotest.test_case "freeze: concurrent freezes" `Quick test_freeze_race;
+    Alcotest.test_case "overlay: assert ordering + isolation" `Quick
+      test_overlay_semantics;
+    Alcotest.test_case "overlay: retract shadows base" `Quick
+      test_overlay_retract;
+    Alcotest.test_case "cancel: deadline on all engines" `Quick
+      test_deadline_all_engines;
+    Alcotest.test_case "cancel: budget partial + deterministic" `Quick
+      test_budget_partial_and_deterministic;
+    Alcotest.test_case "cancel: deterministic under chaos" `Quick
+      test_budget_deterministic_under_chaos;
+    Alcotest.test_case "cancel: table consistent across abort" `Quick
+      test_cancelled_table_consistent;
+    Alcotest.test_case "cancel: par run joins its domains" `Quick
+      test_par_cancel_no_leak;
+    Alcotest.test_case "cancel: requested from another thread" `Quick
+      test_requested_cancel_from_thread;
+  ]

@@ -19,6 +19,8 @@ let () =
       ("deque", Test_deque.suite);
       ("par-or-engine", Test_par_or_engine.suite);
       ("errors", Test_errors.suite);
+      ("cancel", Test_cancel.suite);
+      ("serve", Test_serve.suite);
       ("check", Test_check.suite);
       ("table", Test_table.suite);
       ("analysis", Test_analysis.suite);

@@ -1,0 +1,249 @@
+(* lib/serve: protocol framing, sessions, and the socket server. *)
+
+module Cancel = Ace_core.Cancel
+module Config = Ace_machine.Config
+module Engine = Ace_core.Engine
+module Json = Ace_obs.Json
+module Protocol = Ace_server.Protocol
+module Server = Ace_server.Server
+module Session = Ace_server.Session
+
+let base_program =
+  {|
+edge(a, b).
+edge(b, c).
+edge(a, c).
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- edge(X, Z), path(Z, Y).
+gen(z).
+gen(s(N)) :- gen(N).
+spin :- gen(N), never(N).
+never(none).
+|}
+
+let prepared = lazy (Engine.prepare_string base_program)
+
+let ok = function
+  | Ok v -> v
+  | Error m -> Alcotest.failf "unexpected session error: %s" m
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_protocol_parse () =
+  (match
+     Protocol.parse_request
+       {|{"op":"query","id":3,"goal":"p(X)","engine":"par","limit":5}|}
+   with
+  | Ok (Protocol.Query { id; goal; engine; limit; _ }) ->
+    Alcotest.(check int) "id" 3 id;
+    Alcotest.(check string) "goal" "p(X)" goal;
+    Alcotest.(check bool) "engine" true (engine = Some Engine.Par_or);
+    Alcotest.(check (option int)) "limit" (Some 5) limit
+  | Ok _ -> Alcotest.fail "parsed to the wrong request"
+  | Error m -> Alcotest.fail m);
+  (match Protocol.parse_request {|{"op":"assert","clause":"p(9)"}|} with
+  | Ok (Protocol.Assert { clause; front }) ->
+    Alcotest.(check string) "clause" "p(9)" clause;
+    Alcotest.(check bool) "back by default" false front
+  | _ -> Alcotest.fail "assert did not parse");
+  (match Protocol.parse_request {|{"op":"cancel","id":7}|} with
+  | Ok (Protocol.Cancel { id }) -> Alcotest.(check int) "cancel id" 7 id
+  | _ -> Alcotest.fail "cancel did not parse");
+  Alcotest.(check bool) "ping" true (Protocol.parse_request {|{"op":"ping"}|} = Ok Protocol.Ping);
+  (match Protocol.parse_request {|{"op":"query","goal":"p(X)"}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "query without id must be rejected");
+  match Protocol.parse_request "{nope" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad json must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_session_query () =
+  let s = Session.create (Lazy.force prepared) in
+  let a = ok (Session.query s "path(a, X)") in
+  Alcotest.(check (list string)) "solutions"
+    [ "path(a,b)"; "path(a,c)"; "path(a,c)" ]
+    (List.sort String.compare a.Session.solutions);
+  Alcotest.(check bool) "not cancelled" true (a.Session.cancelled = None);
+  let a = ok (Session.query ~limit:1 s "path(a, X)") in
+  Alcotest.(check int) "limit honoured" 1 (List.length a.Session.solutions)
+
+let test_session_overlay_ops () =
+  let p = Lazy.force prepared in
+  let s1 = Session.create p and s2 = Session.create p in
+  ok (Session.assert_clause s1 "edge(c, d)");
+  let a = ok (Session.query s1 "path(c, X)") in
+  Alcotest.(check (list string)) "asserted clause reachable" [ "path(c,d)" ]
+    a.Session.solutions;
+  let a = ok (Session.query s2 "path(c, X)") in
+  Alcotest.(check int) "other session isolated" 0
+    (List.length a.Session.solutions);
+  Alcotest.(check bool) "retract removes it" true
+    (ok (Session.retract_clause s1 "edge(c, d)"));
+  let a = ok (Session.query s1 "path(c, X)") in
+  Alcotest.(check int) "retracted" 0 (List.length a.Session.solutions)
+
+let test_session_errors () =
+  let s = Session.create (Lazy.force prepared) in
+  (match Session.query s "nosuch(X)" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown predicate must answer an error");
+  (match Session.query s "p(" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "parse error must answer an error");
+  match Session.assert_clause s "p(X) :-" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed clause must answer an error"
+
+let test_session_deadline () =
+  let s = Session.create (Lazy.force prepared) in
+  let a = ok (Session.query ~deadline_ms:50 s "spin") in
+  Alcotest.(check bool) "cancelled on deadline" true
+    (a.Session.cancelled = Some Cancel.Deadline);
+  Alcotest.(check int) "no solutions" 0 (List.length a.Session.solutions)
+
+let test_session_cancel_inflight () =
+  let s = Session.create (Lazy.force prepared) in
+  let result = ref (Error "not run") in
+  let th = Thread.create (fun () -> result := Session.query ~id:1 s "spin") () in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Session.inflight s = 0 && Unix.gettimeofday () < deadline do
+    Thread.yield ()
+  done;
+  Alcotest.(check int) "one in flight" 1 (Session.inflight s);
+  Alcotest.(check bool) "cancel hits" true (Session.cancel s 1);
+  Thread.join th;
+  (match !result with
+  | Ok a ->
+    Alcotest.(check bool) "requested" true
+      (a.Session.cancelled = Some Cancel.Requested)
+  | Error m -> Alcotest.failf "cancelled query errored: %s" m);
+  Alcotest.(check int) "unregistered" 0 (Session.inflight s);
+  Alcotest.(check bool) "cancel misses now" false (Session.cancel s 1)
+
+(* ------------------------------------------------------------------ *)
+(* The socket server                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip ic oc req =
+  output_string oc (Json.to_string req);
+  output_char oc '\n';
+  flush oc;
+  match Json.parse (input_line ic) with
+  | Ok j -> j
+  | Error m -> Alcotest.failf "bad response json: %s" m
+
+let num name j =
+  match Json.member name j with
+  | Some (Json.Num n) -> int_of_float n
+  | _ -> Alcotest.failf "response lacks %s: %s" name (Json.to_string j)
+
+let test_server_roundtrip () =
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ace_test_serve_%d.sock" (Unix.getpid ()))
+  in
+  let srv =
+    Server.create ~workers:2 ~listen:(Unix.ADDR_UNIX sock)
+      (Lazy.force prepared)
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  let ic = Unix.in_channel_of_descr fd
+  and oc = Unix.out_channel_of_descr fd in
+  let j = roundtrip ic oc (Json.Obj [ ("op", Json.Str "ping") ]) in
+  Alcotest.(check bool) "pong" true (Json.member "pong" j = Some (Json.Bool true));
+  let j =
+    roundtrip ic oc
+      (Json.Obj
+         [ ("op", Json.Str "query"); ("id", Json.int 1);
+           ("goal", Json.Str "path(a, X)") ])
+  in
+  Alcotest.(check int) "three paths" 3 (num "count" j);
+  ignore
+    (roundtrip ic oc
+       (Json.Obj [ ("op", Json.Str "assert"); ("clause", Json.Str "edge(c, d)") ]));
+  let j =
+    roundtrip ic oc
+      (Json.Obj
+         [ ("op", Json.Str "query"); ("id", Json.int 2);
+           ("goal", Json.Str "path(c, X)") ])
+  in
+  Alcotest.(check int) "asserted over the wire" 1 (num "count" j);
+  let j =
+    roundtrip ic oc
+      (Json.Obj
+         [ ("op", Json.Str "query"); ("id", Json.int 3);
+           ("goal", Json.Str "spin"); ("deadline_ms", Json.int 50) ])
+  in
+  Alcotest.(check bool) "wire deadline" true
+    (Json.member "cancelled" j = Some (Json.Str "deadline"));
+  let j = roundtrip ic oc (Json.Obj [ ("op", Json.Str "stats") ]) in
+  Alcotest.(check int) "served" 3 (num "served" j);
+  Alcotest.(check int) "one connection" 1 (num "connections" j);
+  let j = roundtrip ic oc (Json.Obj [ ("op", Json.Str "quit") ]) in
+  Alcotest.(check bool) "bye" true (Json.member "bye" j = Some (Json.Bool true));
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Server.drain srv;
+  Server.wait srv;
+  (try Unix.unlink sock with Unix.Unix_error _ | Sys_error _ -> ())
+
+let test_server_drain_cancels () =
+  (* drain mid-query: the in-flight query answers as cancelled and the
+     server shuts down within a bounded interval *)
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ace_test_drain_%d.sock" (Unix.getpid ()))
+  in
+  let srv =
+    Server.create ~workers:1 ~listen:(Unix.ADDR_UNIX sock)
+      (Lazy.force prepared)
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  let ic = Unix.in_channel_of_descr fd
+  and oc = Unix.out_channel_of_descr fd in
+  output_string oc
+    (Json.to_string
+       (Json.Obj
+          [ ("op", Json.Str "query"); ("id", Json.int 1);
+            ("goal", Json.Str "spin") ]));
+  output_char oc '\n';
+  flush oc;
+  Unix.sleepf 0.05;
+  let t0 = Unix.gettimeofday () in
+  Server.drain srv;
+  let j =
+    match Json.parse (input_line ic) with
+    | Ok j -> j
+    | Error m -> Alcotest.failf "bad drain response: %s" m
+  in
+  Server.wait srv;
+  let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  Alcotest.(check bool) "cancelled by drain" true
+    (Json.member "cancelled" j = Some (Json.Str "requested"));
+  Alcotest.(check bool) "drain bounded" true (ms < 5000.0);
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink sock with Unix.Unix_error _ | Sys_error _ -> ())
+
+let suite =
+  [
+    Alcotest.test_case "protocol: parse requests" `Quick test_protocol_parse;
+    Alcotest.test_case "session: query" `Quick test_session_query;
+    Alcotest.test_case "session: overlay assert/retract" `Quick
+      test_session_overlay_ops;
+    Alcotest.test_case "session: errors stay in-band" `Quick
+      test_session_errors;
+    Alcotest.test_case "session: deadline" `Quick test_session_deadline;
+    Alcotest.test_case "session: cancel in flight" `Quick
+      test_session_cancel_inflight;
+    Alcotest.test_case "server: socket round trip" `Quick
+      test_server_roundtrip;
+    Alcotest.test_case "server: drain cancels in-flight" `Quick
+      test_server_drain_cancels;
+  ]
